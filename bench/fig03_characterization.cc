@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Fig. 3 reproduction: end-to-end neuro-symbolic workload
+ * characterization.  (a) neural vs symbolic runtime split on an
+ * A6000-class GPU for all six workloads; (b) scaling with task size;
+ * (c) A6000 vs Orin; (d) roofline placement of each kernel class.
+ *
+ * Paper shape: symbolic+probabilistic stages take 35-64 % of runtime
+ * (more when the LLM shrinks); symbolic kernels sit deep in the
+ * memory-bound region of the roofline.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baselines/device.h"
+#include "sys/system.h"
+#include "util/table.h"
+#include "workloads/timing.h"
+#include "workloads/workloads.h"
+
+using namespace reason;
+using workloads::DatasetId;
+using workloads::TaskScale;
+using workloads::WorkloadId;
+
+namespace {
+
+void
+BM_GenerateBundle(benchmark::State &state)
+{
+    for (auto _ : state) {
+        auto b = workloads::generate(DatasetId::TwinSafety,
+                                     TaskScale::Small, 5);
+        benchmark::DoNotOptimize(b.pcs.queries.size());
+    }
+}
+BENCHMARK(BM_GenerateBundle)->Unit(benchmark::kMillisecond);
+
+DatasetId
+datasetFor(WorkloadId w)
+{
+    switch (w) {
+      case WorkloadId::AlphaGeo: return DatasetId::IMO;
+      case WorkloadId::R2Guard: return DatasetId::TwinSafety;
+      case WorkloadId::GeLaTo: return DatasetId::CommonGen;
+      case WorkloadId::CtrlG: return DatasetId::CoAuthor;
+      case WorkloadId::NeuroPC: return DatasetId::AwA2;
+      case WorkloadId::Linc: return DatasetId::FOLIO;
+    }
+    return DatasetId::IMO;
+}
+
+void
+printFig3()
+{
+    // (a) runtime split on the A6000 model.
+    Table split({"Workload", "Neural %", "Symbolic %",
+                 "Total [ms, A6000]"});
+    for (WorkloadId w : workloads::allWorkloads()) {
+        workloads::TaskBundle b = workloads::generate(
+            datasetFor(w), TaskScale::Small, 19);
+        workloads::SymbolicOps ops = workloads::measureSymbolicOps(b);
+        double sym =
+            sys::symbolicCost(sys::Platform::RtxA6000, ops).seconds;
+        double flops = sys::neuralFlops(b, ops);
+        double neu =
+            sys::neuralCost(sys::Platform::RtxA6000, flops).seconds;
+        double total = sym + neu;
+        split.addRow({workloads::workloadName(w),
+                      Table::percent(neu / total),
+                      Table::percent(sym / total),
+                      Table::num(total * 1e3, 2)});
+    }
+    std::printf("\n");
+    split.print("Fig. 3(a) — neural vs symbolic runtime split on "
+                "A6000 (paper: symbolic 35-64%)");
+
+    // (b) scale: small vs large tasks keep the split, grow the total.
+    Table scale({"Workload", "Scale", "Symbolic %", "Total [ms]"});
+    for (WorkloadId w :
+         {WorkloadId::AlphaGeo, WorkloadId::R2Guard,
+          WorkloadId::GeLaTo}) {
+        for (TaskScale s : {TaskScale::Small, TaskScale::Large}) {
+            workloads::TaskBundle b =
+                workloads::generate(datasetFor(w), s, 19);
+            workloads::SymbolicOps ops =
+                workloads::measureSymbolicOps(b);
+            double sym =
+                sys::symbolicCost(sys::Platform::RtxA6000, ops)
+                    .seconds;
+            double flops = sys::neuralFlops(b, ops);
+            double neu =
+                sys::neuralCost(sys::Platform::RtxA6000, flops)
+                    .seconds;
+            scale.addRow({workloads::workloadName(w),
+                          s == TaskScale::Small ? "small" : "large",
+                          Table::percent(sym / (sym + neu)),
+                          Table::num((sym + neu) * 1e3, 2)});
+        }
+    }
+    std::printf("\n");
+    scale.print("Fig. 3(b) — split is stable across task scales; "
+                "total grows");
+
+    // (c) A6000 vs Orin.
+    Table dev({"Workload", "A6000 [ms]", "Orin NX [ms]"});
+    for (WorkloadId w :
+         {WorkloadId::AlphaGeo, WorkloadId::R2Guard}) {
+        workloads::TaskBundle b = workloads::generate(
+            datasetFor(w), TaskScale::Small, 19);
+        workloads::SymbolicOps ops = workloads::measureSymbolicOps(b);
+        double flops = sys::neuralFlops(b, ops);
+        auto total = [&](sys::Platform p) {
+            return sys::symbolicCost(p, ops).seconds +
+                   sys::neuralCost(p, flops).seconds;
+        };
+        dev.addRow({workloads::workloadName(w),
+                    Table::num(total(sys::Platform::RtxA6000) * 1e3, 2),
+                    Table::num(total(sys::Platform::OrinNx) * 1e3,
+                               2)});
+    }
+    std::printf("\n");
+    dev.print("Fig. 3(c) — desktop vs edge GPU end-to-end latency");
+
+    // (d) roofline placement on the A6000.
+    baselines::DeviceModel gpu = baselines::rtxA6000();
+    Table roof({"Kernel", "Op intensity [FLOP/B]",
+                "Roofline bound [TFLOP/s]", "Achieved [TFLOP/s]",
+                "Regime"});
+    for (auto cls : {baselines::KernelClass::DenseMatMul,
+                     baselines::KernelClass::Softmax,
+                     baselines::KernelClass::SparseMatVec,
+                     baselines::KernelClass::SymbolicBcp,
+                     baselines::KernelClass::ProbCircuit,
+                     baselines::KernelClass::HmmSequential}) {
+        double oi = baselines::operationalIntensity(cls);
+        double bound = std::min(gpu.peakTflops,
+                                oi * gpu.dramGBps * 1e-3);
+        double achieved =
+            bound *
+            baselines::gpuKernelMetrics(cls).computeThroughputPct /
+            100.0;
+        roof.addRow({baselines::kernelClassName(cls),
+                     Table::num(oi, 2), Table::num(bound, 2),
+                     Table::num(achieved, 3),
+                     oi * gpu.dramGBps * 1e-3 < gpu.peakTflops
+                         ? "memory-bound"
+                         : "compute-bound"});
+    }
+    std::printf("\n");
+    roof.print("Fig. 3(d) — roofline: symbolic/probabilistic kernels "
+               "are deeply memory-bound");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFig3();
+    return 0;
+}

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Fig. 8 reproduction: interconnect scalability.  (a) normalized
+ * latency breakdown (memory / PE / peripheries / inter-node) and (b)
+ * broadcast-to-root cycle counts for tree, mesh, and all-to-one
+ * topologies as the leaf count scales from N to 8N.
+ *
+ * Paper shape: tree O(log N) vs mesh O(sqrt N) vs bus O(N); the bus's
+ * periphery and inter-node terms blow up with fan-out.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "arch/benes.h"
+#include "arch/topology.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace reason;
+using namespace reason::arch;
+
+namespace {
+
+void
+BM_BenesRoute64(benchmark::State &state)
+{
+    BenesNetwork net(6);
+    Rng rng(1);
+    auto p32 = rng.permutation(64);
+    std::vector<uint32_t> dest(p32.begin(), p32.end());
+    for (auto _ : state)
+        benchmark::DoNotOptimize(net.route(dest));
+}
+BENCHMARK(BM_BenesRoute64);
+
+void
+printFig8()
+{
+    const uint64_t base = 8; // N = leaves of one depth-3 tree PE
+    Table cycles({"Leaves", "Tree", "Mesh", "All-to-One"});
+    for (int mult = 1; mult <= 8; ++mult) {
+        uint64_t n = base * mult;
+        cycles.addRow(
+            {std::to_string(mult) + "N",
+             std::to_string(broadcastToRootCycles(Topology::Tree, n)),
+             std::to_string(broadcastToRootCycles(Topology::Mesh, n)),
+             std::to_string(
+                 broadcastToRootCycles(Topology::AllToOne, n))});
+    }
+    std::printf("\n");
+    cycles.print("Fig. 8(b) — broadcast-to-root cycles "
+                 "(tree O(logN), mesh O(sqrtN), bus O(N))");
+
+    Table latency({"Leaves", "Topology", "Memory", "PE", "Peripheries",
+                   "Inter-node", "Total"});
+    for (int mult : {1, 2, 4, 8}) {
+        uint64_t n = base * mult;
+        for (Topology t :
+             {Topology::Tree, Topology::Mesh, Topology::AllToOne}) {
+            LatencyBreakdown b = latencyBreakdown(t, n);
+            latency.addRow({std::to_string(mult) + "N",
+                            topologyName(t), Table::num(b.memory, 2),
+                            Table::num(b.pe, 2),
+                            Table::num(b.peripheries, 2),
+                            Table::num(b.interNode, 2),
+                            Table::num(b.total(), 2)});
+        }
+    }
+    std::printf("\n");
+    latency.print("Fig. 8(a) — normalized latency breakdown");
+
+    // Benes crossbar: show rearrangeability at the register-file scale.
+    BenesNetwork net(6);
+    Rng rng(99);
+    int ok = 0;
+    for (int t = 0; t < 100; ++t) {
+        auto p32 = rng.permutation(64);
+        std::vector<uint32_t> dest(p32.begin(), p32.end());
+        ok += net.verifyPermutation(dest) ? 1 : 0;
+    }
+    std::printf("\nBenes 64x64: %d/100 random permutations routed "
+                "conflict-free (%u stages, %u switches)\n",
+                ok, net.numStages(), net.numSwitches());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFig8();
+    return 0;
+}

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Fig. 12 reproduction: (a) REASON power across workloads and (b)
+ * energy-efficiency ratios vs Orin NX, RTX A6000, and Xeon CPU across
+ * the ten reasoning tasks, plus V100/A100 comparisons and the scaled
+ * technology nodes of Table III.
+ *
+ * Paper shape: power ≈ 1.9-2.5 W (avg ≈ 2.12 W); energy efficiency
+ * ≈ 310x (Orin), 681x (RTX), 838x (Xeon), 802x (V100), 268x (A100).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "energy/energy_model.h"
+#include "sys/system.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "workloads/timing.h"
+#include "workloads/workloads.h"
+
+using namespace reason;
+
+namespace {
+
+void
+BM_EnergyModelPricing(benchmark::State &state)
+{
+    StatGroup ev;
+    ev.inc("tree_add_ops", 1000000);
+    ev.inc("regfile_reads", 1500000);
+    ev.inc("cycles", 500000);
+    energy::EnergyModel em;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(em.dynamicEnergyJoules(ev));
+}
+BENCHMARK(BM_EnergyModelPricing);
+
+void
+printFig12()
+{
+    Table power({"Task", "REASON avg power [W]"});
+    Table eff({"Task", "vs Orin NX", "vs RTX A6000", "vs Xeon CPU",
+               "vs V100", "vs A100"});
+    StatAccumulator pw;
+    StatAccumulator e_orin, e_rtx, e_xeon, e_v100, e_a100;
+    for (workloads::DatasetId d : workloads::allDatasets()) {
+        workloads::TaskBundle b =
+            workloads::generate(d, workloads::TaskScale::Small, 9);
+        workloads::SymbolicOps ops =
+            workloads::measureSymbolicOps(b, true);
+        sys::StageCost reason =
+            sys::symbolicCost(sys::Platform::ReasonAccel, ops);
+        double watts = reason.joules / reason.seconds;
+        pw.add(watts);
+        power.addRow({workloads::datasetName(d), Table::num(watts, 2)});
+
+        auto ratio = [&](sys::Platform p) {
+            sys::StageCost c = sys::symbolicCost(p, ops);
+            return c.joules / reason.joules;
+        };
+        double r_orin = ratio(sys::Platform::OrinNx);
+        double r_rtx = ratio(sys::Platform::RtxA6000);
+        double r_xeon = ratio(sys::Platform::XeonCpu);
+        double r_v100 = ratio(sys::Platform::V100);
+        double r_a100 = ratio(sys::Platform::A100);
+        e_orin.add(r_orin);
+        e_rtx.add(r_rtx);
+        e_xeon.add(r_xeon);
+        e_v100.add(r_v100);
+        e_a100.add(r_a100);
+        eff.addRow({workloads::datasetName(d), Table::num(r_orin, 0),
+                    Table::num(r_rtx, 0), Table::num(r_xeon, 0),
+                    Table::num(r_v100, 0), Table::num(r_a100, 0)});
+    }
+    power.addRow({"average", Table::num(pw.mean(), 2)});
+    eff.addRow({"average", Table::num(e_orin.mean(), 0),
+                Table::num(e_rtx.mean(), 0),
+                Table::num(e_xeon.mean(), 0),
+                Table::num(e_v100.mean(), 0),
+                Table::num(e_a100.mean(), 0)});
+
+    std::printf("\n");
+    power.print("Fig. 12(a) — REASON power across workloads "
+                "(paper: 1.88-2.51 W, avg 2.12 W)");
+    std::printf("\n");
+    eff.print("Fig. 12(b) — energy efficiency vs baselines "
+              "(paper: 310x Orin, 681x RTX, 838x Xeon, 802x V100, "
+              "268x A100)");
+
+    // Table III scaled nodes.
+    Table nodes({"Node", "Area [mm^2]", "Static power scale"});
+    for (auto n : {energy::TechNode::Tsmc28, energy::TechNode::Tsmc12,
+                   energy::TechNode::Tsmc8}) {
+        energy::EnergyModel em(n);
+        nodes.addRow({energy::techNodeName(n),
+                      Table::num(em.areaMm2(12, 1280), 2),
+                      Table::num(energy::techScaling(n).staticPower, 2)});
+    }
+    std::printf("\n");
+    nodes.print("Table III — technology scaling "
+                "(paper: 6.00 / 1.37 / 0.51 mm^2)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printFig12();
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Table V reproduction: necessity-of-co-design ablation.  Normalized
+ * runtime of (1) the unmodified algorithms on Orin NX, (2) REASON
+ * algorithm optimizations on Orin NX, and (3) REASON algorithms on
+ * REASON hardware, for IMO / MiniF2F / TwinSafety / XSTest / CommonGen.
+ *
+ * Paper shape: algo-only ≈ 78-87 % of baseline; algo+hardware ≈ 2 %.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sys/system.h"
+#include "util/table.h"
+#include "workloads/timing.h"
+#include "workloads/workloads.h"
+
+using namespace reason;
+using workloads::DatasetId;
+
+namespace {
+
+void
+BM_OptimizedMeasurement(benchmark::State &state)
+{
+    workloads::TaskBundle b = workloads::generate(
+        DatasetId::TwinSafety, workloads::TaskScale::Small, 3);
+    for (auto _ : state) {
+        auto ops = workloads::measureSymbolicOps(b, true);
+        benchmark::DoNotOptimize(ops.pcDagNodes);
+    }
+}
+BENCHMARK(BM_OptimizedMeasurement)->Unit(benchmark::kMillisecond);
+
+void
+printTable5()
+{
+    std::vector<DatasetId> tasks = {
+        DatasetId::IMO, DatasetId::MiniF2F, DatasetId::TwinSafety,
+        DatasetId::XSTest, DatasetId::CommonGen};
+
+    Table t({"System", "IMO", "MiniF2F", "TwinS", "XSTest", "ComGen"});
+    std::vector<std::string> base_row{"Baseline algo @ Orin NX"};
+    std::vector<std::string> algo_row{"REASON algo @ Orin NX"};
+    std::vector<std::string> hw_row{"REASON algo @ REASON HW"};
+    for (DatasetId d : tasks) {
+        workloads::TaskBundle b =
+            workloads::generate(d, workloads::TaskScale::Small, 21);
+        workloads::SymbolicOps base =
+            workloads::measureSymbolicOps(b, false);
+        workloads::SymbolicOps opt =
+            workloads::measureSymbolicOps(b, true);
+        double orin_base =
+            sys::symbolicCost(sys::Platform::OrinNx, base).seconds;
+        double orin_opt =
+            sys::symbolicCost(sys::Platform::OrinNx, opt).seconds;
+        double reason_opt =
+            sys::symbolicCost(sys::Platform::ReasonAccel, opt).seconds;
+        base_row.push_back("100%");
+        algo_row.push_back(Table::percent(orin_opt / orin_base));
+        hw_row.push_back(Table::percent(reason_opt / orin_base));
+    }
+    t.addRow(base_row);
+    t.addRow(algo_row);
+    t.addRow(hw_row);
+    std::printf("\n");
+    t.print("Table V — co-design ablation, normalized runtime "
+            "(paper: algo-only 78-87%, algo+HW ~2%)");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    printTable5();
+    return 0;
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Cycle-accurate execution of compiled DAG programs on the REASON fabric
+ * (Sec. V-B/V-C, probabilistic and SpMSpM-style modes).
+ *
+ * The engine replays the compiler's pipeline-aware schedule while
+ * enforcing the machine's structural constraints cycle by cycle:
+ * per-PE single issue, tree pipeline latency, register-bank read-port
+ * limits (operands beyond the port count stall the issuing block), DMA
+ * preloading of external inputs, and spill traffic for values beyond the
+ * per-bank register capacity.  Functional results are bit-identical to
+ * Dag::evaluate on the same inputs — tests rely on this.
+ */
+
+#ifndef REASON_ARCH_ACCELERATOR_H
+#define REASON_ARCH_ACCELERATOR_H
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/config.h"
+#include "compiler/program.h"
+#include "util/stats.h"
+
+namespace reason {
+namespace arch {
+
+/** Result of executing one program. */
+struct ExecutionResult
+{
+    /** Value of the DAG root computed by the fabric. */
+    double rootValue = 0.0;
+    /** Per-block results, indexed by block id. */
+    std::vector<double> blockValues;
+    /** Total cycles from first issue to last writeback. */
+    uint64_t cycles = 0;
+    /** Cycles spent stalled on bank-port conflicts. */
+    uint64_t bankStallCycles = 0;
+    /** Cycles spent waiting for input DMA. */
+    uint64_t dmaStallCycles = 0;
+    /** Issue slots where a PE had no ready work. */
+    uint64_t idlePeCycles = 0;
+    /** Achieved PE utilization in [0,1]. */
+    double peUtilization = 0.0;
+    /** Event counters for the energy model. */
+    StatGroup events;
+
+    /** Wall-clock seconds at the configured clock. */
+    double seconds(const ArchConfig &cfg) const
+    {
+        return static_cast<double>(cycles) * cfg.cycleSeconds();
+    }
+};
+
+/**
+ * The REASON accelerator in DAG-execution mode.
+ */
+class Accelerator
+{
+  public:
+    explicit Accelerator(const ArchConfig &config);
+
+    const ArchConfig &config() const { return config_; }
+
+    /**
+     * Execute a compiled program with the given external input values
+     * (indexed by DAG input tag).
+     *
+     * @param preloaded when true, inputs are assumed resident in the
+     *        register banks (steady-state batch processing); otherwise an
+     *        initial DMA fill is modeled.
+     */
+    ExecutionResult run(const compiler::Program &program,
+                        const std::vector<double> &inputs,
+                        bool preloaded = false) const;
+
+  private:
+    double evalBlock(const compiler::Program &program,
+                     const compiler::Block &blk,
+                     const std::vector<double> &regfile,
+                     StatGroup &events) const;
+
+    ArchConfig config_;
+    /** Register-file addressing stride of the program being run. */
+    mutable size_t stride_ = 1;
+};
+
+} // namespace arch
+} // namespace reason
+
+#endif // REASON_ARCH_ACCELERATOR_H

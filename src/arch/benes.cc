@@ -1,0 +1,171 @@
+#include "arch/benes.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace arch {
+
+BenesNetwork::BenesNetwork(uint32_t log2_n) : log2N_(log2_n)
+{
+    reasonAssert(log2_n >= 1 && log2_n <= 16,
+                 "Benes size must be 2..65536 endpoints");
+}
+
+void
+BenesNetwork::routeRecursive(const std::vector<uint32_t> &dest,
+                             const std::vector<uint32_t> &inputs,
+                             uint32_t first_stage, uint32_t last_stage,
+                             uint32_t offset,
+                             std::vector<std::vector<bool>> &settings) const
+{
+    const uint32_t n = static_cast<uint32_t>(dest.size());
+    (void)inputs;
+    if (n == 2) {
+        reasonAssert(first_stage == last_stage, "base block is one stage");
+        settings[first_stage][offset / 2] = (dest[0] == 1);
+        return;
+    }
+
+    // Inverse permutation within the block.
+    std::vector<uint32_t> src(n);
+    for (uint32_t i = 0; i < n; ++i)
+        src[dest[i]] = i;
+
+    // Looping algorithm: assign each block input to the upper (true) or
+    // lower (false) subnetwork such that paired inputs and paired
+    // outputs split across subnetworks.
+    std::vector<int8_t> up(n, -1);
+    for (uint32_t p = 0; p < n; ++p) {
+        if (up[p] != -1)
+            continue;
+        uint32_t cur = p;
+        bool flag = true;
+        while (true) {
+            up[cur] = flag ? 1 : 0;
+            uint32_t partner = cur ^ 1u;
+            up[partner] = flag ? 0 : 1;
+            uint32_t out_partner = dest[partner] ^ 1u;
+            uint32_t nxt = src[out_partner];
+            if (up[nxt] != -1) {
+                reasonAssert(up[nxt] == (flag ? 1 : 0),
+                             "looping algorithm produced a conflict");
+                break;
+            }
+            cur = nxt;
+        }
+    }
+
+    // Input-stage switches: straight when even port goes upper.
+    const uint32_t half = n / 2;
+    for (uint32_t w = 0; w < half; ++w)
+        settings[first_stage][offset / 2 + w] = (up[2 * w] == 0);
+
+    // Output-stage switches: straight when even output comes from upper.
+    for (uint32_t w = 0; w < half; ++w) {
+        bool even_from_upper = (up[src[2 * w]] == 1);
+        settings[last_stage][offset / 2 + w] = !even_from_upper;
+    }
+
+    // Sub-permutations: the up-assigned input of switch w enters the
+    // upper subnetwork at port w and must leave at port dest[.]/2.
+    std::vector<uint32_t> upper_dest(half), lower_dest(half);
+    for (uint32_t w = 0; w < half; ++w) {
+        uint32_t in_even = 2 * w;
+        uint32_t in_odd = 2 * w + 1;
+        uint32_t up_in = (up[in_even] == 1) ? in_even : in_odd;
+        uint32_t low_in = (up[in_even] == 1) ? in_odd : in_even;
+        upper_dest[w] = dest[up_in] / 2;
+        lower_dest[w] = dest[low_in] / 2;
+    }
+
+    std::vector<uint32_t> dummy;
+    routeRecursive(upper_dest, dummy, first_stage + 1, last_stage - 1,
+                   offset, settings);
+    routeRecursive(lower_dest, dummy, first_stage + 1, last_stage - 1,
+                   offset + half, settings);
+}
+
+std::vector<std::vector<bool>>
+BenesNetwork::route(const std::vector<uint32_t> &dest) const
+{
+    const uint32_t n = numEndpoints();
+    reasonAssert(dest.size() == n, "permutation size mismatch");
+    std::vector<bool> seen(n, false);
+    for (uint32_t d : dest) {
+        reasonAssert(d < n && !seen[d], "dest must be a permutation");
+        seen[d] = true;
+    }
+    std::vector<std::vector<bool>> settings(
+        numStages(), std::vector<bool>(n / 2, false));
+    std::vector<uint32_t> dummy;
+    routeRecursive(dest, dummy, 0, numStages() - 1, 0, settings);
+    return settings;
+}
+
+namespace {
+
+/** Recursive evaluation mirroring the wiring in routeRecursive. */
+std::vector<uint32_t>
+evalBlock(const std::vector<std::vector<bool>> &settings,
+          uint32_t first_stage, uint32_t last_stage, uint32_t offset,
+          std::vector<uint32_t> values)
+{
+    const uint32_t n = static_cast<uint32_t>(values.size());
+    if (n == 2) {
+        if (settings[first_stage][offset / 2])
+            std::swap(values[0], values[1]);
+        return values;
+    }
+    const uint32_t half = n / 2;
+    std::vector<uint32_t> upper_in(half), lower_in(half);
+    for (uint32_t w = 0; w < half; ++w) {
+        bool crossed = settings[first_stage][offset / 2 + w];
+        uint32_t even = values[2 * w];
+        uint32_t odd = values[2 * w + 1];
+        // straight: even -> upper, odd -> lower.
+        upper_in[w] = crossed ? odd : even;
+        lower_in[w] = crossed ? even : odd;
+    }
+    auto upper_out = evalBlock(settings, first_stage + 1, last_stage - 1,
+                               offset, std::move(upper_in));
+    auto lower_out = evalBlock(settings, first_stage + 1, last_stage - 1,
+                               offset + half, std::move(lower_in));
+    std::vector<uint32_t> out(n);
+    for (uint32_t w = 0; w < half; ++w) {
+        bool crossed = settings[last_stage][offset / 2 + w];
+        // straight: upper -> even output, lower -> odd output.
+        out[2 * w] = crossed ? lower_out[w] : upper_out[w];
+        out[2 * w + 1] = crossed ? upper_out[w] : lower_out[w];
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<uint32_t>
+BenesNetwork::evaluate(
+    const std::vector<std::vector<bool>> &settings) const
+{
+    reasonAssert(settings.size() == numStages(), "settings stage mismatch");
+    std::vector<uint32_t> values(numEndpoints());
+    for (uint32_t i = 0; i < numEndpoints(); ++i)
+        values[i] = i;
+    return evalBlock(settings, 0, numStages() - 1, 0, std::move(values));
+}
+
+bool
+BenesNetwork::verifyPermutation(const std::vector<uint32_t> &dest) const
+{
+    auto settings = route(dest);
+    auto arrived = evaluate(settings);
+    // arrived[o] = input index delivered to output o.
+    for (uint32_t i = 0; i < numEndpoints(); ++i)
+        if (arrived[dest[i]] != i)
+            return false;
+    return true;
+}
+
+} // namespace arch
+} // namespace reason

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Benes network model (Sec. V-B): the rearrangeably non-blocking N-to-N
+ * crossbar that routes register-bank operands to tree-PE leaf inputs,
+ * decoupling SRAM banking from DAG mapping.
+ *
+ * Implements real route computation via the classic looping algorithm on
+ * the recursive (2x2-switch) Benes topology, so tests can verify that any
+ * permutation routes conflict-free and benches can count switch settings.
+ */
+
+#ifndef REASON_ARCH_BENES_H
+#define REASON_ARCH_BENES_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reason {
+namespace arch {
+
+/**
+ * A Benes network on N = 2^k endpoints built from 2x2 switches arranged
+ * in 2k-1 stages of N/2 switches each.
+ */
+class BenesNetwork
+{
+  public:
+    /** @param log2_n k, so the network has 2^k inputs/outputs. */
+    explicit BenesNetwork(uint32_t log2_n);
+
+    uint32_t numEndpoints() const { return 1u << log2N_; }
+    uint32_t numStages() const { return 2 * log2N_ - 1; }
+    uint32_t numSwitches() const
+    {
+        return numStages() * (numEndpoints() / 2);
+    }
+
+    /**
+     * Compute switch settings realizing the permutation
+     * dest[i] = output of input i.  `dest` must be a permutation of
+     * [0, N).
+     *
+     * @return per-stage, per-switch "crossed" flags.
+     */
+    std::vector<std::vector<bool>> route(
+        const std::vector<uint32_t> &dest) const;
+
+    /**
+     * Evaluate the network under given switch settings: output[i] is the
+     * input arriving at output port i.
+     */
+    std::vector<uint32_t> evaluate(
+        const std::vector<std::vector<bool>> &settings) const;
+
+    /**
+     * Convenience check: does `route` produce settings that realize the
+     * permutation exactly (always true for valid permutations).
+     */
+    bool verifyPermutation(const std::vector<uint32_t> &dest) const;
+
+  private:
+    void routeRecursive(const std::vector<uint32_t> &dest,
+                        const std::vector<uint32_t> &inputs,
+                        uint32_t first_stage, uint32_t last_stage,
+                        uint32_t offset,
+                        std::vector<std::vector<bool>> &settings) const;
+
+    uint32_t log2N_;
+};
+
+} // namespace arch
+} // namespace reason
+
+#endif // REASON_ARCH_BENES_H

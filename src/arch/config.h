@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Architectural parameters of the REASON accelerator (Fig. 10, Sec. V-F).
+ *
+ * Defaults reflect the paper's selected configuration: 12 tree PEs of
+ * depth D=3 (8 leaf slots, 7 compute nodes each), B=64 register banks of
+ * R=32 registers, 1.25 MB local SRAM, 104 GB/s LPDDR5 DRAM, 500 MHz at
+ * TSMC 28 nm.
+ */
+
+#ifndef REASON_ARCH_CONFIG_H
+#define REASON_ARCH_CONFIG_H
+
+#include <cstddef>
+#include <cstdint>
+
+#include "compiler/compile.h"
+
+namespace reason {
+namespace arch {
+
+/** Full hardware configuration of one REASON instance. */
+struct ArchConfig
+{
+    // Compute fabric.
+    uint32_t numPes = 12;
+    uint32_t treeDepth = 3; ///< D
+    // Register file.
+    uint32_t numBanks = 64;   ///< B
+    uint32_t regsPerBank = 32; ///< R
+    uint32_t bankReadPorts = 2;
+    // Memory system.
+    uint32_t sramBytes = 1280 * 1024; ///< 1.25 MB local SRAM
+    uint32_t sramBanks = 16;
+    uint32_t dmaLatencyCycles = 24;  ///< L2/DRAM fetch latency
+    double dramBandwidthGBps = 104.0;
+    // Symbolic engine.
+    uint32_t bcpFifoDepth = 16;
+    // Clocking.
+    double clockGhz = 0.5;
+
+    /** Cycles for one root-to-leaf broadcast (tree levels + drive). */
+    uint32_t broadcastCycles() const { return treeDepth + 1; }
+    /** Cycles for one leaf-to-root reduction. */
+    uint32_t reductionCycles() const { return treeDepth + 1; }
+    /** End-to-end tree pipeline latency for one block. */
+    uint32_t pipelineLatency() const { return treeDepth + 3; }
+
+    size_t leavesPerPe() const { return size_t(1) << treeDepth; }
+    size_t nodesPerPe() const { return (size_t(1) << treeDepth) - 1; }
+    /** Total arithmetic tree nodes across the fabric. */
+    size_t totalTreeNodes() const { return numPes * nodesPerPe(); }
+
+    /** Seconds per cycle. */
+    double cycleSeconds() const { return 1e-9 / clockGhz; }
+
+    /** Matching compiler target. */
+    compiler::TargetConfig
+    compilerTarget() const
+    {
+        compiler::TargetConfig t;
+        t.treeDepth = treeDepth;
+        t.numPes = numPes;
+        t.numBanks = numBanks;
+        t.regsPerBank = regsPerBank;
+        return t;
+    }
+};
+
+} // namespace arch
+} // namespace reason
+
+#endif // REASON_ARCH_CONFIG_H

@@ -1,0 +1,185 @@
+#include "arch/memory.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace arch {
+
+ClauseSram::ClauseSram(size_t capacity_bytes, uint32_t num_banks)
+    : capacityBytes_(capacity_bytes), numBanks_(num_banks)
+{
+    reasonAssert(capacity_bytes > 0 && num_banks > 0,
+                 "SRAM needs capacity and banks");
+}
+
+void
+ClauseSram::evictFor(size_t bytes)
+{
+    while (usedBytes_ + bytes > capacityBytes_ && !lru_.empty()) {
+        uint32_t victim = lru_.back();
+        lru_.pop_back();
+        auto it = lines_.find(victim);
+        usedBytes_ -= it->second.bytes;
+        lines_.erase(it);
+        ++evictions_;
+    }
+}
+
+bool
+ClauseSram::access(uint32_t clause_id, size_t bytes)
+{
+    auto it = lines_.find(clause_id);
+    if (it != lines_.end()) {
+        ++hits_;
+        lru_.erase(it->second.it);
+        lru_.push_front(clause_id);
+        it->second.it = lru_.begin();
+        return true;
+    }
+    ++misses_;
+    evictFor(bytes);
+    if (bytes <= capacityBytes_) {
+        lru_.push_front(clause_id);
+        lines_[clause_id] = {bytes, lru_.begin()};
+        usedBytes_ += bytes;
+    }
+    return false;
+}
+
+void
+ClauseSram::install(uint32_t clause_id, size_t bytes)
+{
+    if (lines_.count(clause_id))
+        return;
+    evictFor(bytes);
+    if (bytes <= capacityBytes_) {
+        lru_.push_front(clause_id);
+        lines_[clause_id] = {bytes, lru_.begin()};
+        usedBytes_ += bytes;
+    }
+}
+
+bool
+ClauseSram::resident(uint32_t clause_id) const
+{
+    return lines_.count(clause_id) != 0;
+}
+
+WatchListUnit::WatchListUnit(uint32_t num_literals)
+    : lists_(num_literals)
+{
+}
+
+void
+WatchListUnit::watch(uint32_t literal, uint32_t clause_id)
+{
+    // Head insertion mirrors the linked-list layout: new clause becomes
+    // the literal's head pointer target.
+    auto &l = lists_.at(literal);
+    l.insert(l.begin(), clause_id);
+}
+
+void
+WatchListUnit::unwatch(uint32_t literal, uint32_t clause_id)
+{
+    auto &l = lists_.at(literal);
+    auto it = std::find(l.begin(), l.end(), clause_id);
+    reasonAssert(it != l.end(), "unwatch of clause not on list");
+    pointerChases_ += static_cast<uint64_t>(it - l.begin()) + 1;
+    l.erase(it);
+}
+
+const std::vector<uint32_t> &
+WatchListUnit::list(uint32_t literal) const
+{
+    return lists_.at(literal);
+}
+
+size_t
+WatchListUnit::listLength(uint32_t literal) const
+{
+    return lists_.at(literal).size();
+}
+
+void
+WatchListUnit::recordTraversal(uint32_t literal)
+{
+    ++headLookups_;
+    pointerChases_ += lists_.at(literal).size();
+}
+
+BcpFifo::BcpFifo(uint32_t depth) : depth_(depth)
+{
+    reasonAssert(depth > 0, "FIFO needs depth");
+}
+
+bool
+BcpFifo::push(uint32_t literal_code)
+{
+    if (q_.size() >= depth_) {
+        ++overflowStalls_;
+        return false;
+    }
+    q_.push_back(literal_code);
+    ++pushes_;
+    maxOccupancy_ = std::max(maxOccupancy_, q_.size());
+    return true;
+}
+
+uint32_t
+BcpFifo::pop()
+{
+    reasonAssert(!q_.empty(), "pop from empty FIFO");
+    uint32_t v = q_.front();
+    q_.pop_front();
+    ++pops_;
+    return v;
+}
+
+size_t
+BcpFifo::flush()
+{
+    size_t n = q_.size();
+    q_.clear();
+    ++flushes_;
+    return n;
+}
+
+DmaEngine::DmaEngine(uint32_t latency_cycles, uint32_t max_outstanding)
+    : latency_(latency_cycles), maxOutstanding_(max_outstanding)
+{
+    reasonAssert(max_outstanding > 0, "DMA needs outstanding slots");
+}
+
+uint64_t
+DmaEngine::issue(uint64_t now, size_t bytes)
+{
+    // Retire completed requests.
+    inFlight_.erase(std::remove_if(inFlight_.begin(), inFlight_.end(),
+                                   [&](uint64_t c) { return c <= now; }),
+                    inFlight_.end());
+    uint64_t start = now;
+    if (inFlight_.size() >= maxOutstanding_) {
+        // Wait for the earliest in-flight completion.
+        uint64_t earliest = *std::min_element(inFlight_.begin(),
+                                              inFlight_.end());
+        start = std::max(start, earliest);
+    }
+    uint64_t done = start + latency_;
+    inFlight_.push_back(done);
+    ++requests_;
+    bytesFetched_ += bytes;
+    return done;
+}
+
+void
+DmaEngine::cancelAll()
+{
+    cancels_ += inFlight_.size();
+    inFlight_.clear();
+}
+
+} // namespace arch
+} // namespace reason

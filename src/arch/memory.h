@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Memory-subsystem component models of the REASON accelerator
+ * (Fig. 6(c)-(e)): banked SRAM with clause residency, the linked-list
+ * watch-list layout, the hardware BCP FIFO, and the prefetcher/DMA
+ * engine.  Each component both enforces functional behavior and counts
+ * the events the energy model consumes.
+ */
+
+#ifndef REASON_ARCH_MEMORY_H
+#define REASON_ARCH_MEMORY_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace reason {
+namespace arch {
+
+/**
+ * Banked local SRAM with clause residency tracking (LRU replacement).
+ * Capacity is expressed in bytes; lines are whole clauses (the WL unit
+ * fetches clause-granular).  A miss triggers a DMA fetch modeled by the
+ * caller.
+ */
+class ClauseSram
+{
+  public:
+    ClauseSram(size_t capacity_bytes, uint32_t num_banks);
+
+    /**
+     * Access a clause of `bytes` size.
+     * @return true on hit; on miss the clause is installed (evicting LRU
+     * lines as needed) and false is returned.
+     */
+    bool access(uint32_t clause_id, size_t bytes);
+
+    /** Pre-install without counting an access (initial DMA fill). */
+    void install(uint32_t clause_id, size_t bytes);
+
+    /** Whether a clause is currently resident. */
+    bool resident(uint32_t clause_id) const;
+
+    size_t capacityBytes() const { return capacityBytes_; }
+    size_t usedBytes() const { return usedBytes_; }
+    uint32_t numBanks() const { return numBanks_; }
+
+    /** Bank a clause maps to (for conflict accounting). */
+    uint32_t bankOf(uint32_t clause_id) const
+    {
+        return clause_id % numBanks_;
+    }
+
+    uint64_t hits() const { return hits_; }
+    uint64_t misses() const { return misses_; }
+    uint64_t evictions() const { return evictions_; }
+
+  private:
+    void evictFor(size_t bytes);
+
+    size_t capacityBytes_;
+    uint32_t numBanks_;
+    size_t usedBytes_ = 0;
+    // LRU list front = most recent.
+    std::list<uint32_t> lru_;
+    struct Entry
+    {
+        size_t bytes;
+        std::list<uint32_t>::iterator it;
+    };
+    std::unordered_map<uint32_t, Entry> lines_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
+};
+
+/**
+ * Linked-list watch-list directory (Fig. 6(e)): a head-pointer table
+ * indexed by literal id plus per-clause next-watch pointers.  Traversal
+ * cost is the visited-clause count, which the symbolic engine converts
+ * into cycles.
+ */
+class WatchListUnit
+{
+  public:
+    explicit WatchListUnit(uint32_t num_literals);
+
+    /** Insert a clause at the head of a literal's list (O(1)). */
+    void watch(uint32_t literal, uint32_t clause_id);
+
+    /** Remove a clause from a literal's list (list walk). */
+    void unwatch(uint32_t literal, uint32_t clause_id);
+
+    /** Clauses currently watching a literal, in list order. */
+    const std::vector<uint32_t> &list(uint32_t literal) const;
+
+    /** Number of clauses on a literal's list. */
+    size_t listLength(uint32_t literal) const;
+
+    uint64_t headLookups() const { return headLookups_; }
+    uint64_t pointerChases() const { return pointerChases_; }
+
+    /** Count one traversal of a literal's list. */
+    void recordTraversal(uint32_t literal);
+
+  private:
+    std::vector<std::vector<uint32_t>> lists_;
+    uint64_t headLookups_ = 0;
+    uint64_t pointerChases_ = 0;
+};
+
+/**
+ * Hardware BCP FIFO (Fig. 6(e)): serializes implications discovered in
+ * parallel by the leaf nodes.  Fixed depth; pushes beyond capacity are
+ * counted as overflow stalls (the producer retries next cycle).
+ */
+class BcpFifo
+{
+  public:
+    explicit BcpFifo(uint32_t depth);
+
+    /** @return false when full (overflow stall recorded). */
+    bool push(uint32_t literal_code);
+
+    /** Pop the oldest entry; requires !empty(). */
+    uint32_t pop();
+
+    /** Drop all entries (conflict flush), returning the count dropped. */
+    size_t flush();
+
+    bool empty() const { return q_.empty(); }
+    bool full() const { return q_.size() >= depth_; }
+    size_t size() const { return q_.size(); }
+    uint32_t depth() const { return depth_; }
+
+    uint64_t pushes() const { return pushes_; }
+    uint64_t pops() const { return pops_; }
+    uint64_t overflowStalls() const { return overflowStalls_; }
+    uint64_t flushes() const { return flushes_; }
+    size_t maxOccupancy() const { return maxOccupancy_; }
+
+  private:
+    uint32_t depth_;
+    std::deque<uint32_t> q_;
+    uint64_t pushes_ = 0;
+    uint64_t pops_ = 0;
+    uint64_t overflowStalls_ = 0;
+    uint64_t flushes_ = 0;
+    size_t maxOccupancy_ = 0;
+};
+
+/**
+ * Prefetcher/DMA engine: fixed-latency fetches with a bounded number of
+ * outstanding requests.  Completion times are queried by the caller's
+ * cycle loop; requests beyond the outstanding limit queue up.
+ */
+class DmaEngine
+{
+  public:
+    DmaEngine(uint32_t latency_cycles, uint32_t max_outstanding = 4);
+
+    /**
+     * Issue a fetch at `now`; @return completion cycle (includes queueing
+     * behind outstanding requests).
+     */
+    uint64_t issue(uint64_t now, size_t bytes);
+
+    /** Cancel all in-flight requests (conflict priority control). */
+    void cancelAll();
+
+    uint64_t requests() const { return requests_; }
+    uint64_t bytesFetched() const { return bytesFetched_; }
+    uint64_t cancels() const { return cancels_; }
+
+  private:
+    uint32_t latency_;
+    uint32_t maxOutstanding_;
+    std::vector<uint64_t> inFlight_; // completion cycles
+    uint64_t requests_ = 0;
+    uint64_t bytesFetched_ = 0;
+    uint64_t cancels_ = 0;
+};
+
+} // namespace arch
+} // namespace reason
+
+#endif // REASON_ARCH_MEMORY_H

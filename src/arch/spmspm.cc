@@ -1,0 +1,161 @@
+#include "arch/spmspm.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace reason {
+namespace arch {
+
+void
+CsrMatrix::validate() const
+{
+    reasonAssert(rowPtr.size() == size_t(rows) + 1,
+                 "rowPtr must have rows+1 entries");
+    reasonAssert(rowPtr.front() == 0, "rowPtr must start at 0");
+    reasonAssert(rowPtr.back() == colIdx.size(),
+                 "rowPtr must end at nnz");
+    reasonAssert(colIdx.size() == values.size(),
+                 "colIdx/values size mismatch");
+    for (uint32_t r = 0; r < rows; ++r) {
+        reasonAssert(rowPtr[r] <= rowPtr[r + 1],
+                     "rowPtr must be non-decreasing");
+        for (uint32_t k = rowPtr[r]; k < rowPtr[r + 1]; ++k)
+            reasonAssert(colIdx[k] < cols, "column index out of range");
+    }
+}
+
+std::vector<double>
+CsrMatrix::denseRow(uint32_t r) const
+{
+    std::vector<double> out(cols, 0.0);
+    for (uint32_t k = rowPtr.at(r); k < rowPtr.at(r + 1); ++k)
+        out[colIdx[k]] += values[k];
+    return out;
+}
+
+CsrMatrix
+randomSparse(Rng &rng, uint32_t rows, uint32_t cols, double density)
+{
+    reasonAssert(density > 0.0 && density <= 1.0,
+                 "density must be in (0,1]");
+    CsrMatrix m;
+    m.rows = rows;
+    m.cols = cols;
+    m.rowPtr.push_back(0);
+    for (uint32_t r = 0; r < rows; ++r) {
+        for (uint32_t c = 0; c < cols; ++c) {
+            if (rng.bernoulli(density)) {
+                m.colIdx.push_back(c);
+                m.values.push_back(rng.uniformReal(-1.5, 1.5));
+            }
+        }
+        m.rowPtr.push_back(static_cast<uint32_t>(m.colIdx.size()));
+    }
+    m.validate();
+    return m;
+}
+
+std::vector<double>
+spmv(const CsrMatrix &a, const std::vector<double> &x)
+{
+    reasonAssert(x.size() >= a.cols, "vector too short");
+    std::vector<double> y(a.rows, 0.0);
+    for (uint32_t r = 0; r < a.rows; ++r)
+        for (uint32_t k = a.rowPtr[r]; k < a.rowPtr[r + 1]; ++k)
+            y[r] += a.values[k] * x[a.colIdx[k]];
+    return y;
+}
+
+CsrMatrix
+spmspm(const CsrMatrix &a, const CsrMatrix &b)
+{
+    reasonAssert(a.cols == b.rows, "dimension mismatch");
+    CsrMatrix c;
+    c.rows = a.rows;
+    c.cols = b.cols;
+    c.rowPtr.push_back(0);
+    for (uint32_t r = 0; r < a.rows; ++r) {
+        // Row-merge: accumulate contributions of each A(r,k) * B(k,:).
+        std::map<uint32_t, double> acc;
+        for (uint32_t ka = a.rowPtr[r]; ka < a.rowPtr[r + 1]; ++ka) {
+            uint32_t k = a.colIdx[ka];
+            double av = a.values[ka];
+            for (uint32_t kb = b.rowPtr[k]; kb < b.rowPtr[k + 1]; ++kb)
+                acc[b.colIdx[kb]] += av * b.values[kb];
+        }
+        for (const auto &kv : acc) {
+            if (kv.second == 0.0)
+                continue;
+            c.colIdx.push_back(kv.first);
+            c.values.push_back(kv.second);
+        }
+        c.rowPtr.push_back(static_cast<uint32_t>(c.colIdx.size()));
+    }
+    c.validate();
+    return c;
+}
+
+core::Dag
+buildSpmvDag(const CsrMatrix &a, std::vector<core::NodeId> *row_outputs,
+             const std::vector<double> *combine)
+{
+    a.validate();
+    core::Dag dag;
+    std::vector<core::NodeId> x(a.cols);
+    for (uint32_t c = 0; c < a.cols; ++c)
+        x[c] = dag.addInput(c);
+
+    std::vector<core::NodeId> rows(a.rows, core::kInvalidNode);
+    for (uint32_t r = 0; r < a.rows; ++r) {
+        if (a.rowPtr[r] == a.rowPtr[r + 1])
+            continue;
+        std::vector<core::NodeId> terms;
+        std::vector<double> weights;
+        for (uint32_t k = a.rowPtr[r]; k < a.rowPtr[r + 1]; ++k) {
+            terms.push_back(x[a.colIdx[k]]);
+            weights.push_back(a.values[k]);
+        }
+        rows[r] = dag.addOp(core::DagOp::Sum, std::move(terms),
+                            std::move(weights));
+    }
+
+    std::vector<core::NodeId> finals;
+    std::vector<double> final_w;
+    for (uint32_t r = 0; r < a.rows; ++r) {
+        if (rows[r] == core::kInvalidNode)
+            continue;
+        finals.push_back(rows[r]);
+        final_w.push_back(combine ? (*combine)[r] : 1.0);
+    }
+    core::NodeId root =
+        finals.empty()
+            ? dag.addConst(0.0)
+            : dag.addOp(core::DagOp::Sum, std::move(finals),
+                        std::move(final_w));
+    dag.markRoot(root);
+    dag.validate();
+    if (row_outputs)
+        *row_outputs = std::move(rows);
+    return dag;
+}
+
+core::Dag
+buildSpmspmColumnDag(const CsrMatrix &a,
+                     const std::vector<double> &combine)
+{
+    reasonAssert(combine.size() >= a.rows,
+                 "combine weights must cover all rows");
+    return buildSpmvDag(a, nullptr, &combine);
+}
+
+uint64_t
+spmvMacs(const CsrMatrix &a)
+{
+    return a.nnz();
+}
+
+} // namespace arch
+} // namespace reason

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * SpMSpM mode (Sec. V-B): sparse-matrix kernels mapped onto the tree
+ * fabric.  Leaf nodes act as multipliers over matched nonzeros and the
+ * internal nodes as a reduction tree — the MAERI/DPU-style execution
+ * pattern that lets small neural or neural-symbolic layers run on
+ * REASON without leaving the accelerator.
+ *
+ * The mapping reuses the unified DAG path: a sparse matrix-vector (or
+ * matrix-matrix) product is expressed as weighted-Sum DAG nodes, so the
+ * existing compiler (block decomposition, leaf-affine weights, bank
+ * mapping) and the cycle simulator execute it unchanged.
+ */
+
+#ifndef REASON_ARCH_SPMSPM_H
+#define REASON_ARCH_SPMSPM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/dag.h"
+
+namespace reason {
+
+class Rng;
+
+namespace arch {
+
+/** Compressed sparse row matrix. */
+struct CsrMatrix
+{
+    uint32_t rows = 0;
+    uint32_t cols = 0;
+    std::vector<uint32_t> rowPtr; ///< size rows+1
+    std::vector<uint32_t> colIdx; ///< size nnz
+    std::vector<double> values;   ///< size nnz
+
+    size_t nnz() const { return values.size(); }
+    double density() const
+    {
+        return rows && cols
+                   ? double(nnz()) / (double(rows) * double(cols))
+                   : 0.0;
+    }
+
+    /** Structural validation; panic()s on malformed CSR. */
+    void validate() const;
+
+    /** Dense row extraction (testing convenience). */
+    std::vector<double> denseRow(uint32_t r) const;
+};
+
+/** Random sparse matrix with the given fill probability. */
+CsrMatrix randomSparse(Rng &rng, uint32_t rows, uint32_t cols,
+                       double density);
+
+/** Reference y = A * x. */
+std::vector<double> spmv(const CsrMatrix &a, const std::vector<double> &x);
+
+/** Reference C = A * B (CSR x CSR -> CSR, classic row-merge). */
+CsrMatrix spmspm(const CsrMatrix &a, const CsrMatrix &b);
+
+/**
+ * SpMV as a unified DAG: input slot j carries x[j]; each nonempty row
+ * becomes a weighted Sum over its nonzero columns.
+ *
+ * @param row_outputs receives, for each matrix row, the DAG node id of
+ *        its dot product (kInvalidNode for empty rows).
+ * @param combine optional per-row weights; when given, the DAG root is
+ *        sum_r combine[r] * y[r] so a single root value checks the
+ *        whole product (used by the equivalence tests); otherwise the
+ *        root is the plain sum of the row outputs.
+ */
+core::Dag buildSpmvDag(const CsrMatrix &a,
+                       std::vector<core::NodeId> *row_outputs = nullptr,
+                       const std::vector<double> *combine = nullptr);
+
+/**
+ * One output column of C = A * B as a DAG: input slot r carries column
+ * j of B gathered as a dense vector (b_col[r] = B[r][j]); the DAG
+ * computes combine-weighted A * b_col exactly like buildSpmvDag.
+ */
+core::Dag buildSpmspmColumnDag(const CsrMatrix &a,
+                               const std::vector<double> &combine);
+
+/** Work estimate in multiply-accumulate operations. */
+uint64_t spmvMacs(const CsrMatrix &a);
+
+} // namespace arch
+} // namespace reason
+
+#endif // REASON_ARCH_SPMSPM_H

@@ -1,0 +1,80 @@
+#include "arch/topology.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/numeric.h"
+
+namespace reason {
+namespace arch {
+
+const char *
+topologyName(Topology t)
+{
+    switch (t) {
+      case Topology::Tree: return "Tree";
+      case Topology::Mesh: return "Mesh";
+      case Topology::AllToOne: return "All-to-One";
+    }
+    return "?";
+}
+
+uint64_t
+broadcastToRootCycles(Topology t, uint64_t num_leaves)
+{
+    reasonAssert(num_leaves >= 1, "need at least one leaf");
+    switch (t) {
+      case Topology::Tree:
+        return std::max<uint64_t>(1, ceilLog2(num_leaves));
+      case Topology::Mesh: {
+        uint64_t side = static_cast<uint64_t>(
+            std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+        return std::max<uint64_t>(1, 2 * (side - 1));
+      }
+      case Topology::AllToOne:
+        return num_leaves;
+    }
+    return 0;
+}
+
+LatencyBreakdown
+latencyBreakdown(Topology t, uint64_t num_leaves)
+{
+    LatencyBreakdown b;
+    // Topology-independent terms (normalized units): one SRAM access and
+    // one PE op per operation; peripheries include decode/control.
+    b.memory = 1.0;
+    b.pe = 0.8;
+    // Buffer insertion for hold fixing grows with electrical fan-out:
+    // trees drive 2 loads per node, meshes 4, buses N.
+    double fanout = 2.0;
+    if (t == Topology::Mesh)
+        fanout = 4.0;
+    else if (t == Topology::AllToOne)
+        fanout = static_cast<double>(num_leaves);
+    b.peripheries = 0.2 + 0.08 * std::log2(std::max(2.0, fanout));
+    // Inter-node traversal, scaled so one tree hop is 0.25 units.
+    b.interNode =
+        0.25 * static_cast<double>(broadcastToRootCycles(t, num_leaves));
+    return b;
+}
+
+uint64_t
+linkCount(Topology t, uint64_t num_leaves)
+{
+    switch (t) {
+      case Topology::Tree:
+        return num_leaves > 1 ? 2 * num_leaves - 2 : 0;
+      case Topology::Mesh: {
+        uint64_t side = static_cast<uint64_t>(
+            std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+        return 2 * side * (side - 1);
+      }
+      case Topology::AllToOne:
+        return num_leaves;
+    }
+    return 0;
+}
+
+} // namespace arch
+} // namespace reason

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Inter-node interconnect topology models for the scalability analysis of
+ * Fig. 8: tree, 2-D mesh, and all-to-one (bus) structures connecting N
+ * leaf nodes to the root controller.
+ *
+ * Cycle counts are derived from hop distances; the latency breakdown adds
+ * wire/buffer terms that grow with electrical fan-out, reproducing why
+ * bus-based broadcast fails to scale post-layout.
+ */
+
+#ifndef REASON_ARCH_TOPOLOGY_H
+#define REASON_ARCH_TOPOLOGY_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reason {
+namespace arch {
+
+/** Interconnect families compared in Fig. 8. */
+enum class Topology : uint8_t { Tree, Mesh, AllToOne };
+
+const char *topologyName(Topology t);
+
+/**
+ * Cycles for one broadcast from the root to all N leaf nodes (equal to
+ * the leaf-to-root reduction depth):
+ *   tree  : ceil(log2 N) pipelined hop stages,
+ *   mesh  : 2*(sqrt(N)-1) hops across a square mesh,
+ *   bus   : N serialized drive slots (fan-out limited repeater chain).
+ */
+uint64_t broadcastToRootCycles(Topology t, uint64_t num_leaves);
+
+/** Component terms of the normalized latency breakdown (Fig. 8(a)). */
+struct LatencyBreakdown
+{
+    double memory = 0.0;
+    double pe = 0.0;
+    double peripheries = 0.0;
+    double interNode = 0.0;
+    double total() const { return memory + pe + peripheries + interNode; }
+};
+
+/**
+ * Normalized per-operation latency for a fabric with `num_leaves` leaf
+ * nodes under each topology.  Memory and PE terms are
+ * topology-independent; peripheries grow with buffer insertion for high
+ * fan-out; the inter-node term follows broadcastToRootCycles.
+ */
+LatencyBreakdown latencyBreakdown(Topology t, uint64_t num_leaves);
+
+/** Wire/area proxy: total link count of the topology. */
+uint64_t linkCount(Topology t, uint64_t num_leaves);
+
+} // namespace arch
+} // namespace reason
+
+#endif // REASON_ARCH_TOPOLOGY_H

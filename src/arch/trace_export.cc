@@ -1,0 +1,159 @@
+#include "arch/trace_export.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace reason {
+namespace arch {
+
+namespace {
+
+/** Stable unit ordering matching Fig. 9's row layout. */
+const char *const kUnitOrder[] = {"broadcast", "reduce",   "fifo",
+                                  "wl",        "dma",      "control",
+                                  "conflict"};
+
+int
+unitRank(const std::string &unit)
+{
+    for (size_t i = 0; i < std::size(kUnitOrder); ++i)
+        if (unit == kUnitOrder[i])
+            return int(i);
+    return int(std::size(kUnitOrder)); // unknown units sort last
+}
+
+/** JSON string escaping (quotes, backslashes, control chars). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::string
+renderTimeline(const std::vector<TraceEvent> &trace, uint64_t max_cycles)
+{
+    if (trace.empty())
+        return "(empty trace)\n";
+
+    uint64_t t0 = trace.front().cycle;
+    uint64_t t1 = trace.front().cycle;
+    for (const TraceEvent &e : trace) {
+        t0 = std::min(t0, e.cycle);
+        t1 = std::max(t1, e.cycle);
+    }
+    uint64_t span = std::min(t1 - t0 + 1, max_cycles);
+
+    // Rows: unit -> cycle -> event index marker (a..z, then '*').
+    std::map<int, std::string> unit_of_rank;
+    std::map<std::string, std::string> rows;
+    for (const TraceEvent &e : trace) {
+        unit_of_rank.emplace(unitRank(e.unit), e.unit);
+        rows.emplace(e.unit, std::string(span, '.'));
+    }
+
+    std::ostringstream legend;
+    char marker = 'a';
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const TraceEvent &e = trace[i];
+        uint64_t col = e.cycle - t0;
+        if (col >= span)
+            continue; // clipped
+        char m = marker <= 'z' ? marker : '*';
+        std::string &row = rows[e.unit];
+        row[col] = row[col] == '.' ? m : '*'; // '*' = multiple events
+        legend << "  " << (marker <= 'z' ? std::string(1, m) : "*")
+               << "  T" << e.cycle << " [" << e.unit << "] " << e.detail
+               << "\n";
+        if (marker <= 'z')
+            ++marker;
+    }
+
+    std::ostringstream os;
+    os << "cycle     " << "T" << t0 << " .. T" << (t0 + span - 1);
+    if (t1 - t0 + 1 > span)
+        os << " (clipped of T" << t1 << ")";
+    os << "\n";
+    size_t width = 0;
+    for (const auto &[rank, unit] : unit_of_rank)
+        width = std::max(width, unit.size());
+    for (const auto &[rank, unit] : unit_of_rank) {
+        os << unit << std::string(width - unit.size() + 2, ' ') << "|"
+           << rows[unit] << "|\n";
+    }
+    os << "\nevents:\n" << legend.str();
+    return os.str();
+}
+
+std::string
+toChromeTrace(const std::vector<TraceEvent> &trace)
+{
+    std::ostringstream os;
+    os << "[";
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const TraceEvent &e = trace[i];
+        if (i)
+            os << ",";
+        os << "\n  {\"name\": \"" << jsonEscape(e.detail)
+           << "\", \"cat\": \"" << jsonEscape(e.unit)
+           << "\", \"ph\": \"i\", \"s\": \"t\", \"ts\": " << e.cycle
+           << ", \"pid\": 1, \"tid\": " << (unitRank(e.unit) + 1) << "}";
+    }
+    // Thread-name metadata so tracks are labeled by unit.
+    std::map<int, std::string> seen;
+    for (const TraceEvent &e : trace)
+        seen.emplace(unitRank(e.unit), e.unit);
+    for (const auto &[rank, unit] : seen) {
+        os << ","; // `seen` is nonempty only when `trace` was
+        os << "\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, "
+           << "\"tid\": " << (rank + 1) << ", \"args\": {\"name\": \""
+           << jsonEscape(unit) << "\"}}";
+    }
+    os << "\n]\n";
+    return os.str();
+}
+
+std::vector<TraceEvent>
+mergeTraces(const std::vector<std::vector<TraceEvent>> &traces)
+{
+    std::vector<TraceEvent> merged;
+    for (const auto &t : traces)
+        merged.insert(merged.end(), t.begin(), t.end());
+    std::stable_sort(merged.begin(), merged.end(),
+                     [](const TraceEvent &a, const TraceEvent &b) {
+                         return a.cycle < b.cycle;
+                     });
+    return merged;
+}
+
+} // namespace arch
+} // namespace reason

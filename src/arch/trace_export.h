@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Pipeline-trace rendering and export (Fig. 9): turn the symbolic
+ * engine's cycle-stamped TraceEvents into a human-readable timeline
+ * like the paper's case-study figure, or into Chrome trace-event JSON
+ * (chrome://tracing, Perfetto) for interactive inspection.
+ */
+
+#ifndef REASON_ARCH_TRACE_EXPORT_H
+#define REASON_ARCH_TRACE_EXPORT_H
+
+#include <string>
+#include <vector>
+
+#include "arch/symbolic.h"
+
+namespace reason {
+namespace arch {
+
+/**
+ * Render a trace as a per-unit timeline table: one row per hardware
+ * unit (broadcast, reduce, fifo, wl, dma, control, conflict), one
+ * column per cycle with activity markers, followed by the event legend.
+ * Suitable for small traces (the Fig. 9 case study); long traces are
+ * clipped to `max_cycles`.
+ */
+std::string renderTimeline(const std::vector<TraceEvent> &trace,
+                           uint64_t max_cycles = 64);
+
+/**
+ * Chrome trace-event JSON (the "trace event format" array form).  Each
+ * TraceEvent becomes an instant event on its unit's track; cycles map
+ * to microseconds so Perfetto's zoom labels read as cycle counts.
+ */
+std::string toChromeTrace(const std::vector<TraceEvent> &trace);
+
+/**
+ * Merge multiple episode traces (e.g. successive decide() calls) into
+ * one stream, preserving cycle order.
+ */
+std::vector<TraceEvent> mergeTraces(
+    const std::vector<std::vector<TraceEvent>> &traces);
+
+} // namespace arch
+} // namespace reason
+
+#endif // REASON_ARCH_TRACE_EXPORT_H

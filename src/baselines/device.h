@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Analytic timing/energy models of the baseline devices the paper
+ * compares against (Table III): Xeon CPU, RTX A6000, Orin NX, V100,
+ * A100, a TPU-like systolic array, and a DPU-like fixed-function tree
+ * array.
+ *
+ * Substitution note (DESIGN.md): the paper measures real hardware; we
+ * model each device by its public peak compute / memory bandwidth and an
+ * effective-throughput term for irregular symbolic/probabilistic kernels
+ * calibrated from the paper's profiling tables (Tab. II utilizations,
+ * Fig. 3 roofline).  Regular (neural) kernels run near the
+ * compute/bandwidth roofline; irregular kernels run at device-specific
+ * effective rates that reflect warp divergence, cache behavior, and
+ * pointer chasing.
+ */
+
+#ifndef REASON_BASELINES_DEVICE_H
+#define REASON_BASELINES_DEVICE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reason {
+namespace baselines {
+
+/** Kernel families profiled in Table II. */
+enum class KernelClass : uint8_t
+{
+    DenseMatMul, ///< neural GEMM / attention
+    Softmax,     ///< neural normalization
+    SparseMatVec,
+    SymbolicBcp, ///< SAT/FOL constraint propagation
+    ProbCircuit, ///< PC marginal aggregation
+    HmmSequential ///< Bayesian state update
+};
+
+const char *kernelClassName(KernelClass cls);
+
+/** Work descriptor for one kernel invocation. */
+struct KernelWork
+{
+    KernelClass cls = KernelClass::DenseMatMul;
+    double flops = 0.0;        ///< arithmetic work
+    double bytes = 0.0;        ///< memory traffic
+    uint64_t dagNodes = 0;     ///< PC/HMM DAG node evaluations
+    uint64_t propagations = 0; ///< SAT BCP implications
+    uint64_t literalVisits = 0;
+};
+
+/** One modeled device. */
+struct DeviceModel
+{
+    std::string name;
+    double techNm = 8;
+    double peakTflops = 1.0;   ///< dense fp16/fp32 as appropriate
+    double dramGBps = 100.0;
+    double tdpWatts = 100.0;
+    double idleWatts = 10.0;
+    /** Fraction of peak achieved on dense kernels. */
+    double denseEfficiency = 0.5;
+    /** Effective DAG-node evaluations per second (irregular). */
+    double dagNodesPerSec = 1e9;
+    /** Effective BCP propagations per second. */
+    double propsPerSec = 1e7;
+    /** Fraction of TDP drawn while running irregular kernels. */
+    double irregularPowerFraction = 0.6;
+    /**
+     * Measured board power during irregular phases, watts; when > 0 it
+     * overrides the idle+fraction model (matches the paper's measured
+     * per-device energy accounting).
+     */
+    double irregularActiveWatts = 0.0;
+
+    /** Seconds to execute the kernel on this device. */
+    double seconds(const KernelWork &work) const;
+
+    /** Joules for the kernel (power model x time). */
+    double joules(const KernelWork &work) const;
+};
+
+/** Table III device presets. */
+DeviceModel xeonCpu();
+DeviceModel rtxA6000();
+DeviceModel orinNx();
+DeviceModel v100();
+DeviceModel a100();
+DeviceModel tpuLike();
+DeviceModel dpuLike();
+
+/** All baseline devices in Table III order. */
+std::vector<DeviceModel> allBaselines();
+
+/**
+ * Table II-style micro-metrics of a kernel class on a GPU, derived from
+ * an analytic divergence/locality model.
+ */
+struct GpuKernelMetrics
+{
+    double computeThroughputPct;
+    double aluUtilizationPct;
+    double l1ThroughputPct;
+    double l2ThroughputPct;
+    double l1HitRatePct;
+    double l2HitRatePct;
+    double dramBwUtilizationPct;
+    double warpExecEfficiencyPct;
+    double branchEfficiencyPct;
+    double eligibleWarpsPct;
+};
+
+/** Micro-metrics of a kernel class (A6000-class GPU). */
+GpuKernelMetrics gpuKernelMetrics(KernelClass cls);
+
+/** Operational intensity (FLOP/byte) typical of the kernel class. */
+double operationalIntensity(KernelClass cls);
+
+} // namespace baselines
+} // namespace reason
+
+#endif // REASON_BASELINES_DEVICE_H

@@ -1,0 +1,562 @@
+#include "compiler/compile.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "core/regularize.h"
+#include "util/logging.h"
+
+namespace reason {
+namespace compiler {
+
+namespace {
+
+using core::Dag;
+using core::DagNode;
+using core::DagOp;
+using core::NodeId;
+
+/** A DAG value expressed as an affine transform of a base value. */
+struct Resolved
+{
+    enum class Kind : uint8_t { Op, Input, Constant };
+    Kind kind = Kind::Constant;
+    NodeId node = core::kInvalidNode; ///< Op: the materialized op node
+    uint32_t tag = 0;                 ///< Input: external slot
+    double a = 1.0;
+    double b = 0.0;
+};
+
+/** Index of tree node (level, pos) in root-first level order. */
+size_t
+nodeIndex(uint32_t level, uint32_t pos)
+{
+    return (size_t(1) << level) - 1 + pos;
+}
+
+TreeOp
+opToTreeOp(DagOp op)
+{
+    switch (op) {
+      case DagOp::Sum: return TreeOp::Add;
+      case DagOp::Product: return TreeOp::Mul;
+      case DagOp::Max: return TreeOp::Max;
+      case DagOp::Min: return TreeOp::Min;
+      default: panic("op %s has no tree opcode", core::dagOpName(op));
+    }
+}
+
+class Compiler
+{
+  public:
+    Compiler(const Dag &dag, const TargetConfig &target)
+        : dag_(dag), target_(target)
+    {
+    }
+
+    Program run();
+
+  private:
+    Resolved resolve(NodeId id);
+    void countEffectiveConsumers();
+    /** Create (or find) the block materializing op node `op_node`. */
+    uint32_t blockFor(NodeId op_node);
+    void growBlock(uint32_t blk, NodeId id, uint32_t level, uint32_t pos,
+                   double scale);
+    void placeOperand(uint32_t blk, const Resolved &spec, double scale,
+                      uint32_t level, uint32_t pos);
+    static bool canDistributeScale(DagOp op, double scale);
+    void assignPesAndBanks();
+    void scheduleBlocks();
+
+    const Dag &dag_;
+    TargetConfig target_;
+    Program prog_;
+
+    std::vector<Resolved> resolved_;
+    std::vector<bool> resolvedReady_;
+    std::vector<uint32_t> effConsumers_;
+    std::map<NodeId, uint32_t> blockOfNode_;
+    /** Operand slots waiting for a producer block's output location. */
+    struct PendingOperand
+    {
+        uint32_t block;
+        uint32_t slot;
+        NodeId producer;
+    };
+    std::vector<PendingOperand> pending_;
+    std::vector<uint32_t> blockPe_;
+    uint64_t replicated_ = 0;
+};
+
+Resolved
+Compiler::resolve(NodeId id)
+{
+    if (resolvedReady_[id])
+        return resolved_[id];
+    const DagNode &n = dag_.node(id);
+    Resolved r;
+    switch (n.op) {
+      case DagOp::Input:
+        r.kind = Resolved::Kind::Input;
+        r.tag = n.tag;
+        break;
+      case DagOp::Const:
+        r.kind = Resolved::Kind::Constant;
+        r.a = 0.0;
+        r.b = n.value;
+        break;
+      case DagOp::Not: {
+        Resolved c = resolve(n.inputs[0]);
+        r = c;
+        r.a = -c.a;
+        r.b = 1.0 - c.b;
+        break;
+      }
+      default: {
+        if (n.inputs.size() == 1) {
+            // Unary Sum carries a scale; unary Product/Max/Min are
+            // identities.
+            Resolved c = resolve(n.inputs[0]);
+            double w = (n.op == DagOp::Sum && !n.weights.empty())
+                           ? n.weights[0]
+                           : 1.0;
+            r = c;
+            r.a = w * c.a;
+            r.b = w * c.b;
+        } else {
+            r.kind = Resolved::Kind::Op;
+            r.node = id;
+        }
+        break;
+      }
+    }
+    resolved_[id] = r;
+    resolvedReady_[id] = true;
+    return r;
+}
+
+void
+Compiler::countEffectiveConsumers()
+{
+    effConsumers_.assign(dag_.numNodes(), 0);
+    for (NodeId id = 0; id < dag_.numNodes(); ++id) {
+        const DagNode &n = dag_.node(id);
+        if (n.op == DagOp::Input || n.op == DagOp::Const ||
+            n.op == DagOp::Not || n.inputs.size() == 1)
+            continue; // unary chains are folded; count at their consumers
+        for (NodeId c : n.inputs) {
+            Resolved spec = resolve(c);
+            if (spec.kind == Resolved::Kind::Op)
+                ++effConsumers_[spec.node];
+        }
+    }
+    Resolved root = resolve(dag_.root());
+    if (root.kind == Resolved::Kind::Op)
+        ++effConsumers_[root.node];
+}
+
+bool
+Compiler::canDistributeScale(DagOp op, double scale)
+{
+    if (scale == 1.0)
+        return true;
+    switch (op) {
+      case DagOp::Product:
+      case DagOp::Sum:
+        return true; // push into one factor / distribute over weights
+      case DagOp::Max:
+      case DagOp::Min:
+        return scale > 0.0; // positive scaling preserves selection
+      default:
+        return false;
+    }
+}
+
+void
+Compiler::placeOperand(uint32_t blk, const Resolved &spec, double scale,
+                       uint32_t level, uint32_t pos)
+{
+    // For Kind::Op, ensure the producer block exists first (this may
+    // reallocate the block vector, so take references afterwards).
+    if (spec.kind == Resolved::Kind::Op)
+        blockFor(spec.node);
+
+    const uint32_t depth = target_.treeDepth;
+    reasonAssert(level <= depth, "operand level out of range");
+    uint32_t slot = pos << (depth - level);
+    Block &block = prog_.blocks[blk];
+    for (uint32_t j = level; j < depth; ++j)
+        block.nodeOps[nodeIndex(j, pos << (j - level))] = TreeOp::PassLeft;
+
+    OperandRef &op = block.operands[slot];
+    op.valid = true;
+    switch (spec.kind) {
+      case Resolved::Kind::Constant:
+        op.fetch = false;
+        op.a = 0.0;
+        op.b = scale * spec.b;
+        break;
+      case Resolved::Kind::Input:
+        op.fetch = true;
+        op.a = scale * spec.a;
+        op.b = scale * spec.b;
+        // bank/reg patched from the input placement table later; encode
+        // the tag temporarily in `bank` with a sentinel reg.
+        op.bank = static_cast<uint16_t>(spec.tag);
+        op.reg = 0xffff;
+        break;
+      case Resolved::Kind::Op:
+        op.fetch = true;
+        op.a = scale * spec.a;
+        op.b = scale * spec.b;
+        pending_.push_back({blk, slot, spec.node});
+        break;
+    }
+}
+
+void
+Compiler::growBlock(uint32_t blk, NodeId id, uint32_t level, uint32_t pos,
+                    double scale)
+{
+    const DagNode &n = dag_.node(id);
+    reasonAssert(n.inputs.size() == 2, "blocks grow over binary ops");
+    prog_.blocks[blk].nodeOps[nodeIndex(level, pos)] = opToTreeOp(n.op);
+    ++prog_.blocks[blk].fusedNodes;
+
+    // How the pending scale propagates to each child.
+    double child_scale[2] = {1.0, 1.0};
+    if (n.op == DagOp::Sum) {
+        double w0 = n.weights.empty() ? 1.0 : n.weights[0];
+        double w1 = n.weights.empty() ? 1.0 : n.weights[1];
+        child_scale[0] = scale * w0;
+        child_scale[1] = scale * w1;
+    } else if (n.op == DagOp::Product) {
+        child_scale[0] = scale; // absorb into one factor
+        child_scale[1] = 1.0;
+    } else {
+        // Max/Min: scale > 0 guaranteed by the fusion guard.
+        child_scale[0] = scale;
+        child_scale[1] = scale;
+    }
+
+    for (uint32_t k = 0; k < 2; ++k) {
+        NodeId child = n.inputs[k];
+        Resolved spec = resolve(child);
+        uint32_t cpos = 2 * pos + k;
+        double s = child_scale[k];
+        bool fusable =
+            spec.kind == Resolved::Kind::Op && spec.b == 0.0 &&
+            effConsumers_[spec.node] == 1 &&
+            level + 1 < target_.treeDepth &&
+            canDistributeScale(dag_.node(spec.node).op, s * spec.a);
+        if (fusable) {
+            if (spec.a != 1.0 || s != 1.0)
+                ++replicated_; // modifier work replicated into the block
+            growBlock(blk, spec.node, level + 1, cpos, s * spec.a);
+        } else {
+            placeOperand(blk, spec, s, level + 1, cpos);
+        }
+    }
+}
+
+uint32_t
+Compiler::blockFor(NodeId op_node)
+{
+    auto it = blockOfNode_.find(op_node);
+    if (it != blockOfNode_.end())
+        return it->second;
+
+    uint32_t idx = static_cast<uint32_t>(prog_.blocks.size());
+    blockOfNode_[op_node] = idx;
+    prog_.blocks.emplace_back();
+    prog_.blocks[idx].operands.assign(prog_.leavesPerPe(), OperandRef{});
+    prog_.blocks[idx].nodeOps.assign(prog_.nodesPerPe(), TreeOp::Nop);
+    prog_.blocks[idx].dagRoot = op_node;
+    growBlock(idx, op_node, 0, 0, 1.0);
+    return idx;
+}
+
+void
+Compiler::assignPesAndBanks()
+{
+    size_t nblocks = prog_.blocks.size();
+    // Dependency lists from pending operand records.
+    for (const auto &p : pending_)
+        prog_.blocks[p.block].depends.push_back(
+            blockOfNode_.at(p.producer));
+
+    // Dependence level of each block (producers shallower).  Block
+    // indices are not topologically ordered in general, so relax to a
+    // fixpoint (the dependence graph is acyclic).
+    std::vector<uint32_t> level(nblocks, 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (size_t i = 0; i < nblocks; ++i) {
+            for (uint32_t d : prog_.blocks[i].depends) {
+                if (level[i] < level[d] + 1) {
+                    level[i] = level[d] + 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // PE assignment: round-robin within increasing level, spreading
+    // parallel work across PEs.
+    std::vector<uint32_t> order(nblocks);
+    for (size_t i = 0; i < nblocks; ++i)
+        order[i] = static_cast<uint32_t>(i);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](uint32_t x, uint32_t y) {
+                         return level[x] < level[y];
+                     });
+    blockPe_.assign(nblocks, 0);
+    uint32_t rr = 0;
+    for (uint32_t b : order)
+        blockPe_[b] = rr++ % target_.numPes;
+
+    // Output banks: PE p owns bank p (one-bank-one-PE).  Register index
+    // is sequential per bank (hardware auto write-address); overflow is
+    // counted as spills.
+    std::vector<uint32_t> bank_fill(target_.numBanks, 0);
+    for (uint32_t b = 0; b < nblocks; ++b) {
+        Block &block = prog_.blocks[b];
+        block.dest.bank = static_cast<uint16_t>(blockPe_[b]);
+        block.dest.reg =
+            static_cast<uint16_t>(bank_fill[block.dest.bank]++);
+    }
+
+    // External inputs: spread over banks not owned by PEs when possible.
+    uint32_t input_bank_lo =
+        target_.numBanks > target_.numPes ? target_.numPes : 0;
+    uint32_t input_banks =
+        std::max(1u, target_.numBanks - input_bank_lo);
+    std::vector<InputPlacement> placement(dag_.numInputs());
+    std::vector<bool> have(dag_.numInputs(), false);
+    uint32_t next_bank = 0;
+    for (NodeId id = 0; id < dag_.numNodes(); ++id) {
+        const DagNode &n = dag_.node(id);
+        if (n.op != DagOp::Input || have[n.tag])
+            continue;
+        uint16_t bank = static_cast<uint16_t>(
+            input_bank_lo + (next_bank++ % input_banks));
+        placement[n.tag] = {n.tag, bank,
+                            static_cast<uint16_t>(bank_fill[bank]++)};
+        have[n.tag] = true;
+    }
+    for (uint32_t t = 0; t < dag_.numInputs(); ++t)
+        if (have[t])
+            prog_.inputs.push_back(placement[t]);
+
+    // Patch operand references.
+    for (auto &block : prog_.blocks) {
+        for (auto &op : block.operands) {
+            if (op.valid && op.fetch && op.reg == 0xffff) {
+                const InputPlacement &p = placement[op.bank];
+                op.bank = p.bank;
+                op.reg = p.reg;
+            }
+        }
+    }
+    for (const auto &p : pending_) {
+        const Block &producer =
+            prog_.blocks[blockOfNode_.at(p.producer)];
+        OperandRef &op = prog_.blocks[p.block].operands[p.slot];
+        op.bank = producer.dest.bank;
+        op.reg = producer.dest.reg;
+    }
+
+    // Spill accounting: values beyond R per bank.
+    uint64_t spills = 0;
+    for (uint32_t bk = 0; bk < target_.numBanks; ++bk)
+        if (bank_fill[bk] > target_.regsPerBank)
+            spills += bank_fill[bk] - target_.regsPerBank;
+    prog_.stats.spillValues = spills;
+}
+
+void
+Compiler::scheduleBlocks()
+{
+    const size_t nblocks = prog_.blocks.size();
+    std::vector<std::vector<uint32_t>> consumers(nblocks);
+    for (uint32_t b = 0; b < nblocks; ++b)
+        for (uint32_t d : prog_.blocks[b].depends)
+            consumers[d].push_back(b);
+
+    // Priority: height = longest path toward any final consumer.
+    // Relax to a fixpoint (indices are not topologically sorted).
+    std::vector<uint32_t> height(nblocks, 0);
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (uint32_t b = 0; b < nblocks; ++b) {
+            for (uint32_t d : prog_.blocks[b].depends) {
+                if (height[d] < height[b] + 1) {
+                    height[d] = height[b] + 1;
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    const uint32_t latency = target_.pipelineLatency();
+    std::vector<uint64_t> ready_cycle(nblocks, 0);
+    std::vector<uint32_t> unmet(nblocks, 0);
+    for (uint32_t b = 0; b < nblocks; ++b)
+        unmet[b] = static_cast<uint32_t>(prog_.blocks[b].depends.size());
+
+    std::vector<uint32_t> pool;
+    for (uint32_t b = 0; b < nblocks; ++b)
+        if (unmet[b] == 0)
+            pool.push_back(b);
+
+    uint64_t cycle = 0;
+    size_t issued = 0;
+    std::vector<IssueSlot> schedule;
+    while (issued < nblocks) {
+        std::vector<uint32_t> avail;
+        for (uint32_t b : pool)
+            if (ready_cycle[b] <= cycle)
+                avail.push_back(b);
+        std::sort(avail.begin(), avail.end(),
+                  [&](uint32_t x, uint32_t y) {
+                      if (height[x] != height[y])
+                          return height[x] > height[y];
+                      return x < y;
+                  });
+        std::vector<bool> pe_busy(target_.numPes, false);
+        size_t issued_now = 0;
+        for (uint32_t b : avail) {
+            uint32_t pe = blockPe_[b];
+            if (pe_busy[pe])
+                continue;
+            pe_busy[pe] = true;
+            schedule.push_back({cycle, pe, b});
+            pool.erase(std::find(pool.begin(), pool.end(), b));
+            ++issued;
+            ++issued_now;
+            for (uint32_t c : consumers[b]) {
+                ready_cycle[c] =
+                    std::max(ready_cycle[c], cycle + latency);
+                if (--unmet[c] == 0)
+                    pool.push_back(c);
+            }
+        }
+        ++cycle;
+        if (issued_now == 0 && pool.empty() && issued < nblocks)
+            panic("scheduler deadlock: cyclic block dependencies");
+    }
+    prog_.schedule = std::move(schedule);
+    prog_.stats.scheduleLength =
+        prog_.schedule.empty() ? 0
+                               : prog_.schedule.back().cycle + latency;
+}
+
+Program
+Compiler::run()
+{
+    prog_.treeDepth = target_.treeDepth;
+    prog_.numPes = target_.numPes;
+    prog_.numBanks = target_.numBanks;
+    prog_.regsPerBank = target_.regsPerBank;
+
+    resolved_.resize(dag_.numNodes());
+    resolvedReady_.assign(dag_.numNodes(), false);
+    countEffectiveConsumers();
+
+    Resolved root = resolve(dag_.root());
+    uint32_t root_block;
+    if (root.kind == Resolved::Kind::Op && root.a == 1.0 &&
+        root.b == 0.0) {
+        root_block = blockFor(root.node);
+    } else {
+        // Degenerate or affine-wrapped root: single-operand block that
+        // passes the (transformed) value to the tree root.
+        root_block = static_cast<uint32_t>(prog_.blocks.size());
+        prog_.blocks.emplace_back();
+        prog_.blocks[root_block].operands.assign(prog_.leavesPerPe(),
+                                                 OperandRef{});
+        prog_.blocks[root_block].nodeOps.assign(prog_.nodesPerPe(),
+                                                TreeOp::Nop);
+        prog_.blocks[root_block].dagRoot = dag_.root();
+        placeOperand(root_block, root, 1.0, 0, 0);
+    }
+    prog_.rootBlock = root_block;
+
+    assignPesAndBanks();
+    scheduleBlocks();
+
+    prog_.stats.numBlocks = prog_.blocks.size();
+    size_t fused = 0;
+    size_t active_leaves = 0;
+    for (const auto &b : prog_.blocks) {
+        fused += b.fusedNodes;
+        for (const auto &op : b.operands)
+            if (op.valid)
+                ++active_leaves;
+    }
+    prog_.stats.fusedNodes = fused;
+    prog_.stats.replicatedNodes = replicated_;
+    prog_.stats.avgLeafUtilization =
+        prog_.blocks.empty()
+            ? 0.0
+            : static_cast<double>(active_leaves) /
+                  (static_cast<double>(prog_.blocks.size()) *
+                   static_cast<double>(prog_.leavesPerPe()));
+    return std::move(prog_);
+}
+
+} // namespace
+
+Program
+compile(const core::Dag &dag, const TargetConfig &target)
+{
+    reasonAssert(target.treeDepth >= 1 && target.treeDepth <= 8,
+                 "tree depth must be in [1,8]");
+    if (!dag.isTwoInput()) {
+        core::Dag copy = dag;
+        core::regularizeTwoInput(copy);
+        Compiler c(copy, target);
+        return c.run();
+    }
+    Compiler c(dag, target);
+    return c.run();
+}
+
+const char *
+treeOpName(TreeOp op)
+{
+    switch (op) {
+      case TreeOp::Add: return "add";
+      case TreeOp::Mul: return "mul";
+      case TreeOp::Max: return "max";
+      case TreeOp::Min: return "min";
+      case TreeOp::PassLeft: return "pass";
+      case TreeOp::Nop: return "nop";
+    }
+    return "?";
+}
+
+std::string
+Program::toString() const
+{
+    std::ostringstream os;
+    os << "program: " << blocks.size() << " blocks, " << schedule.size()
+       << " issue slots, depth " << treeDepth << ", PEs " << numPes
+       << "\n";
+    for (size_t i = 0; i < blocks.size() && i < 64; ++i) {
+        const Block &b = blocks[i];
+        os << "  block " << i << " (dag %" << b.dagRoot << ") -> bank "
+           << b.dest.bank << " reg " << b.dest.reg << " [";
+        for (size_t k = 0; k < b.nodeOps.size(); ++k)
+            os << (k ? " " : "") << treeOpName(b.nodeOps[k]);
+        os << "]\n";
+    }
+    return os.str();
+}
+
+} // namespace compiler
+} // namespace reason

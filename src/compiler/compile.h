@@ -1,0 +1,52 @@
+/**
+ * @file
+ * The four-step DAG-to-hardware compiler (REASON Sec. V-C):
+ *
+ *   Step 1  Block decomposition — greedy extraction of depth-bounded
+ *           subtrees ("blocks") that issue as single tree instructions.
+ *           Unary modifiers (Not, weight scaling) are folded into leaf
+ *           affine transforms; weighted edges are pushed into fused
+ *           subtrees where algebra allows (selective replication of
+ *           cheap unary work).
+ *   Step 2  PE and register-bank mapping — blocks are assigned to PEs by
+ *           dependence level; each PE owns one output bank
+ *           (one-bank-one-PE), external inputs are spread across the
+ *           remaining banks conflict-aware.
+ *   Step 3  Tree mapping — fused op subtrees are placed onto the physical
+ *           node grid with pass-through routing for short paths.
+ *   Step 4  Reordering — pipeline-aware list scheduling that spaces
+ *           dependent blocks by the tree pipeline latency and interleaves
+ *           independent work.
+ */
+
+#ifndef REASON_COMPILER_COMPILE_H
+#define REASON_COMPILER_COMPILE_H
+
+#include "compiler/program.h"
+#include "core/dag.h"
+
+namespace reason {
+namespace compiler {
+
+/** Hardware template parameters the compiler targets. */
+struct TargetConfig
+{
+    uint32_t treeDepth = 3;   ///< D: levels of compute nodes
+    uint32_t numPes = 12;
+    uint32_t numBanks = 64;   ///< B
+    uint32_t regsPerBank = 32; ///< R
+    /** Cycles from issue to result visibility (route + D levels + WB). */
+    uint32_t pipelineLatency() const { return treeDepth + 3; }
+};
+
+/**
+ * Compile a DAG to a REASON program.  The DAG is regularized to
+ * two-input form internally if needed.  The emitted program's simulated
+ * execution yields exactly Dag::evaluateRoot for any input vector.
+ */
+Program compile(const core::Dag &dag, const TargetConfig &target = {});
+
+} // namespace compiler
+} // namespace reason
+
+#endif // REASON_COMPILER_COMPILE_H

@@ -1,0 +1,436 @@
+#include "compiler/encoding.h"
+
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/numeric.h"
+
+namespace reason {
+namespace compiler {
+
+namespace {
+
+/** Append-only little-endian bit stream. */
+class BitWriter
+{
+  public:
+    void
+    put(uint64_t value, uint32_t bits)
+    {
+        reasonAssert(bits <= 64, "field too wide");
+        reasonAssert(bits == 64 || value < (uint64_t(1) << bits),
+                     "value exceeds field width");
+        for (uint32_t i = 0; i < bits; ++i) {
+            if (bitPos_ == 0)
+                bytes_.push_back(0);
+            if ((value >> i) & 1)
+                bytes_.back() |= uint8_t(1u << bitPos_);
+            bitPos_ = (bitPos_ + 1) & 7;
+            ++totalBits_;
+        }
+    }
+
+    void
+    putDouble(double v)
+    {
+        uint64_t bits;
+        static_assert(sizeof(bits) == sizeof(v));
+        std::memcpy(&bits, &v, sizeof(bits));
+        put(bits, 64);
+    }
+
+    std::vector<uint8_t> take() { return std::move(bytes_); }
+    uint64_t totalBits() const { return totalBits_; }
+
+  private:
+    std::vector<uint8_t> bytes_;
+    uint32_t bitPos_ = 0;
+    uint64_t totalBits_ = 0;
+};
+
+/** Reader over a BitWriter stream. */
+class BitReader
+{
+  public:
+    explicit BitReader(const std::vector<uint8_t> &bytes) : bytes_(bytes) {}
+
+    uint64_t
+    get(uint32_t bits)
+    {
+        uint64_t v = 0;
+        for (uint32_t i = 0; i < bits; ++i) {
+            size_t byte = pos_ >> 3;
+            reasonAssert(byte < bytes_.size(),
+                         "bitstream truncated during decode");
+            if ((bytes_[byte] >> (pos_ & 7)) & 1)
+                v |= uint64_t(1) << i;
+            ++pos_;
+        }
+        return v;
+    }
+
+    double
+    getDouble()
+    {
+        uint64_t bits = get(64);
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+  private:
+    const std::vector<uint8_t> &bytes_;
+    uint64_t pos_ = 0;
+};
+
+/** Field widths derived from the program's machine dimensions. */
+struct Layout
+{
+    uint32_t bankBits;
+    uint32_t regBits;
+    uint32_t opBits = 3;    // 6 TreeOps
+    uint32_t blockBits;     // block-id references (depends lists)
+    uint32_t peBits;
+    uint32_t constBits;     // constant-pool index
+
+    static Layout
+    of(const Program &p, size_t const_pool)
+    {
+        Layout l;
+        l.bankBits = std::max(1u, ceilLog2(std::max<uint64_t>(
+                                      p.numBanks, 2)));
+        l.regBits = std::max(1u, ceilLog2(std::max<uint64_t>(
+                                     p.regsPerBank, 2)));
+        l.blockBits = std::max(1u, ceilLog2(std::max<uint64_t>(
+                                       p.blocks.size(), 2)));
+        l.peBits = std::max(1u, ceilLog2(std::max<uint64_t>(p.numPes, 2)));
+        l.constBits = std::max(1u, ceilLog2(std::max<uint64_t>(
+                                       const_pool, 2)));
+        return l;
+    }
+};
+
+/** Deduplicated (a, b) affine constant pairs. */
+struct ConstPool
+{
+    std::vector<std::pair<double, double>> entries;
+    std::map<std::pair<double, double>, uint32_t> index;
+
+    uint32_t
+    intern(double a, double b)
+    {
+        auto key = std::make_pair(a, b);
+        auto it = index.find(key);
+        if (it != index.end())
+            return it->second;
+        uint32_t id = uint32_t(entries.size());
+        entries.push_back(key);
+        index.emplace(key, id);
+        return id;
+    }
+
+    static ConstPool
+    of(const Program &p)
+    {
+        ConstPool pool;
+        for (const Block &blk : p.blocks)
+            for (const OperandRef &op : blk.operands)
+                if (op.valid)
+                    pool.intern(op.a, op.b);
+        return pool;
+    }
+};
+
+/** Verify the fill-counter destination policy (required for Auto). */
+bool
+followsFillCounter(const Program &p)
+{
+    std::vector<uint32_t> fill(p.numBanks, 0);
+    for (const Block &blk : p.blocks) {
+        if (blk.dest.bank >= p.numBanks)
+            return false;
+        if (blk.dest.reg != fill[blk.dest.bank]++)
+            return false;
+    }
+    return true;
+}
+
+constexpr uint32_t kMagic = 0x52534e56; // "RSNV"
+
+} // namespace
+
+EncodedProgram
+encodeProgram(const Program &program, AddressMode mode)
+{
+    if (mode == AddressMode::Auto && !followsFillCounter(program))
+        fatal("encodeProgram: auto address mode requires fill-counter "
+              "destination registers (program was edited or hand-built); "
+              "use AddressMode::Explicit");
+
+    ConstPool pool = ConstPool::of(program);
+    Layout layout = Layout::of(program, pool.entries.size());
+
+    BitWriter w;
+    // Header.
+    w.put(kMagic, 32);
+    w.put(mode == AddressMode::Auto ? 1 : 0, 1);
+    w.put(program.treeDepth, 4);
+    w.put(program.numPes, 10);
+    w.put(program.numBanks, 12);
+    w.put(program.regsPerBank, 12);
+    w.put(program.inputs.size(), 24);
+    w.put(program.blocks.size(), 24);
+    w.put(pool.entries.size(), 24);
+    w.put(program.rootBlock, 24);
+    w.put(program.schedule.size(), 32);
+
+    // Constant pool.
+    for (auto [a, b] : pool.entries) {
+        w.putDouble(a);
+        w.putDouble(b);
+    }
+
+    // Input placements.
+    for (const InputPlacement &in : program.inputs) {
+        w.put(in.inputTag, 24);
+        w.put(in.bank, layout.bankBits);
+        w.put(in.reg, layout.regBits);
+    }
+
+    // Blocks.
+    for (const Block &blk : program.blocks) {
+        reasonAssert(blk.operands.size() == program.leavesPerPe() &&
+                     blk.nodeOps.size() == program.nodesPerPe(),
+                     "block shape must match machine dimensions");
+        for (const OperandRef &op : blk.operands) {
+            w.put(op.valid ? 1 : 0, 1);
+            if (!op.valid)
+                continue;
+            w.put(op.fetch ? 1 : 0, 1);
+            if (op.fetch) {
+                w.put(op.bank, layout.bankBits);
+                w.put(op.reg, layout.regBits);
+            }
+            w.put(pool.intern(op.a, op.b), layout.constBits);
+        }
+        for (TreeOp op : blk.nodeOps)
+            w.put(uint64_t(op), layout.opBits);
+        w.put(blk.dest.bank, layout.bankBits);
+        if (mode == AddressMode::Explicit)
+            w.put(blk.dest.reg, layout.regBits);
+        // Compiler metadata (kept so decode is a true inverse).
+        w.put(blk.dagRoot, 32);
+        w.put(blk.fusedNodes, 16);
+        w.put(blk.depends.size(), 16);
+        for (uint32_t d : blk.depends)
+            w.put(d, layout.blockBits);
+    }
+
+    // Schedule (delta-encoded cycles).
+    uint64_t prev_cycle = 0;
+    for (const IssueSlot &slot : program.schedule) {
+        reasonAssert(slot.cycle >= prev_cycle,
+                     "schedule must be cycle-sorted");
+        w.put(slot.cycle - prev_cycle, 24);
+        prev_cycle = slot.cycle;
+        w.put(slot.pe, layout.peBits);
+        w.put(slot.block, layout.blockBits);
+    }
+
+    EncodedProgram out;
+    out.mode = mode;
+    out.bits = w.totalBits();
+    out.bytes = w.take();
+    return out;
+}
+
+Program
+decodeProgram(const EncodedProgram &encoded)
+{
+    BitReader r(encoded.bytes);
+    if (r.get(32) != kMagic)
+        fatal("decodeProgram: bad magic (not an encoded REASON program)");
+    bool auto_mode = r.get(1) != 0;
+
+    Program p;
+    p.treeDepth = uint32_t(r.get(4));
+    p.numPes = uint32_t(r.get(10));
+    p.numBanks = uint32_t(r.get(12));
+    p.regsPerBank = uint32_t(r.get(12));
+    size_t num_inputs = r.get(24);
+    size_t num_blocks = r.get(24);
+    size_t num_consts = r.get(24);
+    p.rootBlock = uint32_t(r.get(24));
+    size_t num_slots = r.get(32);
+
+    std::vector<std::pair<double, double>> pool(num_consts);
+    for (auto &[a, b] : pool) {
+        a = r.getDouble();
+        b = r.getDouble();
+    }
+
+    // Layout depends only on decoded dimensions.
+    Program dims = p;
+    dims.blocks.resize(num_blocks);
+    Layout layout = Layout::of(dims, num_consts);
+
+    p.inputs.resize(num_inputs);
+    for (InputPlacement &in : p.inputs) {
+        in.inputTag = uint32_t(r.get(24));
+        in.bank = uint16_t(r.get(layout.bankBits));
+        in.reg = uint16_t(r.get(layout.regBits));
+    }
+
+    std::vector<uint32_t> fill(p.numBanks, 0);
+    p.blocks.resize(num_blocks);
+    for (Block &blk : p.blocks) {
+        blk.operands.resize(p.leavesPerPe());
+        for (OperandRef &op : blk.operands) {
+            op.valid = r.get(1) != 0;
+            if (!op.valid)
+                continue;
+            op.fetch = r.get(1) != 0;
+            if (op.fetch) {
+                op.bank = uint16_t(r.get(layout.bankBits));
+                op.reg = uint16_t(r.get(layout.regBits));
+            }
+            size_t idx = r.get(layout.constBits);
+            reasonAssert(idx < pool.size(), "constant index out of range");
+            op.a = pool[idx].first;
+            op.b = pool[idx].second;
+        }
+        blk.nodeOps.resize(p.nodesPerPe());
+        for (TreeOp &op : blk.nodeOps)
+            op = TreeOp(r.get(layout.opBits));
+        blk.dest.bank = uint16_t(r.get(layout.bankBits));
+        blk.dest.reg = auto_mode ? uint16_t(fill[blk.dest.bank]++)
+                                 : uint16_t(r.get(layout.regBits));
+        blk.dagRoot = core::NodeId(r.get(32));
+        blk.fusedNodes = uint32_t(r.get(16));
+        blk.depends.resize(r.get(16));
+        for (uint32_t &d : blk.depends)
+            d = uint32_t(r.get(layout.blockBits));
+    }
+
+    uint64_t cycle = 0;
+    p.schedule.resize(num_slots);
+    for (IssueSlot &slot : p.schedule) {
+        cycle += r.get(24);
+        slot.cycle = cycle;
+        slot.pe = uint32_t(r.get(layout.peBits));
+        slot.block = uint32_t(r.get(layout.blockBits));
+    }
+    return p;
+}
+
+EncodingSizeReport
+sizeReport(const Program &program, AddressMode mode)
+{
+    ConstPool pool = ConstPool::of(program);
+    Layout layout = Layout::of(program, pool.entries.size());
+
+    EncodingSizeReport rep;
+    rep.constPoolEntries = pool.entries.size();
+    rep.headerBits = 32 + 1 + 4 + 10 + 12 + 12 + 24 + 24 + 24 + 24 + 32;
+    rep.constPoolBits = uint64_t(pool.entries.size()) * 128;
+    rep.inputPlacementBits =
+        uint64_t(program.inputs.size()) *
+        (24 + layout.bankBits + layout.regBits);
+    for (const Block &blk : program.blocks) {
+        for (const OperandRef &op : blk.operands) {
+            rep.operandBits += 1;
+            if (!op.valid)
+                continue;
+            rep.operandBits += 1 + layout.constBits;
+            if (op.fetch)
+                rep.operandBits += layout.bankBits + layout.regBits;
+        }
+        rep.nodeOpBits += uint64_t(blk.nodeOps.size()) * layout.opBits;
+        rep.destBits += layout.bankBits;
+        if (mode == AddressMode::Explicit)
+            rep.destBits += layout.regBits;
+        rep.metadataBits +=
+            32 + 16 + 16 + uint64_t(blk.depends.size()) * layout.blockBits;
+    }
+    rep.scheduleBits = uint64_t(program.schedule.size()) *
+                       (24 + layout.peBits + layout.blockBits);
+    rep.totalBits = rep.headerBits + rep.constPoolBits +
+                    rep.inputPlacementBits + rep.operandBits +
+                    rep.nodeOpBits + rep.destBits + rep.scheduleBits +
+                    rep.metadataBits;
+    return rep;
+}
+
+double
+autoAddressSaving(const Program &program)
+{
+    auto expl = sizeReport(program, AddressMode::Explicit);
+    auto autom = sizeReport(program, AddressMode::Auto);
+    // The saving claim concerns the per-instruction stream, not the
+    // shared header/pool: compare block-local bits.
+    uint64_t expl_instr = expl.operandBits + expl.nodeOpBits +
+                          expl.destBits;
+    uint64_t auto_instr = autom.operandBits + autom.nodeOpBits +
+                          autom.destBits;
+    if (expl_instr == 0)
+        return 0.0;
+    return double(expl_instr - auto_instr) / double(expl_instr);
+}
+
+std::string
+disassemble(const Program &program)
+{
+    std::ostringstream os;
+    os << "; reason vliw program: depth " << program.treeDepth << ", "
+       << program.numPes << " PEs, " << program.numBanks << " banks x "
+       << program.regsPerBank << " regs\n";
+    for (const InputPlacement &in : program.inputs)
+        os << "; input %" << in.inputTag << " -> b" << in.bank << ".r"
+           << in.reg << "\n";
+
+    // Index issue slots by block for the listing.
+    std::vector<const IssueSlot *> slot_of(program.blocks.size(), nullptr);
+    for (const IssueSlot &slot : program.schedule)
+        if (slot.block < slot_of.size())
+            slot_of[slot.block] = &slot;
+
+    for (size_t b = 0; b < program.blocks.size(); ++b) {
+        const Block &blk = program.blocks[b];
+        os << "B" << b << ":";
+        if (slot_of[b])
+            os << "  @cycle " << slot_of[b]->cycle << " pe "
+               << slot_of[b]->pe;
+        os << "\n    leaves:";
+        for (const OperandRef &op : blk.operands) {
+            if (!op.valid) {
+                os << " -";
+                continue;
+            }
+            os << " ";
+            bool affine = op.a != 1.0 || op.b != 0.0;
+            if (op.fetch) {
+                if (affine)
+                    os << op.a << "*";
+                os << "b" << op.bank << ".r" << op.reg;
+                if (op.b != 0.0)
+                    os << "+" << op.b;
+            } else {
+                os << "imm " << op.b;
+            }
+        }
+        os << "\n    tree:  ";
+        for (size_t k = 0; k < blk.nodeOps.size(); ++k)
+            os << (k ? " " : "") << treeOpName(blk.nodeOps[k]);
+        os << "\n    dest:   b" << blk.dest.bank << ".r" << blk.dest.reg
+           << "  (dag %" << blk.dagRoot << ", " << blk.fusedNodes
+           << " fused)\n";
+    }
+    os << "; root = B" << program.rootBlock << ", schedule length "
+       << program.schedule.size() << "\n";
+    return os.str();
+}
+
+} // namespace compiler
+} // namespace reason

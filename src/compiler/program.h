@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Compiled-program representation for the REASON accelerator: the VLIW
+ * schedule the four-step compiler (Sec. V-C) emits and the cycle-accurate
+ * simulator (src/arch) executes.
+ *
+ * A regularized DAG is decomposed into *blocks*: subtrees of depth at
+ * most the hardware tree depth D.  One block issues to one tree PE as a
+ * single VLIW instruction; leaf slots read operands from register banks
+ * through the Benes crossbar (or immediates), interior tree nodes apply
+ * per-node opcodes, and the root writes the block result to the PE's
+ * output bank at an address generated automatically in hardware.
+ */
+
+#ifndef REASON_COMPILER_PROGRAM_H
+#define REASON_COMPILER_PROGRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/dag.h"
+
+namespace reason {
+namespace compiler {
+
+/** Per-tree-node operation, applied to the two child values. */
+enum class TreeOp : uint8_t
+{
+    Add,      ///< left + right
+    Mul,      ///< left * right
+    Max,      ///< max(left, right)
+    Min,      ///< min(left, right)
+    PassLeft, ///< forward left child (node unused on the right)
+    Nop       ///< node unused entirely
+};
+
+const char *treeOpName(TreeOp op);
+
+/**
+ * Where a leaf operand comes from and how the leaf transforms it.
+ *
+ * The leaf datapath (Fig. 6(d): multiplier + adder) computes a*x + b on
+ * the fetched value x.  This single form covers plain operands (a=1,b=0),
+ * weighted-sum edges (a=w), logical negation 1-x (a=-1,b=1), and pure
+ * constants (fetch=false, value=b).
+ */
+struct OperandRef
+{
+    /** True when the slot is active. */
+    bool valid = false;
+    /** True when a register-bank read is performed. */
+    bool fetch = false;
+    /** Register-bank source, meaningful when fetch. */
+    uint16_t bank = 0;
+    uint16_t reg = 0;
+    /** Affine transform applied by the leaf: a*x + b. */
+    double a = 1.0;
+    double b = 0.0;
+};
+
+/** Destination of a block result. */
+struct DestRef
+{
+    uint16_t bank = 0;
+    uint16_t reg = 0;
+};
+
+/**
+ * One block = one VLIW tree instruction.
+ * nodeOps is stored level by level from the leaves upward: for a depth-D
+ * tree, level 0 has 2^(D-1) nodes combining leaf pairs, level D-1 has the
+ * root.
+ */
+struct Block
+{
+    std::vector<OperandRef> operands; ///< size = 2^D leaf slots
+    std::vector<TreeOp> nodeOps;      ///< size = 2^D - 1
+    DestRef dest;
+    /** DAG node whose value this block materializes. */
+    core::NodeId dagRoot = core::kInvalidNode;
+    /** Number of DAG op nodes fused into this block. */
+    uint32_t fusedNodes = 0;
+    /** Dependence: blocks whose results feed this block's operands. */
+    std::vector<uint32_t> depends;
+};
+
+/** A scheduled issue slot: (cycle, pe) -> block. */
+struct IssueSlot
+{
+    uint64_t cycle = 0;
+    uint32_t pe = 0;
+    uint32_t block = 0;
+};
+
+/** Where each external DAG input is pre-loaded before execution. */
+struct InputPlacement
+{
+    uint32_t inputTag = 0; ///< DAG input slot
+    uint16_t bank = 0;
+    uint16_t reg = 0;
+};
+
+/** Compiler statistics (consumed by ablation benches). */
+struct CompileStats
+{
+    size_t numBlocks = 0;
+    size_t fusedNodes = 0;
+    size_t replicatedNodes = 0;
+    size_t spillValues = 0;
+    size_t scheduleLength = 0; ///< issue cycles (before simulation)
+    double avgLeafUtilization = 0.0;
+    size_t bankConflictsAvoided = 0;
+};
+
+/**
+ * A complete compiled program: input placements, block list, and the
+ * pipeline-aware issue schedule.
+ */
+struct Program
+{
+    uint32_t treeDepth = 3;
+    uint32_t numPes = 12;
+    uint32_t numBanks = 64;
+    uint32_t regsPerBank = 32;
+
+    std::vector<InputPlacement> inputs;
+    std::vector<Block> blocks;
+    std::vector<IssueSlot> schedule;
+    /** Block whose value is the DAG root. */
+    uint32_t rootBlock = 0;
+    CompileStats stats;
+
+    size_t leavesPerPe() const { return size_t(1) << treeDepth; }
+    size_t nodesPerPe() const { return (size_t(1) << treeDepth) - 1; }
+
+    std::string toString() const;
+};
+
+} // namespace compiler
+} // namespace reason
+
+#endif // REASON_COMPILER_PROGRAM_H

@@ -1,0 +1,197 @@
+#include "core/builders.h"
+
+#include "util/logging.h"
+
+namespace reason {
+namespace core {
+
+Dag
+buildFromCnf(const logic::CnfFormula &formula)
+{
+    Dag dag;
+    std::vector<NodeId> var_node(formula.numVars(), kInvalidNode);
+    std::vector<NodeId> neg_node(formula.numVars(), kInvalidNode);
+    for (uint32_t v = 0; v < formula.numVars(); ++v)
+        var_node[v] = dag.addInput(v);
+
+    auto lit_node = [&](logic::Lit l) -> NodeId {
+        if (!l.negated())
+            return var_node[l.var()];
+        if (neg_node[l.var()] == kInvalidNode)
+            neg_node[l.var()] =
+                dag.addOp(DagOp::Not, {var_node[l.var()]});
+        return neg_node[l.var()];
+    };
+
+    std::vector<NodeId> clause_nodes;
+    clause_nodes.reserve(formula.numClauses());
+    for (const auto &clause : formula.clauses()) {
+        if (clause.empty()) {
+            clause_nodes.push_back(dag.addConst(0.0));
+            continue;
+        }
+        std::vector<NodeId> lits;
+        lits.reserve(clause.size());
+        for (const auto &l : clause)
+            lits.push_back(lit_node(l));
+        clause_nodes.push_back(
+            lits.size() == 1 ? lits[0]
+                             : dag.addOp(DagOp::Max, std::move(lits)));
+    }
+    NodeId root;
+    if (clause_nodes.empty())
+        root = dag.addConst(1.0);
+    else if (clause_nodes.size() == 1)
+        root = clause_nodes[0];
+    else
+        root = dag.addOp(DagOp::Min, std::move(clause_nodes));
+    dag.markRoot(root);
+    dag.validate();
+    return dag;
+}
+
+Dag
+buildFromCircuit(const pc::Circuit &circuit,
+                 std::vector<pc::NodeId> *leaf_order)
+{
+    Dag dag;
+    std::vector<NodeId> map(circuit.numNodes(), kInvalidNode);
+    std::vector<pc::NodeId> order;
+    for (pc::NodeId id = 0; id < circuit.numNodes(); ++id) {
+        const pc::PcNode &n = circuit.node(id);
+        switch (n.type) {
+          case pc::PcNodeType::Leaf:
+            map[id] = dag.addInput(static_cast<uint32_t>(order.size()));
+            order.push_back(id);
+            break;
+          case pc::PcNodeType::Product: {
+            std::vector<NodeId> inputs;
+            inputs.reserve(n.children.size());
+            for (pc::NodeId c : n.children)
+                inputs.push_back(map[c]);
+            map[id] = dag.addOp(DagOp::Product, std::move(inputs));
+            break;
+          }
+          case pc::PcNodeType::Sum: {
+            std::vector<NodeId> inputs;
+            inputs.reserve(n.children.size());
+            for (pc::NodeId c : n.children)
+                inputs.push_back(map[c]);
+            map[id] =
+                dag.addOp(DagOp::Sum, std::move(inputs), n.weights);
+            break;
+          }
+        }
+    }
+    dag.markRoot(map[circuit.root()]);
+    dag.validate();
+    if (leaf_order)
+        *leaf_order = std::move(order);
+    return dag;
+}
+
+std::vector<double>
+circuitLeafInputs(const pc::Circuit &circuit,
+                  const std::vector<pc::NodeId> &leaf_order,
+                  const pc::Assignment &x)
+{
+    std::vector<double> values;
+    values.reserve(leaf_order.size());
+    for (pc::NodeId id : leaf_order) {
+        const pc::PcNode &n = circuit.node(id);
+        reasonAssert(n.type == pc::PcNodeType::Leaf,
+                     "leaf_order must reference leaves");
+        uint32_t v = x[n.var];
+        values.push_back(v == pc::kMissing ? 1.0 : n.dist[v]);
+    }
+    return values;
+}
+
+Dag
+buildFromHmm(const hmm::Hmm &hmm, const hmm::Sequence &obs)
+{
+    reasonAssert(!obs.empty(), "HMM DAG needs observations");
+    const uint32_t N = hmm.numStates();
+    Dag dag;
+
+    // alpha_0[s] = pi_s * b_s(o_0) as constants.
+    std::vector<NodeId> alpha(N);
+    for (uint32_t s = 0; s < N; ++s)
+        alpha[s] = dag.addConst(hmm.initial(s) *
+                                hmm.emission(s, obs[0]));
+
+    for (size_t t = 1; t < obs.size(); ++t) {
+        std::vector<NodeId> next(N);
+        for (uint32_t j = 0; j < N; ++j) {
+            // sum_i alpha[i] * a_ij  (transition probs as edge weights)
+            std::vector<NodeId> terms;
+            std::vector<double> weights;
+            for (uint32_t i = 0; i < N; ++i) {
+                double a = hmm.transition(i, j);
+                if (a <= 0.0)
+                    continue;
+                terms.push_back(alpha[i]);
+                weights.push_back(a);
+            }
+            NodeId mix = terms.empty()
+                             ? dag.addConst(0.0)
+                             : dag.addOp(DagOp::Sum, std::move(terms),
+                                         std::move(weights));
+            NodeId emit = dag.addConst(hmm.emission(j, obs[t]));
+            next[j] = dag.addOp(DagOp::Product, {mix, emit});
+        }
+        alpha = std::move(next);
+    }
+    NodeId root = alpha.size() == 1
+                      ? alpha[0]
+                      : dag.addOp(DagOp::Sum, std::move(alpha));
+    dag.markRoot(root);
+    dag.validate();
+    return dag;
+}
+
+Dag
+buildFromHmmViterbi(const hmm::Hmm &hmm, const hmm::Sequence &obs)
+{
+    reasonAssert(!obs.empty(), "HMM DAG needs observations");
+    const uint32_t N = hmm.numStates();
+    Dag dag;
+
+    std::vector<NodeId> delta(N);
+    for (uint32_t s = 0; s < N; ++s)
+        delta[s] = dag.addConst(hmm.initial(s) *
+                                hmm.emission(s, obs[0]));
+
+    for (size_t t = 1; t < obs.size(); ++t) {
+        std::vector<NodeId> next(N);
+        for (uint32_t j = 0; j < N; ++j) {
+            std::vector<NodeId> cands;
+            for (uint32_t i = 0; i < N; ++i) {
+                double a = hmm.transition(i, j);
+                if (a <= 0.0)
+                    continue;
+                NodeId w = dag.addConst(a);
+                cands.push_back(
+                    dag.addOp(DagOp::Product, {delta[i], w}));
+            }
+            NodeId best = cands.empty()
+                              ? dag.addConst(0.0)
+                              : (cands.size() == 1
+                                     ? cands[0]
+                                     : dag.addOp(DagOp::Max,
+                                                 std::move(cands)));
+            NodeId emit = dag.addConst(hmm.emission(j, obs[t]));
+            next[j] = dag.addOp(DagOp::Product, {best, emit});
+        }
+        delta = std::move(next);
+    }
+    NodeId root = delta.size() == 1
+                      ? delta[0]
+                      : dag.addOp(DagOp::Max, std::move(delta));
+    dag.markRoot(root);
+    dag.validate();
+    return dag;
+}
+
+} // namespace core
+} // namespace reason

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Compilation of the three reasoning substrates into the unified DAG
+ * (REASON Sec. IV-A): CNF formulas, probabilistic circuits, and unrolled
+ * HMM forward passes.
+ */
+
+#ifndef REASON_CORE_BUILDERS_H
+#define REASON_CORE_BUILDERS_H
+
+#include <vector>
+
+#include "core/dag.h"
+#include "hmm/hmm.h"
+#include "logic/cnf.h"
+#include "pc/pc.h"
+
+namespace reason {
+namespace core {
+
+/**
+ * CNF -> DAG.  Input slot v carries variable v as a {0,1} value; each
+ * positive literal reads the input, each negative literal goes through a
+ * Not node; clauses become Max nodes, the formula root a Min node.
+ * evaluateRoot() is 1.0 iff the assignment satisfies the formula.
+ */
+Dag buildFromCnf(const logic::CnfFormula &formula);
+
+/**
+ * PC -> DAG.  Input slot k carries the k-th leaf's density value
+ * f_leaf(x) (computed host-side for a given assignment); sum nodes become
+ * weighted Sum, product nodes Product.  evaluateRoot() equals the
+ * circuit's (linear-space) likelihood.
+ *
+ * @param leaf_order output: leaf node id of the circuit for input slot k.
+ */
+Dag buildFromCircuit(const pc::Circuit &circuit,
+                     std::vector<pc::NodeId> *leaf_order = nullptr);
+
+/**
+ * Leaf input values for a circuit assignment, aligned with `leaf_order`
+ * from buildFromCircuit.  Missing variables contribute 1.0 (marginalized).
+ */
+std::vector<double> circuitLeafInputs(
+    const pc::Circuit &circuit, const std::vector<pc::NodeId> &leaf_order,
+    const pc::Assignment &x);
+
+/**
+ * HMM forward pass -> DAG, unrolled over an observation sequence.
+ * Transition probabilities become Sum edge weights; emissions become
+ * Const multipliers.  evaluateRoot() equals linear-space P(obs).
+ * Suitable for moderate sequence lengths (probabilities stay above
+ * double underflow).
+ */
+Dag buildFromHmm(const hmm::Hmm &hmm, const hmm::Sequence &obs);
+
+/**
+ * Max-product variant of the HMM DAG (Viterbi score): Sum nodes are
+ * replaced by Max over weighted Products.  evaluateRoot() equals the
+ * linear-space probability of the best path.
+ */
+Dag buildFromHmmViterbi(const hmm::Hmm &hmm, const hmm::Sequence &obs);
+
+} // namespace core
+} // namespace reason
+
+#endif // REASON_CORE_BUILDERS_H

@@ -1,0 +1,284 @@
+#include "core/dag.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace core {
+
+const char *
+dagOpName(DagOp op)
+{
+    switch (op) {
+      case DagOp::Input: return "input";
+      case DagOp::Const: return "const";
+      case DagOp::Sum: return "sum";
+      case DagOp::Product: return "product";
+      case DagOp::Max: return "max";
+      case DagOp::Min: return "min";
+      case DagOp::Not: return "not";
+    }
+    return "?";
+}
+
+size_t
+Dag::numEdges() const
+{
+    size_t n = 0;
+    for (const auto &node : nodes_)
+        n += node.inputs.size();
+    return n;
+}
+
+NodeId
+Dag::addInput()
+{
+    return addInput(numInputs_);
+}
+
+NodeId
+Dag::addInput(uint32_t tag)
+{
+    DagNode n;
+    n.op = DagOp::Input;
+    n.tag = tag;
+    numInputs_ = std::max(numInputs_, tag + 1);
+    nodes_.push_back(std::move(n));
+    root_ = static_cast<NodeId>(nodes_.size() - 1);
+    return root_;
+}
+
+NodeId
+Dag::addConst(double value)
+{
+    DagNode n;
+    n.op = DagOp::Const;
+    n.value = value;
+    nodes_.push_back(std::move(n));
+    root_ = static_cast<NodeId>(nodes_.size() - 1);
+    return root_;
+}
+
+NodeId
+Dag::addOp(DagOp op, std::vector<NodeId> inputs,
+           std::vector<double> weights)
+{
+    reasonAssert(op != DagOp::Input && op != DagOp::Const,
+                 "use addInput/addConst for leaves");
+    reasonAssert(!inputs.empty(), "operation needs operands");
+    for (NodeId i : inputs)
+        reasonAssert(i < nodes_.size(), "operand must already exist");
+    if (!weights.empty()) {
+        reasonAssert(op == DagOp::Sum, "only Sum edges carry weights");
+        reasonAssert(weights.size() == inputs.size(),
+                     "weights must align with inputs");
+    }
+    if (op == DagOp::Not)
+        reasonAssert(inputs.size() == 1, "Not is unary");
+    DagNode n;
+    n.op = op;
+    n.inputs = std::move(inputs);
+    n.weights = std::move(weights);
+    nodes_.push_back(std::move(n));
+    root_ = static_cast<NodeId>(nodes_.size() - 1);
+    return root_;
+}
+
+void
+Dag::markRoot(NodeId id)
+{
+    reasonAssert(id < nodes_.size(), "root must exist");
+    root_ = id;
+}
+
+std::vector<double>
+Dag::evaluate(const std::vector<double> &inputs) const
+{
+    reasonAssert(inputs.size() >= numInputs_,
+                 "not enough input values supplied");
+    std::vector<double> val(nodes_.size(), 0.0);
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const DagNode &n = nodes_[i];
+        switch (n.op) {
+          case DagOp::Input:
+            val[i] = inputs[n.tag];
+            break;
+          case DagOp::Const:
+            val[i] = n.value;
+            break;
+          case DagOp::Sum: {
+            double acc = 0.0;
+            if (n.weights.empty()) {
+                for (NodeId c : n.inputs)
+                    acc += val[c];
+            } else {
+                for (size_t k = 0; k < n.inputs.size(); ++k)
+                    acc += n.weights[k] * val[n.inputs[k]];
+            }
+            val[i] = acc;
+            break;
+          }
+          case DagOp::Product: {
+            double acc = 1.0;
+            for (NodeId c : n.inputs)
+                acc *= val[c];
+            val[i] = acc;
+            break;
+          }
+          case DagOp::Max: {
+            double acc = val[n.inputs[0]];
+            for (size_t k = 1; k < n.inputs.size(); ++k)
+                acc = std::max(acc, val[n.inputs[k]]);
+            val[i] = acc;
+            break;
+          }
+          case DagOp::Min: {
+            double acc = val[n.inputs[0]];
+            for (size_t k = 1; k < n.inputs.size(); ++k)
+                acc = std::min(acc, val[n.inputs[k]]);
+            val[i] = acc;
+            break;
+          }
+          case DagOp::Not:
+            val[i] = 1.0 - val[n.inputs[0]];
+            break;
+        }
+    }
+    return val;
+}
+
+double
+Dag::evaluateRoot(const std::vector<double> &inputs) const
+{
+    reasonAssert(root_ != kInvalidNode, "DAG has no root");
+    return evaluate(inputs)[root_];
+}
+
+void
+Dag::validate() const
+{
+    reasonAssert(root_ != kInvalidNode, "DAG has no root");
+    reasonAssert(root_ < nodes_.size(), "root out of range");
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const DagNode &n = nodes_[i];
+        for (NodeId c : n.inputs)
+            reasonAssert(c < i, "operands must precede consumers");
+        if (!n.weights.empty())
+            reasonAssert(n.weights.size() == n.inputs.size(),
+                         "weight/input mismatch");
+    }
+}
+
+DagStats
+Dag::stats() const
+{
+    DagStats s;
+    s.numNodes = nodes_.size();
+    s.numInputs = numInputs_;
+    std::vector<size_t> depth(nodes_.size(), 0);
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const DagNode &n = nodes_[i];
+        s.numEdges += n.inputs.size();
+        s.numWeights += n.weights.size();
+        s.maxFanIn = std::max(s.maxFanIn, n.inputs.size());
+        size_t d = 0;
+        for (NodeId c : n.inputs)
+            d = std::max(d, depth[c] + 1);
+        depth[i] = d;
+        s.depth = std::max(s.depth, d);
+    }
+    // Footprint model: 8B header per node, 4B per edge index,
+    // 8B per stored weight, 8B per constant.
+    size_t consts = 0;
+    for (const auto &n : nodes_)
+        if (n.op == DagOp::Const)
+            ++consts;
+    s.memoryBytes =
+        8 * s.numNodes + 4 * s.numEdges + 8 * s.numWeights + 8 * consts;
+    return s;
+}
+
+bool
+Dag::isTwoInput() const
+{
+    for (const auto &n : nodes_)
+        if (n.inputs.size() > 2)
+            return false;
+    return true;
+}
+
+std::string
+Dag::toString() const
+{
+    std::ostringstream os;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const DagNode &n = nodes_[i];
+        os << "%" << i << " = " << dagOpName(n.op);
+        if (n.op == DagOp::Input)
+            os << "[" << n.tag << "]";
+        if (n.op == DagOp::Const)
+            os << "(" << n.value << ")";
+        for (size_t k = 0; k < n.inputs.size(); ++k) {
+            os << (k ? ", " : " ");
+            if (!n.weights.empty())
+                os << n.weights[k] << "*";
+            os << "%" << n.inputs[k];
+        }
+        if (i == root_)
+            os << "   <- root";
+        os << "\n";
+    }
+    return os.str();
+}
+
+size_t
+eliminateDeadNodes(Dag &dag)
+{
+    std::vector<bool> live(dag.numNodes(), false);
+    std::vector<NodeId> stack{dag.root()};
+    live[dag.root()] = true;
+    while (!stack.empty()) {
+        NodeId id = stack.back();
+        stack.pop_back();
+        for (NodeId c : dag.node(id).inputs) {
+            if (!live[c]) {
+                live[c] = true;
+                stack.push_back(c);
+            }
+        }
+    }
+    size_t removed = 0;
+    Dag out;
+    std::vector<NodeId> remap(dag.numNodes(), kInvalidNode);
+    for (NodeId id = 0; id < dag.numNodes(); ++id) {
+        if (!live[id]) {
+            ++removed;
+            continue;
+        }
+        const DagNode &n = dag.node(id);
+        switch (n.op) {
+          case DagOp::Input:
+            remap[id] = out.addInput(n.tag);
+            break;
+          case DagOp::Const:
+            remap[id] = out.addConst(n.value);
+            break;
+          default: {
+            std::vector<NodeId> inputs;
+            inputs.reserve(n.inputs.size());
+            for (NodeId c : n.inputs)
+                inputs.push_back(remap[c]);
+            remap[id] = out.addOp(n.op, std::move(inputs), n.weights);
+            break;
+          }
+        }
+    }
+    out.markRoot(remap[dag.root()]);
+    dag = std::move(out);
+    return removed;
+}
+
+} // namespace core
+} // namespace reason

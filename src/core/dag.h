@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Unified DAG representation of symbolic and probabilistic reasoning
+ * kernels (REASON Sec. IV-A).
+ *
+ * Every kernel — SAT/FOL deduction, probabilistic-circuit aggregation,
+ * HMM message passing — is expressed as a DAG whose nodes are atomic
+ * reasoning operations and whose edges are data dependencies.  Booleans
+ * are embedded as {0,1} doubles so logical connectives become Min/Max/Not
+ * and probabilistic aggregation becomes Sum/Product; the same node set is
+ * what the compiler maps onto the reconfigurable tree PEs.
+ */
+
+#ifndef REASON_CORE_DAG_H
+#define REASON_CORE_DAG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace reason {
+namespace core {
+
+/** Node identifier within a Dag. */
+using NodeId = uint32_t;
+inline constexpr NodeId kInvalidNode = ~0u;
+
+/** Atomic reasoning operation of a DAG node. */
+enum class DagOp : uint8_t
+{
+    Input,   ///< external value, identified by `tag`
+    Const,   ///< compile-time constant, stored in `value`
+    Sum,     ///< (optionally weighted) addition — probabilistic mixture
+    Product, ///< multiplication — factorization / logical AND on {0,1}
+    Max,     ///< maximum — logical OR on {0,1}, max-product decoding
+    Min,     ///< minimum — logical AND on {0,1}
+    Not      ///< 1 - x — logical negation on {0,1}
+};
+
+/** Printable op name. */
+const char *dagOpName(DagOp op);
+
+/** One DAG node. */
+struct DagNode
+{
+    DagOp op = DagOp::Const;
+    /** Operand node ids; empty for Input/Const. */
+    std::vector<NodeId> inputs;
+    /**
+     * Sum only: per-edge weights aligned with inputs.  Empty means all
+     * weights are 1 (plain addition).
+     */
+    std::vector<double> weights;
+    /** Const only: the constant value. */
+    double value = 0.0;
+    /** Input only: external input slot index. */
+    uint32_t tag = 0;
+};
+
+/** Aggregate size metrics used by Table IV's memory accounting. */
+struct DagStats
+{
+    size_t numNodes = 0;
+    size_t numEdges = 0;
+    size_t numWeights = 0;
+    size_t numInputs = 0;
+    /** Maximum fan-in over all nodes. */
+    size_t maxFanIn = 0;
+    /** Longest input-to-root path length (levels). */
+    size_t depth = 0;
+    /** Estimated storage footprint in bytes (node + edge + weight). */
+    size_t memoryBytes = 0;
+};
+
+/**
+ * A directed acyclic graph of reasoning operations, stored in topological
+ * order (operands strictly precede their consumers).
+ */
+class Dag
+{
+  public:
+    Dag() = default;
+
+    size_t numNodes() const { return nodes_.size(); }
+    size_t numEdges() const;
+    uint32_t numInputs() const { return numInputs_; }
+    NodeId root() const { return root_; }
+
+    const DagNode &node(NodeId id) const { return nodes_.at(id); }
+    const std::vector<DagNode> &nodes() const { return nodes_; }
+
+    /** Add an external input slot; `tag` defaults to the next slot. */
+    NodeId addInput();
+    NodeId addInput(uint32_t tag);
+
+    /** Add a constant node. */
+    NodeId addConst(double value);
+
+    /** Add an operation node over existing operands. */
+    NodeId addOp(DagOp op, std::vector<NodeId> inputs,
+                 std::vector<double> weights = {});
+
+    /** Declare the root (defaults to the last added node). */
+    void markRoot(NodeId id);
+
+    /**
+     * Evaluate the whole DAG given external input values (indexed by
+     * input tag).  Returns per-node values; result at root().
+     */
+    std::vector<double> evaluate(const std::vector<double> &inputs) const;
+
+    /** Evaluate and return only the root value. */
+    double evaluateRoot(const std::vector<double> &inputs) const;
+
+    /** Structural invariants; panic()s on violation. */
+    void validate() const;
+
+    /** Size/shape statistics. */
+    DagStats stats() const;
+
+    /** True when every operation node has fan-in <= 2. */
+    bool isTwoInput() const;
+
+    /** Human-readable dump (small DAGs only). */
+    std::string toString() const;
+
+  private:
+    std::vector<DagNode> nodes_;
+    NodeId root_ = kInvalidNode;
+    uint32_t numInputs_ = 0;
+};
+
+/**
+ * Dead-node elimination: drop nodes unreachable from the root.  Input
+ * slots are preserved (tags are stable).  Returns the count removed.
+ */
+size_t eliminateDeadNodes(Dag &dag);
+
+} // namespace core
+} // namespace reason
+
+#endif // REASON_CORE_DAG_H

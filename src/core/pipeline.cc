@@ -1,0 +1,126 @@
+#include "core/pipeline.h"
+
+#include "util/logging.h"
+
+namespace reason {
+namespace core {
+
+namespace {
+
+double
+reduction(const DagStats &before, const DagStats &after)
+{
+    if (before.memoryBytes == 0)
+        return 0.0;
+    return 1.0 - static_cast<double>(after.memoryBytes) /
+                     static_cast<double>(before.memoryBytes);
+}
+
+} // namespace
+
+namespace {
+
+/**
+ * Baseline metrics for memory accounting: the unpruned DAG in the same
+ * canonical form the optimized DAG ends in, so the reported reduction
+ * isolates the pruning effect (Table IV).
+ */
+DagStats
+baselineStats(Dag unified, const PipelineConfig &config)
+{
+    if (config.regularize)
+        regularizeTwoInput(unified);
+    return unified.stats();
+}
+
+} // namespace
+
+OptimizedKernel
+optimizeCnf(const logic::CnfFormula &formula,
+            const PipelineConfig &config)
+{
+    OptimizedKernel out;
+    Dag unified = buildFromCnf(formula);
+    out.statsBefore = baselineStats(unified, config);
+
+    if (config.prune) {
+        logic::CnfPruneResult pr = logic::pruneCnf(formula);
+        out.elementsPruned = pr.literalsRemoved;
+        out.dag = buildFromCnf(pr.pruned);
+    } else {
+        out.dag = std::move(unified);
+    }
+    eliminateDeadNodes(out.dag);
+    if (config.regularize)
+        regularizeTwoInput(out.dag);
+
+    out.statsAfter = out.dag.stats();
+    out.memoryReduction = reduction(out.statsBefore, out.statsAfter);
+    return out;
+}
+
+OptimizedKernel
+optimizeCircuit(const pc::Circuit &circuit,
+                const std::vector<pc::Assignment> &data,
+                const PipelineConfig &config,
+                pc::Circuit *pruned_circuit,
+                std::vector<pc::NodeId> *leaf_order)
+{
+    OptimizedKernel out;
+    Dag unified = buildFromCircuit(circuit);
+    out.statsBefore = baselineStats(unified, config);
+
+    if (config.prune && !data.empty()) {
+        pc::PcPruneResult pr =
+            pc::pruneByFlow(circuit, data, config.pcFlowThreshold);
+        out.elementsPruned = pr.edgesRemoved;
+        out.dag = buildFromCircuit(pr.pruned, leaf_order);
+        if (pruned_circuit)
+            *pruned_circuit = pr.pruned;
+    } else {
+        out.dag = buildFromCircuit(circuit, leaf_order);
+        if (pruned_circuit)
+            *pruned_circuit = circuit;
+    }
+    eliminateDeadNodes(out.dag);
+    if (config.regularize)
+        regularizeTwoInput(out.dag);
+
+    out.statsAfter = out.dag.stats();
+    out.memoryReduction = reduction(out.statsBefore, out.statsAfter);
+    return out;
+}
+
+OptimizedKernel
+optimizeHmm(const hmm::Hmm &hmm, const std::vector<hmm::Sequence> &data,
+            const hmm::Sequence &query, const PipelineConfig &config,
+            hmm::Hmm *pruned_hmm)
+{
+    OptimizedKernel out;
+    Dag unified = buildFromHmm(hmm, query);
+    out.statsBefore = baselineStats(unified, config);
+
+    if (config.prune && !data.empty()) {
+        hmm::HmmPruneResult pr = hmm::pruneByPosterior(
+            hmm, data, config.hmmUsageThreshold);
+        out.elementsPruned =
+            pr.transitionsRemoved + pr.emissionsRemoved;
+        out.dag = buildFromHmm(pr.pruned, query);
+        if (pruned_hmm)
+            *pruned_hmm = pr.pruned;
+    } else {
+        out.dag = std::move(unified);
+        if (pruned_hmm)
+            *pruned_hmm = hmm;
+    }
+    eliminateDeadNodes(out.dag);
+    if (config.regularize)
+        regularizeTwoInput(out.dag);
+
+    out.statsAfter = out.dag.stats();
+    out.memoryReduction = reduction(out.statsBefore, out.statsAfter);
+    return out;
+}
+
+} // namespace core
+} // namespace reason

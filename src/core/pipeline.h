@@ -1,0 +1,77 @@
+/**
+ * @file
+ * The REASON algorithm-optimization pipeline (Sec. IV):
+ * Stage 1 unify into a DAG, Stage 2 adaptive pruning, Stage 3 two-input
+ * regularization.  One entry point per substrate, each returning the
+ * compiled DAG plus the before/after size metrics that Table IV reports.
+ */
+
+#ifndef REASON_CORE_PIPELINE_H
+#define REASON_CORE_PIPELINE_H
+
+#include <cstdint>
+#include <vector>
+
+#include "core/builders.h"
+#include "core/dag.h"
+#include "core/regularize.h"
+#include "hmm/hmm.h"
+#include "logic/cnf.h"
+#include "logic/implication_graph.h"
+#include "pc/flows.h"
+#include "pc/pc.h"
+
+namespace reason {
+namespace core {
+
+/** Which pipeline stages to run. */
+struct PipelineConfig
+{
+    bool prune = true;
+    bool regularize = true;
+    /** PC flow threshold (fraction of per-example root flow). */
+    double pcFlowThreshold = 8e-3;
+    /** HMM posterior usage threshold (fraction of average usage). */
+    double hmmUsageThreshold = 0.12;
+};
+
+/** Result of running the three-stage pipeline on one kernel. */
+struct OptimizedKernel
+{
+    Dag dag;
+    /** DAG metrics before pruning/regularization (Stage 1 output). */
+    DagStats statsBefore;
+    /** Final DAG metrics. */
+    DagStats statsAfter;
+    /** 1 - after.memoryBytes / before.memoryBytes. */
+    double memoryReduction = 0.0;
+    /** Substrate-specific prune accounting. */
+    uint64_t elementsPruned = 0;
+};
+
+/** CNF: implication-graph pruning, then DAG build + regularization. */
+OptimizedKernel optimizeCnf(const logic::CnfFormula &formula,
+                            const PipelineConfig &config = {});
+
+/**
+ * PC: circuit-flow pruning over `data`, then DAG build + regularization.
+ * @param leaf_order receives the optimized circuit's leaf input order.
+ */
+OptimizedKernel optimizeCircuit(const pc::Circuit &circuit,
+                                const std::vector<pc::Assignment> &data,
+                                const PipelineConfig &config = {},
+                                pc::Circuit *pruned_circuit = nullptr,
+                                std::vector<pc::NodeId> *leaf_order
+                                = nullptr);
+
+/** HMM: posterior-usage pruning over `data`, then unrolled DAG build. */
+OptimizedKernel optimizeHmm(const hmm::Hmm &hmm,
+                            const std::vector<hmm::Sequence> &data,
+                            const hmm::Sequence &query,
+                            const PipelineConfig &config = {},
+                            hmm::Hmm *pruned_hmm = nullptr);
+
+} // namespace core
+} // namespace reason
+
+#endif // REASON_CORE_PIPELINE_H

@@ -1,0 +1,118 @@
+#include "core/regularize.h"
+
+#include "util/logging.h"
+
+namespace reason {
+namespace core {
+
+namespace {
+
+/**
+ * Build a balanced binary reduction over operands (and optional weights)
+ * in `out`, returning the root of the subtree.
+ *
+ * For weighted sums, weights are applied on the lowest binary level the
+ * operand participates in; all upper levels use weight 1, preserving the
+ * overall linear combination.
+ */
+NodeId
+balancedReduce(Dag &out, DagOp op, std::vector<NodeId> operands,
+               std::vector<double> weights)
+{
+    reasonAssert(!operands.empty(), "reduce needs operands");
+    bool weighted = !weights.empty();
+    while (operands.size() > 1) {
+        std::vector<NodeId> next;
+        std::vector<double> next_w;
+        next.reserve((operands.size() + 1) / 2);
+        for (size_t i = 0; i + 1 < operands.size(); i += 2) {
+            if (weighted) {
+                next.push_back(out.addOp(
+                    op, {operands[i], operands[i + 1]},
+                    {weights[i], weights[i + 1]}));
+                next_w.push_back(1.0);
+            } else {
+                next.push_back(
+                    out.addOp(op, {operands[i], operands[i + 1]}));
+            }
+        }
+        if (operands.size() % 2 == 1) {
+            // Odd operand out: promote as-is, keeping its weight.
+            if (weighted) {
+                NodeId last = operands.back();
+                double w = weights.back();
+                if (w == 1.0) {
+                    next.push_back(last);
+                    next_w.push_back(1.0);
+                } else {
+                    next.push_back(
+                        out.addOp(DagOp::Sum, {last}, {w}));
+                    next_w.push_back(1.0);
+                }
+            } else {
+                next.push_back(operands.back());
+            }
+        }
+        operands = std::move(next);
+        if (weighted)
+            weights = std::move(next_w);
+    }
+    // Single operand left.  A weighted single operand still needs its
+    // scale applied.
+    if (weighted && weights[0] != 1.0)
+        return out.addOp(DagOp::Sum, {operands[0]}, {weights[0]});
+    return operands[0];
+}
+
+} // namespace
+
+RegularizeResult
+regularizeTwoInput(Dag &dag)
+{
+    RegularizeResult res;
+    DagStats before = dag.stats();
+    res.nodesBefore = before.numNodes;
+    res.maxFanInBefore = before.maxFanIn;
+    res.depthBefore = before.depth;
+
+    Dag out;
+    std::vector<NodeId> remap(dag.numNodes(), kInvalidNode);
+    for (NodeId id = 0; id < dag.numNodes(); ++id) {
+        const DagNode &n = dag.node(id);
+        switch (n.op) {
+          case DagOp::Input:
+            remap[id] = out.addInput(n.tag);
+            break;
+          case DagOp::Const:
+            remap[id] = out.addConst(n.value);
+            break;
+          default: {
+            std::vector<NodeId> inputs;
+            inputs.reserve(n.inputs.size());
+            for (NodeId c : n.inputs)
+                inputs.push_back(remap[c]);
+            if (inputs.size() <= 2) {
+                remap[id] = out.addOp(n.op, std::move(inputs),
+                                      n.weights);
+            } else {
+                remap[id] = balancedReduce(out, n.op,
+                                           std::move(inputs),
+                                           n.weights);
+            }
+            break;
+          }
+        }
+    }
+    out.markRoot(remap[dag.root()]);
+    out.validate();
+    reasonAssert(out.isTwoInput(), "regularization must yield fan-in <= 2");
+    dag = std::move(out);
+
+    DagStats after = dag.stats();
+    res.nodesAfter = after.numNodes;
+    res.depthAfter = after.depth;
+    return res;
+}
+
+} // namespace core
+} // namespace reason

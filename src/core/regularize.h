@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Two-input DAG regularization (REASON Sec. IV-C).
+ *
+ * Nodes with fan-in > 2 are recursively decomposed into balanced binary
+ * trees of two-input nodes of the same operation, preserving semantics
+ * exactly (weighted sums carry their weights on the first binary level).
+ * The canonical two-input form is what the compiler maps onto the
+ * depth-D tree PEs.
+ */
+
+#ifndef REASON_CORE_REGULARIZE_H
+#define REASON_CORE_REGULARIZE_H
+
+#include <cstddef>
+#include "core/dag.h"
+
+namespace reason {
+namespace core {
+
+/** Outcome metrics of regularization. */
+struct RegularizeResult
+{
+    size_t nodesBefore = 0;
+    size_t nodesAfter = 0;
+    size_t maxFanInBefore = 0;
+    size_t depthBefore = 0;
+    size_t depthAfter = 0;
+};
+
+/**
+ * Rewrite `dag` into canonical two-input form.
+ * @return size metrics of the transformation.
+ */
+RegularizeResult regularizeTwoInput(Dag &dag);
+
+} // namespace core
+} // namespace reason
+
+#endif // REASON_CORE_REGULARIZE_H

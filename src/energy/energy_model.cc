@@ -1,0 +1,112 @@
+#include "energy/energy_model.h"
+
+#include "util/logging.h"
+
+namespace reason {
+namespace energy {
+
+const char *
+techNodeName(TechNode node)
+{
+    switch (node) {
+      case TechNode::Tsmc28: return "28nm";
+      case TechNode::Tsmc12: return "12nm";
+      case TechNode::Tsmc8: return "8nm";
+    }
+    return "?";
+}
+
+TechScaling
+techScaling(TechNode node)
+{
+    // Factors chosen to reproduce Table III's scaled rows:
+    // 28nm: 6.00 mm^2 / 2.12 W -> 12nm: 1.37 mm^2 / 1.21 W
+    //                          -> 8nm : 0.51 mm^2 / 0.98 W.
+    switch (node) {
+      case TechNode::Tsmc28:
+        return {1.0, 1.0, 1.0};
+      case TechNode::Tsmc12:
+        return {1.37 / 6.00, 0.50, 0.72};
+      case TechNode::Tsmc8:
+        return {0.51 / 6.00, 0.38, 0.62};
+    }
+    return {1.0, 1.0, 1.0};
+}
+
+EnergyModel::EnergyModel(TechNode node, EnergyTable energies,
+                         AreaTable areas)
+    : node_(node), scale_(techScaling(node)), energies_(energies),
+      areas_(areas)
+{
+}
+
+double
+EnergyModel::dynamicEnergyJoules(const StatGroup &events) const
+{
+    const double pj = 1e-12;
+    double e = 0.0;
+    e += events.get("tree_add_ops") * energies_.treeAddPj;
+    e += events.get("tree_mul_ops") * energies_.treeMulPj;
+    e += events.get("tree_cmp_ops") * energies_.treeCmpPj;
+    e += (events.get("leaf_mul_ops") + events.get("leaf_add_ops")) *
+         energies_.leafOpPj;
+    e += events.get("regfile_reads") * energies_.regfileReadPj;
+    e += events.get("regfile_writes") * energies_.regfileWritePj;
+    e += events.get("sram_accesses") * energies_.sramAccessPj;
+    e += events.get("spill_writes") * energies_.sramAccessPj;
+    e += events.get("dma_bytes") * energies_.dramPjPerByte;
+    e += events.get("dma_fetches") * 64 * energies_.dramPjPerByte;
+    e += events.get("broadcasts") * energies_.broadcastPj;
+    e += (events.get("fifo_overflow_stalls") +
+          events.get("fifo_flushed_entries")) *
+         energies_.fifoOpPj;
+    e += events.get("implications") *
+         (energies_.implicationPj + energies_.fifoOpPj);
+    e += events.get("wl_lookups") * energies_.wlLookupPj;
+    e += events.get("clause_literal_scans") *
+         energies_.clauseScanPjPerLit;
+    // Symbolic aggregate counters (from the analytic path).
+    e += events.get("split_lookaheads") * energies_.broadcastPj;
+    e += events.get("split_propagations") * energies_.implicationPj;
+    e += events.get("agg_decisions") * energies_.broadcastPj;
+    e += events.get("agg_propagations") *
+         (energies_.implicationPj + energies_.fifoOpPj +
+          energies_.wlLookupPj);
+    e += events.get("agg_literal_visits") *
+         energies_.clauseScanPjPerLit;
+    e += events.get("cycles") * energies_.cyclePj;
+    return e * pj * scale_.dynamicEnergy;
+}
+
+double
+EnergyModel::staticWatts() const
+{
+    return staticBaseWatts_ * scale_.staticPower;
+}
+
+double
+EnergyModel::areaMm2(uint32_t num_pes, uint32_t sram_kb) const
+{
+    double a = areas_.perPeMm2 * num_pes +
+               areas_.sramMm2PerKb * sram_kb + areas_.simdUnitMm2 +
+               areas_.controlMm2;
+    return a * scale_.area;
+}
+
+EnergyReport
+EnergyModel::report(const StatGroup &events, double seconds,
+                    uint32_t num_pes, uint32_t sram_kb) const
+{
+    EnergyReport r;
+    r.node = node_;
+    r.seconds = seconds;
+    r.dynamicJoules = dynamicEnergyJoules(events);
+    r.staticJoules = staticWatts() * seconds;
+    r.totalJoules = r.dynamicJoules + r.staticJoules;
+    r.averageWatts = seconds > 0.0 ? r.totalJoules / seconds : 0.0;
+    r.areaMm2 = areaMm2(num_pes, sram_kb);
+    return r;
+}
+
+} // namespace energy
+} // namespace reason

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Event-driven energy, power, and area model of the REASON accelerator
+ * (Sec. VII-A, Fig. 10, Table III).
+ *
+ * The paper derives power from Synopsys PTPX traces over gate-level
+ * activity; we reproduce the same accounting from the cycle simulator's
+ * event counts multiplied by per-event energies representative of TSMC
+ * 28 nm at 0.9 V / 500 MHz.  Technology scaling to 12 nm and 8 nm uses
+ * DeepScaleTool-style factors matching the paper's Table III rows.
+ */
+
+#ifndef REASON_ENERGY_ENERGY_MODEL_H
+#define REASON_ENERGY_ENERGY_MODEL_H
+
+#include <cstdint>
+#include <string>
+
+#include "util/stats.h"
+
+namespace reason {
+namespace energy {
+
+/** Process node the model is evaluated at. */
+enum class TechNode : uint8_t { Tsmc28, Tsmc12, Tsmc8 };
+
+const char *techNodeName(TechNode node);
+
+/** DeepScaleTool-style scale factors relative to 28 nm (0.8 V, 500 MHz). */
+struct TechScaling
+{
+    double area = 1.0;
+    double dynamicEnergy = 1.0;
+    double staticPower = 1.0;
+};
+
+TechScaling techScaling(TechNode node);
+
+/** Per-event dynamic energies in picojoules at 28 nm. */
+struct EnergyTable
+{
+    double treeAddPj = 0.9;
+    double treeMulPj = 3.2;
+    double treeCmpPj = 0.6;
+    double leafOpPj = 1.1;
+    double regfileReadPj = 1.4;
+    double regfileWritePj = 1.6;
+    double sramAccessPj = 6.5;    ///< per 64-bit word
+    double dramPjPerByte = 18.0;  ///< LPDDR5 access energy
+    double broadcastPj = 2.2;     ///< per tree traversal
+    double fifoOpPj = 0.5;
+    double wlLookupPj = 3.0;
+    double implicationPj = 0.8;
+    double clauseScanPjPerLit = 0.45;
+    /**
+     * Per-cycle infrastructure energy (clock tree, instruction decode,
+     * global control, interconnect toggling) — the dominant PTPX
+     * component beyond the bare datapath events.
+     */
+    double cyclePj = 3000.0;
+};
+
+/** Area model inputs (mm^2 at 28 nm). */
+struct AreaTable
+{
+    double perPeMm2 = 0.25;        ///< tree PE incl. Benes slice
+    double sramMm2PerKb = 0.00165; ///< dense SRAM macro
+    double simdUnitMm2 = 0.40;
+    double controlMm2 = 0.51;      ///< controller, WL unit, decode, NoC
+};
+
+/** Computed power/energy/area summary. */
+struct EnergyReport
+{
+    double dynamicJoules = 0.0;
+    double staticJoules = 0.0;
+    double totalJoules = 0.0;
+    double seconds = 0.0;
+    double averageWatts = 0.0;
+    double areaMm2 = 0.0;
+    TechNode node = TechNode::Tsmc28;
+};
+
+/**
+ * Energy/power/area model instance.
+ */
+class EnergyModel
+{
+  public:
+    explicit EnergyModel(TechNode node = TechNode::Tsmc28,
+                         EnergyTable energies = {}, AreaTable areas = {});
+
+    TechNode node() const { return node_; }
+
+    /**
+     * Total dynamic energy (J) of an event-count group produced by the
+     * simulators.  Unrecognized counters are ignored.
+     */
+    double dynamicEnergyJoules(const StatGroup &events) const;
+
+    /** Static (leakage + clock tree) power in watts. */
+    double staticWatts() const;
+
+    /** Accelerator die area in mm^2 for a PE count and SRAM size. */
+    double areaMm2(uint32_t num_pes, uint32_t sram_kb) const;
+
+    /** Full report for an execution of `seconds` with `events`. */
+    EnergyReport report(const StatGroup &events, double seconds,
+                        uint32_t num_pes = 12,
+                        uint32_t sram_kb = 1280) const;
+
+  private:
+    TechNode node_;
+    TechScaling scale_;
+    EnergyTable energies_;
+    AreaTable areas_;
+    /** Leakage at 28 nm for the default configuration (W). */
+    double staticBaseWatts_ = 0.35;
+};
+
+} // namespace energy
+} // namespace reason
+
+#endif // REASON_ENERGY_ENERGY_MODEL_H

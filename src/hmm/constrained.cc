@@ -1,0 +1,276 @@
+#include "hmm/constrained.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/numeric.h"
+
+namespace reason {
+namespace hmm {
+
+bool
+DecodeConstraints::admits(uint32_t t, uint32_t s) const
+{
+    for (auto [pos, state] : required)
+        if (pos == t && state != s)
+            return false;
+    for (auto [pos, state] : forbidden)
+        if (pos == t && state == s)
+            return false;
+    return true;
+}
+
+void
+DecodeConstraints::validate(uint32_t num_states, size_t length) const
+{
+    for (auto [pos, state] : required) {
+        if (pos >= length)
+            fatal("required constraint at position %u beyond length %zu",
+                  pos, length);
+        if (state >= num_states)
+            fatal("required constraint state %u out of range", state);
+        for (auto [pos2, state2] : required)
+            if (pos2 == pos && state2 != state)
+                fatal("contradictory required states at position %u", pos);
+        for (auto [pos2, state2] : forbidden)
+            if (pos2 == pos && state2 == state)
+                fatal("state %u both required and forbidden at %u", state,
+                      pos);
+    }
+    for (auto [pos, state] : forbidden) {
+        if (pos >= length)
+            fatal("forbidden constraint at position %u beyond length %zu",
+                  pos, length);
+        if (state >= num_states)
+            fatal("forbidden constraint state %u out of range", state);
+    }
+}
+
+namespace {
+
+/** log of a probability, mapping 0 to kLogZero without -inf warnings. */
+double
+logp(double p)
+{
+    return p > 0.0 ? std::log(p) : kLogZero;
+}
+
+} // namespace
+
+ViterbiResult
+constrainedViterbi(const Hmm &hmm, const Sequence &obs,
+                   const DecodeConstraints &constraints)
+{
+    const uint32_t n = hmm.numStates();
+    const size_t len = obs.size();
+    ViterbiResult res;
+    if (len == 0)
+        return res;
+    constraints.validate(n, len);
+
+    std::vector<std::vector<double>> delta(
+        len, std::vector<double>(n, kLogZero));
+    std::vector<std::vector<uint32_t>> back(
+        len, std::vector<uint32_t>(n, 0));
+
+    for (uint32_t s = 0; s < n; ++s)
+        if (constraints.admits(0, s))
+            delta[0][s] = logp(hmm.initial(s)) +
+                          logp(hmm.emission(s, obs[0]));
+
+    for (size_t t = 1; t < len; ++t) {
+        for (uint32_t s = 0; s < n; ++s) {
+            if (!constraints.admits(uint32_t(t), s))
+                continue;
+            double best = kLogZero;
+            uint32_t arg = 0;
+            for (uint32_t prev = 0; prev < n; ++prev) {
+                double cand =
+                    delta[t - 1][prev] + logp(hmm.transition(prev, s));
+                if (cand > best) {
+                    best = cand;
+                    arg = prev;
+                }
+            }
+            if (best == kLogZero)
+                continue;
+            delta[t][s] = best + logp(hmm.emission(s, obs[t]));
+            back[t][s] = arg;
+        }
+    }
+
+    double best = kLogZero;
+    uint32_t arg = 0;
+    for (uint32_t s = 0; s < n; ++s) {
+        if (delta[len - 1][s] > best) {
+            best = delta[len - 1][s];
+            arg = s;
+        }
+    }
+    if (best == kLogZero) {
+        res.logProb = kLogZero;
+        return res;
+    }
+    res.logProb = best;
+    res.path.resize(len);
+    res.path[len - 1] = arg;
+    for (size_t t = len - 1; t > 0; --t)
+        res.path[t - 1] = back[t][res.path[t]];
+    return res;
+}
+
+double
+constrainedLogLikelihood(const Hmm &hmm, const Sequence &obs,
+                         const DecodeConstraints &constraints)
+{
+    const uint32_t n = hmm.numStates();
+    const size_t len = obs.size();
+    if (len == 0)
+        return 0.0;
+    constraints.validate(n, len);
+
+    std::vector<double> alpha(n, kLogZero);
+    for (uint32_t s = 0; s < n; ++s)
+        if (constraints.admits(0, s))
+            alpha[s] = logp(hmm.initial(s)) +
+                       logp(hmm.emission(s, obs[0]));
+
+    std::vector<double> next(n);
+    for (size_t t = 1; t < len; ++t) {
+        std::fill(next.begin(), next.end(), kLogZero);
+        for (uint32_t s = 0; s < n; ++s) {
+            if (!constraints.admits(uint32_t(t), s))
+                continue;
+            double acc = kLogZero;
+            for (uint32_t prev = 0; prev < n; ++prev) {
+                if (alpha[prev] == kLogZero)
+                    continue;
+                acc = logAdd(acc,
+                             alpha[prev] + logp(hmm.transition(prev, s)));
+            }
+            if (acc != kLogZero)
+                next[s] = acc + logp(hmm.emission(s, obs[t]));
+        }
+        alpha.swap(next);
+    }
+    return logSumExp(alpha);
+}
+
+double
+constraintSatisfactionProbability(const Hmm &hmm, const Sequence &obs,
+                                  const DecodeConstraints &constraints)
+{
+    double constrained = constrainedLogLikelihood(hmm, obs, constraints);
+    if (constrained == kLogZero)
+        return 0.0;
+    double total = sequenceLogLikelihood(hmm, obs);
+    reasonAssert(total != kLogZero,
+                 "observation sequence has zero probability");
+    return std::exp(constrained - total);
+}
+
+std::vector<ViterbiResult>
+kBestPaths(const Hmm &hmm, const Sequence &obs, uint32_t k)
+{
+    const uint32_t n = hmm.numStates();
+    const size_t len = obs.size();
+    std::vector<ViterbiResult> out;
+    if (len == 0 || k == 0)
+        return out;
+
+    // List Viterbi: per (t, state), keep the k best (logprob, prev-state,
+    // prev-rank) entries.
+    struct Entry
+    {
+        double lp = kLogZero;
+        uint32_t prev = 0;
+        uint32_t prevRank = 0;
+    };
+    std::vector<std::vector<std::vector<Entry>>> lists(
+        len, std::vector<std::vector<Entry>>(n));
+
+    for (uint32_t s = 0; s < n; ++s) {
+        double lp = logp(hmm.initial(s)) + logp(hmm.emission(s, obs[0]));
+        if (lp != kLogZero)
+            lists[0][s].push_back({lp, 0, 0});
+    }
+
+    std::vector<Entry> candidates;
+    for (size_t t = 1; t < len; ++t) {
+        for (uint32_t s = 0; s < n; ++s) {
+            candidates.clear();
+            double emit = logp(hmm.emission(s, obs[t]));
+            if (emit == kLogZero)
+                continue;
+            for (uint32_t prev = 0; prev < n; ++prev) {
+                double trans = logp(hmm.transition(prev, s));
+                if (trans == kLogZero)
+                    continue;
+                const auto &plist = lists[t - 1][prev];
+                for (uint32_t r = 0; r < plist.size(); ++r)
+                    candidates.push_back(
+                        {plist[r].lp + trans + emit, prev, r});
+            }
+            std::sort(candidates.begin(), candidates.end(),
+                      [](const Entry &a, const Entry &b) {
+                          return a.lp > b.lp;
+                      });
+            if (candidates.size() > k)
+                candidates.resize(k);
+            lists[t][s] = candidates;
+        }
+    }
+
+    // Collect final entries across states, best first.
+    struct Terminal
+    {
+        double lp;
+        uint32_t state;
+        uint32_t rank;
+    };
+    std::vector<Terminal> finals;
+    for (uint32_t s = 0; s < n; ++s)
+        for (uint32_t r = 0; r < lists[len - 1][s].size(); ++r)
+            finals.push_back({lists[len - 1][s][r].lp, s, r});
+    std::sort(finals.begin(), finals.end(),
+              [](const Terminal &a, const Terminal &b) {
+                  return a.lp > b.lp;
+              });
+    if (finals.size() > k)
+        finals.resize(k);
+
+    for (const Terminal &fin : finals) {
+        ViterbiResult res;
+        res.logProb = fin.lp;
+        res.path.resize(len);
+        uint32_t state = fin.state;
+        uint32_t rank = fin.rank;
+        for (size_t t = len; t-- > 0;) {
+            res.path[t] = state;
+            if (t > 0) {
+                const Entry &e = lists[t][state][rank];
+                state = e.prev;
+                rank = e.prevRank;
+            }
+        }
+        out.push_back(std::move(res));
+    }
+    return out;
+}
+
+std::vector<uint32_t>
+posteriorDecode(const Hmm &hmm, const Sequence &obs)
+{
+    ForwardBackward fb = forwardBackward(hmm, obs);
+    std::vector<uint32_t> path(obs.size(), 0);
+    for (size_t t = 0; t < obs.size(); ++t) {
+        const auto &row = fb.gamma[t];
+        path[t] = uint32_t(
+            std::max_element(row.begin(), row.end()) - row.begin());
+    }
+    return path;
+}
+
+} // namespace hmm
+} // namespace reason

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Constrained and k-best HMM decoding: the Ctrl-G / GeLaTo inference
+ * patterns (Table I) where text infilling must honor hard keyword
+ * constraints while staying probable under the sequence model.
+ *
+ * Constraints pin or forbid hidden states at given positions; decoding
+ * maximizes path probability subject to them.  k-best decoding returns
+ * the top alternatives (candidate infills); the constrained forward pass
+ * gives the total probability mass of constraint-satisfying paths, the
+ * quantity Ctrl-G uses to steer generation.
+ */
+
+#ifndef REASON_HMM_CONSTRAINED_H
+#define REASON_HMM_CONSTRAINED_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hmm/hmm.h"
+
+namespace reason {
+namespace hmm {
+
+/** Hard decoding constraints over hidden states. */
+struct DecodeConstraints
+{
+    /** (position, state): the path must pass through state at position. */
+    std::vector<std::pair<uint32_t, uint32_t>> required;
+    /** (position, state): the path must avoid state at position. */
+    std::vector<std::pair<uint32_t, uint32_t>> forbidden;
+
+    /** True when state `s` is admissible at position `t`. */
+    bool admits(uint32_t t, uint32_t s) const;
+
+    /** fatal()s on out-of-range or contradictory entries. */
+    void validate(uint32_t num_states, size_t length) const;
+};
+
+/**
+ * Viterbi decoding under hard constraints.  Returns logProb == -inf and
+ * an empty path when no admissible path exists.
+ */
+ViterbiResult constrainedViterbi(const Hmm &hmm, const Sequence &obs,
+                                 const DecodeConstraints &constraints);
+
+/**
+ * log P(x_{1:T}, all constraints hold): the forward pass restricted to
+ * admissible states.  -inf when infeasible.
+ */
+double constrainedLogLikelihood(const Hmm &hmm, const Sequence &obs,
+                                const DecodeConstraints &constraints);
+
+/**
+ * Probability that a random path (given the observations) satisfies the
+ * constraints: exp(constrained - unconstrained log-likelihood).
+ */
+double constraintSatisfactionProbability(
+    const Hmm &hmm, const Sequence &obs,
+    const DecodeConstraints &constraints);
+
+/**
+ * k-best list Viterbi: the k highest-probability hidden paths in
+ * descending order (fewer when the model admits fewer distinct paths).
+ * k = 1 reduces to viterbi().
+ */
+std::vector<ViterbiResult> kBestPaths(const Hmm &hmm, const Sequence &obs,
+                                      uint32_t k);
+
+/**
+ * Posterior (minimum symbol-error) decoding: argmax_s P(z_t = s | x)
+ * per step.  Unlike Viterbi this may yield a zero-probability path; it
+ * minimizes expected per-position error instead.
+ */
+std::vector<uint32_t> posteriorDecode(const Hmm &hmm, const Sequence &obs);
+
+} // namespace hmm
+} // namespace reason
+
+#endif // REASON_HMM_CONSTRAINED_H

@@ -1,0 +1,524 @@
+#include "hmm/hmm.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/numeric.h"
+#include "util/rng.h"
+
+namespace reason {
+namespace hmm {
+
+Hmm::Hmm(uint32_t num_states, uint32_t num_symbols)
+    : numStates_(num_states), numSymbols_(num_symbols),
+      initial_(num_states, 1.0 / num_states),
+      trans_(size_t(num_states) * num_states, 1.0 / num_states),
+      emit_(size_t(num_states) * num_symbols, 1.0 / num_symbols)
+{
+    reasonAssert(num_states > 0 && num_symbols > 0,
+                 "HMM needs states and symbols");
+}
+
+void
+Hmm::setInitial(std::vector<double> pi)
+{
+    reasonAssert(pi.size() == numStates_, "initial size mismatch");
+    initial_ = std::move(pi);
+}
+
+void
+Hmm::setTransitionRow(uint32_t from, std::vector<double> row)
+{
+    reasonAssert(row.size() == numStates_, "transition row size mismatch");
+    std::copy(row.begin(), row.end(),
+              trans_.begin() + size_t(from) * numStates_);
+}
+
+void
+Hmm::setEmissionRow(uint32_t state, std::vector<double> row)
+{
+    reasonAssert(row.size() == numSymbols_, "emission row size mismatch");
+    std::copy(row.begin(), row.end(),
+              emit_.begin() + size_t(state) * numSymbols_);
+}
+
+size_t
+Hmm::numActiveTransitions() const
+{
+    return static_cast<size_t>(
+        std::count_if(trans_.begin(), trans_.end(),
+                      [](double p) { return p > 0.0; }));
+}
+
+size_t
+Hmm::numActiveEmissions() const
+{
+    return static_cast<size_t>(
+        std::count_if(emit_.begin(), emit_.end(),
+                      [](double p) { return p > 0.0; }));
+}
+
+void
+Hmm::normalize()
+{
+    auto normalize_span = [](double *begin, size_t n, const char *what) {
+        double total = 0.0;
+        for (size_t i = 0; i < n; ++i)
+            total += begin[i];
+        if (total <= 0.0)
+            fatal("%s row has no probability mass", what);
+        for (size_t i = 0; i < n; ++i)
+            begin[i] /= total;
+    };
+    normalize_span(initial_.data(), numStates_, "initial");
+    for (uint32_t s = 0; s < numStates_; ++s)
+        normalize_span(trans_.data() + size_t(s) * numStates_, numStates_,
+                       "transition");
+    for (uint32_t s = 0; s < numStates_; ++s)
+        normalize_span(emit_.data() + size_t(s) * numSymbols_,
+                       numSymbols_, "emission");
+}
+
+Hmm
+Hmm::random(Rng &rng, uint32_t num_states, uint32_t num_symbols,
+            double concentration)
+{
+    Hmm h(num_states, num_symbols);
+    h.setInitial(rng.dirichlet(num_states, concentration));
+    for (uint32_t s = 0; s < num_states; ++s) {
+        h.setTransitionRow(s, rng.dirichlet(num_states, concentration));
+        h.setEmissionRow(s, rng.dirichlet(num_symbols, concentration));
+    }
+    return h;
+}
+
+Hmm
+Hmm::banded(Rng &rng, uint32_t num_states, uint32_t num_symbols,
+            uint32_t band, double concentration)
+{
+    Hmm h(num_states, num_symbols);
+    h.setInitial(rng.dirichlet(num_states, 1.0));
+    for (uint32_t s = 0; s < num_states; ++s) {
+        std::vector<double> row(num_states, 0.0);
+        uint32_t width = 2 * band + 1;
+        auto mass = rng.dirichlet(width, concentration);
+        for (uint32_t k = 0; k < width; ++k) {
+            uint32_t to =
+                (s + num_states + k - band) % num_states;
+            row[to] += mass[k];
+        }
+        h.setTransitionRow(s, std::move(row));
+        h.setEmissionRow(s, rng.dirichlet(num_symbols, concentration));
+    }
+    return h;
+}
+
+void
+Hmm::sample(Rng &rng, size_t length, Sequence *obs,
+            std::vector<uint32_t> *states) const
+{
+    reasonAssert(obs != nullptr, "sample needs an output sequence");
+    obs->clear();
+    if (states)
+        states->clear();
+    if (length == 0)
+        return;
+    uint32_t state = static_cast<uint32_t>(rng.categorical(initial_));
+    for (size_t t = 0; t < length; ++t) {
+        std::vector<double> erow(
+            emit_.begin() + size_t(state) * numSymbols_,
+            emit_.begin() + size_t(state + 1) * numSymbols_);
+        obs->push_back(static_cast<uint32_t>(rng.categorical(erow)));
+        if (states)
+            states->push_back(state);
+        if (t + 1 < length) {
+            std::vector<double> trow(
+                trans_.begin() + size_t(state) * numStates_,
+                trans_.begin() + size_t(state + 1) * numStates_);
+            state = static_cast<uint32_t>(rng.categorical(trow));
+        }
+    }
+}
+
+ForwardBackward
+forwardBackward(const Hmm &hmm, const Sequence &obs)
+{
+    const size_t T = obs.size();
+    const uint32_t N = hmm.numStates();
+    reasonAssert(T > 0, "empty sequence");
+    ForwardBackward fb;
+    fb.alpha.assign(T, std::vector<double>(N, 0.0));
+    fb.beta.assign(T, std::vector<double>(N, 0.0));
+    fb.scale.assign(T, 0.0);
+    fb.gamma.assign(T, std::vector<double>(N, 0.0));
+    if (T > 1)
+        fb.xi.assign(T - 1, std::vector<double>(size_t(N) * N, 0.0));
+
+    // Forward with per-step scaling.
+    for (uint32_t s = 0; s < N; ++s)
+        fb.alpha[0][s] = hmm.initial(s) * hmm.emission(s, obs[0]);
+    for (size_t t = 0; t < T; ++t) {
+        if (t > 0) {
+            for (uint32_t j = 0; j < N; ++j) {
+                double acc = 0.0;
+                for (uint32_t i = 0; i < N; ++i)
+                    acc += fb.alpha[t - 1][i] * hmm.transition(i, j);
+                fb.alpha[t][j] = acc * hmm.emission(j, obs[t]);
+            }
+        }
+        double c = 0.0;
+        for (uint32_t s = 0; s < N; ++s)
+            c += fb.alpha[t][s];
+        if (c <= 0.0) {
+            // Observation impossible under the model.
+            fb.logLikelihood = kLogZero;
+            return fb;
+        }
+        fb.scale[t] = c;
+        for (uint32_t s = 0; s < N; ++s)
+            fb.alpha[t][s] /= c;
+    }
+    fb.logLikelihood = 0.0;
+    for (double c : fb.scale)
+        fb.logLikelihood += std::log(c);
+
+    // Backward under the same scaling.
+    for (uint32_t s = 0; s < N; ++s)
+        fb.beta[T - 1][s] = 1.0;
+    for (size_t t = T - 1; t-- > 0;) {
+        for (uint32_t i = 0; i < N; ++i) {
+            double acc = 0.0;
+            for (uint32_t j = 0; j < N; ++j)
+                acc += hmm.transition(i, j) *
+                       hmm.emission(j, obs[t + 1]) * fb.beta[t + 1][j];
+            fb.beta[t][i] = acc / fb.scale[t + 1];
+        }
+    }
+
+    // Posteriors.
+    for (size_t t = 0; t < T; ++t) {
+        double norm = 0.0;
+        for (uint32_t s = 0; s < N; ++s) {
+            fb.gamma[t][s] = fb.alpha[t][s] * fb.beta[t][s];
+            norm += fb.gamma[t][s];
+        }
+        if (norm > 0.0)
+            for (uint32_t s = 0; s < N; ++s)
+                fb.gamma[t][s] /= norm;
+    }
+    for (size_t t = 0; t + 1 < T; ++t) {
+        double norm = 0.0;
+        for (uint32_t i = 0; i < N; ++i) {
+            for (uint32_t j = 0; j < N; ++j) {
+                double v = fb.alpha[t][i] * hmm.transition(i, j) *
+                           hmm.emission(j, obs[t + 1]) *
+                           fb.beta[t + 1][j] / fb.scale[t + 1];
+                fb.xi[t][size_t(i) * N + j] = v;
+                norm += v;
+            }
+        }
+        if (norm > 0.0)
+            for (auto &v : fb.xi[t])
+                v /= norm;
+    }
+    return fb;
+}
+
+double
+sequenceLogLikelihood(const Hmm &hmm, const Sequence &obs)
+{
+    const size_t T = obs.size();
+    const uint32_t N = hmm.numStates();
+    reasonAssert(T > 0, "empty sequence");
+    std::vector<double> alpha(N), next(N);
+    for (uint32_t s = 0; s < N; ++s)
+        alpha[s] = hmm.initial(s) * hmm.emission(s, obs[0]);
+    double ll = 0.0;
+    for (size_t t = 0;; ++t) {
+        double c = 0.0;
+        for (uint32_t s = 0; s < N; ++s)
+            c += alpha[s];
+        if (c <= 0.0)
+            return kLogZero;
+        ll += std::log(c);
+        for (uint32_t s = 0; s < N; ++s)
+            alpha[s] /= c;
+        if (t + 1 == T)
+            break;
+        for (uint32_t j = 0; j < N; ++j) {
+            double acc = 0.0;
+            for (uint32_t i = 0; i < N; ++i)
+                acc += alpha[i] * hmm.transition(i, j);
+            next[j] = acc * hmm.emission(j, obs[t + 1]);
+        }
+        alpha.swap(next);
+    }
+    return ll;
+}
+
+ViterbiResult
+viterbi(const Hmm &hmm, const Sequence &obs)
+{
+    const size_t T = obs.size();
+    const uint32_t N = hmm.numStates();
+    reasonAssert(T > 0, "empty sequence");
+    std::vector<std::vector<double>> delta(T, std::vector<double>(N));
+    std::vector<std::vector<uint32_t>> psi(T, std::vector<uint32_t>(N, 0));
+
+    auto log_or_zero = [](double p) {
+        return p > 0.0 ? std::log(p) : kLogZero;
+    };
+
+    for (uint32_t s = 0; s < N; ++s)
+        delta[0][s] = log_or_zero(hmm.initial(s)) +
+                      log_or_zero(hmm.emission(s, obs[0]));
+    for (size_t t = 1; t < T; ++t) {
+        for (uint32_t j = 0; j < N; ++j) {
+            double best = kLogZero;
+            uint32_t arg = 0;
+            for (uint32_t i = 0; i < N; ++i) {
+                double cand =
+                    delta[t - 1][i] + log_or_zero(hmm.transition(i, j));
+                if (cand > best) {
+                    best = cand;
+                    arg = i;
+                }
+            }
+            delta[t][j] = best + log_or_zero(hmm.emission(j, obs[t]));
+            psi[t][j] = arg;
+        }
+    }
+
+    ViterbiResult res;
+    uint32_t arg = 0;
+    double best = kLogZero;
+    for (uint32_t s = 0; s < N; ++s) {
+        if (delta[T - 1][s] > best) {
+            best = delta[T - 1][s];
+            arg = s;
+        }
+    }
+    res.logProb = best;
+    res.path.assign(T, 0);
+    res.path[T - 1] = arg;
+    for (size_t t = T - 1; t-- > 0;)
+        res.path[t] = psi[t + 1][res.path[t + 1]];
+    return res;
+}
+
+double
+bruteForceLogLikelihood(const Hmm &hmm, const Sequence &obs)
+{
+    const size_t T = obs.size();
+    const uint32_t N = hmm.numStates();
+    double paths = std::pow(double(N), double(T));
+    reasonAssert(paths <= (1 << 22), "brute force path count too large");
+    uint64_t limit = static_cast<uint64_t>(paths);
+    double acc = kLogZero;
+    std::vector<uint32_t> z(T);
+    for (uint64_t m = 0; m < limit; ++m) {
+        uint64_t rest = m;
+        for (size_t t = 0; t < T; ++t) {
+            z[t] = static_cast<uint32_t>(rest % N);
+            rest /= N;
+        }
+        double logp = std::log(hmm.initial(z[0])) +
+                      std::log(hmm.emission(z[0], obs[0]));
+        bool dead = hmm.initial(z[0]) <= 0.0 ||
+                    hmm.emission(z[0], obs[0]) <= 0.0;
+        for (size_t t = 1; t < T && !dead; ++t) {
+            double pt = hmm.transition(z[t - 1], z[t]);
+            double pe = hmm.emission(z[t], obs[t]);
+            if (pt <= 0.0 || pe <= 0.0) {
+                dead = true;
+                break;
+            }
+            logp += std::log(pt) + std::log(pe);
+        }
+        if (!dead)
+            acc = logAdd(acc, logp);
+    }
+    return acc;
+}
+
+BaumWelchTrace
+baumWelch(Hmm &hmm, const std::vector<Sequence> &data,
+          uint32_t max_iterations, double tolerance, double smoothing)
+{
+    reasonAssert(!data.empty(), "baumWelch needs data");
+    const uint32_t N = hmm.numStates();
+    const uint32_t M = hmm.numSymbols();
+    BaumWelchTrace trace;
+
+    auto total_ll = [&]() {
+        double acc = 0.0;
+        for (const auto &seq : data)
+            acc += sequenceLogLikelihood(hmm, seq);
+        return acc / static_cast<double>(data.size());
+    };
+    trace.logLikelihood.push_back(total_ll());
+
+    for (uint32_t it = 0; it < max_iterations; ++it) {
+        std::vector<double> pi(N, 0.0);
+        std::vector<double> trans_num(size_t(N) * N, 0.0);
+        std::vector<double> trans_den(N, 0.0);
+        std::vector<double> emit_num(size_t(N) * M, 0.0);
+        std::vector<double> emit_den(N, 0.0);
+
+        for (const auto &seq : data) {
+            ForwardBackward fb = forwardBackward(hmm, seq);
+            if (fb.logLikelihood == kLogZero)
+                continue;
+            for (uint32_t s = 0; s < N; ++s)
+                pi[s] += fb.gamma[0][s];
+            for (size_t t = 0; t + 1 < seq.size(); ++t) {
+                for (uint32_t i = 0; i < N; ++i) {
+                    trans_den[i] += fb.gamma[t][i];
+                    for (uint32_t j = 0; j < N; ++j)
+                        trans_num[size_t(i) * N + j] +=
+                            fb.xi[t][size_t(i) * N + j];
+                }
+            }
+            for (size_t t = 0; t < seq.size(); ++t) {
+                for (uint32_t s = 0; s < N; ++s) {
+                    emit_den[s] += fb.gamma[t][s];
+                    emit_num[size_t(s) * M + seq[t]] += fb.gamma[t][s];
+                }
+            }
+        }
+
+        std::vector<double> new_pi(N);
+        double pi_total = 0.0;
+        for (uint32_t s = 0; s < N; ++s)
+            pi_total += pi[s] + smoothing;
+        for (uint32_t s = 0; s < N; ++s)
+            new_pi[s] = (pi[s] + smoothing) / pi_total;
+        hmm.setInitial(new_pi);
+
+        for (uint32_t i = 0; i < N; ++i) {
+            std::vector<double> row(N);
+            double denom = trans_den[i] + smoothing * N;
+            for (uint32_t j = 0; j < N; ++j)
+                row[j] =
+                    (trans_num[size_t(i) * N + j] + smoothing) / denom;
+            hmm.setTransitionRow(i, std::move(row));
+        }
+        for (uint32_t s = 0; s < N; ++s) {
+            std::vector<double> row(M);
+            double denom = emit_den[s] + smoothing * M;
+            for (uint32_t m = 0; m < M; ++m)
+                row[m] = (emit_num[size_t(s) * M + m] + smoothing) / denom;
+            hmm.setEmissionRow(s, std::move(row));
+        }
+        hmm.normalize();
+
+        double ll = total_ll();
+        trace.logLikelihood.push_back(ll);
+        ++trace.iterations;
+        double prev = trace.logLikelihood[trace.logLikelihood.size() - 2];
+        if (ll - prev < tolerance)
+            break;
+    }
+    return trace;
+}
+
+HmmPruneResult
+pruneByPosterior(const Hmm &hmm, const std::vector<Sequence> &data,
+                 double usage_threshold)
+{
+    reasonAssert(!data.empty(), "pruneByPosterior needs data");
+    const uint32_t N = hmm.numStates();
+    const uint32_t M = hmm.numSymbols();
+
+    std::vector<double> trans_usage(size_t(N) * N, 0.0);
+    std::vector<double> emit_usage(size_t(N) * M, 0.0);
+    double total_trans = 0.0;
+    double total_emit = 0.0;
+    for (const auto &seq : data) {
+        ForwardBackward fb = forwardBackward(hmm, seq);
+        if (fb.logLikelihood == kLogZero)
+            continue;
+        for (size_t t = 0; t + 1 < seq.size(); ++t)
+            for (size_t k = 0; k < trans_usage.size(); ++k) {
+                trans_usage[k] += fb.xi[t][k];
+                total_trans += fb.xi[t][k];
+            }
+        for (size_t t = 0; t < seq.size(); ++t)
+            for (uint32_t s = 0; s < N; ++s) {
+                emit_usage[size_t(s) * M + seq[t]] += fb.gamma[t][s];
+                total_emit += fb.gamma[t][s];
+            }
+    }
+
+    HmmPruneResult res;
+    Hmm out = hmm;
+    size_t active_trans = hmm.numActiveTransitions();
+    size_t active_emit = hmm.numActiveEmissions();
+    size_t params_before = active_trans + active_emit;
+
+    // The threshold is a fraction of the *average* usage per active
+    // entry of each type, so transition and emission pruning are
+    // calibrated independently of their entry counts.
+    double trans_cut =
+        active_trans > 0
+            ? usage_threshold * total_trans / double(active_trans)
+            : 0.0;
+    double emit_cut =
+        active_emit > 0
+            ? usage_threshold * total_emit / double(active_emit)
+            : 0.0;
+
+    for (uint32_t i = 0; i < N; ++i) {
+        std::vector<double> row(N);
+        uint32_t best = 0;
+        for (uint32_t j = 0; j < N; ++j) {
+            row[j] = hmm.transition(i, j);
+            if (trans_usage[size_t(i) * N + j] >
+                trans_usage[size_t(i) * N + best])
+                best = j;
+        }
+        for (uint32_t j = 0; j < N; ++j) {
+            if (j == best || row[j] == 0.0)
+                continue;
+            if (trans_usage[size_t(i) * N + j] < trans_cut) {
+                row[j] = 0.0;
+                ++res.transitionsRemoved;
+            }
+        }
+        out.setTransitionRow(i, std::move(row));
+    }
+    for (uint32_t s = 0; s < N; ++s) {
+        std::vector<double> row(M);
+        uint32_t best = 0;
+        for (uint32_t m = 0; m < M; ++m) {
+            row[m] = hmm.emission(s, m);
+            if (emit_usage[size_t(s) * M + m] >
+                emit_usage[size_t(s) * M + best])
+                best = m;
+        }
+        for (uint32_t m = 0; m < M; ++m) {
+            if (m == best || row[m] == 0.0)
+                continue;
+            if (emit_usage[size_t(s) * M + m] < emit_cut) {
+                row[m] = 0.0;
+                ++res.emissionsRemoved;
+            }
+        }
+        out.setEmissionRow(s, std::move(row));
+    }
+    out.normalize();
+
+    size_t params_after =
+        out.numActiveTransitions() + out.numActiveEmissions();
+    res.parameterReduction =
+        params_before == 0
+            ? 0.0
+            : 1.0 - static_cast<double>(params_after) /
+                        static_cast<double>(params_before);
+    res.pruned = std::move(out);
+    return res;
+}
+
+} // namespace hmm
+} // namespace reason

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Hidden Markov Model substrate (REASON Sec. II-C, Eq. 2): scaled
+ * forward/backward inference, posterior smoothing, Viterbi decoding,
+ * Baum-Welch training, sampling, and posterior-based transition/emission
+ * pruning (Sec. IV-B).
+ */
+
+#ifndef REASON_HMM_HMM_H
+#define REASON_HMM_HMM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reason {
+
+class Rng;
+
+namespace hmm {
+
+/** Observation sequence: symbol indices in [0, numSymbols). */
+using Sequence = std::vector<uint32_t>;
+
+/**
+ * Discrete-emission HMM with `numStates` hidden states and `numSymbols`
+ * observation symbols.  Probabilities are stored densely; pruned entries
+ * are exact zeros.
+ */
+class Hmm
+{
+  public:
+    Hmm(uint32_t num_states, uint32_t num_symbols);
+
+    uint32_t numStates() const { return numStates_; }
+    uint32_t numSymbols() const { return numSymbols_; }
+
+    double initial(uint32_t s) const { return initial_[s]; }
+    double transition(uint32_t from, uint32_t to) const
+    {
+        return trans_[size_t(from) * numStates_ + to];
+    }
+    double emission(uint32_t state, uint32_t sym) const
+    {
+        return emit_[size_t(state) * numSymbols_ + sym];
+    }
+
+    void setInitial(std::vector<double> pi);
+    void setTransitionRow(uint32_t from, std::vector<double> row);
+    void setEmissionRow(uint32_t state, std::vector<double> row);
+
+    /** Count of structurally nonzero transition entries. */
+    size_t numActiveTransitions() const;
+    /** Count of structurally nonzero emission entries. */
+    size_t numActiveEmissions() const;
+
+    /** Renormalize all rows; fatal if a row has no mass. */
+    void normalize();
+
+    /** Uniformly random fully-connected model. */
+    static Hmm random(Rng &rng, uint32_t num_states, uint32_t num_symbols,
+                      double concentration = 1.0);
+
+    /**
+     * Banded model: state s transitions only to [s-band, s+band] mod N.
+     * Mirrors the sparse transition structure of constrained-decoding
+     * HMMs (Ctrl-G / GeLaTo).  `concentration` < 1 yields peaked rows
+     * (most probability mass on few successors/symbols), the regime in
+     * which posterior-usage pruning is both effective and harmless.
+     */
+    static Hmm banded(Rng &rng, uint32_t num_states, uint32_t num_symbols,
+                      uint32_t band, double concentration = 1.0);
+
+    /** Sample a state/observation path of the given length. */
+    void sample(Rng &rng, size_t length, Sequence *obs,
+                std::vector<uint32_t> *states = nullptr) const;
+
+  private:
+    uint32_t numStates_;
+    uint32_t numSymbols_;
+    std::vector<double> initial_;
+    std::vector<double> trans_;
+    std::vector<double> emit_;
+};
+
+/** Scaled forward/backward quantities for one sequence. */
+struct ForwardBackward
+{
+    /** alpha[t][s], scaled so each row sums to 1. */
+    std::vector<std::vector<double>> alpha;
+    /** beta[t][s] under the same scaling. */
+    std::vector<std::vector<double>> beta;
+    /** Per-step scaling factors c_t. */
+    std::vector<double> scale;
+    /** gamma[t][s] = P(z_t = s | x_{1:T}). */
+    std::vector<std::vector<double>> gamma;
+    /** xi[t][i*N+j] = P(z_t=i, z_{t+1}=j | x); length T-1. */
+    std::vector<std::vector<double>> xi;
+    /** log P(x_{1:T}). */
+    double logLikelihood = 0.0;
+};
+
+/** Run scaled forward-backward on one observation sequence. */
+ForwardBackward forwardBackward(const Hmm &hmm, const Sequence &obs);
+
+/** log P(x) only (forward pass). */
+double sequenceLogLikelihood(const Hmm &hmm, const Sequence &obs);
+
+/** Viterbi decoding result. */
+struct ViterbiResult
+{
+    std::vector<uint32_t> path;
+    double logProb = 0.0;
+};
+
+/** Most likely hidden state path. */
+ViterbiResult viterbi(const Hmm &hmm, const Sequence &obs);
+
+/**
+ * Brute-force log P(x) by path enumeration (testing only):
+ * requires numStates^T small.
+ */
+double bruteForceLogLikelihood(const Hmm &hmm, const Sequence &obs);
+
+/** Baum-Welch training trace. */
+struct BaumWelchTrace
+{
+    std::vector<double> logLikelihood;
+    uint32_t iterations = 0;
+};
+
+/** Baum-Welch EM over a set of sequences; trains in place. */
+BaumWelchTrace baumWelch(Hmm &hmm, const std::vector<Sequence> &data,
+                         uint32_t max_iterations = 20,
+                         double tolerance = 1e-6,
+                         double smoothing = 1e-3);
+
+/** Result of posterior-usage-based pruning. */
+struct HmmPruneResult
+{
+    Hmm pruned;
+    uint64_t transitionsRemoved = 0;
+    uint64_t emissionsRemoved = 0;
+    /** Fraction of (transition+emission) parameters removed. */
+    double parameterReduction = 0.0;
+
+    HmmPruneResult() : pruned(1, 1) {}
+};
+
+/**
+ * Prune transitions and emissions whose expected posterior usage over the
+ * dataset (forward-backward xi/gamma mass) falls below `usage_threshold`
+ * times the *average* usage of an active entry of the same type.  Each
+ * state keeps at least one outgoing transition and one emission; rows are
+ * renormalized.
+ */
+HmmPruneResult pruneByPosterior(const Hmm &hmm,
+                                const std::vector<Sequence> &data,
+                                double usage_threshold);
+
+} // namespace hmm
+} // namespace reason
+
+#endif // REASON_HMM_HMM_H

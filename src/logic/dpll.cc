@@ -1,0 +1,259 @@
+#include "logic/dpll.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace logic {
+
+DpllSolver::DpllSolver(const CnfFormula &formula) : formula_(formula)
+{
+    assigns_.assign(formula.numVars(), LBool::Undef);
+}
+
+LBool
+DpllSolver::litValue(Lit l) const
+{
+    LBool v = assigns_[l.var()];
+    if (v == LBool::Undef)
+        return v;
+    return l.negated() ? negate(v) : v;
+}
+
+bool
+DpllSolver::propagateFrom(size_t from)
+{
+    // Naive unit propagation over the full clause list; adequate for the
+    // small formulas DPLL is used on.
+    (void)from;
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (const auto &clause : formula_.clauses()) {
+            Lit unit;
+            uint32_t free_count = 0;
+            bool satisfied = false;
+            for (const Lit &l : clause) {
+                LBool v = litValue(l);
+                if (v == LBool::True) {
+                    satisfied = true;
+                    break;
+                }
+                if (v == LBool::Undef) {
+                    ++free_count;
+                    unit = l;
+                    if (free_count > 1)
+                        break;
+                }
+            }
+            if (satisfied)
+                continue;
+            if (free_count == 0)
+                return false; // conflict
+            if (free_count == 1) {
+                assigns_[unit.var()] =
+                    unit.negated() ? LBool::False : LBool::True;
+                trail_.push_back(unit);
+                ++stats_.propagations;
+                changed = true;
+            }
+        }
+    }
+    return true;
+}
+
+bool
+DpllSolver::assume(Lit l)
+{
+    if (litValue(l) == LBool::False)
+        return false;
+    if (litValue(l) == LBool::Undef) {
+        assigns_[l.var()] = l.negated() ? LBool::False : LBool::True;
+        trail_.push_back(l);
+    }
+    return propagateFrom(trail_.size() - 1);
+}
+
+void
+DpllSolver::undoTo(size_t trail_size)
+{
+    while (trail_.size() > trail_size) {
+        assigns_[trail_.back().var()] = LBool::Undef;
+        trail_.pop_back();
+    }
+}
+
+uint32_t
+DpllSolver::lookaheadScore(Lit l)
+{
+    ++stats_.lookaheads;
+    size_t mark = trail_.size();
+    bool ok = assume(l);
+    uint32_t forced =
+        ok ? static_cast<uint32_t>(trail_.size() - mark) : ~0u;
+    undoTo(mark);
+    return forced;
+}
+
+Lit
+DpllSolver::pickLookaheadLit()
+{
+    // Score each free variable by the product-ish combination of forced
+    // assignments under both polarities (classic lookahead heuristic);
+    // failed literals are propagated immediately by the caller.
+    Lit best;
+    uint64_t best_score = 0;
+    for (uint32_t v = 0; v < formula_.numVars(); ++v) {
+        if (assigns_[v] != LBool::Undef)
+            continue;
+        Lit pos = Lit::make(v, false);
+        Lit neg = Lit::make(v, true);
+        uint32_t sp = lookaheadScore(pos);
+        uint32_t sn = lookaheadScore(neg);
+        if (sp == ~0u && sn == ~0u)
+            return pos; // both polarities fail: branch to expose conflict
+        if (sp == ~0u)
+            return neg; // failed literal: forced
+        if (sn == ~0u)
+            return pos;
+        uint64_t score =
+            uint64_t(sp) * uint64_t(sn) * 1024 + uint64_t(sp) + uint64_t(sn);
+        if (!best.valid() || score > best_score) {
+            best_score = score;
+            best = sp >= sn ? pos : neg;
+        }
+    }
+    return best;
+}
+
+bool
+DpllSolver::allClausesSatisfied() const
+{
+    for (const auto &clause : formula_.clauses()) {
+        bool sat = false;
+        for (const Lit &l : clause) {
+            if (litValue(l) == LBool::True) {
+                sat = true;
+                break;
+            }
+        }
+        if (!sat)
+            return false;
+    }
+    return true;
+}
+
+bool
+DpllSolver::recurse()
+{
+    ++stats_.nodes;
+    Lit branch = pickLookaheadLit();
+    if (!branch.valid())
+        return allClausesSatisfied();
+
+    size_t mark = trail_.size();
+    for (Lit l : {branch, ~branch}) {
+        if (assume(l)) {
+            if (recurse())
+                return true;
+        }
+        undoTo(mark);
+        ++stats_.backtracks;
+    }
+    return false;
+}
+
+SolveResult
+DpllSolver::solve()
+{
+    trail_.clear();
+    std::fill(assigns_.begin(), assigns_.end(), LBool::Undef);
+    if (!propagateFrom(0))
+        return SolveResult::Unsat;
+    if (!recurse())
+        return SolveResult::Unsat;
+    model_.assign(formula_.numVars(), false);
+    for (uint32_t v = 0; v < formula_.numVars(); ++v)
+        model_[v] = (assigns_[v] == LBool::True);
+    // Unconstrained variables default to false; verify.
+    reasonAssert(formula_.evaluate(model_), "DPLL model must satisfy");
+    return SolveResult::Sat;
+}
+
+CubeSplitter::CubeSplitter(const CnfFormula &formula,
+                           uint32_t max_cube_depth)
+    : formula_(formula), maxDepth_(max_cube_depth), splitter_(formula)
+{
+}
+
+void
+CubeSplitter::splitRecurse(std::vector<Cube> &out,
+                           std::vector<Lit> &prefix, uint32_t depth)
+{
+    if (depth == maxDepth_) {
+        out.push_back({prefix, false});
+        return;
+    }
+    Lit branch = splitter_.pickLookaheadLit();
+    if (!branch.valid()) {
+        // Fully assigned by propagation: emit as-is.
+        out.push_back({prefix, false});
+        return;
+    }
+    for (Lit l : {branch, ~branch}) {
+        size_t mark = splitter_.trail_.size();
+        prefix.push_back(l);
+        if (splitter_.assume(l)) {
+            splitRecurse(out, prefix, depth + 1);
+        } else {
+            out.push_back({prefix, true});
+        }
+        splitter_.undoTo(mark);
+        prefix.pop_back();
+    }
+}
+
+std::vector<Cube>
+CubeSplitter::split()
+{
+    std::vector<Cube> cubes;
+    std::vector<Lit> prefix;
+    if (!splitter_.propagateFrom(0)) {
+        // Formula refuted by top-level propagation alone.
+        cubes.push_back({{}, true});
+        return cubes;
+    }
+    splitRecurse(cubes, prefix, 0);
+    return cubes;
+}
+
+CubeAndConquerResult
+cubeAndConquer(const CnfFormula &formula, uint32_t cube_depth)
+{
+    CubeAndConquerResult res;
+    CubeSplitter splitter(formula, cube_depth);
+    std::vector<Cube> cubes = splitter.split();
+    res.numCubes = cubes.size();
+    res.splitStats = splitter.stats();
+
+    CdclSolver conquer(formula);
+    res.result = SolveResult::Unsat;
+    for (const Cube &cube : cubes) {
+        if (cube.refuted) {
+            ++res.refutedByLookahead;
+            continue;
+        }
+        SolveResult r = conquer.solve(cube.lits);
+        res.conquerStats.push_back(conquer.stats());
+        if (r == SolveResult::Sat) {
+            res.result = SolveResult::Sat;
+            res.model = conquer.model();
+            return res;
+        }
+    }
+    return res;
+}
+
+} // namespace logic
+} // namespace reason

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * DPLL search with unit propagation and lookahead branching, plus the
+ * cube generation half of cube-and-conquer (Sec. II-C, V-E).
+ *
+ * The lookahead solver measures, for each free variable, how many
+ * assignments unit propagation forces under each polarity, and branches on
+ * the variable with the largest combined reduction.  The same engine emits
+ * "cubes" (partial assignments) whose subproblems are handed to CDCL
+ * conquer solvers.
+ */
+
+#ifndef REASON_LOGIC_DPLL_H
+#define REASON_LOGIC_DPLL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "logic/cnf.h"
+#include "logic/solver.h"
+
+namespace reason {
+namespace logic {
+
+/** Effort statistics for the DPLL/lookahead phase. */
+struct DpllStats
+{
+    uint64_t nodes = 0;
+    uint64_t propagations = 0;
+    uint64_t lookaheads = 0;
+    uint64_t backtracks = 0;
+};
+
+/**
+ * Plain DPLL solver with unit propagation and lookahead branching.
+ * Intended for small instances and cube generation; use CdclSolver for
+ * anything serious.
+ */
+class DpllSolver
+{
+  public:
+    explicit DpllSolver(const CnfFormula &formula);
+
+    /** Solve completely; fills model() when Sat. */
+    SolveResult solve();
+
+    const std::vector<bool> &model() const { return model_; }
+    const DpllStats &stats() const { return stats_; }
+
+    /**
+     * Lookahead score for branching: number of literals forced by
+     * propagating `l` on top of the current partial assignment, or
+     * UINT32_MAX if propagation hits a conflict (failed literal).
+     */
+    uint32_t lookaheadScore(Lit l);
+
+  private:
+    friend class CubeSplitter;
+
+    bool propagateFrom(size_t from);
+    /** Assign and propagate; @return false on conflict. */
+    bool assume(Lit l);
+    void undoTo(size_t trail_size);
+    /** Pick a branch variable by lookahead; invalid Lit if none free. */
+    Lit pickLookaheadLit();
+    bool allClausesSatisfied() const;
+    bool recurse();
+
+    LBool litValue(Lit l) const;
+
+    const CnfFormula &formula_;
+    std::vector<LBool> assigns_;
+    std::vector<Lit> trail_;
+    DpllStats stats_;
+    std::vector<bool> model_;
+};
+
+/** A cube: conjunction of decision literals defining a subproblem. */
+struct Cube
+{
+    std::vector<Lit> lits;
+    /** True when lookahead already refuted this branch. */
+    bool refuted = false;
+};
+
+/**
+ * Cube-and-conquer driver (Heule et al. style): split the formula into
+ * cubes with DPLL lookahead, then conquer each cube with a CDCL solver
+ * under assumptions.
+ */
+class CubeSplitter
+{
+  public:
+    /**
+     * @param max_cube_depth decisions per cube (2^depth cubes at most).
+     */
+    CubeSplitter(const CnfFormula &formula, uint32_t max_cube_depth);
+
+    /** Generate cubes; refuted branches are included with refuted=true. */
+    std::vector<Cube> split();
+
+    const DpllStats &stats() const { return splitter_.stats(); }
+
+  private:
+    void splitRecurse(std::vector<Cube> &out, std::vector<Lit> &prefix,
+                      uint32_t depth);
+
+    const CnfFormula &formula_;
+    uint32_t maxDepth_;
+    DpllSolver splitter_;
+};
+
+/** Aggregate result of a cube-and-conquer run. */
+struct CubeAndConquerResult
+{
+    SolveResult result = SolveResult::Unknown;
+    std::vector<bool> model;
+    size_t numCubes = 0;
+    size_t refutedByLookahead = 0;
+    /** Per-cube conquer statistics, index-aligned with the cube list. */
+    std::vector<SolverStats> conquerStats;
+    DpllStats splitStats;
+};
+
+/**
+ * Full cube-and-conquer: split into at most 2^depth cubes and conquer each
+ * with CDCL under assumptions.  Functionally equivalent to solveCnf.
+ */
+CubeAndConquerResult cubeAndConquer(const CnfFormula &formula,
+                                    uint32_t cube_depth);
+
+} // namespace logic
+} // namespace reason
+
+#endif // REASON_LOGIC_DPLL_H

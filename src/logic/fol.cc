@@ -1,0 +1,736 @@
+#include "logic/fol.h"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace logic {
+
+// ---------------------------------------------------------------------
+// Terms
+// ---------------------------------------------------------------------
+
+Term
+Term::var(std::string n)
+{
+    Term t;
+    t.kind = Kind::Var;
+    t.name = std::move(n);
+    return t;
+}
+
+Term
+Term::func(std::string n, std::vector<Term> a)
+{
+    Term t;
+    t.kind = Kind::Func;
+    t.name = std::move(n);
+    t.args = std::move(a);
+    return t;
+}
+
+bool
+Term::operator==(const Term &o) const
+{
+    return kind == o.kind && name == o.name && args == o.args;
+}
+
+std::string
+Term::toString() const
+{
+    if (isVar())
+        return "?" + name;
+    if (args.empty())
+        return name;
+    std::ostringstream os;
+    os << name << "(";
+    for (size_t i = 0; i < args.size(); ++i)
+        os << (i ? "," : "") << args[i].toString();
+    os << ")";
+    return os.str();
+}
+
+Term
+applySubst(const Term &t, const Substitution &s)
+{
+    if (t.isVar()) {
+        auto it = s.find(t.name);
+        if (it == s.end())
+            return t;
+        // Substitutions may chain (x -> y, y -> c); resolve recursively.
+        return applySubst(it->second, s);
+    }
+    Term out = t;
+    for (auto &arg : out.args)
+        arg = applySubst(arg, s);
+    return out;
+}
+
+namespace {
+
+bool
+occursIn(const std::string &var, const Term &t, const Substitution &s)
+{
+    if (t.isVar()) {
+        if (t.name == var)
+            return true;
+        auto it = s.find(t.name);
+        return it != s.end() && occursIn(var, it->second, s);
+    }
+    for (const auto &arg : t.args)
+        if (occursIn(var, arg, s))
+            return true;
+    return false;
+}
+
+bool
+unifyInto(const Term &a, const Term &b, Substitution &s)
+{
+    Term ra = applySubst(a, s);
+    Term rb = applySubst(b, s);
+    if (ra.isVar() && rb.isVar() && ra.name == rb.name)
+        return true;
+    if (ra.isVar()) {
+        if (occursIn(ra.name, rb, s))
+            return false;
+        s[ra.name] = rb;
+        return true;
+    }
+    if (rb.isVar()) {
+        if (occursIn(rb.name, ra, s))
+            return false;
+        s[rb.name] = ra;
+        return true;
+    }
+    if (ra.name != rb.name || ra.args.size() != rb.args.size())
+        return false;
+    for (size_t i = 0; i < ra.args.size(); ++i)
+        if (!unifyInto(ra.args[i], rb.args[i], s))
+            return false;
+    return true;
+}
+
+} // namespace
+
+std::optional<Substitution>
+unify(const Term &a, const Term &b, Substitution seed)
+{
+    if (unifyInto(a, b, seed))
+        return seed;
+    return std::nullopt;
+}
+
+// ---------------------------------------------------------------------
+// Literals and formulas
+// ---------------------------------------------------------------------
+
+FolLiteral
+FolLiteral::negatedCopy() const
+{
+    FolLiteral l = *this;
+    l.negated = !l.negated;
+    return l;
+}
+
+bool
+FolLiteral::operator==(const FolLiteral &o) const
+{
+    return negated == o.negated && pred == o.pred && args == o.args;
+}
+
+std::string
+FolLiteral::toString() const
+{
+    std::ostringstream os;
+    if (negated)
+        os << "~";
+    os << pred;
+    if (!args.empty()) {
+        os << "(";
+        for (size_t i = 0; i < args.size(); ++i)
+            os << (i ? "," : "") << args[i].toString();
+        os << ")";
+    }
+    return os.str();
+}
+
+namespace {
+FolPtr
+make(FolFormula::Kind k, std::string name, std::vector<Term> args,
+     FolPtr lhs, FolPtr rhs)
+{
+    auto f = std::make_shared<FolFormula>();
+    f->kind = k;
+    f->name = std::move(name);
+    f->args = std::move(args);
+    f->lhs = std::move(lhs);
+    f->rhs = std::move(rhs);
+    return f;
+}
+} // namespace
+
+FolPtr
+FolFormula::pred(std::string name, std::vector<Term> args)
+{
+    return make(Kind::Pred, std::move(name), std::move(args), nullptr,
+                nullptr);
+}
+
+FolPtr
+FolFormula::lnot(FolPtr f)
+{
+    return make(Kind::Not, "", {}, std::move(f), nullptr);
+}
+
+FolPtr
+FolFormula::land(FolPtr a, FolPtr b)
+{
+    return make(Kind::And, "", {}, std::move(a), std::move(b));
+}
+
+FolPtr
+FolFormula::lor(FolPtr a, FolPtr b)
+{
+    return make(Kind::Or, "", {}, std::move(a), std::move(b));
+}
+
+FolPtr
+FolFormula::implies(FolPtr a, FolPtr b)
+{
+    return make(Kind::Implies, "", {}, std::move(a), std::move(b));
+}
+
+FolPtr
+FolFormula::iff(FolPtr a, FolPtr b)
+{
+    return make(Kind::Iff, "", {}, std::move(a), std::move(b));
+}
+
+FolPtr
+FolFormula::forall(std::string var, FolPtr body)
+{
+    return make(Kind::ForAll, std::move(var), {}, std::move(body),
+                nullptr);
+}
+
+FolPtr
+FolFormula::exists(std::string var, FolPtr body)
+{
+    return make(Kind::Exists, std::move(var), {}, std::move(body),
+                nullptr);
+}
+
+std::string
+FolFormula::toString() const
+{
+    switch (kind) {
+      case Kind::Pred: {
+        FolLiteral l{false, name, args};
+        return l.toString();
+      }
+      case Kind::Not:
+        return "~(" + lhs->toString() + ")";
+      case Kind::And:
+        return "(" + lhs->toString() + " & " + rhs->toString() + ")";
+      case Kind::Or:
+        return "(" + lhs->toString() + " | " + rhs->toString() + ")";
+      case Kind::Implies:
+        return "(" + lhs->toString() + " -> " + rhs->toString() + ")";
+      case Kind::Iff:
+        return "(" + lhs->toString() + " <-> " + rhs->toString() + ")";
+      case Kind::ForAll:
+        return "forall " + name + ". " + lhs->toString();
+      case Kind::Exists:
+        return "exists " + name + ". " + lhs->toString();
+    }
+    panic("unreachable formula kind");
+}
+
+// ---------------------------------------------------------------------
+// Clausification
+// ---------------------------------------------------------------------
+
+namespace {
+
+using Kind = FolFormula::Kind;
+
+/** Rewrite -> and <-> into &, |, ~. */
+FolPtr
+eliminateArrows(const FolPtr &f)
+{
+    switch (f->kind) {
+      case Kind::Pred:
+        return f;
+      case Kind::Not:
+        return FolFormula::lnot(eliminateArrows(f->lhs));
+      case Kind::And:
+        return FolFormula::land(eliminateArrows(f->lhs),
+                                eliminateArrows(f->rhs));
+      case Kind::Or:
+        return FolFormula::lor(eliminateArrows(f->lhs),
+                               eliminateArrows(f->rhs));
+      case Kind::Implies:
+        return FolFormula::lor(
+            FolFormula::lnot(eliminateArrows(f->lhs)),
+            eliminateArrows(f->rhs));
+      case Kind::Iff: {
+        FolPtr a = eliminateArrows(f->lhs);
+        FolPtr b = eliminateArrows(f->rhs);
+        return FolFormula::land(
+            FolFormula::lor(FolFormula::lnot(a), b),
+            FolFormula::lor(FolFormula::lnot(b), a));
+      }
+      case Kind::ForAll:
+        return FolFormula::forall(f->name, eliminateArrows(f->lhs));
+      case Kind::Exists:
+        return FolFormula::exists(f->name, eliminateArrows(f->lhs));
+    }
+    panic("unreachable");
+}
+
+/** Push negations down to predicates (negation normal form). */
+FolPtr
+toNnf(const FolPtr &f, bool negate_ctx)
+{
+    switch (f->kind) {
+      case Kind::Pred: {
+        FolPtr p = FolFormula::pred(f->name, f->args);
+        return negate_ctx ? FolFormula::lnot(p) : p;
+      }
+      case Kind::Not:
+        return toNnf(f->lhs, !negate_ctx);
+      case Kind::And: {
+        FolPtr a = toNnf(f->lhs, negate_ctx);
+        FolPtr b = toNnf(f->rhs, negate_ctx);
+        return negate_ctx ? FolFormula::lor(a, b)
+                          : FolFormula::land(a, b);
+      }
+      case Kind::Or: {
+        FolPtr a = toNnf(f->lhs, negate_ctx);
+        FolPtr b = toNnf(f->rhs, negate_ctx);
+        return negate_ctx ? FolFormula::land(a, b)
+                          : FolFormula::lor(a, b);
+      }
+      case Kind::ForAll: {
+        FolPtr body = toNnf(f->lhs, negate_ctx);
+        return negate_ctx ? FolFormula::exists(f->name, body)
+                          : FolFormula::forall(f->name, body);
+      }
+      case Kind::Exists: {
+        FolPtr body = toNnf(f->lhs, negate_ctx);
+        return negate_ctx ? FolFormula::forall(f->name, body)
+                          : FolFormula::exists(f->name, body);
+      }
+      case Kind::Implies:
+      case Kind::Iff:
+        panic("arrows must be eliminated before NNF");
+    }
+    panic("unreachable");
+}
+
+struct SkolemState
+{
+    uint64_t nextVar = 0;
+    uint64_t nextSkolem = 0;
+};
+
+Term
+substTermVars(const Term &t, const std::map<std::string, Term> &map)
+{
+    if (t.isVar()) {
+        auto it = map.find(t.name);
+        return it == map.end() ? t : it->second;
+    }
+    Term out = t;
+    for (auto &a : out.args)
+        a = substTermVars(a, map);
+    return out;
+}
+
+/**
+ * Standardize apart + Skolemize in one NNF traversal.
+ * universals: the universally quantified variables currently in scope.
+ */
+FolPtr
+skolemize(const FolPtr &f, std::map<std::string, Term> env,
+          std::vector<Term> universals, SkolemState &st)
+{
+    switch (f->kind) {
+      case Kind::Pred: {
+        std::vector<Term> args;
+        args.reserve(f->args.size());
+        for (const auto &a : f->args)
+            args.push_back(substTermVars(a, env));
+        return FolFormula::pred(f->name, std::move(args));
+      }
+      case Kind::Not:
+        return FolFormula::lnot(
+            skolemize(f->lhs, env, universals, st));
+      case Kind::And:
+        return FolFormula::land(
+            skolemize(f->lhs, env, universals, st),
+            skolemize(f->rhs, env, universals, st));
+      case Kind::Or:
+        return FolFormula::lor(
+            skolemize(f->lhs, env, universals, st),
+            skolemize(f->rhs, env, universals, st));
+      case Kind::ForAll: {
+        std::string fresh = "V" + std::to_string(st.nextVar++);
+        env[f->name] = Term::var(fresh);
+        universals.push_back(Term::var(fresh));
+        FolPtr body = skolemize(f->lhs, env, universals, st);
+        return FolFormula::forall(fresh, body);
+      }
+      case Kind::Exists: {
+        std::string sk = "sk" + std::to_string(st.nextSkolem++);
+        env[f->name] = Term::func(sk, universals);
+        return skolemize(f->lhs, env, universals, st);
+      }
+      case Kind::Implies:
+      case Kind::Iff:
+        panic("arrows must be eliminated before skolemization");
+    }
+    panic("unreachable");
+}
+
+/** Drop universal quantifiers (all variables are implicitly universal). */
+FolPtr
+dropUniversals(const FolPtr &f)
+{
+    switch (f->kind) {
+      case Kind::Pred:
+        return f;
+      case Kind::Not:
+        return FolFormula::lnot(dropUniversals(f->lhs));
+      case Kind::And:
+        return FolFormula::land(dropUniversals(f->lhs),
+                                dropUniversals(f->rhs));
+      case Kind::Or:
+        return FolFormula::lor(dropUniversals(f->lhs),
+                               dropUniversals(f->rhs));
+      case Kind::ForAll:
+        return dropUniversals(f->lhs);
+      default:
+        panic("unexpected kind after skolemization");
+    }
+}
+
+/** CNF of a quantifier-free NNF formula, as clause sets. */
+std::vector<FolClause>
+distribute(const FolPtr &f)
+{
+    switch (f->kind) {
+      case Kind::Pred:
+        return {{FolLiteral{false, f->name, f->args}}};
+      case Kind::Not: {
+        reasonAssert(f->lhs->kind == Kind::Pred,
+                     "NNF negation must wrap a predicate");
+        return {{FolLiteral{true, f->lhs->name, f->lhs->args}}};
+      }
+      case Kind::And: {
+        auto a = distribute(f->lhs);
+        auto b = distribute(f->rhs);
+        a.insert(a.end(), b.begin(), b.end());
+        return a;
+      }
+      case Kind::Or: {
+        auto a = distribute(f->lhs);
+        auto b = distribute(f->rhs);
+        std::vector<FolClause> out;
+        out.reserve(a.size() * b.size());
+        for (const auto &ca : a) {
+            for (const auto &cb : b) {
+                FolClause merged = ca;
+                merged.insert(merged.end(), cb.begin(), cb.end());
+                out.push_back(std::move(merged));
+            }
+        }
+        return out;
+      }
+      default:
+        panic("unexpected kind in distribution");
+    }
+}
+
+} // namespace
+
+std::vector<FolClause>
+clausify(const FolPtr &formula)
+{
+    SkolemState st;
+    FolPtr f = eliminateArrows(formula);
+    f = toNnf(f, false);
+    f = skolemize(f, {}, {}, st);
+    f = dropUniversals(f);
+    auto clauses = distribute(f);
+    // Deduplicate literals within each clause.
+    for (auto &c : clauses) {
+        FolClause dedup;
+        for (const auto &l : c) {
+            if (std::find(dedup.begin(), dedup.end(), l) == dedup.end())
+                dedup.push_back(l);
+        }
+        c = std::move(dedup);
+    }
+    return clauses;
+}
+
+std::vector<FolClause>
+clausify(const std::vector<FolPtr> &formulas)
+{
+    std::vector<FolClause> out;
+    for (const auto &f : formulas) {
+        auto cs = clausify(f);
+        out.insert(out.end(), cs.begin(), cs.end());
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Grounding
+// ---------------------------------------------------------------------
+
+Grounder::Grounder(std::vector<std::string> domain_constants)
+    : domain_(std::move(domain_constants))
+{
+    reasonAssert(!domain_.empty(), "grounding needs a non-empty domain");
+}
+
+uint32_t
+Grounder::atomVar(const std::string &pred,
+                  const std::vector<Term> &ground_args)
+{
+    std::ostringstream key;
+    key << pred;
+    for (const auto &a : ground_args) {
+        reasonAssert(!a.isVar() && a.args.empty(),
+                     "atomVar needs ground constant arguments");
+        key << "/" << a.name;
+    }
+    auto [it, inserted] =
+        atomOfKey_.emplace(key.str(), static_cast<uint32_t>(names_.size()));
+    if (inserted)
+        names_.push_back(key.str());
+    return it->second;
+}
+
+const std::string &
+Grounder::atomName(uint32_t var) const
+{
+    return names_.at(var);
+}
+
+void
+Grounder::groundClause(const FolClause &clause, CnfFormula &out)
+{
+    // Collect distinct variables.
+    std::vector<std::string> vars;
+    for (const auto &lit : clause) {
+        for (const auto &t : lit.args) {
+            if (t.isVar() &&
+                std::find(vars.begin(), vars.end(), t.name) == vars.end())
+                vars.push_back(t.name);
+            reasonAssert(t.isVar() || t.args.empty(),
+                         "grounder supports function-free clauses only");
+        }
+    }
+    // Enumerate all assignments of domain constants to variables.
+    std::vector<size_t> idx(vars.size(), 0);
+    while (true) {
+        Substitution s;
+        for (size_t i = 0; i < vars.size(); ++i)
+            s[vars[i]] = Term::constant(domain_[idx[i]]);
+        Clause prop;
+        for (const auto &lit : clause) {
+            std::vector<Term> ground_args;
+            ground_args.reserve(lit.args.size());
+            for (const auto &t : lit.args)
+                ground_args.push_back(applySubst(t, s));
+            uint32_t v = atomVar(lit.pred, ground_args);
+            prop.push_back(Lit::make(v, lit.negated));
+        }
+        out.ensureVars(static_cast<uint32_t>(names_.size()));
+        out.addClause(std::move(prop));
+        // Odometer increment.
+        size_t d = 0;
+        while (d < idx.size()) {
+            if (++idx[d] < domain_.size())
+                break;
+            idx[d] = 0;
+            ++d;
+        }
+        if (d == idx.size())
+            break;
+        if (vars.empty())
+            break;
+    }
+}
+
+CnfFormula
+Grounder::ground(const std::vector<FolClause> &clauses)
+{
+    CnfFormula out;
+    for (const auto &c : clauses)
+        groundClause(c, out);
+    out.ensureVars(static_cast<uint32_t>(names_.size()));
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Resolution
+// ---------------------------------------------------------------------
+
+namespace {
+
+/** Rename all variables in a clause with a unique suffix. */
+FolClause
+freshen(const FolClause &c, uint64_t suffix)
+{
+    std::map<std::string, Term> map;
+    std::set<std::string> vars;
+    for (const auto &l : c)
+        for (const auto &t : l.args)
+            if (t.isVar())
+                vars.insert(t.name);
+    for (const auto &v : vars)
+        map[v] = Term::var(v + "_r" + std::to_string(suffix));
+    FolClause out = c;
+    for (auto &l : out)
+        for (auto &t : l.args)
+            t = substTermVars(t, map);
+    return out;
+}
+
+FolClause
+applySubstClause(const FolClause &c, const Substitution &s)
+{
+    FolClause out = c;
+    for (auto &l : out)
+        for (auto &t : l.args)
+            t = applySubst(t, s);
+    // Remove duplicate literals produced by the substitution.
+    FolClause dedup;
+    for (const auto &l : out)
+        if (std::find(dedup.begin(), dedup.end(), l) == dedup.end())
+            dedup.push_back(l);
+    return dedup;
+}
+
+std::string
+clauseKey(const FolClause &c)
+{
+    std::vector<std::string> parts;
+    parts.reserve(c.size());
+    for (const auto &l : c)
+        parts.push_back(l.toString());
+    std::sort(parts.begin(), parts.end());
+    std::string key;
+    for (const auto &p : parts)
+        key += p + ";";
+    return key;
+}
+
+bool
+isTautology(const FolClause &c)
+{
+    for (size_t i = 0; i < c.size(); ++i)
+        for (size_t j = i + 1; j < c.size(); ++j)
+            if (c[i].pred == c[j].pred && c[i].negated != c[j].negated &&
+                c[i].args == c[j].args)
+                return true;
+    return false;
+}
+
+} // namespace
+
+ResolutionResult
+resolutionRefute(std::vector<FolClause> clauses, uint64_t max_steps)
+{
+    ResolutionResult res;
+    std::set<std::string> seen;
+    std::vector<FolClause> all;
+    for (auto &c : clauses) {
+        if (c.empty()) {
+            res.proved = true;
+            return res;
+        }
+        if (isTautology(c))
+            continue;
+        std::string key = clauseKey(c);
+        if (seen.insert(key).second)
+            all.push_back(std::move(c));
+    }
+
+    uint64_t rename_counter = 0;
+    // Given-clause saturation: process pairs in insertion order.
+    for (size_t i = 0; i < all.size(); ++i) {
+        for (size_t j = 0; j < i; ++j) {
+            if (res.resolutionSteps >= max_steps) {
+                res.maxClauseSetSize = all.size();
+                return res;
+            }
+            FolClause a = all[i];
+            FolClause b = freshen(all[j], ++rename_counter);
+            for (size_t la = 0; la < a.size(); ++la) {
+                for (size_t lb = 0; lb < b.size(); ++lb) {
+                    if (a[la].pred != b[lb].pred ||
+                        a[la].negated == b[lb].negated ||
+                        a[la].args.size() != b[lb].args.size())
+                        continue;
+                    ++res.resolutionSteps;
+                    Substitution s;
+                    bool ok = true;
+                    for (size_t k = 0; k < a[la].args.size() && ok; ++k) {
+                        auto u = unify(a[la].args[k], b[lb].args[k], s);
+                        if (!u) {
+                            ok = false;
+                        } else {
+                            s = std::move(*u);
+                        }
+                    }
+                    if (!ok)
+                        continue;
+                    FolClause resolvent;
+                    for (size_t k = 0; k < a.size(); ++k)
+                        if (k != la)
+                            resolvent.push_back(a[k]);
+                    for (size_t k = 0; k < b.size(); ++k)
+                        if (k != lb)
+                            resolvent.push_back(b[k]);
+                    resolvent = applySubstClause(resolvent, s);
+                    ++res.generatedClauses;
+                    if (resolvent.empty()) {
+                        res.proved = true;
+                        res.maxClauseSetSize = all.size();
+                        return res;
+                    }
+                    if (isTautology(resolvent))
+                        continue;
+                    std::string key = clauseKey(resolvent);
+                    if (seen.insert(key).second)
+                        all.push_back(std::move(resolvent));
+                }
+            }
+        }
+    }
+    res.saturated = true;
+    res.maxClauseSetSize = all.size();
+    return res;
+}
+
+ResolutionResult
+resolutionProve(const std::vector<FolPtr> &axioms, const FolPtr &goal,
+                uint64_t max_steps)
+{
+    std::vector<FolClause> clauses = clausify(axioms);
+    auto negated_goal = clausify(FolFormula::lnot(goal));
+    clauses.insert(clauses.end(), negated_goal.begin(),
+                   negated_goal.end());
+    return resolutionRefute(std::move(clauses), max_steps);
+}
+
+} // namespace logic
+} // namespace reason

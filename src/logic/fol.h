@@ -1,0 +1,185 @@
+/**
+ * @file
+ * First-order logic substrate: terms, formulas, clausification to CNF,
+ * grounding to propositional SAT, unification, and a resolution prover.
+ *
+ * This is the logic backbone used by the LINC- and AlphaGeometry-style
+ * workloads (Sec. II-C): FOL theories are clausified, then either grounded
+ * over a finite domain into propositional CNF (feeding the unified DAG) or
+ * refuted directly by resolution.
+ */
+
+#ifndef REASON_LOGIC_FOL_H
+#define REASON_LOGIC_FOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "logic/cnf.h"
+
+namespace reason {
+namespace logic {
+
+/**
+ * First-order term: a variable or a function application.  Constants are
+ * 0-ary function applications.  Value type; trees are small.
+ */
+struct Term
+{
+    enum class Kind : uint8_t { Var, Func };
+
+    Kind kind = Kind::Var;
+    std::string name;
+    std::vector<Term> args;
+
+    static Term var(std::string n);
+    static Term func(std::string n, std::vector<Term> a = {});
+    static Term constant(std::string n) { return func(std::move(n)); }
+
+    bool isVar() const { return kind == Kind::Var; }
+    bool operator==(const Term &o) const;
+    std::string toString() const;
+};
+
+/** Substitution: variable name -> term. */
+using Substitution = std::map<std::string, Term>;
+
+/** Apply a substitution to a term (repeatedly, until fixpoint per var). */
+Term applySubst(const Term &t, const Substitution &s);
+
+/**
+ * Most general unifier of two terms, with occurs check.
+ * @return nullopt when not unifiable.
+ */
+std::optional<Substitution> unify(const Term &a, const Term &b,
+                                  Substitution seed = {});
+
+/** First-order literal: possibly negated predicate over terms. */
+struct FolLiteral
+{
+    bool negated = false;
+    std::string pred;
+    std::vector<Term> args;
+
+    FolLiteral negatedCopy() const;
+    bool operator==(const FolLiteral &o) const;
+    std::string toString() const;
+};
+
+/** First-order clause: disjunction of literals. */
+using FolClause = std::vector<FolLiteral>;
+
+class FolFormula;
+using FolPtr = std::shared_ptr<const FolFormula>;
+
+/**
+ * First-order formula AST.  Immutable; build with the factory helpers.
+ */
+class FolFormula
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Pred, Not, And, Or, Implies, Iff, ForAll, Exists
+    };
+
+    Kind kind;
+    std::string name;          ///< predicate name, or quantified variable
+    std::vector<Term> args;    ///< predicate arguments
+    FolPtr lhs;                ///< unary/binary child, or quantifier body
+    FolPtr rhs;                ///< binary second child
+
+    std::string toString() const;
+
+    // Factory helpers.
+    static FolPtr pred(std::string name, std::vector<Term> args = {});
+    static FolPtr lnot(FolPtr f);
+    static FolPtr land(FolPtr a, FolPtr b);
+    static FolPtr lor(FolPtr a, FolPtr b);
+    static FolPtr implies(FolPtr a, FolPtr b);
+    static FolPtr iff(FolPtr a, FolPtr b);
+    static FolPtr forall(std::string var, FolPtr body);
+    static FolPtr exists(std::string var, FolPtr body);
+};
+
+/**
+ * Clausify a formula: eliminate ->/<->, push negations to literals,
+ * standardize variables apart, Skolemize existentials, drop universal
+ * quantifiers, and distribute disjunction over conjunction.
+ *
+ * @return equisatisfiable clause set.
+ */
+std::vector<FolClause> clausify(const FolPtr &formula);
+
+/** Clausify a conjunction of formulas. */
+std::vector<FolClause> clausify(const std::vector<FolPtr> &formulas);
+
+/**
+ * Ground a clause set over a finite domain of constants and encode as
+ * propositional CNF.  Each distinct ground atom becomes one variable.
+ *
+ * Function symbols of arity > 0 are not expanded (Herbrand depth 0); the
+ * generators in src/workloads produce function-free theories.
+ */
+class Grounder
+{
+  public:
+    explicit Grounder(std::vector<std::string> domain_constants);
+
+    /** Ground all clauses; accumulates into the atom table. */
+    CnfFormula ground(const std::vector<FolClause> &clauses);
+
+    /** Propositional variable of a ground atom; creates it if missing. */
+    uint32_t atomVar(const std::string &pred,
+                     const std::vector<Term> &ground_args);
+
+    size_t numAtoms() const { return atomOfKey_.size(); }
+
+    /** Reverse lookup: textual atom for a propositional variable. */
+    const std::string &atomName(uint32_t var) const;
+
+  private:
+    void groundClause(const FolClause &clause, CnfFormula &out);
+
+    std::vector<std::string> domain_;
+    std::map<std::string, uint32_t> atomOfKey_;
+    std::vector<std::string> names_;
+};
+
+/** Result of a resolution refutation attempt. */
+struct ResolutionResult
+{
+    /** True when the empty clause was derived (theory ∪ ¬goal is unsat,
+     *  i.e. the goal is entailed). */
+    bool proved = false;
+    /** Saturation reached without refutation within limits. */
+    bool saturated = false;
+    uint64_t resolutionSteps = 0;
+    uint64_t generatedClauses = 0;
+    uint64_t maxClauseSetSize = 0;
+};
+
+/**
+ * Resolution prover with factoring, identical-clause elimination, and a
+ * given-clause loop.  Proves `goal` from `axioms` by refuting
+ * axioms ∪ clausify(¬goal).
+ *
+ * @param max_steps inference budget; Unknown result when exhausted.
+ */
+ResolutionResult resolutionProve(const std::vector<FolPtr> &axioms,
+                                 const FolPtr &goal,
+                                 uint64_t max_steps = 20000);
+
+/** Run resolution on an explicit clause set (refutation of the set). */
+ResolutionResult resolutionRefute(std::vector<FolClause> clauses,
+                                  uint64_t max_steps = 20000);
+
+} // namespace logic
+} // namespace reason
+
+#endif // REASON_LOGIC_FOL_H

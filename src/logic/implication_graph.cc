@@ -1,0 +1,173 @@
+#include "logic/implication_graph.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace logic {
+
+ImplicationGraph::ImplicationGraph(const CnfFormula &formula)
+{
+    adj_.resize(size_t(formula.numVars()) * 2);
+    for (const auto &clause : formula.clauses()) {
+        if (clause.size() != 2)
+            continue;
+        Lit a = clause[0];
+        Lit b = clause[1];
+        if (a.var() == b.var())
+            continue; // tautology or duplicate-literal clause
+        adj_[(~a).code()].push_back(b);
+        adj_[(~b).code()].push_back(a);
+        numEdges_ += 2;
+    }
+}
+
+const std::vector<Lit> &
+ImplicationGraph::successors(Lit from) const
+{
+    return adj_.at(from.code());
+}
+
+const std::vector<bool> &
+ImplicationGraph::reachableSet(Lit from)
+{
+    auto it = memo_.find(from.code());
+    if (it != memo_.end())
+        return it->second;
+
+    std::vector<bool> visited(adj_.size(), false);
+    std::vector<Lit> stack;
+    for (Lit next : adj_[from.code()]) {
+        if (!visited[next.code()]) {
+            visited[next.code()] = true;
+            stack.push_back(next);
+        }
+    }
+    while (!stack.empty()) {
+        Lit cur = stack.back();
+        stack.pop_back();
+        for (Lit next : adj_[cur.code()]) {
+            if (!visited[next.code()]) {
+                visited[next.code()] = true;
+                stack.push_back(next);
+            }
+        }
+    }
+    return memo_.emplace(from.code(), std::move(visited)).first->second;
+}
+
+bool
+ImplicationGraph::reachable(Lit from, Lit to)
+{
+    return reachableSet(from)[to.code()];
+}
+
+bool
+ImplicationGraph::isFailedLiteral(Lit l)
+{
+    return reachable(l, ~l);
+}
+
+CnfPruneResult
+pruneCnf(const CnfFormula &formula)
+{
+    CnfPruneResult res;
+    ImplicationGraph graph(formula);
+
+    // Phase 1: failed literal detection.  a -> ~a means a is false in all
+    // models; record the forced polarity.
+    std::vector<LBool> forced(formula.numVars(), LBool::Undef);
+    for (uint32_t v = 0; v < formula.numVars(); ++v) {
+        Lit pos = Lit::make(v, false);
+        Lit neg = Lit::make(v, true);
+        bool pos_failed = graph.isFailedLiteral(pos);
+        bool neg_failed = graph.isFailedLiteral(neg);
+        if (pos_failed && neg_failed) {
+            // Both polarities failed: formula is unsatisfiable.  Emit the
+            // canonical empty-clause formula.
+            res.pruned = CnfFormula(formula.numVars());
+            res.pruned.addClause(Clause{});
+            res.clausesRemoved = formula.numClauses();
+            res.literalsRemoved = formula.numLiterals();
+            res.literalReduction = 1.0;
+            res.failedLiterals += 2;
+            return res;
+        }
+        if (pos_failed) {
+            forced[v] = LBool::False;
+            ++res.failedLiterals;
+        } else if (neg_failed) {
+            forced[v] = LBool::True;
+            ++res.failedLiterals;
+        }
+    }
+
+    // Phase 2: rebuild clauses under forced assignments, then apply
+    // sequential hidden-literal elimination.
+    CnfFormula out(formula.numVars());
+    // Re-assert forced variables as units so equivalence is preserved.
+    for (uint32_t v = 0; v < formula.numVars(); ++v)
+        if (forced[v] != LBool::Undef)
+            out.addClause({Lit::make(v, forced[v] == LBool::False)});
+
+    for (const auto &clause : formula.clauses()) {
+        // Apply forced assignments.
+        bool satisfied = false;
+        Clause current;
+        for (const Lit &l : clause) {
+            LBool f = forced[l.var()];
+            if (f == LBool::Undef) {
+                current.push_back(l);
+                continue;
+            }
+            bool lit_true = (f == LBool::True) != l.negated();
+            if (lit_true) {
+                satisfied = true;
+                break;
+            }
+            ++res.literalsRemoved; // literal falsified by failed-literal
+        }
+        if (satisfied) {
+            ++res.clausesRemoved;
+            res.literalsRemoved += clause.size();
+            continue;
+        }
+
+        // Sequential hidden-literal elimination: drop lit i when some
+        // still-present lit j is reachable from it.
+        bool removed_any = true;
+        while (removed_any && current.size() > 1) {
+            removed_any = false;
+            for (size_t i = 0; i < current.size(); ++i) {
+                const auto &reach = graph.reachableSet(current[i]);
+                for (size_t j = 0; j < current.size(); ++j) {
+                    if (i == j)
+                        continue;
+                    if (reach[current[j].code()]) {
+                        current.erase(current.begin() +
+                                      static_cast<long>(i));
+                        ++res.literalsRemoved;
+                        removed_any = true;
+                        break;
+                    }
+                }
+                if (removed_any)
+                    break;
+            }
+        }
+        out.addClause(std::move(current));
+    }
+
+    size_t before = formula.numLiterals();
+    size_t after = out.numLiterals();
+    res.literalReduction =
+        before == 0 ? 0.0
+                    : 1.0 - static_cast<double>(after) /
+                                static_cast<double>(before);
+    res.pruned = std::move(out);
+    return res;
+}
+
+} // namespace logic
+} // namespace reason

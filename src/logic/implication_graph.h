@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Binary implication graph and implication-based CNF pruning
+ * (REASON Sec. IV-B, "Pruning of FOL and SAT via implication graph").
+ *
+ * Every binary clause (a ∨ b) induces the implication edges ¬a → b and
+ * ¬b → a.  Reachability on this graph exposes hidden literals (a literal
+ * that implies another literal of the same clause is redundant there) and
+ * failed literals (a → ¬a forces a to be false).  Both reductions preserve
+ * logical equivalence, hence satisfiability and model count.
+ */
+
+#ifndef REASON_LOGIC_IMPLICATION_GRAPH_H
+#define REASON_LOGIC_IMPLICATION_GRAPH_H
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "logic/cnf.h"
+
+namespace reason {
+namespace logic {
+
+/**
+ * Directed graph over literal nodes built from a formula's binary clauses.
+ * Reachability queries are answered by DFS with per-source memoization.
+ */
+class ImplicationGraph
+{
+  public:
+    explicit ImplicationGraph(const CnfFormula &formula);
+
+    /** Number of literal nodes (2 * numVars). */
+    size_t numNodes() const { return adj_.size(); }
+
+    /** Number of directed implication edges. */
+    size_t numEdges() const { return numEdges_; }
+
+    /** Direct successors of literal `from`. */
+    const std::vector<Lit> &successors(Lit from) const;
+
+    /** True iff a directed path from -> to exists (from != to). */
+    bool reachable(Lit from, Lit to);
+
+    /** Literal is failed iff it implies its own negation. */
+    bool isFailedLiteral(Lit l);
+
+    /** All literals reachable from `from` (excludes `from` itself unless
+     *  it lies on a cycle through itself). */
+    const std::vector<bool> &reachableSet(Lit from);
+
+  private:
+    std::vector<std::vector<Lit>> adj_;
+    size_t numEdges_ = 0;
+    // Memoized DFS results, keyed by source literal code.
+    std::unordered_map<uint32_t, std::vector<bool>> memo_;
+};
+
+/** Outcome of implication-graph-based pruning. */
+struct CnfPruneResult
+{
+    CnfFormula pruned;
+    uint64_t literalsRemoved = 0;
+    uint64_t clausesRemoved = 0;
+    uint64_t failedLiterals = 0;
+    /** Literal-count ratio removed: 1 - after/before. */
+    double literalReduction = 0.0;
+};
+
+/**
+ * Apply failed-literal elimination followed by hidden-literal elimination.
+ *
+ * Failed literals (a → ¬a) are asserted as units and propagated; satisfied
+ * clauses are dropped and falsified literals removed.  Hidden literals are
+ * then removed clause-by-clause: literal `a` is dropped from clause C when
+ * some other literal b ∈ C is reachable from a in the implication graph
+ * (sequentially, so each removal's witness is still present).
+ *
+ * The result is logically equivalent to the input.
+ */
+CnfPruneResult pruneCnf(const CnfFormula &formula);
+
+} // namespace logic
+} // namespace reason
+
+#endif // REASON_LOGIC_IMPLICATION_GRAPH_H

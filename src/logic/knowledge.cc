@@ -1,0 +1,632 @@
+#include "logic/knowledge.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <sstream>
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace reason {
+namespace logic {
+
+const char *
+nnfTypeName(NnfType type)
+{
+    switch (type) {
+      case NnfType::True: return "true";
+      case NnfType::False: return "false";
+      case NnfType::Lit: return "lit";
+      case NnfType::And: return "and";
+      case NnfType::Or: return "or";
+    }
+    return "?";
+}
+
+LitWeights
+LitWeights::uniform(uint32_t num_vars)
+{
+    LitWeights w;
+    w.pos.assign(num_vars, 0.5);
+    w.neg.assign(num_vars, 0.5);
+    return w;
+}
+
+LitWeights
+LitWeights::indicator(const std::vector<bool> &assignment)
+{
+    LitWeights w;
+    w.pos.resize(assignment.size());
+    w.neg.resize(assignment.size());
+    for (size_t v = 0; v < assignment.size(); ++v) {
+        w.pos[v] = assignment[v] ? 1.0 : 0.0;
+        w.neg[v] = assignment[v] ? 0.0 : 1.0;
+    }
+    return w;
+}
+
+LitWeights
+LitWeights::random(Rng &rng, uint32_t num_vars)
+{
+    LitWeights w;
+    w.pos.resize(num_vars);
+    w.neg.resize(num_vars);
+    for (uint32_t v = 0; v < num_vars; ++v) {
+        double p = 0.1 + 0.8 * rng.uniform01();
+        w.pos[v] = p;
+        w.neg[v] = 1.0 - p;
+    }
+    return w;
+}
+
+// --------------------------------------------------------------------------
+// DnnfGraph queries
+// --------------------------------------------------------------------------
+
+size_t
+DnnfGraph::numEdges() const
+{
+    size_t n = 0;
+    for (const auto &node : nodes_)
+        n += node.children.size();
+    return n;
+}
+
+std::vector<std::vector<uint32_t>>
+DnnfGraph::scopes() const
+{
+    std::vector<std::vector<uint32_t>> scope(nodes_.size());
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const NnfNode &node = nodes_[i];
+        switch (node.type) {
+          case NnfType::True:
+          case NnfType::False:
+            break;
+          case NnfType::Lit:
+            scope[i].push_back(node.lit.var());
+            break;
+          case NnfType::And:
+          case NnfType::Or:
+            for (NnfId c : node.children) {
+                scope[i].insert(scope[i].end(), scope[c].begin(),
+                                scope[c].end());
+            }
+            if (node.type == NnfType::Or)
+                scope[i].push_back(node.decisionVar);
+            std::sort(scope[i].begin(), scope[i].end());
+            scope[i].erase(std::unique(scope[i].begin(), scope[i].end()),
+                           scope[i].end());
+            break;
+        }
+    }
+    return scope;
+}
+
+std::vector<double>
+DnnfGraph::weightedValues(const LitWeights &weights) const
+{
+    const std::vector<double> &pos = weights.pos;
+    const std::vector<double> &neg = weights.neg;
+    reasonAssert(pos.size() >= numVars_ && neg.size() >= numVars_,
+                 "literal weights must cover all formula variables");
+    auto scope = scopes();
+    std::vector<double> value(nodes_.size(), 0.0);
+
+    // Product of (pos+neg) over scope(parent) minus scope(child).
+    auto gapFactor = [&](const std::vector<uint32_t> &parent,
+                         const std::vector<uint32_t> &child) {
+        double f = 1.0;
+        size_t ci = 0;
+        for (uint32_t v : parent) {
+            while (ci < child.size() && child[ci] < v)
+                ++ci;
+            if (ci < child.size() && child[ci] == v)
+                continue;
+            f *= pos[v] + neg[v];
+        }
+        return f;
+    };
+
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const NnfNode &node = nodes_[i];
+        switch (node.type) {
+          case NnfType::True:
+            value[i] = 1.0;
+            break;
+          case NnfType::False:
+            value[i] = 0.0;
+            break;
+          case NnfType::Lit:
+            value[i] = node.lit.negated() ? neg[node.lit.var()]
+                                          : pos[node.lit.var()];
+            break;
+          case NnfType::And: {
+            double v = 1.0;
+            for (NnfId c : node.children)
+                v *= value[c];
+            value[i] = v;
+            break;
+          }
+          case NnfType::Or: {
+            double v = 0.0;
+            for (NnfId c : node.children)
+                v += value[c] * gapFactor(scope[i], scope[c]);
+            value[i] = v;
+            break;
+          }
+        }
+    }
+    return value;
+}
+
+namespace {
+
+/** Total (pos+neg) factor for variables of [0,numVars) outside `scope`. */
+double
+freeVarFactor(const std::vector<double> &pos, const std::vector<double> &neg,
+              const std::vector<uint32_t> &scope, uint32_t num_vars)
+{
+    double f = 1.0;
+    size_t si = 0;
+    for (uint32_t var = 0; var < num_vars; ++var) {
+        while (si < scope.size() && scope[si] < var)
+            ++si;
+        if (si < scope.size() && scope[si] == var)
+            continue;
+        f *= pos[var] + neg[var];
+    }
+    return f;
+}
+
+} // namespace
+
+double
+DnnfGraph::modelCount() const
+{
+    LitWeights ones;
+    ones.pos.assign(numVars_, 1.0);
+    ones.neg.assign(numVars_, 1.0);
+    return wmc(ones);
+}
+
+double
+DnnfGraph::wmc(const LitWeights &weights) const
+{
+    std::vector<double> value = weightedValues(weights);
+    return value[root_] * freeVarFactor(weights.pos, weights.neg,
+                                        scopes()[root_], numVars_);
+}
+
+bool
+DnnfGraph::isModel(const std::vector<bool> &assignment) const
+{
+    reasonAssert(assignment.size() >= numVars_,
+                 "assignment must cover all formula variables");
+    std::vector<char> value(nodes_.size(), 0);
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const NnfNode &node = nodes_[i];
+        switch (node.type) {
+          case NnfType::True:
+            value[i] = 1;
+            break;
+          case NnfType::False:
+            value[i] = 0;
+            break;
+          case NnfType::Lit:
+            value[i] = assignment[node.lit.var()] != node.lit.negated();
+            break;
+          case NnfType::And: {
+            char v = 1;
+            for (NnfId c : node.children)
+                v = char(v && value[c]);
+            value[i] = v;
+            break;
+          }
+          case NnfType::Or: {
+            char v = 0;
+            for (NnfId c : node.children)
+                v = char(v || value[c]);
+            value[i] = v;
+            break;
+          }
+        }
+    }
+    return value[root_] != 0;
+}
+
+void
+DnnfGraph::validate() const
+{
+    reasonAssert(root_ < nodes_.size(), "dnnf root out of range");
+    auto scope = scopes();
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const NnfNode &node = nodes_[i];
+        for (NnfId c : node.children)
+            reasonAssert(c < i, "dnnf children must precede parents");
+        if (node.type == NnfType::Lit)
+            reasonAssert(node.lit.var() < numVars_, "lit var out of range");
+        if (node.type == NnfType::Or) {
+            reasonAssert(node.children.size() == 2,
+                         "decision Or must have exactly two children");
+            reasonAssert(node.decisionVar < numVars_,
+                         "decision var out of range");
+        }
+        if (node.type == NnfType::And) {
+            // Decomposability: children scopes pairwise disjoint.
+            std::vector<uint32_t> merged;
+            size_t total = 0;
+            for (NnfId c : node.children) {
+                merged.insert(merged.end(), scope[c].begin(),
+                              scope[c].end());
+                total += scope[c].size();
+            }
+            std::sort(merged.begin(), merged.end());
+            merged.erase(std::unique(merged.begin(), merged.end()),
+                         merged.end());
+            reasonAssert(merged.size() == total,
+                         "And children must have disjoint scopes");
+        }
+    }
+}
+
+std::string
+DnnfGraph::toString() const
+{
+    std::ostringstream os;
+    os << "dnnf(" << numVars_ << " vars, " << nodes_.size() << " nodes)\n";
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        const NnfNode &node = nodes_[i];
+        os << "  n" << i << ": " << nnfTypeName(node.type);
+        if (node.type == NnfType::Lit)
+            os << " " << node.lit.toString();
+        if (node.type == NnfType::Or)
+            os << " on x" << node.decisionVar;
+        for (NnfId c : node.children)
+            os << " n" << c;
+        os << "\n";
+    }
+    return os.str();
+}
+
+DnnfGraph
+DnnfGraph::fromNodes(std::vector<NnfNode> nodes, NnfId root,
+                     uint32_t num_vars)
+{
+    DnnfGraph g;
+    g.nodes_ = std::move(nodes);
+    g.root_ = root;
+    g.numVars_ = num_vars;
+    g.validate();
+    return g;
+}
+
+// --------------------------------------------------------------------------
+// Compiler
+// --------------------------------------------------------------------------
+
+namespace {
+
+/** Residual CNF: clauses over the still-unassigned literals. */
+using Residual = std::vector<std::vector<Lit>>;
+
+struct ResidualKeyHash
+{
+    size_t operator()(const std::vector<uint32_t> &key) const
+    {
+        size_t h = 1469598103934665603ull;
+        for (uint32_t v : key) {
+            h ^= v;
+            h *= 1099511628211ull;
+        }
+        return h;
+    }
+};
+
+} // namespace
+
+/** Top-down exhaustive-DPLL d-DNNF builder (single compilation run). */
+class DnnfCompiler
+{
+  public:
+    explicit DnnfCompiler(const CnfFormula &formula)
+    {
+        graph_.numVars_ = formula.numVars();
+        trueNode_ = addNode({NnfType::True, Lit(), 0, {}});
+        falseNode_ = addNode({NnfType::False, Lit(), 0, {}});
+        litNode_.assign(size_t(formula.numVars()) * 2, kInvalidNnf);
+
+        Residual residual;
+        residual.reserve(formula.numClauses());
+        for (const auto &clause : formula.clauses()) {
+            std::vector<Lit> c(clause.begin(), clause.end());
+            std::sort(c.begin(), c.end());
+            c.erase(std::unique(c.begin(), c.end()), c.end());
+            bool tautology = false;
+            for (size_t i = 0; i + 1 < c.size(); ++i)
+                if (c[i + 1] == ~c[i])
+                    tautology = true;
+            if (!tautology)
+                residual.push_back(std::move(c));
+        }
+        graph_.root_ = compile(residual);
+        graph_.stats_.cacheEntries = cache_.size();
+    }
+
+    DnnfGraph take() { return std::move(graph_); }
+
+  private:
+    NnfId addNode(NnfNode node)
+    {
+        graph_.nodes_.push_back(std::move(node));
+        return NnfId(graph_.nodes_.size() - 1);
+    }
+
+    NnfId litNode(Lit l)
+    {
+        NnfId &slot = litNode_[l.code()];
+        if (slot == kInvalidNnf)
+            slot = addNode({NnfType::Lit, l, 0, {}});
+        return slot;
+    }
+
+    /** And over parts, flattening and short-circuiting constants. */
+    NnfId makeAnd(std::vector<NnfId> parts)
+    {
+        std::vector<NnfId> kept;
+        for (NnfId p : parts) {
+            const NnfNode &node = graph_.nodes_[p];
+            if (node.type == NnfType::False)
+                return falseNode_;
+            if (node.type == NnfType::True)
+                continue;
+            kept.push_back(p);
+        }
+        if (kept.empty())
+            return trueNode_;
+        if (kept.size() == 1)
+            return kept[0];
+        return addNode({NnfType::And, Lit(), 0, std::move(kept)});
+    }
+
+    /**
+     * Apply a literal to a residual.  @return false on an empty clause
+     * (contradiction); true otherwise with `out` holding the reduct.
+     */
+    static bool applyLit(const Residual &in, Lit l, Residual &out)
+    {
+        out.clear();
+        out.reserve(in.size());
+        for (const auto &clause : in) {
+            bool satisfied = false;
+            for (Lit x : clause) {
+                if (x == l) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (satisfied)
+                continue;
+            std::vector<Lit> reduced;
+            reduced.reserve(clause.size());
+            for (Lit x : clause)
+                if (x != ~l)
+                    reduced.push_back(x);
+            if (reduced.empty())
+                return false;
+            out.push_back(std::move(reduced));
+        }
+        return true;
+    }
+
+    /**
+     * Unit-propagate to fixpoint.  Collects the implied literal nodes in
+     * `units`; @return false on contradiction.
+     */
+    bool propagate(Residual &residual, std::vector<NnfId> &units)
+    {
+        bool changed = true;
+        while (changed) {
+            changed = false;
+            for (const auto &clause : residual) {
+                if (clause.size() != 1)
+                    continue;
+                Lit u = clause[0];
+                Residual next;
+                if (!applyLit(residual, u, next))
+                    return false;
+                units.push_back(litNode(u));
+                ++graph_.stats_.unitPropagations;
+                residual = std::move(next);
+                changed = true;
+                break;
+            }
+        }
+        return true;
+    }
+
+    static std::vector<uint32_t> canonicalKey(const Residual &residual)
+    {
+        std::vector<std::vector<uint32_t>> rows;
+        rows.reserve(residual.size());
+        for (const auto &clause : residual) {
+            std::vector<uint32_t> row;
+            row.reserve(clause.size());
+            for (Lit l : clause)
+                row.push_back(l.code());
+            std::sort(row.begin(), row.end());
+            rows.push_back(std::move(row));
+        }
+        std::sort(rows.begin(), rows.end());
+        std::vector<uint32_t> key;
+        for (auto &row : rows) {
+            key.insert(key.end(), row.begin(), row.end());
+            key.push_back(~0u);
+        }
+        return key;
+    }
+
+    /** Partition clause indices into variable-connected components. */
+    static std::vector<std::vector<size_t>>
+    components(const Residual &residual)
+    {
+        // Union-find over variables appearing in the residual.
+        std::unordered_map<uint32_t, uint32_t> parent;
+        std::function<uint32_t(uint32_t)> find =
+            [&](uint32_t v) -> uint32_t {
+            auto it = parent.find(v);
+            if (it == parent.end()) {
+                parent[v] = v;
+                return v;
+            }
+            if (it->second == v)
+                return v;
+            uint32_t r = find(it->second);
+            parent[v] = r;
+            return r;
+        };
+        for (const auto &clause : residual) {
+            uint32_t first = find(clause[0].var());
+            for (size_t i = 1; i < clause.size(); ++i)
+                parent[find(clause[i].var())] = first;
+        }
+        std::unordered_map<uint32_t, size_t> group;
+        std::vector<std::vector<size_t>> comps;
+        for (size_t ci = 0; ci < residual.size(); ++ci) {
+            uint32_t r = find(residual[ci][0].var());
+            auto it = group.find(r);
+            if (it == group.end()) {
+                group[r] = comps.size();
+                comps.push_back({ci});
+            } else {
+                comps[it->second].push_back(ci);
+            }
+        }
+        return comps;
+    }
+
+    /** Most frequently occurring variable in the residual. */
+    static uint32_t pickBranchVar(const Residual &residual)
+    {
+        std::unordered_map<uint32_t, uint32_t> count;
+        for (const auto &clause : residual)
+            for (Lit l : clause)
+                ++count[l.var()];
+        uint32_t best_var = residual[0][0].var();
+        uint32_t best = 0;
+        for (auto [var, c] : count) {
+            if (c > best || (c == best && var < best_var)) {
+                best = c;
+                best_var = var;
+            }
+        }
+        return best_var;
+    }
+
+    NnfId compile(Residual residual)
+    {
+        std::vector<NnfId> units;
+        if (!propagate(residual, units))
+            return falseNode_;
+        if (residual.empty())
+            return makeAnd(std::move(units));
+
+        auto key = canonicalKey(residual);
+        auto it = cache_.find(key);
+        if (it != cache_.end()) {
+            ++graph_.stats_.cacheHits;
+            units.push_back(it->second);
+            return makeAnd(std::move(units));
+        }
+
+        NnfId result;
+        auto comps = components(residual);
+        if (comps.size() > 1) {
+            ++graph_.stats_.componentSplits;
+            std::vector<NnfId> parts;
+            for (const auto &comp : comps) {
+                Residual sub;
+                sub.reserve(comp.size());
+                for (size_t ci : comp)
+                    sub.push_back(residual[ci]);
+                parts.push_back(compile(std::move(sub)));
+            }
+            result = makeAnd(std::move(parts));
+        } else {
+            uint32_t var = pickBranchVar(residual);
+            ++graph_.stats_.decisions;
+            Lit pos = Lit::make(var, false);
+
+            NnfId branch[2];
+            for (int sign = 0; sign < 2; ++sign) {
+                Lit l = sign ? ~pos : pos;
+                Residual sub;
+                if (!applyLit(residual, l, sub)) {
+                    branch[sign] = falseNode_;
+                    continue;
+                }
+                branch[sign] = makeAnd({litNode(l), compile(std::move(sub))});
+            }
+            bool pos_dead =
+                graph_.nodes_[branch[0]].type == NnfType::False;
+            bool neg_dead =
+                graph_.nodes_[branch[1]].type == NnfType::False;
+            if (pos_dead && neg_dead)
+                result = falseNode_;
+            else if (pos_dead)
+                result = branch[1];
+            else if (neg_dead)
+                result = branch[0];
+            else
+                result = addNode(
+                    {NnfType::Or, Lit(), var, {branch[0], branch[1]}});
+        }
+
+        cache_.emplace(std::move(key), result);
+        units.push_back(result);
+        return makeAnd(std::move(units));
+    }
+
+    DnnfGraph graph_;
+    NnfId trueNode_ = kInvalidNnf;
+    NnfId falseNode_ = kInvalidNnf;
+    std::vector<NnfId> litNode_; // indexed by lit code
+    std::unordered_map<std::vector<uint32_t>, NnfId, ResidualKeyHash>
+        cache_;
+};
+
+DnnfGraph
+compileToDnnf(const CnfFormula &formula)
+{
+    DnnfCompiler compiler(formula);
+    return compiler.take();
+}
+
+double
+countModels(const CnfFormula &formula)
+{
+    return compileToDnnf(formula).modelCount();
+}
+
+double
+weightedModelCount(const CnfFormula &formula, const LitWeights &weights)
+{
+    return compileToDnnf(formula).wmc(weights);
+}
+
+double
+conditionalMarginal(const CnfFormula &formula, const LitWeights &weights,
+                    uint32_t var)
+{
+    DnnfGraph graph = compileToDnnf(formula);
+    double z = graph.wmc(weights);
+    if (z <= 0.0)
+        return -1.0;
+    LitWeights conditioned = weights;
+    conditioned.neg[var] = 0.0;
+    return graph.wmc(conditioned) / z;
+}
+
+} // namespace logic
+} // namespace reason

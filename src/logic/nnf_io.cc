@@ -1,0 +1,151 @@
+#include "logic/nnf_io.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace logic {
+
+std::string
+toC2dFormat(const DnnfGraph &graph)
+{
+    // c2d's root is the *last* node, and readers expect every node to
+    // matter; emit only nodes reachable from the root, renumbered in
+    // topological order (the compiler's hash-consed singletons may
+    // leave unused True/False/Lit nodes behind).
+    std::vector<bool> reachable(graph.numNodes(), false);
+    reachable[graph.root()] = true;
+    for (size_t i = graph.numNodes(); i-- > 0;) {
+        if (!reachable[i])
+            continue;
+        for (NnfId c : graph.node(NnfId(i)).children)
+            reachable[c] = true;
+    }
+    std::vector<NnfId> renumber(graph.numNodes(), kInvalidNnf);
+    size_t kept = 0, edges = 0;
+    for (size_t i = 0; i < graph.numNodes(); ++i) {
+        if (!reachable[i])
+            continue;
+        renumber[i] = NnfId(kept++);
+        edges += graph.node(NnfId(i)).children.size();
+    }
+
+    std::ostringstream os;
+    os << "nnf " << kept << " " << edges << " " << graph.numVars()
+       << "\n";
+    for (size_t i = 0; i < graph.numNodes(); ++i) {
+        if (!reachable[i])
+            continue;
+        const NnfNode &node = graph.node(NnfId(i));
+        switch (node.type) {
+          case NnfType::True:
+            os << "A 0\n";
+            break;
+          case NnfType::False:
+            os << "O 0 0\n";
+            break;
+          case NnfType::Lit:
+            os << "L " << node.lit.toDimacs() << "\n";
+            break;
+          case NnfType::And:
+            os << "A " << node.children.size();
+            for (NnfId c : node.children)
+                os << " " << renumber[c];
+            os << "\n";
+            break;
+          case NnfType::Or:
+            // c2d records the decision variable 1-based (0 = none).
+            os << "O " << (node.decisionVar + 1) << " "
+               << node.children.size();
+            for (NnfId c : node.children)
+                os << " " << renumber[c];
+            os << "\n";
+            break;
+        }
+    }
+    return os.str();
+}
+
+DnnfGraph
+parseC2dFormat(const std::string &text)
+{
+    std::istringstream is(text);
+    std::string tag;
+    if (!(is >> tag) || tag != "nnf")
+        fatal("parseC2dFormat: missing 'nnf' header");
+    size_t num_nodes = 0, num_edges = 0;
+    uint32_t num_vars = 0;
+    if (!(is >> num_nodes >> num_edges >> num_vars))
+        fatal("parseC2dFormat: malformed header counts");
+
+    std::vector<NnfNode> nodes;
+    nodes.reserve(num_nodes);
+    auto readChildren = [&](size_t count) {
+        std::vector<NnfId> children(count);
+        for (auto &c : children) {
+            long long v;
+            if (!(is >> v) || v < 0 ||
+                size_t(v) >= nodes.size())
+                fatal("parseC2dFormat: bad child reference in node %zu",
+                      nodes.size());
+            c = NnfId(v);
+        }
+        return children;
+    };
+
+    while (is >> tag) {
+        NnfNode node;
+        if (tag == "L") {
+            long long d;
+            if (!(is >> d) || d == 0)
+                fatal("parseC2dFormat: bad literal line");
+            node.type = NnfType::Lit;
+            node.lit = Lit::fromDimacs(d);
+            if (node.lit.var() >= num_vars)
+                fatal("parseC2dFormat: literal variable %u out of the "
+                      "declared %u", node.lit.var(), num_vars);
+        } else if (tag == "A") {
+            size_t k;
+            if (!(is >> k))
+                fatal("parseC2dFormat: bad conjunction arity");
+            if (k == 0) {
+                node.type = NnfType::True;
+            } else {
+                node.type = NnfType::And;
+                node.children = readChildren(k);
+            }
+        } else if (tag == "O") {
+            long long decision;
+            size_t k;
+            if (!(is >> decision >> k) || decision < 0)
+                fatal("parseC2dFormat: bad disjunction line");
+            if (k == 0) {
+                node.type = NnfType::False;
+            } else {
+                if (k != 2)
+                    fatal("parseC2dFormat: decision Or must have two "
+                          "children, got %zu", k);
+                if (decision == 0)
+                    fatal("parseC2dFormat: nonempty Or without a "
+                          "decision variable");
+                node.type = NnfType::Or;
+                node.decisionVar = uint32_t(decision - 1);
+                node.children = readChildren(k);
+            }
+        } else {
+            fatal("parseC2dFormat: unknown node tag '%s'", tag.c_str());
+        }
+        nodes.push_back(std::move(node));
+    }
+    if (nodes.size() != num_nodes)
+        fatal("parseC2dFormat: header declared %zu nodes, found %zu",
+              num_nodes, nodes.size());
+    if (nodes.empty())
+        fatal("parseC2dFormat: empty graph");
+    NnfId root = NnfId(nodes.size() - 1); // c2d: the last node is the root
+    return DnnfGraph::fromNodes(std::move(nodes), root, num_vars);
+}
+
+} // namespace logic
+} // namespace reason

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * d-DNNF serialization in the standard c2d `.nnf` format, the
+ * interchange format of the knowledge-compilation ecosystem (c2d,
+ * Dsharp, d4, miniC2D), so compiled knowledge bases can be exchanged
+ * with external tools.
+ *
+ * Format (one node per line, children refer to earlier lines):
+ *
+ *     nnf <numNodes> <numEdges> <numVars>
+ *     L <dimacs-literal>
+ *     A <k> <child...>            (conjunction; A 0 is TRUE)
+ *     O <decision-var> <k> <child...>   (disjunction; O 0 0 is FALSE)
+ */
+
+#ifndef REASON_LOGIC_NNF_IO_H
+#define REASON_LOGIC_NNF_IO_H
+
+#include <string>
+
+#include "logic/knowledge.h"
+
+namespace reason {
+namespace logic {
+
+/** Serialize a compiled d-DNNF to c2d text. */
+std::string toC2dFormat(const DnnfGraph &graph);
+
+/**
+ * Parse c2d text into a DnnfGraph.  fatal()s on malformed input.
+ * `num_vars` of the resulting graph is taken from the header.
+ */
+DnnfGraph parseC2dFormat(const std::string &text);
+
+} // namespace logic
+} // namespace reason
+
+#endif // REASON_LOGIC_NNF_IO_H

@@ -1,0 +1,526 @@
+#include "logic/preprocess.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace logic {
+
+Preprocessor::Preprocessor(const CnfFormula &formula,
+                           PreprocessConfig config)
+    : config_(config), numVars_(formula.numVars())
+{
+    stats_.clausesBefore = formula.numClauses();
+    stats_.literalsBefore = formula.numLiterals();
+
+    for (const auto &clause : formula.clauses()) {
+        Clause c(clause.begin(), clause.end());
+        std::sort(c.begin(), c.end());
+        c.erase(std::unique(c.begin(), c.end()), c.end());
+        bool tautology = false;
+        for (size_t i = 0; i + 1 < c.size(); ++i)
+            if (c[i + 1] == ~c[i])
+                tautology = true;
+        if (tautology)
+            continue;
+        if (c.empty()) {
+            unsat_ = true;
+            continue;
+        }
+        clauses_.push_back(std::move(c));
+    }
+    dead_.assign(clauses_.size(), false);
+    fixed_.assign(numVars_, LBool::Undef);
+    gone_.assign(numVars_, false);
+    rebuildOccurrences();
+}
+
+void
+Preprocessor::rebuildOccurrences()
+{
+    occur_.assign(size_t(numVars_) * 2, {});
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+        if (dead_[i])
+            continue;
+        for (Lit l : clauses_[i])
+            occur_[l.code()].push_back(i);
+    }
+}
+
+void
+Preprocessor::removeClause(size_t idx)
+{
+    dead_[idx] = true; // occurrence entries become stale; filtered on use
+}
+
+void
+Preprocessor::addClause(Clause c)
+{
+    clauses_.push_back(std::move(c));
+    dead_.push_back(false);
+    for (Lit l : clauses_.back())
+        occur_[l.code()].push_back(clauses_.size() - 1);
+}
+
+bool
+Preprocessor::assignLit(Lit l)
+{
+    uint32_t var = l.var();
+    LBool want = l.negated() ? LBool::False : LBool::True;
+    if (fixed_[var] != LBool::Undef) {
+        if (fixed_[var] != want)
+            unsat_ = true;
+        return false;
+    }
+    fixed_[var] = want;
+    gone_[var] = true;
+    witnesses_.push_back({l, ~0u, {}});
+
+    for (size_t idx : occur_[l.code()])
+        if (!dead_[idx])
+            removeClause(idx); // satisfied
+    for (size_t idx : occur_[(~l).code()]) {
+        if (dead_[idx])
+            continue;
+        Clause &c = clauses_[idx];
+        c.erase(std::remove(c.begin(), c.end(), ~l), c.end());
+        if (c.empty()) {
+            unsat_ = true;
+            return true;
+        }
+    }
+    occur_[l.code()].clear();
+    occur_[(~l).code()].clear();
+    return true;
+}
+
+bool
+Preprocessor::passUnits()
+{
+    bool changed = false;
+    bool again = true;
+    while (again && !unsat_) {
+        again = false;
+        for (size_t i = 0; i < clauses_.size() && !unsat_; ++i) {
+            if (dead_[i] || clauses_[i].size() != 1)
+                continue;
+            Lit u = clauses_[i][0];
+            removeClause(i);
+            if (assignLit(u)) {
+                ++stats_.unitsFixed;
+                changed = true;
+                again = true;
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+Preprocessor::passPures()
+{
+    // Recount from live clauses: occurrence lists may carry stale entries.
+    std::vector<uint32_t> count(size_t(numVars_) * 2, 0);
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+        if (dead_[i])
+            continue;
+        for (Lit l : clauses_[i])
+            ++count[l.code()];
+    }
+    bool changed = false;
+    for (uint32_t var = 0; var < numVars_ && !unsat_; ++var) {
+        if (gone_[var])
+            continue;
+        uint32_t pos = count[size_t(var) * 2];
+        uint32_t neg = count[size_t(var) * 2 + 1];
+        if (pos == 0 && neg == 0)
+            continue; // unconstrained, not pure
+        if (pos != 0 && neg != 0)
+            continue;
+        if (assignLit(Lit::make(var, pos == 0))) {
+            ++stats_.pureLiteralsFixed;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+uint64_t
+Preprocessor::clauseSignature(const Clause &c) const
+{
+    uint64_t sig = 0;
+    for (Lit l : c)
+        sig |= uint64_t(1) << (l.var() & 63u);
+    return sig;
+}
+
+namespace {
+
+/** True when a (sorted) is a subset of b (sorted). */
+bool
+sortedSubset(const Clause &a, const Clause &b)
+{
+    size_t bi = 0;
+    for (Lit l : a) {
+        while (bi < b.size() && b[bi] < l)
+            ++bi;
+        if (bi == b.size() || !(b[bi] == l))
+            return false;
+        ++bi;
+    }
+    return true;
+}
+
+/** True when a \ {skip} is a subset of b (both sorted). */
+bool
+sortedSubsetExcept(const Clause &a, Lit skip, const Clause &b)
+{
+    size_t bi = 0;
+    for (Lit l : a) {
+        if (l == skip)
+            continue;
+        while (bi < b.size() && b[bi] < l)
+            ++bi;
+        if (bi == b.size() || !(b[bi] == l))
+            return false;
+        ++bi;
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+Preprocessor::passSubsumption()
+{
+    // Keep clauses sorted (constructor sorts; strengthening preserves
+    // order; assignLit removal preserves order).
+    std::vector<uint64_t> sig(clauses_.size());
+    for (size_t i = 0; i < clauses_.size(); ++i)
+        if (!dead_[i])
+            sig[i] = clauseSignature(clauses_[i]);
+
+    bool changed = false;
+    for (size_t i = 0; i < clauses_.size(); ++i) {
+        if (dead_[i])
+            continue;
+        const Clause &c = clauses_[i];
+
+        // Search through the occurrence list of c's rarest literal.
+        Lit rare = c[0];
+        for (Lit l : c)
+            if (occur_[l.code()].size() < occur_[rare.code()].size())
+                rare = l;
+
+        // Forward subsumption: c ⊆ d drops d.
+        for (size_t idx : occur_[rare.code()]) {
+            if (idx == i || dead_[idx])
+                continue;
+            const Clause &d = clauses_[idx];
+            if (d.size() < c.size() || (sig[i] & ~sig[idx]) != 0)
+                continue;
+            if (sortedSubset(c, d)) {
+                removeClause(idx);
+                ++stats_.subsumedClauses;
+                changed = true;
+            }
+        }
+        if (!config_.selfSubsumption)
+            continue;
+
+        // Self-subsuming resolution: c = {l} ∪ A, d ⊇ A ∪ {~l}
+        // strengthens d to d \ {~l}.
+        for (Lit l : c) {
+            auto candidates = occur_[(~l).code()]; // copy: d mutates below
+            for (size_t idx : candidates) {
+                if (idx == i || dead_[idx])
+                    continue;
+                Clause &d = clauses_[idx];
+                if (d.size() < c.size())
+                    continue;
+                if (!sortedSubsetExcept(c, l, d))
+                    continue;
+                if (std::find(d.begin(), d.end(), ~l) == d.end())
+                    continue;
+                d.erase(std::remove(d.begin(), d.end(), ~l), d.end());
+                auto &olist = occur_[(~l).code()];
+                olist.erase(std::remove(olist.begin(), olist.end(), idx),
+                            olist.end());
+                sig[idx] = clauseSignature(d);
+                ++stats_.strengthenedClauses;
+                changed = true;
+                if (d.empty()) {
+                    unsat_ = true;
+                    return true;
+                }
+            }
+        }
+    }
+    return changed;
+}
+
+bool
+Preprocessor::probeConflicts(Lit start, uint64_t &budget) const
+{
+    std::vector<LBool> val = fixed_;
+    std::deque<Lit> queue{start};
+    while (!queue.empty()) {
+        Lit p = queue.front();
+        queue.pop_front();
+        LBool want = p.negated() ? LBool::False : LBool::True;
+        if (val[p.var()] != LBool::Undef) {
+            if (val[p.var()] != want)
+                return true;
+            continue;
+        }
+        val[p.var()] = want;
+        for (size_t idx : occur_[(~p).code()]) {
+            if (dead_[idx])
+                continue;
+            const Clause &c = clauses_[idx];
+            if (budget < c.size()) {
+                budget = 0;
+                return false; // out of budget: treat as no conflict
+            }
+            budget -= c.size();
+            Lit unassigned;
+            uint32_t free = 0;
+            bool satisfied = false;
+            for (Lit l : c) {
+                LBool v = val[l.var()];
+                if (v == LBool::Undef) {
+                    ++free;
+                    unassigned = l;
+                    continue;
+                }
+                if ((v == LBool::True) != l.negated()) {
+                    satisfied = true;
+                    break;
+                }
+            }
+            if (satisfied)
+                continue;
+            if (free == 0)
+                return true;
+            if (free == 1)
+                queue.push_back(unassigned);
+        }
+    }
+    return false;
+}
+
+bool
+Preprocessor::passProbing()
+{
+    uint64_t budget = config_.probeBudget;
+    bool changed = false;
+    for (uint32_t var = 0; var < numVars_ && budget > 0 && !unsat_;
+         ++var) {
+        if (gone_[var])
+            continue;
+        for (int sign = 0; sign < 2 && !unsat_; ++sign) {
+            Lit l = Lit::make(var, sign != 0);
+            if (probeConflicts(l, budget)) {
+                // l leads to conflict in all extensions: fix ~l.
+                if (assignLit(~l)) {
+                    ++stats_.failedLiterals;
+                    changed = true;
+                }
+                break;
+            }
+            if (budget == 0)
+                break;
+        }
+    }
+    return changed;
+}
+
+bool
+Preprocessor::passBve()
+{
+    bool changed = false;
+    for (uint32_t var = 0; var < numVars_ && !unsat_; ++var) {
+        if (gone_[var])
+            continue;
+        Lit pos = Lit::make(var, false);
+        Lit neg = Lit::make(var, true);
+
+        std::vector<size_t> pidx, nidx;
+        for (size_t idx : occur_[pos.code()])
+            if (!dead_[idx])
+                pidx.push_back(idx);
+        for (size_t idx : occur_[neg.code()])
+            if (!dead_[idx])
+                nidx.push_back(idx);
+        if (pidx.empty() || nidx.empty())
+            continue; // pure or absent: handled by passPures
+        if (pidx.size() + nidx.size() > config_.bveOccurrenceLimit)
+            continue;
+
+        // Collect non-tautological resolvents.
+        std::vector<Clause> resolvents;
+        bool too_many = false;
+        size_t limit =
+            pidx.size() + nidx.size() + config_.bveGrowthLimit;
+        for (size_t pi : pidx) {
+            for (size_t ni : nidx) {
+                Clause r;
+                for (Lit l : clauses_[pi])
+                    if (!(l == pos))
+                        r.push_back(l);
+                for (Lit l : clauses_[ni])
+                    if (!(l == neg))
+                        r.push_back(l);
+                std::sort(r.begin(), r.end());
+                r.erase(std::unique(r.begin(), r.end()), r.end());
+                bool tautology = false;
+                for (size_t k = 0; k + 1 < r.size(); ++k)
+                    if (r[k + 1] == ~r[k])
+                        tautology = true;
+                if (tautology)
+                    continue;
+                resolvents.push_back(std::move(r));
+                if (resolvents.size() > limit) {
+                    too_many = true;
+                    break;
+                }
+            }
+            if (too_many)
+                break;
+        }
+        if (too_many)
+            continue;
+
+        // Commit: save witnesses, drop occurrences, add resolvents.
+        Witness w;
+        w.var = var;
+        for (size_t pi : pidx)
+            w.clauses.push_back(clauses_[pi]);
+        for (size_t ni : nidx)
+            w.clauses.push_back(clauses_[ni]);
+        witnesses_.push_back(std::move(w));
+
+        for (size_t pi : pidx)
+            removeClause(pi);
+        for (size_t ni : nidx)
+            removeClause(ni);
+        occur_[pos.code()].clear();
+        occur_[neg.code()].clear();
+        gone_[var] = true;
+        ++stats_.eliminatedVars;
+        for (auto &r : resolvents) {
+            if (r.empty()) {
+                unsat_ = true;
+                break;
+            }
+            addClause(std::move(r));
+            ++stats_.resolventsAdded;
+        }
+        changed = true;
+    }
+    return changed;
+}
+
+void
+Preprocessor::run()
+{
+    if (ran_)
+        return;
+    ran_ = true;
+    for (uint32_t round = 0; round < config_.maxRounds && !unsat_;
+         ++round) {
+        bool changed = false;
+        if (config_.unitPropagation)
+            changed |= passUnits();
+        if (config_.pureLiterals && !unsat_)
+            changed |= passPures();
+        if (config_.subsumption && !unsat_)
+            changed |= passSubsumption();
+        if (config_.unitPropagation && !unsat_)
+            changed |= passUnits(); // strengthening can create units
+        if (config_.failedLiteralProbing && !unsat_)
+            changed |= passProbing();
+        if (config_.variableElimination && !unsat_)
+            changed |= passBve();
+        ++stats_.rounds;
+        if (!changed)
+            break;
+    }
+    CnfFormula out = simplified();
+    stats_.clausesAfter = out.numClauses();
+    stats_.literalsAfter = out.numLiterals();
+}
+
+CnfFormula
+Preprocessor::simplified() const
+{
+    CnfFormula out(numVars_);
+    if (unsat_) {
+        out.addClause(Clause{});
+        return out;
+    }
+    for (size_t i = 0; i < clauses_.size(); ++i)
+        if (!dead_[i])
+            out.addClause(clauses_[i]);
+    return out;
+}
+
+std::vector<bool>
+Preprocessor::reconstructModel(std::vector<bool> model) const
+{
+    model.resize(numVars_, false);
+    for (auto it = witnesses_.rbegin(); it != witnesses_.rend(); ++it) {
+        const Witness &w = *it;
+        if (w.var == ~0u) {
+            model[w.lit.var()] = !w.lit.negated();
+            continue;
+        }
+        // Eliminated variable: some saved clause may be falsified on its
+        // non-var literals; set var to satisfy it.  BVE guarantees both
+        // polarities are never simultaneously required.
+        Lit pos = Lit::make(w.var, false);
+        bool need_pos = false, need_neg = false;
+        for (const Clause &c : w.clauses) {
+            bool rest_satisfied = false;
+            bool has_pos = false, has_neg = false;
+            for (Lit l : c) {
+                if (l == pos) {
+                    has_pos = true;
+                } else if (l == ~pos) {
+                    has_neg = true;
+                } else if (model[l.var()] != l.negated()) {
+                    rest_satisfied = true;
+                }
+            }
+            if (rest_satisfied)
+                continue;
+            if (has_pos)
+                need_pos = true;
+            if (has_neg)
+                need_neg = true;
+        }
+        reasonAssert(!(need_pos && need_neg),
+                     "BVE witness requires both polarities");
+        if (need_pos)
+            model[w.var] = true;
+        else if (need_neg)
+            model[w.var] = false;
+    }
+    return model;
+}
+
+CnfFormula
+preprocessCnf(const CnfFormula &formula, PreprocessStats *stats,
+              PreprocessConfig config)
+{
+    Preprocessor pre(formula, config);
+    pre.run();
+    if (stats)
+        *stats = pre.stats();
+    return pre.simplified();
+}
+
+} // namespace logic
+} // namespace reason

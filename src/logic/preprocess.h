@@ -1,0 +1,149 @@
+/**
+ * @file
+ * CNF preprocessing: the clause-database reduction pass that complements
+ * REASON's implication-graph literal pruning (Sec. IV-B).
+ *
+ * Implements the standard inprocessing repertoire — unit propagation to
+ * fixpoint, pure-literal fixing, (self-)subsumption, failed-literal
+ * probing, and bounded variable elimination (NiVER/SatELite-style) —
+ * with model reconstruction so a model of the simplified formula can be
+ * extended to the original variables.  Subsumption and self-subsuming
+ * resolution are logical-equivalence-preserving; the other passes
+ * preserve satisfiability only (tests cover both contracts).
+ */
+
+#ifndef REASON_LOGIC_PREPROCESS_H
+#define REASON_LOGIC_PREPROCESS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "logic/cnf.h"
+
+namespace reason {
+namespace logic {
+
+/** Which passes run, and their effort limits. */
+struct PreprocessConfig
+{
+    bool unitPropagation = true;
+    bool pureLiterals = true;
+    bool subsumption = true;
+    bool selfSubsumption = true;
+    bool failedLiteralProbing = true;
+    bool variableElimination = true;
+    /**
+     * BVE eliminates a variable only when the count of non-tautological
+     * resolvents does not exceed the removed-occurrence count plus this
+     * slack (0 = never grow the formula).
+     */
+    uint32_t bveGrowthLimit = 0;
+    /** Eliminate only variables with at most this many occurrences. */
+    uint32_t bveOccurrenceLimit = 16;
+    /** Fixpoint rounds over all enabled passes. */
+    uint32_t maxRounds = 3;
+    /** Upper bound on probing propagations per round. */
+    uint64_t probeBudget = 200000;
+};
+
+/** What each pass did, for benches and logging. */
+struct PreprocessStats
+{
+    uint64_t unitsFixed = 0;
+    uint64_t pureLiteralsFixed = 0;
+    uint64_t subsumedClauses = 0;
+    uint64_t strengthenedClauses = 0;
+    uint64_t failedLiterals = 0;
+    uint64_t eliminatedVars = 0;
+    uint64_t resolventsAdded = 0;
+    uint64_t rounds = 0;
+    size_t clausesBefore = 0;
+    size_t clausesAfter = 0;
+    size_t literalsBefore = 0;
+    size_t literalsAfter = 0;
+};
+
+/**
+ * One preprocessing run over a formula.
+ *
+ * Usage: construct, run(), then read simplified() / stats(); after an
+ * external solver finds a model of simplified(), reconstructModel()
+ * extends it to the original variable set.
+ */
+class Preprocessor
+{
+  public:
+    explicit Preprocessor(const CnfFormula &formula,
+                          PreprocessConfig config = {});
+
+    /** Run all enabled passes to (bounded) fixpoint. */
+    void run();
+
+    /** True when preprocessing alone derived unsatisfiability. */
+    bool knownUnsat() const { return unsat_; }
+
+    /**
+     * The simplified formula.  Variable numbering is preserved;
+     * eliminated and fixed variables simply no longer occur.
+     */
+    CnfFormula simplified() const;
+
+    const PreprocessStats &stats() const { return stats_; }
+
+    /**
+     * Extend a model of simplified() to satisfy the original formula:
+     * replays fixed units, pure literals, and eliminated-variable
+     * witnesses in reverse order.  `model` is indexed by original
+     * variable; entries for non-surviving variables may hold anything.
+     */
+    std::vector<bool> reconstructModel(std::vector<bool> model) const;
+
+  private:
+    /** Reverse-replay entry for model reconstruction. */
+    struct Witness
+    {
+        /** Fixed literal (units, pures, failed literals)... */
+        Lit lit;
+        /** ...or an eliminated variable with its occurrence clauses. */
+        uint32_t var = ~0u;
+        std::vector<Clause> clauses;
+    };
+
+    bool passUnits();
+    bool passPures();
+    bool passSubsumption();
+    bool passProbing();
+    bool passBve();
+
+    /** Assign a literal: drop satisfied clauses, shrink falsified. */
+    bool assignLit(Lit l);
+    void removeClause(size_t idx);
+    void addClause(Clause c);
+    void rebuildOccurrences();
+    uint64_t clauseSignature(const Clause &c) const;
+    /** Unit-propagate `l` on a scratch assignment; true on conflict. */
+    bool probeConflicts(Lit l, uint64_t &budget) const;
+
+    PreprocessConfig config_;
+    uint32_t numVars_;
+    std::vector<Clause> clauses_;      // tombstoned via empty+dead flag
+    std::vector<bool> dead_;           // clause tombstones
+    std::vector<std::vector<size_t>> occur_; // lit code -> clause indices
+    std::vector<LBool> fixed_;         // fixed polarity per var
+    std::vector<bool> gone_;           // var eliminated or fixed
+    std::vector<Witness> witnesses_;
+    PreprocessStats stats_;
+    bool unsat_ = false;
+    bool ran_ = false;
+};
+
+/** One-shot convenience: preprocess and return the simplified formula. */
+CnfFormula preprocessCnf(const CnfFormula &formula,
+                         PreprocessStats *stats = nullptr,
+                         PreprocessConfig config = {});
+
+} // namespace logic
+} // namespace reason
+
+#endif // REASON_LOGIC_PREPROCESS_H

@@ -1,0 +1,488 @@
+#include "logic/solver.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace logic {
+
+CdclSolver::CdclSolver(const CnfFormula &formula, SolverConfig config)
+    : numVars_(formula.numVars()), config_(config)
+{
+    watches_.resize(size_t(numVars_) * 2);
+    assigns_.assign(numVars_, LBool::Undef);
+    savedPhase_.assign(numVars_, false);
+    level_.assign(numVars_, 0);
+    reason_.assign(numVars_, kNoReason);
+    activity_.assign(numVars_, 0.0);
+    seen_.assign(numVars_, false);
+    restartLimit_ = config_.restartBase;
+
+    for (const auto &c : formula.clauses()) {
+        // Normalize: drop duplicate literals; skip tautologies.
+        Clause lits = c;
+        std::sort(lits.begin(), lits.end());
+        lits.erase(std::unique(lits.begin(), lits.end()), lits.end());
+        bool tautology = false;
+        for (size_t i = 0; i + 1 < lits.size(); ++i) {
+            if (lits[i].var() == lits[i + 1].var()) {
+                tautology = true;
+                break;
+            }
+        }
+        if (tautology)
+            continue;
+        if (lits.empty()) {
+            unsatOnConstruction_ = true;
+            continue;
+        }
+        clauses_.push_back({std::move(lits), 0.0, false});
+        attachClause(static_cast<uint32_t>(clauses_.size() - 1));
+    }
+    numOriginalClauses_ = clauses_.size();
+}
+
+void
+CdclSolver::attachClause(uint32_t idx)
+{
+    auto &c = clauses_[idx].lits;
+    if (c.size() == 1)
+        return; // unit clauses are enqueued at solve start
+    watches_[c[0].code()].push_back({idx, c[1]});
+    watches_[c[1].code()].push_back({idx, c[0]});
+}
+
+LBool
+CdclSolver::litValue(Lit l) const
+{
+    LBool v = assigns_[l.var()];
+    if (v == LBool::Undef)
+        return v;
+    return l.negated() ? negate(v) : v;
+}
+
+void
+CdclSolver::enqueue(Lit l, uint32_t reason_idx)
+{
+    reasonAssert(litValue(l) == LBool::Undef, "enqueue on assigned literal");
+    assigns_[l.var()] = l.negated() ? LBool::False : LBool::True;
+    level_[l.var()] = static_cast<uint32_t>(trailLim_.size());
+    reason_[l.var()] = reason_idx;
+    trail_.push_back(l);
+    ++stats_.propagations;
+}
+
+uint32_t
+CdclSolver::propagate()
+{
+    while (qhead_ < trail_.size()) {
+        Lit p = trail_[qhead_++];
+        Lit false_lit = ~p; // literals watching ~p may now be falsified
+        auto &ws = watches_[false_lit.code()];
+        size_t keep = 0;
+        for (size_t i = 0; i < ws.size(); ++i) {
+            Watcher w = ws[i];
+            // Blocker fast path: clause already satisfied.
+            if (litValue(w.blocker) == LBool::True) {
+                ws[keep++] = w;
+                continue;
+            }
+            auto &lits = clauses_[w.clauseIdx].lits;
+            // Ensure the falsified literal sits at position 1.
+            if (lits[0] == false_lit)
+                std::swap(lits[0], lits[1]);
+            stats_.literalVisits += lits.size();
+            if (litValue(lits[0]) == LBool::True) {
+                ws[keep++] = {w.clauseIdx, lits[0]};
+                continue;
+            }
+            // Look for a new literal to watch.
+            bool moved = false;
+            for (size_t k = 2; k < lits.size(); ++k) {
+                if (litValue(lits[k]) != LBool::False) {
+                    std::swap(lits[1], lits[k]);
+                    watches_[lits[1].code()].push_back(
+                        {w.clauseIdx, lits[0]});
+                    moved = true;
+                    break;
+                }
+            }
+            if (moved)
+                continue;
+            // Clause is unit or conflicting.
+            ws[keep++] = w;
+            if (litValue(lits[0]) == LBool::False) {
+                // Conflict: restore remaining watchers and report.
+                for (size_t j = i + 1; j < ws.size(); ++j)
+                    ws[keep++] = ws[j];
+                ws.resize(keep);
+                qhead_ = trail_.size();
+                return w.clauseIdx;
+            }
+            enqueue(lits[0], w.clauseIdx);
+        }
+        ws.resize(keep);
+    }
+    return kNoReason;
+}
+
+void
+CdclSolver::bumpVar(uint32_t var)
+{
+    activity_[var] += varInc_;
+    if (activity_[var] > 1e100) {
+        for (auto &a : activity_)
+            a *= 1e-100;
+        varInc_ *= 1e-100;
+    }
+}
+
+void
+CdclSolver::decayActivities()
+{
+    varInc_ /= config_.varDecay;
+    clauseInc_ /= config_.clauseDecay;
+}
+
+void
+CdclSolver::analyze(uint32_t confl, std::vector<Lit> &learnt,
+                    uint32_t &bt_level)
+{
+    learnt.clear();
+    learnt.push_back(Lit()); // slot for the asserting literal
+    uint32_t path_count = 0;
+    Lit p;
+    size_t index = trail_.size();
+    uint32_t current_level = static_cast<uint32_t>(trailLim_.size());
+    // Every variable marked in seen_ must be unmarked before returning;
+    // literals dropped by minimization and current-level literals that
+    // were never popped would otherwise leak marks into later calls.
+    std::vector<uint32_t> to_clear;
+
+    uint32_t clause_idx = confl;
+    bool first = true;
+    do {
+        reasonAssert(clause_idx != kNoReason, "analyze lost the reason");
+        auto &cl = clauses_[clause_idx];
+        if (cl.learned) {
+            cl.activity += clauseInc_;
+            if (cl.activity > 1e20) {
+                for (auto &c2 : clauses_)
+                    if (c2.learned)
+                        c2.activity *= 1e-20;
+                clauseInc_ *= 1e-20;
+            }
+        }
+        size_t start = first ? 0 : 1;
+        first = false;
+        for (size_t j = start; j < cl.lits.size(); ++j) {
+            Lit q = cl.lits[j];
+            if (seen_[q.var()] || level_[q.var()] == 0)
+                continue;
+            seen_[q.var()] = true;
+            to_clear.push_back(q.var());
+            bumpVar(q.var());
+            if (level_[q.var()] >= current_level) {
+                ++path_count;
+            } else {
+                learnt.push_back(q);
+            }
+        }
+        // Walk the trail backwards to the next marked literal.
+        while (!seen_[trail_[index - 1].var()])
+            --index;
+        p = trail_[--index];
+        seen_[p.var()] = false;
+        clause_idx = reason_[p.var()];
+        --path_count;
+    } while (path_count > 0);
+    learnt[0] = ~p;
+
+    // Self-subsumption minimization: drop literals whose reason clause is
+    // entirely subsumed by the rest of the learnt clause.
+    auto redundant = [&](Lit l) {
+        uint32_t r = reason_[l.var()];
+        if (r == kNoReason)
+            return false;
+        for (size_t j = 1; j < clauses_[r].lits.size(); ++j) {
+            Lit q = clauses_[r].lits[j];
+            if (!seen_[q.var()] && level_[q.var()] > 0)
+                return false;
+        }
+        return true;
+    };
+    for (size_t i = 1; i < learnt.size(); ++i) {
+        if (!seen_[learnt[i].var()]) {
+            seen_[learnt[i].var()] = true;
+            to_clear.push_back(learnt[i].var());
+        }
+    }
+    size_t keep = 1;
+    for (size_t i = 1; i < learnt.size(); ++i)
+        if (!redundant(learnt[i]))
+            learnt[keep++] = learnt[i];
+    learnt.resize(keep);
+    for (uint32_t v : to_clear)
+        seen_[v] = false;
+
+    // Backtrack level: highest level among the non-asserting literals.
+    bt_level = 0;
+    size_t max_i = 1;
+    for (size_t i = 1; i < learnt.size(); ++i) {
+        if (level_[learnt[i].var()] > bt_level) {
+            bt_level = level_[learnt[i].var()];
+            max_i = i;
+        }
+    }
+    if (learnt.size() > 1)
+        std::swap(learnt[1], learnt[max_i]);
+}
+
+void
+CdclSolver::backtrack(uint32_t target_level)
+{
+    if (trailLim_.size() <= target_level)
+        return;
+    size_t lim = trailLim_[target_level];
+    for (size_t i = trail_.size(); i > lim; --i) {
+        Lit l = trail_[i - 1];
+        if (config_.phaseSaving)
+            savedPhase_[l.var()] = !l.negated();
+        assigns_[l.var()] = LBool::Undef;
+        reason_[l.var()] = kNoReason;
+    }
+    trail_.resize(lim);
+    trailLim_.resize(target_level);
+    qhead_ = lim;
+}
+
+Lit
+CdclSolver::pickBranchLit()
+{
+    uint32_t best = ~0u;
+    double best_act = -1.0;
+    for (uint32_t v = 0; v < numVars_; ++v) {
+        if (assigns_[v] == LBool::Undef && activity_[v] > best_act) {
+            best = v;
+            best_act = activity_[v];
+        }
+    }
+    if (best == ~0u)
+        return Lit();
+    bool phase = config_.phaseSaving ? savedPhase_[best] : false;
+    return Lit::make(best, !phase);
+}
+
+double
+CdclSolver::luby(uint64_t i)
+{
+    // Luby sequence: 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+    uint64_t k = 1;
+    while ((uint64_t(1) << (k + 1)) - 1 <= i)
+        ++k;
+    while (true) {
+        if (i == (uint64_t(1) << k) - 1)
+            return static_cast<double>(uint64_t(1) << (k - 1));
+        i = i - ((uint64_t(1) << (k - 1)) - 1) - 1;
+        k = 1;
+        while ((uint64_t(1) << (k + 1)) - 1 <= i)
+            ++k;
+    }
+}
+
+bool
+CdclSolver::lubyRestartDue() const
+{
+    return conflictsSinceRestart_ >= restartLimit_;
+}
+
+void
+CdclSolver::reduceLearnedDb()
+{
+    uint64_t limit = config_.learntLimitBase +
+                     stats_.restarts * (config_.learntLimitBase / 4);
+    size_t learned_count = clauses_.size() - numOriginalClauses_;
+    if (learned_count <= limit)
+        return;
+
+    // Collect learned clause indices not currently used as reasons,
+    // sorted by ascending activity; delete the weakest half.
+    std::vector<bool> is_reason(clauses_.size(), false);
+    for (uint32_t v = 0; v < numVars_; ++v)
+        if (assigns_[v] != LBool::Undef && reason_[v] != kNoReason)
+            is_reason[reason_[v]] = true;
+
+    std::vector<uint32_t> candidates;
+    for (uint32_t i = static_cast<uint32_t>(numOriginalClauses_);
+         i < clauses_.size(); ++i)
+        if (!is_reason[i] && clauses_[i].lits.size() > 2)
+            candidates.push_back(i);
+    std::sort(candidates.begin(), candidates.end(),
+              [&](uint32_t a, uint32_t b) {
+                  return clauses_[a].activity < clauses_[b].activity;
+              });
+    candidates.resize(candidates.size() / 2);
+    if (candidates.empty())
+        return;
+
+    std::vector<bool> dead(clauses_.size(), false);
+    for (uint32_t i : candidates)
+        dead[i] = true;
+    stats_.deletedClauses += candidates.size();
+
+    // Compact the clause array and remap watches and reasons.
+    std::vector<uint32_t> remap(clauses_.size(), kNoReason);
+    std::vector<InternalClause> kept;
+    kept.reserve(clauses_.size() - candidates.size());
+    for (uint32_t i = 0; i < clauses_.size(); ++i) {
+        if (dead[i])
+            continue;
+        remap[i] = static_cast<uint32_t>(kept.size());
+        kept.push_back(std::move(clauses_[i]));
+    }
+    clauses_ = std::move(kept);
+    for (auto &ws : watches_) {
+        size_t keep = 0;
+        for (auto &w : ws) {
+            if (remap[w.clauseIdx] != kNoReason) {
+                w.clauseIdx = remap[w.clauseIdx];
+                ws[keep++] = w;
+            }
+        }
+        ws.resize(keep);
+    }
+    for (uint32_t v = 0; v < numVars_; ++v)
+        if (reason_[v] != kNoReason)
+            reason_[v] = remap[reason_[v]];
+}
+
+SolveResult
+CdclSolver::search()
+{
+    std::vector<Lit> learnt;
+    while (true) {
+        uint32_t confl = propagate();
+        if (confl != kNoReason) {
+            ++stats_.conflicts;
+            ++conflictsSinceRestart_;
+            if (trailLim_.empty())
+                return SolveResult::Unsat;
+            uint32_t bt_level = 0;
+            analyze(confl, learnt, bt_level);
+            // Never undo the assumption prefix.
+            uint32_t floor_level =
+                static_cast<uint32_t>(assumptions_.size());
+            if (bt_level < floor_level) {
+                // Learnt clause asserts below the assumptions: if it
+                // contradicts them the instance is Unsat under
+                // assumptions; handled by re-propagation below.
+                bt_level = std::min<uint32_t>(
+                    floor_level, static_cast<uint32_t>(trailLim_.size()));
+                if (learnt.size() == 1)
+                    bt_level = 0;
+            }
+            backtrack(bt_level);
+            if (litValue(learnt[0]) != LBool::Undef) {
+                // Asserting literal already falsified at this level:
+                // conflict below assumptions -> unsatisfiable cube.
+                return SolveResult::Unsat;
+            }
+            stats_.learnedClauses++;
+            stats_.learnedLiterals += learnt.size();
+            clauses_.push_back({learnt, clauseInc_, true});
+            uint32_t idx = static_cast<uint32_t>(clauses_.size() - 1);
+            if (learnt.size() > 1)
+                attachClause(idx);
+            enqueue(learnt[0], learnt.size() > 1 ? idx : kNoReason);
+            decayActivities();
+            if (config_.conflictBudget &&
+                stats_.conflicts >= config_.conflictBudget)
+                return SolveResult::Unknown;
+            continue;
+        }
+
+        if (lubyRestartDue()) {
+            ++stats_.restarts;
+            conflictsSinceRestart_ = 0;
+            restartLimit_ = static_cast<uint64_t>(
+                config_.restartBase * luby(stats_.restarts));
+            backtrack(static_cast<uint32_t>(assumptions_.size()));
+            reduceLearnedDb();
+            continue;
+        }
+
+        // Place pending assumptions as decisions first.
+        if (trailLim_.size() < assumptions_.size()) {
+            Lit a = assumptions_[trailLim_.size()];
+            LBool v = litValue(a);
+            if (v == LBool::False)
+                return SolveResult::Unsat;
+            trailLim_.push_back(trail_.size());
+            if (v == LBool::Undef)
+                enqueue(a, kNoReason);
+            continue;
+        }
+
+        Lit next = pickBranchLit();
+        if (!next.valid()) {
+            model_.assign(numVars_, false);
+            for (uint32_t v = 0; v < numVars_; ++v)
+                model_[v] = (assigns_[v] == LBool::True);
+            return SolveResult::Sat;
+        }
+        ++stats_.decisions;
+        trailLim_.push_back(trail_.size());
+        stats_.maxDecisionLevel =
+            std::max<uint64_t>(stats_.maxDecisionLevel, trailLim_.size());
+        enqueue(next, kNoReason);
+    }
+}
+
+SolveResult
+CdclSolver::solve()
+{
+    return solve({});
+}
+
+SolveResult
+CdclSolver::solve(const std::vector<Lit> &assumptions)
+{
+    if (unsatOnConstruction_)
+        return SolveResult::Unsat;
+    backtrack(0);
+    assumptions_ = assumptions;
+    // Enqueue unit clauses at level 0 once.
+    for (uint32_t i = 0; i < clauses_.size(); ++i) {
+        if (clauses_[i].lits.size() == 1) {
+            Lit u = clauses_[i].lits[0];
+            LBool v = litValue(u);
+            if (v == LBool::False)
+                return SolveResult::Unsat;
+            if (v == LBool::Undef)
+                enqueue(u, kNoReason);
+        }
+    }
+    if (propagate() != kNoReason)
+        return SolveResult::Unsat;
+    SolveResult r = search();
+    assumptions_.clear();
+    return r;
+}
+
+SolveResult
+solveCnf(const CnfFormula &formula, std::vector<bool> *model,
+         SolverStats *stats)
+{
+    CdclSolver solver(formula);
+    SolveResult r = solver.solve();
+    if (r == SolveResult::Sat && model)
+        *model = solver.model();
+    if (stats)
+        *stats = solver.stats();
+    return r;
+}
+
+} // namespace logic
+} // namespace reason

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Conflict-driven clause learning (CDCL) SAT solver.
+ *
+ * Implements the algorithm REASON maps onto hardware (Sec. II-C, V-D):
+ * two-watched-literal Boolean constraint propagation, first-UIP conflict
+ * analysis with clause learning and non-chronological backtracking, VSIDS
+ * branching with phase saving, Luby restarts, and activity-driven learned
+ * clause deletion.  Also serves as the functional reference and the CPU
+ * baseline for the symbolic engine.
+ */
+
+#ifndef REASON_LOGIC_SOLVER_H
+#define REASON_LOGIC_SOLVER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "logic/cnf.h"
+
+namespace reason {
+namespace logic {
+
+/** Result of a satisfiability query. */
+enum class SolveResult : uint8_t { Sat, Unsat, Unknown };
+
+/** Observable search-effort statistics, consumed by the timing models. */
+struct SolverStats
+{
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t conflicts = 0;
+    uint64_t learnedClauses = 0;
+    uint64_t learnedLiterals = 0;
+    uint64_t restarts = 0;
+    uint64_t deletedClauses = 0;
+    uint64_t maxDecisionLevel = 0;
+    /** Clause-database literal visits during propagation (memory proxy). */
+    uint64_t literalVisits = 0;
+};
+
+/** Tunable solver knobs. */
+struct SolverConfig
+{
+    /** Initial conflicts between restarts; scaled by the Luby sequence. */
+    uint64_t restartBase = 128;
+    /** Decay applied to all variable activities after each conflict. */
+    double varDecay = 0.95;
+    /** Decay applied to clause activities after each conflict. */
+    double clauseDecay = 0.999;
+    /** Start reducing the learned-clause DB beyond this many clauses. */
+    uint64_t learntLimitBase = 4096;
+    /** Give up after this many conflicts; 0 means never. */
+    uint64_t conflictBudget = 0;
+    /** Prefer saved phases when picking decision polarity. */
+    bool phaseSaving = true;
+};
+
+/**
+ * CDCL solver over a CnfFormula.
+ *
+ * Usage: construct with a formula, optionally add more clauses, then call
+ * solve() or solve(assumptions).  After Sat, model() holds a complete
+ * satisfying assignment.  The solver may be re-solved with different
+ * assumptions; learned clauses persist across calls.
+ */
+class CdclSolver
+{
+  public:
+    explicit CdclSolver(const CnfFormula &formula,
+                        SolverConfig config = {});
+
+    /** Solve with no assumptions. */
+    SolveResult solve();
+
+    /**
+     * Solve under the given assumption literals (cube-and-conquer
+     * "conquer" phase).  Assumptions are retracted afterwards.
+     */
+    SolveResult solve(const std::vector<Lit> &assumptions);
+
+    /** Satisfying assignment after a Sat result (index = var). */
+    const std::vector<bool> &model() const { return model_; }
+
+    const SolverStats &stats() const { return stats_; }
+
+    uint32_t numVars() const { return numVars_; }
+
+    /** Number of clauses currently in the database (original + learned). */
+    size_t numClauses() const { return clauses_.size(); }
+
+  private:
+    struct InternalClause
+    {
+        std::vector<Lit> lits;
+        double activity = 0.0;
+        bool learned = false;
+    };
+
+    /** Watcher entry: clause index plus blocker literal fast path. */
+    struct Watcher
+    {
+        uint32_t clauseIdx;
+        Lit blocker;
+    };
+
+    static constexpr uint32_t kNoReason = ~0u;
+
+    // --- setup ---
+    void attachClause(uint32_t idx);
+
+    // --- core search ---
+    SolveResult search();
+    /** @return conflicting clause index, or kNoReason if no conflict. */
+    uint32_t propagate();
+    void analyze(uint32_t confl, std::vector<Lit> &learnt,
+                 uint32_t &bt_level);
+    void enqueue(Lit l, uint32_t reason_idx);
+    void backtrack(uint32_t level);
+    Lit pickBranchLit();
+    void reduceLearnedDb();
+    bool lubyRestartDue() const;
+    static double luby(uint64_t i);
+
+    // --- VSIDS ---
+    void bumpVar(uint32_t var);
+    void decayActivities();
+
+    LBool litValue(Lit l) const;
+
+    uint32_t numVars_;
+    SolverConfig config_;
+    std::vector<InternalClause> clauses_;
+    size_t numOriginalClauses_ = 0;
+    std::vector<std::vector<Watcher>> watches_; // indexed by lit code
+    std::vector<LBool> assigns_;                // indexed by var
+    std::vector<bool> savedPhase_;              // indexed by var
+    std::vector<uint32_t> level_;               // indexed by var
+    std::vector<uint32_t> reason_;              // indexed by var
+    std::vector<Lit> trail_;
+    std::vector<size_t> trailLim_;
+    size_t qhead_ = 0;
+    std::vector<double> activity_;
+    double varInc_ = 1.0;
+    double clauseInc_ = 1.0;
+    std::vector<bool> seen_;
+    std::vector<bool> model_;
+    std::vector<Lit> assumptions_;
+    uint64_t conflictsSinceRestart_ = 0;
+    uint64_t restartLimit_ = 0;
+    SolverStats stats_;
+    bool unsatOnConstruction_ = false;
+};
+
+/**
+ * One-shot convenience: solve a formula and optionally return the model.
+ */
+SolveResult solveCnf(const CnfFormula &formula,
+                     std::vector<bool> *model = nullptr,
+                     SolverStats *stats = nullptr);
+
+} // namespace logic
+} // namespace reason
+
+#endif // REASON_LOGIC_SOLVER_H

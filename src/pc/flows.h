@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Top-down circuit flows and flow-based pruning for probabilistic
+ * circuits (REASON Sec. IV-B, "Pruning of PCs and HMMs via circuit flow").
+ *
+ * The flow F(n,c;x) measures the fraction of the root's probability mass
+ * that passes through edge (n,c) when evaluating input x.  Edges whose
+ * cumulative flow over a dataset is smallest contribute least to the
+ * model likelihood; removing them bounds the average log-likelihood drop
+ * by the removed flow mass.
+ */
+
+#ifndef REASON_PC_FLOWS_H
+#define REASON_PC_FLOWS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pc/pc.h"
+
+namespace reason {
+namespace pc {
+
+/** Flow values for every edge, indexed per node by child position. */
+struct EdgeFlows
+{
+    /** flows[n][k]: flow through edge (n, children[k]). */
+    std::vector<std::vector<double>> flows;
+    /** Top-down node flows F_n. */
+    std::vector<double> nodeFlows;
+};
+
+/**
+ * Compute per-edge flows for one assignment.
+ * Root flow is 1; sum edges split flow by θ·p_c/p_n, product edges pass
+ * the parent flow to every child.
+ */
+EdgeFlows computeFlows(const Circuit &circuit, const Assignment &x);
+
+/** Accumulate flows over a dataset (sum of per-example flows). */
+EdgeFlows accumulateFlows(const Circuit &circuit,
+                          const std::vector<Assignment> &data);
+
+/** Result of flow-based pruning. */
+struct PcPruneResult
+{
+    Circuit pruned;
+    uint64_t edgesRemoved = 0;
+    uint64_t nodesRemoved = 0;
+    /** Fraction of edges removed. */
+    double edgeReduction = 0.0;
+    /** Upper bound on the average log-likelihood decrease. */
+    double logLikelihoodBound = 0.0;
+
+    PcPruneResult() : pruned(1, 2) {}
+};
+
+/**
+ * Prune sum-node edges whose cumulative normalized flow falls below
+ * `flow_threshold` (fraction of the per-example root flow), then drop
+ * unreachable nodes and renormalize the surviving sum weights.
+ *
+ * At least one child is always kept per sum node, so the circuit stays
+ * well-formed.
+ */
+PcPruneResult pruneByFlow(const Circuit &circuit,
+                          const std::vector<Assignment> &data,
+                          double flow_threshold);
+
+/**
+ * Prune a fixed fraction of sum edges, lowest cumulative flow first.
+ */
+PcPruneResult pruneFraction(const Circuit &circuit,
+                            const std::vector<Assignment> &data,
+                            double fraction);
+
+} // namespace pc
+} // namespace reason
+
+#endif // REASON_PC_FLOWS_H

@@ -1,0 +1,173 @@
+#include "pc/from_logic.h"
+
+#include <vector>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace pc {
+
+using logic::DnnfGraph;
+using logic::LitWeights;
+using logic::NnfId;
+using logic::NnfNode;
+using logic::NnfType;
+
+namespace {
+
+/** Sentinel PC id for True-valued NNF nodes (empty scope). */
+constexpr NodeId kUnitPc = kInvalidNode;
+
+/** Vars in `parent` missing from `child` (both sorted). */
+std::vector<uint32_t>
+scopeGap(const std::vector<uint32_t> &parent,
+         const std::vector<uint32_t> &child)
+{
+    std::vector<uint32_t> gap;
+    size_t ci = 0;
+    for (uint32_t v : parent) {
+        while (ci < child.size() && child[ci] < v)
+            ++ci;
+        if (ci < child.size() && child[ci] == v)
+            continue;
+        gap.push_back(v);
+    }
+    return gap;
+}
+
+} // namespace
+
+Circuit
+fromDnnf(const DnnfGraph &graph, const LitWeights &weights)
+{
+    reasonAssert(graph.numVars() > 0, "circuit needs at least one variable");
+    auto scope = graph.scopes();
+    auto value = graph.weightedValues(weights);
+    if (value[graph.root()] <= 0.0)
+        fatal("fromDnnf: formula is unsatisfiable under the weights "
+              "(WMC = 0); the conditioned distribution does not exist");
+
+    Circuit circuit(graph.numVars(), 2);
+
+    // Marginal leaf P(v) ∝ (neg, pos), created on demand per variable.
+    std::vector<NodeId> marginal(graph.numVars(), kInvalidNode);
+    auto marginalLeaf = [&](uint32_t var) {
+        if (marginal[var] == kInvalidNode)
+            marginal[var] = circuit.addLeaf(
+                var, {weights.neg[var], weights.pos[var]});
+        return marginal[var];
+    };
+    // Product of `base` (optional) with marginal leaves over `gap`.
+    auto padded = [&](NodeId base, const std::vector<uint32_t> &gap) {
+        std::vector<NodeId> parts;
+        if (base != kUnitPc)
+            parts.push_back(base);
+        for (uint32_t v : gap)
+            parts.push_back(marginalLeaf(v));
+        reasonAssert(!parts.empty(), "padding an empty scope");
+        if (parts.size() == 1)
+            return parts[0];
+        return circuit.addProduct(std::move(parts));
+    };
+
+    // Only NNF nodes reachable from the root become circuit nodes.
+    std::vector<bool> reachable(graph.numNodes(), false);
+    reachable[graph.root()] = true;
+    for (size_t i = graph.numNodes(); i-- > 0;) {
+        if (!reachable[i])
+            continue;
+        for (NnfId c : graph.node(NnfId(i)).children)
+            reachable[c] = true;
+    }
+
+    std::vector<NodeId> pcId(graph.numNodes(), kInvalidNode);
+    for (size_t i = 0; i < graph.numNodes(); ++i) {
+        if (!reachable[i])
+            continue;
+        const NnfNode &node = graph.node(NnfId(i));
+        switch (node.type) {
+          case NnfType::True:
+            pcId[i] = kUnitPc;
+            break;
+          case NnfType::False:
+            // The compiler folds False out of reachable positions except
+            // a root-level contradiction, which the WMC guard rejected.
+            panic("False node reachable in satisfiable d-DNNF");
+            break;
+          case NnfType::Lit: {
+            uint32_t var = node.lit.var();
+            std::vector<double> dist(2, 0.0);
+            dist[node.lit.negated() ? 0 : 1] = 1.0;
+            pcId[i] = circuit.addLeaf(var, std::move(dist));
+            break;
+          }
+          case NnfType::And: {
+            std::vector<NodeId> parts;
+            for (NnfId c : node.children)
+                if (pcId[c] != kUnitPc)
+                    parts.push_back(pcId[c]);
+            if (parts.empty())
+                pcId[i] = kUnitPc;
+            else if (parts.size() == 1)
+                pcId[i] = parts[0];
+            else
+                pcId[i] = circuit.addProduct(std::move(parts));
+            break;
+          }
+          case NnfType::Or: {
+            std::vector<NodeId> children;
+            std::vector<double> mix;
+            for (NnfId c : node.children) {
+                auto gap = scopeGap(scope[i], scope[c]);
+                double w = value[c];
+                for (uint32_t v : gap)
+                    w *= weights.pos[v] + weights.neg[v];
+                if (w <= 0.0)
+                    continue; // dead branch under these weights
+                children.push_back(padded(pcId[c], gap));
+                mix.push_back(w);
+            }
+            reasonAssert(!children.empty(), "Or with no live branch");
+            if (children.size() == 1)
+                pcId[i] = children[0];
+            else
+                pcId[i] = circuit.addSum(std::move(children),
+                                         std::move(mix));
+            break;
+          }
+        }
+    }
+
+    // Pad the root out to the full variable set.
+    std::vector<uint32_t> all_gap;
+    {
+        const auto &rs = scope[graph.root()];
+        size_t si = 0;
+        for (uint32_t v = 0; v < graph.numVars(); ++v) {
+            while (si < rs.size() && rs[si] < v)
+                ++si;
+            if (si < rs.size() && rs[si] == v)
+                continue;
+            all_gap.push_back(v);
+        }
+    }
+    NodeId root = padded(pcId[graph.root()], all_gap);
+    circuit.markRoot(root);
+    circuit.validate();
+    return circuit;
+}
+
+Circuit
+compileCnf(const logic::CnfFormula &formula)
+{
+    return compileCnf(formula, LitWeights::uniform(formula.numVars()));
+}
+
+Circuit
+compileCnf(const logic::CnfFormula &formula, const LitWeights &weights)
+{
+    return fromDnnf(logic::compileToDnnf(formula), weights);
+}
+
+} // namespace pc
+} // namespace reason

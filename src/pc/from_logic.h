@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Knowledge-to-circuit bridge: convert a compiled decision-DNNF into a
+ * smooth, decomposable probabilistic circuit (the R2-Guard construction:
+ * logical safety rules -> tractable probabilistic model).
+ *
+ * The resulting circuit represents the literal-weight product
+ * distribution conditioned on the formula holding:
+ *
+ *     P(x) = [x |= phi] * prod_v w(x_v) / WMC(phi)
+ *
+ * parameterized locally (PSDD-style): each Or decision mixes its two
+ * branches by their smoothed weighted counts, each branch is padded with
+ * marginal leaves for variables it does not mention, and literal nodes
+ * become indicator leaves.  Marginal and conditional queries on the
+ * circuit therefore agree with WMC ratios on the formula — tested
+ * exhaustively in tests/test_knowledge.cc.
+ */
+
+#ifndef REASON_PC_FROM_LOGIC_H
+#define REASON_PC_FROM_LOGIC_H
+
+#include "logic/knowledge.h"
+#include "pc/pc.h"
+
+namespace reason {
+namespace pc {
+
+/**
+ * Build the conditioned-product-distribution circuit from a d-DNNF.
+ * Variables map 1:1 (PC value 1 = true, 0 = false).
+ *
+ * fatal()s when the formula is unsatisfiable under the weights
+ * (WMC == 0): the conditional distribution does not exist.
+ */
+Circuit fromDnnf(const logic::DnnfGraph &graph,
+                 const logic::LitWeights &weights);
+
+/** One-shot: compile a CNF and convert (uniform weights by default). */
+Circuit compileCnf(const logic::CnfFormula &formula);
+Circuit compileCnf(const logic::CnfFormula &formula,
+                   const logic::LitWeights &weights);
+
+} // namespace pc
+} // namespace reason
+
+#endif // REASON_PC_FROM_LOGIC_H

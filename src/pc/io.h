@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Probabilistic-circuit serialization: a line-oriented text format
+ * ("rpc 1") that round-trips Circuit structure and parameters exactly,
+ * so trained or compiled circuits can be stored and shipped.
+ *
+ * Format:
+ *
+ *     rpc 1
+ *     vars <numVars> arity <arity>
+ *     l <var> <p_0> ... <p_{arity-1}>          leaf
+ *     p <k> <child...>                          product
+ *     s <k> <child> <weight> ...                sum
+ *     root <id>
+ *
+ * Node ids are implicit line positions (0-based, in file order);
+ * children must precede parents.  Probabilities are written with 17
+ * significant digits so parsing reproduces them bit-exactly.
+ */
+
+#ifndef REASON_PC_IO_H
+#define REASON_PC_IO_H
+
+#include <string>
+
+#include "pc/pc.h"
+
+namespace reason {
+namespace pc {
+
+/** Serialize a circuit to rpc text. */
+std::string toText(const Circuit &circuit);
+
+/** Parse rpc text; fatal()s on malformed input. */
+Circuit parseText(const std::string &text);
+
+} // namespace pc
+} // namespace reason
+
+#endif // REASON_PC_IO_H

@@ -1,0 +1,90 @@
+#include "pc/learn.h"
+
+#include <cmath>
+
+#include "pc/flows.h"
+#include "util/logging.h"
+
+namespace reason {
+namespace pc {
+
+double
+meanLogLikelihood(const Circuit &circuit,
+                  const std::vector<Assignment> &data)
+{
+    reasonAssert(!data.empty(), "need data");
+    double acc = 0.0;
+    for (const auto &x : data)
+        acc += circuit.logLikelihood(x);
+    return acc / static_cast<double>(data.size());
+}
+
+EmTrace
+emTrain(Circuit &circuit, const std::vector<Assignment> &data,
+        const EmConfig &config)
+{
+    EmTrace trace;
+    trace.logLikelihood.push_back(meanLogLikelihood(circuit, data));
+
+    for (uint32_t it = 0; it < config.maxIterations; ++it) {
+        // E-step: expected edge usage = accumulated flows; expected leaf
+        // value usage = leaf flow attributed to the observed value.
+        EdgeFlows total;
+        total.nodeFlows.assign(circuit.numNodes(), 0.0);
+        total.flows.resize(circuit.numNodes());
+        for (size_t i = 0; i < circuit.numNodes(); ++i)
+            total.flows[i].assign(circuit.node(i).children.size(), 0.0);
+        // leafCounts[node][value]
+        std::vector<std::vector<double>> leaf_counts(circuit.numNodes());
+        for (size_t i = 0; i < circuit.numNodes(); ++i)
+            if (circuit.node(i).type == PcNodeType::Leaf)
+                leaf_counts[i].assign(circuit.arity(), 0.0);
+
+        for (const auto &x : data) {
+            EdgeFlows one = computeFlows(circuit, x);
+            for (size_t i = 0; i < circuit.numNodes(); ++i) {
+                total.nodeFlows[i] += one.nodeFlows[i];
+                for (size_t k = 0; k < one.flows[i].size(); ++k)
+                    total.flows[i][k] += one.flows[i][k];
+                const PcNode &n = circuit.node(static_cast<NodeId>(i));
+                if (n.type == PcNodeType::Leaf &&
+                    x[n.var] != kMissing) {
+                    leaf_counts[i][x[n.var]] += one.nodeFlows[i];
+                }
+            }
+        }
+
+        // M-step: re-normalize sum weights and leaf distributions.
+        for (NodeId id = 0; id < circuit.numNodes(); ++id) {
+            PcNode &n = circuit.mutableNode(id);
+            if (n.type == PcNodeType::Sum) {
+                double denom = 0.0;
+                for (size_t k = 0; k < n.children.size(); ++k)
+                    denom += total.flows[id][k] + config.smoothing;
+                for (size_t k = 0; k < n.children.size(); ++k)
+                    n.weights[k] =
+                        (total.flows[id][k] + config.smoothing) / denom;
+            } else if (n.type == PcNodeType::Leaf) {
+                double denom = 0.0;
+                for (uint32_t v = 0; v < circuit.arity(); ++v)
+                    denom += leaf_counts[id][v] + config.smoothing;
+                if (denom <= 0.0)
+                    continue;
+                for (uint32_t v = 0; v < circuit.arity(); ++v)
+                    n.dist[v] =
+                        (leaf_counts[id][v] + config.smoothing) / denom;
+            }
+        }
+
+        double ll = meanLogLikelihood(circuit, data);
+        trace.logLikelihood.push_back(ll);
+        ++trace.iterations;
+        double prev = trace.logLikelihood[trace.logLikelihood.size() - 2];
+        if (ll - prev < config.tolerance)
+            break;
+    }
+    return trace;
+}
+
+} // namespace pc
+} // namespace reason

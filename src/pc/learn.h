@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Parameter learning for probabilistic circuits via flow-based EM.
+ *
+ * Each EM iteration accumulates expected edge/leaf usage (the circuit
+ * flows) over the dataset and re-estimates sum weights and leaf
+ * distributions from the normalized counts with Laplace smoothing.
+ * Monotone non-decreasing training log-likelihood is an invariant the
+ * tests rely on.
+ */
+
+#ifndef REASON_PC_LEARN_H
+#define REASON_PC_LEARN_H
+
+#include <cstdint>
+#include <vector>
+
+#include "pc/pc.h"
+
+namespace reason {
+namespace pc {
+
+/** One EM run's trace. */
+struct EmTrace
+{
+    /** Mean train log-likelihood after each iteration (incl. initial). */
+    std::vector<double> logLikelihood;
+    uint32_t iterations = 0;
+};
+
+/** EM options. */
+struct EmConfig
+{
+    uint32_t maxIterations = 20;
+    /** Stop when LL improves by less than this per example. */
+    double tolerance = 1e-6;
+    /** Laplace smoothing pseudo-count added to every expected count. */
+    double smoothing = 0.1;
+};
+
+/** Mean log-likelihood of a dataset under the circuit. */
+double meanLogLikelihood(const Circuit &circuit,
+                         const std::vector<Assignment> &data);
+
+/**
+ * Run flow-based EM in place.
+ * @return the per-iteration trace (first entry is the initial LL).
+ */
+EmTrace emTrain(Circuit &circuit, const std::vector<Assignment> &data,
+                const EmConfig &config = {});
+
+} // namespace pc
+} // namespace reason
+
+#endif // REASON_PC_LEARN_H

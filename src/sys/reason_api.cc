@@ -1,0 +1,82 @@
+#include "sys/reason_api.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace sys {
+
+ReasonRuntime::ReasonRuntime(const arch::ArchConfig &config,
+                             compiler::Program program)
+    : config_(config), program_(std::move(program)), accel_(config)
+{
+}
+
+int
+ReasonRuntime::REASON_execute(int batch_id, int batch_size,
+                              const void *neural_buffer,
+                              const void *reasoning_mode,
+                              void *symbolic_buffer)
+{
+    if (batch_size <= 0 || neural_buffer == nullptr ||
+        symbolic_buffer == nullptr)
+        return -1;
+    int mode = REASON_MODE_PROBABILISTIC;
+    if (reasoning_mode)
+        std::memcpy(&mode, reasoning_mode, sizeof(int));
+
+    const uint32_t num_inputs = program_.inputs.empty()
+                                    ? 0
+                                    : [&] {
+                                          uint32_t m = 0;
+                                          for (const auto &p :
+                                               program_.inputs)
+                                              m = std::max(m,
+                                                           p.inputTag + 1);
+                                          return m;
+                                      }();
+    const double *in = static_cast<const double *>(neural_buffer);
+    double *out = static_cast<double *>(symbolic_buffer);
+
+    // Host raised neural_ready before calling (Sec. VI-B).
+    shm_.neuralReady = true;
+    shm_.symbolicReady = false;
+
+    uint64_t batch_cycles = 0;
+    for (int b = 0; b < batch_size; ++b) {
+        std::vector<double> inputs(in + size_t(b) * num_inputs,
+                                   in + size_t(b + 1) * num_inputs);
+        arch::ExecutionResult r =
+            accel_.run(program_, inputs, /*preloaded=*/b > 0);
+        out[b] = r.rootValue;
+        batch_cycles += r.cycles;
+        if (b == batch_size - 1)
+            results_[batch_id] = std::move(r);
+    }
+    completion_[batch_id] = now_ + batch_cycles;
+    now_ += batch_cycles;
+
+    shm_.neuralReady = false;
+    shm_.symbolicReady = true;
+    shm_.symbolicBuffer.assign(out, out + batch_size);
+    return 0;
+}
+
+int
+ReasonRuntime::REASON_check_status(int batch_id, bool blocking)
+{
+    auto it = completion_.find(batch_id);
+    if (it == completion_.end())
+        return REASON_IDLE; // never launched: nothing in flight
+    if (now_ >= it->second)
+        return REASON_IDLE;
+    if (blocking) {
+        now_ = it->second;
+        return REASON_IDLE;
+    }
+    return REASON_EXECUTION;
+}
+
+} // namespace sys
+} // namespace reason

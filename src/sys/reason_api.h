@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The REASON programming interface (Sec. VI-B, Listing 1):
+ * REASON_execute / REASON_check_status over shared-memory flag buffers.
+ *
+ * The runtime simulates the co-processor side: the host (GPU SM proxy)
+ * writes neural results into shared memory and sets `neural_ready`;
+ * REASON polls the flag, runs the compiled symbolic kernel on the cycle
+ * simulator, writes results back, and raises `symbolic_ready`.
+ */
+
+#ifndef REASON_SYS_REASON_API_H
+#define REASON_SYS_REASON_API_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "compiler/program.h"
+
+namespace reason {
+namespace sys {
+
+/** Execution status returned by REASON_check_status. */
+enum ReasonStatus : int { REASON_IDLE = 0, REASON_EXECUTION = 1 };
+
+/** Reasoning mode selector (Sec. V-B). */
+enum ReasonMode : int
+{
+    REASON_MODE_PROBABILISTIC = 0,
+    REASON_MODE_SYMBOLIC = 1,
+    REASON_MODE_SPMSPM = 2
+};
+
+/**
+ * Host-visible shared memory segment: data buffers plus the
+ * neural_ready / symbolic_ready synchronization flags.
+ */
+struct SharedMemory
+{
+    std::vector<double> neuralBuffer;
+    std::vector<double> symbolicBuffer;
+    bool neuralReady = false;
+    bool symbolicReady = false;
+};
+
+/**
+ * Simulated REASON co-processor runtime implementing the C-style
+ * interface of Listing 1.
+ */
+class ReasonRuntime
+{
+  public:
+    ReasonRuntime(const arch::ArchConfig &config,
+                  compiler::Program program);
+
+    /** Shared memory visible to both host and co-processor. */
+    SharedMemory &sharedMemory() { return shm_; }
+
+    /**
+     * Trigger symbolic execution for one batch (Listing 1).
+     * The neural buffer must hold batch_size * numInputs doubles; the
+     * symbolic buffer receives batch_size root values.
+     *
+     * @return 0 on success, negative on error (bad batch, not ready).
+     */
+    int REASON_execute(int batch_id, int batch_size,
+                       const void *neural_buffer,
+                       const void *reasoning_mode,
+                       void *symbolic_buffer);
+
+    /**
+     * Query execution status (Listing 1).  With blocking=true, waits
+     * (advances simulated time) until the batch completes.
+     *
+     * @return REASON_IDLE or REASON_EXECUTION.
+     */
+    int REASON_check_status(int batch_id, bool blocking);
+
+    /** Simulated cycles consumed so far. */
+    uint64_t totalCycles() const { return now_; }
+
+    /** Per-batch execution results. */
+    const std::map<int, arch::ExecutionResult> &results() const
+    {
+        return results_;
+    }
+
+  private:
+    arch::ArchConfig config_;
+    compiler::Program program_;
+    arch::Accelerator accel_;
+    SharedMemory shm_;
+    uint64_t now_ = 0;
+    /** batch id -> completion cycle. */
+    std::map<int, uint64_t> completion_;
+    std::map<int, arch::ExecutionResult> results_;
+};
+
+} // namespace sys
+} // namespace reason
+
+#endif // REASON_SYS_REASON_API_H

@@ -1,0 +1,211 @@
+#include "sys/system.h"
+
+#include <algorithm>
+
+#include "arch/symbolic.h"
+#include "util/logging.h"
+
+namespace reason {
+namespace sys {
+
+const char *
+platformName(Platform p)
+{
+    switch (p) {
+      case Platform::ReasonAccel: return "REASON";
+      case Platform::OrinNx: return "Orin NX";
+      case Platform::RtxA6000: return "RTX A6000";
+      case Platform::XeonCpu: return "Xeon CPU";
+      case Platform::V100: return "V100";
+      case Platform::A100: return "A100";
+      case Platform::TpuLike: return "TPU-like";
+      case Platform::DpuLike: return "DPU-like";
+    }
+    return "?";
+}
+
+namespace {
+
+baselines::DeviceModel
+deviceFor(Platform p)
+{
+    switch (p) {
+      case Platform::OrinNx: return baselines::orinNx();
+      case Platform::RtxA6000: return baselines::rtxA6000();
+      case Platform::XeonCpu: return baselines::xeonCpu();
+      case Platform::V100: return baselines::v100();
+      case Platform::A100: return baselines::a100();
+      case Platform::TpuLike: return baselines::tpuLike();
+      case Platform::DpuLike: return baselines::dpuLike();
+      case Platform::ReasonAccel:
+        panic("REASON has no baseline device model");
+    }
+    panic("unknown platform");
+}
+
+/** Effective DAG-node throughput of the REASON fabric (nodes/cycle). */
+double
+reasonNodesPerCycle(const arch::ArchConfig &cfg)
+{
+    // Pipelined tree PEs sustain ~70% of peak node occupancy on
+    // irregular DAGs (block leaf utilization + dependence stalls),
+    // matching the cycle simulator's measured utilization.
+    return double(cfg.numPes) * double(cfg.nodesPerPe()) * 0.70;
+}
+
+} // namespace
+
+StageCost
+symbolicCost(Platform platform, const workloads::SymbolicOps &ops,
+             const arch::ArchConfig &cfg, energy::TechNode node)
+{
+    StageCost cost;
+    if (platform == Platform::ReasonAccel) {
+        uint64_t cycles = 0;
+        // SAT kernels: hardware event charges.
+        cycles += arch::estimateCdclCycles(ops.sat, ops.clauseDbBytes,
+                                           cfg);
+        // Probabilistic DAG kernels: pipelined tree execution.
+        cycles += static_cast<uint64_t>(
+            double(ops.totalDagNodes()) / reasonNodesPerCycle(cfg));
+        cost.seconds = double(cycles) * cfg.cycleSeconds();
+
+        // Synthesize the event counts the energy model prices.
+        StatGroup ev;
+        ev.inc("agg_decisions", ops.sat.decisions);
+        ev.inc("agg_propagations", ops.sat.propagations);
+        ev.inc("agg_literal_visits", ops.sat.literalVisits);
+        uint64_t dag_nodes = ops.totalDagNodes();
+        ev.inc("tree_add_ops", dag_nodes / 2);
+        ev.inc("tree_mul_ops", dag_nodes / 2);
+        ev.inc("regfile_reads", dag_nodes * 2 / 3);
+        ev.inc("regfile_writes", dag_nodes / 4);
+        ev.inc("sram_accesses", dag_nodes / 8);
+        ev.inc("dma_bytes",
+               static_cast<uint64_t>(ops.probBytes * 0.05));
+        ev.inc("cycles", cycles);
+        energy::EnergyModel em(node);
+        cost.joules = em.dynamicEnergyJoules(ev) +
+                      em.staticWatts() * cost.seconds;
+        return cost;
+    }
+
+    baselines::DeviceModel dev = deviceFor(platform);
+    double seconds = 0.0;
+    double joules = 0.0;
+    if (ops.sat.propagations > 0) {
+        baselines::KernelWork w;
+        w.cls = baselines::KernelClass::SymbolicBcp;
+        w.propagations = ops.sat.propagations;
+        w.literalVisits = ops.sat.literalVisits;
+        seconds += dev.seconds(w);
+        joules += dev.joules(w);
+    }
+    if (ops.pcDagNodes > 0) {
+        baselines::KernelWork w;
+        w.cls = baselines::KernelClass::ProbCircuit;
+        w.dagNodes = ops.pcDagNodes;
+        w.bytes = ops.probBytes / 2;
+        seconds += dev.seconds(w);
+        joules += dev.joules(w);
+    }
+    if (ops.hmmDagNodes > 0) {
+        baselines::KernelWork w;
+        w.cls = baselines::KernelClass::HmmSequential;
+        w.dagNodes = ops.hmmDagNodes;
+        w.bytes = ops.probBytes / 2;
+        seconds += dev.seconds(w);
+        joules += dev.joules(w);
+    }
+    cost.seconds = seconds;
+    cost.joules = joules;
+    return cost;
+}
+
+double
+neuralFlops(const workloads::TaskBundle &bundle,
+            const workloads::SymbolicOps &ops)
+{
+    StageCost sym_a6000 = symbolicCost(Platform::RtxA6000, ops);
+    double f = bundle.neuralFractionA6000;
+    double neural_seconds = sym_a6000.seconds * f / (1.0 - f);
+    baselines::DeviceModel a6000 = baselines::rtxA6000();
+    return neural_seconds * a6000.peakTflops * 1e12 *
+           a6000.denseEfficiency;
+}
+
+StageCost
+neuralCost(Platform platform, double flops)
+{
+    // The REASON system hosts its neural stage on the GPU it plugs into
+    // (edge deployment target: Orin-class SMs, Sec. VII-A).
+    baselines::DeviceModel dev =
+        platform == Platform::ReasonAccel
+            ? deviceFor(Platform::OrinNx)
+            : deviceFor(platform);
+    baselines::KernelWork w;
+    w.cls = baselines::KernelClass::DenseMatMul;
+    w.flops = flops;
+    w.bytes = flops / 40.0; // transformer-class operational intensity
+    StageCost c;
+    c.seconds = dev.seconds(w);
+    c.joules = dev.joules(w);
+    return c;
+}
+
+EndToEnd
+pipelinedComposition(StageCost neural, StageCost symbolic,
+                     uint32_t batches)
+{
+    reasonAssert(batches >= 1, "need at least one batch");
+    EndToEnd e;
+    e.neuralSeconds = neural.seconds * batches;
+    e.symbolicSeconds = symbolic.seconds * batches;
+    double steady = std::max(neural.seconds, symbolic.seconds);
+    // Fill + steady-state overlap + drain.
+    e.totalSeconds = neural.seconds +
+                     steady * (batches > 1 ? batches - 1 : 0) +
+                     symbolic.seconds;
+    e.handoffSeconds = 0.0; // shared L2, flag-based sync
+    e.totalJoules = (neural.joules + symbolic.joules) * batches;
+    return e;
+}
+
+EndToEnd
+serialComposition(StageCost neural, StageCost symbolic, uint32_t batches,
+                  double handoff_fraction)
+{
+    reasonAssert(batches >= 1, "need at least one batch");
+    EndToEnd e;
+    e.neuralSeconds = neural.seconds * batches;
+    e.symbolicSeconds = symbolic.seconds * batches;
+    double per_batch = neural.seconds + symbolic.seconds;
+    e.handoffSeconds = per_batch * handoff_fraction * batches;
+    e.totalSeconds = per_batch * batches + e.handoffSeconds;
+    e.totalJoules = (neural.joules + symbolic.joules) * batches * 1.05;
+    return e;
+}
+
+double
+accelNeuralMacsPerSec(Platform p, const arch::ArchConfig &cfg)
+{
+    // REASON SpMSpM mode: leaves multiply, internal nodes reduce.
+    double reason_rate = double(cfg.numPes) *
+                         double(cfg.leavesPerPe()) * cfg.clockGhz * 1e9 *
+                         0.8;
+    switch (p) {
+      case Platform::ReasonAccel:
+        return reason_rate;
+      case Platform::TpuLike:
+        // Systolic arrays win on dense tiles even at small batch.
+        return reason_rate * 1.45;
+      case Platform::DpuLike:
+        // Fewer nodes (8 PEs / 56 nodes) and no banked operand routing.
+        return reason_rate * 0.23;
+      default:
+        return reason_rate;
+    }
+}
+
+} // namespace sys
+} // namespace reason

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * System-level evaluation glue (Sec. VI, Sec. VII): per-platform
+ * symbolic-kernel timing/energy, neural-stage modeling, and the
+ * two-level GPU-REASON execution pipeline.
+ */
+
+#ifndef REASON_SYS_SYSTEM_H
+#define REASON_SYS_SYSTEM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/config.h"
+#include "baselines/device.h"
+#include "energy/energy_model.h"
+#include "util/stats.h"
+#include "workloads/timing.h"
+#include "workloads/workloads.h"
+
+namespace reason {
+namespace sys {
+
+/** Platforms compared across the evaluation figures. */
+enum class Platform : uint8_t
+{
+    ReasonAccel, OrinNx, RtxA6000, XeonCpu, V100, A100, TpuLike, DpuLike
+};
+
+const char *platformName(Platform p);
+
+/** Time + energy of one stage on one platform. */
+struct StageCost
+{
+    double seconds = 0.0;
+    double joules = 0.0;
+};
+
+/**
+ * Symbolic/probabilistic kernel cost of a measured task on a platform.
+ * For Platform::ReasonAccel the cost comes from the hardware event
+ * charges (cycle model + energy events); for the others from the device
+ * models.
+ */
+StageCost symbolicCost(Platform platform,
+                       const workloads::SymbolicOps &ops,
+                       const arch::ArchConfig &cfg = {},
+                       energy::TechNode node = energy::TechNode::Tsmc28);
+
+/**
+ * Neural-stage FLOPs implied by the paper's measured neural/symbolic
+ * split on an A6000 (Fig. 3(a)): the bundle's symbolic time on the
+ * A6000 model is scaled by f/(1-f).
+ */
+double neuralFlops(const workloads::TaskBundle &bundle,
+                   const workloads::SymbolicOps &ops);
+
+/** Neural-stage cost on a platform's host device. */
+StageCost neuralCost(Platform platform, double flops);
+
+/** End-to-end composition of one task. */
+struct EndToEnd
+{
+    double neuralSeconds = 0.0;
+    double symbolicSeconds = 0.0;
+    double handoffSeconds = 0.0;
+    double totalSeconds = 0.0;
+    double totalJoules = 0.0;
+};
+
+/**
+ * Two-level pipelined composition (Sec. VI-C): neural for batch N+1
+ * overlaps symbolic for batch N; the steady-state batch latency is the
+ * max of the stages.  Used when REASON is the symbolic engine
+ * (co-located with the GPU: no PCIe handoff).
+ */
+EndToEnd pipelinedComposition(StageCost neural, StageCost symbolic,
+                              uint32_t batches);
+
+/**
+ * Serial composition with inter-device handoff overhead (the CPU+GPU
+ * baseline of Sec. VII-C: >15% transfer overhead, no overlap).
+ */
+EndToEnd serialComposition(StageCost neural, StageCost symbolic,
+                           uint32_t batches,
+                           double handoff_fraction = 0.15);
+
+/**
+ * Small-DNN (SpMSpM-mode) neural rates for the Fig. 13 accelerator
+ * comparison, in effective MAC/s: REASON maps small models onto its
+ * tree fabric; the TPU-like systolic array is faster, the DPU-like
+ * array slower.
+ */
+double accelNeuralMacsPerSec(Platform p, const arch::ArchConfig &cfg);
+
+} // namespace sys
+} // namespace reason
+
+#endif // REASON_SYS_SYSTEM_H

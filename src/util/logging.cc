@@ -1,0 +1,93 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace reason {
+
+namespace {
+LogLevel g_level = LogLevel::Info;
+
+void
+vreport(const char *tag, const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "%s: ", tag);
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level > LogLevel::Info)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("info", fmt, ap);
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level > LogLevel::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("warn", fmt, ap);
+    va_end(ap);
+}
+
+void
+debug(const char *fmt, ...)
+{
+    if (g_level > LogLevel::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("debug", fmt, ap);
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("fatal", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vreport("panic", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+panicAssert(const char *expr, const char *file, int line,
+            const std::string &msg)
+{
+    panic("assertion '%s' failed at %s:%d: %s", expr, file, line,
+          msg.c_str());
+}
+
+} // namespace reason

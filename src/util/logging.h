@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Status and error reporting helpers, modelled after gem5's logging.hh.
+ *
+ * fatal() terminates on user-level configuration errors; panic() terminates
+ * on internal invariant violations (simulator bugs). warn()/inform() report
+ * without terminating.
+ */
+
+#ifndef REASON_UTIL_LOGGING_H
+#define REASON_UTIL_LOGGING_H
+
+#include <cstdarg>
+#include <string>
+
+namespace reason {
+
+/** Severity of a log message. */
+enum class LogLevel { Debug, Info, Warn, Error };
+
+/**
+ * Set the minimum level that is actually printed.  Defaults to Info.
+ * Thread-unsafe by design: configure once at startup.
+ */
+void setLogLevel(LogLevel level);
+
+/** Return the current minimum printed level. */
+LogLevel logLevel();
+
+/** Print an informational message to stderr (printf-style format). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message to stderr (printf-style format). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a debug message to stderr, suppressed unless level <= Debug. */
+void debug(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report a user-level error (bad configuration, invalid input) and exit(1).
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Report an internal invariant violation (a bug) and abort().
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Panic helper carrying the failing expression, used by reasonAssert. */
+[[noreturn]] void panicAssert(const char *expr, const char *file, int line,
+                              const std::string &msg);
+
+/**
+ * Assertion that stays enabled in release builds.  Use for invariants whose
+ * violation indicates a simulator bug regardless of build type.
+ */
+#define reasonAssert(expr, msg)                                             \
+    do {                                                                    \
+        if (!(expr))                                                        \
+            ::reason::panicAssert(#expr, __FILE__, __LINE__, (msg));        \
+    } while (0)
+
+} // namespace reason
+
+#endif // REASON_UTIL_LOGGING_H

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Numerically robust helpers shared by the probabilistic substrates.
+ */
+
+#ifndef REASON_UTIL_NUMERIC_H
+#define REASON_UTIL_NUMERIC_H
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+namespace reason {
+
+/** Negative infinity, the additive identity of log-space sums. */
+inline constexpr double kLogZero = -std::numeric_limits<double>::infinity();
+
+/** log(exp(a) + exp(b)) without overflow. */
+inline double
+logAdd(double a, double b)
+{
+    if (a == kLogZero)
+        return b;
+    if (b == kLogZero)
+        return a;
+    double hi = std::max(a, b);
+    double lo = std::min(a, b);
+    return hi + std::log1p(std::exp(lo - hi));
+}
+
+/** log(sum_i exp(xs[i])) without overflow. */
+inline double
+logSumExp(const std::vector<double> &xs)
+{
+    double hi = kLogZero;
+    for (double x : xs)
+        hi = std::max(hi, x);
+    if (hi == kLogZero)
+        return kLogZero;
+    double acc = 0.0;
+    for (double x : xs)
+        acc += std::exp(x - hi);
+    return hi + std::log(acc);
+}
+
+/** Relative closeness check for floating comparisons in tests/models. */
+inline bool
+nearlyEqual(double a, double b, double rel_tol = 1e-9,
+            double abs_tol = 1e-12)
+{
+    double diff = std::fabs(a - b);
+    if (diff <= abs_tol)
+        return true;
+    double scale = std::max(std::fabs(a), std::fabs(b));
+    return diff <= rel_tol * scale;
+}
+
+/** Ceiling division for positive integers. */
+template <typename T>
+constexpr T
+ceilDiv(T a, T b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Integer base-2 ceiling log; ceilLog2(1) == 0. */
+inline uint32_t
+ceilLog2(uint64_t v)
+{
+    uint32_t bits = 0;
+    uint64_t x = 1;
+    while (x < v) {
+        x <<= 1;
+        ++bits;
+    }
+    return bits;
+}
+
+/** Next power of two >= v (v >= 1). */
+inline uint64_t
+nextPow2(uint64_t v)
+{
+    return uint64_t(1) << ceilLog2(v);
+}
+
+} // namespace reason
+
+#endif // REASON_UTIL_NUMERIC_H

@@ -1,0 +1,182 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace reason {
+
+namespace {
+
+uint64_t
+splitmix64(uint64_t &x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitmix64(sm);
+}
+
+uint64_t
+Rng::operator()()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+int64_t
+Rng::uniformInt(int64_t lo, int64_t hi)
+{
+    reasonAssert(lo <= hi, "uniformInt requires lo <= hi");
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) // full 64-bit range
+        return static_cast<int64_t>((*this)());
+    // Rejection sampling to avoid modulo bias.
+    uint64_t limit = (~0ull / span) * span;
+    uint64_t v;
+    do {
+        v = (*this)();
+    } while (v >= limit);
+    return lo + static_cast<int64_t>(v % span);
+}
+
+double
+Rng::uniform01()
+{
+    return ((*this)() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniformReal(double lo, double hi)
+{
+    return lo + (hi - lo) * uniform01();
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    return uniform01() < p;
+}
+
+double
+Rng::gaussian()
+{
+    if (hasSpareGaussian_) {
+        hasSpareGaussian_ = false;
+        return spareGaussian_;
+    }
+    double u, v, s;
+    do {
+        u = uniformReal(-1.0, 1.0);
+        v = uniformReal(-1.0, 1.0);
+        s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spareGaussian_ = v * factor;
+    hasSpareGaussian_ = true;
+    return u * factor;
+}
+
+double
+Rng::gaussian(double mean, double stddev)
+{
+    return mean + stddev * gaussian();
+}
+
+double
+Rng::exponential(double rate)
+{
+    reasonAssert(rate > 0.0, "exponential rate must be positive");
+    return -std::log(1.0 - uniform01()) / rate;
+}
+
+size_t
+Rng::categorical(const std::vector<double> &weights)
+{
+    reasonAssert(!weights.empty(), "categorical needs weights");
+    double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+    reasonAssert(total > 0.0, "categorical weights must have positive sum");
+    double target = uniform01() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (target < acc)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+std::vector<double>
+Rng::dirichlet(size_t size, double alpha)
+{
+    // Gamma(alpha, 1) draws normalized; use Marsaglia-Tsang for alpha >= 1
+    // and the boost trick for alpha < 1.
+    std::vector<double> draws(size);
+    double sum = 0.0;
+    for (size_t i = 0; i < size; ++i) {
+        double a = alpha;
+        double boost = 1.0;
+        if (a < 1.0) {
+            boost = std::pow(uniform01(), 1.0 / a);
+            a += 1.0;
+        }
+        double d = a - 1.0 / 3.0;
+        double c = 1.0 / std::sqrt(9.0 * d);
+        double g;
+        while (true) {
+            double x = gaussian();
+            double v = 1.0 + c * x;
+            if (v <= 0.0)
+                continue;
+            v = v * v * v;
+            double u = uniform01();
+            if (u < 1.0 - 0.0331 * x * x * x * x ||
+                std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v))) {
+                g = d * v;
+                break;
+            }
+        }
+        draws[i] = g * boost;
+        sum += draws[i];
+    }
+    if (sum <= 0.0)
+        sum = 1.0;
+    for (auto &d : draws)
+        d /= sum;
+    return draws;
+}
+
+std::vector<uint32_t>
+Rng::permutation(size_t n)
+{
+    std::vector<uint32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    shuffle(perm);
+    return perm;
+}
+
+} // namespace reason

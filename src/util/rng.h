@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for workload synthesis.
+ *
+ * All stochastic components of the repository (instance generators, random
+ * DAGs, noise injection) draw from Rng so that every experiment is exactly
+ * reproducible from a seed.  The core generator is xoshiro256**, seeded via
+ * splitmix64.
+ */
+
+#ifndef REASON_UTIL_RNG_H
+#define REASON_UTIL_RNG_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reason {
+
+/**
+ * Seedable xoshiro256** generator with convenience distributions.
+ *
+ * Satisfies the UniformRandomBitGenerator requirements so it can also be
+ * handed to <random> distributions if needed.
+ */
+class Rng
+{
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed (expanded through splitmix64). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit value. */
+    uint64_t operator()();
+
+    /** Uniform integer in [lo, hi] inclusive.  Requires lo <= hi. */
+    int64_t uniformInt(int64_t lo, int64_t hi);
+
+    /** Uniform double in [0, 1). */
+    double uniform01();
+
+    /** Uniform double in [lo, hi). */
+    double uniformReal(double lo, double hi);
+
+    /** Bernoulli draw with probability p of true. */
+    bool bernoulli(double p);
+
+    /** Standard normal via Box-Muller. */
+    double gaussian();
+
+    /** Normal with the given mean and standard deviation. */
+    double gaussian(double mean, double stddev);
+
+    /** Exponential with the given rate. */
+    double exponential(double rate);
+
+    /**
+     * Sample an index according to unnormalized non-negative weights.
+     * @return index in [0, weights.size()).
+     */
+    size_t categorical(const std::vector<double> &weights);
+
+    /** Random probability vector of the given size (Dirichlet(alpha)). */
+    std::vector<double> dirichlet(size_t size, double alpha = 1.0);
+
+    /** Fisher-Yates shuffle of an index permutation [0, n). */
+    std::vector<uint32_t> permutation(size_t n);
+
+    /** Shuffle a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = static_cast<size_t>(uniformInt(0, int64_t(i) - 1));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    uint64_t s_[4];
+    bool hasSpareGaussian_ = false;
+    double spareGaussian_ = 0.0;
+};
+
+} // namespace reason
+
+#endif // REASON_UTIL_RNG_H

@@ -1,0 +1,160 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace reason {
+
+void
+StatAccumulator::add(double x)
+{
+    if (count_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    sum_ += x;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+StatAccumulator::merge(const StatAccumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    uint64_t n = count_ + other.count_;
+    double delta = other.mean_ - mean_;
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    mean_ = (na * mean_ + nb * other.mean_) / static_cast<double>(n);
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    count_ = n;
+}
+
+double
+StatAccumulator::mean() const
+{
+    return count_ ? mean_ : 0.0;
+}
+
+double
+StatAccumulator::variance() const
+{
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+}
+
+double
+StatAccumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+StatAccumulator::min() const
+{
+    return count_ ? min_ : 0.0;
+}
+
+double
+StatAccumulator::max() const
+{
+    return count_ ? max_ : 0.0;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    reasonAssert(hi > lo && bins > 0, "invalid histogram bounds");
+}
+
+void
+Histogram::add(double x)
+{
+    ++total_;
+    if (x < lo_) {
+        ++underflow_;
+    } else if (x >= hi_) {
+        ++overflow_;
+    } else {
+        size_t bin = static_cast<size_t>((x - lo_) / width_);
+        bin = std::min(bin, counts_.size() - 1);
+        ++counts_[bin];
+    }
+}
+
+double
+Histogram::percentile(double frac) const
+{
+    if (total_ == 0)
+        return lo_;
+    uint64_t target =
+        static_cast<uint64_t>(std::ceil(frac * static_cast<double>(total_)));
+    uint64_t acc = underflow_;
+    if (acc >= target)
+        return lo_;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        acc += counts_[i];
+        if (acc >= target)
+            return binLo(i) + width_;
+    }
+    return hi_;
+}
+
+double
+Histogram::binLo(size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+uint64_t &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+void
+StatGroup::inc(const std::string &name, uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatGroup::clear()
+{
+    for (auto &kv : counters_)
+        kv.second = 0;
+}
+
+std::string
+StatGroup::toString() const
+{
+    std::ostringstream os;
+    for (const auto &kv : counters_)
+        os << kv.first << " = " << kv.second << "\n";
+    return os.str();
+}
+
+} // namespace reason

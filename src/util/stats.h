@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Lightweight statistics containers used by the simulators and benches.
+ */
+
+#ifndef REASON_UTIL_STATS_H
+#define REASON_UTIL_STATS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace reason {
+
+/**
+ * Streaming scalar accumulator: count, mean, variance (Welford), min, max.
+ */
+class StatAccumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const StatAccumulator &other);
+
+    uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const;
+    /** Sample variance (n-1 denominator); 0 when fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+    double min() const;
+    double max() const;
+
+  private:
+    uint64_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi) with overflow/underflow buckets.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, size_t bins);
+
+    void add(double x);
+
+    size_t bins() const { return counts_.size(); }
+    uint64_t binCount(size_t i) const { return counts_.at(i); }
+    uint64_t underflow() const { return underflow_; }
+    uint64_t overflow() const { return overflow_; }
+    uint64_t total() const { return total_; }
+
+    /** Smallest x such that at least frac of the mass is <= x. */
+    double percentile(double frac) const;
+
+    /** Lower edge of bin i. */
+    double binLo(size_t i) const;
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<uint64_t> counts_;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+    uint64_t total_ = 0;
+};
+
+/**
+ * Named counter group for simulator statistics dumps.
+ *
+ * Counters are created lazily on first access; dump order is alphabetical
+ * so outputs are diff-stable.
+ */
+class StatGroup
+{
+  public:
+    /** Mutable access; creates the counter at zero if missing. */
+    uint64_t &counter(const std::string &name);
+
+    /** Read-only access; returns 0 for missing counters. */
+    uint64_t get(const std::string &name) const;
+
+    /** Increment by delta (default 1). */
+    void inc(const std::string &name, uint64_t delta = 1);
+
+    /** Reset every counter to zero. */
+    void clear();
+
+    const std::map<std::string, uint64_t> &all() const { return counters_; }
+
+    /** Render as "name = value" lines. */
+    std::string toString() const;
+
+  private:
+    std::map<std::string, uint64_t> counters_;
+};
+
+} // namespace reason
+
+#endif // REASON_UTIL_STATS_H

@@ -1,0 +1,88 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace reason {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+    reasonAssert(!header_.empty(), "table needs at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    reasonAssert(row.size() == header_.size(),
+                 "row arity must match header");
+    rows_.push_back(std::move(row));
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::percent(double frac, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, frac * 100.0);
+    return buf;
+}
+
+std::string
+Table::ratio(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*fx", precision, v);
+    return buf;
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<size_t> widths(header_.size());
+    for (size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::ostringstream os;
+        for (size_t c = 0; c < row.size(); ++c) {
+            os << (c == 0 ? "| " : " | ");
+            os << row[c];
+            os << std::string(widths[c] - row[c].size(), ' ');
+        }
+        os << " |\n";
+        return os.str();
+    };
+
+    std::ostringstream os;
+    os << render_row(header_);
+    os << "|";
+    for (size_t c = 0; c < header_.size(); ++c)
+        os << std::string(widths[c] + 2, '-') << "|";
+    os << "\n";
+    for (const auto &row : rows_)
+        os << render_row(row);
+    return os.str();
+}
+
+void
+Table::print(const std::string &caption) const
+{
+    if (!caption.empty())
+        std::printf("%s\n", caption.c_str());
+    std::printf("%s", toString().c_str());
+    std::fflush(stdout);
+}
+
+} // namespace reason

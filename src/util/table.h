@@ -1,0 +1,46 @@
+/**
+ * @file
+ * ASCII table rendering for bench outputs that mirror the paper's tables
+ * and figures.
+ */
+
+#ifndef REASON_UTIL_TABLE_H
+#define REASON_UTIL_TABLE_H
+
+#include <string>
+#include <vector>
+
+namespace reason {
+
+/**
+ * Column-aligned ASCII table.  Cells are strings; numeric helpers format
+ * with fixed precision.  Rendered with a header rule, suitable for
+ * comparing against the paper's reported rows.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; must have the same arity as the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Format helpers. */
+    static std::string num(double v, int precision = 2);
+    static std::string percent(double frac, int precision = 1);
+    static std::string ratio(double v, int precision = 2);
+
+    /** Render the table with aligned columns. */
+    std::string toString() const;
+
+    /** Render and print to stdout with an optional caption line. */
+    void print(const std::string &caption = "") const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace reason
+
+#endif // REASON_UTIL_TABLE_H

@@ -1,0 +1,94 @@
+#include "workloads/timing.h"
+
+#include "core/builders.h"
+#include "core/pipeline.h"
+#include "logic/implication_graph.h"
+#include "util/logging.h"
+
+namespace reason {
+namespace workloads {
+
+SymbolicOps
+measureSymbolicOps(const TaskBundle &bundle, bool optimized)
+{
+    SymbolicOps ops;
+
+    // --- SAT suites -----------------------------------------------------
+    for (const auto &instance : bundle.sat.instances) {
+        const logic::CnfFormula *formula = &instance;
+        logic::CnfFormula pruned_storage;
+        if (optimized) {
+            logic::CnfPruneResult pr = logic::pruneCnf(instance);
+            pruned_storage = std::move(pr.pruned);
+            formula = &pruned_storage;
+        }
+        logic::SolverConfig cfg;
+        cfg.conflictBudget = bundle.sat.conflictBudget;
+        logic::CdclSolver solver(*formula, cfg);
+        solver.solve();
+        const logic::SolverStats &st = solver.stats();
+        ops.sat.decisions += st.decisions;
+        ops.sat.propagations += st.propagations;
+        ops.sat.conflicts += st.conflicts;
+        ops.sat.learnedClauses += st.learnedClauses;
+        ops.sat.learnedLiterals += st.learnedLiterals;
+        ops.sat.restarts += st.restarts;
+        ops.sat.literalVisits += st.literalVisits;
+        for (const auto &c : formula->clauses())
+            ops.clauseDbBytes += 8 + 4 * c.size();
+    }
+
+    // Regularization canonicalizes but does not change the arithmetic
+    // work, so operation counting skips it (the compiler re-fuses the
+    // intermediate two-input nodes anyway).
+    core::PipelineConfig opt_cfg;
+    opt_cfg.regularize = false;
+
+    // --- PC suites --------------------------------------------------------
+    for (const auto &circuit : bundle.pcs.classCircuits) {
+        // Work unit: node evaluations plus edge accumulations — edges
+        // are what flow pruning removes, so both must be counted.
+        size_t nodes;
+        if (optimized) {
+            core::OptimizedKernel k = core::optimizeCircuit(
+                circuit, bundle.pcs.calibration, opt_cfg);
+            nodes = k.statsAfter.numNodes + k.statsAfter.numEdges;
+        } else {
+            core::DagStats st = core::buildFromCircuit(circuit).stats();
+            nodes = st.numNodes + st.numEdges;
+        }
+        ops.pcDagNodes +=
+            uint64_t(nodes) * bundle.pcs.queries.size();
+        ops.probBytes += double(nodes) *
+                         double(bundle.pcs.queries.size()) * 12.0;
+    }
+    ops.pcQueries =
+        bundle.pcs.queries.size() * bundle.pcs.classCircuits.size();
+
+    // --- HMM suites -------------------------------------------------------
+    if (bundle.hasHmm()) {
+        // All queries share the model; the unrolled DAG size depends on
+        // sequence length, which is constant per suite.
+        const hmm::Sequence &probe = bundle.hmms.queries.front();
+        size_t nodes;
+        if (optimized) {
+            core::OptimizedKernel k = core::optimizeHmm(
+                bundle.hmms.model, bundle.hmms.calibration, probe,
+                opt_cfg);
+            nodes = k.statsAfter.numNodes + k.statsAfter.numEdges;
+        } else {
+            core::DagStats st =
+                core::buildFromHmm(bundle.hmms.model, probe).stats();
+            nodes = st.numNodes + st.numEdges;
+        }
+        ops.hmmDagNodes +=
+            uint64_t(nodes) * bundle.hmms.queries.size();
+        ops.hmmQueries = bundle.hmms.queries.size();
+        ops.probBytes += double(nodes) *
+                         double(bundle.hmms.queries.size()) * 12.0;
+    }
+    return ops;
+}
+
+} // namespace workloads
+} // namespace reason

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Measurement of a task bundle's symbolic operation counts: the solver
+ * search effort, DAG sizes, and query volumes that the device timing
+ * models and the REASON simulator consume.
+ */
+
+#ifndef REASON_WORKLOADS_TIMING_H
+#define REASON_WORKLOADS_TIMING_H
+
+#include <cstdint>
+
+#include "core/dag.h"
+#include "logic/solver.h"
+#include "workloads/workloads.h"
+
+namespace reason {
+namespace workloads {
+
+/** Aggregate symbolic work of one task bundle. */
+struct SymbolicOps
+{
+    /** SAT: summed CDCL search statistics over all instances. */
+    logic::SolverStats sat;
+    size_t clauseDbBytes = 0;
+    /** PC: DAG node evaluations = nodes x queries (per class). */
+    uint64_t pcDagNodes = 0;
+    uint64_t pcQueries = 0;
+    /** HMM: DAG node evaluations over all queries. */
+    uint64_t hmmDagNodes = 0;
+    uint64_t hmmQueries = 0;
+    /** Bytes touched by probabilistic kernels (memory model input). */
+    double probBytes = 0.0;
+
+    uint64_t totalDagNodes() const { return pcDagNodes + hmmDagNodes; }
+};
+
+/**
+ * Run the bundle's symbolic kernels once on the software substrates and
+ * collect operation counts.  Deterministic for a given bundle.
+ *
+ * @param optimized measure the pruned+regularized DAGs instead of the
+ *        unified Stage-1 DAGs (Table V's "REASON Algo." rows).
+ */
+SymbolicOps measureSymbolicOps(const TaskBundle &bundle,
+                               bool optimized = false);
+
+} // namespace workloads
+} // namespace reason
+
+#endif // REASON_WORKLOADS_TIMING_H

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Synthetic neuro-symbolic workload and dataset generators standing in
+ * for the paper's six workloads (Table I) and ten evaluation datasets
+ * (Sec. VII-A).
+ *
+ * Substitution note (DESIGN.md): we have no LLM checkpoints or dataset
+ * licenses, so each dataset family is replaced by a seeded generator
+ * that produces the same *kernel types and shapes* the workload feeds to
+ * the symbolic stage, plus ground-truth labels from the generating
+ * process so accuracy is measurable:
+ *
+ *   AlphaGeometry (IMO, MiniF2F)    -> budgeted SAT deduction instances
+ *   R2-Guard (TwinSafety, XSTest)   -> safety-rule PC classifiers + HMM
+ *   GeLaTo (CommonGen, News)        -> banded constrained-decoding HMMs
+ *   Ctrl-G (CoAuthor)               -> HMM text-infilling with keyword
+ *                                      constraints
+ *   NeuroPC (AwA2)                  -> class-conditional PC classifiers
+ *   LINC (FOLIO, ProofWriter)       -> FOL theories grounded to SAT
+ *                                      entailment queries
+ *
+ * The neural stage is a parametric LLM/DNN proxy; its runtime share on
+ * an A6000-class GPU follows the paper's measured splits (Fig. 3).
+ */
+
+#ifndef REASON_WORKLOADS_WORKLOADS_H
+#define REASON_WORKLOADS_WORKLOADS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hmm/hmm.h"
+#include "logic/cnf.h"
+#include "logic/fol.h"
+#include "pc/pc.h"
+
+namespace reason {
+namespace workloads {
+
+/** The six neuro-symbolic workloads of Table I. */
+enum class WorkloadId : uint8_t
+{
+    AlphaGeo, R2Guard, GeLaTo, CtrlG, NeuroPC, Linc
+};
+
+/** The ten evaluation datasets of Sec. VII-A. */
+enum class DatasetId : uint8_t
+{
+    IMO, MiniF2F, TwinSafety, XSTest, CommonGen, News, CoAuthor,
+    AwA2, FOLIO, ProofWriter
+};
+
+/** Task size class used by Fig. 3(b). */
+enum class TaskScale : uint8_t { Small, Large };
+
+const char *workloadName(WorkloadId id);
+const char *datasetName(DatasetId id);
+WorkloadId workloadOf(DatasetId id);
+
+/** All ten datasets in paper order. */
+std::vector<DatasetId> allDatasets();
+/** All six workloads in paper order. */
+std::vector<WorkloadId> allWorkloads();
+
+/** SAT deduction queries with ground truth and a solver budget. */
+struct SatSuite
+{
+    std::vector<logic::CnfFormula> instances;
+    /** 1 = satisfiable, 0 = unsatisfiable. */
+    std::vector<int> truth;
+    /** CDCL conflict budget per instance (models the proof deadline). */
+    uint64_t conflictBudget = 2000;
+};
+
+/** Class-conditional PC classification queries. */
+struct PcSuite
+{
+    /** One circuit per class. */
+    std::vector<pc::Circuit> classCircuits;
+    /** Calibration data (flow pruning / EM), from the class models. */
+    std::vector<pc::Assignment> calibration;
+    std::vector<pc::Assignment> queries;
+    std::vector<uint32_t> labels;
+};
+
+/** HMM sequence tasks: decoding agreement and/or constraint success. */
+struct HmmSuite
+{
+    hmm::Hmm model;
+    std::vector<hmm::Sequence> calibration;
+    std::vector<hmm::Sequence> queries;
+    /** True hidden paths for decode-agreement metrics. */
+    std::vector<std::vector<uint32_t>> truePaths;
+    /** Ctrl-G style constraints: (position, required state). */
+    std::vector<std::pair<uint32_t, uint32_t>> constraints;
+
+    HmmSuite() : model(1, 1) {}
+};
+
+/** A fully generated task bundle for one dataset at one scale. */
+struct TaskBundle
+{
+    DatasetId dataset = DatasetId::IMO;
+    WorkloadId workload = WorkloadId::AlphaGeo;
+    TaskScale scale = TaskScale::Small;
+    std::string metricName;
+    /** Paper-measured neural runtime share on an A6000 (Fig. 3(a)). */
+    double neuralFractionA6000 = 0.5;
+
+    SatSuite sat;
+    PcSuite pcs;
+    HmmSuite hmms;
+
+    bool hasSat() const { return !sat.instances.empty(); }
+    bool hasPc() const { return !pcs.classCircuits.empty(); }
+    bool hasHmm() const { return !hmms.queries.empty(); }
+};
+
+/** Generate the task bundle for a dataset (deterministic in seed). */
+TaskBundle generate(DatasetId dataset, TaskScale scale, uint64_t seed);
+
+// ----- metric evaluation -------------------------------------------------
+
+/** Budgeted SAT accuracy: Unknown counts as wrong. */
+double satAccuracy(const SatSuite &suite);
+
+/** Classification accuracy of (possibly pruned) class circuits. */
+double pcClassificationAccuracy(
+    const std::vector<pc::Circuit> &class_circuits,
+    const std::vector<pc::Assignment> &queries,
+    const std::vector<uint32_t> &labels);
+
+/**
+ * Fraction of Viterbi-decoded states agreeing with the true paths.
+ * `tolerance` counts a circular state distance <= tolerance as a match:
+ * neighboring states of a banded model are near-synonymous, mirroring
+ * BLEU's tolerance of near-synonymous tokens.
+ */
+double hmmDecodeAgreement(const hmm::Hmm &model,
+                          const std::vector<hmm::Sequence> &queries,
+                          const std::vector<std::vector<uint32_t>>
+                              &true_paths,
+                          uint32_t tolerance = 1);
+
+/** Ctrl-G style success rate: decoded path honors all constraints. */
+double hmmConstraintSuccess(
+    const hmm::Hmm &model, const std::vector<hmm::Sequence> &queries,
+    const std::vector<std::pair<uint32_t, uint32_t>> &constraints);
+
+/**
+ * Dataset-level task metric on a bundle, dispatching to the suite the
+ * dataset uses (the "Baseline Performance" column of Table IV).
+ */
+double taskMetric(const TaskBundle &bundle);
+
+} // namespace workloads
+} // namespace reason
+
+#endif // REASON_WORKLOADS_WORKLOADS_H

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Shared test helper: random unified-DAG generation exercising every
+ * node type, for compiler/accelerator equivalence sweeps.
+ */
+
+#ifndef REASON_TESTS_DAG_TEST_UTIL_H
+#define REASON_TESTS_DAG_TEST_UTIL_H
+
+#include <vector>
+
+#include "core/dag.h"
+#include "util/rng.h"
+
+namespace reason {
+namespace testutil {
+
+/**
+ * Random DAG over `num_inputs` external inputs with roughly
+ * `num_ops` operation nodes of mixed type and fan-in 2..max_fanin.
+ * Weighted sums and Not nodes are included so the affine-folding paths
+ * of the compiler are exercised.
+ */
+inline core::Dag
+randomDag(Rng &rng, uint32_t num_inputs, uint32_t num_ops,
+          uint32_t max_fanin = 4, bool logical_only = false)
+{
+    core::Dag dag;
+    std::vector<core::NodeId> pool;
+    for (uint32_t i = 0; i < num_inputs; ++i)
+        pool.push_back(dag.addInput());
+    for (uint32_t i = 0; i < 2; ++i)
+        pool.push_back(dag.addConst(rng.uniformReal(0.1, 0.9)));
+
+    for (uint32_t i = 0; i < num_ops; ++i) {
+        int kind = static_cast<int>(rng.uniformInt(0, logical_only ? 2 : 5));
+        uint32_t fanin =
+            static_cast<uint32_t>(rng.uniformInt(2, max_fanin));
+        std::vector<core::NodeId> inputs;
+        for (uint32_t k = 0; k < fanin; ++k)
+            inputs.push_back(pool[static_cast<size_t>(
+                rng.uniformInt(0, int64_t(pool.size()) - 1))]);
+        core::NodeId id;
+        if (logical_only) {
+            switch (kind) {
+              case 0:
+                id = dag.addOp(core::DagOp::Max, std::move(inputs));
+                break;
+              case 1:
+                id = dag.addOp(core::DagOp::Min, std::move(inputs));
+                break;
+              default:
+                id = dag.addOp(core::DagOp::Not, {inputs[0]});
+                break;
+            }
+        } else {
+            switch (kind) {
+              case 0:
+                id = dag.addOp(core::DagOp::Sum, std::move(inputs));
+                break;
+              case 1: {
+                std::vector<double> w;
+                for (uint32_t k = 0; k < fanin; ++k)
+                    w.push_back(rng.uniformReal(0.1, 2.0));
+                id = dag.addOp(core::DagOp::Sum, std::move(inputs),
+                               std::move(w));
+                break;
+              }
+              case 2:
+                id = dag.addOp(core::DagOp::Product,
+                               std::move(inputs));
+                break;
+              case 3:
+                id = dag.addOp(core::DagOp::Max, std::move(inputs));
+                break;
+              case 4:
+                id = dag.addOp(core::DagOp::Min, std::move(inputs));
+                break;
+              default:
+                id = dag.addOp(core::DagOp::Not, {inputs[0]});
+                break;
+            }
+        }
+        pool.push_back(id);
+    }
+    // Root: combine the last few values so most of the DAG stays live.
+    std::vector<core::NodeId> finals(pool.end() - std::min<size_t>(
+                                                      4, pool.size()),
+                                     pool.end());
+    core::NodeId root =
+        finals.size() == 1
+            ? finals[0]
+            : dag.addOp(core::DagOp::Sum, std::move(finals));
+    dag.markRoot(root);
+    dag.validate();
+    return dag;
+}
+
+/** Random input vector in a range that keeps products well-scaled. */
+inline std::vector<double>
+randomInputs(Rng &rng, uint32_t count, double lo = 0.1, double hi = 1.5)
+{
+    std::vector<double> v(count);
+    for (auto &x : v)
+        x = rng.uniformReal(lo, hi);
+    return v;
+}
+
+} // namespace testutil
+} // namespace reason
+
+#endif // REASON_TESTS_DAG_TEST_UTIL_H

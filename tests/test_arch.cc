@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Architecture component tests: Benes routing (looping algorithm vs
+ * random permutations), interconnect topology scaling (Fig. 8), the
+ * memory subsystem models (SRAM residency, watch lists, BCP FIFO, DMA),
+ * and accelerator timing invariants.
+ */
+
+#include <gtest/gtest.h>
+
+#include "arch/accelerator.h"
+#include "arch/benes.h"
+#include "arch/memory.h"
+#include "arch/topology.h"
+#include "compiler/compile.h"
+#include "dag_test_util.h"
+#include "util/rng.h"
+
+using namespace reason;
+using namespace reason::arch;
+
+TEST(Benes, IdentityPermutation)
+{
+    BenesNetwork net(3);
+    std::vector<uint32_t> id(8);
+    for (uint32_t i = 0; i < 8; ++i)
+        id[i] = i;
+    EXPECT_TRUE(net.verifyPermutation(id));
+}
+
+TEST(Benes, ReversalPermutation)
+{
+    BenesNetwork net(3);
+    std::vector<uint32_t> rev(8);
+    for (uint32_t i = 0; i < 8; ++i)
+        rev[i] = 7 - i;
+    EXPECT_TRUE(net.verifyPermutation(rev));
+}
+
+TEST(Benes, StageAndSwitchCounts)
+{
+    BenesNetwork net(4); // 16 endpoints
+    EXPECT_EQ(net.numEndpoints(), 16u);
+    EXPECT_EQ(net.numStages(), 7u);
+    EXPECT_EQ(net.numSwitches(), 7u * 8u);
+}
+
+/** Any permutation must route conflict-free (rearrangeable network). */
+class BenesSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BenesSweep, RandomPermutationsRoute)
+{
+    int p = GetParam();
+    uint32_t log2n = 1 + p % 5; // 2..32 endpoints
+    BenesNetwork net(log2n);
+    Rng rng(p * 7331 + 5);
+    for (int t = 0; t < 20; ++t) {
+        auto perm32 = rng.permutation(net.numEndpoints());
+        std::vector<uint32_t> dest(perm32.begin(), perm32.end());
+        EXPECT_TRUE(net.verifyPermutation(dest));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BenesSweep, ::testing::Range(0, 15));
+
+TEST(Topology, BroadcastCycleFormulas)
+{
+    EXPECT_EQ(broadcastToRootCycles(Topology::Tree, 64), 6u);
+    EXPECT_EQ(broadcastToRootCycles(Topology::Mesh, 64), 14u);
+    EXPECT_EQ(broadcastToRootCycles(Topology::AllToOne, 64), 64u);
+}
+
+TEST(Topology, AsymptoticOrdering)
+{
+    for (uint64_t n : {16u, 64u, 256u, 1024u}) {
+        EXPECT_LT(broadcastToRootCycles(Topology::Tree, n),
+                  broadcastToRootCycles(Topology::Mesh, n));
+        EXPECT_LT(broadcastToRootCycles(Topology::Mesh, n),
+                  broadcastToRootCycles(Topology::AllToOne, n));
+    }
+}
+
+TEST(Topology, TreeLatencyScalesGently)
+{
+    // Doubling N adds one hop for trees but doubles the bus.
+    uint64_t t1 = broadcastToRootCycles(Topology::Tree, 128);
+    uint64_t t2 = broadcastToRootCycles(Topology::Tree, 256);
+    EXPECT_EQ(t2 - t1, 1u);
+    uint64_t b1 = broadcastToRootCycles(Topology::AllToOne, 128);
+    uint64_t b2 = broadcastToRootCycles(Topology::AllToOne, 256);
+    EXPECT_EQ(b2, 2 * b1);
+}
+
+TEST(Topology, BreakdownDominatedByInterconnectForBus)
+{
+    LatencyBreakdown tree = latencyBreakdown(Topology::Tree, 256);
+    LatencyBreakdown bus = latencyBreakdown(Topology::AllToOne, 256);
+    EXPECT_GT(bus.interNode, tree.interNode * 10);
+    EXPECT_GT(bus.total(), tree.total());
+}
+
+TEST(ClauseSram, HitsAndLruEviction)
+{
+    ClauseSram sram(100, 4);
+    EXPECT_FALSE(sram.access(1, 40)); // miss, install
+    EXPECT_TRUE(sram.access(1, 40));  // hit
+    EXPECT_FALSE(sram.access(2, 40));
+    EXPECT_FALSE(sram.access(3, 40)); // evicts clause 1 (LRU)
+    EXPECT_FALSE(sram.resident(1));
+    EXPECT_TRUE(sram.resident(3));
+    EXPECT_EQ(sram.evictions(), 1u);
+    EXPECT_EQ(sram.hits(), 1u);
+    EXPECT_EQ(sram.misses(), 3u);
+}
+
+TEST(ClauseSram, AccessRefreshesRecency)
+{
+    ClauseSram sram(80, 2);
+    sram.access(1, 40);
+    sram.access(2, 40);
+    sram.access(1, 40);  // refresh 1
+    sram.access(3, 40);  // evicts 2, not 1
+    EXPECT_TRUE(sram.resident(1));
+    EXPECT_FALSE(sram.resident(2));
+}
+
+TEST(WatchListUnit, HeadInsertionAndUnwatch)
+{
+    WatchListUnit wl(8);
+    wl.watch(3, 10);
+    wl.watch(3, 11);
+    ASSERT_EQ(wl.listLength(3), 2u);
+    EXPECT_EQ(wl.list(3)[0], 11u) << "newest at head";
+    wl.unwatch(3, 11);
+    EXPECT_EQ(wl.listLength(3), 1u);
+    EXPECT_EQ(wl.list(3)[0], 10u);
+}
+
+TEST(WatchListUnit, TraversalCountsPointerChases)
+{
+    WatchListUnit wl(4);
+    wl.watch(0, 1);
+    wl.watch(0, 2);
+    wl.watch(0, 3);
+    wl.recordTraversal(0);
+    EXPECT_EQ(wl.headLookups(), 1u);
+    EXPECT_EQ(wl.pointerChases(), 3u);
+}
+
+TEST(BcpFifo, OrderingAndOverflow)
+{
+    BcpFifo fifo(2);
+    EXPECT_TRUE(fifo.push(10));
+    EXPECT_TRUE(fifo.push(20));
+    EXPECT_FALSE(fifo.push(30)); // overflow
+    EXPECT_EQ(fifo.overflowStalls(), 1u);
+    EXPECT_EQ(fifo.pop(), 10u);
+    EXPECT_EQ(fifo.pop(), 20u);
+    EXPECT_TRUE(fifo.empty());
+    EXPECT_EQ(fifo.maxOccupancy(), 2u);
+}
+
+TEST(BcpFifo, FlushDropsEverything)
+{
+    BcpFifo fifo(4);
+    fifo.push(1);
+    fifo.push(2);
+    EXPECT_EQ(fifo.flush(), 2u);
+    EXPECT_TRUE(fifo.empty());
+    EXPECT_EQ(fifo.flushes(), 1u);
+}
+
+TEST(DmaEngine, LatencyAndQueueing)
+{
+    DmaEngine dma(10, 2);
+    EXPECT_EQ(dma.issue(0, 64), 10u);
+    EXPECT_EQ(dma.issue(0, 64), 10u);
+    // Third request queues behind the earliest completion.
+    EXPECT_EQ(dma.issue(0, 64), 20u);
+    EXPECT_EQ(dma.requests(), 3u);
+    EXPECT_EQ(dma.bytesFetched(), 192u);
+}
+
+TEST(DmaEngine, CancelClearsInFlight)
+{
+    DmaEngine dma(10, 1);
+    dma.issue(0, 8);
+    dma.cancelAll();
+    EXPECT_EQ(dma.cancels(), 1u);
+    // After cancel, a new request is unobstructed.
+    EXPECT_EQ(dma.issue(5, 8), 15u);
+}
+
+TEST(Accelerator, TimingInvariants)
+{
+    Rng rng(606);
+    core::Dag dag = testutil::randomDag(rng, 8, 100, 4);
+    ArchConfig cfg;
+    compiler::Program p = compile(dag, cfg.compilerTarget());
+    Accelerator accel(cfg);
+    auto inputs = testutil::randomInputs(rng, 8);
+    ExecutionResult r = accel.run(p, inputs);
+    EXPECT_GT(r.cycles, 0u);
+    EXPECT_GT(r.peUtilization, 0.0);
+    EXPECT_LE(r.peUtilization, 1.0);
+    EXPECT_EQ(r.events.get("blocks_executed"), p.blocks.size());
+    EXPECT_GT(r.events.get("regfile_reads"), 0u);
+    // Preloaded runs skip the input DMA fill.
+    ExecutionResult r2 = accel.run(p, inputs, /*preloaded=*/true);
+    EXPECT_LE(r2.cycles, r.cycles);
+    EXPECT_EQ(r2.dmaStallCycles, 0u);
+    EXPECT_DOUBLE_EQ(r2.rootValue, r.rootValue);
+}
+
+TEST(Accelerator, MorePesDoNotSlowDown)
+{
+    Rng rng(607);
+    core::Dag dag = testutil::randomDag(rng, 8, 150, 4);
+    auto inputs = testutil::randomInputs(rng, 8);
+
+    auto cycles_for = [&](uint32_t pes) {
+        ArchConfig cfg;
+        cfg.numPes = pes;
+        cfg.numBanks = std::max(cfg.numBanks, pes);
+        compiler::Program p = compile(dag, cfg.compilerTarget());
+        Accelerator accel(cfg);
+        return accel.run(p, inputs, true).cycles;
+    };
+    uint64_t c4 = cycles_for(4);
+    uint64_t c16 = cycles_for(16);
+    EXPECT_LE(c16, c4);
+}
+
+TEST(Accelerator, RejectsMismatchedProgram)
+{
+    Rng rng(608);
+    core::Dag dag = testutil::randomDag(rng, 4, 10, 3);
+    compiler::TargetConfig t;
+    t.numPes = 4;
+    compiler::Program p = compile(dag, t);
+    ArchConfig cfg; // default 12 PEs
+    Accelerator accel(cfg);
+    EXPECT_DEATH(accel.run(p, testutil::randomInputs(rng, 4)),
+                 "different configuration");
+}

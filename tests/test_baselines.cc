@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Baseline device model tests: preset sanity, roofline behavior, the
+ * irregular-kernel performance ordering that drives Figs. 11/13, and
+ * the Table II micro-metric model's orderings.
+ */
+
+#include <gtest/gtest.h>
+
+#include "baselines/device.h"
+
+using namespace reason;
+using namespace reason::baselines;
+
+TEST(Device, PresetsHavePhysicalNumbers)
+{
+    for (const DeviceModel &d : allBaselines()) {
+        EXPECT_GT(d.peakTflops, 0.0) << d.name;
+        EXPECT_GT(d.dramGBps, 0.0) << d.name;
+        EXPECT_GT(d.tdpWatts, d.idleWatts) << d.name;
+        EXPECT_GT(d.dagNodesPerSec, 0.0) << d.name;
+        EXPECT_GT(d.propsPerSec, 0.0) << d.name;
+    }
+}
+
+TEST(Device, DenseKernelRoofline)
+{
+    DeviceModel gpu = rtxA6000();
+    KernelWork compute_bound;
+    compute_bound.cls = KernelClass::DenseMatMul;
+    compute_bound.flops = 1e12;
+    compute_bound.bytes = 1e6;
+    KernelWork memory_bound = compute_bound;
+    memory_bound.flops = 1e6;
+    memory_bound.bytes = 1e11;
+    // Compute-bound time follows flops, memory-bound follows bytes.
+    EXPECT_NEAR(gpu.seconds(compute_bound),
+                1e12 / (gpu.peakTflops * 1e12 * gpu.denseEfficiency),
+                1e-9);
+    EXPECT_NEAR(gpu.seconds(memory_bound), 1e11 / (gpu.dramGBps * 1e9),
+                1e-6);
+}
+
+TEST(Device, IrregularOrderingMatchesPaper)
+{
+    // Symbolic BCP throughput: RTX > Orin > Xeon (Fig. 11's 12/50/98x
+    // gaps against REASON).
+    EXPECT_GT(rtxA6000().propsPerSec, orinNx().propsPerSec);
+    EXPECT_GT(orinNx().propsPerSec, xeonCpu().propsPerSec);
+    // Server accelerators: A100 > V100 > RTX on DAG kernels.
+    EXPECT_GT(a100().dagNodesPerSec, v100().dagNodesPerSec);
+    EXPECT_GT(v100().dagNodesPerSec, rtxA6000().dagNodesPerSec);
+    // The TPU-like systolic array is the worst symbolic engine.
+    EXPECT_LT(tpuLike().propsPerSec, dpuLike().propsPerSec);
+}
+
+TEST(Device, SymbolicKernelTimeScalesWithWork)
+{
+    DeviceModel d = orinNx();
+    KernelWork w;
+    w.cls = KernelClass::SymbolicBcp;
+    w.propagations = 1000;
+    w.literalVisits = 8000;
+    double t1 = d.seconds(w);
+    w.propagations *= 10;
+    w.literalVisits *= 10;
+    EXPECT_NEAR(d.seconds(w), 10 * t1, 1e-12);
+}
+
+TEST(Device, EnergyReflectsPowerStates)
+{
+    DeviceModel d = rtxA6000();
+    KernelWork dense;
+    dense.cls = KernelClass::DenseMatMul;
+    dense.flops = 1e12;
+    dense.bytes = 1e9;
+    KernelWork sparse;
+    sparse.cls = KernelClass::ProbCircuit;
+    sparse.dagNodes = uint64_t(d.dagNodesPerSec * d.seconds(dense));
+    // Same runtime, but irregular kernels draw less than dense peak.
+    double t_dense = d.seconds(dense);
+    double t_sparse = d.seconds(sparse);
+    ASSERT_NEAR(t_dense, t_sparse, t_dense * 0.01);
+    EXPECT_GT(d.joules(dense), d.joules(sparse));
+}
+
+TEST(GpuMetrics, MatMulVsLogicOrdering)
+{
+    GpuKernelMetrics mm = gpuKernelMetrics(KernelClass::DenseMatMul);
+    GpuKernelMetrics logic = gpuKernelMetrics(KernelClass::SymbolicBcp);
+    // Table II orderings.
+    EXPECT_GT(mm.computeThroughputPct, logic.computeThroughputPct);
+    EXPECT_GT(mm.aluUtilizationPct, logic.aluUtilizationPct);
+    EXPECT_GT(mm.l1HitRatePct, logic.l1HitRatePct);
+    EXPECT_GT(mm.warpExecEfficiencyPct, logic.warpExecEfficiencyPct);
+    EXPECT_GT(mm.eligibleWarpsPct, logic.eligibleWarpsPct);
+    // Irregular kernels lean on DRAM bandwidth.
+    EXPECT_LT(mm.dramBwUtilizationPct, logic.dramBwUtilizationPct);
+}
+
+TEST(GpuMetrics, AllKernelsInPercentRange)
+{
+    for (KernelClass cls :
+         {KernelClass::DenseMatMul, KernelClass::Softmax,
+          KernelClass::SparseMatVec, KernelClass::SymbolicBcp,
+          KernelClass::ProbCircuit, KernelClass::HmmSequential}) {
+        GpuKernelMetrics m = gpuKernelMetrics(cls);
+        for (double v :
+             {m.computeThroughputPct, m.aluUtilizationPct,
+              m.l1ThroughputPct, m.l2ThroughputPct, m.l1HitRatePct,
+              m.l2HitRatePct, m.dramBwUtilizationPct,
+              m.warpExecEfficiencyPct, m.branchEfficiencyPct,
+              m.eligibleWarpsPct}) {
+            EXPECT_GE(v, 0.0) << kernelClassName(cls);
+            EXPECT_LE(v, 100.0) << kernelClassName(cls);
+        }
+    }
+}
+
+TEST(GpuMetrics, OperationalIntensityOrdering)
+{
+    // Roofline x-axis (Fig. 3(d)): neural >> probabilistic > symbolic.
+    EXPECT_GT(operationalIntensity(KernelClass::DenseMatMul),
+              operationalIntensity(KernelClass::ProbCircuit));
+    EXPECT_GT(operationalIntensity(KernelClass::ProbCircuit),
+              operationalIntensity(KernelClass::SymbolicBcp));
+}

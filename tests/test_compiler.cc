@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Compiler tests (Sec. V-C): block shape invariants, operand/bank
+ * mapping consistency, pipeline-aware schedule legality, and the
+ * central equivalence property — compiled programs executed on the
+ * cycle simulator reproduce Dag::evaluateRoot exactly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "arch/accelerator.h"
+#include "compiler/compile.h"
+#include "core/builders.h"
+#include "dag_test_util.h"
+#include "util/numeric.h"
+#include "util/rng.h"
+
+using namespace reason;
+using namespace reason::compiler;
+
+namespace {
+
+double
+runCompiled(const core::Dag &dag, const std::vector<double> &inputs,
+            const TargetConfig &target = {})
+{
+    Program prog = compile(dag, target);
+    arch::ArchConfig cfg;
+    cfg.treeDepth = target.treeDepth;
+    cfg.numPes = target.numPes;
+    cfg.numBanks = target.numBanks;
+    cfg.regsPerBank = target.regsPerBank;
+    arch::Accelerator accel(cfg);
+    return accel.run(prog, inputs).rootValue;
+}
+
+} // namespace
+
+TEST(Compile, TrivialInputRoot)
+{
+    core::Dag dag;
+    dag.markRoot(dag.addInput());
+    Program p = compile(dag);
+    EXPECT_EQ(p.blocks.size(), 1u);
+    EXPECT_DOUBLE_EQ(runCompiled(dag, {7.5}), 7.5);
+}
+
+TEST(Compile, ConstantRoot)
+{
+    core::Dag dag;
+    dag.markRoot(dag.addConst(3.25));
+    EXPECT_DOUBLE_EQ(runCompiled(dag, {}), 3.25);
+}
+
+TEST(Compile, NotFoldedIntoLeafAffine)
+{
+    core::Dag dag;
+    core::NodeId a = dag.addInput();
+    core::NodeId n = dag.addOp(core::DagOp::Not, {a});
+    core::NodeId s = dag.addOp(core::DagOp::Sum, {n, a});
+    dag.markRoot(s);
+    Program p = compile(dag);
+    // Not must not create its own block.
+    EXPECT_EQ(p.blocks.size(), 1u);
+    EXPECT_DOUBLE_EQ(runCompiled(dag, {0.3}), 1.0);
+}
+
+TEST(Compile, WeightedSumUsesLeafScaling)
+{
+    core::Dag dag;
+    core::NodeId a = dag.addInput();
+    core::NodeId b = dag.addInput();
+    core::NodeId s =
+        dag.addOp(core::DagOp::Sum, {a, b}, {0.25, 4.0});
+    dag.markRoot(s);
+    EXPECT_DOUBLE_EQ(runCompiled(dag, {8.0, 0.5}), 4.0);
+}
+
+TEST(Compile, SharedSubexpressionMaterializedOnce)
+{
+    core::Dag dag;
+    core::NodeId a = dag.addInput();
+    core::NodeId b = dag.addInput();
+    core::NodeId shared = dag.addOp(core::DagOp::Sum, {a, b});
+    core::NodeId p1 = dag.addOp(core::DagOp::Product, {shared, a});
+    core::NodeId p2 = dag.addOp(core::DagOp::Product, {shared, b});
+    core::NodeId root = dag.addOp(core::DagOp::Sum, {p1, p2});
+    dag.markRoot(root);
+    Program p = compile(dag);
+    // Blocks: root(+fused products?) and the shared sum.  The shared
+    // node must appear exactly once as a block root.
+    size_t shared_blocks = 0;
+    for (const auto &blk : p.blocks)
+        if (blk.dagRoot == shared)
+            ++shared_blocks;
+    EXPECT_EQ(shared_blocks, 1u);
+    // (a+b)*a + (a+b)*b = (a+b)^2
+    EXPECT_DOUBLE_EQ(runCompiled(dag, {2.0, 3.0}), 25.0);
+}
+
+TEST(Compile, DeepChainSplitsIntoBlocks)
+{
+    // A multiply chain deeper than the tree must split into dependent
+    // blocks and still evaluate correctly.
+    core::Dag dag;
+    core::NodeId acc = dag.addInput();
+    for (int i = 0; i < 20; ++i) {
+        core::NodeId b = dag.addInput();
+        acc = dag.addOp(core::DagOp::Product, {acc, b});
+    }
+    dag.markRoot(acc);
+    Program p = compile(dag);
+    EXPECT_GT(p.blocks.size(), 3u);
+    std::vector<double> inputs(21, 1.1);
+    double want = std::pow(1.1, 21);
+    EXPECT_NEAR(runCompiled(dag, inputs), want, want * 1e-12);
+}
+
+TEST(Compile, BlockShapesRespectHardware)
+{
+    Rng rng(777);
+    core::Dag dag = testutil::randomDag(rng, 8, 60, 5);
+    TargetConfig target;
+    Program p = compile(dag, target);
+    for (const auto &blk : p.blocks) {
+        EXPECT_EQ(blk.operands.size(), p.leavesPerPe());
+        EXPECT_EQ(blk.nodeOps.size(), p.nodesPerPe());
+        EXPECT_LE(blk.dest.bank, target.numPes - 1);
+    }
+    EXPECT_GT(p.stats.avgLeafUtilization, 0.0);
+    EXPECT_LE(p.stats.avgLeafUtilization, 1.0);
+}
+
+TEST(Compile, ScheduleRespectsDependencies)
+{
+    Rng rng(778);
+    core::Dag dag = testutil::randomDag(rng, 8, 80, 4);
+    TargetConfig target;
+    Program p = compile(dag, target);
+    // Map block -> issue cycle.
+    std::vector<uint64_t> issue(p.blocks.size(), ~0ull);
+    std::vector<uint32_t> pe(p.blocks.size(), 0);
+    for (const auto &slot : p.schedule) {
+        issue[slot.block] = slot.cycle;
+        pe[slot.block] = slot.pe;
+    }
+    uint32_t latency = target.pipelineLatency();
+    for (uint32_t b = 0; b < p.blocks.size(); ++b) {
+        ASSERT_NE(issue[b], ~0ull) << "every block scheduled";
+        for (uint32_t d : p.blocks[b].depends)
+            EXPECT_GE(issue[b], issue[d] + latency)
+                << "dependent blocks must be spaced by the pipeline";
+    }
+    // No PE double-issues in a cycle.
+    std::map<std::pair<uint64_t, uint32_t>, int> slot_use;
+    for (const auto &slot : p.schedule) {
+        int uses = ++slot_use[std::make_pair(slot.cycle, slot.pe)];
+        EXPECT_EQ(uses, 1);
+    }
+}
+
+TEST(Compile, OperandBankReferencesAreValid)
+{
+    Rng rng(779);
+    core::Dag dag = testutil::randomDag(rng, 10, 50, 4);
+    TargetConfig target;
+    Program p = compile(dag, target);
+    for (const auto &blk : p.blocks)
+        for (const auto &op : blk.operands)
+            if (op.valid && op.fetch) {
+                EXPECT_LT(op.bank, target.numBanks);
+                EXPECT_NE(op.reg, 0xffff) << "sentinel must be patched";
+            }
+}
+
+/** The central equivalence sweep: simulate == evaluate. */
+class CompileEquivalence : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CompileEquivalence, SimulatedValueMatchesDagEvaluation)
+{
+    Rng rng(GetParam() * 15101 + 23);
+    uint32_t inputs_n = 4 + GetParam() % 8;
+    uint32_t ops_n = 10 + (GetParam() * 13) % 120;
+    bool logical = GetParam() % 4 == 1;
+    core::Dag dag =
+        testutil::randomDag(rng, inputs_n, ops_n, 5, logical);
+    auto inputs =
+        testutil::randomInputs(rng, inputs_n,
+                               logical ? 0.0 : 0.1,
+                               logical ? 1.0 : 1.4);
+    if (logical)
+        for (auto &x : inputs)
+            x = x < 0.5 ? 0.0 : 1.0;
+    double want = dag.evaluateRoot(inputs);
+    double got = runCompiled(dag, inputs);
+    EXPECT_TRUE(nearlyEqual(want, got, 1e-9, 1e-12))
+        << "want " << want << " got " << got;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompileEquivalence,
+                         ::testing::Range(0, 40));
+
+/** Equivalence holds across hardware shapes (DSE configurations). */
+class CompileAcrossConfigs : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CompileAcrossConfigs, DepthAndBanksDoNotChangeResults)
+{
+    Rng rng(4242);
+    core::Dag dag = testutil::randomDag(rng, 6, 40, 4);
+    auto inputs = testutil::randomInputs(rng, 6);
+    double want = dag.evaluateRoot(inputs);
+
+    TargetConfig t;
+    int p = GetParam();
+    t.treeDepth = 2 + p % 3;         // D in {2,3,4}
+    t.numPes = 4 + 4 * (p % 4);      // 4..16
+    t.numBanks = t.numPes + 16 * (1 + p % 3);
+    t.regsPerBank = 8 << (p % 3);
+    double got = runCompiled(dag, inputs, t);
+    EXPECT_TRUE(nearlyEqual(want, got, 1e-9, 1e-12))
+        << "D=" << t.treeDepth << " PEs=" << t.numPes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CompileAcrossConfigs,
+                         ::testing::Range(0, 12));
+
+TEST(Compile, RealKernelsCompile)
+{
+    Rng rng(31);
+    // A CNF DAG.
+    logic::CnfFormula f = logic::randomKSat(rng, 12, 40, 3);
+    core::Dag cnf_dag = core::buildFromCnf(f);
+    std::vector<double> assign(12);
+    std::vector<bool> ba(12);
+    for (int v = 0; v < 12; ++v) {
+        ba[v] = rng.bernoulli(0.5);
+        assign[v] = ba[v] ? 1.0 : 0.0;
+    }
+    EXPECT_DOUBLE_EQ(runCompiled(cnf_dag, assign),
+                     f.evaluate(ba) ? 1.0 : 0.0);
+
+    // A PC DAG.
+    pc::Circuit c = pc::randomCircuit(rng, 6, 2);
+    std::vector<pc::NodeId> leaf_order;
+    core::Dag pc_dag = core::buildFromCircuit(c, &leaf_order);
+    auto x = pc::sampleDataset(rng, c, 1)[0];
+    auto leaf_inputs = core::circuitLeafInputs(c, leaf_order, x);
+    EXPECT_NEAR(runCompiled(pc_dag, leaf_inputs),
+                std::exp(c.logLikelihood(x)), 1e-9);
+
+    // An HMM DAG.
+    hmm::Hmm h = hmm::Hmm::random(rng, 4, 5);
+    hmm::Sequence obs;
+    h.sample(rng, 8, &obs);
+    core::Dag hmm_dag = core::buildFromHmm(h, obs);
+    double want = std::exp(hmm::sequenceLogLikelihood(h, obs));
+    EXPECT_NEAR(runCompiled(hmm_dag, {}), want, 1e-9 * want + 1e-12);
+}
+
+TEST(Compile, StatsAccounting)
+{
+    Rng rng(32);
+    core::Dag dag = testutil::randomDag(rng, 8, 60, 4);
+    Program p = compile(dag);
+    EXPECT_EQ(p.stats.numBlocks, p.blocks.size());
+    EXPECT_GT(p.stats.fusedNodes, 0u);
+    EXPECT_EQ(p.schedule.size(), p.blocks.size());
+    EXPECT_GT(p.stats.scheduleLength, 0u);
+}

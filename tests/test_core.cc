@@ -1,0 +1,287 @@
+/**
+ * @file
+ * Tests for the unified DAG IR (Sec. IV-A), the substrate builders, the
+ * two-input regularization (Sec. IV-C), and the three-stage
+ * optimization pipeline.  Central invariant: every transformation
+ * preserves evaluateRoot exactly (or, for SAT, logical equivalence).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/builders.h"
+#include "core/dag.h"
+#include "core/pipeline.h"
+#include "core/regularize.h"
+#include "dag_test_util.h"
+#include "logic/solver.h"
+#include "util/numeric.h"
+#include "util/rng.h"
+
+using namespace reason;
+using namespace reason::core;
+
+TEST(Dag, BasicEvaluation)
+{
+    Dag dag;
+    NodeId a = dag.addInput(); // tag 0
+    NodeId b = dag.addInput(); // tag 1
+    NodeId s = dag.addOp(DagOp::Sum, {a, b});
+    NodeId p = dag.addOp(DagOp::Product, {s, a});
+    dag.markRoot(p);
+    EXPECT_DOUBLE_EQ(dag.evaluateRoot({2.0, 3.0}), 10.0);
+}
+
+TEST(Dag, WeightedSumAndNot)
+{
+    Dag dag;
+    NodeId a = dag.addInput();
+    NodeId n = dag.addOp(DagOp::Not, {a});
+    NodeId s = dag.addOp(DagOp::Sum, {a, n}, {2.0, 4.0});
+    dag.markRoot(s);
+    // 2*0.25 + 4*(1-0.25) = 0.5 + 3 = 3.5
+    EXPECT_DOUBLE_EQ(dag.evaluateRoot({0.25}), 3.5);
+}
+
+TEST(Dag, MinMaxSemantics)
+{
+    Dag dag;
+    NodeId a = dag.addInput();
+    NodeId b = dag.addInput();
+    NodeId mx = dag.addOp(DagOp::Max, {a, b});
+    NodeId mn = dag.addOp(DagOp::Min, {a, b});
+    NodeId s = dag.addOp(DagOp::Sum, {mx, mn});
+    dag.markRoot(s);
+    EXPECT_DOUBLE_EQ(dag.evaluateRoot({3.0, 7.0}), 10.0);
+}
+
+TEST(Dag, StatsShape)
+{
+    Dag dag;
+    NodeId a = dag.addInput();
+    NodeId b = dag.addInput();
+    NodeId c0 = dag.addConst(0.5);
+    NodeId s = dag.addOp(DagOp::Sum, {a, b, c0}, {1.0, 2.0, 3.0});
+    dag.markRoot(s);
+    DagStats st = dag.stats();
+    EXPECT_EQ(st.numNodes, 4u);
+    EXPECT_EQ(st.numEdges, 3u);
+    EXPECT_EQ(st.numWeights, 3u);
+    EXPECT_EQ(st.maxFanIn, 3u);
+    EXPECT_EQ(st.depth, 1u);
+    EXPECT_GT(st.memoryBytes, 0u);
+}
+
+TEST(Dag, DeadNodeElimination)
+{
+    Dag dag;
+    NodeId a = dag.addInput();
+    NodeId b = dag.addInput();
+    dag.addOp(DagOp::Sum, {a, b}); // dead
+    NodeId live = dag.addOp(DagOp::Product, {a, b});
+    dag.markRoot(live);
+    size_t removed = eliminateDeadNodes(dag);
+    EXPECT_EQ(removed, 1u);
+    EXPECT_DOUBLE_EQ(dag.evaluateRoot({2.0, 5.0}), 10.0);
+}
+
+TEST(BuildFromCnf, MatchesFormulaEvaluation)
+{
+    Rng rng(42);
+    logic::CnfFormula f = logic::randomKSat(rng, 10, 35, 3);
+    Dag dag = buildFromCnf(f);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<bool> assign(10);
+        std::vector<double> inputs(10);
+        for (int v = 0; v < 10; ++v) {
+            assign[v] = rng.bernoulli(0.5);
+            inputs[v] = assign[v] ? 1.0 : 0.0;
+        }
+        EXPECT_DOUBLE_EQ(dag.evaluateRoot(inputs),
+                         f.evaluate(assign) ? 1.0 : 0.0);
+    }
+}
+
+TEST(BuildFromCircuit, MatchesCircuitLikelihood)
+{
+    Rng rng(43);
+    pc::Circuit c = pc::randomCircuit(rng, 6, 2);
+    std::vector<pc::NodeId> leaf_order;
+    Dag dag = buildFromCircuit(c, &leaf_order);
+    auto data = pc::sampleDataset(rng, c, 25);
+    for (const auto &x : data) {
+        auto inputs = circuitLeafInputs(c, leaf_order, x);
+        double dag_val = dag.evaluateRoot(inputs);
+        double ll = c.logLikelihood(x);
+        EXPECT_NEAR(dag_val, std::exp(ll), 1e-9);
+    }
+}
+
+TEST(BuildFromCircuit, MarginalsMatchToo)
+{
+    Rng rng(44);
+    pc::Circuit c = pc::randomCircuit(rng, 5, 2);
+    std::vector<pc::NodeId> leaf_order;
+    Dag dag = buildFromCircuit(c, &leaf_order);
+    pc::Assignment q(5, pc::kMissing);
+    q[2] = 1;
+    auto inputs = circuitLeafInputs(c, leaf_order, q);
+    EXPECT_NEAR(dag.evaluateRoot(inputs),
+                std::exp(c.logLikelihood(q)), 1e-9);
+}
+
+TEST(BuildFromHmm, MatchesForwardLikelihood)
+{
+    Rng rng(45);
+    hmm::Hmm h = hmm::Hmm::random(rng, 4, 5);
+    hmm::Sequence obs;
+    h.sample(rng, 10, &obs);
+    Dag dag = buildFromHmm(h, obs);
+    double want = std::exp(hmm::sequenceLogLikelihood(h, obs));
+    EXPECT_NEAR(dag.evaluateRoot({}), want, 1e-9 * want + 1e-12);
+}
+
+TEST(BuildFromHmmViterbi, MatchesViterbiScore)
+{
+    Rng rng(46);
+    hmm::Hmm h = hmm::Hmm::random(rng, 3, 4);
+    hmm::Sequence obs;
+    h.sample(rng, 8, &obs);
+    Dag dag = buildFromHmmViterbi(h, obs);
+    double want = std::exp(hmm::viterbi(h, obs).logProb);
+    EXPECT_NEAR(dag.evaluateRoot({}), want, 1e-9 * want + 1e-12);
+}
+
+TEST(BuildFromHmm, BandedModelShrinksDag)
+{
+    Rng rng(47);
+    hmm::Hmm dense = hmm::Hmm::random(rng, 12, 6);
+    hmm::Hmm banded = hmm::Hmm::banded(rng, 12, 6, 2);
+    hmm::Sequence obs;
+    dense.sample(rng, 12, &obs);
+    // Zero transitions disappear as DAG edges (node count is governed
+    // by the state grid either way).
+    size_t dense_edges = buildFromHmm(dense, obs).stats().numEdges;
+    size_t banded_edges = buildFromHmm(banded, obs).stats().numEdges;
+    EXPECT_LT(banded_edges, dense_edges);
+}
+
+/** Regularization must preserve values exactly and bound fan-in by 2. */
+class RegularizeSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RegularizeSweep, PreservesEvaluation)
+{
+    Rng rng(GetParam() * 2003 + 17);
+    core::Dag dag =
+        testutil::randomDag(rng, 6, 30, 5, GetParam() % 3 == 0);
+    auto inputs = testutil::randomInputs(rng, 6);
+    double before = dag.evaluateRoot(inputs);
+    RegularizeResult rr = regularizeTwoInput(dag);
+    EXPECT_TRUE(dag.isTwoInput());
+    double after = dag.evaluateRoot(inputs);
+    EXPECT_TRUE(nearlyEqual(before, after, 1e-9, 1e-12))
+        << before << " vs " << after;
+    EXPECT_GE(rr.nodesAfter, rr.nodesBefore - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RegularizeSweep, ::testing::Range(0, 30));
+
+TEST(Regularize, BalancedDepthForWideSum)
+{
+    Dag dag;
+    std::vector<NodeId> ins;
+    for (int i = 0; i < 16; ++i)
+        ins.push_back(dag.addInput());
+    dag.markRoot(dag.addOp(DagOp::Sum, ins));
+    regularizeTwoInput(dag);
+    // Balanced binary reduction of 16 operands has depth 4.
+    EXPECT_EQ(dag.stats().depth, 4u);
+}
+
+TEST(Pipeline, CnfOptimizationPreservesSatisfiability)
+{
+    Rng rng(48);
+    logic::CnfFormula f = logic::randomKSat(rng, 14, 28, 2);
+    logic::CnfFormula f3 = logic::randomKSat(rng, 14, 20, 3);
+    for (const auto &c : f3.clauses())
+        f.addClause(c);
+    OptimizedKernel k = optimizeCnf(f);
+    EXPECT_TRUE(k.dag.isTwoInput());
+    EXPECT_GT(k.statsBefore.memoryBytes, 0u);
+    // The optimized DAG realizes an equivalent formula: evaluate both
+    // on random assignments.
+    logic::CnfPruneResult pr = logic::pruneCnf(f);
+    for (int t = 0; t < 30; ++t) {
+        std::vector<bool> assign(f.numVars());
+        std::vector<double> inputs(f.numVars());
+        for (uint32_t v = 0; v < f.numVars(); ++v) {
+            assign[v] = rng.bernoulli(0.5);
+            inputs[v] = assign[v] ? 1.0 : 0.0;
+        }
+        EXPECT_DOUBLE_EQ(k.dag.evaluateRoot(inputs),
+                         pr.pruned.evaluate(assign) ? 1.0 : 0.0);
+    }
+}
+
+TEST(Pipeline, CircuitOptimizationReducesMemory)
+{
+    Rng rng(49);
+    pc::Circuit c = pc::randomCircuit(rng, 8, 2, 3, 6);
+    auto data = pc::sampleDataset(rng, c, 150);
+    PipelineConfig cfg;
+    cfg.pcFlowThreshold = 5e-3;
+    OptimizedKernel k = optimizeCircuit(c, data, cfg);
+    EXPECT_GT(k.memoryReduction, 0.0);
+    EXPECT_TRUE(k.dag.isTwoInput());
+}
+
+TEST(Pipeline, OptimizedCircuitDagMatchesPrunedCircuit)
+{
+    Rng rng(50);
+    pc::Circuit c = pc::randomCircuit(rng, 6, 2, 2, 4);
+    auto data = pc::sampleDataset(rng, c, 100);
+    pc::Circuit pruned(1, 2);
+    std::vector<pc::NodeId> leaf_order;
+    OptimizedKernel k =
+        optimizeCircuit(c, data, {}, &pruned, &leaf_order);
+    for (const auto &x : data) {
+        auto inputs = circuitLeafInputs(pruned, leaf_order, x);
+        EXPECT_NEAR(k.dag.evaluateRoot(inputs),
+                    std::exp(pruned.logLikelihood(x)), 1e-9);
+    }
+}
+
+TEST(Pipeline, HmmOptimizationKeepsQueryEvaluable)
+{
+    Rng rng(51);
+    hmm::Hmm h = hmm::Hmm::banded(rng, 10, 8, 2);
+    std::vector<hmm::Sequence> cal;
+    for (int i = 0; i < 10; ++i) {
+        hmm::Sequence s;
+        h.sample(rng, 12, &s);
+        cal.push_back(std::move(s));
+    }
+    hmm::Sequence query;
+    h.sample(rng, 12, &query);
+    hmm::Hmm pruned(1, 1);
+    OptimizedKernel k = optimizeHmm(h, cal, query, {}, &pruned);
+    EXPECT_TRUE(k.dag.isTwoInput());
+    double want = std::exp(hmm::sequenceLogLikelihood(pruned, query));
+    EXPECT_NEAR(k.dag.evaluateRoot({}), want, 1e-9 * want + 1e-12);
+    EXPECT_GE(k.memoryReduction, 0.0);
+}
+
+TEST(Pipeline, DisabledStagesAreNoOps)
+{
+    Rng rng(52);
+    logic::CnfFormula f = logic::randomKSat(rng, 10, 30, 3);
+    PipelineConfig cfg;
+    cfg.prune = false;
+    cfg.regularize = false;
+    OptimizedKernel k = optimizeCnf(f, cfg);
+    EXPECT_EQ(k.elementsPruned, 0u);
+    EXPECT_NEAR(k.memoryReduction, 0.0, 1e-12);
+}

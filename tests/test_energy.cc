@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Energy/power/area model tests: technology scaling matches Table III,
+ * event pricing is monotone, and the default configuration lands in the
+ * paper's reported envelope (≈6 mm², ≈2 W class at 28 nm).
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.h"
+#include "util/stats.h"
+
+using namespace reason;
+using namespace reason::energy;
+
+TEST(TechScaling, IdentityAt28nm)
+{
+    TechScaling s = techScaling(TechNode::Tsmc28);
+    EXPECT_DOUBLE_EQ(s.area, 1.0);
+    EXPECT_DOUBLE_EQ(s.dynamicEnergy, 1.0);
+    EXPECT_DOUBLE_EQ(s.staticPower, 1.0);
+}
+
+TEST(TechScaling, MonotoneShrink)
+{
+    TechScaling s12 = techScaling(TechNode::Tsmc12);
+    TechScaling s8 = techScaling(TechNode::Tsmc8);
+    EXPECT_LT(s12.area, 1.0);
+    EXPECT_LT(s8.area, s12.area);
+    EXPECT_LT(s8.dynamicEnergy, s12.dynamicEnergy);
+    EXPECT_LT(s8.staticPower, s12.staticPower);
+}
+
+TEST(Area, DefaultConfigurationNear6mm2)
+{
+    EnergyModel m(TechNode::Tsmc28);
+    double area = m.areaMm2(12, 1280);
+    EXPECT_GT(area, 5.0);
+    EXPECT_LT(area, 7.5);
+}
+
+TEST(Area, ScaledNodesMatchTableIII)
+{
+    // Table III: 28nm 6.00 mm^2 -> 12nm 1.37 -> 8nm 0.51.
+    double a28 = EnergyModel(TechNode::Tsmc28).areaMm2(12, 1280);
+    double a12 = EnergyModel(TechNode::Tsmc12).areaMm2(12, 1280);
+    double a8 = EnergyModel(TechNode::Tsmc8).areaMm2(12, 1280);
+    EXPECT_NEAR(a12 / a28, 1.37 / 6.00, 0.01);
+    EXPECT_NEAR(a8 / a28, 0.51 / 6.00, 0.01);
+}
+
+TEST(Energy, EventPricingMonotone)
+{
+    EnergyModel m;
+    StatGroup few, many;
+    few.inc("tree_mul_ops", 1000);
+    many.inc("tree_mul_ops", 1000000);
+    EXPECT_LT(m.dynamicEnergyJoules(few), m.dynamicEnergyJoules(many));
+}
+
+TEST(Energy, MultiplyCostsMoreThanAdd)
+{
+    EnergyModel m;
+    StatGroup adds, muls;
+    adds.inc("tree_add_ops", 100000);
+    muls.inc("tree_mul_ops", 100000);
+    EXPECT_LT(m.dynamicEnergyJoules(adds), m.dynamicEnergyJoules(muls));
+}
+
+TEST(Energy, DramDominatesSram)
+{
+    EnergyModel m;
+    StatGroup sram, dram;
+    sram.inc("sram_accesses", 1000); // 1000 words
+    dram.inc("dma_bytes", 8000);     // same data from DRAM
+    EXPECT_LT(m.dynamicEnergyJoules(sram),
+              m.dynamicEnergyJoules(dram));
+}
+
+TEST(Energy, ReportComposition)
+{
+    EnergyModel m;
+    StatGroup ev;
+    ev.inc("tree_add_ops", 500000);
+    ev.inc("regfile_reads", 800000);
+    EnergyReport r = m.report(ev, 0.5);
+    EXPECT_DOUBLE_EQ(r.totalJoules, r.dynamicJoules + r.staticJoules);
+    EXPECT_NEAR(r.averageWatts, r.totalJoules / 0.5, 1e-12);
+    EXPECT_GT(r.staticJoules, 0.0);
+}
+
+TEST(Energy, BusyAcceleratorPowerInPaperEnvelope)
+{
+    // A second of heavy mixed activity at 500 MHz: the average power
+    // must land in the paper's 1.5-3 W window (Fig. 12(a)).
+    EnergyModel m;
+    StatGroup ev;
+    // ~70% occupancy of 84 tree nodes at 500 MHz for 1 s.
+    uint64_t ops = static_cast<uint64_t>(0.7 * 84 * 0.5e9);
+    ev.inc("tree_add_ops", ops / 2);
+    ev.inc("tree_mul_ops", ops / 2);
+    ev.inc("regfile_reads", ops * 2 / 3);
+    ev.inc("regfile_writes", ops / 4);
+    ev.inc("sram_accesses", ops / 8);
+    ev.inc("dma_bytes", uint64_t(2e9)); // ~2 GB/s average traffic
+    ev.inc("cycles", uint64_t(0.5e9));  // one second at 500 MHz
+    EnergyReport r = m.report(ev, 1.0);
+    EXPECT_GT(r.averageWatts, 1.2);
+    EXPECT_LT(r.averageWatts, 3.2);
+}
+
+TEST(Energy, ScalingReducesJoules)
+{
+    StatGroup ev;
+    ev.inc("tree_mul_ops", 1000000);
+    double j28 =
+        EnergyModel(TechNode::Tsmc28).dynamicEnergyJoules(ev);
+    double j12 =
+        EnergyModel(TechNode::Tsmc12).dynamicEnergyJoules(ev);
+    double j8 = EnergyModel(TechNode::Tsmc8).dynamicEnergyJoules(ev);
+    EXPECT_GT(j28, j12);
+    EXPECT_GT(j12, j8);
+}

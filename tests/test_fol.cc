@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Tests for the first-order logic substrate: terms, unification,
+ * clausification, grounding to propositional CNF, and the resolution
+ * prover on textbook theorems.
+ */
+
+#include <gtest/gtest.h>
+
+#include "logic/fol.h"
+#include "logic/solver.h"
+
+using namespace reason;
+using namespace reason::logic;
+
+namespace {
+
+Term
+c(const std::string &name)
+{
+    return Term::constant(name);
+}
+
+Term
+v(const std::string &name)
+{
+    return Term::var(name);
+}
+
+} // namespace
+
+TEST(Term, ToStringForms)
+{
+    EXPECT_EQ(v("x").toString(), "?x");
+    EXPECT_EQ(c("a").toString(), "a");
+    EXPECT_EQ(Term::func("f", {v("x"), c("a")}).toString(), "f(?x,a)");
+}
+
+TEST(Unify, VariableBindsToConstant)
+{
+    auto s = unify(v("x"), c("a"));
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(applySubst(v("x"), *s), c("a"));
+}
+
+TEST(Unify, FunctionArgumentsUnify)
+{
+    Term f1 = Term::func("f", {v("x"), c("b")});
+    Term f2 = Term::func("f", {c("a"), v("y")});
+    auto s = unify(f1, f2);
+    ASSERT_TRUE(s.has_value());
+    EXPECT_EQ(applySubst(f1, *s), applySubst(f2, *s));
+}
+
+TEST(Unify, OccursCheckRejects)
+{
+    Term fx = Term::func("f", {v("x")});
+    EXPECT_FALSE(unify(v("x"), fx).has_value());
+}
+
+TEST(Unify, MismatchedFunctorsFail)
+{
+    EXPECT_FALSE(unify(c("a"), c("b")).has_value());
+    EXPECT_FALSE(unify(Term::func("f", {c("a")}),
+                       Term::func("g", {c("a")}))
+                     .has_value());
+}
+
+TEST(Unify, ChainedSubstitutionResolves)
+{
+    auto s = unify(v("x"), v("y"));
+    ASSERT_TRUE(s.has_value());
+    auto s2 = unify(v("y"), c("a"), *s);
+    ASSERT_TRUE(s2.has_value());
+    EXPECT_EQ(applySubst(v("x"), *s2), c("a"));
+}
+
+TEST(Clausify, ImplicationBecomesDisjunction)
+{
+    // P -> Q  ==>  {~P, Q}
+    auto f = FolFormula::implies(FolFormula::pred("P"),
+                                 FolFormula::pred("Q"));
+    auto clauses = clausify(f);
+    ASSERT_EQ(clauses.size(), 1u);
+    ASSERT_EQ(clauses[0].size(), 2u);
+}
+
+TEST(Clausify, IffProducesTwoClauses)
+{
+    auto f = FolFormula::iff(FolFormula::pred("P"),
+                             FolFormula::pred("Q"));
+    auto clauses = clausify(f);
+    EXPECT_EQ(clauses.size(), 2u);
+}
+
+TEST(Clausify, DistributionOverConjunction)
+{
+    // P | (Q & R)  ==>  {P,Q}, {P,R}
+    auto f = FolFormula::lor(
+        FolFormula::pred("P"),
+        FolFormula::land(FolFormula::pred("Q"), FolFormula::pred("R")));
+    auto clauses = clausify(f);
+    EXPECT_EQ(clauses.size(), 2u);
+}
+
+TEST(Clausify, SkolemizationIntroducesFunctions)
+{
+    // forall x. exists y. Loves(x, y): y becomes sk(x).
+    auto f = FolFormula::forall(
+        "x", FolFormula::exists(
+                 "y", FolFormula::pred("Loves", {v("x"), v("y")})));
+    auto clauses = clausify(f);
+    ASSERT_EQ(clauses.size(), 1u);
+    ASSERT_EQ(clauses[0].size(), 1u);
+    const FolLiteral &lit = clauses[0][0];
+    ASSERT_EQ(lit.args.size(), 2u);
+    EXPECT_TRUE(lit.args[0].isVar());
+    EXPECT_FALSE(lit.args[1].isVar());
+    EXPECT_EQ(lit.args[1].args.size(), 1u); // skolem depends on x
+}
+
+TEST(Clausify, NegationPushedThroughQuantifiers)
+{
+    // ~(forall x. P(x))  ==>  ~P(sk) for a fresh constant sk.
+    auto f = FolFormula::lnot(FolFormula::forall(
+        "x", FolFormula::pred("P", {v("x")})));
+    auto clauses = clausify(f);
+    ASSERT_EQ(clauses.size(), 1u);
+    ASSERT_EQ(clauses[0].size(), 1u);
+    EXPECT_TRUE(clauses[0][0].negated);
+    EXPECT_FALSE(clauses[0][0].args[0].isVar());
+}
+
+TEST(Grounder, EnumeratesDomain)
+{
+    // forall x. P(x): over {a, b} -> two unit clauses.
+    auto f =
+        FolFormula::forall("x", FolFormula::pred("P", {v("x")}));
+    Grounder g({"a", "b"});
+    CnfFormula cnf = g.ground(clausify(f));
+    EXPECT_EQ(cnf.numClauses(), 2u);
+    EXPECT_EQ(g.numAtoms(), 2u);
+    EXPECT_EQ(solveCnf(cnf), SolveResult::Sat);
+}
+
+TEST(Grounder, EntailmentViaSat)
+{
+    // Theory: forall x. Man(x) -> Mortal(x);  Man(socrates).
+    // Query: Mortal(socrates).  Theory + ~query must be UNSAT.
+    auto rule = FolFormula::forall(
+        "x", FolFormula::implies(
+                 FolFormula::pred("Man", {v("x")}),
+                 FolFormula::pred("Mortal", {v("x")})));
+    auto fact = FolFormula::pred("Man", {c("socrates")});
+    auto query = FolFormula::pred("Mortal", {c("socrates")});
+
+    auto clauses = clausify({rule, fact, FolFormula::lnot(query)});
+    Grounder g({"socrates", "plato"});
+    CnfFormula cnf = g.ground(clauses);
+    EXPECT_EQ(solveCnf(cnf), SolveResult::Unsat);
+
+    // Without the negated query the theory is satisfiable.
+    Grounder g2({"socrates", "plato"});
+    CnfFormula cnf2 = g2.ground(clausify({rule, fact}));
+    EXPECT_EQ(solveCnf(cnf2), SolveResult::Sat);
+}
+
+TEST(Resolution, SocratesIsMortal)
+{
+    auto rule = FolFormula::forall(
+        "x", FolFormula::implies(
+                 FolFormula::pred("Man", {v("x")}),
+                 FolFormula::pred("Mortal", {v("x")})));
+    auto fact = FolFormula::pred("Man", {c("socrates")});
+    auto query = FolFormula::pred("Mortal", {c("socrates")});
+    ResolutionResult r = resolutionProve({rule, fact}, query);
+    EXPECT_TRUE(r.proved);
+}
+
+TEST(Resolution, DoesNotProveUnrelatedGoal)
+{
+    auto fact = FolFormula::pred("Man", {c("socrates")});
+    auto query = FolFormula::pred("Mortal", {c("socrates")});
+    ResolutionResult r = resolutionProve({fact}, query, 2000);
+    EXPECT_FALSE(r.proved);
+}
+
+TEST(Resolution, TransitivityChain)
+{
+    // parent(a,b), parent(b,c), forall x,y,z: parent(x,y) &
+    // parent(y,z) -> grandparent(x,z).  Prove grandparent(a,c).
+    auto rule = FolFormula::forall(
+        "x",
+        FolFormula::forall(
+            "y",
+            FolFormula::forall(
+                "z",
+                FolFormula::implies(
+                    FolFormula::land(
+                        FolFormula::pred("parent", {v("x"), v("y")}),
+                        FolFormula::pred("parent", {v("y"), v("z")})),
+                    FolFormula::pred("grandparent",
+                                     {v("x"), v("z")})))));
+    auto f1 = FolFormula::pred("parent", {c("a"), c("b")});
+    auto f2 = FolFormula::pred("parent", {c("b"), c("c")});
+    auto goal = FolFormula::pred("grandparent", {c("a"), c("c")});
+    ResolutionResult r = resolutionProve({rule, f1, f2}, goal);
+    EXPECT_TRUE(r.proved);
+    EXPECT_GT(r.resolutionSteps, 0u);
+}
+
+TEST(Resolution, ExistentialWitness)
+{
+    // P(a) proves exists x. P(x).
+    auto fact = FolFormula::pred("P", {c("a")});
+    auto goal =
+        FolFormula::exists("x", FolFormula::pred("P", {v("x")}));
+    EXPECT_TRUE(resolutionProve({fact}, goal).proved);
+}
+
+TEST(Resolution, RefuteEmptyClauseImmediately)
+{
+    std::vector<FolClause> clauses;
+    clauses.push_back({}); // empty clause
+    EXPECT_TRUE(resolutionRefute(std::move(clauses)).proved);
+}
+
+TEST(Resolution, SaturatesOnConsistentSet)
+{
+    std::vector<FolClause> clauses;
+    clauses.push_back({FolLiteral{false, "P", {c("a")}}});
+    clauses.push_back({FolLiteral{false, "Q", {c("b")}}});
+    ResolutionResult r = resolutionRefute(std::move(clauses));
+    EXPECT_FALSE(r.proved);
+    EXPECT_TRUE(r.saturated);
+}

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Cross-module integration tests: full pipelines from workload
+ * generation through algorithm optimization, compilation, cycle
+ * simulation, system composition, and energy reporting — the paths the
+ * benches exercise, verified end to end.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "arch/accelerator.h"
+#include "arch/symbolic.h"
+#include "compiler/compile.h"
+#include "core/pipeline.h"
+#include "energy/energy_model.h"
+#include "sys/system.h"
+#include "util/rng.h"
+#include "workloads/timing.h"
+#include "workloads/workloads.h"
+
+using namespace reason;
+
+TEST(EndToEnd, PcWorkloadThroughFullStack)
+{
+    // Generate -> optimize -> compile -> simulate -> verify numerics.
+    workloads::TaskBundle b = workloads::generate(
+        workloads::DatasetId::AwA2, workloads::TaskScale::Small, 21);
+    ASSERT_TRUE(b.hasPc());
+
+    pc::Circuit pruned(1, 2);
+    std::vector<pc::NodeId> leaf_order;
+    core::OptimizedKernel k = core::optimizeCircuit(
+        b.pcs.classCircuits[0], b.pcs.calibration, {}, &pruned,
+        &leaf_order);
+
+    arch::ArchConfig cfg;
+    compiler::Program prog =
+        compiler::compile(k.dag, cfg.compilerTarget());
+    arch::Accelerator accel(cfg);
+
+    for (int q = 0; q < 5; ++q) {
+        auto inputs = core::circuitLeafInputs(pruned, leaf_order,
+                                              b.pcs.queries[q]);
+        arch::ExecutionResult r = accel.run(prog, inputs);
+        double want = std::exp(pruned.logLikelihood(b.pcs.queries[q]));
+        EXPECT_NEAR(r.rootValue, want, 1e-9 * want + 1e-12);
+    }
+}
+
+TEST(EndToEnd, SatWorkloadOnAcceleratorAgreesWithTruth)
+{
+    workloads::TaskBundle b = workloads::generate(
+        workloads::DatasetId::FOLIO, workloads::TaskScale::Small, 22);
+    ASSERT_TRUE(b.hasSat());
+    arch::ArchConfig cfg;
+    size_t checked = 0;
+    for (size_t i = 0; i < b.sat.instances.size() && checked < 4; ++i) {
+        logic::SolveResult sw = logic::solveCnf(b.sat.instances[i]);
+        arch::SymbolicTiming hw =
+            arch::solveOnAccelerator(b.sat.instances[i], cfg, 3);
+        EXPECT_EQ(hw.result, sw);
+        ++checked;
+    }
+}
+
+TEST(EndToEnd, EnergyReportFromSimulatedExecution)
+{
+    Rng rng(23);
+    pc::Circuit c = pc::randomCircuit(rng, 10, 2, 3, 6);
+    core::Dag dag = core::buildFromCircuit(c);
+    arch::ArchConfig cfg;
+    compiler::Program prog =
+        compiler::compile(dag, cfg.compilerTarget());
+    arch::Accelerator accel(cfg);
+    auto data = pc::sampleDataset(rng, c, 1);
+    std::vector<pc::NodeId> leaf_order;
+    core::buildFromCircuit(c, &leaf_order);
+    auto inputs = core::circuitLeafInputs(c, leaf_order, data[0]);
+    arch::ExecutionResult r = accel.run(prog, inputs);
+
+    energy::EnergyModel em;
+    energy::EnergyReport rep =
+        em.report(r.events, r.seconds(cfg));
+    EXPECT_GT(rep.totalJoules, 0.0);
+    EXPECT_GT(rep.averageWatts, 0.0);
+    EXPECT_LT(rep.averageWatts, 20.0);
+}
+
+TEST(EndToEnd, Fig11StyleOrderingOnRealBundle)
+{
+    workloads::TaskBundle b = workloads::generate(
+        workloads::DatasetId::XSTest, workloads::TaskScale::Small, 24);
+    workloads::SymbolicOps ops = workloads::measureSymbolicOps(b);
+    double reason =
+        sys::symbolicCost(sys::Platform::ReasonAccel, ops).seconds;
+    double rtx =
+        sys::symbolicCost(sys::Platform::RtxA6000, ops).seconds;
+    double orin =
+        sys::symbolicCost(sys::Platform::OrinNx, ops).seconds;
+    double xeon =
+        sys::symbolicCost(sys::Platform::XeonCpu, ops).seconds;
+    EXPECT_LT(reason, rtx);
+    EXPECT_LT(rtx, orin);
+    EXPECT_LT(orin, xeon);
+}
+
+TEST(EndToEnd, CodesignAblationOrdering)
+{
+    // Table V shape: algo-only < baseline; algo+hardware << algo-only.
+    workloads::TaskBundle b = workloads::generate(
+        workloads::DatasetId::TwinSafety, workloads::TaskScale::Small,
+        25);
+    workloads::SymbolicOps base = workloads::measureSymbolicOps(b);
+    workloads::SymbolicOps opt = workloads::measureSymbolicOps(b, true);
+
+    double orin_base =
+        sys::symbolicCost(sys::Platform::OrinNx, base).seconds;
+    double orin_opt =
+        sys::symbolicCost(sys::Platform::OrinNx, opt).seconds;
+    double reason_opt =
+        sys::symbolicCost(sys::Platform::ReasonAccel, opt).seconds;
+    EXPECT_LE(orin_opt, orin_base);
+    EXPECT_LT(reason_opt, orin_opt * 0.2);
+}
+
+TEST(EndToEnd, RealTimeTargetWithinReach)
+{
+    // Paper: ~0.8 s per task on the full system.  A small bundle must
+    // compose to well under a second on the REASON platform.
+    workloads::TaskBundle b = workloads::generate(
+        workloads::DatasetId::CoAuthor, workloads::TaskScale::Small,
+        26);
+    workloads::SymbolicOps ops = workloads::measureSymbolicOps(b, true);
+    sys::StageCost sym =
+        sys::symbolicCost(sys::Platform::ReasonAccel, ops);
+    double flops = sys::neuralFlops(b, ops);
+    sys::StageCost neu =
+        sys::neuralCost(sys::Platform::ReasonAccel, flops);
+    sys::EndToEnd e = sys::pipelinedComposition(neu, sym, 8);
+    EXPECT_LT(e.totalSeconds, 1.0);
+}

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests for knowledge compilation: CNF -> d-DNNF structure, exact model
+ * counting against brute force, weighted model counting against
+ * enumeration, conditional marginals, and the d-DNNF -> probabilistic
+ * circuit conversion (R2-Guard path), all on random instance sweeps.
+ */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "logic/cnf.h"
+#include "logic/knowledge.h"
+#include "pc/from_logic.h"
+#include "util/numeric.h"
+#include "util/rng.h"
+
+using namespace reason;
+using namespace reason::logic;
+
+namespace {
+
+/** Brute-force WMC by enumerating all assignments. */
+double
+bruteForceWmc(const CnfFormula &f, const LitWeights &w)
+{
+    uint32_t n = f.numVars();
+    double total = 0.0;
+    for (uint64_t bits = 0; bits < (uint64_t(1) << n); ++bits) {
+        std::vector<bool> x(n);
+        double weight = 1.0;
+        for (uint32_t v = 0; v < n; ++v) {
+            x[v] = (bits >> v) & 1;
+            weight *= x[v] ? w.pos[v] : w.neg[v];
+        }
+        if (f.evaluate(x))
+            total += weight;
+    }
+    return total;
+}
+
+} // namespace
+
+TEST(Dnnf, TrivialFormulas)
+{
+    // No clauses: every assignment is a model.
+    CnfFormula empty(3);
+    DnnfGraph g = compileToDnnf(empty);
+    g.validate();
+    EXPECT_DOUBLE_EQ(g.modelCount(), 8.0);
+
+    // Single unit clause: half the assignments.
+    CnfFormula unit(3);
+    unit.addClause({1});
+    EXPECT_DOUBLE_EQ(compileToDnnf(unit).modelCount(), 4.0);
+
+    // Contradiction.
+    CnfFormula contra(2);
+    contra.addClause({1});
+    contra.addClause({-1});
+    EXPECT_DOUBLE_EQ(compileToDnnf(contra).modelCount(), 0.0);
+}
+
+TEST(Dnnf, XorChainCount)
+{
+    // (x0 xor x1) as CNF: (x0 | x1) & (~x0 | ~x1) -> 2 models.
+    CnfFormula f(2);
+    f.addClause({1, 2});
+    f.addClause({-1, -2});
+    DnnfGraph g = compileToDnnf(f);
+    g.validate();
+    EXPECT_DOUBLE_EQ(g.modelCount(), 2.0);
+}
+
+TEST(Dnnf, ComponentDecompositionFires)
+{
+    // Two independent constraints over disjoint variables.
+    CnfFormula f(4);
+    f.addClause({1, 2});
+    f.addClause({3, 4});
+    DnnfGraph g = compileToDnnf(f);
+    g.validate();
+    EXPECT_DOUBLE_EQ(g.modelCount(), 9.0); // 3 * 3
+    EXPECT_GE(g.stats().componentSplits, 1u);
+}
+
+TEST(Dnnf, CacheHitsOnRepeatedStructure)
+{
+    // A chain formula where subproblems recur under both branch phases.
+    CnfFormula f(8);
+    for (int i = 1; i <= 6; ++i)
+        f.addClause({i, i + 1, i + 2});
+    DnnfGraph g = compileToDnnf(f);
+    EXPECT_GT(g.stats().cacheHits, 0u);
+    EXPECT_DOUBLE_EQ(g.modelCount(),
+                     double(f.bruteForceCountModels()));
+}
+
+TEST(Dnnf, IsModelAgreesWithEvaluate)
+{
+    Rng rng(11);
+    CnfFormula f = randomKSat(rng, 10, 28, 3);
+    DnnfGraph g = compileToDnnf(f);
+    g.validate();
+    for (uint64_t bits = 0; bits < (1u << 10); ++bits) {
+        std::vector<bool> x(10);
+        for (uint32_t v = 0; v < 10; ++v)
+            x[v] = (bits >> v) & 1;
+        EXPECT_EQ(g.isModel(x), f.evaluate(x));
+    }
+}
+
+struct DnnfSweepParam
+{
+    uint32_t vars;
+    uint32_t clauses;
+    uint32_t k;
+    uint64_t seed;
+};
+
+class DnnfSweep : public ::testing::TestWithParam<DnnfSweepParam>
+{
+};
+
+TEST_P(DnnfSweep, ModelCountMatchesBruteForce)
+{
+    auto p = GetParam();
+    Rng rng(p.seed);
+    CnfFormula f = randomKSat(rng, p.vars, p.clauses, p.k);
+    DnnfGraph g = compileToDnnf(f);
+    g.validate();
+    EXPECT_DOUBLE_EQ(g.modelCount(), double(f.bruteForceCountModels()));
+}
+
+TEST_P(DnnfSweep, WmcMatchesEnumeration)
+{
+    auto p = GetParam();
+    Rng rng(p.seed + 1000);
+    CnfFormula f = randomKSat(rng, p.vars, p.clauses, p.k);
+    LitWeights w = LitWeights::random(rng, p.vars);
+    DnnfGraph g = compileToDnnf(f);
+    double expected = bruteForceWmc(f, w);
+    EXPECT_NEAR(g.wmc(w), expected, 1e-9 * std::max(1.0, expected));
+}
+
+TEST_P(DnnfSweep, IndicatorWeightsDetectModels)
+{
+    auto p = GetParam();
+    Rng rng(p.seed + 2000);
+    CnfFormula f = randomKSat(rng, p.vars, p.clauses, p.k);
+    DnnfGraph g = compileToDnnf(f);
+    for (int trial = 0; trial < 8; ++trial) {
+        std::vector<bool> x(p.vars);
+        for (uint32_t v = 0; v < p.vars; ++v)
+            x[v] = rng.bernoulli(0.5);
+        double wmc = g.wmc(LitWeights::indicator(x));
+        EXPECT_DOUBLE_EQ(wmc, f.evaluate(x) ? 1.0 : 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DnnfSweep,
+    ::testing::Values(DnnfSweepParam{6, 10, 2, 1},
+                      DnnfSweepParam{8, 20, 3, 2},
+                      DnnfSweepParam{10, 30, 3, 3},
+                      DnnfSweepParam{12, 40, 3, 4},
+                      DnnfSweepParam{12, 55, 3, 5}, // near-critical ratio
+                      DnnfSweepParam{14, 40, 4, 6},
+                      DnnfSweepParam{16, 56, 3, 7},
+                      DnnfSweepParam{10, 60, 3, 8}, // oversatisfied: UNSAT
+                      DnnfSweepParam{18, 50, 5, 9},
+                      DnnfSweepParam{20, 60, 3, 10}));
+
+TEST(Dnnf, ConditionalMarginalMatchesEnumeration)
+{
+    Rng rng(31);
+    CnfFormula f = plantedKSat(rng, 10, 25, 3);
+    LitWeights w = LitWeights::random(rng, 10);
+    double z = bruteForceWmc(f, w);
+    ASSERT_GT(z, 0.0);
+    for (uint32_t var = 0; var < 10; ++var) {
+        // Enumerate P(var = true | f).
+        CnfFormula g = f;
+        g.addClause({int64_t(var) + 1});
+        double expected = bruteForceWmc(g, w) / z;
+        EXPECT_NEAR(conditionalMarginal(f, w, var), expected, 1e-9);
+    }
+}
+
+TEST(Dnnf, ConditionalMarginalOfUnsatIsMinusOne)
+{
+    CnfFormula f(2);
+    f.addClause({1});
+    f.addClause({-1});
+    EXPECT_EQ(conditionalMarginal(f, LitWeights::uniform(2), 0), -1.0);
+}
+
+TEST(Dnnf, PigeonholeIsUnsat)
+{
+    DnnfGraph g = compileToDnnf(pigeonhole(3));
+    EXPECT_DOUBLE_EQ(g.modelCount(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// d-DNNF -> probabilistic circuit (pc/from_logic)
+// ---------------------------------------------------------------------------
+
+TEST(CnfToCircuit, CircuitIsSmoothAndDecomposable)
+{
+    Rng rng(41);
+    CnfFormula f = plantedKSat(rng, 9, 22, 3);
+    pc::Circuit c = pc::compileCnf(f);
+    EXPECT_TRUE(c.isSmoothAndDecomposable());
+}
+
+TEST(CnfToCircuit, LikelihoodIsNormalizedConditionedWeight)
+{
+    Rng rng(42);
+    for (int trial = 0; trial < 6; ++trial) {
+        CnfFormula f = plantedKSat(rng, 8, 18, 3);
+        LitWeights w = LitWeights::random(rng, 8);
+        double z = bruteForceWmc(f, w);
+        ASSERT_GT(z, 0.0);
+        pc::Circuit c = pc::compileCnf(f, w);
+        for (uint64_t bits = 0; bits < (1u << 8); ++bits) {
+            std::vector<bool> x(8);
+            pc::Assignment a(8);
+            double weight = 1.0;
+            for (uint32_t v = 0; v < 8; ++v) {
+                x[v] = (bits >> v) & 1;
+                a[v] = x[v] ? 1 : 0;
+                weight *= x[v] ? w.pos[v] : w.neg[v];
+            }
+            double expected = f.evaluate(x) ? weight / z : 0.0;
+            double got = std::exp(c.logLikelihood(a));
+            if (expected == 0.0)
+                EXPECT_LT(got, 1e-12);
+            else
+                EXPECT_NEAR(got, expected, 1e-9 * expected);
+        }
+    }
+}
+
+TEST(CnfToCircuit, MarginalsAgreeWithWmcRatios)
+{
+    Rng rng(43);
+    CnfFormula f = plantedKSat(rng, 10, 24, 3);
+    LitWeights w = LitWeights::random(rng, 10);
+    pc::Circuit c = pc::compileCnf(f, w);
+    DnnfGraph g = compileToDnnf(f);
+    double z = g.wmc(w);
+    for (uint32_t var = 0; var < 10; ++var) {
+        pc::Assignment a(10, pc::kMissing);
+        a[var] = 1;
+        double circuit_marginal = std::exp(c.logLikelihood(a));
+        LitWeights cond = w;
+        cond.neg[var] = 0.0;
+        EXPECT_NEAR(circuit_marginal, g.wmc(cond) / z, 1e-9);
+    }
+}
+
+TEST(CnfToCircuit, TautologyYieldsProductOfMarginals)
+{
+    CnfFormula f(4); // no constraints
+    LitWeights w = LitWeights::uniform(4);
+    pc::Circuit c = pc::compileCnf(f, w);
+    pc::Assignment a(4, 1);
+    EXPECT_NEAR(std::exp(c.logLikelihood(a)), 1.0 / 16.0, 1e-12);
+}
+
+TEST(CnfToCircuit, FreeVariablesGetUniformTreatment)
+{
+    // Variable 2 is mentioned nowhere; the circuit must still cover it.
+    CnfFormula f(3);
+    f.addClause({1, 2});
+    pc::Circuit c = pc::compileCnf(f);
+    EXPECT_TRUE(c.isSmoothAndDecomposable());
+    pc::Assignment a(3, pc::kMissing);
+    a[2] = 1;
+    EXPECT_NEAR(std::exp(c.logLikelihood(a)), 0.5, 1e-12);
+}

@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Symbolic-engine tests (Sec. V-D/V-E): the cycle-stepped BCP pipeline
+ * must reproduce software unit propagation exactly (implication fixpoint
+ * and conflict detection), and the full accelerator solve must agree
+ * with the reference CDCL solver on satisfiability.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "arch/symbolic.h"
+#include "logic/cnf.h"
+#include "logic/solver.h"
+#include "util/rng.h"
+
+using namespace reason;
+using namespace reason::arch;
+using namespace reason::logic;
+
+namespace {
+
+/** Reference software unit propagation to fixpoint. */
+struct RefProp
+{
+    std::vector<LBool> assigns;
+    bool conflict = false;
+
+    explicit RefProp(const CnfFormula &f)
+        : assigns(f.numVars(), LBool::Undef)
+    {
+    }
+
+    LBool
+    value(Lit l) const
+    {
+        LBool v = assigns[l.var()];
+        if (v == LBool::Undef)
+            return v;
+        return l.negated() ? negate(v) : v;
+    }
+
+    void
+    decide(const CnfFormula &f, Lit d)
+    {
+        if (value(d) == LBool::False) {
+            conflict = true;
+            return;
+        }
+        assigns[d.var()] = d.negated() ? LBool::False : LBool::True;
+        bool changed = true;
+        while (changed && !conflict) {
+            changed = false;
+            for (const auto &clause : f.clauses()) {
+                bool sat = false;
+                uint32_t free_count = 0;
+                Lit unit;
+                for (const Lit &l : clause) {
+                    LBool v = value(l);
+                    if (v == LBool::True) {
+                        sat = true;
+                        break;
+                    }
+                    if (v == LBool::Undef) {
+                        ++free_count;
+                        unit = l;
+                    }
+                }
+                if (sat)
+                    continue;
+                if (free_count == 0) {
+                    conflict = true;
+                    break;
+                }
+                if (free_count == 1) {
+                    assigns[unit.var()] =
+                        unit.negated() ? LBool::False : LBool::True;
+                    changed = true;
+                }
+            }
+        }
+    }
+};
+
+} // namespace
+
+TEST(BcpPipeline, SimpleImplicationChain)
+{
+    CnfFormula f(3);
+    f.addClause({-1, 2});  // x0 -> x1
+    f.addClause({-2, 3});  // x1 -> x2
+    ArchConfig cfg;
+    BcpPipeline pipe(f, cfg);
+    BcpResult r = pipe.decide(Lit::make(0, false));
+    EXPECT_FALSE(r.conflict);
+    ASSERT_EQ(r.implications.size(), 2u);
+    EXPECT_EQ(pipe.value(1), LBool::True);
+    EXPECT_EQ(pipe.value(2), LBool::True);
+    EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(BcpPipeline, ConflictDetectionAndFlush)
+{
+    CnfFormula f(3);
+    f.addClause({-1, 2});
+    f.addClause({-1, 3});
+    f.addClause({-2, -3});
+    ArchConfig cfg;
+    BcpPipeline pipe(f, cfg);
+    BcpResult r = pipe.decide(Lit::make(0, false), true);
+    EXPECT_TRUE(r.conflict);
+    EXPECT_GE(pipe.events().get("conflicts"), 1u);
+    // The trace must contain a conflict event.
+    bool saw_conflict = false;
+    for (const auto &ev : r.trace)
+        saw_conflict |= ev.unit == "conflict";
+    EXPECT_TRUE(saw_conflict);
+}
+
+TEST(BcpPipeline, ResetClearsAssignments)
+{
+    CnfFormula f(2);
+    f.addClause({-1, 2});
+    ArchConfig cfg;
+    BcpPipeline pipe(f, cfg);
+    pipe.decide(Lit::make(0, false));
+    EXPECT_EQ(pipe.value(1), LBool::True);
+    pipe.reset();
+    EXPECT_EQ(pipe.value(0), LBool::Undef);
+    EXPECT_EQ(pipe.value(1), LBool::Undef);
+}
+
+TEST(BcpPipeline, TraceRecordsBroadcastAndReduce)
+{
+    CnfFormula f(2);
+    f.addClause({-1, 2});
+    ArchConfig cfg;
+    BcpPipeline pipe(f, cfg);
+    BcpResult r = pipe.decide(Lit::make(0, false), true);
+    bool saw_broadcast = false, saw_reduce = false;
+    for (const auto &ev : r.trace) {
+        saw_broadcast |= ev.unit == "broadcast";
+        saw_reduce |= ev.unit == "reduce";
+    }
+    EXPECT_TRUE(saw_broadcast);
+    EXPECT_TRUE(saw_reduce);
+}
+
+TEST(BcpPipeline, TinySramTriggersDma)
+{
+    Rng rng(71);
+    CnfFormula f = randomKSat(rng, 60, 260, 3);
+    ArchConfig cfg;
+    cfg.sramBytes = 256; // only a few clauses fit
+    BcpPipeline pipe(f, cfg);
+    for (uint32_t v = 0; v < 12; ++v) {
+        if (pipe.value(v) != LBool::Undef)
+            continue;
+        BcpResult r = pipe.decide(Lit::make(v, rng.bernoulli(0.5)));
+        if (r.conflict)
+            break;
+    }
+    EXPECT_GT(pipe.events().get("dma_fetches"), 0u);
+    EXPECT_GT(pipe.sram().misses(), 0u);
+}
+
+/**
+ * Functional parity sweep: pipeline BCP fixpoint == software unit
+ * propagation fixpoint (assignments when conflict-free; conflict flag
+ * always).
+ */
+class BcpParity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BcpParity, MatchesSoftwarePropagation)
+{
+    Rng rng(GetParam() * 104659 + 11);
+    uint32_t vars = 12 + GetParam() % 10;
+    CnfFormula f = randomKSat(rng, vars,
+                              static_cast<uint32_t>(3.6 * vars), 3);
+    ArchConfig cfg;
+    BcpPipeline pipe(f, cfg);
+    RefProp ref(f);
+
+    for (int step = 0; step < 6; ++step) {
+        // Pick an unassigned variable (same choice for both engines).
+        uint32_t var = ~0u;
+        for (uint32_t v = 0; v < vars; ++v) {
+            if (pipe.value(v) == LBool::Undef &&
+                ref.assigns[v] == LBool::Undef) {
+                var = v;
+                break;
+            }
+        }
+        if (var == ~0u)
+            break;
+        Lit d = Lit::make(var, rng.bernoulli(0.5));
+        BcpResult hw = pipe.decide(d);
+        ref.decide(f, d);
+        ASSERT_EQ(hw.conflict, ref.conflict)
+            << "conflict parity at step " << step;
+        if (hw.conflict)
+            break;
+        for (uint32_t v = 0; v < vars; ++v)
+            EXPECT_EQ(pipe.value(v), ref.assigns[v])
+                << "variable " << v << " at step " << step;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BcpParity, ::testing::Range(0, 30));
+
+/** Accelerator solve agrees with the reference CDCL solver. */
+class AccelSolve : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(AccelSolve, ResultMatchesSoftwareCdcl)
+{
+    Rng rng(GetParam() * 28657 + 3);
+    uint32_t vars = 16 + GetParam() % 10;
+    CnfFormula f = randomKSat(rng, vars,
+                              static_cast<uint32_t>(4.25 * vars), 3);
+    SolveResult expect = solveCnf(f);
+    ArchConfig cfg;
+    SymbolicTiming t = solveOnAccelerator(f, cfg, 3);
+    EXPECT_EQ(t.result, expect);
+    EXPECT_GT(t.cycles, 0u);
+    EXPECT_GT(t.seconds, 0.0);
+    EXPECT_LE(t.peUtilization, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, AccelSolve, ::testing::Range(0, 20));
+
+TEST(AccelSolve, PigeonholeUnsatWithParallelCubes)
+{
+    ArchConfig cfg;
+    SymbolicTiming t = solveOnAccelerator(pigeonhole(5), cfg, 4);
+    EXPECT_EQ(t.result, SolveResult::Unsat);
+    // Conquer work spreads over multiple PEs.
+    size_t busy_pes = 0;
+    for (uint64_t c : t.peBusyCycles)
+        busy_pes += c > 0 ? 1 : 0;
+    EXPECT_GT(busy_pes, 1u);
+}
+
+TEST(EstimateCycles, MonotoneInWork)
+{
+    ArchConfig cfg;
+    SolverStats small, big;
+    small.decisions = 10;
+    small.propagations = 100;
+    small.literalVisits = 500;
+    big = small;
+    big.propagations = 10000;
+    big.conflicts = 50;
+    big.learnedLiterals = 500;
+    EXPECT_LT(estimateCdclCycles(small, 1 << 12, cfg),
+              estimateCdclCycles(big, 1 << 12, cfg));
+    // Larger clause DB -> more SRAM misses -> more cycles.
+    EXPECT_LE(estimateCdclCycles(big, 1 << 10, cfg),
+              estimateCdclCycles(big, 64 << 20, cfg));
+}
+
+TEST(EstimateCycles, FasterClockMeansFewerSeconds)
+{
+    ArchConfig slow, fast;
+    fast.clockGhz = 1.0;
+    SolverStats st;
+    st.propagations = 10000;
+    uint64_t cycles = estimateCdclCycles(st, 4096, slow);
+    EXPECT_GT(double(cycles) * slow.cycleSeconds(),
+              double(cycles) * fast.cycleSeconds());
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for pipeline-trace rendering and export: timeline layout,
+ * clipping, marker collisions, Chrome trace-event JSON structure and
+ * escaping, and trace merging, driven by real BcpPipeline traces.
+ */
+
+#include <algorithm>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "arch/symbolic.h"
+#include "arch/trace_export.h"
+#include "logic/cnf.h"
+#include "util/rng.h"
+
+using namespace reason;
+using namespace reason::arch;
+
+namespace {
+
+/** A real trace from a small implication chain with a conflict. */
+std::vector<TraceEvent>
+sampleTrace()
+{
+    logic::CnfFormula f(8);
+    f.addClause({-1, 2});
+    f.addClause({-2, 3});
+    f.addClause({-3, 4});
+    f.addClause({-4, -2});
+    ArchConfig cfg;
+    BcpPipeline pipe(f, cfg);
+    BcpResult r = pipe.decide(logic::Lit::make(0, false), true);
+    EXPECT_TRUE(r.conflict);
+    EXPECT_FALSE(r.trace.empty());
+    return r.trace;
+}
+
+} // namespace
+
+TEST(TraceExport, TimelineContainsAllUnitsAndEvents)
+{
+    auto trace = sampleTrace();
+    std::string tl = renderTimeline(trace);
+
+    for (const auto &e : trace) {
+        EXPECT_NE(tl.find(e.unit), std::string::npos) << e.unit;
+        EXPECT_NE(tl.find(e.detail), std::string::npos) << e.detail;
+    }
+    // One row per distinct unit, bounded by pipes.
+    EXPECT_NE(tl.find("|"), std::string::npos);
+    EXPECT_NE(tl.find("events:"), std::string::npos);
+}
+
+TEST(TraceExport, TimelineRowsShareWidth)
+{
+    auto trace = sampleTrace();
+    std::string tl = renderTimeline(trace);
+    // All |...| segments have equal width.
+    size_t width = 0;
+    std::istringstream is(tl);
+    std::string line;
+    while (std::getline(is, line)) {
+        size_t a = line.find('|');
+        if (a == std::string::npos)
+            continue;
+        size_t b = line.rfind('|');
+        if (width == 0)
+            width = b - a;
+        else
+            EXPECT_EQ(b - a, width) << line;
+    }
+    EXPECT_GT(width, 0u);
+}
+
+TEST(TraceExport, EmptyTrace)
+{
+    EXPECT_EQ(renderTimeline({}), "(empty trace)\n");
+    EXPECT_EQ(toChromeTrace({}), "[\n]\n");
+}
+
+TEST(TraceExport, TimelineClipsLongTraces)
+{
+    std::vector<TraceEvent> trace;
+    for (uint64_t t = 0; t < 200; t += 10)
+        trace.push_back({t, "control", "tick"});
+    std::string tl = renderTimeline(trace, 32);
+    EXPECT_NE(tl.find("clipped"), std::string::npos);
+}
+
+TEST(TraceExport, CollidingEventsMarkStar)
+{
+    std::vector<TraceEvent> trace{{5, "fifo", "push x1"},
+                                  {5, "fifo", "push x2"}};
+    std::string tl = renderTimeline(trace);
+    EXPECT_NE(tl.find('*'), std::string::npos);
+}
+
+TEST(TraceExport, ChromeTraceIsWellFormed)
+{
+    auto trace = sampleTrace();
+    std::string json = toChromeTrace(trace);
+
+    // Structure: array of objects, one instant event per TraceEvent
+    // plus one thread_name record per distinct unit.
+    size_t events = 0, pos = 0;
+    while ((pos = json.find("\"ph\": \"i\"", pos)) != std::string::npos) {
+        ++events;
+        pos += 1;
+    }
+    EXPECT_EQ(events, trace.size());
+
+    size_t opens = std::count(json.begin(), json.end(), '{');
+    size_t closes = std::count(json.begin(), json.end(), '}');
+    EXPECT_EQ(opens, closes);
+    EXPECT_EQ(json.front(), '[');
+    EXPECT_EQ(json[json.size() - 2], ']');
+    EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(TraceExport, ChromeTraceEscapesSpecials)
+{
+    std::vector<TraceEvent> trace{
+        {1, "control", "detail with \"quotes\" and \\slash\\"}};
+    std::string json = toChromeTrace(trace);
+    EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos);
+    EXPECT_NE(json.find("\\\\slash\\\\"), std::string::npos);
+}
+
+TEST(TraceExport, MergePreservesCycleOrder)
+{
+    std::vector<TraceEvent> a{{3, "fifo", "A"}, {9, "fifo", "B"}};
+    std::vector<TraceEvent> b{{1, "wl", "C"}, {5, "dma", "D"}};
+    auto merged = mergeTraces({a, b});
+    ASSERT_EQ(merged.size(), 4u);
+    for (size_t i = 1; i < merged.size(); ++i)
+        EXPECT_LE(merged[i - 1].cycle, merged[i].cycle);
+    EXPECT_EQ(merged[0].detail, "C");
+    EXPECT_EQ(merged[3].detail, "B");
+}
+
+TEST(TraceExport, MergedEpisodesRenderAcrossDecisions)
+{
+    logic::CnfFormula f(12);
+    f.addClause({-1, 2});
+    f.addClause({-3, 4});
+    ArchConfig cfg;
+    BcpPipeline pipe(f, cfg);
+    std::vector<std::vector<TraceEvent>> episodes;
+    episodes.push_back(
+        pipe.decide(logic::Lit::make(0, false), true).trace);
+    episodes.push_back(
+        pipe.decide(logic::Lit::make(2, false), true).trace);
+    auto merged = mergeTraces(episodes);
+    EXPECT_EQ(merged.size(), episodes[0].size() + episodes[1].size());
+    std::string tl = renderTimeline(merged, 128);
+    EXPECT_NE(tl.find("broadcast"), std::string::npos);
+}

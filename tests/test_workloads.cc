@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Workload generator tests: determinism, bundle composition per
+ * dataset, metric ranges, scale behavior, and the Table IV property
+ * that pruning preserves task metrics at reduced memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "logic/implication_graph.h"
+#include "pc/flows.h"
+#include "workloads/timing.h"
+#include "workloads/workloads.h"
+
+using namespace reason;
+using namespace reason::workloads;
+
+TEST(Generate, DeterministicForSeed)
+{
+    TaskBundle a = generate(DatasetId::IMO, TaskScale::Small, 99);
+    TaskBundle b = generate(DatasetId::IMO, TaskScale::Small, 99);
+    ASSERT_EQ(a.sat.instances.size(), b.sat.instances.size());
+    for (size_t i = 0; i < a.sat.instances.size(); ++i)
+        EXPECT_EQ(a.sat.instances[i].toDimacs(),
+                  b.sat.instances[i].toDimacs());
+}
+
+TEST(Generate, DatasetToWorkloadMapping)
+{
+    EXPECT_EQ(workloadOf(DatasetId::IMO), WorkloadId::AlphaGeo);
+    EXPECT_EQ(workloadOf(DatasetId::XSTest), WorkloadId::R2Guard);
+    EXPECT_EQ(workloadOf(DatasetId::News), WorkloadId::GeLaTo);
+    EXPECT_EQ(workloadOf(DatasetId::CoAuthor), WorkloadId::CtrlG);
+    EXPECT_EQ(workloadOf(DatasetId::AwA2), WorkloadId::NeuroPC);
+    EXPECT_EQ(workloadOf(DatasetId::ProofWriter), WorkloadId::Linc);
+}
+
+TEST(Generate, EveryDatasetHasItsKernelFamily)
+{
+    for (DatasetId d : allDatasets()) {
+        TaskBundle b = generate(d, TaskScale::Small, 3);
+        EXPECT_TRUE(b.hasSat() || b.hasPc() || b.hasHmm())
+            << datasetName(d);
+        EXPECT_FALSE(b.metricName.empty());
+        EXPECT_GT(b.neuralFractionA6000, 0.0);
+        EXPECT_LT(b.neuralFractionA6000, 1.0);
+    }
+    // Family checks per workload.
+    EXPECT_TRUE(generate(DatasetId::IMO, TaskScale::Small, 1).hasSat());
+    TaskBundle guard = generate(DatasetId::TwinSafety,
+                                TaskScale::Small, 1);
+    EXPECT_TRUE(guard.hasPc());
+    EXPECT_TRUE(guard.hasHmm());
+    EXPECT_TRUE(
+        generate(DatasetId::CommonGen, TaskScale::Small, 1).hasHmm());
+    EXPECT_TRUE(generate(DatasetId::AwA2, TaskScale::Small, 1).hasPc());
+}
+
+TEST(Generate, LargeScaleGrowsWork)
+{
+    TaskBundle s = generate(DatasetId::CommonGen, TaskScale::Small, 7);
+    TaskBundle l = generate(DatasetId::CommonGen, TaskScale::Large, 7);
+    EXPECT_GT(l.hmms.queries.size(), s.hmms.queries.size());
+    EXPECT_GT(l.hmms.queries[0].size(), s.hmms.queries[0].size());
+}
+
+TEST(Metrics, SatSuiteAccuracyInBand)
+{
+    TaskBundle b = generate(DatasetId::IMO, TaskScale::Small, 11);
+    double acc = satAccuracy(b.sat);
+    EXPECT_GT(acc, 0.5);
+    EXPECT_LE(acc, 1.0);
+}
+
+TEST(Metrics, PcClassificationBeatsChance)
+{
+    TaskBundle b = generate(DatasetId::AwA2, TaskScale::Small, 12);
+    double acc = pcClassificationAccuracy(
+        b.pcs.classCircuits, b.pcs.queries, b.pcs.labels);
+    // 4 classes: chance is 0.25.
+    EXPECT_GT(acc, 0.4);
+}
+
+TEST(Metrics, HmmDecodeAgreementBeatsChance)
+{
+    TaskBundle b = generate(DatasetId::CommonGen, TaskScale::Small, 13);
+    double agree = hmmDecodeAgreement(
+        b.hmms.model, b.hmms.queries, b.hmms.truePaths);
+    double chance = 1.0 / double(b.hmms.model.numStates());
+    EXPECT_GT(agree, 2.0 * chance);
+}
+
+TEST(Metrics, ConstraintSuccessNonTrivial)
+{
+    TaskBundle b = generate(DatasetId::CoAuthor, TaskScale::Small, 14);
+    double s = hmmConstraintSuccess(
+        b.hmms.model, b.hmms.queries, b.hmms.constraints);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 1.0);
+}
+
+TEST(Metrics, TaskMetricDispatches)
+{
+    for (DatasetId d : allDatasets()) {
+        TaskBundle b = generate(d, TaskScale::Small, 15);
+        double m = taskMetric(b);
+        EXPECT_GE(m, 0.0) << datasetName(d);
+        EXPECT_LE(m, 1.0) << datasetName(d);
+    }
+}
+
+TEST(MeasureOps, PopulatesTheRightFamilies)
+{
+    TaskBundle sat_b = generate(DatasetId::FOLIO, TaskScale::Small, 16);
+    SymbolicOps sat_ops = measureSymbolicOps(sat_b);
+    EXPECT_GT(sat_ops.sat.propagations, 0u);
+    EXPECT_EQ(sat_ops.totalDagNodes(), 0u);
+
+    TaskBundle hmm_b = generate(DatasetId::News, TaskScale::Small, 17);
+    SymbolicOps hmm_ops = measureSymbolicOps(hmm_b);
+    EXPECT_GT(hmm_ops.hmmDagNodes, 0u);
+    EXPECT_EQ(hmm_ops.sat.propagations, 0u);
+}
+
+TEST(MeasureOps, OptimizationShrinksWork)
+{
+    TaskBundle b = generate(DatasetId::TwinSafety, TaskScale::Small, 18);
+    SymbolicOps base = measureSymbolicOps(b, false);
+    SymbolicOps opt = measureSymbolicOps(b, true);
+    EXPECT_LE(opt.totalDagNodes(), base.totalDagNodes());
+}
+
+/** Table IV property: pruning keeps the task metric, shrinks memory. */
+TEST(TableIV, SatPruningPreservesAccuracyExactly)
+{
+    TaskBundle b = generate(DatasetId::MiniF2F, TaskScale::Small, 19);
+    double base_acc = satAccuracy(b.sat);
+    // Prune every instance (equivalence-preserving).
+    SatSuite pruned = b.sat;
+    for (auto &inst : pruned.instances)
+        inst = logic::pruneCnf(inst).pruned;
+    double pruned_acc = satAccuracy(pruned);
+    // Logical equivalence: answers cannot flip (budget effects can only
+    // help since instances shrink); allow one instance of slack.
+    EXPECT_NEAR(pruned_acc, base_acc,
+                1.0 / double(b.sat.instances.size()) + 1e-9);
+}
+
+TEST(TableIV, PcPruningKeepsClassificationClose)
+{
+    TaskBundle b = generate(DatasetId::AwA2, TaskScale::Small, 20);
+    double base_acc = pcClassificationAccuracy(
+        b.pcs.classCircuits, b.pcs.queries, b.pcs.labels);
+    std::vector<pc::Circuit> pruned;
+    for (const auto &c : b.pcs.classCircuits)
+        pruned.push_back(
+            pc::pruneByFlow(c, b.pcs.calibration, 1e-3).pruned);
+    double pruned_acc = pcClassificationAccuracy(
+        pruned, b.pcs.queries, b.pcs.labels);
+    EXPECT_NEAR(pruned_acc, base_acc, 0.06);
+}

@@ -1,0 +1,314 @@
+/**
+ * @file
+ * reason_cli — command-line front end to the REASON library.
+ *
+ * Subcommands:
+ *
+ *   solve <file.cnf> [--budget N] [--no-preprocess]
+ *       Solve a DIMACS CNF with the CDCL solver (after the
+ *       preprocessing pipeline), print the verdict, search statistics,
+ *       and the REASON accelerator's estimated latency and energy for
+ *       the same search.
+ *
+ *   count <file.cnf> [--nnf out.nnf]
+ *       Exact model count via d-DNNF knowledge compilation; --nnf
+ *       exports the compiled graph in the standard c2d format.
+ *
+ *   marginals <file.cnf> [--pc out.rpc]
+ *       Compile the formula to a probabilistic circuit (uniform literal
+ *       weights) and print per-variable conditional marginals
+ *       P(x_v = 1 | formula) — the R2-Guard query pattern; --pc saves
+ *       the circuit in rpc text form.
+ *
+ *   compile <file.cnf> [--disasm]
+ *       Lower the formula through the unified-DAG pipeline to a VLIW
+ *       program, report compile statistics and encoded size in both
+ *       address modes, simulate one evaluation, and optionally print
+ *       the disassembly.
+ */
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "arch/symbolic.h"
+#include "compiler/compile.h"
+#include "compiler/encoding.h"
+#include "core/builders.h"
+#include "energy/energy_model.h"
+#include "logic/cnf.h"
+#include "logic/knowledge.h"
+#include "logic/nnf_io.h"
+#include "logic/preprocess.h"
+#include "logic/solver.h"
+#include "pc/from_logic.h"
+#include "pc/io.h"
+#include "pc/queries.h"
+#include "util/logging.h"
+
+using namespace reason;
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: reason_cli <command> [args]\n"
+        "  solve <file.cnf> [--budget N] [--no-preprocess]\n"
+        "  count <file.cnf> [--nnf out.nnf]\n"
+        "  marginals <file.cnf> [--pc out.rpc]\n"
+        "  compile <file.cnf> [--disasm]\n");
+    return 2;
+}
+
+logic::CnfFormula
+loadDimacs(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return logic::CnfFormula::parseDimacs(text.str());
+}
+
+int
+cmdSolve(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    uint64_t budget = 0;
+    bool preprocess = true;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--no-preprocess")
+            preprocess = false;
+        else if (args[i] == "--budget" && i + 1 < args.size())
+            budget = std::stoull(args[++i]);
+        else
+            return usage();
+    }
+
+    logic::CnfFormula f = loadDimacs(args[0]);
+    std::printf("instance: %u vars, %zu clauses, %zu literals\n",
+                f.numVars(), f.numClauses(), f.numLiterals());
+
+    logic::Preprocessor pre(f);
+    logic::CnfFormula simplified = f;
+    if (preprocess) {
+        pre.run();
+        simplified = pre.simplified();
+        const auto &ps = pre.stats();
+        std::printf("preprocess: %zu -> %zu clauses (units %llu, pures "
+                    "%llu, subsumed %llu, strengthened %llu, failed "
+                    "lits %llu, BVE vars %llu)\n",
+                    ps.clausesBefore, ps.clausesAfter,
+                    (unsigned long long)ps.unitsFixed,
+                    (unsigned long long)ps.pureLiteralsFixed,
+                    (unsigned long long)ps.subsumedClauses,
+                    (unsigned long long)ps.strengthenedClauses,
+                    (unsigned long long)ps.failedLiterals,
+                    (unsigned long long)ps.eliminatedVars);
+        if (pre.knownUnsat()) {
+            std::printf("result: UNSAT (by preprocessing)\n");
+            return 20;
+        }
+    }
+
+    logic::SolverConfig cfg;
+    cfg.conflictBudget = budget;
+    logic::CdclSolver solver(simplified, cfg);
+    logic::SolveResult res = solver.solve();
+    const auto &st = solver.stats();
+    std::printf("result: %s\n",
+                res == logic::SolveResult::Sat     ? "SAT"
+                : res == logic::SolveResult::Unsat ? "UNSAT"
+                                                   : "UNKNOWN (budget)");
+    std::printf("search: %llu decisions, %llu propagations, %llu "
+                "conflicts, %llu learned clauses, %llu restarts\n",
+                (unsigned long long)st.decisions,
+                (unsigned long long)st.propagations,
+                (unsigned long long)st.conflicts,
+                (unsigned long long)st.learnedClauses,
+                (unsigned long long)st.restarts);
+
+    if (res == logic::SolveResult::Sat) {
+        std::vector<bool> model = solver.model();
+        if (preprocess)
+            model = pre.reconstructModel(model);
+        if (!f.evaluate(model))
+            panic("model fails to satisfy the original formula");
+        std::printf("model verified against the original formula\n");
+    }
+
+    // What would this search cost on the accelerator?
+    arch::ArchConfig acfg;
+    size_t db_bytes = simplified.numLiterals() * 8;
+    uint64_t cycles = arch::estimateCdclCycles(st, db_bytes, acfg);
+    double seconds = double(cycles) * acfg.cycleSeconds();
+    StatGroup ev;
+    ev.inc("agg_decisions", st.decisions);
+    ev.inc("agg_propagations", st.propagations);
+    ev.inc("agg_literal_visits", st.literalVisits);
+    ev.inc("cycles", cycles);
+    energy::EnergyModel em;
+    double joules =
+        em.dynamicEnergyJoules(ev) + em.staticWatts() * seconds;
+    std::printf("REASON estimate: %llu cycles (%.3f ms @ %.1f GHz), "
+                "%.3f mJ\n",
+                (unsigned long long)cycles, seconds * 1e3, acfg.clockGhz,
+                joules * 1e3);
+    return res == logic::SolveResult::Sat ? 10
+           : res == logic::SolveResult::Unsat ? 20
+                                              : 0;
+}
+
+int
+cmdCount(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    std::string nnf_path;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--nnf" && i + 1 < args.size())
+            nnf_path = args[++i];
+        else
+            return usage();
+    }
+    logic::CnfFormula f = loadDimacs(args[0]);
+    logic::DnnfGraph g = logic::compileToDnnf(f);
+    const auto &st = g.stats();
+    std::printf("d-DNNF: %zu nodes, %zu edges (%llu decisions, %llu "
+                "cache hits, %llu component splits)\n",
+                g.numNodes(), g.numEdges(),
+                (unsigned long long)st.decisions,
+                (unsigned long long)st.cacheHits,
+                (unsigned long long)st.componentSplits);
+    std::printf("models: %.0f of 2^%u assignments\n", g.modelCount(),
+                f.numVars());
+    if (!nnf_path.empty()) {
+        std::ofstream out(nnf_path);
+        if (!out)
+            fatal("cannot write '%s'", nnf_path.c_str());
+        out << logic::toC2dFormat(g);
+        std::printf("wrote c2d NNF to %s\n", nnf_path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdMarginals(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    std::string pc_path;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--pc" && i + 1 < args.size())
+            pc_path = args[++i];
+        else
+            return usage();
+    }
+    logic::CnfFormula f = loadDimacs(args[0]);
+    logic::DnnfGraph g = logic::compileToDnnf(f);
+    if (g.modelCount() <= 0.0) {
+        std::printf("formula is unsatisfiable; no conditional "
+                    "distribution exists\n");
+        return 20;
+    }
+    pc::Circuit circuit =
+        pc::fromDnnf(g, logic::LitWeights::uniform(f.numVars()));
+    std::printf("circuit: %zu nodes, %zu edges (smooth & decomposable)\n",
+                circuit.numNodes(), circuit.numEdges());
+
+    pc::Assignment no_evidence(f.numVars(), pc::kMissing);
+    pc::MarginalTable table =
+        pc::posteriorMarginals(circuit, no_evidence);
+    for (uint32_t v = 0; v < f.numVars(); ++v)
+        std::printf("  P(x%-3u = 1 | phi) = %.6f\n", v + 1,
+                    table.prob[v][1]);
+    if (!pc_path.empty()) {
+        std::ofstream out(pc_path);
+        if (!out)
+            fatal("cannot write '%s'", pc_path.c_str());
+        out << pc::toText(circuit);
+        std::printf("wrote circuit to %s\n", pc_path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdCompile(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    bool disasm = false;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--disasm")
+            disasm = true;
+        else
+            return usage();
+    }
+
+    logic::CnfFormula f = loadDimacs(args[0]);
+    core::Dag dag = core::buildFromCnf(f);
+    std::printf("unified DAG: %zu nodes, %zu edges\n", dag.numNodes(),
+                dag.numEdges());
+
+    arch::ArchConfig acfg;
+    compiler::Program program =
+        compiler::compile(dag, acfg.compilerTarget());
+    std::printf("program: %zu blocks, %zu issue slots, leaf "
+                "utilization %.0f%%\n",
+                program.stats.numBlocks, program.schedule.size(),
+                program.stats.avgLeafUtilization * 100.0);
+
+    auto expl =
+        compiler::encodeProgram(program, compiler::AddressMode::Explicit);
+    auto autom =
+        compiler::encodeProgram(program, compiler::AddressMode::Auto);
+    std::printf("encoded size: %.2f KB explicit, %.2f KB auto-address "
+                "(instruction-stream saving %.1f%%)\n",
+                expl.kilobytes(), autom.kilobytes(),
+                compiler::autoAddressSaving(program) * 100.0);
+
+    // Evaluate the all-true assignment on the fabric.
+    std::vector<double> inputs(dag.numInputs(), 1.0);
+    arch::Accelerator accel(acfg);
+    auto result = accel.run(program, inputs);
+    std::printf("simulated: root=%g (formula %s under all-true), %llu "
+                "cycles, PE utilization %.1f%%\n",
+                result.rootValue,
+                result.rootValue > 0.5 ? "satisfied" : "falsified",
+                (unsigned long long)result.cycles,
+                result.peUtilization * 100.0);
+
+    if (disasm)
+        std::fputs(compiler::disassemble(program).c_str(), stdout);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (cmd == "solve")
+        return cmdSolve(args);
+    if (cmd == "count")
+        return cmdCount(args);
+    if (cmd == "marginals")
+        return cmdMarginals(args);
+    if (cmd == "compile")
+        return cmdCompile(args);
+    return usage();
+}
