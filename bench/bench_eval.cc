@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Seed-vs-flat evaluation benchmark: times repeated Circuit
+ * log-likelihood passes on a >=100k-node random circuit through the
+ * reference AoS walker (Circuit::logLikelihood, one allocation per
+ * call) and the flat CSR engine (pc::CircuitEvaluator, allocation-free
+ * batched), plus the linear-domain Dag-vs-core::Evaluator pair.
+ *
+ * Emits one machine-readable JSON line per engine pair (prefix
+ * "BENCH_JSON ") so the perf trajectory can be tracked across PRs:
+ *
+ *   ./bench_eval [num_vars] [reps]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/builders.h"
+#include "core/flat.h"
+#include "pc/flat_pc.h"
+#include "pc/pc.h"
+#include "util/numeric.h"
+#include "util/rng.h"
+
+using namespace reason;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double
+msSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    uint32_t num_vars = argc > 1 ? uint32_t(std::atoi(argv[1])) : 1500;
+    size_t reps = argc > 2 ? size_t(std::atoi(argv[2])) : 1000;
+    if (num_vars < 2 || reps == 0) {
+        std::fprintf(stderr,
+                     "usage: bench_eval [num_vars >= 2] [reps >= 1]\n");
+        return 1;
+    }
+
+    Rng rng(2026);
+    // num_sums=8, num_inputs=16 yields ~72 interior nodes per region:
+    // 1500 vars -> ~120k nodes, ~380k edges.
+    pc::Circuit circuit = pc::randomCircuit(rng, num_vars, 2, 8, 16);
+    std::printf("circuit: %zu nodes, %zu edges, %u vars\n",
+                circuit.numNodes(), circuit.numEdges(),
+                circuit.numVars());
+
+    std::vector<pc::Assignment> data =
+        pc::sampleDataset(rng, circuit, reps);
+
+    // --- log-domain: Circuit::logLikelihood vs flat batched ------------
+    volatile double sink = 0.0;
+    // Warm-up both paths (page in the circuit, prime caches).
+    sink += circuit.logLikelihood(data[0]);
+
+    Clock::time_point t0 = Clock::now();
+    pc::FlatCircuit flat(circuit);
+    pc::CircuitEvaluator eval(flat);
+    double lower_ms = msSince(t0);
+    sink += eval.logLikelihood(data[0]);
+
+    t0 = Clock::now();
+    double seed_acc = 0.0;
+    for (const auto &x : data)
+        seed_acc += circuit.logLikelihood(x);
+    double seed_ms = msSince(t0);
+
+    std::vector<double> flat_ll(data.size());
+    t0 = Clock::now();
+    eval.logLikelihoodBatch(data, flat_ll);
+    double flat_ms = msSince(t0);
+
+    double flat_acc = 0.0;
+    double max_diff = 0.0;
+    for (size_t i = 0; i < data.size(); ++i) {
+        flat_acc += flat_ll[i];
+        double d = std::fabs(flat_ll[i] -
+                             circuit.logLikelihood(data[i]));
+        max_diff = std::max(max_diff, d);
+    }
+    double speedup = seed_ms / (flat_ms + lower_ms);
+    std::printf("BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+                "\"circuit_loglik\",\"nodes\":%zu,\"edges\":%zu,"
+                "\"reps\":%zu,\"seed_ms\":%.3f,\"flat_ms\":%.3f,"
+                "\"lower_ms\":%.3f,\"speedup\":%.2f,"
+                "\"max_abs_diff\":%.3e}\n",
+                circuit.numNodes(), circuit.numEdges(), reps, seed_ms,
+                flat_ms, lower_ms, speedup, max_diff);
+    std::printf("seed %.3f ms, flat %.3f ms (+%.3f ms lowering): "
+                "%.2fx %s (target >=5x), max |diff| %.2e\n",
+                seed_ms, flat_ms, lower_ms, speedup,
+                speedup >= 5.0 ? "PASS" : "BELOW TARGET", max_diff);
+
+    // --- linear domain: Dag::evaluate vs core::Evaluator ---------------
+    core::Dag dag = core::buildFromCircuit(circuit);
+    const size_t dag_reps = reps / 4 ? reps / 4 : 1;
+    std::vector<double> inputs(dag.numInputs(), 1.0);
+
+    sink += dag.evaluateRoot(inputs);
+    t0 = Clock::now();
+    double dag_acc = 0.0;
+    for (size_t i = 0; i < dag_reps; ++i) {
+        inputs[i % inputs.size()] = 0.5 + double(i % 3) * 0.25;
+        dag_acc += dag.evaluateRoot(inputs);
+    }
+    double dag_seed_ms = msSince(t0);
+
+    t0 = Clock::now();
+    core::FlatGraph fg = core::lowerDag(dag);
+    core::Evaluator fev(fg);
+    double dag_lower_ms = msSince(t0);
+    sink += fev.evaluateRoot(inputs);
+
+    std::fill(inputs.begin(), inputs.end(), 1.0);
+    t0 = Clock::now();
+    double dag_flat_acc = 0.0;
+    for (size_t i = 0; i < dag_reps; ++i) {
+        inputs[i % inputs.size()] = 0.5 + double(i % 3) * 0.25;
+        dag_flat_acc += fev.evaluateRoot(inputs);
+    }
+    double dag_flat_ms = msSince(t0);
+    double dag_speedup = dag_seed_ms / (dag_flat_ms + dag_lower_ms);
+    std::printf("BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+                "\"dag_eval\",\"nodes\":%zu,\"edges\":%zu,\"reps\":%zu,"
+                "\"seed_ms\":%.3f,\"flat_ms\":%.3f,\"lower_ms\":%.3f,"
+                "\"speedup\":%.2f,\"max_abs_diff\":%.3e}\n",
+                dag.numNodes(), dag.numEdges(), dag_reps, dag_seed_ms,
+                dag_flat_ms, dag_lower_ms, dag_speedup,
+                std::fabs(dag_acc - dag_flat_acc));
+    std::printf("dag: seed %.3f ms, flat %.3f ms: %.2fx\n", dag_seed_ms,
+                dag_flat_ms, dag_speedup);
+
+    (void)sink;
+    (void)seed_acc;
+    (void)flat_acc;
+    return 0;
+}

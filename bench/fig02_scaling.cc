@@ -22,6 +22,7 @@
 #include <cstdio>
 
 #include "baselines/device.h"
+#include "pc/flat_pc.h"
 #include "sys/system.h"
 #include "util/table.h"
 #include "workloads/workloads.h"
@@ -39,6 +40,38 @@ BM_SatSuiteAccuracy(benchmark::State &state)
         benchmark::DoNotOptimize(workloads::satAccuracy(b.sat));
 }
 BENCHMARK(BM_SatSuiteAccuracy)->Unit(benchmark::kMillisecond);
+
+/** Seed path: per-call Circuit::logLikelihood over the PC queries. */
+void
+BM_PcQueriesSeedWalker(benchmark::State &state)
+{
+    workloads::TaskBundle b = workloads::generate(
+        workloads::DatasetId::XSTest, workloads::TaskScale::Small, 31);
+    const pc::Circuit &c = b.pcs.classCircuits.front();
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (const auto &q : b.pcs.queries)
+            acc += c.logLikelihood(q);
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_PcQueriesSeedWalker)->Unit(benchmark::kMillisecond);
+
+/** Flat path: one lowering + batched CSR evaluation (core engine). */
+void
+BM_PcQueriesFlatBatched(benchmark::State &state)
+{
+    workloads::TaskBundle b = workloads::generate(
+        workloads::DatasetId::XSTest, workloads::TaskScale::Small, 31);
+    pc::FlatCircuit flat(b.pcs.classCircuits.front());
+    pc::CircuitEvaluator eval(flat);
+    std::vector<double> out(b.pcs.queries.size());
+    for (auto _ : state) {
+        eval.logLikelihoodBatch(b.pcs.queries, out);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_PcQueriesFlatBatched)->Unit(benchmark::kMillisecond);
 
 /** Parse accuracy of the neural front-end vs parameter count. */
 double

@@ -12,6 +12,8 @@
 
 #include <cstdio>
 
+#include "core/builders.h"
+#include "core/flat.h"
 #include "sys/system.h"
 #include "util/table.h"
 #include "workloads/timing.h"
@@ -45,6 +47,34 @@ BM_PlatformCostModel(benchmark::State &state)
     }
 }
 BENCHMARK(BM_PlatformCostModel);
+
+/** Seed path: pointer-chasing Dag::evaluate of a PC workload kernel. */
+void
+BM_DagEvalSeedWalker(benchmark::State &state)
+{
+    workloads::TaskBundle b = workloads::generate(
+        workloads::DatasetId::TwinSafety, workloads::TaskScale::Small, 7);
+    core::Dag dag = core::buildFromCircuit(b.pcs.classCircuits.front());
+    std::vector<double> inputs(dag.numInputs(), 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(dag.evaluateRoot(inputs));
+}
+BENCHMARK(BM_DagEvalSeedWalker);
+
+/** Flat path: CSR lowering + allocation-free core::Evaluator. */
+void
+BM_DagEvalFlatCsr(benchmark::State &state)
+{
+    workloads::TaskBundle b = workloads::generate(
+        workloads::DatasetId::TwinSafety, workloads::TaskScale::Small, 7);
+    core::Dag dag = core::buildFromCircuit(b.pcs.classCircuits.front());
+    core::FlatGraph flat = core::lowerDag(dag);
+    core::Evaluator eval(flat);
+    std::vector<double> inputs(dag.numInputs(), 0.5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(eval.evaluateRoot(inputs));
+}
+BENCHMARK(BM_DagEvalFlatCsr);
 
 void
 printFig11()

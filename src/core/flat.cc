@@ -1,0 +1,237 @@
+#include "core/flat.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace core {
+
+const char *
+flatOpName(FlatOp op)
+{
+    switch (op) {
+      case FlatOp::Input: return "input";
+      case FlatOp::Const: return "const";
+      case FlatOp::Sum: return "sum";
+      case FlatOp::WeightedSum: return "wsum";
+      case FlatOp::Product: return "product";
+      case FlatOp::Max: return "max";
+      case FlatOp::Min: return "min";
+      case FlatOp::Not: return "not";
+    }
+    return "?";
+}
+
+size_t
+FlatGraph::memoryBytes() const
+{
+    return ops.size() * sizeof(uint8_t) +
+           edgeOffset.size() * sizeof(uint32_t) +
+           edgeTarget.size() * sizeof(uint32_t) +
+           edgeWeight.size() * sizeof(double) +
+           inputs.size() * sizeof(inputs[0]) +
+           consts.size() * sizeof(consts[0]) +
+           levelOffset.size() * sizeof(uint32_t) +
+           levelNodes.size() * sizeof(uint32_t);
+}
+
+void
+FlatGraph::validate() const
+{
+    const size_t n = numNodes();
+    reasonAssert(root < n, "flat graph root out of range");
+    reasonAssert(edgeOffset.size() == n + 1, "edge offset size mismatch");
+    reasonAssert(edgeOffset.front() == 0 && edgeOffset.back() == numEdges(),
+                 "edge offsets must span the edge array");
+    reasonAssert(edgeWeight.size() == edgeTarget.size(),
+                 "edge weights must align with edge targets");
+    for (size_t i = 0; i < n; ++i) {
+        reasonAssert(edgeOffset[i] <= edgeOffset[i + 1],
+                     "edge offsets must be monotone");
+        for (uint32_t e = edgeOffset[i]; e < edgeOffset[i + 1]; ++e)
+            reasonAssert(edgeTarget[e] < i,
+                         "operands must precede consumers");
+    }
+    size_t op_nodes = 0;
+    for (uint8_t op : ops)
+        if (FlatOp(op) != FlatOp::Input && FlatOp(op) != FlatOp::Const)
+            ++op_nodes;
+    reasonAssert(levelNodes.size() == op_nodes,
+                 "level schedule must cover every operation node");
+}
+
+FlatGraph
+lowerDag(const Dag &dag)
+{
+    dag.validate();
+    const size_t n = dag.numNodes();
+    FlatGraph g;
+    g.ops.resize(n);
+    g.edgeOffset.reserve(n + 1);
+    g.edgeOffset.push_back(0);
+    g.edgeTarget.reserve(dag.numEdges());
+    g.edgeWeight.reserve(dag.numEdges());
+    g.numInputs = dag.numInputs();
+    g.root = dag.root();
+
+    std::vector<uint32_t> level(n, 0);
+    uint32_t max_level = 0;
+    for (size_t i = 0; i < n; ++i) {
+        const DagNode &node = dag.node(NodeId(i));
+        FlatOp op;
+        switch (node.op) {
+          case DagOp::Input:
+            op = FlatOp::Input;
+            g.inputs.emplace_back(uint32_t(i), node.tag);
+            break;
+          case DagOp::Const:
+            op = FlatOp::Const;
+            g.consts.emplace_back(uint32_t(i), node.value);
+            break;
+          case DagOp::Sum:
+            op = node.weights.empty() ? FlatOp::Sum : FlatOp::WeightedSum;
+            break;
+          case DagOp::Product: op = FlatOp::Product; break;
+          case DagOp::Max: op = FlatOp::Max; break;
+          case DagOp::Min: op = FlatOp::Min; break;
+          case DagOp::Not: op = FlatOp::Not; break;
+          default: panic("unknown DagOp in lowering");
+        }
+        g.ops[i] = uint8_t(op);
+        for (size_t k = 0; k < node.inputs.size(); ++k) {
+            g.edgeTarget.push_back(node.inputs[k]);
+            g.edgeWeight.push_back(
+                node.weights.empty() ? 1.0 : node.weights[k]);
+        }
+        g.edgeOffset.push_back(uint32_t(g.edgeTarget.size()));
+
+        if (!node.inputs.empty()) {
+            uint32_t lvl = 0;
+            for (NodeId c : node.inputs)
+                lvl = std::max(lvl, level[c] + 1);
+            level[i] = lvl;
+            max_level = std::max(max_level, lvl);
+        }
+    }
+
+    // Wavefront schedule over operation nodes: counting sort by level.
+    // Leaves (level 0 inputs/consts) are excluded — they are pre-filled.
+    std::vector<uint32_t> count(max_level + 2, 0);
+    for (size_t i = 0; i < n; ++i) {
+        FlatOp op = FlatOp(g.ops[i]);
+        if (op == FlatOp::Input || op == FlatOp::Const)
+            continue;
+        ++count[level[i] + 1];
+    }
+    g.levelOffset.resize(max_level + 2, 0);
+    for (size_t l = 1; l < count.size(); ++l)
+        g.levelOffset[l] = g.levelOffset[l - 1] + count[l];
+    // Trim empty leading level 0 (op nodes always have level >= 1).
+    g.levelNodes.resize(g.levelOffset.back());
+    std::vector<uint32_t> cursor(g.levelOffset.begin(),
+                                 g.levelOffset.end() - 1);
+    for (size_t i = 0; i < n; ++i) {
+        FlatOp op = FlatOp(g.ops[i]);
+        if (op == FlatOp::Input || op == FlatOp::Const)
+            continue;
+        g.levelNodes[cursor[level[i]]++] = uint32_t(i);
+    }
+    g.validate();
+    return g;
+}
+
+Evaluator::Evaluator(const FlatGraph &graph)
+    : graph_(graph), values_(graph.numNodes(), 0.0)
+{
+    // Constants never change: write them once, skip them per call.
+    for (auto [node, value] : graph_.consts)
+        values_[node] = value;
+}
+
+std::span<const double>
+Evaluator::evaluate(std::span<const double> inputs)
+{
+    reasonAssert(inputs.size() >= graph_.numInputs,
+                 "not enough input values supplied");
+    double *val = values_.data();
+    for (auto [node, tag] : graph_.inputs)
+        val[node] = inputs[tag];
+
+    const uint8_t *ops = graph_.ops.data();
+    const uint32_t *off = graph_.edgeOffset.data();
+    const uint32_t *tgt = graph_.edgeTarget.data();
+    const double *wgt = graph_.edgeWeight.data();
+    const size_t n = graph_.numNodes();
+    for (size_t i = 0; i < n; ++i) {
+        const uint32_t lo = off[i];
+        const uint32_t hi = off[i + 1];
+        switch (FlatOp(ops[i])) {
+          case FlatOp::Input:
+          case FlatOp::Const:
+            break; // pre-filled
+          case FlatOp::Sum: {
+            double acc = 0.0;
+            for (uint32_t e = lo; e < hi; ++e)
+                acc += val[tgt[e]];
+            val[i] = acc;
+            break;
+          }
+          case FlatOp::WeightedSum: {
+            double acc = 0.0;
+            for (uint32_t e = lo; e < hi; ++e)
+                acc += wgt[e] * val[tgt[e]];
+            val[i] = acc;
+            break;
+          }
+          case FlatOp::Product: {
+            double acc = 1.0;
+            for (uint32_t e = lo; e < hi; ++e)
+                acc *= val[tgt[e]];
+            val[i] = acc;
+            break;
+          }
+          case FlatOp::Max: {
+            double acc = val[tgt[lo]];
+            for (uint32_t e = lo + 1; e < hi; ++e)
+                acc = std::max(acc, val[tgt[e]]);
+            val[i] = acc;
+            break;
+          }
+          case FlatOp::Min: {
+            double acc = val[tgt[lo]];
+            for (uint32_t e = lo + 1; e < hi; ++e)
+                acc = std::min(acc, val[tgt[e]]);
+            val[i] = acc;
+            break;
+          }
+          case FlatOp::Not:
+            val[i] = 1.0 - val[tgt[lo]];
+            break;
+        }
+    }
+    return {values_.data(), values_.size()};
+}
+
+double
+Evaluator::evaluateRoot(std::span<const double> inputs)
+{
+    return evaluate(inputs)[graph_.root];
+}
+
+void
+Evaluator::evaluateBatch(std::span<const double> rows, size_t num_rows,
+                         std::span<double> roots_out)
+{
+    const size_t stride = graph_.numInputs;
+    reasonAssert(rows.size() >= num_rows * stride,
+                 "batch input buffer too small");
+    reasonAssert(roots_out.size() >= num_rows,
+                 "batch output buffer too small");
+    for (size_t r = 0; r < num_rows; ++r)
+        roots_out[r] =
+            evaluate(rows.subspan(r * stride, stride))[graph_.root];
+}
+
+} // namespace core
+} // namespace reason

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Flat CSR kernel engine for the unified reasoning DAG (REASON Sec. IV-A).
+ *
+ * `Dag` stores one fan-in vector per node — convenient to build, but every
+ * evaluation pointer-chases heap-scattered vectors and allocates a fresh
+ * O(numNodes) result buffer.  The paper's observation is that all three
+ * substrates stream the *same* operation sequence over a fixed topology,
+ * which is exactly what hardware wants: contiguous opcode/edge arrays and
+ * a static schedule.  `FlatGraph` lowers a `Dag` once into CSR-style
+ * arrays (opcodes, edge offsets/targets, packed edge weights, a level
+ * schedule), and `Evaluator` owns reusable scratch so repeated passes are
+ * allocation-free and cache-friendly.
+ *
+ * Use `Dag::evaluate` as the readable reference walker and cross-check;
+ * use `Evaluator` whenever the same DAG is evaluated more than a handful
+ * of times (sampling, EM, benches, batched serving).
+ */
+
+#ifndef REASON_CORE_FLAT_H
+#define REASON_CORE_FLAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "core/dag.h"
+
+namespace reason {
+namespace core {
+
+/**
+ * Flat opcode.  Mirrors DagOp, but splits Sum into plain/weighted forms
+ * so the hot loop dispatches without testing weight presence per node.
+ */
+enum class FlatOp : uint8_t
+{
+    Input,
+    Const,
+    Sum,         ///< unweighted addition over fan-in
+    WeightedSum, ///< weighted addition; weights packed in edgeWeight
+    Product,
+    Max,
+    Min,
+    Not
+};
+
+/** Printable opcode name. */
+const char *flatOpName(FlatOp op);
+
+/**
+ * CSR lowering of a Dag: structure-of-arrays, contiguous, immutable.
+ *
+ * Node i's operands are edgeTarget[edgeOffset[i] .. edgeOffset[i+1]) with
+ * per-edge weights in the same index range of edgeWeight (1.0 for
+ * non-weighted ops, so the arrays stay aligned).  Input and Const leaves
+ * are listed separately so evaluators can pre-fill scratch and the hot
+ * loop touches only operation nodes.
+ *
+ * The level schedule groups operation nodes by dependence depth: all
+ * nodes of level L depend only on levels < L, so each level is a
+ * data-parallel wavefront (the software analogue of the paper's pipelined
+ * tree-PE issue schedule).
+ */
+struct FlatGraph
+{
+    /** Per-node opcode (FlatOp), indexed by original NodeId. */
+    std::vector<uint8_t> ops;
+    /** CSR fan-in offsets; size numNodes()+1. */
+    std::vector<uint32_t> edgeOffset;
+    /** Operand node ids, child-order preserved from the Dag. */
+    std::vector<uint32_t> edgeTarget;
+    /** Per-edge weight, aligned with edgeTarget (1.0 when unweighted). */
+    std::vector<double> edgeWeight;
+    /** (node, input tag) for every Input leaf. */
+    std::vector<std::pair<uint32_t, uint32_t>> inputs;
+    /** (node, value) for every Const leaf. */
+    std::vector<std::pair<uint32_t, double>> consts;
+    /** Wavefront offsets into levelNodes; size numLevels()+1. */
+    std::vector<uint32_t> levelOffset;
+    /** Operation nodes grouped by level, topological within a level. */
+    std::vector<uint32_t> levelNodes;
+    /** External input slot count (max tag + 1). */
+    uint32_t numInputs = 0;
+    /** Root node id. */
+    uint32_t root = kInvalidNode;
+
+    size_t numNodes() const { return ops.size(); }
+    size_t numEdges() const { return edgeTarget.size(); }
+    size_t
+    numLevels() const
+    {
+        return levelOffset.empty() ? 0 : levelOffset.size() - 1;
+    }
+    /** Actual storage footprint of the flat arrays in bytes. */
+    size_t memoryBytes() const;
+
+    /** Structural invariants (offsets, targets, schedule); panics. */
+    void validate() const;
+};
+
+/** Lower a Dag into flat CSR form.  O(nodes + edges). */
+FlatGraph lowerDag(const Dag &dag);
+
+/**
+ * Allocation-free evaluator over a FlatGraph.
+ *
+ * Owns one scratch buffer of per-node values, pre-filled with constants
+ * at construction; every evaluate() reuses it.  The referenced FlatGraph
+ * must outlive the evaluator.  Results are identical to Dag::evaluate
+ * (same operation order, same floating-point expression shapes).
+ */
+class Evaluator
+{
+  public:
+    explicit Evaluator(const FlatGraph &graph);
+
+    /**
+     * Evaluate for one input row (indexed by input tag; size must be
+     * >= numInputs).  Returns a view of per-node values valid until the
+     * next evaluate call.
+     */
+    std::span<const double> evaluate(std::span<const double> inputs);
+
+    /** Evaluate and return only the root value. */
+    double evaluateRoot(std::span<const double> inputs);
+
+    /**
+     * Batched evaluation over `num_rows` row-major input rows of
+     * numInputs values each; writes one root value per row.  Rows are
+     * streamed through the same scratch, so the whole batch performs
+     * zero heap allocations.
+     */
+    void evaluateBatch(std::span<const double> rows, size_t num_rows,
+                       std::span<double> roots_out);
+
+    const FlatGraph &graph() const { return graph_; }
+    /** Per-node values of the most recent evaluate(). */
+    const std::vector<double> &values() const { return values_; }
+
+  private:
+    const FlatGraph &graph_;
+    std::vector<double> values_;
+};
+
+} // namespace core
+} // namespace reason
+
+#endif // REASON_CORE_FLAT_H

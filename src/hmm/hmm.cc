@@ -141,87 +141,126 @@ Hmm::sample(Rng &rng, size_t length, Sequence *obs,
     }
 }
 
-ForwardBackward
-forwardBackward(const Hmm &hmm, const Sequence &obs)
+void
+forwardBackwardInto(const Hmm &hmm, const Sequence &obs, FbWorkspace &ws)
 {
     const size_t T = obs.size();
     const uint32_t N = hmm.numStates();
     reasonAssert(T > 0, "empty sequence");
-    ForwardBackward fb;
-    fb.alpha.assign(T, std::vector<double>(N, 0.0));
-    fb.beta.assign(T, std::vector<double>(N, 0.0));
-    fb.scale.assign(T, 0.0);
-    fb.gamma.assign(T, std::vector<double>(N, 0.0));
-    if (T > 1)
-        fb.xi.assign(T - 1, std::vector<double>(size_t(N) * N, 0.0));
+    ws.T = T;
+    ws.N = N;
+    ws.alpha.assign(T * N, 0.0);
+    ws.beta.assign(T * N, 0.0);
+    ws.gamma.assign(T * N, 0.0);
+    ws.xi.assign(T > 1 ? (T - 1) * size_t(N) * N : 0, 0.0);
+    ws.scale.assign(T, 0.0);
+
+    double *alpha = ws.alpha.data();
+    double *beta = ws.beta.data();
+    double *gamma = ws.gamma.data();
+    double *xi = ws.xi.data();
 
     // Forward with per-step scaling.
     for (uint32_t s = 0; s < N; ++s)
-        fb.alpha[0][s] = hmm.initial(s) * hmm.emission(s, obs[0]);
+        alpha[s] = hmm.initial(s) * hmm.emission(s, obs[0]);
     for (size_t t = 0; t < T; ++t) {
+        double *at = alpha + t * N;
         if (t > 0) {
+            const double *prev = alpha + (t - 1) * N;
             for (uint32_t j = 0; j < N; ++j) {
                 double acc = 0.0;
                 for (uint32_t i = 0; i < N; ++i)
-                    acc += fb.alpha[t - 1][i] * hmm.transition(i, j);
-                fb.alpha[t][j] = acc * hmm.emission(j, obs[t]);
+                    acc += prev[i] * hmm.transition(i, j);
+                at[j] = acc * hmm.emission(j, obs[t]);
             }
         }
         double c = 0.0;
         for (uint32_t s = 0; s < N; ++s)
-            c += fb.alpha[t][s];
+            c += at[s];
         if (c <= 0.0) {
             // Observation impossible under the model.
-            fb.logLikelihood = kLogZero;
-            return fb;
+            ws.logLikelihood = kLogZero;
+            return;
         }
-        fb.scale[t] = c;
+        ws.scale[t] = c;
         for (uint32_t s = 0; s < N; ++s)
-            fb.alpha[t][s] /= c;
+            at[s] /= c;
     }
-    fb.logLikelihood = 0.0;
-    for (double c : fb.scale)
-        fb.logLikelihood += std::log(c);
+    ws.logLikelihood = 0.0;
+    for (double c : ws.scale)
+        ws.logLikelihood += std::log(c);
 
     // Backward under the same scaling.
     for (uint32_t s = 0; s < N; ++s)
-        fb.beta[T - 1][s] = 1.0;
+        beta[(T - 1) * N + s] = 1.0;
     for (size_t t = T - 1; t-- > 0;) {
+        const double *bnext = beta + (t + 1) * N;
+        double *bt = beta + t * N;
         for (uint32_t i = 0; i < N; ++i) {
             double acc = 0.0;
             for (uint32_t j = 0; j < N; ++j)
                 acc += hmm.transition(i, j) *
-                       hmm.emission(j, obs[t + 1]) * fb.beta[t + 1][j];
-            fb.beta[t][i] = acc / fb.scale[t + 1];
+                       hmm.emission(j, obs[t + 1]) * bnext[j];
+            bt[i] = acc / ws.scale[t + 1];
         }
     }
 
     // Posteriors.
     for (size_t t = 0; t < T; ++t) {
         double norm = 0.0;
+        double *gt = gamma + t * N;
         for (uint32_t s = 0; s < N; ++s) {
-            fb.gamma[t][s] = fb.alpha[t][s] * fb.beta[t][s];
-            norm += fb.gamma[t][s];
+            gt[s] = alpha[t * N + s] * beta[t * N + s];
+            norm += gt[s];
         }
         if (norm > 0.0)
             for (uint32_t s = 0; s < N; ++s)
-                fb.gamma[t][s] /= norm;
+                gt[s] /= norm;
     }
     for (size_t t = 0; t + 1 < T; ++t) {
         double norm = 0.0;
+        double *xt = xi + t * size_t(N) * N;
         for (uint32_t i = 0; i < N; ++i) {
             for (uint32_t j = 0; j < N; ++j) {
-                double v = fb.alpha[t][i] * hmm.transition(i, j) *
+                double v = alpha[t * N + i] * hmm.transition(i, j) *
                            hmm.emission(j, obs[t + 1]) *
-                           fb.beta[t + 1][j] / fb.scale[t + 1];
-                fb.xi[t][size_t(i) * N + j] = v;
+                           beta[(t + 1) * N + j] / ws.scale[t + 1];
+                xt[size_t(i) * N + j] = v;
                 norm += v;
             }
         }
         if (norm > 0.0)
-            for (auto &v : fb.xi[t])
-                v /= norm;
+            for (size_t k = 0; k < size_t(N) * N; ++k)
+                xt[k] /= norm;
     }
+}
+
+ForwardBackward
+forwardBackward(const Hmm &hmm, const Sequence &obs)
+{
+    // Reference wrapper: run the flat pass, then re-shape into the
+    // nested-vector view.  Hot loops should call forwardBackwardInto
+    // with a reused workspace instead.
+    FbWorkspace ws;
+    forwardBackwardInto(hmm, obs, ws);
+    const size_t T = ws.T;
+    const uint32_t N = ws.N;
+    ForwardBackward fb;
+    fb.logLikelihood = ws.logLikelihood;
+    fb.alpha.assign(T, std::vector<double>(N, 0.0));
+    fb.beta.assign(T, std::vector<double>(N, 0.0));
+    fb.gamma.assign(T, std::vector<double>(N, 0.0));
+    fb.scale = ws.scale;
+    if (T > 1)
+        fb.xi.assign(T - 1, std::vector<double>(size_t(N) * N, 0.0));
+    for (size_t t = 0; t < T; ++t) {
+        std::copy_n(ws.alpha.begin() + t * N, N, fb.alpha[t].begin());
+        std::copy_n(ws.beta.begin() + t * N, N, fb.beta[t].begin());
+        std::copy_n(ws.gamma.begin() + t * N, N, fb.gamma[t].begin());
+    }
+    for (size_t t = 0; t + 1 < T; ++t)
+        std::copy_n(ws.xi.begin() + t * size_t(N) * N, size_t(N) * N,
+                    fb.xi[t].begin());
     return fb;
 }
 
@@ -312,9 +351,9 @@ bruteForceLogLikelihood(const Hmm &hmm, const Sequence &obs)
 {
     const size_t T = obs.size();
     const uint32_t N = hmm.numStates();
-    double paths = std::pow(double(N), double(T));
-    reasonAssert(paths <= (1 << 22), "brute force path count too large");
-    uint64_t limit = static_cast<uint64_t>(paths);
+    uint64_t limit = 0;
+    reasonAssert(checkedIntPow(N, T, uint64_t(1) << 22, &limit),
+                 "brute force path count too large");
     double acc = kLogZero;
     std::vector<uint32_t> z(T);
     for (uint64_t m = 0; m < limit; ++m) {
@@ -358,6 +397,7 @@ baumWelch(Hmm &hmm, const std::vector<Sequence> &data,
         return acc / static_cast<double>(data.size());
     };
     trace.logLikelihood.push_back(total_ll());
+    FbWorkspace ws; // reused across sequences and iterations
 
     for (uint32_t it = 0; it < max_iterations; ++it) {
         std::vector<double> pi(N, 0.0);
@@ -367,23 +407,26 @@ baumWelch(Hmm &hmm, const std::vector<Sequence> &data,
         std::vector<double> emit_den(N, 0.0);
 
         for (const auto &seq : data) {
-            ForwardBackward fb = forwardBackward(hmm, seq);
-            if (fb.logLikelihood == kLogZero)
+            forwardBackwardInto(hmm, seq, ws);
+            if (ws.logLikelihood == kLogZero)
                 continue;
             for (uint32_t s = 0; s < N; ++s)
-                pi[s] += fb.gamma[0][s];
+                pi[s] += ws.gamma[s];
             for (size_t t = 0; t + 1 < seq.size(); ++t) {
+                const double *gt = ws.gamma.data() + t * N;
+                const double *xt = ws.xi.data() + t * size_t(N) * N;
                 for (uint32_t i = 0; i < N; ++i) {
-                    trans_den[i] += fb.gamma[t][i];
+                    trans_den[i] += gt[i];
                     for (uint32_t j = 0; j < N; ++j)
                         trans_num[size_t(i) * N + j] +=
-                            fb.xi[t][size_t(i) * N + j];
+                            xt[size_t(i) * N + j];
                 }
             }
             for (size_t t = 0; t < seq.size(); ++t) {
+                const double *gt = ws.gamma.data() + t * N;
                 for (uint32_t s = 0; s < N; ++s) {
-                    emit_den[s] += fb.gamma[t][s];
-                    emit_num[size_t(s) * M + seq[t]] += fb.gamma[t][s];
+                    emit_den[s] += gt[s];
+                    emit_num[size_t(s) * M + seq[t]] += gt[s];
                 }
             }
         }
@@ -435,20 +478,25 @@ pruneByPosterior(const Hmm &hmm, const std::vector<Sequence> &data,
     std::vector<double> emit_usage(size_t(N) * M, 0.0);
     double total_trans = 0.0;
     double total_emit = 0.0;
+    FbWorkspace ws; // reused across sequences
     for (const auto &seq : data) {
-        ForwardBackward fb = forwardBackward(hmm, seq);
-        if (fb.logLikelihood == kLogZero)
+        forwardBackwardInto(hmm, seq, ws);
+        if (ws.logLikelihood == kLogZero)
             continue;
-        for (size_t t = 0; t + 1 < seq.size(); ++t)
+        for (size_t t = 0; t + 1 < seq.size(); ++t) {
+            const double *xt = ws.xi.data() + t * trans_usage.size();
             for (size_t k = 0; k < trans_usage.size(); ++k) {
-                trans_usage[k] += fb.xi[t][k];
-                total_trans += fb.xi[t][k];
+                trans_usage[k] += xt[k];
+                total_trans += xt[k];
             }
-        for (size_t t = 0; t < seq.size(); ++t)
+        }
+        for (size_t t = 0; t < seq.size(); ++t) {
+            const double *gt = ws.gamma.data() + t * N;
             for (uint32_t s = 0; s < N; ++s) {
-                emit_usage[size_t(s) * M + seq[t]] += fb.gamma[t][s];
-                total_emit += fb.gamma[t][s];
+                emit_usage[size_t(s) * M + seq[t]] += gt[s];
+                total_emit += gt[s];
             }
+        }
     }
 
     HmmPruneResult res;

@@ -103,6 +103,34 @@ struct ForwardBackward
 /** Run scaled forward-backward on one observation sequence. */
 ForwardBackward forwardBackward(const Hmm &hmm, const Sequence &obs);
 
+/**
+ * Flat forward-backward workspace: the same quantities as
+ * ForwardBackward, stored in contiguous row-major buffers
+ * (alpha/beta/gamma are T x N, xi is (T-1) x N*N) that are reused across
+ * sequences.  Training and pruning loops run forward-backward once per
+ * sequence per iteration; the nested-vector layout of ForwardBackward
+ * costs O(T) allocations per call, this costs zero once warm.
+ */
+struct FbWorkspace
+{
+    std::vector<double> alpha; ///< [t * N + s], rows scaled to sum 1
+    std::vector<double> beta;  ///< [t * N + s]
+    std::vector<double> gamma; ///< [t * N + s]
+    std::vector<double> xi;    ///< [t * N * N + i * N + j], length T-1
+    std::vector<double> scale; ///< [t]
+    double logLikelihood = 0.0;
+    size_t T = 0;
+    uint32_t N = 0;
+};
+
+/**
+ * Scaled forward-backward into a reused workspace; allocation-free once
+ * the buffers have grown to the largest (T, N) seen.  Identical math to
+ * forwardBackward().
+ */
+void forwardBackwardInto(const Hmm &hmm, const Sequence &obs,
+                         FbWorkspace &ws);
+
 /** log P(x) only (forward pass). */
 double sequenceLogLikelihood(const Hmm &hmm, const Sequence &obs);
 

@@ -1,0 +1,384 @@
+#include "pc/flat_pc.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/numeric.h"
+
+namespace reason {
+namespace pc {
+
+FlatCircuit::FlatCircuit(const Circuit &circuit)
+    : numVars(circuit.numVars()), arity(circuit.arity()),
+      root(circuit.root())
+{
+    reasonAssert(root != kInvalidNode, "circuit has no root");
+    const size_t n = circuit.numNodes();
+    types.resize(n);
+    leafSlot.assign(n, kInvalidNode);
+    edgeOffset.reserve(n + 1);
+    edgeOffset.push_back(0);
+    edgeTarget.reserve(circuit.numEdges());
+    edgeLogWeight.reserve(circuit.numEdges());
+
+    for (size_t i = 0; i < n; ++i) {
+        const PcNode &node = circuit.node(NodeId(i));
+        switch (node.type) {
+          case PcNodeType::Leaf: {
+            types[i] = kLeaf;
+            leafSlot[i] = uint32_t(leafVar.size());
+            leafVar.push_back(node.var);
+            for (uint32_t v = 0; v < arity; ++v)
+                leafLogDist.push_back(node.dist[v] > 0.0
+                                          ? std::log(node.dist[v])
+                                          : kLogZero);
+            break;
+          }
+          case PcNodeType::Sum: {
+            types[i] = kSum;
+            for (size_t k = 0; k < node.children.size(); ++k) {
+                edgeTarget.push_back(node.children[k]);
+                edgeLogWeight.push_back(node.weights[k] > 0.0
+                                            ? std::log(node.weights[k])
+                                            : kLogZero);
+            }
+            break;
+          }
+          case PcNodeType::Product: {
+            types[i] = kProduct;
+            for (NodeId c : node.children) {
+                edgeTarget.push_back(c);
+                edgeLogWeight.push_back(kLogZero);
+            }
+            break;
+          }
+        }
+        edgeOffset.push_back(uint32_t(edgeTarget.size()));
+    }
+}
+
+CircuitEvaluator::CircuitEvaluator(const FlatCircuit &flat)
+    : flat_(flat), logv_(flat.numNodes(), kLogZero)
+{
+    size_t max_fan_in = 0;
+    for (size_t i = 0; i < flat.numNodes(); ++i)
+        max_fan_in = std::max<size_t>(
+            max_fan_in, flat.edgeOffset[i + 1] - flat.edgeOffset[i]);
+    terms_.resize(max_fan_in, 0.0);
+}
+
+std::span<const double>
+CircuitEvaluator::evaluate(const Assignment &x)
+{
+    reasonAssert(x.size() >= flat_.numVars, "assignment too short");
+    double *val = logv_.data();
+    const uint8_t *types = flat_.types.data();
+    const uint32_t *off = flat_.edgeOffset.data();
+    const uint32_t *tgt = flat_.edgeTarget.data();
+    const double *lw = flat_.edgeLogWeight.data();
+    const uint32_t *slot = flat_.leafSlot.data();
+    const uint32_t *var = flat_.leafVar.data();
+    const double *dist = flat_.leafLogDist.data();
+    const uint32_t arity = flat_.arity;
+    const size_t n = flat_.numNodes();
+
+    for (size_t i = 0; i < n; ++i) {
+        switch (types[i]) {
+          case FlatCircuit::kLeaf: {
+            const uint32_t s = slot[i];
+            const uint32_t v = x[var[s]];
+            if (v == kMissing) {
+                val[i] = 0.0; // marginalized: sums to 1
+            } else {
+                reasonAssert(v < arity, "assignment value out of range");
+                val[i] = dist[size_t(s) * arity + v];
+            }
+            break;
+          }
+          case FlatCircuit::kProduct: {
+            // Straight-line add (no early break): -inf absorbs and no
+            // operand can be +inf, so the result is unchanged and the
+            // loop stays branch-free.
+            double acc = 0.0;
+            for (uint32_t e = off[i]; e < off[i + 1]; ++e)
+                acc += val[tgt[e]];
+            val[i] = acc;
+            break;
+          }
+          case FlatCircuit::kSum: {
+            // Two-pass log-sum-exp: one max scan, then exp-accumulate
+            // against the max.  This spends one log per *node* instead
+            // of one log1p+exp per *edge* (what sequential logAdd
+            // costs), and after max subtraction the exp argument lies
+            // in (-inf, 0] where fastExpNonPositive applies.  Terms
+            // below the -40 cut contribute < 4e-18 relative and are
+            // skipped; total deviation from sequential logAdd stays
+            // orders of magnitude inside the 1e-12 contract.
+            constexpr double kNegligible = -40.0;
+            const uint32_t lo = off[i];
+            const uint32_t hi_e = off[i + 1];
+            double hi = kLogZero;
+            double *terms = terms_.data();
+            for (uint32_t e = lo; e < hi_e; ++e) {
+                const double term = lw[e] + val[tgt[e]];
+                terms[e - lo] = term;
+                if (term > hi)
+                    hi = term;
+            }
+            if (hi == kLogZero) {
+                val[i] = kLogZero;
+                break;
+            }
+            double acc = 0.0;
+            for (uint32_t e = lo; e < hi_e; ++e) {
+                const double d = terms[e - lo] - hi;
+                if (d >= kNegligible)
+                    acc += fastExpNonPositive(d);
+            }
+            val[i] = hi + std::log(acc);
+            break;
+          }
+        }
+    }
+    return {logv_.data(), logv_.size()};
+}
+
+double
+CircuitEvaluator::logLikelihood(const Assignment &x)
+{
+    return evaluate(x)[flat_.root];
+}
+
+void
+CircuitEvaluator::logLikelihoodBatch(const std::vector<Assignment> &xs,
+                                     std::span<double> out)
+{
+    reasonAssert(out.size() >= xs.size(), "batch output buffer too small");
+    for (const Assignment &x : xs)
+        reasonAssert(x.size() >= flat_.numVars, "assignment too short");
+    size_t r = 0;
+    if (xs.size() >= kBlock) {
+        if (blockVal_.empty()) {
+            blockVal_.resize(flat_.numNodes() * kBlock, 0.0);
+            blockTerms_.resize(terms_.size() * kBlock, 0.0);
+        }
+        for (; r + kBlock <= xs.size(); r += kBlock)
+            evaluateBlock(&xs[r], &out[r]);
+    }
+    for (; r < xs.size(); ++r)
+        out[r] = evaluate(xs[r])[flat_.root];
+}
+
+void
+CircuitEvaluator::evaluateBlock(const Assignment *rows, double *out)
+{
+    constexpr size_t B = kBlock;
+    double *val = blockVal_.data();
+    double *terms = blockTerms_.data();
+    const uint8_t *types = flat_.types.data();
+    const uint32_t *off = flat_.edgeOffset.data();
+    const uint32_t *tgt = flat_.edgeTarget.data();
+    const double *lw = flat_.edgeLogWeight.data();
+    const uint32_t *slot = flat_.leafSlot.data();
+    const uint32_t *var = flat_.leafVar.data();
+    const double *dist = flat_.leafLogDist.data();
+    const uint32_t arity = flat_.arity;
+    const size_t n = flat_.numNodes();
+
+    for (size_t i = 0; i < n; ++i) {
+        double *vi = val + i * B;
+        switch (types[i]) {
+          case FlatCircuit::kLeaf: {
+            const uint32_t s = slot[i];
+            const uint32_t v_idx = var[s];
+            const double *row_dist = dist + size_t(s) * arity;
+            for (size_t b = 0; b < B; ++b) {
+                const uint32_t v = rows[b][v_idx];
+                if (v == kMissing) {
+                    vi[b] = 0.0; // marginalized: sums to 1
+                } else {
+                    reasonAssert(v < arity,
+                                 "assignment value out of range");
+                    vi[b] = row_dist[v];
+                }
+            }
+            break;
+          }
+          case FlatCircuit::kProduct: {
+            double acc[B] = {0, 0, 0, 0, 0, 0, 0, 0};
+            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
+                const double *child = val + size_t(tgt[e]) * B;
+                for (size_t b = 0; b < B; ++b)
+                    acc[b] += child[b];
+            }
+            for (size_t b = 0; b < B; ++b)
+                vi[b] = acc[b];
+            break;
+          }
+          case FlatCircuit::kSum: {
+            const uint32_t lo = off[i];
+            const uint32_t hi_e = off[i + 1];
+            double hi[B];
+            for (size_t b = 0; b < B; ++b)
+                hi[b] = kLogZero;
+            for (uint32_t e = lo; e < hi_e; ++e) {
+                const double *child = val + size_t(tgt[e]) * B;
+                double *trow = terms + size_t(e - lo) * B;
+                const double w = lw[e];
+                for (size_t b = 0; b < B; ++b) {
+                    const double t = w + child[b];
+                    trow[b] = t;
+                    hi[b] = std::max(hi[b], t);
+                }
+            }
+            // Dead lanes (all terms -inf) would produce NaN in the
+            // subtraction below; substitute 0 and restore afterwards.
+            bool dead[B];
+            for (size_t b = 0; b < B; ++b) {
+                dead[b] = hi[b] == kLogZero;
+                if (dead[b])
+                    hi[b] = 0.0;
+            }
+            double acc[B] = {0, 0, 0, 0, 0, 0, 0, 0};
+            for (uint32_t e = lo; e < hi_e; ++e) {
+                const double *trow = terms + size_t(e - lo) * B;
+                for (size_t b = 0; b < B; ++b)
+                    acc[b] += fastExpNonPositive(trow[b] - hi[b]);
+            }
+            for (size_t b = 0; b < B; ++b)
+                vi[b] = dead[b] ? kLogZero : hi[b] + std::log(acc[b]);
+            break;
+          }
+        }
+    }
+    const double *root_val = val + size_t(flat_.root) * B;
+    for (size_t b = 0; b < B; ++b)
+        out[b] = root_val[b];
+}
+
+void
+logDerivativesInto(const FlatCircuit &flat, std::span<const double> logv,
+                   std::vector<double> &logd)
+{
+    const size_t n = flat.numNodes();
+    reasonAssert(logv.size() == n, "log-value/graph size mismatch");
+    logd.assign(n, kLogZero);
+    logd[flat.root] = 0.0;
+
+    const uint8_t *types = flat.types.data();
+    const uint32_t *off = flat.edgeOffset.data();
+    const uint32_t *tgt = flat.edgeTarget.data();
+    const double *lw = flat.edgeLogWeight.data();
+
+    for (size_t i = n; i-- > 0;) {
+        if (logd[i] == kLogZero)
+            continue;
+        switch (types[i]) {
+          case FlatCircuit::kLeaf:
+            break;
+          case FlatCircuit::kSum:
+            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
+                if (lw[e] == kLogZero)
+                    continue;
+                const uint32_t c = tgt[e];
+                logd[c] = logAdd(logd[c], logd[i] + lw[e]);
+            }
+            break;
+          case FlatCircuit::kProduct: {
+            // dv_n/dv_c = prod of sibling values; handle zeros exactly.
+            size_t zeros = 0;
+            uint32_t zero_child = kInvalidNode;
+            double finite_sum = 0.0;
+            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
+                const uint32_t c = tgt[e];
+                if (logv[c] == kLogZero) {
+                    ++zeros;
+                    zero_child = c;
+                } else {
+                    finite_sum += logv[c];
+                }
+            }
+            if (zeros >= 2)
+                break;
+            if (zeros == 1) {
+                logd[zero_child] =
+                    logAdd(logd[zero_child], logd[i] + finite_sum);
+                break;
+            }
+            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
+                const uint32_t c = tgt[e];
+                logd[c] = logAdd(logd[c],
+                                 logd[i] + finite_sum - logv[c]);
+            }
+            break;
+          }
+        }
+    }
+}
+
+FlowAccumulator::FlowAccumulator(const FlatCircuit &flat)
+    : flat_(flat), eval_(flat), flow_(flat.numNodes(), 0.0),
+      edgeTotal_(flat.numEdges(), 0.0), nodeTotal_(flat.numNodes(), 0.0),
+      leafTotal_(flat.numLeaves() * flat.arity, 0.0)
+{
+}
+
+void
+FlowAccumulator::add(const Assignment &x)
+{
+    ++count_;
+    std::span<const double> val = eval_.evaluate(x);
+    if (val[flat_.root] == kLogZero)
+        return; // zero-probability evidence carries no flow
+
+    std::fill(flow_.begin(), flow_.end(), 0.0);
+    flow_[flat_.root] = 1.0;
+
+    const uint8_t *types = flat_.types.data();
+    const uint32_t *off = flat_.edgeOffset.data();
+    const uint32_t *tgt = flat_.edgeTarget.data();
+    const double *lw = flat_.edgeLogWeight.data();
+    const uint32_t *slot = flat_.leafSlot.data();
+    const uint32_t *var = flat_.leafVar.data();
+
+    // Children precede parents, so a reverse scan visits parents first;
+    // a node's flow is final when the scan reaches it.
+    for (size_t i = flat_.numNodes(); i-- > 0;) {
+        const double fn = flow_[i];
+        if (fn == 0.0)
+            continue;
+        nodeTotal_[i] += fn;
+        switch (types[i]) {
+          case FlatCircuit::kLeaf: {
+            const uint32_t s = slot[i];
+            const uint32_t v = x[var[s]];
+            if (v != kMissing)
+                leafTotal_[size_t(s) * flat_.arity + v] += fn;
+            break;
+          }
+          case FlatCircuit::kProduct:
+            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
+                edgeTotal_[e] += fn;
+                flow_[tgt[e]] += fn;
+            }
+            break;
+          case FlatCircuit::kSum:
+            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
+                if (lw[e] == kLogZero)
+                    continue;
+                const double child_val = val[tgt[e]];
+                if (child_val == kLogZero)
+                    continue;
+                const double f =
+                    std::exp(lw[e] + child_val - val[i]) * fn;
+                edgeTotal_[e] += f;
+                flow_[tgt[e]] += f;
+            }
+            break;
+        }
+    }
+}
+
+} // namespace pc
+} // namespace reason

@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Flat CSR adapter for probabilistic circuits: the log-domain companion
+ * of core/flat.h (REASON Sec. IV-A applied to the PC substrate).
+ *
+ * `Circuit::evaluate` walks per-node child vectors and heap-allocates a
+ * full log-value buffer on every call; it also re-computes log(weight)
+ * and log(dist) on every visit.  Every repeated-pass query —
+ * likelihoods over a dataset, EM flows, entropy estimates, marginal
+ * sweeps — pays that per sample.  `FlatCircuit` lowers the circuit once
+ * into contiguous arrays with *pre-computed* edge log-weights and leaf
+ * log-distributions; `CircuitEvaluator` and `FlowAccumulator` then run
+ * upward/downward passes over reusable scratch, allocation-free and
+ * bit-identical to the reference walkers.
+ */
+
+#ifndef REASON_PC_FLAT_PC_H
+#define REASON_PC_FLAT_PC_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pc/pc.h"
+
+namespace reason {
+namespace pc {
+
+/** CSR lowering of a Circuit with log-space constants baked in. */
+class FlatCircuit
+{
+  public:
+    enum NodeType : uint8_t { kLeaf = 0, kSum = 1, kProduct = 2 };
+
+    explicit FlatCircuit(const Circuit &circuit);
+
+    size_t numNodes() const { return types.size(); }
+    size_t numEdges() const { return edgeTarget.size(); }
+    size_t numLeaves() const { return leafVar.size(); }
+
+    /** Per-node type (NodeType). */
+    std::vector<uint8_t> types;
+    /** CSR child offsets; size numNodes()+1. */
+    std::vector<uint32_t> edgeOffset;
+    /** Child node ids, order preserved. */
+    std::vector<uint32_t> edgeTarget;
+    /**
+     * Per-edge log(weight) for sum edges with weight > 0, kLogZero for
+     * non-positive weights (evaluators skip those) and non-sum edges.
+     */
+    std::vector<double> edgeLogWeight;
+    /** Per-node leaf slot (dense leaf index), kInvalidNode otherwise. */
+    std::vector<uint32_t> leafSlot;
+    /** Per-leaf-slot variable index. */
+    std::vector<uint32_t> leafVar;
+    /** Packed per-leaf log distributions: [slot * arity + value]. */
+    std::vector<double> leafLogDist;
+
+    uint32_t numVars = 0;
+    uint32_t arity = 0;
+    uint32_t root = kInvalidNode;
+};
+
+/**
+ * Allocation-free log-domain evaluator.  Matches Circuit::evaluate /
+ * Circuit::logLikelihood exactly (same operation order and expressions).
+ * The referenced FlatCircuit must outlive the evaluator.
+ */
+class CircuitEvaluator
+{
+  public:
+    explicit CircuitEvaluator(const FlatCircuit &flat);
+
+    /**
+     * Upward pass; returns per-node log values valid until the next
+     * evaluate call.  kMissing variables are marginalized out.
+     */
+    std::span<const double> evaluate(const Assignment &x);
+
+    /** log P(x), reusing internal scratch. */
+    double logLikelihood(const Assignment &x);
+
+    /**
+     * Batched log-likelihoods: one output per assignment.  Rows are
+     * processed in blocks of kBlock laid out structure-of-arrays
+     * (value[node][row]), so every operand load fills a whole cache
+     * line and the per-edge loops vectorize across rows; the tail uses
+     * the scalar path.  Zero allocations once warm.
+     */
+    void logLikelihoodBatch(const std::vector<Assignment> &xs,
+                            std::span<double> out);
+
+    /** Rows per SoA block of the batched path (one cache line). */
+    static constexpr size_t kBlock = 8;
+
+    const FlatCircuit &flat() const { return flat_; }
+    const std::vector<double> &values() const { return logv_; }
+
+  private:
+    /** Evaluate kBlock rows into the SoA block scratch. */
+    void evaluateBlock(const Assignment *rows, double *out);
+
+    const FlatCircuit &flat_;
+    std::vector<double> logv_;
+    /** Per-sum-node term scratch (max fan-in), avoids a second gather. */
+    std::vector<double> terms_;
+    /** SoA scratch of the batched path: [node * kBlock + row]. */
+    std::vector<double> blockVal_;
+    /** Term scratch of the batched path: [edge-in-node * kBlock + row]. */
+    std::vector<double> blockTerms_;
+};
+
+/**
+ * Log-space backward (derivative) pass over the flat circuit, writing
+ * log dRoot/dv_n into `logd` (resized to numNodes).  `logv` must be the
+ * upward pass for the same assignment.  Matches pc::logDerivatives.
+ */
+void logDerivativesInto(const FlatCircuit &flat,
+                        std::span<const double> logv,
+                        std::vector<double> &logd);
+
+/**
+ * Streaming top-down circuit-flow accumulator (Sec. IV-B): one upward
+ * and one downward pass per sample over reused scratch.  Replaces the
+ * per-sample EdgeFlows allocation pattern of accumulateFlows/emTrain.
+ */
+class FlowAccumulator
+{
+  public:
+    explicit FlowAccumulator(const FlatCircuit &flat);
+
+    /** Accumulate the flows of one (possibly partial) assignment. */
+    void add(const Assignment &x);
+
+    size_t count() const { return count_; }
+    /** Total edge flows, CSR-aligned with FlatCircuit::edgeTarget. */
+    const std::vector<double> &edgeFlow() const { return edgeTotal_; }
+    /** Total per-node flows. */
+    const std::vector<double> &nodeFlow() const { return nodeTotal_; }
+    /**
+     * Total leaf flow attributed to the observed value, packed as
+     * [leaf slot * arity + value]; the EM leaf statistic.
+     */
+    const std::vector<double> &leafValueFlow() const { return leafTotal_; }
+
+  private:
+    const FlatCircuit &flat_;
+    CircuitEvaluator eval_;
+    /** Per-sample downward flow scratch. */
+    std::vector<double> flow_;
+    std::vector<double> edgeTotal_;
+    std::vector<double> nodeTotal_;
+    std::vector<double> leafTotal_;
+    size_t count_ = 0;
+};
+
+} // namespace pc
+} // namespace reason
+
+#endif // REASON_PC_FLAT_PC_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pc/flat_pc.h"
 #include "util/logging.h"
 #include "util/numeric.h"
 
@@ -58,19 +59,21 @@ EdgeFlows
 accumulateFlows(const Circuit &circuit,
                 const std::vector<Assignment> &data)
 {
-    EdgeFlows total;
-    total.nodeFlows.assign(circuit.numNodes(), 0.0);
-    total.flows.resize(circuit.numNodes());
-    for (size_t i = 0; i < circuit.numNodes(); ++i)
-        total.flows[i].assign(circuit.node(i).children.size(), 0.0);
+    // Hot path: one flat lowering, then allocation-free passes per
+    // sample (computeFlows stays as the one-shot reference walker).
+    FlatCircuit flat(circuit);
+    FlowAccumulator acc(flat);
+    for (const auto &x : data)
+        acc.add(x);
 
-    for (const auto &x : data) {
-        EdgeFlows one = computeFlows(circuit, x);
-        for (size_t i = 0; i < circuit.numNodes(); ++i) {
-            total.nodeFlows[i] += one.nodeFlows[i];
-            for (size_t k = 0; k < one.flows[i].size(); ++k)
-                total.flows[i][k] += one.flows[i][k];
-        }
+    EdgeFlows total;
+    total.nodeFlows.assign(acc.nodeFlow().begin(), acc.nodeFlow().end());
+    total.flows.resize(circuit.numNodes());
+    for (size_t i = 0; i < circuit.numNodes(); ++i) {
+        const uint32_t lo = flat.edgeOffset[i];
+        const uint32_t hi = flat.edgeOffset[i + 1];
+        total.flows[i].assign(acc.edgeFlow().begin() + lo,
+                              acc.edgeFlow().begin() + hi);
     }
     return total;
 }

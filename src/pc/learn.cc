@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "pc/flat_pc.h"
 #include "pc/flows.h"
 #include "util/logging.h"
 
@@ -13,9 +14,13 @@ meanLogLikelihood(const Circuit &circuit,
                   const std::vector<Assignment> &data)
 {
     reasonAssert(!data.empty(), "need data");
+    FlatCircuit flat(circuit);
+    CircuitEvaluator eval(flat);
+    std::vector<double> ll(data.size());
+    eval.logLikelihoodBatch(data, ll);
     double acc = 0.0;
-    for (const auto &x : data)
-        acc += circuit.logLikelihood(x);
+    for (double v : ll)
+        acc += v;
     return acc / static_cast<double>(data.size());
 }
 
@@ -28,51 +33,38 @@ emTrain(Circuit &circuit, const std::vector<Assignment> &data,
 
     for (uint32_t it = 0; it < config.maxIterations; ++it) {
         // E-step: expected edge usage = accumulated flows; expected leaf
-        // value usage = leaf flow attributed to the observed value.
-        EdgeFlows total;
-        total.nodeFlows.assign(circuit.numNodes(), 0.0);
-        total.flows.resize(circuit.numNodes());
-        for (size_t i = 0; i < circuit.numNodes(); ++i)
-            total.flows[i].assign(circuit.node(i).children.size(), 0.0);
-        // leafCounts[node][value]
-        std::vector<std::vector<double>> leaf_counts(circuit.numNodes());
-        for (size_t i = 0; i < circuit.numNodes(); ++i)
-            if (circuit.node(i).type == PcNodeType::Leaf)
-                leaf_counts[i].assign(circuit.arity(), 0.0);
-
-        for (const auto &x : data) {
-            EdgeFlows one = computeFlows(circuit, x);
-            for (size_t i = 0; i < circuit.numNodes(); ++i) {
-                total.nodeFlows[i] += one.nodeFlows[i];
-                for (size_t k = 0; k < one.flows[i].size(); ++k)
-                    total.flows[i][k] += one.flows[i][k];
-                const PcNode &n = circuit.node(static_cast<NodeId>(i));
-                if (n.type == PcNodeType::Leaf &&
-                    x[n.var] != kMissing) {
-                    leaf_counts[i][x[n.var]] += one.nodeFlows[i];
-                }
-            }
-        }
+        // value usage = leaf flow attributed to the observed value.  The
+        // parameters change every iteration, so the circuit is re-lowered
+        // per iteration (O(edges), amortized over all samples).
+        FlatCircuit flat(circuit);
+        FlowAccumulator acc(flat);
+        for (const auto &x : data)
+            acc.add(x);
 
         // M-step: re-normalize sum weights and leaf distributions.
+        const std::vector<double> &edge_flow = acc.edgeFlow();
+        const std::vector<double> &leaf_flow = acc.leafValueFlow();
         for (NodeId id = 0; id < circuit.numNodes(); ++id) {
             PcNode &n = circuit.mutableNode(id);
             if (n.type == PcNodeType::Sum) {
+                const uint32_t lo = flat.edgeOffset[id];
                 double denom = 0.0;
                 for (size_t k = 0; k < n.children.size(); ++k)
-                    denom += total.flows[id][k] + config.smoothing;
+                    denom += edge_flow[lo + k] + config.smoothing;
                 for (size_t k = 0; k < n.children.size(); ++k)
                     n.weights[k] =
-                        (total.flows[id][k] + config.smoothing) / denom;
+                        (edge_flow[lo + k] + config.smoothing) / denom;
             } else if (n.type == PcNodeType::Leaf) {
+                const size_t row =
+                    size_t(flat.leafSlot[id]) * circuit.arity();
                 double denom = 0.0;
                 for (uint32_t v = 0; v < circuit.arity(); ++v)
-                    denom += leaf_counts[id][v] + config.smoothing;
+                    denom += leaf_flow[row + v] + config.smoothing;
                 if (denom <= 0.0)
                     continue;
                 for (uint32_t v = 0; v < circuit.arity(); ++v)
                     n.dist[v] =
-                        (leaf_counts[id][v] + config.smoothing) / denom;
+                        (leaf_flow[row + v] + config.smoothing) / denom;
             }
         }
 

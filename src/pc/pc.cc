@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "pc/flat_pc.h"
 #include "util/logging.h"
 #include "util/numeric.h"
 #include "util/rng.h"
@@ -234,10 +235,12 @@ Circuit::mapCompletion(const Assignment &x) const
 double
 Circuit::bruteForceLogZ() const
 {
-    double total_assignments = std::pow(double(arity_), double(numVars_));
-    reasonAssert(total_assignments <= (1 << 22),
+    uint64_t limit = 0;
+    reasonAssert(checkedIntPow(arity_, numVars_, uint64_t(1) << 22,
+                               &limit),
                  "brute force partition too large");
-    uint64_t limit = static_cast<uint64_t>(total_assignments);
+    FlatCircuit flat(*this);
+    CircuitEvaluator eval(flat);
     Assignment x(numVars_, 0);
     double acc = kLogZero;
     for (uint64_t m = 0; m < limit; ++m) {
@@ -246,7 +249,7 @@ Circuit::bruteForceLogZ() const
             x[v] = static_cast<uint32_t>(rest % arity_);
             rest /= arity_;
         }
-        acc = logAdd(acc, logLikelihood(x));
+        acc = logAdd(acc, eval.logLikelihood(x));
     }
     return acc;
 }
@@ -376,38 +379,39 @@ randomCircuit(Rng &rng, uint32_t num_vars, uint32_t arity,
     return circuit;
 }
 
-namespace {
-
-void
-sampleNode(Rng &rng, const Circuit &circuit, NodeId id, Assignment &out)
-{
-    const PcNode &n = circuit.node(id);
-    switch (n.type) {
-      case PcNodeType::Leaf:
-        out[n.var] = static_cast<uint32_t>(rng.categorical(n.dist));
-        break;
-      case PcNodeType::Product:
-        for (NodeId c : n.children)
-            sampleNode(rng, circuit, c, out);
-        break;
-      case PcNodeType::Sum: {
-        size_t k = rng.categorical(n.weights);
-        sampleNode(rng, circuit, n.children[k], out);
-        break;
-      }
-    }
-}
-
-} // namespace
-
 std::vector<Assignment>
 sampleDataset(Rng &rng, const Circuit &circuit, size_t count)
 {
     std::vector<Assignment> data;
     data.reserve(count);
+    // Explicit descent stack reused across samples (no recursion, no
+    // per-sample allocation).  Children are pushed in reverse so the
+    // visit order — and hence the RNG stream — matches the recursive
+    // pre-order walk this replaced.
+    std::vector<NodeId> stack;
     for (size_t i = 0; i < count; ++i) {
         Assignment x(circuit.numVars(), kMissing);
-        sampleNode(rng, circuit, circuit.root(), x);
+        stack.clear();
+        stack.push_back(circuit.root());
+        while (!stack.empty()) {
+            const PcNode &n = circuit.node(stack.back());
+            stack.pop_back();
+            switch (n.type) {
+              case PcNodeType::Leaf:
+                x[n.var] =
+                    static_cast<uint32_t>(rng.categorical(n.dist));
+                break;
+              case PcNodeType::Product:
+                for (size_t k = n.children.size(); k-- > 0;)
+                    stack.push_back(n.children[k]);
+                break;
+              case PcNodeType::Sum: {
+                size_t k = rng.categorical(n.weights);
+                stack.push_back(n.children[k]);
+                break;
+              }
+            }
+        }
         for (auto &v : x)
             if (v == kMissing)
                 v = 0;

@@ -1,8 +1,10 @@
 #include "pc/queries.h"
 
 #include <cmath>
+#include <span>
 #include <vector>
 
+#include "pc/flat_pc.h"
 #include "util/logging.h"
 #include "util/numeric.h"
 #include "util/rng.h"
@@ -91,11 +93,18 @@ posteriorMarginals(const Circuit &circuit, const Assignment &evidence)
 {
     reasonAssert(evidence.size() == circuit.numVars(),
                  "evidence must cover all circuit variables");
-    double log_e = circuit.logLikelihood(evidence);
+    // Flat path: the upward pass is shared between the evidence
+    // likelihood and the backward derivative pass (one pass instead of
+    // the two the reference walkers would make).
+    FlatCircuit flat(circuit);
+    CircuitEvaluator eval(flat);
+    std::span<const double> logv = eval.evaluate(evidence);
+    double log_e = logv[flat.root];
     if (log_e == kLogZero)
         fatal("posteriorMarginals: evidence has zero probability");
 
-    std::vector<double> logd = logDerivatives(circuit, evidence);
+    std::vector<double> logd;
+    logDerivativesInto(flat, logv, logd);
 
     MarginalTable table;
     table.prob.assign(circuit.numVars(),
@@ -108,21 +117,24 @@ posteriorMarginals(const Circuit &circuit, const Assignment &evidence)
         }
     }
 
-    // P(v = val, e) = sum over leaves of v of d_leaf * dist[val].
+    // P(v = val, e) = sum over leaves of v of d_leaf * dist[val]; the
+    // leaf log-densities are pre-computed in the flat lowering.
     std::vector<std::vector<double>> joint(
         circuit.numVars(), std::vector<double>(circuit.arity(), kLogZero));
     for (size_t i = 0; i < circuit.numNodes(); ++i) {
-        const PcNode &node = circuit.node(NodeId(i));
-        if (node.type != PcNodeType::Leaf || observed[node.var])
+        if (flat.types[i] != FlatCircuit::kLeaf)
             continue;
-        if (logd[i] == kLogZero)
+        const uint32_t slot = flat.leafSlot[i];
+        const uint32_t var = flat.leafVar[slot];
+        if (observed[var] || logd[i] == kLogZero)
             continue;
         for (uint32_t val = 0; val < circuit.arity(); ++val) {
-            if (node.dist[val] <= 0.0)
+            double log_dist =
+                flat.leafLogDist[size_t(slot) * circuit.arity() + val];
+            if (log_dist == kLogZero)
                 continue;
-            joint[node.var][val] =
-                logAdd(joint[node.var][val],
-                       logd[i] + std::log(node.dist[val]));
+            joint[var][val] =
+                logAdd(joint[var][val], logd[i] + log_dist);
         }
     }
     for (uint32_t v = 0; v < circuit.numVars(); ++v) {
@@ -170,10 +182,20 @@ sampleConditional(Rng &rng, const Circuit &circuit,
                 if (node.weights[k] > 0.0)
                     hi = std::max(hi, logv[node.children[k]]);
             std::vector<double> w(node.children.size(), 0.0);
+            double total = 0.0;
             for (size_t k = 0; k < node.children.size(); ++k) {
                 double lv = logv[node.children[k]];
-                if (node.weights[k] > 0.0 && lv != kLogZero)
+                if (node.weights[k] > 0.0 && lv != kLogZero) {
                     w[k] = node.weights[k] * std::exp(lv - hi);
+                    total += w[k];
+                }
+            }
+            if (total <= 0.0) {
+                // Evidence zeroed out every child (possible in
+                // non-smooth circuits, or by underflow): fall back to
+                // the prior mixture weights rather than handing
+                // rng.categorical an all-zero vector.
+                w = node.weights;
             }
             stack.push_back(node.children[rng.categorical(w)]);
             break;
@@ -186,19 +208,21 @@ sampleConditional(Rng &rng, const Circuit &circuit,
 double
 exactEntropy(const Circuit &circuit)
 {
-    double combos = std::pow(double(circuit.arity()),
-                             double(circuit.numVars()));
-    reasonAssert(combos <= double(1 << 22),
+    uint64_t combos = 0;
+    reasonAssert(checkedIntPow(circuit.arity(), circuit.numVars(),
+                               uint64_t(1) << 22, &combos),
                  "exactEntropy: state space too large to enumerate");
+    FlatCircuit flat(circuit);
+    CircuitEvaluator eval(flat);
     Assignment x(circuit.numVars(), 0);
     double entropy = 0.0;
-    for (uint64_t n = 0; n < uint64_t(combos); ++n) {
+    for (uint64_t n = 0; n < combos; ++n) {
         uint64_t rem = n;
         for (uint32_t v = 0; v < circuit.numVars(); ++v) {
             x[v] = uint32_t(rem % circuit.arity());
             rem /= circuit.arity();
         }
-        double ll = circuit.logLikelihood(x);
+        double ll = eval.logLikelihood(x);
         if (ll == kLogZero)
             continue;
         entropy -= std::exp(ll) * ll;
@@ -211,9 +235,13 @@ sampledEntropy(Rng &rng, const Circuit &circuit, size_t samples)
 {
     reasonAssert(samples > 0, "need at least one sample");
     auto data = sampleDataset(rng, circuit, samples);
+    FlatCircuit flat(circuit);
+    CircuitEvaluator eval(flat);
+    std::vector<double> ll(data.size());
+    eval.logLikelihoodBatch(data, ll);
     double acc = 0.0;
-    for (const auto &x : data)
-        acc += circuit.logLikelihood(x);
+    for (double v : ll)
+        acc += v;
     return -acc / double(samples);
 }
 
@@ -242,12 +270,14 @@ pairwiseMarginal(const Circuit &circuit, uint32_t a, uint32_t b)
                  "pairwiseMarginal needs two distinct variables");
     std::vector<std::vector<double>> joint(
         circuit.arity(), std::vector<double>(circuit.arity(), 0.0));
+    FlatCircuit flat(circuit);
+    CircuitEvaluator eval(flat);
     Assignment x(circuit.numVars(), kMissing);
     for (uint32_t i = 0; i < circuit.arity(); ++i) {
         for (uint32_t j = 0; j < circuit.arity(); ++j) {
             x[a] = i;
             x[b] = j;
-            joint[i][j] = std::exp(circuit.logLikelihood(x));
+            joint[i][j] = std::exp(eval.logLikelihood(x));
         }
     }
     return joint;

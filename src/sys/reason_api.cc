@@ -44,11 +44,13 @@ ReasonRuntime::REASON_execute(int batch_id, int batch_size,
     shm_.symbolicReady = false;
 
     uint64_t batch_cycles = 0;
+    inputRow_.resize(num_inputs);
     for (int b = 0; b < batch_size; ++b) {
-        std::vector<double> inputs(in + size_t(b) * num_inputs,
-                                   in + size_t(b + 1) * num_inputs);
+        // Reused row buffer: batched serving must not allocate per item.
+        inputRow_.assign(in + size_t(b) * num_inputs,
+                         in + size_t(b + 1) * num_inputs);
         arch::ExecutionResult r =
-            accel_.run(program_, inputs, /*preloaded=*/b > 0);
+            accel_.run(program_, inputRow_, /*preloaded=*/b > 0);
         out[b] = r.rootValue;
         batch_cycles += r.cycles;
         if (b == batch_size - 1)

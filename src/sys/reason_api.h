@@ -92,6 +92,8 @@ class ReasonRuntime
     compiler::Program program_;
     arch::Accelerator accel_;
     SharedMemory shm_;
+    /** Reused per-item input row (avoids per-batch-item allocation). */
+    std::vector<double> inputRow_;
     uint64_t now_ = 0;
     /** batch id -> completion cycle. */
     std::map<int, uint64_t> completion_;

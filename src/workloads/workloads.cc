@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "logic/solver.h"
+#include "pc/flat_pc.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -352,14 +353,22 @@ pcClassificationAccuracy(const std::vector<pc::Circuit> &class_circuits,
     reasonAssert(queries.size() == labels.size(), "label mismatch");
     if (queries.empty())
         return 0.0;
+    // Flat path: lower each class circuit once and stream every query
+    // through a reused evaluator (class-major for cache locality).
+    std::vector<std::vector<double>> ll(
+        class_circuits.size(), std::vector<double>(queries.size()));
+    for (uint32_t c = 0; c < class_circuits.size(); ++c) {
+        pc::FlatCircuit flat(class_circuits[c]);
+        pc::CircuitEvaluator eval(flat);
+        eval.logLikelihoodBatch(queries, ll[c]);
+    }
     uint32_t correct = 0;
     for (size_t q = 0; q < queries.size(); ++q) {
         double best = -1e300;
         uint32_t arg = 0;
         for (uint32_t c = 0; c < class_circuits.size(); ++c) {
-            double ll = class_circuits[c].logLikelihood(queries[q]);
-            if (ll > best) {
-                best = ll;
+            if (ll[c][q] > best) {
+                best = ll[c][q];
                 arg = c;
             }
         }
