@@ -3,19 +3,28 @@
  * Seed-vs-flat evaluation benchmark: times repeated Circuit
  * log-likelihood passes on a >=100k-node random circuit through the
  * reference AoS walker (Circuit::logLikelihood, one allocation per
- * call) and the flat CSR engine (pc::CircuitEvaluator, allocation-free
- * batched), plus the linear-domain Dag-vs-core::Evaluator pair.
+ * call), the serial flat CSR engine (pc::CircuitEvaluator,
+ * allocation-free batched), and the thread-parallel wavefront engine
+ * (same evaluator over a multi-worker pool, bit-identical results),
+ * plus the linear-domain Dag-vs-core::Evaluator pair.
  *
  * Emits one machine-readable JSON line per engine pair (prefix
- * "BENCH_JSON ") so the perf trajectory can be tracked across PRs:
+ * "BENCH_JSON ", with compiler/flags provenance) so the perf
+ * trajectory can be tracked across PRs:
  *
- *   ./bench_eval [num_vars] [reps]
+ *   ./bench_eval [num_vars] [reps] [--threads N] [--repeats N]
+ *
+ * --threads N   worker count of the threaded variant (default:
+ *               hardware concurrency; 1 skips the threaded section).
+ * --repeats N   same as the positional reps argument.
  */
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/builders.h"
@@ -23,10 +32,18 @@
 #include "pc/flat_pc.h"
 #include "pc/pc.h"
 #include "util/numeric.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 using namespace reason;
 using Clock = std::chrono::steady_clock;
+
+#ifndef REASON_BUILD_FLAGS
+#define REASON_BUILD_FLAGS "unknown"
+#endif
+#ifndef REASON_BUILD_TYPE
+#define REASON_BUILD_TYPE "unknown"
+#endif
 
 namespace {
 
@@ -37,18 +54,70 @@ msSince(Clock::time_point start)
         .count();
 }
 
+const char *
+compilerName()
+{
+#if defined(__clang__)
+    return "clang++ " __VERSION__;
+#elif defined(__GNUC__)
+    return "g++ " __VERSION__;
+#else
+    return "unknown " __VERSION__;
+#endif
+}
+
+int
+usageError()
+{
+    std::fprintf(stderr, "usage: bench_eval [num_vars >= 2] [reps >= 1] "
+                         "[--threads N] [--repeats N]\n");
+    return 1;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
-    uint32_t num_vars = argc > 1 ? uint32_t(std::atoi(argv[1])) : 1500;
-    size_t reps = argc > 2 ? size_t(std::atoi(argv[2])) : 1000;
-    if (num_vars < 2 || reps == 0) {
-        std::fprintf(stderr,
-                     "usage: bench_eval [num_vars >= 2] [reps >= 1]\n");
-        return 1;
+    uint32_t num_vars = 1500;
+    size_t reps = 1000;
+    unsigned threads = std::thread::hardware_concurrency();
+    if (threads == 0)
+        threads = 1;
+
+    size_t positional = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            if (!util::parseThreadCount(argv[++i], &threads))
+                return usageError();
+        } else if (std::strcmp(argv[i], "--repeats") == 0 &&
+                   i + 1 < argc) {
+            reps = size_t(std::atoll(argv[++i]));
+        } else if (argv[i][0] == '-') {
+            return usageError();
+        } else if (positional == 0) {
+            num_vars = uint32_t(std::atoi(argv[i]));
+            ++positional;
+        } else if (positional == 1) {
+            reps = size_t(std::atoll(argv[i]));
+            ++positional;
+        } else {
+            return usageError();
+        }
     }
+    if (threads == 0) { // --threads 0 = hardware concurrency
+        threads = std::thread::hardware_concurrency();
+        if (threads == 0)
+            threads = 1;
+    }
+    if (num_vars < 2 || reps == 0)
+        return usageError();
+
+    const char *provenance_fmt =
+        ",\"compiler\":\"%s\",\"flags\":\"%s\",\"build\":\"%s\"";
+    char provenance[512];
+    std::snprintf(provenance, sizeof provenance, provenance_fmt,
+                  compilerName(), REASON_BUILD_FLAGS, REASON_BUILD_TYPE);
 
     Rng rng(2026);
     // num_sums=8, num_inputs=16 yields ~72 interior nodes per region:
@@ -61,14 +130,18 @@ main(int argc, char **argv)
     std::vector<pc::Assignment> data =
         pc::sampleDataset(rng, circuit, reps);
 
+    // The serial baseline must stay serial regardless of the global
+    // pool, so every "flat" engine below gets an explicit 1-thread pool.
+    util::ThreadPool serial_pool(1);
+
     // --- log-domain: Circuit::logLikelihood vs flat batched ------------
-    volatile double sink = 0.0;
+    double sink = 0.0;
     // Warm-up both paths (page in the circuit, prime caches).
     sink += circuit.logLikelihood(data[0]);
 
     Clock::time_point t0 = Clock::now();
     pc::FlatCircuit flat(circuit);
-    pc::CircuitEvaluator eval(flat);
+    pc::CircuitEvaluator eval(flat, &serial_pool);
     double lower_ms = msSince(t0);
     sink += eval.logLikelihood(data[0]);
 
@@ -96,13 +169,47 @@ main(int argc, char **argv)
                 "\"circuit_loglik\",\"nodes\":%zu,\"edges\":%zu,"
                 "\"reps\":%zu,\"seed_ms\":%.3f,\"flat_ms\":%.3f,"
                 "\"lower_ms\":%.3f,\"speedup\":%.2f,"
-                "\"max_abs_diff\":%.3e}\n",
+                "\"max_abs_diff\":%.3e%s}\n",
                 circuit.numNodes(), circuit.numEdges(), reps, seed_ms,
-                flat_ms, lower_ms, speedup, max_diff);
+                flat_ms, lower_ms, speedup, max_diff, provenance);
     std::printf("seed %.3f ms, flat %.3f ms (+%.3f ms lowering): "
                 "%.2fx %s (target >=5x), max |diff| %.2e\n",
                 seed_ms, flat_ms, lower_ms, speedup,
                 speedup >= 5.0 ? "PASS" : "BELOW TARGET", max_diff);
+
+    // --- threaded wavefront variant ------------------------------------
+    if (threads > 1) {
+        util::ThreadPool mt_pool(threads);
+        pc::CircuitEvaluator mt_eval(flat, &mt_pool);
+        std::vector<double> mt_ll(data.size());
+        mt_eval.logLikelihoodBatch(data, mt_ll); // warm per-worker scratch
+        t0 = Clock::now();
+        mt_eval.logLikelihoodBatch(data, mt_ll);
+        double mt_ms = msSince(t0);
+
+        // The wavefront engine must be *bit-identical* to serial flat.
+        size_t mismatches = 0;
+        for (size_t i = 0; i < data.size(); ++i)
+            if (mt_ll[i] != flat_ll[i])
+                ++mismatches;
+        double mt_speedup = flat_ms / mt_ms;
+        std::printf("BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+                    "\"circuit_loglik_mt\",\"nodes\":%zu,\"edges\":%zu,"
+                    "\"reps\":%zu,\"threads\":%u,\"flat_ms\":%.3f,"
+                    "\"mt_ms\":%.3f,\"speedup_vs_flat\":%.2f,"
+                    "\"bitwise_mismatches\":%zu%s}\n",
+                    circuit.numNodes(), circuit.numEdges(), reps,
+                    threads, flat_ms, mt_ms, mt_speedup, mismatches,
+                    provenance);
+        std::printf("threaded (%u workers): %.3f ms vs serial flat "
+                    "%.3f ms: %.2fx %s (target >=2x with >=4 threads), "
+                    "%zu bitwise mismatches\n",
+                    threads, mt_ms, flat_ms, mt_speedup,
+                    mt_speedup >= 2.0 ? "PASS" : "BELOW TARGET",
+                    mismatches);
+    } else {
+        std::printf("threaded section skipped (1 worker)\n");
+    }
 
     // --- linear domain: Dag::evaluate vs core::Evaluator ---------------
     core::Dag dag = core::buildFromCircuit(circuit);
@@ -120,7 +227,7 @@ main(int argc, char **argv)
 
     t0 = Clock::now();
     core::FlatGraph fg = core::lowerDag(dag);
-    core::Evaluator fev(fg);
+    core::Evaluator fev(fg, &serial_pool);
     double dag_lower_ms = msSince(t0);
     sink += fev.evaluateRoot(inputs);
 
@@ -136,10 +243,10 @@ main(int argc, char **argv)
     std::printf("BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
                 "\"dag_eval\",\"nodes\":%zu,\"edges\":%zu,\"reps\":%zu,"
                 "\"seed_ms\":%.3f,\"flat_ms\":%.3f,\"lower_ms\":%.3f,"
-                "\"speedup\":%.2f,\"max_abs_diff\":%.3e}\n",
+                "\"speedup\":%.2f,\"max_abs_diff\":%.3e%s}\n",
                 dag.numNodes(), dag.numEdges(), dag_reps, dag_seed_ms,
                 dag_flat_ms, dag_lower_ms, dag_speedup,
-                std::fabs(dag_acc - dag_flat_acc));
+                std::fabs(dag_acc - dag_flat_acc), provenance);
     std::printf("dag: seed %.3f ms, flat %.3f ms: %.2fx\n", dag_seed_ms,
                 dag_flat_ms, dag_speedup);
 

@@ -29,6 +29,11 @@
 #include "core/dag.h"
 
 namespace reason {
+
+namespace util {
+class ThreadPool;
+}
+
 namespace core {
 
 /**
@@ -104,6 +109,28 @@ struct FlatGraph
 /** Lower a Dag into flat CSR form.  O(nodes + edges). */
 FlatGraph lowerDag(const Dag &dag);
 
+/** A wavefront schedule: nodes grouped by level via offset slices. */
+struct LevelSchedule
+{
+    /** Offsets into nodes; size numLevels+1. */
+    std::vector<uint32_t> offset;
+    /** Scheduled nodes, ascending id within a level. */
+    std::vector<uint32_t> nodes;
+};
+
+/**
+ * Compute the level (wavefront) schedule of a CSR DAG: a node's level
+ * is one past its deepest operand (operand-free nodes are level 0).
+ * `schedulable` restricts which nodes appear in the schedule (empty =
+ * all); levels are always computed over every node, so filtered-out
+ * leaves still anchor level 0.  Shared by core::lowerDag (operation
+ * nodes only) and pc::FlatCircuit (all nodes).  O(nodes + edges).
+ */
+LevelSchedule buildLevelSchedule(size_t num_nodes,
+                                 std::span<const uint32_t> edge_offset,
+                                 std::span<const uint32_t> edge_target,
+                                 std::span<const uint8_t> schedulable = {});
+
 /**
  * Allocation-free evaluator over a FlatGraph.
  *
@@ -111,11 +138,32 @@ FlatGraph lowerDag(const Dag &dag);
  * at construction; every evaluate() reuses it.  The referenced FlatGraph
  * must outlive the evaluator.  Results are identical to Dag::evaluate
  * (same operation order, same floating-point expression shapes).
+ *
+ * **Threading.**  Pass a util::ThreadPool (or rely on the global pool)
+ * and evaluate() executes each wavefront of the level schedule in
+ * parallel: every node of a level depends only on earlier levels, each
+ * node value has exactly one writer, and per-node expressions are
+ * unchanged, so results are *bit-identical* to the serial path for any
+ * thread count.  evaluateBatch() additionally splits the row dimension
+ * across workers using one private per-worker value buffer each (lazily
+ * allocated once, then reused).
+ *
+ * **Thread-safety contract.**  One Evaluator may be driven by one
+ * caller at a time (the scratch is stateful); concurrent use requires
+ * one Evaluator per thread, which may share a single FlatGraph —
+ * FlatGraph is immutable after lowering and safe for unsynchronized
+ * concurrent reads.
  */
 class Evaluator
 {
   public:
-    explicit Evaluator(const FlatGraph &graph);
+    /**
+     * @param graph  lowered graph; must outlive the evaluator.
+     * @param pool   worker pool for wavefront/batch parallelism;
+     *               nullptr selects util::globalThreadPool().
+     */
+    explicit Evaluator(const FlatGraph &graph,
+                       util::ThreadPool *pool = nullptr);
 
     /**
      * Evaluate for one input row (indexed by input tag; size must be
@@ -130,19 +178,35 @@ class Evaluator
     /**
      * Batched evaluation over `num_rows` row-major input rows of
      * numInputs values each; writes one root value per row.  Rows are
-     * streamed through the same scratch, so the whole batch performs
-     * zero heap allocations.
+     * split across pool workers (deterministic contiguous chunks, one
+     * private value buffer per worker), so the batch is allocation-free
+     * once warm and bit-identical to per-row evaluate() calls.
      */
     void evaluateBatch(std::span<const double> rows, size_t num_rows,
                        std::span<double> roots_out);
 
     const FlatGraph &graph() const { return graph_; }
-    /** Per-node values of the most recent evaluate(). */
+    /**
+     * Per-node values of the most recent evaluate().  Only meaningful
+     * after evaluate(); evaluateBatch() does not update this view.
+     */
     const std::vector<double> &values() const { return values_; }
 
   private:
+    /** Smallest wavefront worth splitting across threads. */
+    static constexpr size_t kMinNodesPerChunk = 2048;
+    /** Smallest per-worker row count of the batched path. */
+    static constexpr size_t kMinRowsPerChunk = 4;
+
+    /** The explicit pool, or the (possibly reconfigured) global one. */
+    util::ThreadPool &activePool() const;
+
     const FlatGraph &graph_;
+    /** Explicit pool, or nullptr = resolve the global pool per call. */
+    util::ThreadPool *pool_;
     std::vector<double> values_;
+    /** Per-worker value buffers of the batched path (lazy). */
+    std::vector<std::vector<double>> batchValues_;
 };
 
 } // namespace core

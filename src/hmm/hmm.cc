@@ -5,6 +5,7 @@
 
 #include "util/logging.h"
 #include "util/numeric.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace reason {
@@ -296,6 +297,26 @@ sequenceLogLikelihood(const Hmm &hmm, const Sequence &obs)
     return ll;
 }
 
+void
+sequenceLogLikelihoods(const Hmm &hmm, const std::vector<Sequence> &data,
+                       std::vector<double> &out, util::ThreadPool *pool)
+{
+    out.resize(data.size());
+    if (data.empty())
+        return;
+    if (pool == nullptr)
+        pool = &util::globalThreadPool();
+    // Each sequence is an independent forward pass with its own local
+    // buffers; out[i] has one writer, so any partitioning yields the
+    // same per-sequence values as serial calls.
+    pool->parallelFor(0, data.size(), 1,
+                      [&](size_t b, size_t e, unsigned) {
+                          for (size_t i = b; i < e; ++i)
+                              out[i] =
+                                  sequenceLogLikelihood(hmm, data[i]);
+                      });
+}
+
 ViterbiResult
 viterbi(const Hmm &hmm, const Sequence &obs)
 {
@@ -390,10 +411,15 @@ baumWelch(Hmm &hmm, const std::vector<Sequence> &data,
     const uint32_t M = hmm.numSymbols();
     BaumWelchTrace trace;
 
+    // Per-sequence likelihoods run thread-parallel; the reduction over
+    // the materialized vector stays serial in dataset order, so the
+    // trace is independent of the thread count.
+    std::vector<double> lls;
     auto total_ll = [&]() {
+        sequenceLogLikelihoods(hmm, data, lls);
         double acc = 0.0;
-        for (const auto &seq : data)
-            acc += sequenceLogLikelihood(hmm, seq);
+        for (double ll : lls)
+            acc += ll;
         return acc / static_cast<double>(data.size());
     };
     trace.logLikelihood.push_back(total_ll());

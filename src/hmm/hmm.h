@@ -17,6 +17,10 @@ namespace reason {
 
 class Rng;
 
+namespace util {
+class ThreadPool;
+}
+
 namespace hmm {
 
 /** Observation sequence: symbol indices in [0, numSymbols). */
@@ -133,6 +137,20 @@ void forwardBackwardInto(const Hmm &hmm, const Sequence &obs,
 
 /** log P(x) only (forward pass). */
 double sequenceLogLikelihood(const Hmm &hmm, const Sequence &obs);
+
+/**
+ * log P(x) for every sequence of a dataset, written into `out`
+ * (out.size() >= data.size()).  Sequences are independent forward
+ * passes, so they are split across the worker pool (nullptr selects the
+ * global pool) in deterministic contiguous chunks; each out[i] is
+ * computed by exactly one worker with the per-sequence serial code, so
+ * results are bit-identical for any thread count.  Used by baumWelch's
+ * per-iteration dataset likelihood.
+ */
+void sequenceLogLikelihoods(const Hmm &hmm,
+                            const std::vector<Sequence> &data,
+                            std::vector<double> &out,
+                            util::ThreadPool *pool = nullptr);
 
 /** Viterbi decoding result. */
 struct ViterbiResult

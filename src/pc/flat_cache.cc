@@ -1,0 +1,224 @@
+#include "pc/flat_cache.h"
+
+#include <bit>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/dag.h"
+
+namespace reason {
+namespace pc {
+
+namespace {
+
+/** 64-bit FNV-1a running hash. */
+struct Fnv
+{
+    uint64_t h = 1469598103934665603ull;
+
+    void
+    mix(uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i) {
+            h ^= (v >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    void mix(uint32_t v) { mix(uint64_t(v)); }
+    void mix(double v) { mix(std::bit_cast<uint64_t>(v)); }
+};
+
+/** Content fingerprint: exact counts plus a topology/parameter hash. */
+struct Identity
+{
+    uint64_t nodes = 0;
+    uint64_t edges = 0;
+    uint64_t meta = 0; // vars/arity (circuit) or inputs/root (dag)
+    uint64_t hash = 0;
+
+    bool
+    operator==(const Identity &o) const
+    {
+        return nodes == o.nodes && edges == o.edges && meta == o.meta &&
+               hash == o.hash;
+    }
+};
+
+Identity
+fingerprint(const Circuit &c)
+{
+    Identity id;
+    id.nodes = c.numNodes();
+    id.edges = c.numEdges();
+    id.meta = (uint64_t(c.numVars()) << 32) | c.arity();
+    Fnv f;
+    f.mix(uint64_t(c.root()));
+    for (size_t i = 0; i < c.numNodes(); ++i) {
+        const PcNode &n = c.node(NodeId(i));
+        f.mix(uint64_t(n.type));
+        switch (n.type) {
+          case PcNodeType::Leaf:
+            f.mix(n.var);
+            for (double d : n.dist)
+                f.mix(d);
+            break;
+          case PcNodeType::Sum:
+            for (size_t k = 0; k < n.children.size(); ++k) {
+                f.mix(n.children[k]);
+                f.mix(n.weights[k]);
+            }
+            break;
+          case PcNodeType::Product:
+            for (NodeId child : n.children)
+                f.mix(child);
+            break;
+        }
+    }
+    id.hash = f.h;
+    return id;
+}
+
+Identity
+fingerprint(const core::Dag &dag)
+{
+    Identity id;
+    id.nodes = dag.numNodes();
+    id.edges = dag.numEdges();
+    id.meta = (uint64_t(dag.numInputs()) << 32) | dag.root();
+    Fnv f;
+    for (size_t i = 0; i < dag.numNodes(); ++i) {
+        const core::DagNode &n = dag.node(core::NodeId(i));
+        f.mix(uint64_t(n.op));
+        f.mix(n.tag);
+        f.mix(n.value);
+        for (core::NodeId in : n.inputs)
+            f.mix(in);
+        for (double w : n.weights)
+            f.mix(w);
+    }
+    id.hash = f.h;
+    return id;
+}
+
+/**
+ * One pointer-bucketed LRU cache.  The pointer is only a bucket key —
+ * correctness rests on the Identity comparison, so address reuse after
+ * an object dies simply misses (different fingerprint) or legitimately
+ * shares (byte-equal structure lowers to the same flat form).
+ */
+template <typename Flat>
+class LoweringCache
+{
+  public:
+    static constexpr size_t kMaxEntries = 16;
+
+    /**
+     * Serve `src`'s lowering.  The fingerprint pass and (on a miss)
+     * the lowering itself run *outside* the lock, so concurrent
+     * queries only serialize on the map lookup/insert; two threads
+     * racing to lower the same structure both lower, and the later
+     * insert wins (both results are equivalent by construction).
+     */
+    template <typename Source, typename Lower>
+    std::shared_ptr<const Flat>
+    get(const Source &src, Lower lower)
+    {
+        const Identity id = fingerprint(src);
+        const uintptr_t key = reinterpret_cast<uintptr_t>(&src);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto it = entries_.find(key);
+            if (it != entries_.end() && it->second.id == id) {
+                ++stats_.hits;
+                it->second.tick = ++clock_;
+                return it->second.flat;
+            }
+        }
+        auto flat = std::make_shared<const Flat>(lower(src));
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.misses;
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            it->second = {id, flat, ++clock_};
+            return flat;
+        }
+        if (entries_.size() >= kMaxEntries) {
+            auto oldest = entries_.begin();
+            for (auto e = entries_.begin(); e != entries_.end(); ++e)
+                if (e->second.tick < oldest->second.tick)
+                    oldest = e;
+            entries_.erase(oldest);
+            ++stats_.evictions;
+        }
+        entries_.emplace(key, Entry{id, flat, ++clock_});
+        return flat;
+    }
+
+    void
+    mergeStats(FlatCacheStats *out)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out->hits += stats_.hits;
+        out->misses += stats_.misses;
+        out->evictions += stats_.evictions;
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        entries_.clear();
+        stats_ = FlatCacheStats{};
+        clock_ = 0;
+    }
+
+  private:
+    struct Entry
+    {
+        Identity id;
+        std::shared_ptr<const Flat> flat;
+        uint64_t tick = 0;
+    };
+    std::mutex mutex_;
+    FlatCacheStats stats_;
+    std::unordered_map<uintptr_t, Entry> entries_;
+    uint64_t clock_ = 0;
+};
+
+LoweringCache<FlatCircuit> g_circuits;
+LoweringCache<core::FlatGraph> g_dags;
+
+} // namespace
+
+std::shared_ptr<const FlatCircuit>
+cachedLowering(const Circuit &circuit)
+{
+    return g_circuits.get(circuit,
+                          [](const Circuit &c) { return FlatCircuit(c); });
+}
+
+std::shared_ptr<const core::FlatGraph>
+cachedLowering(const core::Dag &dag)
+{
+    return g_dags.get(dag,
+                      [](const core::Dag &d) { return core::lowerDag(d); });
+}
+
+FlatCacheStats
+flatCacheStats()
+{
+    FlatCacheStats stats;
+    g_circuits.mergeStats(&stats);
+    g_dags.mergeStats(&stats);
+    return stats;
+}
+
+void
+clearFlatCache()
+{
+    g_circuits.clear();
+    g_dags.clear();
+}
+
+} // namespace pc
+} // namespace reason

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Lowering cache for the flat kernel engines.
+ *
+ * Every repeated-pass query lowers its Circuit (or Dag) into the flat
+ * CSR form before evaluating; callers that issue many queries against
+ * the same structure — posteriorMarginals per evidence set, EM's
+ * meanLogLikelihood after each M-step, entropy sweeps, the CLI — used
+ * to pay that O(nodes + edges + log() per weight) cost on every call.
+ * The cache keys a lowering by *structural identity*: the object's
+ * address plus a content fingerprint (node/edge counts and a 64-bit
+ * FNV-1a hash over topology and parameters).  Address reuse and
+ * in-place mutation (e.g. EM weight updates) change the fingerprint
+ * and miss; hitting requires byte-equal structure, so a hit is always
+ * safe to share.
+ *
+ * Entries are std::shared_ptr<const ...>: callers keep their lowering
+ * alive independently of later evictions (small LRU, kMaxEntries).
+ * All functions are thread-safe (internal mutex); the returned flat
+ * structures are immutable and safe for concurrent reads.
+ */
+
+#ifndef REASON_PC_FLAT_CACHE_H
+#define REASON_PC_FLAT_CACHE_H
+
+#include <cstdint>
+#include <memory>
+
+#include "core/flat.h"
+#include "pc/flat_pc.h"
+
+namespace reason {
+namespace pc {
+
+/**
+ * Lowering of `circuit`, served from the cache when the circuit is
+ * structurally unchanged since the previous call, freshly lowered (and
+ * cached) otherwise.
+ */
+std::shared_ptr<const FlatCircuit> cachedLowering(const Circuit &circuit);
+
+/** Dag counterpart: cached core::lowerDag. */
+std::shared_ptr<const core::FlatGraph>
+cachedLowering(const core::Dag &dag);
+
+/** Hit/miss/eviction counters since process start (or last clear). */
+struct FlatCacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+};
+
+FlatCacheStats flatCacheStats();
+
+/** Drop every cached lowering and zero the counters (tests, reloads). */
+void clearFlatCache();
+
+} // namespace pc
+} // namespace reason
+
+#endif // REASON_PC_FLAT_CACHE_H

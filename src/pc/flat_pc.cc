@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/flat.h"
 #include "util/logging.h"
 #include "util/numeric.h"
+#include "util/parallel.h"
 
 namespace reason {
 namespace pc {
@@ -56,90 +58,168 @@ FlatCircuit::FlatCircuit(const Circuit &circuit)
         }
         edgeOffset.push_back(uint32_t(edgeTarget.size()));
     }
+
+    // Level (wavefront) schedule over all nodes: leaves sit in level 0
+    // (they are re-filled per assignment), interior nodes one past
+    // their deepest child.
+    core::LevelSchedule sched =
+        core::buildLevelSchedule(n, edgeOffset, edgeTarget);
+    levelOffset = std::move(sched.offset);
+    levelNodes = std::move(sched.nodes);
+
+    // Parent transpose in descending parent order: the serial top-down
+    // scatter visits parents n-1..0, so a gather that walks each node's
+    // incoming edges in this order reproduces its flow sum term-for-term.
+    const size_t m = edgeTarget.size();
+    edgeSource.resize(m);
+    parentOffset.assign(n + 1, 0);
+    for (size_t i = 0; i < n; ++i)
+        for (uint32_t e = edgeOffset[i]; e < edgeOffset[i + 1]; ++e) {
+            edgeSource[e] = uint32_t(i);
+            ++parentOffset[edgeTarget[e] + 1];
+        }
+    for (size_t i = 1; i <= n; ++i)
+        parentOffset[i] += parentOffset[i - 1];
+    parentEdge.resize(m);
+    {
+        std::vector<uint32_t> cursor(parentOffset.begin(),
+                                     parentOffset.end() - 1);
+        for (size_t i = n; i-- > 0;)
+            for (uint32_t e = edgeOffset[i]; e < edgeOffset[i + 1]; ++e)
+                parentEdge[cursor[edgeTarget[e]]++] = e;
+    }
 }
 
-CircuitEvaluator::CircuitEvaluator(const FlatCircuit &flat)
-    : flat_(flat), logv_(flat.numNodes(), kLogZero)
+namespace {
+
+/**
+ * Evaluate one circuit node into val[i].  Shared by the serial id-order
+ * walk and the parallel wavefront walk so both paths execute identical
+ * floating-point expressions (bit-identical results).
+ */
+inline void
+evalCircuitNode(const FlatCircuit &flat, const Assignment &x, double *val,
+                double *terms, size_t i)
 {
-    size_t max_fan_in = 0;
+    const uint8_t *types = flat.types.data();
+    const uint32_t *off = flat.edgeOffset.data();
+    const uint32_t *tgt = flat.edgeTarget.data();
+    const double *lw = flat.edgeLogWeight.data();
+    switch (types[i]) {
+      case FlatCircuit::kLeaf: {
+        const uint32_t s = flat.leafSlot[i];
+        const uint32_t v = x[flat.leafVar[s]];
+        if (v == kMissing) {
+            val[i] = 0.0; // marginalized: sums to 1
+        } else {
+            reasonAssert(v < flat.arity, "assignment value out of range");
+            val[i] = flat.leafLogDist[size_t(s) * flat.arity + v];
+        }
+        break;
+      }
+      case FlatCircuit::kProduct: {
+        // Straight-line add (no early break): -inf absorbs and no
+        // operand can be +inf, so the result is unchanged and the
+        // loop stays branch-free.
+        double acc = 0.0;
+        for (uint32_t e = off[i]; e < off[i + 1]; ++e)
+            acc += val[tgt[e]];
+        val[i] = acc;
+        break;
+      }
+      case FlatCircuit::kSum: {
+        // Two-pass log-sum-exp: one max scan, then exp-accumulate
+        // against the max.  This spends one log per *node* instead
+        // of one log1p+exp per *edge* (what sequential logAdd
+        // costs), and after max subtraction the exp argument lies
+        // in (-inf, 0] where fastExpNonPositive applies.  Terms
+        // below the -40 cut contribute < 4e-18 relative and are
+        // skipped; total deviation from sequential logAdd stays
+        // orders of magnitude inside the 1e-12 contract.
+        constexpr double kNegligible = -40.0;
+        const uint32_t lo = off[i];
+        const uint32_t hi_e = off[i + 1];
+        double hi = kLogZero;
+        for (uint32_t e = lo; e < hi_e; ++e) {
+            const double term = lw[e] + val[tgt[e]];
+            terms[e - lo] = term;
+            if (term > hi)
+                hi = term;
+        }
+        if (hi == kLogZero) {
+            val[i] = kLogZero;
+            break;
+        }
+        double acc = 0.0;
+        for (uint32_t e = lo; e < hi_e; ++e) {
+            const double d = terms[e - lo] - hi;
+            if (d >= kNegligible)
+                acc += fastExpNonPositive(d);
+        }
+        val[i] = hi + std::log(acc);
+        break;
+      }
+    }
+}
+
+} // namespace
+
+CircuitEvaluator::CircuitEvaluator(const FlatCircuit &flat,
+                                   util::ThreadPool *pool)
+    : flat_(flat), pool_(pool), logv_(flat.numNodes(), kLogZero)
+{
     for (size_t i = 0; i < flat.numNodes(); ++i)
-        max_fan_in = std::max<size_t>(
-            max_fan_in, flat.edgeOffset[i + 1] - flat.edgeOffset[i]);
-    terms_.resize(max_fan_in, 0.0);
+        maxFanIn_ = std::max<size_t>(
+            maxFanIn_, flat.edgeOffset[i + 1] - flat.edgeOffset[i]);
+    terms_.resize(std::max<size_t>(maxFanIn_, 1), 0.0);
+}
+
+util::ThreadPool &
+CircuitEvaluator::activePool() const
+{
+    // Resolved per call, not cached: setGlobalThreads may legally
+    // replace the global pool between evaluation phases, and a cached
+    // pointer would dangle.
+    return pool_ ? *pool_ : util::globalThreadPool();
+}
+
+void
+CircuitEvaluator::evaluateLevelSlice(const Assignment &x, size_t b,
+                                     size_t e, double *terms)
+{
+    double *val = logv_.data();
+    const uint32_t *sched = flat_.levelNodes.data();
+    for (size_t k = b; k < e; ++k)
+        evalCircuitNode(flat_, x, val, terms, sched[k]);
 }
 
 std::span<const double>
 CircuitEvaluator::evaluate(const Assignment &x)
 {
     reasonAssert(x.size() >= flat_.numVars, "assignment too short");
-    double *val = logv_.data();
-    const uint8_t *types = flat_.types.data();
-    const uint32_t *off = flat_.edgeOffset.data();
-    const uint32_t *tgt = flat_.edgeTarget.data();
-    const double *lw = flat_.edgeLogWeight.data();
-    const uint32_t *slot = flat_.leafSlot.data();
-    const uint32_t *var = flat_.leafVar.data();
-    const double *dist = flat_.leafLogDist.data();
-    const uint32_t arity = flat_.arity;
     const size_t n = flat_.numNodes();
+    util::ThreadPool &pool = activePool();
+    if (pool.numThreads() == 1) {
+        double *val = logv_.data();
+        for (size_t i = 0; i < n; ++i)
+            evalCircuitNode(flat_, x, val, terms_.data(), i);
+        return {logv_.data(), logv_.size()};
+    }
 
-    for (size_t i = 0; i < n; ++i) {
-        switch (types[i]) {
-          case FlatCircuit::kLeaf: {
-            const uint32_t s = slot[i];
-            const uint32_t v = x[var[s]];
-            if (v == kMissing) {
-                val[i] = 0.0; // marginalized: sums to 1
-            } else {
-                reasonAssert(v < arity, "assignment value out of range");
-                val[i] = dist[size_t(s) * arity + v];
-            }
-            break;
-          }
-          case FlatCircuit::kProduct: {
-            // Straight-line add (no early break): -inf absorbs and no
-            // operand can be +inf, so the result is unchanged and the
-            // loop stays branch-free.
-            double acc = 0.0;
-            for (uint32_t e = off[i]; e < off[i + 1]; ++e)
-                acc += val[tgt[e]];
-            val[i] = acc;
-            break;
-          }
-          case FlatCircuit::kSum: {
-            // Two-pass log-sum-exp: one max scan, then exp-accumulate
-            // against the max.  This spends one log per *node* instead
-            // of one log1p+exp per *edge* (what sequential logAdd
-            // costs), and after max subtraction the exp argument lies
-            // in (-inf, 0] where fastExpNonPositive applies.  Terms
-            // below the -40 cut contribute < 4e-18 relative and are
-            // skipped; total deviation from sequential logAdd stays
-            // orders of magnitude inside the 1e-12 contract.
-            constexpr double kNegligible = -40.0;
-            const uint32_t lo = off[i];
-            const uint32_t hi_e = off[i + 1];
-            double hi = kLogZero;
-            double *terms = terms_.data();
-            for (uint32_t e = lo; e < hi_e; ++e) {
-                const double term = lw[e] + val[tgt[e]];
-                terms[e - lo] = term;
-                if (term > hi)
-                    hi = term;
-            }
-            if (hi == kLogZero) {
-                val[i] = kLogZero;
-                break;
-            }
-            double acc = 0.0;
-            for (uint32_t e = lo; e < hi_e; ++e) {
-                const double d = terms[e - lo] - hi;
-                if (d >= kNegligible)
-                    acc += fastExpNonPositive(d);
-            }
-            val[i] = hi + std::log(acc);
-            break;
-          }
-        }
+    // Wavefront execution over the level schedule: one writer per node
+    // value, per-worker term scratch, unchanged per-node expressions —
+    // bit-identical to the serial walk for any thread count.
+    const size_t stripe = std::max<size_t>(maxFanIn_, 1);
+    if (terms_.size() < stripe * pool.numThreads())
+        terms_.resize(stripe * pool.numThreads(), 0.0);
+    for (size_t l = 0; l < flat_.numLevels(); ++l) {
+        pool.parallelFor(
+            flat_.levelOffset[l], flat_.levelOffset[l + 1],
+            kMinNodesPerChunk,
+            [&](size_t b, size_t e, unsigned worker) {
+                evaluateLevelSlice(x, b, e,
+                                   terms_.data() + worker * stripe);
+            });
     }
     return {logv_.data(), logv_.size()};
 }
@@ -157,25 +237,51 @@ CircuitEvaluator::logLikelihoodBatch(const std::vector<Assignment> &xs,
     reasonAssert(out.size() >= xs.size(), "batch output buffer too small");
     for (const Assignment &x : xs)
         reasonAssert(x.size() >= flat_.numVars, "assignment too short");
+    util::ThreadPool &pool = activePool();
+    const size_t num_blocks = xs.size() / kBlock;
+    const unsigned threads = pool.numThreads();
     size_t r = 0;
-    if (xs.size() >= kBlock) {
-        if (blockVal_.empty()) {
-            blockVal_.resize(flat_.numNodes() * kBlock, 0.0);
-            blockTerms_.resize(terms_.size() * kBlock, 0.0);
+    if (num_blocks > 0) {
+        const size_t val_size = flat_.numNodes() * kBlock;
+        const size_t term_size = std::max<size_t>(maxFanIn_, 1) * kBlock;
+        const unsigned buffers =
+            threads > 1 && num_blocks > 1
+                ? unsigned(std::min<size_t>(threads, num_blocks))
+                : 1;
+        if (blockVal_.size() < buffers) {
+            blockVal_.resize(buffers);
+            blockTerms_.resize(buffers);
         }
-        for (; r + kBlock <= xs.size(); r += kBlock)
-            evaluateBlock(&xs[r], &out[r]);
+        for (unsigned w = 0; w < buffers; ++w) {
+            if (blockVal_[w].empty()) {
+                blockVal_[w].assign(val_size, 0.0);
+                blockTerms_[w].assign(term_size, 0.0);
+            }
+        }
+        // Block-parallel: each worker streams a contiguous run of
+        // kBlock-row blocks through its own SoA buffers.  Blocks are
+        // computed identically regardless of which worker runs them.
+        pool.parallelFor(
+            0, num_blocks, 1,
+            [&](size_t b, size_t e, unsigned worker) {
+                for (size_t blk = b; blk < e; ++blk)
+                    evaluateBlock(&xs[blk * kBlock], &out[blk * kBlock],
+                                  blockVal_[worker].data(),
+                                  blockTerms_[worker].data());
+            });
+        r = num_blocks * kBlock;
     }
     for (; r < xs.size(); ++r)
         out[r] = evaluate(xs[r])[flat_.root];
 }
 
 void
-CircuitEvaluator::evaluateBlock(const Assignment *rows, double *out)
+CircuitEvaluator::evaluateBlock(const Assignment *rows, double *out,
+                                double *block_val, double *block_terms)
 {
     constexpr size_t B = kBlock;
-    double *val = blockVal_.data();
-    double *terms = blockTerms_.data();
+    double *val = block_val;
+    double *terms = block_terms;
     const uint8_t *types = flat_.types.data();
     const uint32_t *off = flat_.edgeOffset.data();
     const uint32_t *tgt = flat_.edgeTarget.data();
@@ -317,8 +423,10 @@ logDerivativesInto(const FlatCircuit &flat, std::span<const double> logv,
     }
 }
 
-FlowAccumulator::FlowAccumulator(const FlatCircuit &flat)
-    : flat_(flat), eval_(flat), flow_(flat.numNodes(), 0.0),
+FlowAccumulator::FlowAccumulator(const FlatCircuit &flat,
+                                 util::ThreadPool *pool)
+    : flat_(flat), pool_(pool), eval_(flat, pool),
+      flow_(flat.numNodes(), 0.0),
       edgeTotal_(flat.numEdges(), 0.0), nodeTotal_(flat.numNodes(), 0.0),
       leafTotal_(flat.numLeaves() * flat.arity, 0.0)
 {
@@ -332,9 +440,6 @@ FlowAccumulator::add(const Assignment &x)
     if (val[flat_.root] == kLogZero)
         return; // zero-probability evidence carries no flow
 
-    std::fill(flow_.begin(), flow_.end(), 0.0);
-    flow_[flat_.root] = 1.0;
-
     const uint8_t *types = flat_.types.data();
     const uint32_t *off = flat_.edgeOffset.data();
     const uint32_t *tgt = flat_.edgeTarget.data();
@@ -342,42 +447,103 @@ FlowAccumulator::add(const Assignment &x)
     const uint32_t *slot = flat_.leafSlot.data();
     const uint32_t *var = flat_.leafVar.data();
 
-    // Children precede parents, so a reverse scan visits parents first;
-    // a node's flow is final when the scan reaches it.
-    for (size_t i = flat_.numNodes(); i-- > 0;) {
-        const double fn = flow_[i];
-        if (fn == 0.0)
-            continue;
-        nodeTotal_[i] += fn;
-        switch (types[i]) {
-          case FlatCircuit::kLeaf: {
-            const uint32_t s = slot[i];
-            const uint32_t v = x[var[s]];
-            if (v != kMissing)
-                leafTotal_[size_t(s) * flat_.arity + v] += fn;
-            break;
-          }
-          case FlatCircuit::kProduct:
-            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
-                edgeTotal_[e] += fn;
-                flow_[tgt[e]] += fn;
+    util::ThreadPool &pool =
+        pool_ ? *pool_ : util::globalThreadPool();
+    if (pool.numThreads() == 1) {
+        std::fill(flow_.begin(), flow_.end(), 0.0);
+        flow_[flat_.root] = 1.0;
+        // Children precede parents, so a reverse scan visits parents
+        // first; a node's flow is final when the scan reaches it.
+        for (size_t i = flat_.numNodes(); i-- > 0;) {
+            const double fn = flow_[i];
+            if (fn == 0.0)
+                continue;
+            nodeTotal_[i] += fn;
+            switch (types[i]) {
+              case FlatCircuit::kLeaf: {
+                const uint32_t s = slot[i];
+                const uint32_t v = x[var[s]];
+                if (v != kMissing)
+                    leafTotal_[size_t(s) * flat_.arity + v] += fn;
+                break;
+              }
+              case FlatCircuit::kProduct:
+                for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
+                    edgeTotal_[e] += fn;
+                    flow_[tgt[e]] += fn;
+                }
+                break;
+              case FlatCircuit::kSum:
+                for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
+                    if (lw[e] == kLogZero)
+                        continue;
+                    const double child_val = val[tgt[e]];
+                    if (child_val == kLogZero)
+                        continue;
+                    const double f =
+                        std::exp(lw[e] + child_val - val[i]) * fn;
+                    edgeTotal_[e] += f;
+                    flow_[tgt[e]] += f;
+                }
+                break;
             }
-            break;
-          case FlatCircuit::kSum:
-            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
-                if (lw[e] == kLogZero)
-                    continue;
-                const double child_val = val[tgt[e]];
-                if (child_val == kLogZero)
-                    continue;
-                const double f =
-                    std::exp(lw[e] + child_val - val[i]) * fn;
-                edgeTotal_[e] += f;
-                flow_[tgt[e]] += f;
-            }
-            break;
         }
+        return;
     }
+
+    // Parallel downward pass: walk levels top-down and *gather* each
+    // node's flow from its finalized parents through the transpose.
+    // Parents of a level-L node all sit in levels > L, so inside one
+    // level every node is independent; flow_[c], edgeTotal_[e] (one
+    // child per edge), nodeTotal_[c], and leafTotal_ rows each have a
+    // single writer.  Incoming edges are stored in descending parent
+    // order — the exact accumulation order of the serial scatter — so
+    // every total matches the serial path bit for bit.
+    const uint32_t *poff = flat_.parentOffset.data();
+    const uint32_t *pedge = flat_.parentEdge.data();
+    const uint32_t *src = flat_.edgeSource.data();
+    double *flow = flow_.data();
+    const double *valp = val.data();
+    auto gather = [&](size_t b, size_t e, unsigned) {
+        for (size_t k = b; k < e; ++k) {
+            const uint32_t c = flat_.levelNodes[k];
+            double fn = c == flat_.root ? 1.0 : 0.0;
+            for (uint32_t pe = poff[c]; pe < poff[c + 1]; ++pe) {
+                const uint32_t edge = pedge[pe];
+                const uint32_t p = src[edge];
+                const double fp = flow[p];
+                if (fp == 0.0)
+                    continue;
+                if (types[p] == FlatCircuit::kProduct) {
+                    edgeTotal_[edge] += fp;
+                    fn += fp;
+                } else { // sum parent
+                    if (lw[edge] == kLogZero)
+                        continue;
+                    const double child_val = valp[c];
+                    if (child_val == kLogZero)
+                        continue;
+                    const double f =
+                        std::exp(lw[edge] + child_val - valp[p]) * fp;
+                    edgeTotal_[edge] += f;
+                    fn += f;
+                }
+            }
+            flow[c] = fn;
+            if (fn == 0.0)
+                continue;
+            nodeTotal_[c] += fn;
+            if (types[c] == FlatCircuit::kLeaf) {
+                const uint32_t s = slot[c];
+                const uint32_t v = x[var[s]];
+                if (v != kMissing)
+                    leafTotal_[size_t(s) * flat_.arity + v] += fn;
+            }
+        }
+    };
+    for (size_t l = flat_.numLevels(); l-- > 0;)
+        pool.parallelFor(flat_.levelOffset[l], flat_.levelOffset[l + 1],
+                         kMinNodesPerChunk, gather);
 }
 
 } // namespace pc

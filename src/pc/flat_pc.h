@@ -24,9 +24,31 @@
 #include "pc/pc.h"
 
 namespace reason {
+
+namespace util {
+class ThreadPool;
+}
+
 namespace pc {
 
-/** CSR lowering of a Circuit with log-space constants baked in. */
+/**
+ * CSR lowering of a Circuit with log-space constants baked in.
+ *
+ * Besides the forward (child) CSR, the lowering computes two schedules
+ * used by the thread-parallel evaluators:
+ *
+ *  - a **level (wavefront) schedule** over *all* nodes (leaves are
+ *    level 0; an interior node sits one past its deepest child), so
+ *    upward passes can evaluate each level as a data-parallel slice;
+ *  - a **parent transpose** (CSC view) listing, per node, the forward
+ *    edge ids arriving from its parents in *descending parent order* —
+ *    exactly the order the serial top-down flow scatter accumulates in,
+ *    which lets the parallel downward pass gather flows with one writer
+ *    per node and bit-identical floating-point results.
+ *
+ * FlatCircuit is immutable after construction and safe for concurrent
+ * unsynchronized reads; many evaluators may share one instance.
+ */
 class FlatCircuit
 {
   public:
@@ -37,6 +59,11 @@ class FlatCircuit
     size_t numNodes() const { return types.size(); }
     size_t numEdges() const { return edgeTarget.size(); }
     size_t numLeaves() const { return leafVar.size(); }
+    size_t
+    numLevels() const
+    {
+        return levelOffset.empty() ? 0 : levelOffset.size() - 1;
+    }
 
     /** Per-node type (NodeType). */
     std::vector<uint8_t> types;
@@ -55,6 +82,17 @@ class FlatCircuit
     std::vector<uint32_t> leafVar;
     /** Packed per-leaf log distributions: [slot * arity + value]. */
     std::vector<double> leafLogDist;
+    /** Wavefront offsets into levelNodes; size numLevels()+1. */
+    std::vector<uint32_t> levelOffset;
+    /** All nodes grouped by level (leaves in level 0). */
+    std::vector<uint32_t> levelNodes;
+    /** Transpose offsets: parents of node i are parentEdge[parentOffset[i]
+     *  .. parentOffset[i+1]); size numNodes()+1. */
+    std::vector<uint32_t> parentOffset;
+    /** Forward edge ids into each node, descending parent order. */
+    std::vector<uint32_t> parentEdge;
+    /** Source (parent) node of each forward edge. */
+    std::vector<uint32_t> edgeSource;
 
     uint32_t numVars = 0;
     uint32_t arity = 0;
@@ -65,11 +103,28 @@ class FlatCircuit
  * Allocation-free log-domain evaluator.  Matches Circuit::evaluate /
  * Circuit::logLikelihood exactly (same operation order and expressions).
  * The referenced FlatCircuit must outlive the evaluator.
+ *
+ * **Threading.**  With a multi-worker pool (explicit or the global
+ * pool), evaluate() runs each wavefront of the level schedule in
+ * parallel (per-worker term scratch, one writer per node value) and
+ * logLikelihoodBatch() splits the row-block dimension across workers
+ * (one private SoA block buffer per worker).  Both paths keep every
+ * per-node floating-point expression identical to the serial walk, so
+ * results are bit-identical for any thread count.
+ *
+ * **Thread-safety contract.**  One CircuitEvaluator serves one caller
+ * at a time; for concurrent queries create one evaluator per thread
+ * over a shared FlatCircuit (immutable, concurrently readable).
  */
 class CircuitEvaluator
 {
   public:
-    explicit CircuitEvaluator(const FlatCircuit &flat);
+    /**
+     * @param flat  lowered circuit; must outlive the evaluator.
+     * @param pool  worker pool; nullptr selects util::globalThreadPool().
+     */
+    explicit CircuitEvaluator(const FlatCircuit &flat,
+                              util::ThreadPool *pool = nullptr);
 
     /**
      * Upward pass; returns per-node log values valid until the next
@@ -85,7 +140,8 @@ class CircuitEvaluator
      * processed in blocks of kBlock laid out structure-of-arrays
      * (value[node][row]), so every operand load fills a whole cache
      * line and the per-edge loops vectorize across rows; the tail uses
-     * the scalar path.  Zero allocations once warm.
+     * the scalar path.  Blocks are split across pool workers; zero
+     * allocations once warm.
      */
     void logLikelihoodBatch(const std::vector<Assignment> &xs,
                             std::span<double> out);
@@ -94,20 +150,37 @@ class CircuitEvaluator
     static constexpr size_t kBlock = 8;
 
     const FlatCircuit &flat() const { return flat_; }
+    /**
+     * Per-node log values of the most recent evaluate().  Only
+     * meaningful after evaluate(); logLikelihoodBatch() does not
+     * update this view.
+     */
     const std::vector<double> &values() const { return logv_; }
 
   private:
-    /** Evaluate kBlock rows into the SoA block scratch. */
-    void evaluateBlock(const Assignment *rows, double *out);
+    /** Smallest wavefront worth splitting across threads. */
+    static constexpr size_t kMinNodesPerChunk = 2048;
+
+    /** The explicit pool, or the (possibly reconfigured) global one. */
+    util::ThreadPool &activePool() const;
+    /** Evaluate kBlock rows into one SoA block buffer. */
+    void evaluateBlock(const Assignment *rows, double *out,
+                       double *block_val, double *block_terms);
+    /** Evaluate nodes [b, e) of the level schedule for assignment x. */
+    void evaluateLevelSlice(const Assignment &x, size_t b, size_t e,
+                            double *terms);
 
     const FlatCircuit &flat_;
+    /** Explicit pool, or nullptr = resolve the global pool per call. */
+    util::ThreadPool *pool_;
     std::vector<double> logv_;
-    /** Per-sum-node term scratch (max fan-in), avoids a second gather. */
+    /** Per-sum-node term scratch (max fan-in), avoids a second gather;
+     *  sized maxFanIn * numThreads, one stripe per worker. */
     std::vector<double> terms_;
-    /** SoA scratch of the batched path: [node * kBlock + row]. */
-    std::vector<double> blockVal_;
-    /** Term scratch of the batched path: [edge-in-node * kBlock + row]. */
-    std::vector<double> blockTerms_;
+    size_t maxFanIn_ = 0;
+    /** Per-worker SoA scratch of the batched path (lazy). */
+    std::vector<std::vector<double>> blockVal_;
+    std::vector<std::vector<double>> blockTerms_;
 };
 
 /**
@@ -123,11 +196,28 @@ void logDerivativesInto(const FlatCircuit &flat,
  * Streaming top-down circuit-flow accumulator (Sec. IV-B): one upward
  * and one downward pass per sample over reused scratch.  Replaces the
  * per-sample EdgeFlows allocation pattern of accumulateFlows/emTrain.
+ *
+ * **Threading.**  With a multi-worker pool both passes run as level
+ * wavefronts: the upward pass through CircuitEvaluator, the downward
+ * pass as a reverse-level *gather* over the parent transpose — node
+ * flows, per-edge totals, and leaf totals each have exactly one
+ * writer, and parent contributions are summed in the same descending
+ * parent order as the serial scatter, so all totals are bit-identical
+ * to the serial path for any thread count (no atomics anywhere).
+ *
+ * **Thread-safety contract.**  One accumulator per caller; totals are
+ * plain members.  Concurrent accumulation requires one accumulator per
+ * thread over a shared FlatCircuit plus a caller-side merge.
  */
 class FlowAccumulator
 {
   public:
-    explicit FlowAccumulator(const FlatCircuit &flat);
+    /**
+     * @param flat  lowered circuit; must outlive the accumulator.
+     * @param pool  worker pool; nullptr selects util::globalThreadPool().
+     */
+    explicit FlowAccumulator(const FlatCircuit &flat,
+                             util::ThreadPool *pool = nullptr);
 
     /** Accumulate the flows of one (possibly partial) assignment. */
     void add(const Assignment &x);
@@ -144,7 +234,12 @@ class FlowAccumulator
     const std::vector<double> &leafValueFlow() const { return leafTotal_; }
 
   private:
+    /** Smallest wavefront worth splitting across threads. */
+    static constexpr size_t kMinNodesPerChunk = 2048;
+
     const FlatCircuit &flat_;
+    /** Explicit pool, or nullptr = resolve the global pool per call. */
+    util::ThreadPool *pool_;
     CircuitEvaluator eval_;
     /** Per-sample downward flow scratch. */
     std::vector<double> flow_;

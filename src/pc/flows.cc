@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "pc/flat_cache.h"
 #include "pc/flat_pc.h"
 #include "util/logging.h"
 #include "util/numeric.h"
@@ -59,10 +60,10 @@ EdgeFlows
 accumulateFlows(const Circuit &circuit,
                 const std::vector<Assignment> &data)
 {
-    // Hot path: one flat lowering, then allocation-free passes per
-    // sample (computeFlows stays as the one-shot reference walker).
-    FlatCircuit flat(circuit);
-    FlowAccumulator acc(flat);
+    // Hot path: one cached flat lowering, then allocation-free passes
+    // per sample (computeFlows stays as the one-shot reference walker).
+    std::shared_ptr<const FlatCircuit> flat = cachedLowering(circuit);
+    FlowAccumulator acc(*flat);
     for (const auto &x : data)
         acc.add(x);
 
@@ -70,8 +71,8 @@ accumulateFlows(const Circuit &circuit,
     total.nodeFlows.assign(acc.nodeFlow().begin(), acc.nodeFlow().end());
     total.flows.resize(circuit.numNodes());
     for (size_t i = 0; i < circuit.numNodes(); ++i) {
-        const uint32_t lo = flat.edgeOffset[i];
-        const uint32_t hi = flat.edgeOffset[i + 1];
+        const uint32_t lo = flat->edgeOffset[i];
+        const uint32_t hi = flat->edgeOffset[i + 1];
         total.flows[i].assign(acc.edgeFlow().begin() + lo,
                               acc.edgeFlow().begin() + hi);
     }

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "pc/flat_cache.h"
 #include "pc/flat_pc.h"
 #include "pc/flows.h"
 #include "util/logging.h"
@@ -14,8 +15,8 @@ meanLogLikelihood(const Circuit &circuit,
                   const std::vector<Assignment> &data)
 {
     reasonAssert(!data.empty(), "need data");
-    FlatCircuit flat(circuit);
-    CircuitEvaluator eval(flat);
+    std::shared_ptr<const FlatCircuit> flat = cachedLowering(circuit);
+    CircuitEvaluator eval(*flat);
     std::vector<double> ll(data.size());
     eval.logLikelihoodBatch(data, ll);
     double acc = 0.0;
@@ -34,10 +35,12 @@ emTrain(Circuit &circuit, const std::vector<Assignment> &data,
     for (uint32_t it = 0; it < config.maxIterations; ++it) {
         // E-step: expected edge usage = accumulated flows; expected leaf
         // value usage = leaf flow attributed to the observed value.  The
-        // parameters change every iteration, so the circuit is re-lowered
-        // per iteration (O(edges), amortized over all samples).
-        FlatCircuit flat(circuit);
-        FlowAccumulator acc(flat);
+        // parameters change every iteration, so the fingerprint misses
+        // and the circuit is re-lowered (O(edges), amortized over all
+        // samples) — but the lowering is then *hit* by the
+        // meanLogLikelihood call below, which sees unchanged parameters.
+        std::shared_ptr<const FlatCircuit> flat = cachedLowering(circuit);
+        FlowAccumulator acc(*flat);
         for (const auto &x : data)
             acc.add(x);
 
@@ -47,7 +50,7 @@ emTrain(Circuit &circuit, const std::vector<Assignment> &data,
         for (NodeId id = 0; id < circuit.numNodes(); ++id) {
             PcNode &n = circuit.mutableNode(id);
             if (n.type == PcNodeType::Sum) {
-                const uint32_t lo = flat.edgeOffset[id];
+                const uint32_t lo = flat->edgeOffset[id];
                 double denom = 0.0;
                 for (size_t k = 0; k < n.children.size(); ++k)
                     denom += edge_flow[lo + k] + config.smoothing;
@@ -56,7 +59,7 @@ emTrain(Circuit &circuit, const std::vector<Assignment> &data,
                         (edge_flow[lo + k] + config.smoothing) / denom;
             } else if (n.type == PcNodeType::Leaf) {
                 const size_t row =
-                    size_t(flat.leafSlot[id]) * circuit.arity();
+                    size_t(flat->leafSlot[id]) * circuit.arity();
                 double denom = 0.0;
                 for (uint32_t v = 0; v < circuit.arity(); ++v)
                     denom += leaf_flow[row + v] + config.smoothing;

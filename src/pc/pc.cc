@@ -4,6 +4,7 @@
 #include <cmath>
 #include <set>
 
+#include "pc/flat_cache.h"
 #include "pc/flat_pc.h"
 #include "util/logging.h"
 #include "util/numeric.h"
@@ -239,8 +240,8 @@ Circuit::bruteForceLogZ() const
     reasonAssert(checkedIntPow(arity_, numVars_, uint64_t(1) << 22,
                                &limit),
                  "brute force partition too large");
-    FlatCircuit flat(*this);
-    CircuitEvaluator eval(flat);
+    std::shared_ptr<const FlatCircuit> flat = cachedLowering(*this);
+    CircuitEvaluator eval(*flat);
     Assignment x(numVars_, 0);
     double acc = kLogZero;
     for (uint64_t m = 0; m < limit; ++m) {

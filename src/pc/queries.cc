@@ -4,6 +4,7 @@
 #include <span>
 #include <vector>
 
+#include "pc/flat_cache.h"
 #include "pc/flat_pc.h"
 #include "util/logging.h"
 #include "util/numeric.h"
@@ -95,16 +96,17 @@ posteriorMarginals(const Circuit &circuit, const Assignment &evidence)
                  "evidence must cover all circuit variables");
     // Flat path: the upward pass is shared between the evidence
     // likelihood and the backward derivative pass (one pass instead of
-    // the two the reference walkers would make).
-    FlatCircuit flat(circuit);
-    CircuitEvaluator eval(flat);
+    // the two the reference walkers would make); the lowering itself is
+    // shared across calls through the flat cache.
+    std::shared_ptr<const FlatCircuit> flat = cachedLowering(circuit);
+    CircuitEvaluator eval(*flat);
     std::span<const double> logv = eval.evaluate(evidence);
-    double log_e = logv[flat.root];
+    double log_e = logv[flat->root];
     if (log_e == kLogZero)
         fatal("posteriorMarginals: evidence has zero probability");
 
     std::vector<double> logd;
-    logDerivativesInto(flat, logv, logd);
+    logDerivativesInto(*flat, logv, logd);
 
     MarginalTable table;
     table.prob.assign(circuit.numVars(),
@@ -122,15 +124,15 @@ posteriorMarginals(const Circuit &circuit, const Assignment &evidence)
     std::vector<std::vector<double>> joint(
         circuit.numVars(), std::vector<double>(circuit.arity(), kLogZero));
     for (size_t i = 0; i < circuit.numNodes(); ++i) {
-        if (flat.types[i] != FlatCircuit::kLeaf)
+        if (flat->types[i] != FlatCircuit::kLeaf)
             continue;
-        const uint32_t slot = flat.leafSlot[i];
-        const uint32_t var = flat.leafVar[slot];
+        const uint32_t slot = flat->leafSlot[i];
+        const uint32_t var = flat->leafVar[slot];
         if (observed[var] || logd[i] == kLogZero)
             continue;
         for (uint32_t val = 0; val < circuit.arity(); ++val) {
             double log_dist =
-                flat.leafLogDist[size_t(slot) * circuit.arity() + val];
+                flat->leafLogDist[size_t(slot) * circuit.arity() + val];
             if (log_dist == kLogZero)
                 continue;
             joint[var][val] =
@@ -212,8 +214,8 @@ exactEntropy(const Circuit &circuit)
     reasonAssert(checkedIntPow(circuit.arity(), circuit.numVars(),
                                uint64_t(1) << 22, &combos),
                  "exactEntropy: state space too large to enumerate");
-    FlatCircuit flat(circuit);
-    CircuitEvaluator eval(flat);
+    std::shared_ptr<const FlatCircuit> flat = cachedLowering(circuit);
+    CircuitEvaluator eval(*flat);
     Assignment x(circuit.numVars(), 0);
     double entropy = 0.0;
     for (uint64_t n = 0; n < combos; ++n) {
@@ -235,8 +237,8 @@ sampledEntropy(Rng &rng, const Circuit &circuit, size_t samples)
 {
     reasonAssert(samples > 0, "need at least one sample");
     auto data = sampleDataset(rng, circuit, samples);
-    FlatCircuit flat(circuit);
-    CircuitEvaluator eval(flat);
+    std::shared_ptr<const FlatCircuit> flat = cachedLowering(circuit);
+    CircuitEvaluator eval(*flat);
     std::vector<double> ll(data.size());
     eval.logLikelihoodBatch(data, ll);
     double acc = 0.0;
@@ -270,8 +272,8 @@ pairwiseMarginal(const Circuit &circuit, uint32_t a, uint32_t b)
                  "pairwiseMarginal needs two distinct variables");
     std::vector<std::vector<double>> joint(
         circuit.arity(), std::vector<double>(circuit.arity(), 0.0));
-    FlatCircuit flat(circuit);
-    CircuitEvaluator eval(flat);
+    std::shared_ptr<const FlatCircuit> flat = cachedLowering(circuit);
+    CircuitEvaluator eval(*flat);
     Assignment x(circuit.numVars(), kMissing);
     for (uint32_t i = 0; i < circuit.arity(); ++i) {
         for (uint32_t j = 0; j < circuit.arity(); ++j) {

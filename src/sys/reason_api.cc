@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "util/logging.h"
+#include "util/parallel.h"
 
 namespace reason {
 namespace sys {
@@ -11,6 +12,15 @@ ReasonRuntime::ReasonRuntime(const arch::ArchConfig &config,
                              compiler::Program program)
     : config_(config), program_(std::move(program)), accel_(config)
 {
+}
+
+ReasonRuntime::ReasonRuntime(const arch::ArchConfig &config,
+                             compiler::Program program,
+                             const RuntimeOptions &options)
+    : ReasonRuntime(config, std::move(program))
+{
+    if (options.evalThreads > 0)
+        util::setGlobalThreads(options.evalThreads);
 }
 
 int

@@ -46,6 +46,25 @@ struct SharedMemory
 };
 
 /**
+ * Runtime-level execution options (Sec. VI-B extensions).
+ */
+struct RuntimeOptions
+{
+    /**
+     * Worker count for the functional (flat wavefront) evaluation
+     * paths reached through this runtime.  Applied process-wide via
+     * util::setGlobalThreads at construction; 0 leaves the current
+     * global setting untouched.  Thread-parallel evaluation is
+     * bit-identical to serial, so this knob never changes results.
+     * Evaluators resolve the global pool per call (never caching the
+     * pointer), but the runtime must not be constructed while another
+     * thread is mid-evaluation on the global pool — configure at
+     * startup or between evaluation phases.
+     */
+    unsigned evalThreads = 0;
+};
+
+/**
  * Simulated REASON co-processor runtime implementing the C-style
  * interface of Listing 1.
  */
@@ -54,6 +73,9 @@ class ReasonRuntime
   public:
     ReasonRuntime(const arch::ArchConfig &config,
                   compiler::Program program);
+    ReasonRuntime(const arch::ArchConfig &config,
+                  compiler::Program program,
+                  const RuntimeOptions &options);
 
     /** Shared memory visible to both host and co-processor. */
     SharedMemory &sharedMemory() { return shm_; }

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Minimal reusable thread pool with a deterministic parallel-for, the
+ * software backbone of wavefront (level-parallel) execution in the flat
+ * kernel engines (core/flat.h, pc/flat_pc.h).
+ *
+ * Design contract, relied on by every flat evaluator:
+ *
+ *  - **Deterministic partitioning.**  `parallelFor(begin, end, ...)`
+ *    splits the index range into at most numThreads() *contiguous*
+ *    chunks whose boundaries depend only on the range size and the
+ *    thread count — never on scheduling races.  Chunk i is always
+ *    executed by worker i (worker 0 is the calling thread), so
+ *    per-worker scratch buffers are reused stably across calls.
+ *  - **No hidden reductions.**  The pool only runs disjoint index
+ *    ranges; all accumulation policy stays in the caller, which is how
+ *    the flat engines guarantee bit-identical results for any thread
+ *    count (each output cell has exactly one writer and an unchanged
+ *    floating-point expression).
+ *  - **Inline fallback.**  Ranges smaller than twice `min_grain` (and
+ *    all work on a 1-thread pool) run inline on the caller with zero
+ *    synchronization, so sprinkling parallelFor over small levels is
+ *    free.
+ *
+ * Thread-safety: a ThreadPool may be shared by many evaluators, but
+ * parallelFor is *not* reentrant — only one parallelFor may be active
+ * on a pool at a time (nested or concurrent calls from worker threads
+ * must use a different pool or run inline).  The global pool accessors
+ * follow the setLogLevel convention: configure once at startup.
+ */
+
+#ifndef REASON_UTIL_PARALLEL_H
+#define REASON_UTIL_PARALLEL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace reason {
+namespace util {
+
+class ThreadPool
+{
+  public:
+    /**
+     * Create a pool with `threads` total workers including the calling
+     * thread (so `threads - 1` OS threads are spawned).  `threads == 0`
+     * uses std::thread::hardware_concurrency().
+     */
+    explicit ThreadPool(unsigned threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Total workers, including the calling thread; always >= 1. */
+    unsigned numThreads() const
+    {
+        return unsigned(workers_.size()) + 1;
+    }
+
+    /** Raw chunk callback: [begin, end) slice plus the worker index. */
+    using RangeFn = void (*)(void *ctx, size_t begin, size_t end,
+                             unsigned worker);
+
+    /**
+     * Run `fn` over [begin, end) split into deterministic contiguous
+     * chunks, one per participating worker; blocks until every chunk
+     * has finished.  At most `(end - begin) / min_grain` workers
+     * participate so no chunk is smaller than `min_grain` (the whole
+     * range runs inline on the caller when that limit is 1).
+     */
+    void parallelForRaw(size_t begin, size_t end, size_t min_grain,
+                        RangeFn fn, void *ctx);
+
+    /** Typed wrapper: f(chunk_begin, chunk_end, worker_index). */
+    template <typename F>
+    void
+    parallelFor(size_t begin, size_t end, size_t min_grain, F &&f)
+    {
+        parallelForRaw(
+            begin, end, min_grain,
+            [](void *ctx, size_t b, size_t e, unsigned w) {
+                (*static_cast<std::remove_reference_t<F> *>(ctx))(b, e, w);
+            },
+            &f);
+    }
+
+  private:
+    void workerLoop(unsigned worker_index);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    /** Monotone job counter; workers run one job per increment. */
+    uint64_t generation_ = 0;
+    /** Workers still to finish the current job (or acknowledge skip). */
+    unsigned pending_ = 0;
+    bool shutdown_ = false;
+    /** Current job (valid while pending_ > 0). */
+    RangeFn jobFn_ = nullptr;
+    void *jobCtx_ = nullptr;
+    size_t jobBegin_ = 0;
+    size_t jobEnd_ = 0;
+    unsigned jobChunks_ = 0;
+};
+
+/**
+ * Process-wide evaluation pool used by the flat engines when no pool is
+ * passed explicitly.  Created lazily with the thread count from
+ * setGlobalThreads (default: hardware concurrency).
+ */
+ThreadPool &globalThreadPool();
+
+/**
+ * Set the worker count of the global pool (the `--threads` knob of the
+ * CLI, bench_eval, and sys::ReasonRuntime).  `n == 0` restores the
+ * hardware-concurrency default.  Recreates the pool; call at startup or
+ * between evaluation phases, never while a parallelFor is in flight.
+ */
+void setGlobalThreads(unsigned n);
+
+/** Worker count the global pool has (or would be created with). */
+unsigned globalThreads();
+
+/**
+ * Parse a user-supplied thread count (CLI/bench `--threads` values).
+ * Accepts decimal integers in [0, kMaxThreads] (0 = hardware
+ * concurrency); rejects negatives, garbage, and absurd counts instead
+ * of wrapping them into ~4-billion-thread pool requests.
+ *
+ * @return true and sets *out on success, false otherwise.
+ */
+inline constexpr unsigned kMaxThreads = 1024;
+bool parseThreadCount(const char *text, unsigned *out);
+
+} // namespace util
+} // namespace reason
+
+#endif // REASON_UTIL_PARALLEL_H

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "logic/solver.h"
+#include "pc/flat_cache.h"
 #include "pc/flat_pc.h"
 #include "util/logging.h"
 #include "util/rng.h"
@@ -358,8 +359,8 @@ pcClassificationAccuracy(const std::vector<pc::Circuit> &class_circuits,
     std::vector<std::vector<double>> ll(
         class_circuits.size(), std::vector<double>(queries.size()));
     for (uint32_t c = 0; c < class_circuits.size(); ++c) {
-        pc::FlatCircuit flat(class_circuits[c]);
-        pc::CircuitEvaluator eval(flat);
+        auto flat = pc::cachedLowering(class_circuits[c]);
+        pc::CircuitEvaluator eval(*flat);
         eval.logLikelihoodBatch(queries, ll[c]);
     }
     uint32_t correct = 0;

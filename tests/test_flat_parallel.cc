@@ -1,0 +1,411 @@
+/**
+ * @file
+ * Tests for thread-parallel wavefront execution and the lowering cache:
+ * every parallel path (core::Evaluator single/batch, pc::CircuitEvaluator
+ * single/batch, pc::FlowAccumulator upward+downward) must be
+ * *bit-identical* to the serial flat path across thread counts
+ * {1, 2, 4, 8}, and cachedLowering must hit on unchanged structures and
+ * miss on mutation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "core/dag.h"
+#include "core/flat.h"
+#include "pc/flat_cache.h"
+#include "pc/flat_pc.h"
+#include "pc/pc.h"
+#include "util/numeric.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+using namespace reason;
+
+namespace {
+
+constexpr unsigned kThreadCounts[] = {1, 2, 4, 8};
+
+/** Bitwise equality that treats every double as its bit pattern. */
+::testing::AssertionResult
+bitIdentical(std::span<const double> got, std::span<const double> want)
+{
+    if (got.size() != want.size())
+        return ::testing::AssertionFailure()
+               << "size " << got.size() << " vs " << want.size();
+    for (size_t i = 0; i < got.size(); ++i)
+        if (std::bit_cast<uint64_t>(got[i]) !=
+            std::bit_cast<uint64_t>(want[i]))
+            return ::testing::AssertionFailure()
+                   << "index " << i << ": " << got[i] << " vs "
+                   << want[i];
+    return ::testing::AssertionSuccess();
+}
+
+/** Random DAG exercising every opcode, with weighted and plain sums. */
+core::Dag
+randomDag(Rng &rng, uint32_t num_inputs, uint32_t num_consts,
+          uint32_t num_ops)
+{
+    core::Dag dag;
+    for (uint32_t i = 0; i < num_inputs; ++i)
+        dag.addInput();
+    for (uint32_t i = 0; i < num_consts; ++i)
+        dag.addConst(rng.uniformReal(-2.0, 2.0));
+    for (uint32_t i = 0; i < num_ops; ++i) {
+        size_t existing = dag.numNodes();
+        uint32_t fan_in = uint32_t(rng.uniformInt(1, 4));
+        std::vector<core::NodeId> operands;
+        for (uint32_t k = 0; k < fan_in; ++k)
+            operands.push_back(
+                core::NodeId(rng.uniformInt(0, int64_t(existing) - 1)));
+        switch (rng.uniformInt(0, 4)) {
+          case 0:
+            if (rng.bernoulli(0.5)) {
+                std::vector<double> weights;
+                for (uint32_t k = 0; k < fan_in; ++k)
+                    weights.push_back(rng.uniformReal(-1.5, 1.5));
+                dag.addOp(core::DagOp::Sum, std::move(operands),
+                          std::move(weights));
+            } else {
+                dag.addOp(core::DagOp::Sum, std::move(operands));
+            }
+            break;
+          case 1:
+            dag.addOp(core::DagOp::Product, std::move(operands));
+            break;
+          case 2:
+            dag.addOp(core::DagOp::Max, std::move(operands));
+            break;
+          case 3:
+            dag.addOp(core::DagOp::Min, std::move(operands));
+            break;
+          default:
+            operands.resize(1);
+            dag.addOp(core::DagOp::Not, std::move(operands));
+            break;
+        }
+    }
+    dag.validate();
+    return dag;
+}
+
+/** Random partial assignments over the circuit's variables. */
+std::vector<pc::Assignment>
+randomAssignments(Rng &rng, const pc::Circuit &c, size_t count,
+                  double missing_prob)
+{
+    std::vector<pc::Assignment> out(count);
+    for (auto &x : out) {
+        x.resize(c.numVars());
+        for (uint32_t v = 0; v < c.numVars(); ++v)
+            x[v] = rng.bernoulli(missing_prob)
+                       ? pc::kMissing
+                       : uint32_t(rng.uniformInt(0, c.arity() - 1));
+    }
+    return out;
+}
+
+} // namespace
+
+TEST(ThreadPool, CoversRangeExactlyOnceWithValidWorkers)
+{
+    for (unsigned threads : kThreadCounts) {
+        util::ThreadPool pool(threads);
+        EXPECT_EQ(pool.numThreads(), threads);
+        std::vector<int> hits(10000, 0);
+        std::mutex m;
+        unsigned max_worker = 0;
+        pool.parallelFor(0, hits.size(), 1,
+                         [&](size_t b, size_t e, unsigned worker) {
+                             std::lock_guard<std::mutex> lock(m);
+                             max_worker = std::max(max_worker, worker);
+                             for (size_t i = b; i < e; ++i)
+                                 ++hits[i];
+                         });
+        for (size_t i = 0; i < hits.size(); ++i)
+            ASSERT_EQ(hits[i], 1) << "index " << i;
+        EXPECT_LT(max_worker, threads);
+    }
+}
+
+TEST(ThreadPool, RespectsMinGrain)
+{
+    util::ThreadPool pool(8);
+    size_t calls = 0;
+    // 100 items with min grain 64 -> only one chunk (inline).
+    pool.parallelFor(0, 100, 64, [&](size_t b, size_t e, unsigned w) {
+        ++calls;
+        EXPECT_EQ(b, 0u);
+        EXPECT_EQ(e, 100u);
+        EXPECT_EQ(w, 0u);
+    });
+    EXPECT_EQ(calls, 1u);
+}
+
+TEST(ParallelEvaluator, DagBitIdenticalAcrossThreadCounts)
+{
+    for (uint64_t seed = 1; seed <= 4; ++seed) {
+        Rng rng(seed * 19);
+        core::Dag dag = randomDag(rng, 8, 3, 3000);
+        core::FlatGraph flat = core::lowerDag(dag);
+
+        std::vector<double> inputs(dag.numInputs());
+        for (auto &v : inputs)
+            v = rng.uniformReal(-1.0, 1.0);
+
+        util::ThreadPool serial(1);
+        core::Evaluator ref(flat, &serial);
+        std::span<const double> ref_vals = ref.evaluate(inputs);
+        std::vector<double> want(ref_vals.begin(), ref_vals.end());
+
+        for (unsigned threads : kThreadCounts) {
+            util::ThreadPool pool(threads);
+            core::Evaluator eval(flat, &pool);
+            EXPECT_TRUE(bitIdentical(eval.evaluate(inputs), want))
+                << "threads=" << threads;
+        }
+    }
+}
+
+TEST(ParallelEvaluator, DagBatchBitIdenticalAcrossThreadCounts)
+{
+    Rng rng(7);
+    core::Dag dag = randomDag(rng, 12, 2, 800);
+    core::FlatGraph flat = core::lowerDag(dag);
+
+    const size_t rows = 64;
+    std::vector<double> batch(rows * dag.numInputs());
+    for (auto &v : batch)
+        v = rng.uniformReal(-1.0, 1.0);
+
+    util::ThreadPool serial(1);
+    core::Evaluator ref(flat, &serial);
+    std::vector<double> want(rows);
+    ref.evaluateBatch(batch, rows, want);
+
+    for (unsigned threads : kThreadCounts) {
+        util::ThreadPool pool(threads);
+        core::Evaluator eval(flat, &pool);
+        std::vector<double> got(rows);
+        eval.evaluateBatch(batch, rows, got);
+        EXPECT_TRUE(bitIdentical(got, want)) << "threads=" << threads;
+        // Reuse must not disturb results (scratch is warm now).
+        eval.evaluateBatch(batch, rows, got);
+        EXPECT_TRUE(bitIdentical(got, want)) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelCircuitEvaluator, ValuesBitIdenticalAcrossThreadCounts)
+{
+    Rng rng(23);
+    // Large enough that level slices actually split across workers.
+    pc::Circuit c = pc::randomCircuit(rng, 256, 2, 4, 8);
+    pc::FlatCircuit flat(c);
+    auto xs = randomAssignments(rng, c, 6, 0.25);
+
+    util::ThreadPool serial(1);
+    pc::CircuitEvaluator ref(flat, &serial);
+    for (const auto &x : xs) {
+        std::span<const double> ref_vals = ref.evaluate(x);
+        std::vector<double> want(ref_vals.begin(), ref_vals.end());
+        for (unsigned threads : kThreadCounts) {
+            util::ThreadPool pool(threads);
+            pc::CircuitEvaluator eval(flat, &pool);
+            EXPECT_TRUE(bitIdentical(eval.evaluate(x), want))
+                << "threads=" << threads;
+        }
+    }
+}
+
+TEST(ParallelCircuitEvaluator, BatchBitIdenticalAcrossThreadCounts)
+{
+    Rng rng(29);
+    pc::Circuit c = pc::randomCircuit(rng, 64, 3, 3, 6);
+    pc::FlatCircuit flat(c);
+    // 67 rows: full blocks plus a scalar tail.
+    auto xs = randomAssignments(rng, c, 67, 0.2);
+
+    util::ThreadPool serial(1);
+    pc::CircuitEvaluator ref(flat, &serial);
+    std::vector<double> want(xs.size());
+    ref.logLikelihoodBatch(xs, want);
+
+    for (unsigned threads : kThreadCounts) {
+        util::ThreadPool pool(threads);
+        pc::CircuitEvaluator eval(flat, &pool);
+        std::vector<double> got(xs.size());
+        eval.logLikelihoodBatch(xs, got);
+        EXPECT_TRUE(bitIdentical(got, want)) << "threads=" << threads;
+        eval.logLikelihoodBatch(xs, got);
+        EXPECT_TRUE(bitIdentical(got, want)) << "threads=" << threads;
+    }
+}
+
+TEST(ParallelFlowAccumulator, TotalsBitIdenticalAcrossThreadCounts)
+{
+    Rng rng(31);
+    pc::Circuit c = pc::randomCircuit(rng, 256, 2, 4, 8);
+    pc::FlatCircuit flat(c);
+    auto data = randomAssignments(rng, c, 12, 0.3);
+
+    util::ThreadPool serial(1);
+    pc::FlowAccumulator ref(flat, &serial);
+    for (const auto &x : data)
+        ref.add(x);
+
+    for (unsigned threads : kThreadCounts) {
+        util::ThreadPool pool(threads);
+        pc::FlowAccumulator acc(flat, &pool);
+        for (const auto &x : data)
+            acc.add(x);
+        EXPECT_EQ(acc.count(), ref.count());
+        EXPECT_TRUE(bitIdentical(acc.edgeFlow(), ref.edgeFlow()))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitIdentical(acc.nodeFlow(), ref.nodeFlow()))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitIdentical(acc.leafValueFlow(),
+                                 ref.leafValueFlow()))
+            << "threads=" << threads;
+    }
+}
+
+TEST(ParallelFlowAccumulator, ZeroProbabilityBranchesMatchSerial)
+{
+    // Deterministic leaves create exact log-zero children on sum edges
+    // and zero-probability evidence, exercising every skip branch of
+    // the downward pass in both formulations.
+    pc::Circuit c(2, 2);
+    pc::NodeId a0 = c.addLeaf(0, {1.0, 0.0});
+    pc::NodeId a1 = c.addLeaf(1, {0.25, 0.75});
+    pc::NodeId b0 = c.addLeaf(0, {0.0, 1.0});
+    pc::NodeId b1 = c.addLeaf(1, {1.0, 0.0});
+    pc::NodeId pa = c.addProduct({a0, a1});
+    pc::NodeId pb = c.addProduct({b0, b1});
+    c.markRoot(c.addSum({pa, pb}, {0.6, 0.4}));
+    pc::FlatCircuit flat(c);
+
+    std::vector<pc::Assignment> data{
+        {0, 0}, {0, 1}, {1, 0}, {1, 1} /* impossible */,
+        {pc::kMissing, 1}, {0, pc::kMissing}};
+
+    util::ThreadPool serial(1);
+    pc::FlowAccumulator ref(flat, &serial);
+    for (const auto &x : data)
+        ref.add(x);
+
+    for (unsigned threads : kThreadCounts) {
+        util::ThreadPool pool(threads);
+        pc::FlowAccumulator acc(flat, &pool);
+        for (const auto &x : data)
+            acc.add(x);
+        EXPECT_TRUE(bitIdentical(acc.edgeFlow(), ref.edgeFlow()));
+        EXPECT_TRUE(bitIdentical(acc.nodeFlow(), ref.nodeFlow()));
+        EXPECT_TRUE(
+            bitIdentical(acc.leafValueFlow(), ref.leafValueFlow()));
+    }
+}
+
+TEST(FlatCircuitSchedule, LevelsAndTransposeAreConsistent)
+{
+    Rng rng(37);
+    pc::Circuit c = pc::randomCircuit(rng, 32, 2, 3, 5);
+    pc::FlatCircuit flat(c);
+
+    // Every node appears exactly once in the level schedule, and a
+    // node's children all sit in strictly lower levels.
+    std::vector<uint32_t> level_of(flat.numNodes(), ~0u);
+    size_t scheduled = 0;
+    for (size_t l = 0; l < flat.numLevels(); ++l)
+        for (uint32_t k = flat.levelOffset[l]; k < flat.levelOffset[l + 1];
+             ++k) {
+            ASSERT_EQ(level_of[flat.levelNodes[k]], ~0u);
+            level_of[flat.levelNodes[k]] = uint32_t(l);
+            ++scheduled;
+        }
+    EXPECT_EQ(scheduled, flat.numNodes());
+    for (size_t i = 0; i < flat.numNodes(); ++i)
+        for (uint32_t e = flat.edgeOffset[i]; e < flat.edgeOffset[i + 1];
+             ++e)
+            EXPECT_LT(level_of[flat.edgeTarget[e]], level_of[i]);
+
+    // The transpose lists each forward edge exactly once, under its
+    // child, in descending parent order.
+    std::vector<int> edge_seen(flat.numEdges(), 0);
+    for (size_t c_id = 0; c_id < flat.numNodes(); ++c_id) {
+        uint32_t prev_parent = ~0u;
+        for (uint32_t pe = flat.parentOffset[c_id];
+             pe < flat.parentOffset[c_id + 1]; ++pe) {
+            const uint32_t e = flat.parentEdge[pe];
+            ++edge_seen[e];
+            EXPECT_EQ(flat.edgeTarget[e], c_id);
+            const uint32_t parent = flat.edgeSource[e];
+            EXPECT_LE(parent, prev_parent);
+            prev_parent = parent;
+        }
+    }
+    for (size_t e = 0; e < flat.numEdges(); ++e)
+        EXPECT_EQ(edge_seen[e], 1) << "edge " << e;
+}
+
+TEST(FlatCache, HitsOnUnchangedCircuitAndMissesOnMutation)
+{
+    pc::clearFlatCache();
+    Rng rng(41);
+    pc::Circuit c = pc::randomCircuit(rng, 12, 2, 2, 3);
+
+    auto first = pc::cachedLowering(c);
+    auto second = pc::cachedLowering(c);
+    EXPECT_EQ(first.get(), second.get());
+    auto stats = pc::flatCacheStats();
+    EXPECT_EQ(stats.misses, 1u);
+    EXPECT_EQ(stats.hits, 1u);
+
+    // Parameter mutation (what EM does every iteration) must miss.
+    for (pc::NodeId id = 0; id < c.numNodes(); ++id) {
+        if (c.node(id).type == pc::PcNodeType::Leaf) {
+            auto &dist = c.mutableNode(id).dist;
+            std::swap(dist[0], dist[1]);
+            break;
+        }
+    }
+    auto third = pc::cachedLowering(c);
+    EXPECT_NE(third.get(), first.get());
+    stats = pc::flatCacheStats();
+    EXPECT_EQ(stats.misses, 2u);
+
+    // The fresh lowering reflects the mutation.
+    util::ThreadPool serial(1);
+    pc::CircuitEvaluator eval(*third, &serial);
+    pc::Assignment x(c.numVars(), pc::kMissing);
+    x[0] = 0;
+    EXPECT_NEAR(eval.logLikelihood(x), c.logLikelihood(x), 1e-12);
+
+    // The original lowering lives on through its shared_ptr.
+    EXPECT_EQ(first->numNodes(), c.numNodes());
+}
+
+TEST(FlatCache, DagLoweringsAreCachedByIdentity)
+{
+    pc::clearFlatCache();
+    Rng rng(43);
+    core::Dag dag = randomDag(rng, 4, 2, 50);
+
+    auto first = pc::cachedLowering(dag);
+    auto second = pc::cachedLowering(dag);
+    EXPECT_EQ(first.get(), second.get());
+
+    // Structural growth changes the fingerprint.
+    dag.addOp(core::DagOp::Not, {core::NodeId(0)});
+    auto third = pc::cachedLowering(dag);
+    EXPECT_NE(third.get(), first.get());
+    EXPECT_EQ(third->numNodes(), dag.numNodes());
+
+    auto stats = pc::flatCacheStats();
+    EXPECT_EQ(stats.hits, 1u);
+    EXPECT_EQ(stats.misses, 2u);
+}

@@ -50,6 +50,7 @@
 #include "pc/io.h"
 #include "pc/queries.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 
 using namespace reason;
 
@@ -60,11 +61,14 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: reason_cli <command> [args]\n"
+        "usage: reason_cli [--threads N] <command> [args]\n"
         "  solve <file.cnf> [--budget N] [--no-preprocess]\n"
         "  count <file.cnf> [--nnf out.nnf]\n"
         "  marginals <file.cnf> [--pc out.rpc]\n"
-        "  compile <file.cnf> [--disasm]\n");
+        "  compile <file.cnf> [--disasm]\n"
+        "--threads N sets the worker count of the flat evaluation\n"
+        "engine (0 = hardware concurrency); results are identical for\n"
+        "any thread count.\n");
     return 2;
 }
 
@@ -298,10 +302,23 @@ cmdCompile(const std::vector<std::string> &args)
 int
 main(int argc, char **argv)
 {
-    if (argc < 2)
+    std::vector<std::string> all(argv + 1, argv + argc);
+    // Global flags precede the subcommand.
+    size_t at = 0;
+    while (at < all.size() && all[at].rfind("--", 0) == 0) {
+        unsigned threads = 0;
+        if (all[at] == "--threads" && at + 1 < all.size() &&
+            util::parseThreadCount(all[at + 1].c_str(), &threads)) {
+            util::setGlobalThreads(threads);
+            at += 2;
+        } else {
+            return usage();
+        }
+    }
+    if (at >= all.size())
         return usage();
-    std::string cmd = argv[1];
-    std::vector<std::string> args(argv + 2, argv + argc);
+    std::string cmd = all[at];
+    std::vector<std::string> args(all.begin() + at + 1, all.end());
     if (cmd == "solve")
         return cmdSolve(args);
     if (cmd == "count")
