@@ -30,6 +30,7 @@
 #include "core/builders.h"
 #include "core/flat.h"
 #include "pc/flat_pc.h"
+#include "pc/learn.h"
 #include "pc/pc.h"
 #include "util/numeric.h"
 #include "util/parallel.h"
@@ -72,6 +73,45 @@ usageError()
     std::fprintf(stderr, "usage: bench_eval [num_vars >= 2] [reps >= 1] "
                          "[--threads N] [--repeats N]\n");
     return 1;
+}
+
+/** Order-sensitive FNV-1a over the exact bit patterns of a vector. */
+uint64_t
+bitHash(const std::vector<double> &v)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (double d : v) {
+        uint64_t bits;
+        std::memcpy(&bits, &d, sizeof bits);
+        for (int i = 0; i < 8; ++i) {
+            h ^= (bits >> (i * 8)) & 0xff;
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+/** Doubles that differ bitwise between two parameter sets. */
+size_t
+countCircuitParamMismatches(const reason::pc::Circuit &a,
+                            const reason::pc::Circuit &b)
+{
+    auto differ = [](double x, double y) {
+        uint64_t bx, by;
+        std::memcpy(&bx, &x, sizeof bx);
+        std::memcpy(&by, &y, sizeof by);
+        return bx != by;
+    };
+    size_t mismatches = 0;
+    for (reason::pc::NodeId id = 0; id < a.numNodes(); ++id) {
+        const reason::pc::PcNode &na = a.node(id);
+        const reason::pc::PcNode &nb = b.node(id);
+        for (size_t k = 0; k < na.weights.size(); ++k)
+            mismatches += differ(na.weights[k], nb.weights[k]);
+        for (size_t k = 0; k < na.dist.size(); ++k)
+            mismatches += differ(na.dist[k], nb.dist[k]);
+    }
+    return mismatches;
 }
 
 } // namespace
@@ -177,6 +217,11 @@ main(int argc, char **argv)
                 seed_ms, flat_ms, lower_ms, speedup,
                 speedup >= 5.0 ? "PASS" : "BELOW TARGET", max_diff);
 
+    // Bitwise disagreements between engines that must match exactly;
+    // any nonzero total fails the run (nonzero exit) so CI catches
+    // determinism regressions, not just slowdowns.
+    size_t bitwise_failures = 0;
+
     // --- threaded wavefront variant ------------------------------------
     if (threads > 1) {
         util::ThreadPool mt_pool(threads);
@@ -207,8 +252,117 @@ main(int argc, char **argv)
                     threads, mt_ms, flat_ms, mt_speedup,
                     mt_speedup >= 2.0 ? "PASS" : "BELOW TARGET",
                     mismatches);
+        bitwise_failures += mismatches;
     } else {
         std::printf("threaded section skipped (1 worker)\n");
+    }
+
+    // --- reverse-wavefront derivatives (marginal-query backward pass) --
+    if (threads > 1) {
+        util::ThreadPool mt_pool(threads);
+        const size_t deriv_reps = std::min<size_t>(reps, 200);
+        std::vector<uint64_t> serial_hash(deriv_reps);
+        std::vector<double> logd;
+
+        pc::CircuitEvaluator s_eval(flat, &serial_pool);
+        // Warm scratch, then time upward + backward per assignment.
+        logDerivativesInto(flat, s_eval.evaluate(data[0]), logd,
+                           &serial_pool);
+        t0 = Clock::now();
+        for (size_t i = 0; i < deriv_reps; ++i) {
+            logDerivativesInto(flat, s_eval.evaluate(data[i]), logd,
+                               &serial_pool);
+            serial_hash[i] = bitHash(logd);
+        }
+        double deriv_flat_ms = msSince(t0);
+
+        pc::CircuitEvaluator mt_eval(flat, &mt_pool);
+        logDerivativesInto(flat, mt_eval.evaluate(data[0]), logd,
+                           &mt_pool);
+        size_t mismatches = 0;
+        t0 = Clock::now();
+        for (size_t i = 0; i < deriv_reps; ++i) {
+            logDerivativesInto(flat, mt_eval.evaluate(data[i]), logd,
+                               &mt_pool);
+            if (bitHash(logd) != serial_hash[i])
+                ++mismatches;
+        }
+        double deriv_mt_ms = msSince(t0);
+        double deriv_speedup = deriv_flat_ms / deriv_mt_ms;
+        std::printf("BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+                    "\"derivatives_mt\",\"nodes\":%zu,\"edges\":%zu,"
+                    "\"reps\":%zu,\"threads\":%u,\"flat_ms\":%.3f,"
+                    "\"mt_ms\":%.3f,\"speedup_vs_flat\":%.2f,"
+                    "\"bitwise_mismatches\":%zu%s}\n",
+                    circuit.numNodes(), circuit.numEdges(), deriv_reps,
+                    threads, deriv_flat_ms, deriv_mt_ms, deriv_speedup,
+                    mismatches, provenance);
+        std::printf("derivatives (%u workers): %.3f ms vs serial "
+                    "%.3f ms: %.2fx, %zu bitwise mismatches\n",
+                    threads, deriv_mt_ms, deriv_flat_ms, deriv_speedup,
+                    mismatches);
+        bitwise_failures += mismatches;
+    } else {
+        std::printf("derivatives section skipped (1 worker)\n");
+    }
+
+    // --- sharded EM fit -------------------------------------------------
+    if (threads > 1) {
+        // Smaller model: EM is O(iters * samples * edges) and the point
+        // here is shard scaling plus determinism, not raw size.
+        const uint32_t em_vars = std::max(32u, num_vars / 16);
+        const size_t em_samples = std::min<size_t>(reps, 512);
+        pc::Circuit em_truth = pc::randomCircuit(rng, em_vars, 2, 4, 8);
+        std::vector<pc::Assignment> em_data =
+            pc::sampleDataset(rng, em_truth, em_samples);
+        pc::Circuit em_model = pc::randomCircuit(rng, em_vars, 2, 4, 8);
+
+        pc::EmOptions em_opts;
+        em_opts.maxIterations = 4;
+        em_opts.tolerance = 0.0; // run every iteration
+        em_opts.shards = 0;
+        em_opts.deterministic = true;
+
+        // emTrain reaches the pool through the global knob.
+        util::setGlobalThreads(1);
+        pc::Circuit serial_model = em_model;
+        t0 = Clock::now();
+        pc::EmTrace serial_trace =
+            pc::emTrain(serial_model, em_data, em_opts);
+        double em_serial_ms = msSince(t0);
+
+        util::setGlobalThreads(threads);
+        pc::Circuit mt_model = em_model;
+        t0 = Clock::now();
+        pc::EmTrace mt_trace = pc::emTrain(mt_model, em_data, em_opts);
+        double em_mt_ms = msSince(t0);
+        util::setGlobalThreads(0); // restore the default pool
+
+        size_t mismatches =
+            countCircuitParamMismatches(serial_model, mt_model);
+        if (bitHash(serial_trace.logLikelihood) !=
+            bitHash(mt_trace.logLikelihood))
+            ++mismatches;
+        const unsigned em_shards = util::resolveShardCount(
+            em_opts.shards, em_opts.deterministic, em_samples, threads);
+        double em_speedup = em_serial_ms / em_mt_ms;
+        std::printf("BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+                    "\"em_fit\",\"nodes\":%zu,\"edges\":%zu,"
+                    "\"reps\":%zu,\"iters\":%u,\"threads\":%u,"
+                    "\"shards\":%u,\"flat_ms\":%.3f,\"mt_ms\":%.3f,"
+                    "\"speedup_vs_flat\":%.2f,"
+                    "\"bitwise_mismatches\":%zu%s}\n",
+                    em_model.numNodes(), em_model.numEdges(),
+                    em_samples, serial_trace.iterations, threads,
+                    em_shards, em_serial_ms, em_mt_ms, em_speedup,
+                    mismatches, provenance);
+        std::printf("em_fit (%u workers, %u shards): %.3f ms vs serial "
+                    "%.3f ms: %.2fx, %zu bitwise mismatches\n",
+                    threads, em_shards, em_mt_ms, em_serial_ms,
+                    em_speedup, mismatches);
+        bitwise_failures += mismatches;
+    } else {
+        std::printf("em_fit section skipped (1 worker)\n");
     }
 
     // --- linear domain: Dag::evaluate vs core::Evaluator ---------------
@@ -253,5 +407,12 @@ main(int argc, char **argv)
     (void)sink;
     (void)seed_acc;
     (void)flat_acc;
+    if (bitwise_failures != 0) {
+        std::fprintf(stderr,
+                     "bench_eval: %zu bitwise mismatches across "
+                     "variants that must match exactly\n",
+                     bitwise_failures);
+        return 1;
+    }
     return 0;
 }

@@ -402,82 +402,145 @@ bruteForceLogLikelihood(const Hmm &hmm, const Sequence &obs)
     return acc;
 }
 
+namespace {
+
+/** Per-shard Baum-Welch expected-count buffers. */
+struct BwStats
+{
+    std::vector<double> pi;
+    std::vector<double> transNum;
+    std::vector<double> transDen;
+    std::vector<double> emitNum;
+    std::vector<double> emitDen;
+
+    void
+    reset(uint32_t N, uint32_t M)
+    {
+        pi.assign(N, 0.0);
+        transNum.assign(size_t(N) * N, 0.0);
+        transDen.assign(N, 0.0);
+        emitNum.assign(size_t(N) * M, 0.0);
+        emitDen.assign(N, 0.0);
+    }
+
+    void
+    mergeFrom(const BwStats &other)
+    {
+        auto fold = [](std::vector<double> &a,
+                       const std::vector<double> &b) {
+            for (size_t i = 0; i < a.size(); ++i)
+                a[i] += b[i];
+        };
+        fold(pi, other.pi);
+        fold(transNum, other.transNum);
+        fold(transDen, other.transDen);
+        fold(emitNum, other.emitNum);
+        fold(emitDen, other.emitDen);
+    }
+};
+
+} // namespace
+
 BaumWelchTrace
 baumWelch(Hmm &hmm, const std::vector<Sequence> &data,
-          uint32_t max_iterations, double tolerance, double smoothing)
+          const BaumWelchOptions &options, util::ThreadPool *pool)
 {
     reasonAssert(!data.empty(), "baumWelch needs data");
     const uint32_t N = hmm.numStates();
     const uint32_t M = hmm.numSymbols();
+    const double smoothing = options.smoothing;
     BaumWelchTrace trace;
+
+    if (pool == nullptr)
+        pool = &util::globalThreadPool();
+    const unsigned shards = util::resolveShardCount(
+        options.shards, options.deterministic, data.size(),
+        pool->numThreads());
 
     // Per-sequence likelihoods run thread-parallel; the reduction over
     // the materialized vector stays serial in dataset order, so the
     // trace is independent of the thread count.
     std::vector<double> lls;
     auto total_ll = [&]() {
-        sequenceLogLikelihoods(hmm, data, lls);
+        sequenceLogLikelihoods(hmm, data, lls, pool);
         double acc = 0.0;
         for (double ll : lls)
             acc += ll;
         return acc / static_cast<double>(data.size());
     };
     trace.logLikelihood.push_back(total_ll());
-    FbWorkspace ws; // reused across sequences and iterations
+    // One workspace and statistic buffer per shard, reused across
+    // iterations; shard boundaries depend only on (sequences, shards).
+    std::vector<FbWorkspace> ws(shards);
+    std::vector<BwStats> stats(shards);
 
-    for (uint32_t it = 0; it < max_iterations; ++it) {
-        std::vector<double> pi(N, 0.0);
-        std::vector<double> trans_num(size_t(N) * N, 0.0);
-        std::vector<double> trans_den(N, 0.0);
-        std::vector<double> emit_num(size_t(N) * M, 0.0);
-        std::vector<double> emit_den(N, 0.0);
-
-        for (const auto &seq : data) {
-            forwardBackwardInto(hmm, seq, ws);
-            if (ws.logLikelihood == kLogZero)
-                continue;
-            for (uint32_t s = 0; s < N; ++s)
-                pi[s] += ws.gamma[s];
-            for (size_t t = 0; t + 1 < seq.size(); ++t) {
-                const double *gt = ws.gamma.data() + t * N;
-                const double *xt = ws.xi.data() + t * size_t(N) * N;
-                for (uint32_t i = 0; i < N; ++i) {
-                    trans_den[i] += gt[i];
-                    for (uint32_t j = 0; j < N; ++j)
-                        trans_num[size_t(i) * N + j] +=
-                            xt[size_t(i) * N + j];
+    for (uint32_t it = 0; it < options.maxIterations; ++it) {
+        // E-step: each shard left-folds its contiguous sequence slice
+        // into private buffers (one writer per shard), then the shards
+        // are merged by a fixed-shape tree reduction into stats[0].
+        // With shards == 1 this is exactly the legacy serial fold.
+        util::shardSlices(
+            *pool, data.size(), shards,
+            [&](size_t s, size_t lo, size_t hi) {
+                BwStats &st = stats[s];
+                st.reset(N, M);
+                for (size_t q = lo; q < hi; ++q) {
+                    const Sequence &seq = data[q];
+                    forwardBackwardInto(hmm, seq, ws[s]);
+                    if (ws[s].logLikelihood == kLogZero)
+                        continue;
+                    for (uint32_t z = 0; z < N; ++z)
+                        st.pi[z] += ws[s].gamma[z];
+                    for (size_t t = 0; t + 1 < seq.size(); ++t) {
+                        const double *gt = ws[s].gamma.data() + t * N;
+                        const double *xt =
+                            ws[s].xi.data() + t * size_t(N) * N;
+                        for (uint32_t i = 0; i < N; ++i) {
+                            st.transDen[i] += gt[i];
+                            for (uint32_t j = 0; j < N; ++j)
+                                st.transNum[size_t(i) * N + j] +=
+                                    xt[size_t(i) * N + j];
+                        }
+                    }
+                    for (size_t t = 0; t < seq.size(); ++t) {
+                        const double *gt = ws[s].gamma.data() + t * N;
+                        for (uint32_t z = 0; z < N; ++z) {
+                            st.emitDen[z] += gt[z];
+                            st.emitNum[size_t(z) * M + seq[t]] +=
+                                gt[z];
+                        }
+                    }
                 }
-            }
-            for (size_t t = 0; t < seq.size(); ++t) {
-                const double *gt = ws.gamma.data() + t * N;
-                for (uint32_t s = 0; s < N; ++s) {
-                    emit_den[s] += gt[s];
-                    emit_num[size_t(s) * M + seq[t]] += gt[s];
-                }
-            }
-        }
+            });
+        util::treeReduce(shards, [&](size_t a, size_t b) {
+            stats[a].mergeFrom(stats[b]);
+        });
+        const BwStats &total = stats[0];
 
         std::vector<double> new_pi(N);
         double pi_total = 0.0;
         for (uint32_t s = 0; s < N; ++s)
-            pi_total += pi[s] + smoothing;
+            pi_total += total.pi[s] + smoothing;
         for (uint32_t s = 0; s < N; ++s)
-            new_pi[s] = (pi[s] + smoothing) / pi_total;
+            new_pi[s] = (total.pi[s] + smoothing) / pi_total;
         hmm.setInitial(new_pi);
 
         for (uint32_t i = 0; i < N; ++i) {
             std::vector<double> row(N);
-            double denom = trans_den[i] + smoothing * N;
+            double denom = total.transDen[i] + smoothing * N;
             for (uint32_t j = 0; j < N; ++j)
                 row[j] =
-                    (trans_num[size_t(i) * N + j] + smoothing) / denom;
+                    (total.transNum[size_t(i) * N + j] + smoothing) /
+                    denom;
             hmm.setTransitionRow(i, std::move(row));
         }
         for (uint32_t s = 0; s < N; ++s) {
             std::vector<double> row(M);
-            double denom = emit_den[s] + smoothing * M;
+            double denom = total.emitDen[s] + smoothing * M;
             for (uint32_t m = 0; m < M; ++m)
-                row[m] = (emit_num[size_t(s) * M + m] + smoothing) / denom;
+                row[m] =
+                    (total.emitNum[size_t(s) * M + m] + smoothing) /
+                    denom;
             hmm.setEmissionRow(s, std::move(row));
         }
         hmm.normalize();
@@ -486,10 +549,21 @@ baumWelch(Hmm &hmm, const std::vector<Sequence> &data,
         trace.logLikelihood.push_back(ll);
         ++trace.iterations;
         double prev = trace.logLikelihood[trace.logLikelihood.size() - 2];
-        if (ll - prev < tolerance)
+        if (ll - prev < options.tolerance)
             break;
     }
     return trace;
+}
+
+BaumWelchTrace
+baumWelch(Hmm &hmm, const std::vector<Sequence> &data,
+          uint32_t max_iterations, double tolerance, double smoothing)
+{
+    BaumWelchOptions options;
+    options.maxIterations = max_iterations;
+    options.tolerance = tolerance;
+    options.smoothing = smoothing;
+    return baumWelch(hmm, data, options);
 }
 
 HmmPruneResult

@@ -13,13 +13,11 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/parallel.h"
+
 namespace reason {
 
 class Rng;
-
-namespace util {
-class ThreadPool;
-}
 
 namespace hmm {
 
@@ -175,7 +173,45 @@ struct BaumWelchTrace
     uint32_t iterations = 0;
 };
 
-/** Baum-Welch EM over a set of sequences; trains in place. */
+/**
+ * Baum-Welch options.  The sharding fields default to the process-wide
+ * util::ReductionPolicy (the --shards / --fast-reductions knob);
+ * explicit assignment overrides it.
+ */
+struct BaumWelchOptions
+{
+    uint32_t maxIterations = 20;
+    /** Stop when LL improves by less than this per sequence. */
+    double tolerance = 1e-6;
+    /** Pseudo-count added to every expected count. */
+    double smoothing = 1e-3;
+    /**
+     * Sequence shards of the E-step statistic accumulation; 0 = auto
+     * (a fixed count when deterministic, one per pool worker
+     * otherwise) and 1 = the legacy serial left fold.
+     */
+    unsigned shards = util::reductionPolicy().shards;
+    /**
+     * Deterministic (default): shard count and fixed-shape tree
+     * reduction never depend on the worker count, so the trained model
+     * and trace are bit-identical for any thread count.  Fast mode
+     * (false) shards per worker, relaxing only the reduction shape.
+     */
+    bool deterministic = util::reductionPolicy().deterministic;
+};
+
+/**
+ * Baum-Welch EM over a set of sequences; trains in place.  Sequences
+ * are sharded into contiguous slices accumulated by pool workers
+ * (nullptr selects the global pool) into private statistic buffers,
+ * merged by a deterministic tree reduction; per-iteration dataset
+ * likelihoods reuse the thread-parallel sequenceLogLikelihoods.
+ */
+BaumWelchTrace baumWelch(Hmm &hmm, const std::vector<Sequence> &data,
+                         const BaumWelchOptions &options,
+                         util::ThreadPool *pool = nullptr);
+
+/** Positional-argument convenience overload (legacy signature). */
 BaumWelchTrace baumWelch(Hmm &hmm, const std::vector<Sequence> &data,
                          uint32_t max_iterations = 20,
                          double tolerance = 1e-6,

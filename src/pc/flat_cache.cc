@@ -110,7 +110,7 @@ template <typename Flat>
 class LoweringCache
 {
   public:
-    static constexpr size_t kMaxEntries = 16;
+    static constexpr size_t kMaxEntries = kFlatCacheCapacity;
 
     /**
      * Serve `src`'s lowering.  The fingerprint pass and (on a miss)

@@ -32,6 +32,9 @@
 namespace reason {
 namespace pc {
 
+/** Entry capacity of each LRU lowering cache (circuits and dags). */
+inline constexpr size_t kFlatCacheCapacity = 16;
+
 /**
  * Lowering of `circuit`, served from the cache when the circuit is
  * structurally unchanged since the previous call, freshly lowered (and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "core/flat.h"
 #include "util/logging.h"
@@ -363,9 +364,45 @@ CircuitEvaluator::evaluateBlock(const Assignment *rows, double *out,
         out[b] = root_val[b];
 }
 
+namespace {
+
+/**
+ * Per-product-node derivative quantities: count of zero-valued
+ * children, the (last) zero child, and the finite log-sum of the
+ * rest.  Shared by the serial reverse scatter and the parallel
+ * pre-pass so both accumulate finiteSum over the same edges in the
+ * same order — the bit-identity contract depends on it.
+ */
+struct ProdDerivInfo
+{
+    uint32_t zeros = 0;
+    uint32_t zeroChild = kInvalidNode;
+    double finiteSum = 0.0;
+};
+
+inline ProdDerivInfo
+productDerivInfo(const FlatCircuit &flat, const double *logv, size_t i)
+{
+    const uint32_t *off = flat.edgeOffset.data();
+    const uint32_t *tgt = flat.edgeTarget.data();
+    ProdDerivInfo info;
+    for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
+        const uint32_t c = tgt[e];
+        if (logv[c] == kLogZero) {
+            ++info.zeros;
+            info.zeroChild = c;
+        } else {
+            info.finiteSum += logv[c];
+        }
+    }
+    return info;
+}
+
+} // namespace
+
 void
 logDerivativesInto(const FlatCircuit &flat, std::span<const double> logv,
-                   std::vector<double> &logd)
+                   std::vector<double> &logd, util::ThreadPool *pool)
 {
     const size_t n = flat.numNodes();
     reasonAssert(logv.size() == n, "log-value/graph size mismatch");
@@ -377,50 +414,120 @@ logDerivativesInto(const FlatCircuit &flat, std::span<const double> logv,
     const uint32_t *tgt = flat.edgeTarget.data();
     const double *lw = flat.edgeLogWeight.data();
 
-    for (size_t i = n; i-- > 0;) {
-        if (logd[i] == kLogZero)
-            continue;
-        switch (types[i]) {
-          case FlatCircuit::kLeaf:
-            break;
-          case FlatCircuit::kSum:
-            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
-                if (lw[e] == kLogZero)
-                    continue;
-                const uint32_t c = tgt[e];
-                logd[c] = logAdd(logd[c], logd[i] + lw[e]);
+    util::ThreadPool &active =
+        pool ? *pool : util::globalThreadPool();
+    if (active.numThreads() == 1) {
+        // Serial reverse scatter: children precede parents, so logd[i]
+        // is final when the reverse id scan reaches node i.
+        for (size_t i = n; i-- > 0;) {
+            if (logd[i] == kLogZero)
+                continue;
+            switch (types[i]) {
+              case FlatCircuit::kLeaf:
+                break;
+              case FlatCircuit::kSum:
+                for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
+                    if (lw[e] == kLogZero)
+                        continue;
+                    const uint32_t c = tgt[e];
+                    logd[c] = logAdd(logd[c], logd[i] + lw[e]);
+                }
+                break;
+              case FlatCircuit::kProduct: {
+                // dv_n/dv_c = prod of sibling values; handle zeros
+                // exactly.
+                const ProdDerivInfo info =
+                    productDerivInfo(flat, logv.data(), i);
+                if (info.zeros >= 2)
+                    break;
+                if (info.zeros == 1) {
+                    logd[info.zeroChild] =
+                        logAdd(logd[info.zeroChild],
+                               logd[i] + info.finiteSum);
+                    break;
+                }
+                for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
+                    const uint32_t c = tgt[e];
+                    logd[c] = logAdd(
+                        logd[c], logd[i] + info.finiteSum - logv[c]);
+                }
+                break;
+              }
             }
-            break;
-          case FlatCircuit::kProduct: {
-            // dv_n/dv_c = prod of sibling values; handle zeros exactly.
-            size_t zeros = 0;
-            uint32_t zero_child = kInvalidNode;
-            double finite_sum = 0.0;
-            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
-                const uint32_t c = tgt[e];
-                if (logv[c] == kLogZero) {
-                    ++zeros;
-                    zero_child = c;
-                } else {
-                    finite_sum += logv[c];
+        }
+        return;
+    }
+
+    // Parallel reverse wavefront: walk levels top-down and *gather*
+    // each node's derivative from its finalized parents through the
+    // parent transpose (one writer per logd entry, no atomics).
+    // Incoming edges are stored in descending parent order — the exact
+    // logAdd accumulation order of the serial scatter — and the
+    // product-parent terms reuse (zero count, finite sum) tables
+    // computed below with the scatter's own expressions
+    // (productDerivInfo), so every entry matches the serial path bit
+    // for bit.  The tables persist per calling thread: repeated
+    // marginal queries reuse them allocation-free once grown, and the
+    // pool workers filling them write disjoint chunks behind the
+    // pre-pass barrier.
+    thread_local std::vector<double> prod_sum_tls;
+    thread_local std::vector<uint8_t> prod_zeros_tls;
+    if (prod_sum_tls.size() < n) {
+        prod_sum_tls.resize(n);
+        prod_zeros_tls.resize(n);
+    }
+    // Raw views: a thread_local named inside a lambda would resolve to
+    // each *worker's* (empty) instance, not the caller's.
+    double *prod_sum = prod_sum_tls.data();
+    uint8_t *prod_zeros = prod_zeros_tls.data();
+    active.parallelFor(
+        0, n, kMinWavefrontNodesPerChunk,
+        [&](size_t b, size_t e, unsigned) {
+            for (size_t i = b; i < e; ++i) {
+                if (types[i] != FlatCircuit::kProduct)
+                    continue;
+                const ProdDerivInfo info =
+                    productDerivInfo(flat, logv.data(), i);
+                prod_sum[i] = info.finiteSum;
+                prod_zeros[i] = uint8_t(std::min<uint32_t>(info.zeros, 2));
+            }
+        });
+
+    const uint32_t *poff = flat.parentOffset.data();
+    const uint32_t *pedge = flat.parentEdge.data();
+    const uint32_t *src = flat.edgeSource.data();
+    double *d = logd.data();
+    auto gather = [&](size_t b, size_t e, unsigned) {
+        for (size_t k = b; k < e; ++k) {
+            const uint32_t c = flat.levelNodes[k];
+            double dn = c == flat.root ? 0.0 : kLogZero;
+            for (uint32_t pe = poff[c]; pe < poff[c + 1]; ++pe) {
+                const uint32_t edge = pedge[pe];
+                const uint32_t p = src[edge];
+                const double dp = d[p];
+                if (dp == kLogZero)
+                    continue;
+                if (types[p] == FlatCircuit::kSum) {
+                    if (lw[edge] == kLogZero)
+                        continue;
+                    dn = logAdd(dn, dp + lw[edge]);
+                } else { // product parent
+                    if (prod_zeros[p] >= 2)
+                        continue;
+                    if (prod_zeros[p] == 1) {
+                        if (logv[c] == kLogZero)
+                            dn = logAdd(dn, dp + prod_sum[p]);
+                        continue;
+                    }
+                    dn = logAdd(dn, dp + prod_sum[p] - logv[c]);
                 }
             }
-            if (zeros >= 2)
-                break;
-            if (zeros == 1) {
-                logd[zero_child] =
-                    logAdd(logd[zero_child], logd[i] + finite_sum);
-                break;
-            }
-            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
-                const uint32_t c = tgt[e];
-                logd[c] = logAdd(logd[c],
-                                 logd[i] + finite_sum - logv[c]);
-            }
-            break;
-          }
+            d[c] = dn;
         }
-    }
+    };
+    for (size_t l = flat.numLevels(); l-- > 0;)
+        active.parallelFor(flat.levelOffset[l], flat.levelOffset[l + 1],
+                           kMinWavefrontNodesPerChunk, gather);
 }
 
 FlowAccumulator::FlowAccumulator(const FlatCircuit &flat,
@@ -544,6 +651,74 @@ FlowAccumulator::add(const Assignment &x)
     for (size_t l = flat_.numLevels(); l-- > 0;)
         pool.parallelFor(flat_.levelOffset[l], flat_.levelOffset[l + 1],
                          kMinNodesPerChunk, gather);
+}
+
+void
+FlowAccumulator::mergeFrom(const FlowAccumulator &other)
+{
+    reasonAssert(&flat_ == &other.flat_,
+                 "cannot merge flows of different lowerings");
+    for (size_t i = 0; i < edgeTotal_.size(); ++i)
+        edgeTotal_[i] += other.edgeTotal_[i];
+    for (size_t i = 0; i < nodeTotal_.size(); ++i)
+        nodeTotal_[i] += other.nodeTotal_[i];
+    for (size_t i = 0; i < leafTotal_.size(); ++i)
+        leafTotal_[i] += other.leafTotal_[i];
+    count_ += other.count_;
+}
+
+DatasetFlows
+accumulateDatasetFlows(const FlatCircuit &flat,
+                       const std::vector<Assignment> &data,
+                       const FlowShardOptions &opts,
+                       util::ThreadPool *pool)
+{
+    util::ThreadPool &active =
+        pool ? *pool : util::globalThreadPool();
+    const unsigned shards = util::resolveShardCount(
+        opts.shards, opts.deterministic, data.size(),
+        active.numThreads());
+    DatasetFlows out;
+    out.shards = shards;
+    if (shards <= 1) {
+        // Legacy serial left fold over the dataset; per-sample
+        // wavefront parallelism (the pool) still applies inside add().
+        FlowAccumulator acc(flat, pool);
+        for (const auto &x : data)
+            acc.add(x);
+        out.edgeFlow = std::move(acc.edgeTotal_);
+        out.nodeFlow = std::move(acc.nodeTotal_);
+        out.leafValueFlow = std::move(acc.leafTotal_);
+        out.count = acc.count_;
+        return out;
+    }
+
+    // One private accumulator per shard over a contiguous sample slice
+    // whose boundaries depend only on (samples, shards).  Each shard's
+    // per-sample passes run serially — shard parallelism replaces
+    // wavefront parallelism here.  A 1-thread pool's parallelFor runs
+    // inline without touching shared state, so one serial pool is
+    // safely shared by every concurrent accumulator.
+    util::ThreadPool serial_pool(1);
+    std::vector<std::unique_ptr<FlowAccumulator>> accs(shards);
+    for (unsigned s = 0; s < shards; ++s)
+        accs[s] = std::make_unique<FlowAccumulator>(flat, &serial_pool);
+    util::shardSlices(active, data.size(), shards,
+                      [&](size_t s, size_t lo, size_t hi) {
+                          for (size_t i = lo; i < hi; ++i)
+                              accs[s]->add(data[i]);
+                      });
+
+    // Deterministic fixed-shape pairwise merge: shape depends only on
+    // the shard count, and each element is accumulated left-to-right.
+    util::treeReduce(shards, [&](size_t a, size_t b) {
+        accs[a]->mergeFrom(*accs[b]);
+    });
+    out.edgeFlow = std::move(accs[0]->edgeTotal_);
+    out.nodeFlow = std::move(accs[0]->nodeTotal_);
+    out.leafValueFlow = std::move(accs[0]->leafTotal_);
+    out.count = accs[0]->count_;
+    return out;
 }
 
 } // namespace pc

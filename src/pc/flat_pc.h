@@ -22,13 +22,9 @@
 #include <vector>
 
 #include "pc/pc.h"
+#include "util/parallel.h"
 
 namespace reason {
-
-namespace util {
-class ThreadPool;
-}
-
 namespace pc {
 
 /**
@@ -100,6 +96,13 @@ class FlatCircuit
 };
 
 /**
+ * Smallest wavefront (level slice) worth splitting across pool
+ * workers; shared by every parallel pass over a FlatCircuit so the
+ * grain is tuned in one place.
+ */
+inline constexpr size_t kMinWavefrontNodesPerChunk = 2048;
+
+/**
  * Allocation-free log-domain evaluator.  Matches Circuit::evaluate /
  * Circuit::logLikelihood exactly (same operation order and expressions).
  * The referenced FlatCircuit must outlive the evaluator.
@@ -158,8 +161,8 @@ class CircuitEvaluator
     const std::vector<double> &values() const { return logv_; }
 
   private:
-    /** Smallest wavefront worth splitting across threads. */
-    static constexpr size_t kMinNodesPerChunk = 2048;
+    static constexpr size_t kMinNodesPerChunk =
+        kMinWavefrontNodesPerChunk;
 
     /** The explicit pool, or the (possibly reconfigured) global one. */
     util::ThreadPool &activePool() const;
@@ -187,10 +190,24 @@ class CircuitEvaluator
  * Log-space backward (derivative) pass over the flat circuit, writing
  * log dRoot/dv_n into `logd` (resized to numNodes).  `logv` must be the
  * upward pass for the same assignment.  Matches pc::logDerivatives.
+ *
+ * **Threading.**  With a multi-worker pool (nullptr selects the global
+ * pool) the pass runs as a reverse-level wavefront: levels are walked
+ * top-down and each node *gathers* its derivative from its finalized
+ * parents through the parent transpose, logAdd-accumulating incoming
+ * terms in the same descending-parent order the serial reverse scatter
+ * uses.  Product-parent terms reuse per-node (zero count, finite sum)
+ * tables precomputed in a parallel pre-pass with the serial pass's
+ * expressions, so every logd entry has one writer and is bit-identical
+ * to the serial path for any thread count.
  */
 void logDerivativesInto(const FlatCircuit &flat,
                         std::span<const double> logv,
-                        std::vector<double> &logd);
+                        std::vector<double> &logd,
+                        util::ThreadPool *pool = nullptr);
+
+struct DatasetFlows;
+struct FlowShardOptions;
 
 /**
  * Streaming top-down circuit-flow accumulator (Sec. IV-B): one upward
@@ -222,6 +239,13 @@ class FlowAccumulator
     /** Accumulate the flows of one (possibly partial) assignment. */
     void add(const Assignment &x);
 
+    /**
+     * Fold another accumulator's totals into this one (element-wise
+     * `this += other`), the merge step of sharded accumulation.  Both
+     * accumulators must be lowered from the same FlatCircuit.
+     */
+    void mergeFrom(const FlowAccumulator &other);
+
     size_t count() const { return count_; }
     /** Total edge flows, CSR-aligned with FlatCircuit::edgeTarget. */
     const std::vector<double> &edgeFlow() const { return edgeTotal_; }
@@ -234,8 +258,13 @@ class FlowAccumulator
     const std::vector<double> &leafValueFlow() const { return leafTotal_; }
 
   private:
-    /** Smallest wavefront worth splitting across threads. */
-    static constexpr size_t kMinNodesPerChunk = 2048;
+    static constexpr size_t kMinNodesPerChunk =
+        kMinWavefrontNodesPerChunk;
+
+    /** Moves totals out of shard accumulators instead of copying. */
+    friend DatasetFlows accumulateDatasetFlows(
+        const FlatCircuit &, const std::vector<Assignment> &,
+        const FlowShardOptions &, util::ThreadPool *);
 
     const FlatCircuit &flat_;
     /** Explicit pool, or nullptr = resolve the global pool per call. */
@@ -248,6 +277,54 @@ class FlowAccumulator
     std::vector<double> leafTotal_;
     size_t count_ = 0;
 };
+
+/**
+ * Sample-level sharding options for accumulateDatasetFlows.  Defaults
+ * inherit the process-wide util::ReductionPolicy (the
+ * --shards/--fast-reductions knob); explicit assignment overrides it.
+ * See ReductionPolicy for the shard-resolution and determinism rules.
+ */
+struct FlowShardOptions
+{
+    /** 0 = auto (fixed count when deterministic, else pool workers). */
+    unsigned shards = util::reductionPolicy().shards;
+    /** Fixed reduction shape, bit-identical across thread counts. */
+    bool deterministic = util::reductionPolicy().deterministic;
+};
+
+/** Dataset-level flow totals, same layouts as FlowAccumulator. */
+struct DatasetFlows
+{
+    /** Total edge flows, CSR-aligned with FlatCircuit::edgeTarget. */
+    std::vector<double> edgeFlow;
+    /** Total per-node flows. */
+    std::vector<double> nodeFlow;
+    /** Observed-value leaf flow, packed [leaf slot * arity + value]. */
+    std::vector<double> leafValueFlow;
+    size_t count = 0;
+    /** Shards actually used (diagnostics/tests). */
+    unsigned shards = 1;
+};
+
+/**
+ * Flow totals of a whole dataset with sample-level sharding: the sample
+ * range is split into `shards` contiguous, deterministically-placed
+ * slices, each accumulated left-to-right by one worker into a private
+ * FlowAccumulator (its per-sample passes run serially — shard
+ * parallelism replaces wavefront parallelism here), then merged by a
+ * fixed-shape pairwise tree reduction (util::treeReduce) whose shape
+ * depends only on the shard count.
+ *
+ * Determinism: with opts.deterministic (default) the shard count never
+ * depends on the worker count, so totals are bit-identical for any
+ * thread count; shards == 1 reproduces the legacy serial left fold
+ * exactly.  Fast mode (deterministic = false) shards per worker,
+ * changing only the reduction shape.
+ */
+DatasetFlows accumulateDatasetFlows(const FlatCircuit &flat,
+                                    const std::vector<Assignment> &data,
+                                    const FlowShardOptions &opts = {},
+                                    util::ThreadPool *pool = nullptr);
 
 } // namespace pc
 } // namespace reason

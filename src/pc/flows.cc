@@ -60,21 +60,20 @@ EdgeFlows
 accumulateFlows(const Circuit &circuit,
                 const std::vector<Assignment> &data)
 {
-    // Hot path: one cached flat lowering, then allocation-free passes
-    // per sample (computeFlows stays as the one-shot reference walker).
+    // Hot path: one cached flat lowering, then shard-parallel
+    // allocation-free passes across samples (computeFlows stays as the
+    // one-shot reference walker).
     std::shared_ptr<const FlatCircuit> flat = cachedLowering(circuit);
-    FlowAccumulator acc(*flat);
-    for (const auto &x : data)
-        acc.add(x);
+    DatasetFlows acc = accumulateDatasetFlows(*flat, data);
 
     EdgeFlows total;
-    total.nodeFlows.assign(acc.nodeFlow().begin(), acc.nodeFlow().end());
+    total.nodeFlows = std::move(acc.nodeFlow);
     total.flows.resize(circuit.numNodes());
     for (size_t i = 0; i < circuit.numNodes(); ++i) {
         const uint32_t lo = flat->edgeOffset[i];
         const uint32_t hi = flat->edgeOffset[i + 1];
-        total.flows[i].assign(acc.edgeFlow().begin() + lo,
-                              acc.edgeFlow().begin() + hi);
+        total.flows[i].assign(acc.edgeFlow.begin() + lo,
+                              acc.edgeFlow.begin() + hi);
     }
     return total;
 }

@@ -34,19 +34,19 @@ emTrain(Circuit &circuit, const std::vector<Assignment> &data,
 
     for (uint32_t it = 0; it < config.maxIterations; ++it) {
         // E-step: expected edge usage = accumulated flows; expected leaf
-        // value usage = leaf flow attributed to the observed value.  The
-        // parameters change every iteration, so the fingerprint misses
-        // and the circuit is re-lowered (O(edges), amortized over all
+        // value usage = leaf flow attributed to the observed value,
+        // accumulated shard-parallel across samples.  The parameters
+        // change every iteration, so the fingerprint misses and the
+        // circuit is re-lowered (O(edges), amortized over all
         // samples) — but the lowering is then *hit* by the
         // meanLogLikelihood call below, which sees unchanged parameters.
         std::shared_ptr<const FlatCircuit> flat = cachedLowering(circuit);
-        FlowAccumulator acc(*flat);
-        for (const auto &x : data)
-            acc.add(x);
+        DatasetFlows acc = accumulateDatasetFlows(
+            *flat, data, {config.shards, config.deterministic});
 
         // M-step: re-normalize sum weights and leaf distributions.
-        const std::vector<double> &edge_flow = acc.edgeFlow();
-        const std::vector<double> &leaf_flow = acc.leafValueFlow();
+        const std::vector<double> &edge_flow = acc.edgeFlow;
+        const std::vector<double> &leaf_flow = acc.leafValueFlow;
         for (NodeId id = 0; id < circuit.numNodes(); ++id) {
             PcNode &n = circuit.mutableNode(id);
             if (n.type == PcNodeType::Sum) {

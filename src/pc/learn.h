@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "pc/pc.h"
+#include "util/parallel.h"
 
 namespace reason {
 namespace pc {
@@ -28,15 +29,36 @@ struct EmTrace
     uint32_t iterations = 0;
 };
 
-/** EM options. */
-struct EmConfig
+/**
+ * EM options.  The sharding fields default to the process-wide
+ * util::ReductionPolicy (the --shards / --fast-reductions knob);
+ * explicit assignment overrides it.
+ */
+struct EmOptions
 {
     uint32_t maxIterations = 20;
     /** Stop when LL improves by less than this per example. */
     double tolerance = 1e-6;
     /** Laplace smoothing pseudo-count added to every expected count. */
     double smoothing = 0.1;
+    /**
+     * Sample shards of the E-step flow accumulation; 0 = auto (a fixed
+     * count when deterministic, one per pool worker otherwise) and 1 =
+     * the legacy serial left fold.  See util::ReductionPolicy.
+     */
+    unsigned shards = util::reductionPolicy().shards;
+    /**
+     * Deterministic (default): the shard count and fixed-shape tree
+     * reduction never depend on the worker count, so trained parameters
+     * and the trace are bit-identical for any thread count.  The fast
+     * mode (false) shards per worker, relaxing only the reduction
+     * shape.
+     */
+    bool deterministic = util::reductionPolicy().deterministic;
 };
+
+/** Historical name of EmOptions. */
+using EmConfig = EmOptions;
 
 /** Mean log-likelihood of a dataset under the circuit. */
 double meanLogLikelihood(const Circuit &circuit,

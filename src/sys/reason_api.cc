@@ -21,6 +21,16 @@ ReasonRuntime::ReasonRuntime(const arch::ArchConfig &config,
 {
     if (options.evalThreads > 0)
         util::setGlobalThreads(options.evalThreads);
+    if (options.learnShards != 0 ||
+        options.learnReduction != LearnReduction::Inherit) {
+        util::ReductionPolicy policy = util::reductionPolicy();
+        if (options.learnShards != 0)
+            policy.shards = options.learnShards;
+        if (options.learnReduction != LearnReduction::Inherit)
+            policy.deterministic =
+                options.learnReduction == LearnReduction::Deterministic;
+        util::setReductionPolicy(policy);
+    }
 }
 
 int

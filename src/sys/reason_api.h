@@ -45,6 +45,17 @@ struct SharedMemory
     bool symbolicReady = false;
 };
 
+/** Learning-reduction determinism selector for RuntimeOptions. */
+enum class LearnReduction : uint8_t
+{
+    /** Keep the current process-wide util::ReductionPolicy mode. */
+    Inherit = 0,
+    /** Fixed-shape reductions, bit-identical for any thread count. */
+    Deterministic,
+    /** Shard per worker; relaxes only the reduction shape. */
+    Fast
+};
+
 /**
  * Runtime-level execution options (Sec. VI-B extensions).
  */
@@ -62,6 +73,22 @@ struct RuntimeOptions
      * startup or between evaluation phases.
      */
     unsigned evalThreads = 0;
+
+    /**
+     * Sample-shard count of the learning reductions (EM flow
+     * accumulation, Baum-Welch statistics) reached through this
+     * process.  Applied to util::ReductionPolicy at construction; 0
+     * leaves the current policy untouched (its own 0 means auto).
+     */
+    unsigned learnShards = 0;
+
+    /**
+     * Determinism mode of those reductions; Inherit leaves the current
+     * policy untouched.  Deterministic reductions are bit-identical
+     * across thread counts; Fast shards per worker (see
+     * util::ReductionPolicy).
+     */
+    LearnReduction learnReduction = LearnReduction::Inherit;
 };
 
 /**

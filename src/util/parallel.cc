@@ -107,6 +107,9 @@ std::unique_ptr<ThreadPool> g_pool;      // lazily created
 unsigned g_threads = 0;                  // 0 = hardware concurrency
 std::mutex g_pool_mutex;
 
+ReductionPolicy g_reduction_policy;
+std::mutex g_reduction_mutex;
+
 } // namespace
 
 ThreadPool &
@@ -141,6 +144,39 @@ parseThreadCount(const char *text, unsigned *out)
     }
     *out = unsigned(value);
     return true;
+}
+
+ReductionPolicy
+reductionPolicy()
+{
+    std::lock_guard<std::mutex> lock(g_reduction_mutex);
+    return g_reduction_policy;
+}
+
+void
+setReductionPolicy(const ReductionPolicy &policy)
+{
+    std::lock_guard<std::mutex> lock(g_reduction_mutex);
+    g_reduction_policy = policy;
+}
+
+unsigned
+resolveShardCount(unsigned shards, bool deterministic, size_t samples,
+                  unsigned workers)
+{
+    if (shards == 0) {
+        // Sharding *replaces* per-sample wavefront parallelism, so a
+        // dataset smaller than the target shard count keeps one shard
+        // (and the wavefront engine) instead of degenerating into a
+        // few serial-pool slices.  The deterministic target ignores
+        // `workers`, which keeps the result thread-count-invariant.
+        const unsigned target = deterministic ? kAutoReductionShards
+                                              : std::max(workers, 1u);
+        shards = samples >= target ? target : 1;
+    }
+    if (samples < shards)
+        shards = unsigned(samples);
+    return std::max(shards, 1u);
 }
 
 unsigned

@@ -137,6 +137,85 @@ unsigned globalThreads();
 inline constexpr unsigned kMaxThreads = 1024;
 bool parseThreadCount(const char *text, unsigned *out);
 
+/**
+ * Process-wide policy for sample-sharded learning reductions (EM flow
+ * accumulation, Baum-Welch statistics).  Learning entry points read
+ * this policy into their per-call options at construction, so it acts
+ * as a default, not an override: explicitly set option fields win.
+ *
+ *  - `shards == 0` (auto): deterministic mode shards into a *fixed*
+ *    count (kAutoReductionShards) that does not depend on the worker
+ *    count, so results are bit-identical for any thread count; fast
+ *    mode shards into one per pool worker.  Datasets smaller than the
+ *    target resolve to a single shard, keeping per-sample wavefront
+ *    parallelism instead of degenerate tiny shards.
+ *  - `shards == 1` reproduces the legacy serial accumulation exactly
+ *    (single left-fold over the dataset, no reduction tree).
+ *  - `deterministic == false` (fast mode) relaxes *only* the reduction
+ *    shape: shard contents and per-sample math are unchanged, but the
+ *    shard count follows the pool size, so low-order bits of the merged
+ *    totals may differ between thread counts.
+ *
+ * Like setGlobalThreads, configure at startup or between phases.
+ */
+struct ReductionPolicy
+{
+    unsigned shards = 0;
+    bool deterministic = true;
+};
+
+ReductionPolicy reductionPolicy();
+void setReductionPolicy(const ReductionPolicy &policy);
+
+/** Fixed shard count of deterministic auto-sharding. */
+inline constexpr unsigned kAutoReductionShards = 8;
+
+/**
+ * Resolve an options-level (shards, deterministic) pair against a
+ * dataset size and worker count: 0 = auto per ReductionPolicy rules
+ * (one shard when the dataset is smaller than the target count), and
+ * the result is clamped to [1, samples].  Deterministic resolution
+ * ignores `workers` entirely, which is what makes the merged totals
+ * independent of the thread count.
+ */
+unsigned resolveShardCount(unsigned shards, bool deterministic,
+                           size_t samples, unsigned workers);
+
+/**
+ * Fixed-shape pairwise tree reduction over `shards` slots: merge(a, b)
+ * is called to fold slot b into slot a, with a shape that depends only
+ * on the shard count — never on thread scheduling.  Slot 0 holds the
+ * final total.  With shards <= 1 this is a no-op.
+ */
+template <typename Merge>
+inline void
+treeReduce(size_t shards, Merge &&merge)
+{
+    for (size_t stride = 1; stride < shards; stride *= 2)
+        for (size_t i = 0; i + stride < shards; i += 2 * stride)
+            merge(i, i + stride);
+}
+
+/**
+ * Run `fold(shard, begin, end)` over every contiguous shard slice of
+ * `samples` items, shards split across pool workers (each shard folded
+ * by exactly one worker).  Slice boundaries are a function of
+ * (samples, shards) alone — the deterministic-placement contract every
+ * sharded learning reduction relies on, kept in one place.
+ */
+template <typename Fold>
+inline void
+shardSlices(ThreadPool &pool, size_t samples, unsigned shards,
+            Fold &&fold)
+{
+    pool.parallelFor(0, shards, 1,
+                     [&](size_t b, size_t e, unsigned) {
+                         for (size_t s = b; s < e; ++s)
+                             fold(s, samples * s / shards,
+                                  samples * (s + 1) / shards);
+                     });
+}
+
 } // namespace util
 } // namespace reason
 

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * Golden-schema test for bench_eval's BENCH_JSON output: runs the real
+ * binary (path injected by CMake as REASON_BENCH_EVAL_PATH), parses
+ * every emitted BENCH_JSON line with a strict flat-JSON parser, and
+ * validates the per-engine schema, the engine set, the bitwise
+ * determinism invariants, and the process exit code.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace {
+
+/** One parsed flat JSON object: key -> (is_string, raw value). */
+struct JsonValue
+{
+    bool isString = false;
+    std::string text;
+
+    double
+    number() const
+    {
+        return std::stod(text);
+    }
+};
+using JsonObject = std::map<std::string, JsonValue>;
+
+/**
+ * Strict parser for the flat objects BENCH_JSON emits: one level, keys
+ * and string values quoted (no escapes needed), numbers in printf
+ * formats.  Returns false on any structural violation.
+ */
+bool
+parseFlatJson(const std::string &line, JsonObject *out)
+{
+    size_t i = 0;
+    auto skip_ws = [&]() {
+        while (i < line.size() &&
+               (line[i] == ' ' || line[i] == '\t'))
+            ++i;
+    };
+    auto parse_string = [&](std::string *s) {
+        if (i >= line.size() || line[i] != '"')
+            return false;
+        ++i;
+        size_t start = i;
+        while (i < line.size() && line[i] != '"') {
+            if (line[i] == '\\')
+                ++i; // tolerate escaped chars in flags strings
+            ++i;
+        }
+        if (i >= line.size())
+            return false;
+        *s = line.substr(start, i - start);
+        ++i;
+        return true;
+    };
+
+    skip_ws();
+    if (i >= line.size() || line[i] != '{')
+        return false;
+    ++i;
+    for (;;) {
+        skip_ws();
+        std::string key;
+        if (!parse_string(&key))
+            return false;
+        skip_ws();
+        if (i >= line.size() || line[i] != ':')
+            return false;
+        ++i;
+        skip_ws();
+        JsonValue value;
+        if (i < line.size() && line[i] == '"') {
+            value.isString = true;
+            if (!parse_string(&value.text))
+                return false;
+        } else {
+            size_t start = i;
+            while (i < line.size() && line[i] != ',' && line[i] != '}')
+                ++i;
+            value.text = line.substr(start, i - start);
+            if (value.text.empty())
+                return false;
+            char *end = nullptr;
+            (void)std::strtod(value.text.c_str(), &end);
+            if (end == nullptr || *end != '\0')
+                return false; // not a number
+        }
+        if (out->count(key))
+            return false; // duplicate key
+        (*out)[key] = value;
+        skip_ws();
+        if (i < line.size() && line[i] == ',') {
+            ++i;
+            continue;
+        }
+        break;
+    }
+    if (i >= line.size() || line[i] != '}')
+        return false;
+    ++i;
+    skip_ws();
+    return i == line.size();
+}
+
+struct BenchRun
+{
+    std::vector<JsonObject> lines;
+    int exitCode = -1;
+};
+
+/** Run bench_eval once and collect its BENCH_JSON lines. */
+BenchRun
+runBenchEval(const std::string &path, const std::string &args)
+{
+    BenchRun run;
+    std::string cmd = "'" + path + "' " + args + " 2>/dev/null";
+    FILE *pipe = popen(cmd.c_str(), "r");
+    if (pipe == nullptr)
+        return run;
+    char buf[4096];
+    std::string text;
+    while (std::fgets(buf, sizeof buf, pipe) != nullptr)
+        text += buf;
+    int status = pclose(pipe);
+    // Decode the wait status: exit code for clean exits, -signal for
+    // signal-killed children, so assertions compare real exit codes.
+    if (WIFEXITED(status))
+        run.exitCode = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        run.exitCode = -WTERMSIG(status);
+    else
+        run.exitCode = -1000;
+
+    size_t at = 0;
+    const std::string prefix = "BENCH_JSON ";
+    while (at < text.size()) {
+        size_t eol = text.find('\n', at);
+        if (eol == std::string::npos)
+            eol = text.size();
+        std::string line = text.substr(at, eol - at);
+        at = eol + 1;
+        if (line.rfind(prefix, 0) != 0)
+            continue;
+        JsonObject obj;
+        EXPECT_TRUE(parseFlatJson(line.substr(prefix.size()), &obj))
+            << "unparseable BENCH_JSON line: " << line;
+        run.lines.push_back(std::move(obj));
+    }
+    return run;
+}
+
+const JsonValue *
+field(const JsonObject &obj, const std::string &key)
+{
+    auto it = obj.find(key);
+    return it == obj.end() ? nullptr : &it->second;
+}
+
+} // namespace
+
+TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
+{
+#ifndef REASON_BENCH_EVAL_PATH
+    GTEST_SKIP() << "bench_eval path not provided by the build";
+#else
+    BenchRun run = runBenchEval(REASON_BENCH_EVAL_PATH,
+                                "48 40 --threads 2");
+    ASSERT_FALSE(run.lines.empty()) << "no BENCH_JSON lines emitted";
+    ASSERT_EQ(run.exitCode, 0)
+        << "bench_eval exited nonzero (bitwise mismatch or failure)";
+
+    std::map<std::string, int> engines;
+    for (const JsonObject &obj : run.lines) {
+        // Common schema.
+        const JsonValue *bench = field(obj, "bench");
+        const JsonValue *engine = field(obj, "engine");
+        ASSERT_NE(bench, nullptr);
+        ASSERT_NE(engine, nullptr);
+        EXPECT_TRUE(bench->isString);
+        EXPECT_EQ(bench->text, "bench_eval");
+        ASSERT_TRUE(engine->isString);
+        ++engines[engine->text];
+
+        for (const char *key : {"nodes", "edges", "reps"}) {
+            const JsonValue *v = field(obj, key);
+            ASSERT_NE(v, nullptr) << engine->text << " lacks " << key;
+            EXPECT_FALSE(v->isString);
+            EXPECT_GT(v->number(), 0.0) << key;
+        }
+        for (const char *key : {"compiler", "flags", "build"}) {
+            const JsonValue *v = field(obj, key);
+            ASSERT_NE(v, nullptr) << engine->text << " lacks " << key;
+            EXPECT_TRUE(v->isString);
+            EXPECT_FALSE(v->text.empty());
+        }
+
+        // Engine-pair specific schema.
+        const bool is_mt = engine->text == "circuit_loglik_mt" ||
+                           engine->text == "derivatives_mt" ||
+                           engine->text == "em_fit";
+        if (is_mt) {
+            for (const char *key : {"threads", "flat_ms", "mt_ms",
+                                    "speedup_vs_flat",
+                                    "bitwise_mismatches"}) {
+                const JsonValue *v = field(obj, key);
+                ASSERT_NE(v, nullptr)
+                    << engine->text << " lacks " << key;
+                EXPECT_FALSE(v->isString);
+            }
+            EXPECT_EQ(field(obj, "bitwise_mismatches")->number(), 0.0)
+                << engine->text << " reports bitwise mismatches";
+            EXPECT_GT(field(obj, "mt_ms")->number(), 0.0);
+            EXPECT_GT(field(obj, "speedup_vs_flat")->number(), 0.0);
+        } else {
+            for (const char *key :
+                 {"seed_ms", "flat_ms", "lower_ms", "speedup",
+                  "max_abs_diff"}) {
+                const JsonValue *v = field(obj, key);
+                ASSERT_NE(v, nullptr)
+                    << engine->text << " lacks " << key;
+                EXPECT_FALSE(v->isString);
+            }
+            EXPECT_GE(field(obj, "speedup")->number(), 0.0);
+        }
+        if (engine->text == "em_fit") {
+            for (const char *key : {"iters", "shards"}) {
+                const JsonValue *v = field(obj, key);
+                ASSERT_NE(v, nullptr) << "em_fit lacks " << key;
+                EXPECT_GT(v->number(), 0.0);
+            }
+        }
+    }
+
+    // Every engine pair appears exactly once per run.
+    for (const char *engine :
+         {"circuit_loglik", "circuit_loglik_mt", "derivatives_mt",
+          "em_fit", "dag_eval"}) {
+        EXPECT_EQ(engines[engine], 1)
+            << "engine " << engine << " missing or duplicated";
+    }
+#endif
+}
+
+TEST(BenchJsonSchema, SingleThreadRunSkipsMtVariantsAndExitsZero)
+{
+#ifndef REASON_BENCH_EVAL_PATH
+    GTEST_SKIP() << "bench_eval path not provided by the build";
+#else
+    BenchRun run = runBenchEval(REASON_BENCH_EVAL_PATH,
+                                "32 24 --threads 1");
+    ASSERT_EQ(run.exitCode, 0);
+    std::map<std::string, int> engines;
+    for (const JsonObject &obj : run.lines) {
+        const JsonValue *engine = field(obj, "engine");
+        ASSERT_NE(engine, nullptr);
+        ++engines[engine->text];
+    }
+    EXPECT_EQ(engines["circuit_loglik"], 1);
+    EXPECT_EQ(engines["dag_eval"], 1);
+    EXPECT_EQ(engines["circuit_loglik_mt"], 0);
+    EXPECT_EQ(engines["derivatives_mt"], 0);
+    EXPECT_EQ(engines["em_fit"], 0);
+#endif
+}

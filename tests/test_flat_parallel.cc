@@ -2,10 +2,11 @@
  * @file
  * Tests for thread-parallel wavefront execution and the lowering cache:
  * every parallel path (core::Evaluator single/batch, pc::CircuitEvaluator
- * single/batch, pc::FlowAccumulator upward+downward) must be
- * *bit-identical* to the serial flat path across thread counts
- * {1, 2, 4, 8}, and cachedLowering must hit on unchanged structures and
- * miss on mutation.
+ * single/batch, pc::FlowAccumulator upward+downward, the reverse-
+ * wavefront logDerivativesInto, sharded dataset flows, sharded EM, and
+ * sharded Baum-Welch in deterministic mode) must be *bit-identical* to
+ * the serial flat path across thread counts {1, 2, 4, 8}, and
+ * cachedLowering must hit on unchanged structures and miss on mutation.
  */
 
 #include <gtest/gtest.h>
@@ -17,8 +18,10 @@
 
 #include "core/dag.h"
 #include "core/flat.h"
+#include "hmm/hmm.h"
 #include "pc/flat_cache.h"
 #include "pc/flat_pc.h"
+#include "pc/learn.h"
 #include "pc/pc.h"
 #include "util/numeric.h"
 #include "util/parallel.h"
@@ -92,6 +95,22 @@ randomDag(Rng &rng, uint32_t num_inputs, uint32_t num_consts,
     }
     dag.validate();
     return dag;
+}
+
+/**
+ * Largest wavefront of a lowering.  The bit-identity sweeps assert it
+ * exceeds the split grain, so the multi-worker paths (and their TSan
+ * coverage) cannot silently degrade into inline execution if the test
+ * circuits shrink or the grain grows.
+ */
+uint32_t
+maxLevelWidth(const pc::FlatCircuit &flat)
+{
+    uint32_t widest = 0;
+    for (size_t l = 0; l < flat.numLevels(); ++l)
+        widest = std::max(widest,
+                          flat.levelOffset[l + 1] - flat.levelOffset[l]);
+    return widest;
 }
 
 /** Random partial assignments over the circuit's variables. */
@@ -203,9 +222,10 @@ TEST(ParallelEvaluator, DagBatchBitIdenticalAcrossThreadCounts)
 TEST(ParallelCircuitEvaluator, ValuesBitIdenticalAcrossThreadCounts)
 {
     Rng rng(23);
-    // Large enough that level slices actually split across workers.
-    pc::Circuit c = pc::randomCircuit(rng, 256, 2, 4, 8);
+    pc::Circuit c = pc::randomCircuit(rng, 768, 2, 4, 8);
     pc::FlatCircuit flat(c);
+    ASSERT_GE(maxLevelWidth(flat), 2 * pc::kMinWavefrontNodesPerChunk)
+        << "circuit too small: level slices would never split";
     auto xs = randomAssignments(rng, c, 6, 0.25);
 
     util::ThreadPool serial(1);
@@ -249,8 +269,10 @@ TEST(ParallelCircuitEvaluator, BatchBitIdenticalAcrossThreadCounts)
 TEST(ParallelFlowAccumulator, TotalsBitIdenticalAcrossThreadCounts)
 {
     Rng rng(31);
-    pc::Circuit c = pc::randomCircuit(rng, 256, 2, 4, 8);
+    pc::Circuit c = pc::randomCircuit(rng, 768, 2, 4, 8);
     pc::FlatCircuit flat(c);
+    ASSERT_GE(maxLevelWidth(flat), 2 * pc::kMinWavefrontNodesPerChunk)
+        << "circuit too small: downward gather would never split";
     auto data = randomAssignments(rng, c, 12, 0.3);
 
     util::ThreadPool serial(1);
@@ -307,6 +329,236 @@ TEST(ParallelFlowAccumulator, ZeroProbabilityBranchesMatchSerial)
         EXPECT_TRUE(bitIdentical(acc.nodeFlow(), ref.nodeFlow()));
         EXPECT_TRUE(
             bitIdentical(acc.leafValueFlow(), ref.leafValueFlow()));
+    }
+}
+
+TEST(ParallelDerivatives, BitIdenticalAcrossThreadCounts)
+{
+    Rng rng(47);
+    pc::Circuit c = pc::randomCircuit(rng, 768, 2, 4, 8);
+    pc::FlatCircuit flat(c);
+    ASSERT_GE(maxLevelWidth(flat), 2 * pc::kMinWavefrontNodesPerChunk)
+        << "circuit too small: derivative gather would never split";
+    auto xs = randomAssignments(rng, c, 6, 0.25);
+
+    util::ThreadPool serial(1);
+    pc::CircuitEvaluator ref(flat, &serial);
+    std::vector<double> want;
+    std::vector<double> got;
+    for (const auto &x : xs) {
+        std::span<const double> logv = ref.evaluate(x);
+        pc::logDerivativesInto(flat, logv, want, &serial);
+        for (unsigned threads : kThreadCounts) {
+            util::ThreadPool pool(threads);
+            pc::logDerivativesInto(flat, logv, got, &pool);
+            EXPECT_TRUE(bitIdentical(got, want))
+                << "threads=" << threads;
+        }
+    }
+}
+
+TEST(ParallelDerivatives, ZeroProbabilityBranchesMatchSerial)
+{
+    // Deterministic leaves force exact log-zero children under product
+    // nodes and zero-probability evidence, exercising the zeros==1 and
+    // zeros>=2 product branches of both derivative formulations.
+    pc::Circuit c(2, 2);
+    pc::NodeId a0 = c.addLeaf(0, {1.0, 0.0});
+    pc::NodeId a1 = c.addLeaf(1, {0.25, 0.75});
+    pc::NodeId b0 = c.addLeaf(0, {0.0, 1.0});
+    pc::NodeId b1 = c.addLeaf(1, {1.0, 0.0});
+    pc::NodeId pa = c.addProduct({a0, a1});
+    pc::NodeId pb = c.addProduct({b0, b1});
+    pc::NodeId pz = c.addProduct({a0, b0}); // always log-zero pair
+    c.markRoot(c.addSum({pa, pb, pz}, {0.5, 0.3, 0.2}));
+    pc::FlatCircuit flat(c);
+
+    std::vector<pc::Assignment> data{
+        {0, 0}, {0, 1}, {1, 0}, {1, 1},
+        {pc::kMissing, 1}, {0, pc::kMissing},
+        {pc::kMissing, pc::kMissing}};
+
+    util::ThreadPool serial(1);
+    pc::CircuitEvaluator ref(flat, &serial);
+    std::vector<double> want;
+    std::vector<double> got;
+    for (const auto &x : data) {
+        std::span<const double> logv = ref.evaluate(x);
+        pc::logDerivativesInto(flat, logv, want, &serial);
+        for (unsigned threads : kThreadCounts) {
+            util::ThreadPool pool(threads);
+            pc::logDerivativesInto(flat, logv, got, &pool);
+            EXPECT_TRUE(bitIdentical(got, want))
+                << "threads=" << threads;
+        }
+    }
+}
+
+TEST(ShardedFlows, DeterministicAcrossThreadCounts)
+{
+    Rng rng(53);
+    pc::Circuit c = pc::randomCircuit(rng, 64, 2, 3, 6);
+    pc::FlatCircuit flat(c);
+    auto data = randomAssignments(rng, c, 23, 0.3);
+
+    // shards == 1 must reproduce the legacy serial left fold exactly.
+    util::ThreadPool serial(1);
+    pc::FlowAccumulator legacy(flat, &serial);
+    for (const auto &x : data)
+        legacy.add(x);
+    pc::DatasetFlows one =
+        pc::accumulateDatasetFlows(flat, data, {1, true}, &serial);
+    EXPECT_EQ(one.shards, 1u);
+    EXPECT_EQ(one.count, legacy.count());
+    EXPECT_TRUE(bitIdentical(one.edgeFlow, legacy.edgeFlow()));
+    EXPECT_TRUE(bitIdentical(one.nodeFlow, legacy.nodeFlow()));
+    EXPECT_TRUE(bitIdentical(one.leafValueFlow, legacy.leafValueFlow()));
+
+    // Deterministic auto sharding: the shard count and reduction shape
+    // ignore the worker count, so totals are bit-identical across
+    // thread counts (and across explicit shard counts vs themselves).
+    pc::DatasetFlows want =
+        pc::accumulateDatasetFlows(flat, data, {0, true}, &serial);
+    EXPECT_EQ(want.shards, util::kAutoReductionShards);
+    EXPECT_EQ(want.count, data.size());
+    for (unsigned threads : kThreadCounts) {
+        util::ThreadPool pool(threads);
+        pc::DatasetFlows got =
+            pc::accumulateDatasetFlows(flat, data, {0, true}, &pool);
+        EXPECT_EQ(got.shards, want.shards);
+        EXPECT_TRUE(bitIdentical(got.edgeFlow, want.edgeFlow))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitIdentical(got.nodeFlow, want.nodeFlow))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitIdentical(got.leafValueFlow, want.leafValueFlow))
+            << "threads=" << threads;
+    }
+
+    // Datasets smaller than the auto target keep a single shard (and
+    // with it the per-sample wavefront engine): auto resolution is a
+    // function of the data alone, never of the workers.
+    std::vector<pc::Assignment> tiny(data.begin(), data.begin() + 4);
+    for (unsigned threads : kThreadCounts) {
+        util::ThreadPool pool(threads);
+        pc::DatasetFlows small =
+            pc::accumulateDatasetFlows(flat, tiny, {0, true}, &pool);
+        EXPECT_EQ(small.shards, 1u) << "threads=" << threads;
+        EXPECT_EQ(small.count, tiny.size());
+    }
+
+    // Fast mode shards per worker: still valid totals (vs the 1e-10
+    // differential contract), same sample count.
+    for (unsigned threads : kThreadCounts) {
+        util::ThreadPool pool(threads);
+        pc::DatasetFlows fast =
+            pc::accumulateDatasetFlows(flat, data, {0, false}, &pool);
+        EXPECT_EQ(fast.shards, std::min<unsigned>(threads, 23));
+        EXPECT_EQ(fast.count, data.size());
+        for (size_t i = 0; i < fast.edgeFlow.size(); ++i)
+            ASSERT_NEAR(fast.edgeFlow[i], want.edgeFlow[i], 1e-10);
+    }
+}
+
+namespace {
+
+/** All learned parameters of a circuit, flattened for bit comparison. */
+std::vector<double>
+circuitParams(const pc::Circuit &c)
+{
+    std::vector<double> params;
+    for (pc::NodeId id = 0; id < c.numNodes(); ++id) {
+        const pc::PcNode &n = c.node(id);
+        params.insert(params.end(), n.weights.begin(), n.weights.end());
+        params.insert(params.end(), n.dist.begin(), n.dist.end());
+    }
+    return params;
+}
+
+/** All parameters of an HMM, flattened for bit comparison. */
+std::vector<double>
+hmmParams(const hmm::Hmm &h)
+{
+    std::vector<double> params;
+    for (uint32_t s = 0; s < h.numStates(); ++s)
+        params.push_back(h.initial(s));
+    for (uint32_t i = 0; i < h.numStates(); ++i)
+        for (uint32_t j = 0; j < h.numStates(); ++j)
+            params.push_back(h.transition(i, j));
+    for (uint32_t s = 0; s < h.numStates(); ++s)
+        for (uint32_t m = 0; m < h.numSymbols(); ++m)
+            params.push_back(h.emission(s, m));
+    return params;
+}
+
+} // namespace
+
+TEST(ShardedEm, DeterministicAcrossThreadCounts)
+{
+    Rng rng(59);
+    pc::Circuit truth = pc::randomCircuit(rng, 8, 2);
+    auto data = pc::sampleDataset(rng, truth, 60);
+    pc::Circuit model = pc::randomCircuit(rng, 8, 2);
+
+    pc::EmOptions opts;
+    opts.maxIterations = 3;
+    opts.tolerance = 0.0; // run every iteration
+    opts.shards = 0;
+    opts.deterministic = true;
+
+    // emTrain reaches the pool through the global knob; sweep it and
+    // demand bit-identical parameters and traces.
+    std::vector<double> want_params;
+    std::vector<double> want_trace;
+    for (unsigned threads : kThreadCounts) {
+        util::setGlobalThreads(threads);
+        pc::Circuit m = model;
+        pc::EmTrace trace = pc::emTrain(m, data, opts);
+        std::vector<double> params = circuitParams(m);
+        if (threads == 1) {
+            want_params = params;
+            want_trace = trace.logLikelihood;
+            continue;
+        }
+        EXPECT_TRUE(bitIdentical(params, want_params))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitIdentical(trace.logLikelihood, want_trace))
+            << "threads=" << threads;
+    }
+    util::setGlobalThreads(0); // restore the default pool
+}
+
+TEST(ShardedBaumWelch, DeterministicAcrossThreadCounts)
+{
+    Rng rng(61);
+    hmm::Hmm truth = hmm::Hmm::random(rng, 5, 4, 0.6);
+    std::vector<hmm::Sequence> data(12);
+    for (auto &seq : data)
+        truth.sample(rng, 16, &seq);
+    hmm::Hmm init = hmm::Hmm::random(rng, 5, 4);
+
+    hmm::BaumWelchOptions opts;
+    opts.maxIterations = 3;
+    opts.tolerance = 0.0;
+    opts.shards = 0;
+    opts.deterministic = true;
+
+    std::vector<double> want_params;
+    std::vector<double> want_trace;
+    for (unsigned threads : kThreadCounts) {
+        util::ThreadPool pool(threads);
+        hmm::Hmm model = init;
+        hmm::BaumWelchTrace trace =
+            hmm::baumWelch(model, data, opts, &pool);
+        std::vector<double> params = hmmParams(model);
+        if (threads == 1) {
+            want_params = params;
+            want_trace = trace.logLikelihood;
+            continue;
+        }
+        EXPECT_TRUE(bitIdentical(params, want_params))
+            << "threads=" << threads;
+        EXPECT_TRUE(bitIdentical(trace.logLikelihood, want_trace))
+            << "threads=" << threads;
     }
 }
 

@@ -25,6 +25,13 @@
  *       program, report compile statistics and encoded size in both
  *       address modes, simulate one evaluation, and optionally print
  *       the disassembly.
+ *
+ *   fit <file.rpc> [--samples N] [--iters N] [--seed N] [--out f.rpc]
+ *       Run sharded flow EM on a stored circuit against data sampled
+ *       from it (a self-fit: the log-likelihood trace must be
+ *       non-decreasing).  Exercises the --threads / --shards /
+ *       --fast-reductions knobs end to end and reports the resolved
+ *       shard count and per-iteration likelihoods.
  */
 
 #include <cstdint>
@@ -48,9 +55,11 @@
 #include "logic/solver.h"
 #include "pc/from_logic.h"
 #include "pc/io.h"
+#include "pc/learn.h"
 #include "pc/queries.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/rng.h"
 
 using namespace reason;
 
@@ -61,15 +70,47 @@ usage()
 {
     std::fprintf(
         stderr,
-        "usage: reason_cli [--threads N] <command> [args]\n"
+        "usage: reason_cli [--threads N] [--shards N]\n"
+        "                  [--fast-reductions] <command> [args]\n"
         "  solve <file.cnf> [--budget N] [--no-preprocess]\n"
         "  count <file.cnf> [--nnf out.nnf]\n"
         "  marginals <file.cnf> [--pc out.rpc]\n"
         "  compile <file.cnf> [--disasm]\n"
+        "  fit <file.rpc> [--samples N] [--iters N] [--seed N]\n"
+        "      [--out f.rpc]\n"
         "--threads N sets the worker count of the flat evaluation\n"
         "engine (0 = hardware concurrency); results are identical for\n"
-        "any thread count.\n");
+        "any thread count.\n"
+        "--shards N sets the sample-shard count of learning reductions\n"
+        "(EM flows, Baum-Welch; 0 = auto), and --fast-reductions trades\n"
+        "the thread-count-independent fixed reduction shape for\n"
+        "per-worker sharding.\n");
     return 2;
+}
+
+/**
+ * Parse a decimal count argument in [min_value, max_value]; returns
+ * false (instead of throwing, like std::stoull) on garbage, overflow,
+ * or out-of-range values so subcommands can fall back to usage().
+ */
+bool
+parseCount(const std::string &text, uint64_t min_value,
+           uint64_t max_value, uint64_t *out)
+{
+    if (text.empty())
+        return false;
+    uint64_t value = 0;
+    for (char ch : text) {
+        if (ch < '0' || ch > '9')
+            return false;
+        if (value > (max_value - (ch - '0')) / 10)
+            return false; // overflow past max_value
+        value = value * 10 + uint64_t(ch - '0');
+    }
+    if (value < min_value)
+        return false;
+    *out = value;
+    return true;
 }
 
 logic::CnfFormula
@@ -93,9 +134,10 @@ cmdSolve(const std::vector<std::string> &args)
     for (size_t i = 1; i < args.size(); ++i) {
         if (args[i] == "--no-preprocess")
             preprocess = false;
-        else if (args[i] == "--budget" && i + 1 < args.size())
-            budget = std::stoull(args[++i]);
-        else
+        else if (args[i] == "--budget" && i + 1 < args.size()) {
+            if (!parseCount(args[++i], 0, ~uint64_t(0), &budget))
+                return usage();
+        } else
             return usage();
     }
 
@@ -297,6 +339,81 @@ cmdCompile(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+cmdFit(const std::vector<std::string> &args)
+{
+    if (args.empty())
+        return usage();
+    uint64_t samples = 2000;
+    uint64_t iters = 10;
+    uint64_t seed = 1;
+    std::string out_path;
+    for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--samples" && i + 1 < args.size()) {
+            if (!parseCount(args[++i], 1, uint64_t(1) << 30, &samples))
+                return usage();
+        } else if (args[i] == "--iters" && i + 1 < args.size()) {
+            if (!parseCount(args[++i], 1, 1u << 20, &iters))
+                return usage();
+        } else if (args[i] == "--seed" && i + 1 < args.size()) {
+            if (!parseCount(args[++i], 0, ~uint64_t(0), &seed))
+                return usage();
+        } else if (args[i] == "--out" && i + 1 < args.size()) {
+            out_path = args[++i];
+        } else {
+            return usage();
+        }
+    }
+
+    std::ifstream in(args[0]);
+    if (!in)
+        fatal("cannot open '%s'", args[0].c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    pc::Circuit circuit = pc::parseText(text.str());
+    std::printf("circuit: %zu nodes, %zu edges, %u vars\n",
+                circuit.numNodes(), circuit.numEdges(),
+                circuit.numVars());
+
+    Rng rng(seed);
+    std::vector<pc::Assignment> data =
+        pc::sampleDataset(rng, circuit, size_t(samples));
+    pc::EmOptions opts; // inherits --shards / --fast-reductions
+    opts.maxIterations = uint32_t(iters);
+    const unsigned shards = util::resolveShardCount(
+        opts.shards, opts.deterministic, data.size(),
+        util::globalThreads());
+    std::printf("fit: %zu samples, <=%u iterations, %u worker(s), "
+                "%u shard(s), %s reductions\n",
+                data.size(), opts.maxIterations, util::globalThreads(),
+                shards,
+                opts.deterministic ? "deterministic" : "fast");
+
+    pc::EmTrace trace = pc::emTrain(circuit, data, opts);
+    for (size_t i = 0; i < trace.logLikelihood.size(); ++i)
+        std::printf("  iter %2zu: mean LL %.9f\n", i,
+                    trace.logLikelihood[i]);
+    double gain = trace.logLikelihood.back() - trace.logLikelihood[0];
+    std::printf("converged after %u iteration(s), LL gain %.3e\n",
+                trace.iterations, gain);
+    if (gain < 0.0)
+        // EM with Laplace smoothing is monotone in the *smoothed*
+        // objective; at small sample counts the pseudo-counts can
+        // legitimately pull the raw data LL down.
+        std::printf("note: negative gain — smoothing pseudo-counts "
+                    "(%.3g per count) dominate at this sample size\n",
+                    opts.smoothing);
+
+    if (!out_path.empty()) {
+        std::ofstream out(out_path);
+        if (!out)
+            fatal("cannot write '%s'", out_path.c_str());
+        out << pc::toText(circuit);
+        std::printf("wrote fitted circuit to %s\n", out_path.c_str());
+    }
+    return 0;
+}
+
 } // namespace
 
 int
@@ -305,16 +422,29 @@ main(int argc, char **argv)
     std::vector<std::string> all(argv + 1, argv + argc);
     // Global flags precede the subcommand.
     size_t at = 0;
+    util::ReductionPolicy reductions = util::reductionPolicy();
     while (at < all.size() && all[at].rfind("--", 0) == 0) {
         unsigned threads = 0;
         if (all[at] == "--threads" && at + 1 < all.size() &&
             util::parseThreadCount(all[at + 1].c_str(), &threads)) {
             util::setGlobalThreads(threads);
             at += 2;
+        } else if (all[at] == "--shards" && at + 1 < all.size()) {
+            // Shard counts are clamped to the dataset size downstream,
+            // so unlike --threads they are not bounded by kMaxThreads.
+            uint64_t shards = 0;
+            if (!parseCount(all[at + 1], 0, uint64_t(1) << 30, &shards))
+                return usage();
+            reductions.shards = unsigned(shards);
+            at += 2;
+        } else if (all[at] == "--fast-reductions") {
+            reductions.deterministic = false;
+            at += 1;
         } else {
             return usage();
         }
     }
+    util::setReductionPolicy(reductions);
     if (at >= all.size())
         return usage();
     std::string cmd = all[at];
@@ -327,5 +457,7 @@ main(int argc, char **argv)
         return cmdMarginals(args);
     if (cmd == "compile")
         return cmdCompile(args);
+    if (cmd == "fit")
+        return cmdFit(args);
     return usage();
 }
