@@ -6,19 +6,24 @@
  * call), the serial flat CSR engine (pc::CircuitEvaluator,
  * allocation-free batched), and the thread-parallel wavefront engine
  * (same evaluator over a multi-worker pool, bit-identical results),
- * plus the linear-domain Dag-vs-core::Evaluator pair.
+ * plus the linear-domain Dag-vs-core::Evaluator pair and the async
+ * batch-serving engine (sys::ReasonEngine: cross-request coalescing
+ * vs sequential single-request submission).
  *
  * Emits one machine-readable JSON line per engine pair (prefix
  * "BENCH_JSON ", with compiler/flags provenance) so the perf
  * trajectory can be tracked across PRs:
  *
  *   ./bench_eval [num_vars] [reps] [--threads N] [--repeats N]
+ *               [--max-batch N]
  *
  * --threads N   worker count of the threaded variant (default:
  *               hardware concurrency; 1 skips the threaded section).
  * --repeats N   same as the positional reps argument.
+ * --max-batch N most rows per coalesced serving batch (default 64).
  */
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +37,7 @@
 #include "pc/flat_pc.h"
 #include "pc/learn.h"
 #include "pc/pc.h"
+#include "sys/engine.h"
 #include "util/numeric.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -71,7 +77,7 @@ int
 usageError()
 {
     std::fprintf(stderr, "usage: bench_eval [num_vars >= 2] [reps >= 1] "
-                         "[--threads N] [--repeats N]\n");
+                         "[--threads N] [--repeats N] [--max-batch N]\n");
     return 1;
 }
 
@@ -124,6 +130,7 @@ main(int argc, char **argv)
     unsigned threads = std::thread::hardware_concurrency();
     if (threads == 0)
         threads = 1;
+    unsigned max_batch = 64;
 
     size_t positional = 0;
     for (int i = 1; i < argc; ++i) {
@@ -133,6 +140,12 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[i], "--repeats") == 0 &&
                    i + 1 < argc) {
             reps = size_t(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--max-batch") == 0 &&
+                   i + 1 < argc) {
+            long long v = std::atoll(argv[++i]);
+            if (v < 1 || v > (1 << 20))
+                return usageError();
+            max_batch = unsigned(v);
         } else if (argv[i][0] == '-') {
             return usageError();
         } else if (positional == 0) {
@@ -363,6 +376,104 @@ main(int argc, char **argv)
         bitwise_failures += mismatches;
     } else {
         std::printf("em_fit section skipped (1 worker)\n");
+    }
+
+    // --- async serving engine: coalesced vs sequential -----------------
+    {
+        // serveThreads is pinned to 1 so the measured factor isolates
+        // cross-request coalescing (SoA batch amortization) from
+        // wavefront threading; both paths pad every request to whole
+        // SoA blocks, so outputs must match bitwise.
+        sys::ServeOptions sopts;
+        sopts.maxBatch = max_batch;
+        sopts.serveThreads = 1;
+        sopts.maxCoalesceWindowUs = 0;
+
+        // Sequential baseline: submit-and-wait one request at a time
+        // (batch occupancy 1, no overlap between client and engine).
+        std::vector<double> seq_ll(data.size());
+        double seq_ms = 0.0;
+        {
+            sys::ReasonEngine engine(sopts);
+            sys::Session session = engine.createSession(circuit);
+            session.wait(session.submit(data[0])); // warm evaluator
+            t0 = Clock::now();
+            for (size_t i = 0; i < data.size(); ++i)
+                seq_ll[i] =
+                    session.wait(session.submit(data[i]))->outputs[0];
+            seq_ms = msSince(t0);
+        }
+
+        // Coalesced serving: two sessions over the same circuit (the
+        // lowering cache gives them one coalescing key); the backlog
+        // is built while the dispatcher is paused, then released.
+        std::vector<double> serve_ll(data.size());
+        std::vector<double> lat_ms(data.size());
+        double serve_ms = 0.0;
+        sys::EngineStats warm{}, stats{};
+        {
+            sys::ReasonEngine engine(sopts);
+            sys::Session sessions[2] = {engine.createSession(circuit),
+                                        engine.createSession(circuit)};
+            sessions[0].wait(sessions[0].submit(data[0])); // warm
+            engine.pause();
+            warm = engine.stats();
+            std::vector<sys::RequestHandle> handles(data.size());
+            for (size_t i = 0; i < data.size(); ++i)
+                handles[i] = sessions[i % 2].submit(data[i]);
+            t0 = Clock::now();
+            engine.resume();
+            for (size_t i = 0; i < data.size(); ++i) {
+                std::shared_ptr<const sys::Request> r =
+                    sessions[i % 2].wait(handles[i]);
+                serve_ll[i] = r->outputs[0];
+                lat_ms[i] = double(r->latencyNs()) * 1e-6;
+            }
+            serve_ms = msSince(t0);
+            stats = engine.stats();
+        }
+
+        size_t mismatches = 0;
+        for (size_t i = 0; i < data.size(); ++i) {
+            uint64_t ba, bb;
+            std::memcpy(&ba, &seq_ll[i], sizeof ba);
+            std::memcpy(&bb, &serve_ll[i], sizeof bb);
+            mismatches += ba != bb;
+        }
+        const uint64_t serve_batches = stats.batches - warm.batches;
+        const double occupancy =
+            serve_batches == 0
+                ? 0.0
+                : double(stats.rows - warm.rows) /
+                      double(serve_batches);
+        std::sort(lat_ms.begin(), lat_ms.end());
+        auto percentile = [&](double p) {
+            return lat_ms[std::min(lat_ms.size() - 1,
+                                   size_t(p * double(lat_ms.size())))];
+        };
+        const double speedup = seq_ms / serve_ms;
+        const double rps =
+            double(data.size()) / (serve_ms * 1e-3);
+        std::printf("BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+                    "\"serving\",\"nodes\":%zu,\"edges\":%zu,"
+                    "\"reps\":%zu,\"threads\":%u,\"max_batch\":%u,"
+                    "\"clients\":2,\"seq_ms\":%.3f,\"serve_ms\":%.3f,"
+                    "\"speedup_vs_seq\":%.2f,\"requests_per_sec\":%.1f,"
+                    "\"p50_ms\":%.4f,\"p99_ms\":%.4f,"
+                    "\"mean_batch_occupancy\":%.2f,"
+                    "\"bitwise_mismatches\":%zu%s}\n",
+                    circuit.numNodes(), circuit.numEdges(), data.size(),
+                    sopts.serveThreads, max_batch, seq_ms, serve_ms,
+                    speedup, rps, percentile(0.50), percentile(0.99),
+                    occupancy, mismatches, provenance);
+        std::printf("serving: coalesced %.3f ms vs sequential %.3f ms: "
+                    "%.2fx %s (target >=2x), occupancy %.2f %s, "
+                    "%zu bitwise mismatches\n",
+                    serve_ms, seq_ms, speedup,
+                    speedup >= 2.0 ? "PASS" : "BELOW TARGET", occupancy,
+                    occupancy > 1.0 ? "PASS" : "BELOW TARGET",
+                    mismatches);
+        bitwise_failures += mismatches;
     }
 
     // --- linear domain: Dag::evaluate vs core::Evaluator ---------------

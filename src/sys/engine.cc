@@ -1,0 +1,334 @@
+#include "sys/engine.h"
+
+#include "pc/flat_cache.h"
+#include "pc/pc.h"
+#include "util/logging.h"
+
+namespace reason {
+namespace sys {
+
+/**
+ * Shared per-session state.  Exactly one of the two kinds is active:
+ * circuit sessions carry the cached lowering (also their coalescing
+ * key); program sessions carry the compiled program and a private
+ * cycle-accurate accelerator, used only by the dispatcher.
+ */
+struct SessionState
+{
+    /** Circuit sessions: immutable shared lowering. */
+    std::shared_ptr<const pc::FlatCircuit> lowering;
+
+    /** Program sessions. */
+    std::unique_ptr<arch::Accelerator> accel;
+    compiler::Program program;
+    uint32_t numInputs = 0;
+
+    bool isProgram() const { return accel != nullptr; }
+};
+
+namespace {
+
+/** Distinct lowerings the dispatcher keeps warm evaluators for. */
+constexpr size_t kMaxCachedEvaluators = 32;
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+RequestHandle
+Session::finishRejected(std::shared_ptr<Request> request, int error) const
+{
+    request->error = error;
+    request->state = RequestState::Done;
+    return RequestHandle(std::move(request));
+}
+
+RequestHandle
+Session::submit(pc::Assignment row)
+{
+    std::vector<pc::Assignment> rows;
+    rows.push_back(std::move(row));
+    return submitBatch(std::move(rows));
+}
+
+RequestHandle
+Session::submitBatch(std::vector<pc::Assignment> rows)
+{
+    auto request = std::make_shared<Request>();
+    request->session = state_;
+    if (engine_ == nullptr || state_ == nullptr || state_->isProgram())
+        return finishRejected(std::move(request),
+                              REASON_ERR_WRONG_SESSION);
+    if (rows.empty())
+        return finishRejected(std::move(request), REASON_ERR_BAD_BATCH);
+    const pc::FlatCircuit &flat = *state_->lowering;
+    for (const pc::Assignment &x : rows) {
+        if (x.size() < flat.numVars)
+            return finishRejected(std::move(request),
+                                  REASON_ERR_BAD_ASSIGNMENT);
+        for (uint32_t v = 0; v < flat.numVars; ++v)
+            if (x[v] != pc::kMissing && x[v] >= flat.arity)
+                return finishRejected(std::move(request),
+                                      REASON_ERR_BAD_ASSIGNMENT);
+    }
+    request->mode = REASON_MODE_PROBABILISTIC;
+    request->groupKey = state_->lowering.get();
+    request->rows = std::move(rows);
+    return engine_->enqueue(request);
+}
+
+RequestHandle
+Session::submitProgram(int batch_size, const double *inputs, int mode)
+{
+    auto request = std::make_shared<Request>();
+    request->session = state_;
+    if (engine_ == nullptr || state_ == nullptr || !state_->isProgram())
+        return finishRejected(std::move(request),
+                              REASON_ERR_WRONG_SESSION);
+    if (batch_size <= 0)
+        return finishRejected(std::move(request), REASON_ERR_BAD_BATCH);
+    if (inputs == nullptr)
+        return finishRejected(std::move(request),
+                              REASON_ERR_NULL_BUFFER);
+    if (mode < REASON_MODE_PROBABILISTIC || mode > REASON_MODE_SPMSPM)
+        return finishRejected(std::move(request), REASON_ERR_BAD_MODE);
+    request->mode = ReasonMode(mode);
+    request->groupKey = state_.get();
+    request->batchSize = batch_size;
+    request->inputs.assign(inputs,
+                           inputs + size_t(batch_size) *
+                                        state_->numInputs);
+    return engine_->enqueue(request);
+}
+
+bool
+Session::poll(const RequestHandle &handle) const
+{
+    reasonAssert(handle.valid(), "poll on an invalid handle");
+    if (engine_ == nullptr) {
+        // An invalid session can only have produced rejected-at-submit
+        // handles; those completed synchronously and were never shared
+        // with a dispatcher, so the unsynchronized read is safe.
+        reasonAssert(handle.request_->state == RequestState::Done,
+                     "poll on an invalid session");
+        return true;
+    }
+    return engine_->queue_.pollDone(*handle.request_);
+}
+
+std::shared_ptr<const Request>
+Session::wait(const RequestHandle &handle) const
+{
+    reasonAssert(handle.valid(), "wait on an invalid handle");
+    if (engine_ == nullptr) {
+        // See poll(): only already-completed rejection handles exist.
+        reasonAssert(handle.request_->state == RequestState::Done,
+                     "wait on an invalid session");
+        return handle.request_;
+    }
+    engine_->queue_.waitDone(*handle.request_);
+    return handle.request_;
+}
+
+// ---------------------------------------------------------------------------
+// ReasonEngine
+// ---------------------------------------------------------------------------
+
+ReasonEngine::ReasonEngine(const ServeOptions &options)
+    : options_(options), evalPool_(options.serveThreads)
+{
+    if (options_.maxBatch == 0)
+        options_.maxBatch = 1;
+    if (options_.startPaused)
+        queue_.pause();
+    dispatcher_ = std::thread(&ReasonEngine::workerLoop, this);
+}
+
+ReasonEngine::~ReasonEngine()
+{
+    queue_.shutdown();
+    if (dispatcher_.joinable())
+        dispatcher_.join();
+}
+
+Session
+ReasonEngine::createSession(const pc::Circuit &circuit)
+{
+    auto state = std::make_shared<SessionState>();
+    state->lowering = pc::cachedLowering(circuit);
+    return Session(this, std::move(state));
+}
+
+Session
+ReasonEngine::createSession(const arch::ArchConfig &config,
+                            compiler::Program program)
+{
+    auto state = std::make_shared<SessionState>();
+    state->accel = std::make_unique<arch::Accelerator>(config);
+    state->program = std::move(program);
+    uint32_t num_inputs = 0;
+    for (const auto &p : state->program.inputs)
+        num_inputs = std::max(num_inputs, p.inputTag + 1);
+    state->numInputs = num_inputs;
+    return Session(this, std::move(state));
+}
+
+void
+ReasonEngine::pause()
+{
+    queue_.pause();
+}
+
+void
+ReasonEngine::resume()
+{
+    queue_.resume();
+}
+
+EngineStats
+ReasonEngine::stats() const
+{
+    const QueueStats q = queue_.stats();
+    EngineStats s;
+    s.requests = q.requests;
+    s.rows = q.rows;
+    s.batches = q.batches;
+    s.completed = q.completed;
+    s.meanBatchOccupancy = q.meanBatchOccupancy();
+    s.maxQueueDepth = q.maxQueueDepth;
+    if (q.completed > 0) {
+        s.meanQueueMs =
+            double(q.totalQueueNs) / double(q.completed) * 1e-6;
+        s.meanLatencyMs =
+            double(q.totalLatencyNs) / double(q.completed) * 1e-6;
+    }
+    return s;
+}
+
+RequestHandle
+ReasonEngine::enqueue(const std::shared_ptr<Request> &request)
+{
+    request->id = nextId_.fetch_add(1, std::memory_order_relaxed);
+    queue_.push(request);
+    return RequestHandle(request);
+}
+
+void
+ReasonEngine::workerLoop()
+{
+    for (;;) {
+        std::vector<std::shared_ptr<Request>> group =
+            queue_.popGroup(options_.maxBatch,
+                            options_.maxCoalesceWindowUs);
+        if (group.empty())
+            return; // shutdown
+        executeGroup(group);
+        queue_.complete(group);
+    }
+}
+
+void
+ReasonEngine::executeGroup(
+    const std::vector<std::shared_ptr<Request>> &group)
+{
+    if (group.front()->session->isProgram()) {
+        // Program requests share a key only within one session; they
+        // execute back to back, each exactly like a sequential
+        // REASON_execute call.
+        for (const auto &r : group)
+            executeProgramRequest(*r);
+        return;
+    }
+    executeCircuitGroup(group);
+}
+
+pc::CircuitEvaluator &
+ReasonEngine::evaluatorFor(const pc::FlatCircuit &flat,
+                           std::shared_ptr<const pc::FlatCircuit>
+                               keepAlive)
+{
+    auto it = evaluators_.find(&flat);
+    if (it == evaluators_.end()) {
+        // Bounded: in-flight requests pin their lowerings through the
+        // session state, so dropping a warm evaluator is always safe.
+        // Evict one victim, not the whole cache — the other warm
+        // evaluators stay hot.
+        if (evaluators_.size() >= kMaxCachedEvaluators)
+            evaluators_.erase(evaluators_.begin());
+        CachedEvaluator entry;
+        entry.flat = std::move(keepAlive);
+        entry.eval =
+            std::make_unique<pc::CircuitEvaluator>(flat, &evalPool_);
+        it = evaluators_.emplace(&flat, std::move(entry)).first;
+    }
+    return *it->second.eval;
+}
+
+void
+ReasonEngine::executeCircuitGroup(
+    const std::vector<std::shared_ptr<Request>> &group)
+{
+    const pc::FlatCircuit &flat = *static_cast<const pc::FlatCircuit *>(
+        group.front()->groupKey);
+    pc::CircuitEvaluator &eval =
+        evaluatorFor(flat, group.front()->session->lowering);
+
+    size_t total = 0;
+    for (const auto &r : group)
+        total += r->rows.size();
+
+    // Pad to whole SoA blocks: every row then takes the blocked path
+    // (lanes are independent), so each request's outputs are
+    // bit-identical regardless of how it was coalesced.  The pad lanes
+    // replicate the first row and are discarded.
+    constexpr size_t kBlock = pc::CircuitEvaluator::kBlock;
+    const size_t padded = (total + kBlock - 1) / kBlock * kBlock;
+    groupRows_.resize(padded);
+    size_t at = 0;
+    for (const auto &r : group)
+        for (const pc::Assignment &x : r->rows)
+            groupRows_[at++].assign(x.begin(), x.end());
+    for (; at < padded; ++at)
+        groupRows_[at].assign(groupRows_[0].begin(),
+                              groupRows_[0].end());
+
+    groupOut_.resize(padded);
+    eval.logLikelihoodBatch(groupRows_,
+                            {groupOut_.data(), groupOut_.size()});
+
+    at = 0;
+    for (const auto &r : group) {
+        r->outputs.assign(groupOut_.begin() + long(at),
+                          groupOut_.begin() + long(at + r->rows.size()));
+        at += r->rows.size();
+    }
+}
+
+void
+ReasonEngine::executeProgramRequest(Request &request)
+{
+    SessionState &s = *request.session;
+    const double *in = request.inputs.data();
+    const int batch_size = request.batchSize;
+    request.outputs.resize(size_t(batch_size));
+
+    uint64_t batch_cycles = 0;
+    inputRow_.resize(s.numInputs);
+    for (int b = 0; b < batch_size; ++b) {
+        // Reused row buffer: batched serving must not allocate per item.
+        inputRow_.assign(in + size_t(b) * s.numInputs,
+                         in + size_t(b + 1) * s.numInputs);
+        arch::ExecutionResult r =
+            s.accel->run(s.program, inputRow_, /*preloaded=*/b > 0);
+        request.outputs[size_t(b)] = r.rootValue;
+        batch_cycles += r.cycles;
+        if (b == batch_size - 1)
+            request.exec = std::move(r);
+    }
+    request.execCycles = batch_cycles;
+}
+
+} // namespace sys
+} // namespace reason

@@ -1,0 +1,313 @@
+/**
+ * @file
+ * sys::ReasonEngine — the asynchronous batch-serving front door of the
+ * runtime (the production successor of the Listing-1 polling loop).
+ *
+ * An engine owns a submission queue (sys::RequestQueue), one dispatcher
+ * thread, and a util::ThreadPool evaluation pool.  Clients open
+ * *sessions* and submit requests; the dispatcher coalesces queued
+ * requests that share a coalescing key — circuit sessions are keyed by
+ * their structural lowering fingerprint (pc::cachedLowering), so
+ * independent sessions over structurally identical circuits share
+ * batches — and executes each group as one blocked SoA evaluation on
+ * pc::CircuitEvaluator.
+ *
+ * **Determinism contract.**  Every circuit-mode row is evaluated
+ * through the blocked SoA path (groups are padded to whole
+ * CircuitEvaluator::kBlock blocks; SoA lanes are independent), so a
+ * request's outputs are bit-identical no matter how it was coalesced —
+ * alone, with other requests, or split across engine instances — and
+ * for any serveThreads count (the pool contract of flat_pc.h).
+ * Program-mode (Listing-1) requests replay the exact per-row
+ * accelerator loop of the pre-engine ReasonRuntime, so their outputs
+ * are bit-identical to sequential REASON_execute.
+ *
+ * **Thread-safety.**  Sessions and handles may be used from any
+ * thread; submissions and waits from many client threads are the
+ * intended pattern.  One Session object itself is safe for concurrent
+ * submits (submission state is immutable; ids are atomic).  The engine
+ * must outlive its sessions' *submissions* (wait/poll route through
+ * the engine queue), but RequestHandle result accessors stay readable
+ * after engine destruction because requests are shared-owned.
+ */
+
+#ifndef REASON_SYS_ENGINE_H
+#define REASON_SYS_ENGINE_H
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "arch/config.h"
+#include "compiler/program.h"
+#include "pc/flat_pc.h"
+#include "sys/request_queue.h"
+#include "util/logging.h"
+#include "util/parallel.h"
+
+namespace reason {
+namespace pc {
+class Circuit;
+}
+
+namespace sys {
+
+class ReasonEngine;
+
+/**
+ * Serving knobs of a ReasonEngine (mirrored on sys::RuntimeOptions and
+ * the reason_cli/bench_eval flags).
+ */
+struct ServeOptions
+{
+    /**
+     * Most rows one coalesced evaluation may carry.  Larger batches
+     * amortize the circuit traversal across more SoA rows; 0 behaves
+     * as 1 (no coalescing).  The cap bounds *coalescing*, not single
+     * requests: one submitBatch larger than maxBatch still executes
+     * as one evaluation (it just never gains co-riders), so clients
+     * wanting bounded per-dispatch work must split bulk queries
+     * themselves — results are bit-identical either way.
+     */
+    unsigned maxBatch = 64;
+    /**
+     * How long (microseconds) a dispatch lingers for same-key late
+     * arrivals when the group is below maxBatch.  0 (default)
+     * dispatches greedily: coalescing then comes purely from backlog,
+     * which adds no idle latency to lightly loaded engines.
+     */
+    unsigned maxCoalesceWindowUs = 0;
+    /**
+     * Worker count of the engine's evaluation pool (the blocked SoA
+     * row-block parallelism of CircuitEvaluator).  0 selects hardware
+     * concurrency.  Results are bit-identical for any value.
+     */
+    unsigned serveThreads = 1;
+    /**
+     * Start with dispatching held (ReasonEngine::resume() releases
+     * it).  Lets tests and benchmarks build a backlog so coalescing is
+     * deterministic rather than arrival-timing dependent.
+     */
+    bool startPaused = false;
+};
+
+/** Aggregate serving statistics (snapshot; monotone counters). */
+struct EngineStats
+{
+    /** Requests accepted into the queue. */
+    uint64_t requests = 0;
+    /** Rows across accepted requests. */
+    uint64_t rows = 0;
+    /** Coalesced batches dispatched. */
+    uint64_t batches = 0;
+    /** Requests completed (including shutdown failures). */
+    uint64_t completed = 0;
+    /** Mean rows per dispatched batch. */
+    double meanBatchOccupancy = 0.0;
+    /** Deepest pending-queue depth observed. */
+    uint64_t maxQueueDepth = 0;
+    /** Mean enqueue-to-dispatch wait over completed requests (ms). */
+    double meanQueueMs = 0.0;
+    /** Mean enqueue-to-completion latency over completed requests (ms). */
+    double meanLatencyMs = 0.0;
+};
+
+/**
+ * Completion token of one submission.  Cheap to copy; shares ownership
+ * of the underlying request, so results remain readable for the
+ * handle's lifetime.  Use Session::poll/wait to synchronize; call the
+ * result accessors only after completion has been observed (poll()
+ * returned true, wait() returned, or the engine was destroyed).
+ */
+class RequestHandle
+{
+  public:
+    RequestHandle() = default;
+
+    bool valid() const { return request_ != nullptr; }
+    uint64_t id() const { return request_ ? request_->id : 0; }
+
+    /** REASON_OK or the ReasonError the request failed with. */
+    int error() const { return checked().error; }
+    /** Per-row outputs (log-likelihoods / root values). */
+    const std::vector<double> &outputs() const
+    {
+        return checked().outputs;
+    }
+    /** Program mode: execution result of the batch's final row. */
+    const arch::ExecutionResult &execution() const
+    {
+        return checked().exec;
+    }
+    /** Program mode: simulated cycles consumed by the batch. */
+    uint64_t executionCycles() const { return checked().execCycles; }
+    /** Enqueue-to-completion latency in nanoseconds (0 until done). */
+    uint64_t
+    latencyNs() const
+    {
+        const Request &r = checked();
+        return r.completedNs == 0 ? 0 : r.latencyNs();
+    }
+
+  private:
+    const Request &checked() const
+    {
+        reasonAssert(request_ != nullptr,
+                     "result access on an invalid handle");
+        return *request_;
+    }
+
+    friend class Session;
+    friend class ReasonEngine;
+    explicit RequestHandle(std::shared_ptr<Request> request)
+        : request_(std::move(request))
+    {
+    }
+
+    std::shared_ptr<Request> request_;
+};
+
+/**
+ * One client's view of the engine.  Circuit sessions submit assignment
+ * rows and receive log-likelihoods; program sessions submit Listing-1
+ * input batches executed on a private cycle-accurate accelerator.
+ * Copyable (copies share the underlying session state).
+ */
+class Session
+{
+  public:
+    Session() = default;
+
+    bool valid() const { return engine_ != nullptr; }
+
+    /**
+     * Circuit sessions: submit one assignment row.  Never blocks and
+     * never throws; validation failures return an already-completed
+     * handle carrying the ReasonError.
+     */
+    RequestHandle submit(pc::Assignment row);
+
+    /**
+     * Circuit sessions: submit many rows as one request.  A request
+     * always executes as one evaluation, even when it exceeds
+     * ServeOptions::maxBatch (the cap bounds coalescing only); split
+     * bulk queries into several requests for bounded dispatch units.
+     */
+    RequestHandle submitBatch(std::vector<pc::Assignment> rows);
+
+    /**
+     * Program sessions: submit a Listing-1 batch (row-major inputs,
+     * batch_size rows of the program's input arity).  `mode` must be a
+     * ReasonMode value.
+     */
+    RequestHandle submitProgram(int batch_size, const double *inputs,
+                                int mode);
+
+    /** True once the request completed (success or error). */
+    bool poll(const RequestHandle &handle) const;
+
+    /**
+     * Block until the request completes; returns the completed request
+     * as a shared owner, so the result stays readable even when the
+     * handle was a temporary and the engine has moved on.  Waiting on
+     * an invalid handle is an error.
+     */
+    std::shared_ptr<const Request> wait(const RequestHandle &handle) const;
+
+  private:
+    friend class ReasonEngine;
+    Session(ReasonEngine *engine, std::shared_ptr<SessionState> state)
+        : engine_(engine), state_(std::move(state))
+    {
+    }
+
+    RequestHandle finishRejected(std::shared_ptr<Request> request,
+                                 int error) const;
+
+    ReasonEngine *engine_ = nullptr;
+    std::shared_ptr<SessionState> state_;
+};
+
+/**
+ * The asynchronous serving engine.  See the file comment for the
+ * execution and determinism model.  Destroying the engine fails
+ * still-queued requests with REASON_ERR_SHUTDOWN, finishes the group
+ * in flight, and joins the dispatcher.
+ */
+class ReasonEngine
+{
+  public:
+    explicit ReasonEngine(const ServeOptions &options = {});
+    ~ReasonEngine();
+
+    ReasonEngine(const ReasonEngine &) = delete;
+    ReasonEngine &operator=(const ReasonEngine &) = delete;
+
+    /**
+     * Open a serving session over a probabilistic circuit.  The
+     * lowering is obtained through pc::cachedLowering, so sessions
+     * over structurally identical circuits share one lowering — and
+     * therefore one coalescing key.  The circuit itself is not
+     * retained and may be destroyed after the call.
+     */
+    Session createSession(const pc::Circuit &circuit);
+
+    /**
+     * Open a Listing-1 session: the compiled program runs on a private
+     * cycle-accurate accelerator, one row at a time, exactly as the
+     * pre-engine ReasonRuntime executed it.
+     */
+    Session createSession(const arch::ArchConfig &config,
+                          compiler::Program program);
+
+    /** Hold dispatching; queued submissions accumulate (and coalesce). */
+    void pause();
+    /** Release a pause() (or a startPaused construction). */
+    void resume();
+
+    EngineStats stats() const;
+    const ServeOptions &options() const { return options_; }
+
+  private:
+    friend class Session;
+
+    void workerLoop();
+    void executeGroup(const std::vector<std::shared_ptr<Request>> &group);
+    void executeCircuitGroup(
+        const std::vector<std::shared_ptr<Request>> &group);
+    void executeProgramRequest(Request &request);
+    pc::CircuitEvaluator &evaluatorFor(const pc::FlatCircuit &flat,
+                                       std::shared_ptr<const pc::FlatCircuit>
+                                           keepAlive);
+    RequestHandle enqueue(const std::shared_ptr<Request> &request);
+
+    ServeOptions options_;
+    RequestQueue queue_;
+    util::ThreadPool evalPool_;
+    std::atomic<uint64_t> nextId_{1};
+
+    /** Dispatcher-thread-only state below. */
+    struct CachedEvaluator
+    {
+        std::shared_ptr<const pc::FlatCircuit> flat;
+        std::unique_ptr<pc::CircuitEvaluator> eval;
+    };
+    std::unordered_map<const pc::FlatCircuit *, CachedEvaluator>
+        evaluators_;
+    /** Reused group scratch (rows, outputs) — no per-batch allocation
+     *  once warm. */
+    std::vector<pc::Assignment> groupRows_;
+    std::vector<double> groupOut_;
+    /** Program-mode reused input row (the Listing-1 alloc hoist). */
+    std::vector<double> inputRow_;
+
+    std::thread dispatcher_;
+};
+
+} // namespace sys
+} // namespace reason
+
+#endif // REASON_SYS_ENGINE_H

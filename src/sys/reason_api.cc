@@ -8,16 +8,31 @@
 namespace reason {
 namespace sys {
 
+namespace {
+
+ServeOptions
+serveOptionsFrom(const RuntimeOptions &options)
+{
+    ServeOptions serve;
+    serve.maxBatch = options.maxBatch;
+    serve.maxCoalesceWindowUs = options.maxCoalesceWindowUs;
+    serve.serveThreads = options.serveThreads;
+    return serve;
+}
+
+} // namespace
+
 ReasonRuntime::ReasonRuntime(const arch::ArchConfig &config,
                              compiler::Program program)
-    : config_(config), program_(std::move(program)), accel_(config)
+    : session_(engine_.createSession(config, std::move(program)))
 {
 }
 
 ReasonRuntime::ReasonRuntime(const arch::ArchConfig &config,
                              compiler::Program program,
                              const RuntimeOptions &options)
-    : ReasonRuntime(config, std::move(program))
+    : engine_(serveOptionsFrom(options)),
+      session_(engine_.createSession(config, std::move(program)))
 {
     if (options.evalThreads > 0)
         util::setGlobalThreads(options.evalThreads);
@@ -39,23 +54,18 @@ ReasonRuntime::REASON_execute(int batch_id, int batch_size,
                               const void *reasoning_mode,
                               void *symbolic_buffer)
 {
-    if (batch_size <= 0 || neural_buffer == nullptr ||
-        symbolic_buffer == nullptr)
-        return -1;
+    if (batch_size <= 0)
+        return REASON_ERR_BAD_BATCH;
+    if (neural_buffer == nullptr || symbolic_buffer == nullptr)
+        return REASON_ERR_NULL_BUFFER;
     int mode = REASON_MODE_PROBABILISTIC;
     if (reasoning_mode)
         std::memcpy(&mode, reasoning_mode, sizeof(int));
+    if (mode < REASON_MODE_PROBABILISTIC || mode > REASON_MODE_SPMSPM)
+        return REASON_ERR_BAD_MODE;
+    if (completion_.count(batch_id))
+        return REASON_ERR_DUPLICATE_BATCH;
 
-    const uint32_t num_inputs = program_.inputs.empty()
-                                    ? 0
-                                    : [&] {
-                                          uint32_t m = 0;
-                                          for (const auto &p :
-                                               program_.inputs)
-                                              m = std::max(m,
-                                                           p.inputTag + 1);
-                                          return m;
-                                      }();
     const double *in = static_cast<const double *>(neural_buffer);
     double *out = static_cast<double *>(symbolic_buffer);
 
@@ -63,26 +73,22 @@ ReasonRuntime::REASON_execute(int batch_id, int batch_size,
     shm_.neuralReady = true;
     shm_.symbolicReady = false;
 
-    uint64_t batch_cycles = 0;
-    inputRow_.resize(num_inputs);
-    for (int b = 0; b < batch_size; ++b) {
-        // Reused row buffer: batched serving must not allocate per item.
-        inputRow_.assign(in + size_t(b) * num_inputs,
-                         in + size_t(b + 1) * num_inputs);
-        arch::ExecutionResult r =
-            accel_.run(program_, inputRow_, /*preloaded=*/b > 0);
-        out[b] = r.rootValue;
-        batch_cycles += r.cycles;
-        if (b == batch_size - 1)
-            results_[batch_id] = std::move(r);
-    }
-    completion_[batch_id] = now_ + batch_cycles;
-    now_ += batch_cycles;
+    // Listing-1 is synchronous: one submission, one blocking wait.
+    std::shared_ptr<const Request> request =
+        session_.wait(session_.submitProgram(batch_size, in, mode));
+    if (request->error != REASON_OK)
+        return request->error;
+
+    std::memcpy(out, request->outputs.data(),
+                request->outputs.size() * sizeof(double));
+    results_[batch_id] = request->exec;
+    completion_[batch_id] = now_ + request->execCycles;
+    now_ += request->execCycles;
 
     shm_.neuralReady = false;
     shm_.symbolicReady = true;
     shm_.symbolicBuffer.assign(out, out + batch_size);
-    return 0;
+    return REASON_OK;
 }
 
 int

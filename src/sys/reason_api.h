@@ -3,6 +3,15 @@
  * The REASON programming interface (Sec. VI-B, Listing 1):
  * REASON_execute / REASON_check_status over shared-memory flag buffers.
  *
+ * Since the serving redesign this is a thin compatibility shim over
+ * sys::ReasonEngine (sys/engine.h): a ReasonRuntime owns one engine
+ * with one program session and turns every REASON_execute call into a
+ * submit + blocking wait, preserving the original single-tenant
+ * polling semantics (simulated-cycle accounting included) bit for bit.
+ * New code should use the engine directly — it serves many sessions,
+ * overlaps submission with execution, and coalesces requests into
+ * batched evaluations.
+ *
  * The runtime simulates the co-processor side: the host (GPU SM proxy)
  * writes neural results into shared memory and sets `neural_ready`;
  * REASON polls the flag, runs the compiled symbolic kernel on the cycle
@@ -13,25 +22,15 @@
 #define REASON_SYS_REASON_API_H
 
 #include <cstdint>
-#include <map>
+#include <unordered_map>
 #include <vector>
 
 #include "arch/accelerator.h"
 #include "compiler/program.h"
+#include "sys/engine.h"
 
 namespace reason {
 namespace sys {
-
-/** Execution status returned by REASON_check_status. */
-enum ReasonStatus : int { REASON_IDLE = 0, REASON_EXECUTION = 1 };
-
-/** Reasoning mode selector (Sec. V-B). */
-enum ReasonMode : int
-{
-    REASON_MODE_PROBABILISTIC = 0,
-    REASON_MODE_SYMBOLIC = 1,
-    REASON_MODE_SPMSPM = 2
-};
 
 /**
  * Host-visible shared memory segment: data buffers plus the
@@ -89,11 +88,24 @@ struct RuntimeOptions
      * util::ReductionPolicy).
      */
     LearnReduction learnReduction = LearnReduction::Inherit;
+
+    /**
+     * Serving knobs forwarded to the embedded sys::ReasonEngine (see
+     * ServeOptions for semantics).  They do not change Listing-1
+     * results — the shim submits and waits one batch at a time, so
+     * coalescing never crosses a REASON_execute call — but they apply
+     * when the runtime's engine is shared with async submitters.
+     */
+    unsigned maxBatch = 64;
+    /** ServeOptions::maxCoalesceWindowUs. */
+    unsigned maxCoalesceWindowUs = 0;
+    /** ServeOptions::serveThreads (0 = hardware concurrency). */
+    unsigned serveThreads = 1;
 };
 
 /**
  * Simulated REASON co-processor runtime implementing the C-style
- * interface of Listing 1.
+ * interface of Listing 1, as a compatibility shim over ReasonEngine.
  */
 class ReasonRuntime
 {
@@ -112,7 +124,17 @@ class ReasonRuntime
      * The neural buffer must hold batch_size * numInputs doubles; the
      * symbolic buffer receives batch_size root values.
      *
-     * @return 0 on success, negative on error (bad batch, not ready).
+     * @return REASON_OK (0) on success, or a distinct negative
+     *         ReasonError (sys/request_queue.h):
+     *         REASON_ERR_BAD_BATCH for batch_size <= 0,
+     *         REASON_ERR_NULL_BUFFER for a null neural or symbolic
+     *         buffer, REASON_ERR_BAD_MODE when *reasoning_mode is not
+     *         a ReasonMode value (a null pointer defaults to
+     *         REASON_MODE_PROBABILISTIC), and
+     *         REASON_ERR_DUPLICATE_BATCH when batch_id was already
+     *         executed on this runtime (ids are tracked forever;
+     *         resubmission was previously a silent last-write-wins
+     *         overwrite and is now a documented error).
      */
     int REASON_execute(int batch_id, int batch_size,
                        const void *neural_buffer,
@@ -131,22 +153,22 @@ class ReasonRuntime
     uint64_t totalCycles() const { return now_; }
 
     /** Per-batch execution results. */
-    const std::map<int, arch::ExecutionResult> &results() const
+    const std::unordered_map<int, arch::ExecutionResult> &results() const
     {
         return results_;
     }
 
+    /** The serving engine backing this runtime (shared sessions etc.). */
+    ReasonEngine &engine() { return engine_; }
+
   private:
-    arch::ArchConfig config_;
-    compiler::Program program_;
-    arch::Accelerator accel_;
+    ReasonEngine engine_;
+    Session session_;
     SharedMemory shm_;
-    /** Reused per-item input row (avoids per-batch-item allocation). */
-    std::vector<double> inputRow_;
     uint64_t now_ = 0;
     /** batch id -> completion cycle. */
-    std::map<int, uint64_t> completion_;
-    std::map<int, arch::ExecutionResult> results_;
+    std::unordered_map<int, uint64_t> completion_;
+    std::unordered_map<int, arch::ExecutionResult> results_;
 };
 
 } // namespace sys

@@ -1,0 +1,184 @@
+#include "sys/request_queue.h"
+
+#include <chrono>
+
+#include "util/logging.h"
+
+namespace reason {
+namespace sys {
+
+namespace {
+
+uint64_t
+nowNs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch())
+                        .count());
+}
+
+} // namespace
+
+void
+RequestQueue::push(const std::shared_ptr<Request> &request)
+{
+    reasonAssert(request != nullptr, "null request");
+    std::lock_guard<std::mutex> lock(mutex_);
+    request->enqueuedNs = nowNs();
+    if (shutdown_) {
+        request->error = REASON_ERR_SHUTDOWN;
+        request->state = RequestState::Done;
+        request->completedNs = request->enqueuedNs;
+        ++stats_.completed;
+        doneCv_.notify_all();
+        return;
+    }
+    pending_.push_back(request);
+    stats_.requests += 1;
+    stats_.rows += request->numRows();
+    stats_.maxQueueDepth =
+        std::max<uint64_t>(stats_.maxQueueDepth, pending_.size());
+    workCv_.notify_all();
+}
+
+std::vector<std::shared_ptr<Request>>
+RequestQueue::popGroup(size_t maxRows, unsigned lingerUs)
+{
+    if (maxRows == 0)
+        maxRows = 1;
+    std::unique_lock<std::mutex> lock(mutex_);
+    workCv_.wait(lock, [&] {
+        return shutdown_ || (!paused_ && !pending_.empty());
+    });
+    if (pending_.empty())
+        return {}; // shutdown: dispatcher exit signal
+
+    std::vector<std::shared_ptr<Request>> group;
+    group.push_back(pending_.front());
+    pending_.pop_front();
+    const void *key = group.front()->groupKey;
+    const ReasonMode mode = group.front()->mode;
+    size_t rowCount = group.front()->numRows();
+
+    auto gatherMatches = [&] {
+        for (auto it = pending_.begin();
+             it != pending_.end() && rowCount < maxRows;) {
+            Request &r = **it;
+            if (r.groupKey == key && r.mode == mode &&
+                rowCount + r.numRows() <= maxRows) {
+                rowCount += r.numRows();
+                group.push_back(*it);
+                it = pending_.erase(it);
+            } else {
+                ++it;
+            }
+        }
+    };
+    gatherMatches();
+
+    if (lingerUs > 0 && rowCount < maxRows && !shutdown_ &&
+        !paused_) {
+        // Linger for matching late arrivals.  Spurious wakeups only
+        // re-run the gather; the deadline bounds the added latency.
+        // A pause() ends the linger without gathering further — work
+        // submitted during a pause must stay held for the resume.
+        const auto deadline = std::chrono::steady_clock::now() +
+                              std::chrono::microseconds(lingerUs);
+        while (rowCount < maxRows && !shutdown_ && !paused_) {
+            const bool timed_out =
+                workCv_.wait_until(lock, deadline) ==
+                std::cv_status::timeout;
+            if (!paused_)
+                gatherMatches();
+            if (timed_out)
+                break;
+        }
+    }
+
+    const uint64_t started = nowNs();
+    for (const auto &r : group) {
+        r->state = RequestState::Running;
+        r->startedNs = started;
+    }
+    stats_.batches += 1;
+    stats_.batchedRows += rowCount;
+    return group;
+}
+
+void
+RequestQueue::complete(const std::vector<std::shared_ptr<Request>> &group)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const uint64_t done = nowNs();
+    for (const auto &r : group) {
+        r->state = RequestState::Done;
+        r->completedNs = done;
+        stats_.totalQueueNs += r->startedNs - r->enqueuedNs;
+        stats_.totalLatencyNs += done - r->enqueuedNs;
+        ++stats_.completed;
+    }
+    doneCv_.notify_all();
+}
+
+bool
+RequestQueue::pollDone(const Request &request) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return request.state == RequestState::Done;
+}
+
+void
+RequestQueue::waitDone(const Request &request) const
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    doneCv_.wait(lock,
+                 [&] { return request.state == RequestState::Done; });
+}
+
+void
+RequestQueue::shutdown()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+    const uint64_t done = nowNs();
+    for (const auto &r : pending_) {
+        r->error = REASON_ERR_SHUTDOWN;
+        r->state = RequestState::Done;
+        r->completedNs = done;
+        stats_.totalQueueNs += done - r->enqueuedNs;
+        stats_.totalLatencyNs += done - r->enqueuedNs;
+        ++stats_.completed;
+    }
+    pending_.clear();
+    workCv_.notify_all();
+    doneCv_.notify_all();
+}
+
+void
+RequestQueue::pause()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = true;
+    // Wake a lingering popGroup so it dispatches what it already
+    // gathered instead of sleeping out its window.
+    workCv_.notify_all();
+}
+
+void
+RequestQueue::resume()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+    workCv_.notify_all();
+}
+
+QueueStats
+RequestQueue::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace sys
+} // namespace reason

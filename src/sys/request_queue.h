@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Submission queue of the async serving engine (sys::ReasonEngine):
+ * request records, their lifecycle, the error-code contract shared
+ * with the Listing-1 compatibility shim, and the coalescing pop that
+ * turns independent queued requests into one batched evaluation.
+ *
+ * The queue is the synchronization hub of the engine: clients push
+ * requests and block on completion, the dispatcher pops *groups* of
+ * requests that share a coalescing key (circuit lowering fingerprint +
+ * reasoning mode), and every state transition happens under one mutex
+ * so poll/wait observe a consistent lifecycle.
+ */
+
+#ifndef REASON_SYS_REQUEST_QUEUE_H
+#define REASON_SYS_REQUEST_QUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "arch/accelerator.h"
+#include "pc/pc.h"
+
+namespace reason {
+namespace sys {
+
+/** Execution status returned by REASON_check_status. */
+enum ReasonStatus : int { REASON_IDLE = 0, REASON_EXECUTION = 1 };
+
+/** Reasoning mode selector (Sec. V-B). */
+enum ReasonMode : int
+{
+    REASON_MODE_PROBABILISTIC = 0,
+    REASON_MODE_SYMBOLIC = 1,
+    REASON_MODE_SPMSPM = 2
+};
+
+/**
+ * Error codes of the serving engine and the Listing-1 interface
+ * (REASON_execute returns these directly; engine submissions surface
+ * them through Request::error).  All failures are negative and
+ * distinct; REASON_OK is zero.
+ */
+enum ReasonError : int
+{
+    REASON_OK = 0,
+    /** batch_size <= 0, or an empty row set. */
+    REASON_ERR_BAD_BATCH = -1,
+    /** Null neural or symbolic buffer. */
+    REASON_ERR_NULL_BUFFER = -2,
+    /** reasoning_mode is not a ReasonMode value. */
+    REASON_ERR_BAD_MODE = -3,
+    /** batch_id was already executed (duplicate resubmission). */
+    REASON_ERR_DUPLICATE_BATCH = -4,
+    /** An assignment row is too short or holds an out-of-range value. */
+    REASON_ERR_BAD_ASSIGNMENT = -5,
+    /** Submission kind does not match the session kind (or no session). */
+    REASON_ERR_WRONG_SESSION = -6,
+    /** Engine shut down before the request could execute. */
+    REASON_ERR_SHUTDOWN = -7
+};
+
+/** Lifecycle of a request inside the engine. */
+enum class RequestState : uint8_t
+{
+    /** Waiting in the submission queue. */
+    Queued,
+    /** Popped by the dispatcher, evaluation in flight. */
+    Running,
+    /** Finished: outputs (or error) are final, waiters are released. */
+    Done
+};
+
+struct SessionState;
+
+/**
+ * One serving request.  Owned jointly by the submitting RequestHandle
+ * and the queue/dispatcher (shared_ptr), so a handle stays readable
+ * even after the engine is destroyed.
+ *
+ * Mutable fields are written under the RequestQueue mutex (state,
+ * timestamps) or exclusively by the dispatcher while Running (outputs,
+ * exec, error); clients must read them only after poll()/wait()
+ * reports completion.
+ */
+struct Request
+{
+    uint64_t id = 0;
+    /**
+     * Coalescing key: requests with the same key (and mode) may share
+     * one batched evaluation.  Circuit sessions use the cached lowering
+     * pointer (structural fingerprint identity via pc::cachedLowering);
+     * program sessions use their private session state, so Listing-1
+     * batches never coalesce across sessions.
+     */
+    const void *groupKey = nullptr;
+    ReasonMode mode = REASON_MODE_PROBABILISTIC;
+    /** Owning session; keeps the lowering / accelerator alive. */
+    std::shared_ptr<SessionState> session;
+
+    /** Circuit-mode payload: one assignment per requested row. */
+    std::vector<pc::Assignment> rows;
+    /** Program-mode payload: row-major inputs, batchSize rows. */
+    std::vector<double> inputs;
+    int batchSize = 0;
+
+    /** One output per row: log-likelihoods (circuit) or root values. */
+    std::vector<double> outputs;
+    /** Program mode: execution result of the final row. */
+    arch::ExecutionResult exec;
+    /** Program mode: simulated cycles summed over the batch rows. */
+    uint64_t execCycles = 0;
+    /** REASON_OK or a ReasonError; final once state is Done. */
+    int error = REASON_OK;
+
+    RequestState state = RequestState::Queued;
+    /** steady_clock nanoseconds; zero until the stage is reached. */
+    uint64_t enqueuedNs = 0;
+    uint64_t startedNs = 0;
+    uint64_t completedNs = 0;
+
+    /** Rows requested (either payload kind). */
+    size_t numRows() const
+    {
+        return rows.empty() ? size_t(batchSize) : rows.size();
+    }
+    /** Enqueue-to-completion latency; meaningful once Done. */
+    uint64_t latencyNs() const { return completedNs - enqueuedNs; }
+};
+
+/** Counters accumulated by the queue since engine construction. */
+struct QueueStats
+{
+    /** Requests enqueued (excludes submissions rejected at validation). */
+    uint64_t requests = 0;
+    /** Rows across enqueued requests. */
+    uint64_t rows = 0;
+    /** Coalesced groups handed to the dispatcher. */
+    uint64_t batches = 0;
+    /** Rows across those groups (batchedRows / batches = occupancy). */
+    uint64_t batchedRows = 0;
+    /** Deepest pending-queue depth observed at enqueue time. */
+    uint64_t maxQueueDepth = 0;
+    /** Sum of enqueue-to-start times over completed requests. */
+    uint64_t totalQueueNs = 0;
+    /** Sum of enqueue-to-completion times over completed requests. */
+    uint64_t totalLatencyNs = 0;
+    /** Requests completed (including shutdown failures). */
+    uint64_t completed = 0;
+
+    /** Mean rows per coalesced batch (the occupancy statistic). */
+    double
+    meanBatchOccupancy() const
+    {
+        return batches == 0 ? 0.0
+                            : double(batchedRows) / double(batches);
+    }
+};
+
+/**
+ * Thread-safe submission queue with cross-request coalescing.
+ *
+ * Clients push requests and wait on completion; one dispatcher pops
+ * coalesced groups.  popGroup takes the FIFO head, then scans the
+ * remaining queue for requests with the same (groupKey, mode) until
+ * `maxRows` rows are gathered — requests with other keys keep their
+ * relative order and are simply skipped.  When the group is still
+ * short of maxRows and `lingerUs` is nonzero, the pop lingers up to
+ * that long for matching late arrivals before dispatching.
+ */
+class RequestQueue
+{
+  public:
+    RequestQueue() = default;
+    RequestQueue(const RequestQueue &) = delete;
+    RequestQueue &operator=(const RequestQueue &) = delete;
+
+    /**
+     * Enqueue a request (state must be Queued).  After shutdown() the
+     * request is immediately completed with REASON_ERR_SHUTDOWN.
+     */
+    void push(const std::shared_ptr<Request> &request);
+
+    /**
+     * Block until work is available (or shutdown), then pop one
+     * coalesced group and mark it Running.  Returns an empty vector
+     * only at shutdown with an empty queue — the dispatcher's exit
+     * signal.  Single-dispatcher use only.
+     */
+    std::vector<std::shared_ptr<Request>> popGroup(size_t maxRows,
+                                                   unsigned lingerUs);
+
+    /** Mark an executed group Done and release its waiters. */
+    void complete(const std::vector<std::shared_ptr<Request>> &group);
+
+    /** True once the request has completed (never blocks). */
+    bool pollDone(const Request &request) const;
+
+    /** Block until the request completes. */
+    void waitDone(const Request &request) const;
+
+    /**
+     * Stop dispatching: pending requests are completed with
+     * REASON_ERR_SHUTDOWN, waiters and the dispatcher are woken.
+     * A group already popped may still be complete()d normally.
+     */
+    void shutdown();
+
+    /** Hold dispatching (queued work accumulates and coalesces). */
+    void pause();
+    /** Resume dispatching after pause(). */
+    void resume();
+
+    QueueStats stats() const;
+
+  private:
+    mutable std::mutex mutex_;
+    /** Wakes the dispatcher: new work, resume, shutdown. */
+    std::condition_variable workCv_;
+    /** Wakes client waiters: request completion, shutdown. */
+    mutable std::condition_variable doneCv_;
+    std::deque<std::shared_ptr<Request>> pending_;
+    bool shutdown_ = false;
+    bool paused_ = false;
+    QueueStats stats_;
+};
+
+} // namespace sys
+} // namespace reason
+
+#endif // REASON_SYS_REQUEST_QUEUE_H

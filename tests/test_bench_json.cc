@@ -208,7 +208,28 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
         const bool is_mt = engine->text == "circuit_loglik_mt" ||
                            engine->text == "derivatives_mt" ||
                            engine->text == "em_fit";
-        if (is_mt) {
+        if (engine->text == "serving") {
+            for (const char *key :
+                 {"threads", "max_batch", "clients", "seq_ms",
+                  "serve_ms", "speedup_vs_seq", "requests_per_sec",
+                  "p50_ms", "p99_ms", "mean_batch_occupancy",
+                  "bitwise_mismatches"}) {
+                const JsonValue *v = field(obj, key);
+                ASSERT_NE(v, nullptr) << "serving lacks " << key;
+                EXPECT_FALSE(v->isString);
+            }
+            // Coalescing must never change per-request bits, and the
+            // backlog run must actually coalesce (occupancy > 1).
+            EXPECT_EQ(field(obj, "bitwise_mismatches")->number(), 0.0)
+                << "serving reports bitwise mismatches";
+            EXPECT_GT(field(obj, "mean_batch_occupancy")->number(), 1.0)
+                << "serving batches never coalesced";
+            EXPECT_GT(field(obj, "serve_ms")->number(), 0.0);
+            EXPECT_GT(field(obj, "speedup_vs_seq")->number(), 0.0);
+            EXPECT_GT(field(obj, "requests_per_sec")->number(), 0.0);
+            EXPECT_LE(field(obj, "p50_ms")->number(),
+                      field(obj, "p99_ms")->number());
+        } else if (is_mt) {
             for (const char *key : {"threads", "flat_ms", "mt_ms",
                                     "speedup_vs_flat",
                                     "bitwise_mismatches"}) {
@@ -244,7 +265,7 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
     // Every engine pair appears exactly once per run.
     for (const char *engine :
          {"circuit_loglik", "circuit_loglik_mt", "derivatives_mt",
-          "em_fit", "dag_eval"}) {
+          "em_fit", "serving", "dag_eval"}) {
         EXPECT_EQ(engines[engine], 1)
             << "engine " << engine << " missing or duplicated";
     }
@@ -267,6 +288,9 @@ TEST(BenchJsonSchema, SingleThreadRunSkipsMtVariantsAndExitsZero)
     }
     EXPECT_EQ(engines["circuit_loglik"], 1);
     EXPECT_EQ(engines["dag_eval"], 1);
+    // The serving engine is independent of the --threads knob; it runs
+    // (and must coalesce) even in the 1-thread configuration.
+    EXPECT_EQ(engines["serving"], 1);
     EXPECT_EQ(engines["circuit_loglik_mt"], 0);
     EXPECT_EQ(engines["derivatives_mt"], 0);
     EXPECT_EQ(engines["em_fit"], 0);

@@ -32,14 +32,30 @@
  *       non-decreasing).  Exercises the --threads / --shards /
  *       --fast-reductions knobs end to end and reports the resolved
  *       shard count and per-iteration likelihoods.
+ *
+ *   serve <file.rpc> [--requests N] [--clients N] [--max-batch N]
+ *         [--window-us N] [--serve-threads N] [--seed N]
+ *       Serve likelihood queries against a stored circuit through the
+ *       async batch-serving engine (sys::ReasonEngine): N client
+ *       threads submit sampled queries through their own sessions, the
+ *       engine coalesces them into batched SoA evaluations, and the
+ *       run reports throughput, latency percentiles, and batch
+ *       occupancy.
+ *
+ * Every subcommand accepts --help and parses its flags through one
+ * shared option table, so flag handling and help output stay
+ * consistent.
  */
 
+#include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "arch/accelerator.h"
@@ -57,6 +73,7 @@
 #include "pc/io.h"
 #include "pc/learn.h"
 #include "pc/queries.h"
+#include "sys/engine.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -78,6 +95,10 @@ usage()
         "  compile <file.cnf> [--disasm]\n"
         "  fit <file.rpc> [--samples N] [--iters N] [--seed N]\n"
         "      [--out f.rpc]\n"
+        "  serve <file.rpc> [--requests N] [--clients N]\n"
+        "      [--max-batch N] [--window-us N] [--serve-threads N]\n"
+        "      [--seed N]\n"
+        "  <command> --help describes the command's options.\n"
         "--threads N sets the worker count of the flat evaluation\n"
         "engine (0 = hardware concurrency); results are identical for\n"
         "any thread count.\n"
@@ -113,6 +134,153 @@ parseCount(const std::string &text, uint64_t min_value,
     return true;
 }
 
+// ---------------------------------------------------------------------------
+// Shared subcommand option parser.
+//
+// Every subcommand used to hand-roll the same loop (match flag, check
+// for a value, parseCount, fall back to usage()); the table below
+// keeps the parsing, validation, and --help rendering in one place.
+// ---------------------------------------------------------------------------
+
+/** One subcommand option: a boolean flag, a counted value, or a path. */
+struct CliOption
+{
+    enum class Kind : uint8_t { Flag, Count, Text };
+
+    const char *name = nullptr;
+    Kind kind = Kind::Flag;
+    uint64_t minValue = 0;
+    uint64_t maxValue = 0;
+    bool *flagOut = nullptr;
+    uint64_t *countOut = nullptr;
+    std::string *textOut = nullptr;
+    const char *help = "";
+};
+
+CliOption
+flagOpt(const char *name, bool *out, const char *help)
+{
+    CliOption o;
+    o.name = name;
+    o.kind = CliOption::Kind::Flag;
+    o.flagOut = out;
+    o.help = help;
+    return o;
+}
+
+CliOption
+countOpt(const char *name, uint64_t min_value, uint64_t max_value,
+         uint64_t *out, const char *help)
+{
+    CliOption o;
+    o.name = name;
+    o.kind = CliOption::Kind::Count;
+    o.minValue = min_value;
+    o.maxValue = max_value;
+    o.countOut = out;
+    o.help = help;
+    return o;
+}
+
+CliOption
+textOpt(const char *name, std::string *out, const char *help)
+{
+    CliOption o;
+    o.name = name;
+    o.kind = CliOption::Kind::Text;
+    o.textOut = out;
+    o.help = help;
+    return o;
+}
+
+enum class ParseStatus { Ok, Error, Help };
+
+void
+printCommandHelp(const char *command, const char *positional,
+                 const std::vector<CliOption> &options)
+{
+    std::fprintf(stderr, "usage: reason_cli %s %s", command, positional);
+    for (const CliOption &o : options)
+        std::fprintf(stderr, " [%s%s]", o.name,
+                     o.kind == CliOption::Kind::Flag    ? ""
+                     : o.kind == CliOption::Kind::Count ? " N"
+                                                        : " <path>");
+    std::fprintf(stderr, "\n");
+    for (const CliOption &o : options)
+        std::fprintf(stderr, "  %-16s %s\n", o.name, o.help);
+}
+
+/**
+ * Parse args[first..] against the option table.  Unknown flags,
+ * missing values, and out-of-range counts report the offending
+ * argument and return Error.  (`--help` detection lives in
+ * parseSubcommand, which pre-scans all arguments.)
+ */
+ParseStatus
+parseCommandOptions(const char *command,
+                    const std::vector<std::string> &args, size_t first,
+                    const std::vector<CliOption> &options)
+{
+    // --help/-h is handled by parseSubcommand's pre-scan (it must work
+    // even in place of the positional argument), not here.
+    for (size_t i = first; i < args.size(); ++i) {
+        const CliOption *match = nullptr;
+        for (const CliOption &o : options)
+            if (args[i] == o.name) {
+                match = &o;
+                break;
+            }
+        if (match == nullptr) {
+            std::fprintf(stderr, "reason_cli %s: unknown option '%s'\n",
+                         command, args[i].c_str());
+            return ParseStatus::Error;
+        }
+        if (match->kind == CliOption::Kind::Flag) {
+            *match->flagOut = true;
+            continue;
+        }
+        if (i + 1 >= args.size()) {
+            std::fprintf(stderr,
+                         "reason_cli %s: option '%s' needs a value\n",
+                         command, match->name);
+            return ParseStatus::Error;
+        }
+        const std::string &value = args[++i];
+        if (match->kind == CliOption::Kind::Text) {
+            *match->textOut = value;
+            continue;
+        }
+        if (!parseCount(value, match->minValue, match->maxValue,
+                        match->countOut)) {
+            std::fprintf(stderr,
+                         "reason_cli %s: bad value '%s' for '%s'\n",
+                         command, value.c_str(), match->name);
+            return ParseStatus::Error;
+        }
+    }
+    return ParseStatus::Ok;
+}
+
+/**
+ * Common subcommand prologue: `--help` anywhere prints the synopsis; a
+ * missing positional argument is an error.  Returns Ok when parsing
+ * may proceed.
+ */
+ParseStatus
+parseSubcommand(const char *command, const char *positional,
+                const std::vector<std::string> &args,
+                const std::vector<CliOption> &options)
+{
+    for (const std::string &a : args)
+        if (a == "--help" || a == "-h") {
+            printCommandHelp(command, positional, options);
+            return ParseStatus::Help;
+        }
+    if (args.empty())
+        return ParseStatus::Error;
+    return parseCommandOptions(command, args, 1, options);
+}
+
 logic::CnfFormula
 loadDimacs(const std::string &path)
 {
@@ -124,22 +292,34 @@ loadDimacs(const std::string &path)
     return logic::CnfFormula::parseDimacs(text.str());
 }
 
+pc::Circuit
+loadCircuit(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open '%s'", path.c_str());
+    std::ostringstream text;
+    text << in.rdbuf();
+    return pc::parseText(text.str());
+}
+
 int
 cmdSolve(const std::vector<std::string> &args)
 {
-    if (args.empty())
-        return usage();
     uint64_t budget = 0;
-    bool preprocess = true;
-    for (size_t i = 1; i < args.size(); ++i) {
-        if (args[i] == "--no-preprocess")
-            preprocess = false;
-        else if (args[i] == "--budget" && i + 1 < args.size()) {
-            if (!parseCount(args[++i], 0, ~uint64_t(0), &budget))
-                return usage();
-        } else
-            return usage();
+    bool no_preprocess = false;
+    const std::vector<CliOption> options = {
+        countOpt("--budget", 0, ~uint64_t(0), &budget,
+                 "conflict budget (0 = unlimited)"),
+        flagOpt("--no-preprocess", &no_preprocess,
+                "skip the preprocessing pipeline"),
+    };
+    switch (parseSubcommand("solve", "<file.cnf>", args, options)) {
+      case ParseStatus::Help: return 0;
+      case ParseStatus::Error: return usage();
+      case ParseStatus::Ok: break;
     }
+    const bool preprocess = !no_preprocess;
 
     logic::CnfFormula f = loadDimacs(args[0]);
     std::printf("instance: %u vars, %zu clauses, %zu literals\n",
@@ -218,14 +398,14 @@ cmdSolve(const std::vector<std::string> &args)
 int
 cmdCount(const std::vector<std::string> &args)
 {
-    if (args.empty())
-        return usage();
     std::string nnf_path;
-    for (size_t i = 1; i < args.size(); ++i) {
-        if (args[i] == "--nnf" && i + 1 < args.size())
-            nnf_path = args[++i];
-        else
-            return usage();
+    const std::vector<CliOption> options = {
+        textOpt("--nnf", &nnf_path, "export the d-DNNF in c2d format"),
+    };
+    switch (parseSubcommand("count", "<file.cnf>", args, options)) {
+      case ParseStatus::Help: return 0;
+      case ParseStatus::Error: return usage();
+      case ParseStatus::Ok: break;
     }
     logic::CnfFormula f = loadDimacs(args[0]);
     logic::DnnfGraph g = logic::compileToDnnf(f);
@@ -251,14 +431,14 @@ cmdCount(const std::vector<std::string> &args)
 int
 cmdMarginals(const std::vector<std::string> &args)
 {
-    if (args.empty())
-        return usage();
     std::string pc_path;
-    for (size_t i = 1; i < args.size(); ++i) {
-        if (args[i] == "--pc" && i + 1 < args.size())
-            pc_path = args[++i];
-        else
-            return usage();
+    const std::vector<CliOption> options = {
+        textOpt("--pc", &pc_path, "save the circuit in rpc text form"),
+    };
+    switch (parseSubcommand("marginals", "<file.cnf>", args, options)) {
+      case ParseStatus::Help: return 0;
+      case ParseStatus::Error: return usage();
+      case ParseStatus::Ok: break;
     }
     logic::CnfFormula f = loadDimacs(args[0]);
     logic::DnnfGraph g = logic::compileToDnnf(f);
@@ -291,14 +471,14 @@ cmdMarginals(const std::vector<std::string> &args)
 int
 cmdCompile(const std::vector<std::string> &args)
 {
-    if (args.empty())
-        return usage();
     bool disasm = false;
-    for (size_t i = 1; i < args.size(); ++i) {
-        if (args[i] == "--disasm")
-            disasm = true;
-        else
-            return usage();
+    const std::vector<CliOption> options = {
+        flagOpt("--disasm", &disasm, "print the program disassembly"),
+    };
+    switch (parseSubcommand("compile", "<file.cnf>", args, options)) {
+      case ParseStatus::Help: return 0;
+      case ParseStatus::Error: return usage();
+      case ParseStatus::Ok: break;
     }
 
     logic::CnfFormula f = loadDimacs(args[0]);
@@ -342,35 +522,25 @@ cmdCompile(const std::vector<std::string> &args)
 int
 cmdFit(const std::vector<std::string> &args)
 {
-    if (args.empty())
-        return usage();
     uint64_t samples = 2000;
     uint64_t iters = 10;
     uint64_t seed = 1;
     std::string out_path;
-    for (size_t i = 1; i < args.size(); ++i) {
-        if (args[i] == "--samples" && i + 1 < args.size()) {
-            if (!parseCount(args[++i], 1, uint64_t(1) << 30, &samples))
-                return usage();
-        } else if (args[i] == "--iters" && i + 1 < args.size()) {
-            if (!parseCount(args[++i], 1, 1u << 20, &iters))
-                return usage();
-        } else if (args[i] == "--seed" && i + 1 < args.size()) {
-            if (!parseCount(args[++i], 0, ~uint64_t(0), &seed))
-                return usage();
-        } else if (args[i] == "--out" && i + 1 < args.size()) {
-            out_path = args[++i];
-        } else {
-            return usage();
-        }
+    const std::vector<CliOption> options = {
+        countOpt("--samples", 1, uint64_t(1) << 30, &samples,
+                 "training samples drawn from the circuit"),
+        countOpt("--iters", 1, 1u << 20, &iters,
+                 "maximum EM iterations"),
+        countOpt("--seed", 0, ~uint64_t(0), &seed, "sampling RNG seed"),
+        textOpt("--out", &out_path, "write the fitted circuit here"),
+    };
+    switch (parseSubcommand("fit", "<file.rpc>", args, options)) {
+      case ParseStatus::Help: return 0;
+      case ParseStatus::Error: return usage();
+      case ParseStatus::Ok: break;
     }
 
-    std::ifstream in(args[0]);
-    if (!in)
-        fatal("cannot open '%s'", args[0].c_str());
-    std::ostringstream text;
-    text << in.rdbuf();
-    pc::Circuit circuit = pc::parseText(text.str());
+    pc::Circuit circuit = loadCircuit(args[0]);
     std::printf("circuit: %zu nodes, %zu edges, %u vars\n",
                 circuit.numNodes(), circuit.numEdges(),
                 circuit.numVars());
@@ -411,6 +581,124 @@ cmdFit(const std::vector<std::string> &args)
         out << pc::toText(circuit);
         std::printf("wrote fitted circuit to %s\n", out_path.c_str());
     }
+    return 0;
+}
+
+int
+cmdServe(const std::vector<std::string> &args)
+{
+    uint64_t requests = 2000;
+    uint64_t clients = 2;
+    uint64_t max_batch = 64;
+    uint64_t window_us = 0;
+    uint64_t serve_threads = 1;
+    uint64_t seed = 1;
+    const std::vector<CliOption> options = {
+        countOpt("--requests", 1, uint64_t(1) << 30, &requests,
+                 "total queries submitted across clients"),
+        countOpt("--clients", 1, 256, &clients,
+                 "client threads, one engine session each"),
+        countOpt("--max-batch", 1, 1u << 20, &max_batch,
+                 "most rows per coalesced evaluation"),
+        countOpt("--window-us", 0, 1u << 30, &window_us,
+                 "linger for same-key late arrivals (microseconds)"),
+        countOpt("--serve-threads", 0, util::kMaxThreads,
+                 &serve_threads,
+                 "engine evaluation pool workers (0 = hardware)"),
+        countOpt("--seed", 0, ~uint64_t(0), &seed,
+                 "query sampling RNG seed"),
+    };
+    switch (parseSubcommand("serve", "<file.rpc>", args, options)) {
+      case ParseStatus::Help: return 0;
+      case ParseStatus::Error: return usage();
+      case ParseStatus::Ok: break;
+    }
+
+    pc::Circuit circuit = loadCircuit(args[0]);
+    std::printf("circuit: %zu nodes, %zu edges, %u vars\n",
+                circuit.numNodes(), circuit.numEdges(),
+                circuit.numVars());
+
+    Rng rng(seed);
+    std::vector<pc::Assignment> queries =
+        pc::sampleDataset(rng, circuit, size_t(requests));
+
+    sys::ServeOptions serve;
+    serve.maxBatch = unsigned(max_batch);
+    serve.maxCoalesceWindowUs = unsigned(window_us);
+    serve.serveThreads = unsigned(serve_threads);
+    sys::ReasonEngine engine(serve);
+
+    std::vector<sys::Session> sessions;
+    for (uint64_t c = 0; c < clients; ++c)
+        sessions.push_back(engine.createSession(circuit));
+
+    std::printf("serve: %zu requests, %llu client(s), maxBatch %llu, "
+                "window %llu us, %llu eval worker(s)\n",
+                queries.size(), (unsigned long long)clients,
+                (unsigned long long)max_batch,
+                (unsigned long long)window_us,
+                (unsigned long long)serve_threads);
+
+    // Each client submits its slice asynchronously, then waits — the
+    // backlog is what the engine coalesces across sessions.
+    std::vector<std::vector<uint64_t>> latencies(clients);
+    std::vector<std::vector<double>> lls(clients);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    for (uint64_t c = 0; c < clients; ++c) {
+        workers.emplace_back([&, c] {
+            sys::Session &session = sessions[c];
+            std::vector<sys::RequestHandle> handles;
+            for (size_t q = c; q < queries.size(); q += clients)
+                handles.push_back(session.submit(queries[q]));
+            for (sys::RequestHandle &h : handles) {
+                std::shared_ptr<const sys::Request> r = session.wait(h);
+                if (r->error != sys::REASON_OK)
+                    fatal("request %llu failed with error %d",
+                          (unsigned long long)h.id(), r->error);
+                latencies[c].push_back(r->latencyNs());
+                lls[c].push_back(r->outputs[0]);
+            }
+        });
+    }
+    for (std::thread &w : workers)
+        w.join();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    std::vector<uint64_t> all_lat;
+    double ll_sum = 0.0;
+    for (uint64_t c = 0; c < clients; ++c) {
+        all_lat.insert(all_lat.end(), latencies[c].begin(),
+                       latencies[c].end());
+        for (double ll : lls[c])
+            ll_sum += ll;
+    }
+    std::sort(all_lat.begin(), all_lat.end());
+    auto percentile = [&](double p) {
+        const size_t idx = std::min(
+            all_lat.size() - 1,
+            size_t(p * double(all_lat.size())));
+        return double(all_lat[idx]) * 1e-6;
+    };
+
+    const sys::EngineStats stats = engine.stats();
+    std::printf("served %zu requests in %.3f ms: %.1f req/s\n",
+                queries.size(), wall_ms,
+                double(queries.size()) / (wall_ms * 1e-3));
+    std::printf("latency: p50 %.3f ms, p99 %.3f ms, mean %.3f ms\n",
+                percentile(0.50), percentile(0.99),
+                stats.meanLatencyMs);
+    std::printf("batching: %llu batches, mean occupancy %.2f rows, "
+                "max queue depth %llu\n",
+                (unsigned long long)stats.batches,
+                stats.meanBatchOccupancy,
+                (unsigned long long)stats.maxQueueDepth);
+    std::printf("mean served log-likelihood: %.9f\n",
+                ll_sum / double(queries.size()));
     return 0;
 }
 
@@ -459,5 +747,7 @@ main(int argc, char **argv)
         return cmdCompile(args);
     if (cmd == "fit")
         return cmdFit(args);
+    if (cmd == "serve")
+        return cmdServe(args);
     return usage();
 }
