@@ -6,12 +6,15 @@
  * call), the serial flat CSR engine (pc::CircuitEvaluator,
  * allocation-free batched), and the thread-parallel wavefront engine
  * (same evaluator over a multi-worker pool, bit-identical results),
- * plus the linear-domain Dag-vs-core::Evaluator pair and the async
+ * plus the linear-domain Dag-vs-core::Evaluator pair, the async
  * batch-serving engine (sys::ReasonEngine: cross-request coalescing
- * vs sequential single-request submission).
+ * vs sequential single-request submission), and the SIMD kernel
+ * micro-benches (kernel_logsumexp, hmm_leaf_batch: the util/simd.h
+ * pack kernels vs their bit-exact forced-scalar references, with a
+ * >= 1.5x gate on vectorized builds for the sum-layer kernel).
  *
  * Emits one machine-readable JSON line per engine pair (prefix
- * "BENCH_JSON ", with compiler/flags provenance) so the perf
+ * "BENCH_JSON ", with compiler/flags/ISA provenance) so the perf
  * trajectory can be tracked across PRs:
  *
  *   ./bench_eval [num_vars] [reps] [--threads N] [--repeats N]
@@ -34,6 +37,7 @@
 
 #include "core/builders.h"
 #include "core/flat.h"
+#include "hmm/hmm.h"
 #include "pc/flat_pc.h"
 #include "pc/learn.h"
 #include "pc/pc.h"
@@ -41,6 +45,7 @@
 #include "util/numeric.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 using namespace reason;
 using Clock = std::chrono::steady_clock;
@@ -95,6 +100,107 @@ bitHash(const std::vector<double> &v)
         }
     }
     return h;
+}
+
+/** Exact bit comparison of two doubles. */
+bool
+bitsDiffer(double x, double y)
+{
+    uint64_t bx, by;
+    std::memcpy(&bx, &x, sizeof bx);
+    std::memcpy(&by, &y, sizeof by);
+    return bx != by;
+}
+
+// ---------------------------------------------------------------------------
+// Forced-scalar reference kernels for the SIMD micro-benches.  These
+// run the identical per-lane algorithms (same exp/log polynomials,
+// same accumulation order) with the auto-vectorizer disabled, so the
+// measured factor is the honest gain of the explicit SIMD layer and
+// the outputs must match the SIMD kernels bit for bit.
+// ---------------------------------------------------------------------------
+
+/** One sum-layer logsumexp block (8 lanes, SoA terms), scalar lanes.
+ *  Every loop carries the per-loop pragma too: on clang the function
+ *  attribute alone does not exist, so loop-level disabling is what
+ *  keeps the reference honest there. */
+REASON_NOVECTORIZE void
+sumKernelScalarRef(const double *terms, size_t fanin, double *out)
+{
+    constexpr size_t B = simd::kLanes;
+    REASON_NOVECTORIZE_LOOP
+    for (size_t b = 0; b < B; ++b) {
+        double hi = reason::kLogZero;
+        REASON_NOVECTORIZE_LOOP
+        for (size_t e = 0; e < fanin; ++e) {
+            const double t = terms[e * B + b];
+            hi = t > hi ? t : hi;
+        }
+        if (hi == reason::kLogZero) {
+            out[b] = reason::kLogZero;
+            continue;
+        }
+        double acc = 0.0;
+        REASON_NOVECTORIZE_LOOP
+        for (size_t e = 0; e < fanin; ++e) {
+            const double t = terms[e * B + b];
+            if (t != reason::kLogZero)
+                acc += fastExpNonPositive(t - hi);
+        }
+        out[b] = hi + simd::fastLogPositive(acc);
+    }
+}
+
+/** The same block through the production kernel itself
+ *  (simd::sumLayerBlock — the one pc::CircuitEvaluator ships). */
+void
+sumKernelSimd(const double *terms, size_t fanin, double *scratch,
+              double *out)
+{
+    constexpr size_t B = simd::kLanes;
+    simd::store(out, simd::sumLayerBlock(fanin, scratch, [&](size_t e) {
+                    return simd::load(terms + e * B);
+                }));
+}
+
+/** The seed scalar forward recurrence, vectorizer off: the reference
+ *  the SIMD leaf-batched hmm::sequenceLogLikelihood must match bitwise. */
+REASON_NOVECTORIZE double
+hmmForwardScalarRef(const hmm::Hmm &h, const hmm::Sequence &obs,
+                    std::vector<double> &alpha, std::vector<double> &next)
+{
+    const size_t T = obs.size();
+    const uint32_t N = h.numStates();
+    alpha.resize(N);
+    next.resize(N);
+    REASON_NOVECTORIZE_LOOP
+    for (uint32_t s = 0; s < N; ++s)
+        alpha[s] = h.initial(s) * h.emission(s, obs[0]);
+    double ll = 0.0;
+    for (size_t t = 0;; ++t) {
+        double c = 0.0;
+        REASON_NOVECTORIZE_LOOP
+        for (uint32_t s = 0; s < N; ++s)
+            c += alpha[s];
+        if (c <= 0.0)
+            return reason::kLogZero;
+        ll += std::log(c);
+        REASON_NOVECTORIZE_LOOP
+        for (uint32_t s = 0; s < N; ++s)
+            alpha[s] /= c;
+        if (t + 1 == T)
+            break;
+        REASON_NOVECTORIZE_LOOP
+        for (uint32_t j = 0; j < N; ++j) {
+            double acc = 0.0;
+            REASON_NOVECTORIZE_LOOP
+            for (uint32_t i = 0; i < N; ++i)
+                acc += alpha[i] * h.transition(i, j);
+            next[j] = acc * h.emission(j, obs[t + 1]);
+        }
+        alpha.swap(next);
+    }
+    return ll;
 }
 
 /** Doubles that differ bitwise between two parameter sets. */
@@ -167,10 +273,12 @@ main(int argc, char **argv)
         return usageError();
 
     const char *provenance_fmt =
-        ",\"compiler\":\"%s\",\"flags\":\"%s\",\"build\":\"%s\"";
-    char provenance[512];
+        ",\"compiler\":\"%s\",\"flags\":\"%s\",\"build\":\"%s\","
+        "\"simd_isa\":\"%s\",\"cpu_features\":\"%s\"";
+    char provenance[768];
     std::snprintf(provenance, sizeof provenance, provenance_fmt,
-                  compilerName(), REASON_BUILD_FLAGS, REASON_BUILD_TYPE);
+                  compilerName(), REASON_BUILD_FLAGS, REASON_BUILD_TYPE,
+                  simd::isaName(), simd::cpuFeatures());
 
     Rng rng(2026);
     // num_sums=8, num_inputs=16 yields ~72 interior nodes per region:
@@ -378,12 +486,178 @@ main(int argc, char **argv)
         std::printf("em_fit section skipped (1 worker)\n");
     }
 
+    // --- SIMD sum-layer kernel vs forced-scalar reference ---------------
+    {
+        // Synthetic sum-layer blocks exercising exactly the canonical
+        // two-pass logsumexp kernel (max scan, masked exp-accumulate,
+        // vectorized log) against the bit-exact scalar-lane reference
+        // with the auto-vectorizer disabled.  Outputs must match
+        // bitwise; the SIMD build must clear >= 1.5x (the gate is
+        // waived when the build itself is the scalar fallback).
+        constexpr size_t kNodes = 2048;
+        constexpr size_t kFanIn = 16;
+        constexpr size_t B = simd::kLanes;
+        const size_t kernel_rounds = std::max<size_t>(reps / 20, 10);
+        std::vector<double> terms(kNodes * kFanIn * B);
+        {
+            Rng krng(77);
+            for (double &t : terms) {
+                t = -60.0 * krng.uniform01();
+                if (krng.uniform01() < 0.05)
+                    t = kLogZero; // masked term lanes
+            }
+            // A few dead blocks (every term -inf in a lane).
+            for (size_t node = 0; node < kNodes; node += 97)
+                for (size_t e = 0; e < kFanIn; ++e)
+                    terms[(node * kFanIn + e) * B] = kLogZero;
+        }
+        std::vector<double> out_scalar(kNodes * B);
+        std::vector<double> out_simd(kNodes * B);
+        std::vector<double> simd_scratch(kFanIn * B);
+        // Warm both paths once, then take the best of three timed
+        // rounds each (robust against scheduler noise on CI hosts).
+        auto run_scalar = [&] {
+            for (size_t n = 0; n < kNodes; ++n)
+                sumKernelScalarRef(terms.data() + n * kFanIn * B,
+                                   kFanIn, out_scalar.data() + n * B);
+        };
+        auto run_simd = [&] {
+            for (size_t n = 0; n < kNodes; ++n)
+                sumKernelSimd(terms.data() + n * kFanIn * B, kFanIn,
+                              simd_scratch.data(),
+                              out_simd.data() + n * B);
+        };
+        run_scalar();
+        run_simd();
+        double scalar_ms = 1e300, simd_ms = 1e300;
+        for (int round = 0; round < 3; ++round) {
+            t0 = Clock::now();
+            for (size_t r = 0; r < kernel_rounds; ++r)
+                run_scalar();
+            scalar_ms = std::min(scalar_ms, msSince(t0));
+            t0 = Clock::now();
+            for (size_t r = 0; r < kernel_rounds; ++r)
+                run_simd();
+            simd_ms = std::min(simd_ms, msSince(t0));
+        }
+        size_t mismatches = 0;
+        for (size_t i = 0; i < out_scalar.size(); ++i)
+            mismatches += bitsDiffer(out_scalar[i], out_simd[i]);
+
+        // Batch-shape/thread sweep on the real circuit: every row of
+        // every batch shape must match the single-row walk bitwise.
+        for (unsigned sweep_threads : {1u, 2u, 4u}) {
+            util::ThreadPool sweep_pool(sweep_threads);
+            pc::CircuitEvaluator batch_eval(flat, &sweep_pool);
+            pc::CircuitEvaluator row_eval(flat, &serial_pool);
+            for (size_t n : {size_t(1), size_t(3), size_t(8),
+                             size_t(13), size_t(21)}) {
+                std::vector<pc::Assignment> rows(
+                    data.begin(), data.begin() + std::min(n, data.size()));
+                std::vector<double> batch_ll(rows.size());
+                batch_eval.logLikelihoodBatch(rows, batch_ll);
+                for (size_t i = 0; i < rows.size(); ++i)
+                    mismatches += bitsDiffer(
+                        batch_ll[i], row_eval.logLikelihood(rows[i]));
+            }
+        }
+
+        const double kernel_speedup = scalar_ms / simd_ms;
+        const bool is_scalar_build =
+            std::strcmp(simd::isaName(), "scalar") == 0;
+        const bool below_target =
+            !is_scalar_build && kernel_speedup < 1.5;
+        std::printf("BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+                    "\"kernel_logsumexp\",\"nodes\":%zu,\"edges\":%zu,"
+                    "\"reps\":%zu,\"fanin\":%zu,\"scalar_ms\":%.3f,"
+                    "\"simd_ms\":%.3f,\"speedup_vs_scalar\":%.2f,"
+                    "\"bitwise_mismatches\":%zu%s}\n",
+                    kNodes, kNodes * kFanIn * B, kernel_rounds, kFanIn,
+                    scalar_ms, simd_ms, kernel_speedup, mismatches,
+                    provenance);
+        std::printf("kernel_logsumexp (%s): scalar %.3f ms, simd "
+                    "%.3f ms: %.2fx %s (target >=1.5x unless scalar "
+                    "build), %zu bitwise mismatches\n",
+                    simd::isaName(), scalar_ms, simd_ms, kernel_speedup,
+                    below_target ? "BELOW TARGET" : "PASS", mismatches);
+        bitwise_failures += mismatches;
+        if (below_target) {
+            std::fprintf(stderr,
+                         "bench_eval: kernel_logsumexp %.2fx below the "
+                         "1.5x SIMD target on a %s build\n",
+                         kernel_speedup, simd::isaName());
+            ++bitwise_failures;
+        }
+    }
+
+    // --- SIMD-width HMM leaf batching vs forced-scalar reference --------
+    {
+        // The library forward pass (transposed emission columns +
+        // rank-1 SIMD matvec) against the seed scalar recurrence with
+        // the vectorizer disabled.  The restructured loops preserve
+        // per-lane accumulation order, so outputs must match bitwise.
+        Rng hrng(4242);
+        const uint32_t kStates = 48;
+        const uint32_t kSymbols = 24;
+        const size_t kSeqs = 48;
+        const size_t kLen = 64;
+        hmm::Hmm model = hmm::Hmm::random(hrng, kStates, kSymbols, 0.7);
+        std::vector<hmm::Sequence> seqs(kSeqs);
+        for (auto &s : seqs)
+            model.sample(hrng, kLen, &s);
+
+        std::vector<double> scalar_ll(kSeqs), simd_ll(kSeqs);
+        std::vector<double> a_scratch, n_scratch;
+        auto run_scalar = [&] {
+            for (size_t i = 0; i < kSeqs; ++i)
+                scalar_ll[i] = hmmForwardScalarRef(model, seqs[i],
+                                                   a_scratch, n_scratch);
+        };
+        auto run_simd = [&] {
+            hmm::sequenceLogLikelihoods(model, seqs, simd_ll,
+                                        &serial_pool);
+        };
+        run_scalar();
+        run_simd();
+        const size_t hmm_rounds = std::max<size_t>(reps / 50, 4);
+        double scalar_ms = 1e300, simd_ms = 1e300;
+        for (int round = 0; round < 3; ++round) {
+            t0 = Clock::now();
+            for (size_t r = 0; r < hmm_rounds; ++r)
+                run_scalar();
+            scalar_ms = std::min(scalar_ms, msSince(t0));
+            t0 = Clock::now();
+            for (size_t r = 0; r < hmm_rounds; ++r)
+                run_simd();
+            simd_ms = std::min(simd_ms, msSince(t0));
+        }
+        size_t mismatches = 0;
+        for (size_t i = 0; i < kSeqs; ++i)
+            mismatches += bitsDiffer(scalar_ll[i], simd_ll[i]);
+        const double hmm_speedup = scalar_ms / simd_ms;
+        std::printf("BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+                    "\"hmm_leaf_batch\",\"nodes\":%u,\"edges\":%u,"
+                    "\"reps\":%zu,\"seqs\":%zu,\"seq_len\":%zu,"
+                    "\"scalar_ms\":%.3f,\"simd_ms\":%.3f,"
+                    "\"speedup_vs_scalar\":%.2f,"
+                    "\"bitwise_mismatches\":%zu%s}\n",
+                    kStates,
+                    kStates * kStates + kStates * kSymbols, hmm_rounds,
+                    kSeqs, kLen, scalar_ms, simd_ms, hmm_speedup,
+                    mismatches, provenance);
+        std::printf("hmm_leaf_batch (%s): scalar %.3f ms, simd %.3f "
+                    "ms: %.2fx, %zu bitwise mismatches\n",
+                    simd::isaName(), scalar_ms, simd_ms, hmm_speedup,
+                    mismatches);
+        bitwise_failures += mismatches;
+    }
+
     // --- async serving engine: coalesced vs sequential -----------------
     {
         // serveThreads is pinned to 1 so the measured factor isolates
         // cross-request coalescing (SoA batch amortization) from
-        // wavefront threading; both paths pad every request to whole
-        // SoA blocks, so outputs must match bitwise.
+        // wavefront threading; every row runs through the canonical
+        // SIMD block kernel, so outputs must match bitwise.
         sys::ServeOptions sopts;
         sopts.maxBatch = max_batch;
         sopts.serveThreads = 1;

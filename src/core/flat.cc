@@ -4,6 +4,7 @@
 
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
 namespace reason {
 namespace core {
@@ -14,6 +15,13 @@ namespace {
  * Evaluate one operation node into val[i].  Shared by the serial
  * id-order walk and the parallel wavefront walk so both paths run the
  * exact same floating-point expressions (bit-identical results).
+ *
+ * Sum/WeightedSum/Product stay scalar left folds: their results must
+ * match Dag::evaluate bit for bit, and reassociating a +/* fold across
+ * SIMD lanes would change the rounding.  Max/Min are associative and
+ * commutative over non-NaN doubles, so wide fan-ins fold through
+ * 8-lane packs (gathered chunks + fixed reduction tree) with results
+ * identical to the serial fold.
  */
 inline void
 evalNode(const uint8_t *ops, const uint32_t *off, const uint32_t *tgt,
@@ -48,14 +56,36 @@ evalNode(const uint8_t *ops, const uint32_t *off, const uint32_t *tgt,
       }
       case FlatOp::Max: {
         double acc = val[tgt[lo]];
-        for (uint32_t e = lo + 1; e < hi; ++e)
+        uint32_t e = lo + 1;
+        if (hi - e >= 2 * simd::kLanes) {
+            simd::Pack m = simd::splat(acc);
+            double buf[simd::kLanes];
+            for (; e + simd::kLanes <= hi; e += simd::kLanes) {
+                for (size_t b = 0; b < simd::kLanes; ++b)
+                    buf[b] = val[tgt[e + b]];
+                m = simd::max(m, simd::load(buf));
+            }
+            acc = simd::reduceMax(m);
+        }
+        for (; e < hi; ++e)
             acc = std::max(acc, val[tgt[e]]);
         val[i] = acc;
         break;
       }
       case FlatOp::Min: {
         double acc = val[tgt[lo]];
-        for (uint32_t e = lo + 1; e < hi; ++e)
+        uint32_t e = lo + 1;
+        if (hi - e >= 2 * simd::kLanes) {
+            simd::Pack m = simd::splat(acc);
+            double buf[simd::kLanes];
+            for (; e + simd::kLanes <= hi; e += simd::kLanes) {
+                for (size_t b = 0; b < simd::kLanes; ++b)
+                    buf[b] = val[tgt[e + b]];
+                m = simd::min(m, simd::load(buf));
+            }
+            acc = simd::reduceMin(m);
+        }
+        for (; e < hi; ++e)
             acc = std::min(acc, val[tgt[e]]);
         val[i] = acc;
         break;

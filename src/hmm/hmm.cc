@@ -7,9 +7,162 @@
 #include "util/numeric.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/simd.h"
 
 namespace reason {
 namespace hmm {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// SIMD-width leaf batching (util/simd.h).
+//
+// The forward/backward inner loops are restructured so every lane's
+// accumulation order matches the seed scalar loops exactly — the
+// vectorized passes are **bit-identical** to the reference recurrences
+// (asserted by bench_eval's hmm_leaf_batch variant):
+//
+//  - leaf (emission) scoring reads one contiguous "emission column"
+//    per observed symbol from the transposed table emitT[sym*N + s]
+//    instead of a stride-numSymbols gather;
+//  - the forward matvec runs i-outer/j-vector (a rank-1 update), so
+//    each next[j] still accumulates prev[i]*trans(i,j) in ascending i
+//    order;
+//  - the backward matvec runs j-outer/i-vector over the transposed
+//    transitions, so each bt[i] still accumulates
+//    (trans(i,j)*emit)*beta in ascending j order with the reference
+//    association;
+//  - scaling sums stay scalar left folds; the divisions are
+//    lane-parallel (identical per-lane rounding).
+// ---------------------------------------------------------------------------
+
+/** emitT[sym * N + s] = emission(s, sym). */
+void
+buildEmissionColumns(const Hmm &hmm, std::vector<double> &emit_t)
+{
+    const uint32_t N = hmm.numStates();
+    const uint32_t M = hmm.numSymbols();
+    emit_t.resize(size_t(M) * N);
+    for (uint32_t s = 0; s < N; ++s) {
+        const double *row = hmm.emissionRow(s);
+        for (uint32_t m = 0; m < M; ++m)
+            emit_t[size_t(m) * N + s] = row[m];
+    }
+}
+
+/** transT[j * N + i] = transition(i, j). */
+void
+buildTransitionColumns(const Hmm &hmm, std::vector<double> &trans_t)
+{
+    const uint32_t N = hmm.numStates();
+    trans_t.resize(size_t(N) * N);
+    for (uint32_t i = 0; i < N; ++i) {
+        const double *row = hmm.transitionRow(i);
+        for (uint32_t j = 0; j < N; ++j)
+            trans_t[size_t(j) * N + i] = row[j];
+    }
+}
+
+/** Scalar left-fold sum in ascending index order (the scaling sums
+ *  are order-sensitive and stay bit-identical to the seed loop). */
+inline double
+sumRow(const double *p, size_t n)
+{
+    double c = 0.0;
+    for (size_t i = 0; i < n; ++i)
+        c += p[i];
+    return c;
+}
+
+/** p[i] /= c lane-parallel (per-lane rounding identical to scalar). */
+inline void
+divideRow(double *p, double c, size_t n)
+{
+    const simd::Pack d = simd::splat(c);
+    size_t i = 0;
+    for (; i + simd::kLanes <= n; i += simd::kLanes)
+        simd::store(p + i, simd::div(simd::load(p + i), d));
+    if (i < n)
+        simd::storeN(p + i, n - i,
+                     simd::div(simd::loadN(p + i, n - i, 1.0), d));
+}
+
+/**
+ * next[j] = (sum_i prev[i] * trans(i, j)) * emitcol[j]: the scaled
+ * forward step as an i-outer rank-1 update — each next[j] accumulates
+ * in ascending i order, bit-identical to the scalar j-loop.
+ */
+inline void
+forwardStep(const Hmm &hmm, const double *prev, const double *emitcol,
+            double *next, uint32_t N)
+{
+    std::fill_n(next, N, 0.0);
+    for (uint32_t i = 0; i < N; ++i) {
+        const simd::Pack p = simd::splat(prev[i]);
+        const double *row = hmm.transitionRow(i);
+        size_t j = 0;
+        for (; j + simd::kLanes <= N; j += simd::kLanes)
+            simd::store(next + j,
+                        simd::add(simd::load(next + j),
+                                  simd::mul(p, simd::load(row + j))));
+        if (j < N) {
+            const size_t r = N - j;
+            simd::storeN(
+                next + j, r,
+                simd::add(simd::loadN(next + j, r, 0.0),
+                          simd::mul(p, simd::loadN(row + j, r, 0.0))));
+        }
+    }
+    size_t j = 0;
+    for (; j + simd::kLanes <= N; j += simd::kLanes)
+        simd::store(next + j,
+                    simd::mul(simd::load(next + j),
+                              simd::load(emitcol + j)));
+    if (j < N) {
+        const size_t r = N - j;
+        simd::storeN(next + j, r,
+                     simd::mul(simd::loadN(next + j, r, 0.0),
+                               simd::loadN(emitcol + j, r, 0.0)));
+    }
+}
+
+/**
+ * bt[i] = (sum_j trans(i, j) * emitcol[j] * bnext[j]) / scale: the
+ * backward step as a j-outer rank-1 update over the transposed
+ * transitions — each bt[i] accumulates in ascending j order with the
+ * reference ((trans*emit)*beta) association.
+ */
+inline void
+backwardStep(const double *trans_t, const double *emitcol,
+             const double *bnext, double scale, double *bt, uint32_t N)
+{
+    std::fill_n(bt, N, 0.0);
+    for (uint32_t j = 0; j < N; ++j) {
+        const simd::Pack eb = simd::splat(emitcol[j]);
+        const simd::Pack bn = simd::splat(bnext[j]);
+        const double *col = trans_t + size_t(j) * N;
+        size_t i = 0;
+        for (; i + simd::kLanes <= N; i += simd::kLanes)
+            simd::store(
+                bt + i,
+                simd::add(simd::load(bt + i),
+                          simd::mul(simd::mul(simd::load(col + i), eb),
+                                    bn)));
+        if (i < N) {
+            const size_t r = N - i;
+            simd::storeN(
+                bt + i, r,
+                simd::add(
+                    simd::loadN(bt + i, r, 0.0),
+                    simd::mul(simd::mul(simd::loadN(col + i, r, 0.0),
+                                        eb),
+                              bn)));
+        }
+    }
+    divideRow(bt, scale, N);
+}
+
+} // namespace
 
 Hmm::Hmm(uint32_t num_states, uint32_t num_symbols)
     : numStates_(num_states), numSymbols_(num_symbols),
@@ -143,7 +296,8 @@ Hmm::sample(Rng &rng, size_t length, Sequence *obs,
 }
 
 void
-forwardBackwardInto(const Hmm &hmm, const Sequence &obs, FbWorkspace &ws)
+forwardBackwardInto(const Hmm &hmm, const Sequence &obs, FbWorkspace &ws,
+                    bool reuse_tables)
 {
     const size_t T = obs.size();
     const uint32_t N = hmm.numStates();
@@ -155,6 +309,14 @@ forwardBackwardInto(const Hmm &hmm, const Sequence &obs, FbWorkspace &ws)
     ws.gamma.assign(T * N, 0.0);
     ws.xi.assign(T > 1 ? (T - 1) * size_t(N) * N : 0, 0.0);
     ws.scale.assign(T, 0.0);
+    // O(N*(N+M)) transpose pair, skipped inside a fixed-model sweep
+    // (the caller vouches for unchanged parameters via reuse_tables).
+    if (!reuse_tables || ws.emitT.size() !=
+                             size_t(hmm.numSymbols()) * N) {
+        buildEmissionColumns(hmm, ws.emitT);
+        buildTransitionColumns(hmm, ws.transT);
+    }
+    const double *emit_t = ws.emitT.data();
 
     double *alpha = ws.alpha.data();
     double *beta = ws.beta.data();
@@ -162,30 +324,25 @@ forwardBackwardInto(const Hmm &hmm, const Sequence &obs, FbWorkspace &ws)
     double *xi = ws.xi.data();
 
     // Forward with per-step scaling.
-    for (uint32_t s = 0; s < N; ++s)
-        alpha[s] = hmm.initial(s) * hmm.emission(s, obs[0]);
+    {
+        const double *init = hmm.initialData();
+        const double *e0 = emit_t + size_t(obs[0]) * N;
+        for (uint32_t s = 0; s < N; ++s)
+            alpha[s] = init[s] * e0[s];
+    }
     for (size_t t = 0; t < T; ++t) {
         double *at = alpha + t * N;
-        if (t > 0) {
-            const double *prev = alpha + (t - 1) * N;
-            for (uint32_t j = 0; j < N; ++j) {
-                double acc = 0.0;
-                for (uint32_t i = 0; i < N; ++i)
-                    acc += prev[i] * hmm.transition(i, j);
-                at[j] = acc * hmm.emission(j, obs[t]);
-            }
-        }
-        double c = 0.0;
-        for (uint32_t s = 0; s < N; ++s)
-            c += at[s];
+        if (t > 0)
+            forwardStep(hmm, alpha + (t - 1) * N,
+                        emit_t + size_t(obs[t]) * N, at, N);
+        const double c = sumRow(at, N);
         if (c <= 0.0) {
             // Observation impossible under the model.
             ws.logLikelihood = kLogZero;
             return;
         }
         ws.scale[t] = c;
-        for (uint32_t s = 0; s < N; ++s)
-            at[s] /= c;
+        divideRow(at, c, N);
     }
     ws.logLikelihood = 0.0;
     for (double c : ws.scale)
@@ -194,45 +351,68 @@ forwardBackwardInto(const Hmm &hmm, const Sequence &obs, FbWorkspace &ws)
     // Backward under the same scaling.
     for (uint32_t s = 0; s < N; ++s)
         beta[(T - 1) * N + s] = 1.0;
-    for (size_t t = T - 1; t-- > 0;) {
-        const double *bnext = beta + (t + 1) * N;
-        double *bt = beta + t * N;
-        for (uint32_t i = 0; i < N; ++i) {
-            double acc = 0.0;
-            for (uint32_t j = 0; j < N; ++j)
-                acc += hmm.transition(i, j) *
-                       hmm.emission(j, obs[t + 1]) * bnext[j];
-            bt[i] = acc / ws.scale[t + 1];
-        }
-    }
+    for (size_t t = T - 1; t-- > 0;)
+        backwardStep(ws.transT.data(), emit_t + size_t(obs[t + 1]) * N,
+                     beta + (t + 1) * N, ws.scale[t + 1], beta + t * N,
+                     N);
 
-    // Posteriors.
+    // Posteriors.  gamma rows are lane-parallel products; the
+    // normalizers stay scalar left folds over the stored rows, which
+    // visit the same values in the same order as the seed loop.
     for (size_t t = 0; t < T; ++t) {
-        double norm = 0.0;
         double *gt = gamma + t * N;
-        for (uint32_t s = 0; s < N; ++s) {
-            gt[s] = alpha[t * N + s] * beta[t * N + s];
-            norm += gt[s];
+        const double *at = alpha + t * N;
+        const double *bt = beta + t * N;
+        size_t s = 0;
+        for (; s + simd::kLanes <= N; s += simd::kLanes)
+            simd::store(gt + s, simd::mul(simd::load(at + s),
+                                          simd::load(bt + s)));
+        if (s < N) {
+            const size_t r = N - s;
+            simd::storeN(gt + s, r,
+                         simd::mul(simd::loadN(at + s, r, 0.0),
+                                   simd::loadN(bt + s, r, 0.0)));
         }
+        const double norm = sumRow(gt, N);
         if (norm > 0.0)
-            for (uint32_t s = 0; s < N; ++s)
-                gt[s] /= norm;
+            divideRow(gt, norm, N);
     }
     for (size_t t = 0; t + 1 < T; ++t) {
-        double norm = 0.0;
         double *xt = xi + t * size_t(N) * N;
+        const double *emitcol = emit_t + size_t(obs[t + 1]) * N;
+        const double *bnext = beta + (t + 1) * N;
+        const simd::Pack sc = simd::splat(ws.scale[t + 1]);
         for (uint32_t i = 0; i < N; ++i) {
-            for (uint32_t j = 0; j < N; ++j) {
-                double v = alpha[t * N + i] * hmm.transition(i, j) *
-                           hmm.emission(j, obs[t + 1]) *
-                           beta[(t + 1) * N + j] / ws.scale[t + 1];
-                xt[size_t(i) * N + j] = v;
-                norm += v;
+            const simd::Pack a = simd::splat(alpha[t * N + i]);
+            const double *row = hmm.transitionRow(i);
+            double *out = xt + size_t(i) * N;
+            size_t j = 0;
+            for (; j + simd::kLanes <= N; j += simd::kLanes)
+                simd::store(
+                    out + j,
+                    simd::div(
+                        simd::mul(
+                            simd::mul(simd::mul(a, simd::load(row + j)),
+                                      simd::load(emitcol + j)),
+                            simd::load(bnext + j)),
+                        sc));
+            if (j < N) {
+                const size_t r = N - j;
+                simd::storeN(
+                    out + j, r,
+                    simd::div(
+                        simd::mul(
+                            simd::mul(
+                                simd::mul(a,
+                                          simd::loadN(row + j, r, 0.0)),
+                                simd::loadN(emitcol + j, r, 0.0)),
+                            simd::loadN(bnext + j, r, 0.0)),
+                        sc));
             }
         }
+        const double norm = sumRow(xt, size_t(N) * N);
         if (norm > 0.0)
-            for (size_t k = 0; k < size_t(N) * N; ++k)
-                xt[k] /= norm;
+            divideRow(xt, norm, size_t(N) * N);
     }
 }
 
@@ -265,36 +445,51 @@ forwardBackward(const Hmm &hmm, const Sequence &obs)
     return fb;
 }
 
+namespace {
+
+/** Forward pass against a prebuilt emission-column table. */
 double
-sequenceLogLikelihood(const Hmm &hmm, const Sequence &obs)
+sequenceLogLikelihoodWithColumns(const Hmm &hmm, const Sequence &obs,
+                                 const double *emit_t,
+                                 std::vector<double> &alpha,
+                                 std::vector<double> &next)
 {
     const size_t T = obs.size();
     const uint32_t N = hmm.numStates();
     reasonAssert(T > 0, "empty sequence");
-    std::vector<double> alpha(N), next(N);
-    for (uint32_t s = 0; s < N; ++s)
-        alpha[s] = hmm.initial(s) * hmm.emission(s, obs[0]);
+    alpha.resize(N);
+    next.resize(N);
+    {
+        const double *init = hmm.initialData();
+        const double *e0 = emit_t + size_t(obs[0]) * N;
+        for (uint32_t s = 0; s < N; ++s)
+            alpha[s] = init[s] * e0[s];
+    }
     double ll = 0.0;
     for (size_t t = 0;; ++t) {
-        double c = 0.0;
-        for (uint32_t s = 0; s < N; ++s)
-            c += alpha[s];
+        const double c = sumRow(alpha.data(), N);
         if (c <= 0.0)
             return kLogZero;
         ll += std::log(c);
-        for (uint32_t s = 0; s < N; ++s)
-            alpha[s] /= c;
+        divideRow(alpha.data(), c, N);
         if (t + 1 == T)
             break;
-        for (uint32_t j = 0; j < N; ++j) {
-            double acc = 0.0;
-            for (uint32_t i = 0; i < N; ++i)
-                acc += alpha[i] * hmm.transition(i, j);
-            next[j] = acc * hmm.emission(j, obs[t + 1]);
-        }
+        forwardStep(hmm, alpha.data(), emit_t + size_t(obs[t + 1]) * N,
+                    next.data(), N);
         alpha.swap(next);
     }
     return ll;
+}
+
+} // namespace
+
+double
+sequenceLogLikelihood(const Hmm &hmm, const Sequence &obs)
+{
+    std::vector<double> emit_t, alpha, next;
+    buildEmissionColumns(hmm, emit_t);
+    return sequenceLogLikelihoodWithColumns(hmm, obs, emit_t.data(),
+                                            alpha, next);
 }
 
 void
@@ -308,12 +503,18 @@ sequenceLogLikelihoods(const Hmm &hmm, const std::vector<Sequence> &data,
         pool = &util::globalThreadPool();
     // Each sequence is an independent forward pass with its own local
     // buffers; out[i] has one writer, so any partitioning yields the
-    // same per-sequence values as serial calls.
+    // same per-sequence values as serial calls.  The emission-column
+    // table depends only on the (immutable during this call) model, so
+    // it is transposed once and shared read-only by all workers.
+    std::vector<double> emit_t;
+    buildEmissionColumns(hmm, emit_t);
     pool->parallelFor(0, data.size(), 1,
                       [&](size_t b, size_t e, unsigned) {
+                          std::vector<double> alpha, next;
                           for (size_t i = b; i < e; ++i)
-                              out[i] =
-                                  sequenceLogLikelihood(hmm, data[i]);
+                              out[i] = sequenceLogLikelihoodWithColumns(
+                                  hmm, data[i], emit_t.data(), alpha,
+                                  next);
                       });
 }
 
@@ -428,8 +629,7 @@ struct BwStats
     {
         auto fold = [](std::vector<double> &a,
                        const std::vector<double> &b) {
-            for (size_t i = 0; i < a.size(); ++i)
-                a[i] += b[i];
+            simd::addInto(a.data(), b.data(), a.size());
         };
         fold(pi, other.pi);
         fold(transNum, other.transNum);
@@ -486,29 +686,32 @@ baumWelch(Hmm &hmm, const std::vector<Sequence> &data,
                 st.reset(N, M);
                 for (size_t q = lo; q < hi; ++q) {
                     const Sequence &seq = data[q];
-                    forwardBackwardInto(hmm, seq, ws[s]);
+                    // The model is fixed for the whole E-step, so the
+                    // shard's workspace tables are built once (q ==
+                    // lo, every iteration) and reused for the rest of
+                    // the slice.
+                    forwardBackwardInto(hmm, seq, ws[s], q != lo);
                     if (ws[s].logLikelihood == kLogZero)
                         continue;
-                    for (uint32_t z = 0; z < N; ++z)
-                        st.pi[z] += ws[s].gamma[z];
+                    // Expected-count accumulation: every target entry
+                    // folds its per-step contributions in ascending t
+                    // order, so the lane-parallel adds are
+                    // bit-identical to the scalar loops.
+                    simd::addInto(st.pi.data(), ws[s].gamma.data(), N);
                     for (size_t t = 0; t + 1 < seq.size(); ++t) {
                         const double *gt = ws[s].gamma.data() + t * N;
                         const double *xt =
                             ws[s].xi.data() + t * size_t(N) * N;
-                        for (uint32_t i = 0; i < N; ++i) {
-                            st.transDen[i] += gt[i];
-                            for (uint32_t j = 0; j < N; ++j)
-                                st.transNum[size_t(i) * N + j] +=
-                                    xt[size_t(i) * N + j];
-                        }
+                        simd::addInto(st.transDen.data(), gt, N);
+                        simd::addInto(st.transNum.data(), xt,
+                                      size_t(N) * N);
                     }
                     for (size_t t = 0; t < seq.size(); ++t) {
                         const double *gt = ws[s].gamma.data() + t * N;
-                        for (uint32_t z = 0; z < N; ++z) {
-                            st.emitDen[z] += gt[z];
-                            st.emitNum[size_t(z) * M + seq[t]] +=
-                                gt[z];
-                        }
+                        simd::addInto(st.emitDen.data(), gt, N);
+                        // Column scatter (stride M): stays scalar.
+                        for (uint32_t z = 0; z < N; ++z)
+                            st.emitNum[size_t(z) * M + seq[t]] += gt[z];
                     }
                 }
             });
@@ -578,9 +781,10 @@ pruneByPosterior(const Hmm &hmm, const std::vector<Sequence> &data,
     std::vector<double> emit_usage(size_t(N) * M, 0.0);
     double total_trans = 0.0;
     double total_emit = 0.0;
-    FbWorkspace ws; // reused across sequences
-    for (const auto &seq : data) {
-        forwardBackwardInto(hmm, seq, ws);
+    FbWorkspace ws; // reused across sequences (model fixed: reuse tables)
+    for (size_t q = 0; q < data.size(); ++q) {
+        const Sequence &seq = data[q];
+        forwardBackwardInto(hmm, seq, ws, q != 0);
         if (ws.logLikelihood == kLogZero)
             continue;
         for (size_t t = 0; t + 1 < seq.size(); ++t) {

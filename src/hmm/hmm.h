@@ -47,6 +47,19 @@ class Hmm
         return emit_[size_t(state) * numSymbols_ + sym];
     }
 
+    /** Contiguous initial distribution (numStates entries). */
+    const double *initialData() const { return initial_.data(); }
+    /** Contiguous transition row `from -> *` (numStates entries). */
+    const double *transitionRow(uint32_t from) const
+    {
+        return trans_.data() + size_t(from) * numStates_;
+    }
+    /** Contiguous emission row of `state` (numSymbols entries). */
+    const double *emissionRow(uint32_t state) const
+    {
+        return emit_.data() + size_t(state) * numSymbols_;
+    }
+
     void setInitial(std::vector<double> pi);
     void setTransitionRow(uint32_t from, std::vector<double> row);
     void setEmissionRow(uint32_t state, std::vector<double> row);
@@ -120,6 +133,15 @@ struct FbWorkspace
     std::vector<double> gamma; ///< [t * N + s]
     std::vector<double> xi;    ///< [t * N * N + i * N + j], length T-1
     std::vector<double> scale; ///< [t]
+    /**
+     * SIMD leaf-batching tables, rebuilt per call from the model:
+     * emitT[sym * N + s] = emission(s, sym) — one contiguous
+     * "emission column" per observed symbol, so per-step leaf scoring
+     * is SIMD-width loads instead of stride-numSymbols gathers — and
+     * transT[j * N + i] = transition(i, j) for the backward matvec.
+     */
+    std::vector<double> emitT;
+    std::vector<double> transT;
     double logLikelihood = 0.0;
     size_t T = 0;
     uint32_t N = 0;
@@ -129,9 +151,15 @@ struct FbWorkspace
  * Scaled forward-backward into a reused workspace; allocation-free once
  * the buffers have grown to the largest (T, N) seen.  Identical math to
  * forwardBackward().
+ *
+ * `reuse_tables` skips rebuilding the workspace's emitT/transT
+ * transpose tables (O(N*(N+M)) per call): pass true ONLY when the
+ * previous call on this workspace used the same model with unchanged
+ * parameters — the pattern of a fixed-model sweep over many sequences
+ * (Baum-Welch E-step within one iteration, posterior pruning).
  */
 void forwardBackwardInto(const Hmm &hmm, const Sequence &obs,
-                         FbWorkspace &ws);
+                         FbWorkspace &ws, bool reuse_tables = false);
 
 /** log P(x) only (forward pass). */
 double sequenceLogLikelihood(const Hmm &hmm, const Sequence &obs);

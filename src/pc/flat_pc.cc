@@ -8,6 +8,7 @@
 #include "util/logging.h"
 #include "util/numeric.h"
 #include "util/parallel.h"
+#include "util/simd.h"
 
 namespace reason {
 namespace pc {
@@ -68,9 +69,9 @@ FlatCircuit::FlatCircuit(const Circuit &circuit)
     levelOffset = std::move(sched.offset);
     levelNodes = std::move(sched.nodes);
 
-    // Parent transpose in descending parent order: the serial top-down
-    // scatter visits parents n-1..0, so a gather that walks each node's
-    // incoming edges in this order reproduces its flow sum term-for-term.
+    // Parent transpose in descending parent order: the downward
+    // gathers fold each node's incoming contributions in this fixed
+    // order, making flow/derivative sums deterministic by construction.
     const size_t m = edgeTarget.size();
     edgeSource.resize(m);
     parentOffset.assign(n + 1, 0);
@@ -89,14 +90,30 @@ FlatCircuit::FlatCircuit(const Circuit &circuit)
             for (uint32_t e = edgeOffset[i]; e < edgeOffset[i + 1]; ++e)
                 parentEdge[cursor[edgeTarget[e]]++] = e;
     }
+
+    parentNode.resize(m);
+    parentLogWeight.resize(m);
+    for (size_t k = 0; k < m; ++k) {
+        parentNode[k] = edgeSource[parentEdge[k]];
+        parentLogWeight[k] = edgeLogWeight[parentEdge[k]];
+    }
+
+    for (size_t i = 0; i < n; ++i) {
+        maxFanIn = std::max(maxFanIn, edgeOffset[i + 1] - edgeOffset[i]);
+        maxParentFanIn = std::max(maxParentFanIn,
+                                  parentOffset[i + 1] - parentOffset[i]);
+    }
 }
 
 namespace {
 
 /**
- * Evaluate one circuit node into val[i].  Shared by the serial id-order
- * walk and the parallel wavefront walk so both paths execute identical
- * floating-point expressions (bit-identical results).
+ * Evaluate one circuit node into val[i] — the canonical sum-layer
+ * kernel at lane count 1.  The expressions and accumulation order are
+ * exactly one lane of the blocked SIMD kernel (evaluateBlock), so a
+ * single-assignment walk, a full SoA block, and a masked tail block
+ * all produce bit-identical values for the same row.  Shared by the
+ * serial id-order walk and the parallel wavefront walk.
  */
 inline void
 evalCircuitNode(const FlatCircuit &flat, const Assignment &x, double *val,
@@ -130,14 +147,10 @@ evalCircuitNode(const FlatCircuit &flat, const Assignment &x, double *val,
       }
       case FlatCircuit::kSum: {
         // Two-pass log-sum-exp: one max scan, then exp-accumulate
-        // against the max.  This spends one log per *node* instead
-        // of one log1p+exp per *edge* (what sequential logAdd
-        // costs), and after max subtraction the exp argument lies
-        // in (-inf, 0] where fastExpNonPositive applies.  Terms
-        // below the -40 cut contribute < 4e-18 relative and are
-        // skipped; total deviation from sequential logAdd stays
-        // orders of magnitude inside the 1e-12 contract.
-        constexpr double kNegligible = -40.0;
+        // against the max (one log per *node* instead of one
+        // log1p+exp per *edge*).  -inf terms are exact additive
+        // identities — skipped, never clamped — matching the masked
+        // SIMD lanes of the blocked kernel term for term.
         const uint32_t lo = off[i];
         const uint32_t hi_e = off[i + 1];
         double hi = kLogZero;
@@ -153,11 +166,11 @@ evalCircuitNode(const FlatCircuit &flat, const Assignment &x, double *val,
         }
         double acc = 0.0;
         for (uint32_t e = lo; e < hi_e; ++e) {
-            const double d = terms[e - lo] - hi;
-            if (d >= kNegligible)
-                acc += fastExpNonPositive(d);
+            const double term = terms[e - lo];
+            if (term != kLogZero)
+                acc += fastExpNonPositive(term - hi);
         }
-        val[i] = hi + std::log(acc);
+        val[i] = hi + simd::fastLogPositive(acc);
         break;
       }
     }
@@ -167,11 +180,9 @@ evalCircuitNode(const FlatCircuit &flat, const Assignment &x, double *val,
 
 CircuitEvaluator::CircuitEvaluator(const FlatCircuit &flat,
                                    util::ThreadPool *pool)
-    : flat_(flat), pool_(pool), logv_(flat.numNodes(), kLogZero)
+    : flat_(flat), pool_(pool), logv_(flat.numNodes(), kLogZero),
+      maxFanIn_(flat.maxFanIn)
 {
-    for (size_t i = 0; i < flat.numNodes(); ++i)
-        maxFanIn_ = std::max<size_t>(
-            maxFanIn_, flat.edgeOffset[i + 1] - flat.edgeOffset[i]);
     terms_.resize(std::max<size_t>(maxFanIn_, 1), 0.0);
 }
 
@@ -238,49 +249,57 @@ CircuitEvaluator::logLikelihoodBatch(const std::vector<Assignment> &xs,
     reasonAssert(out.size() >= xs.size(), "batch output buffer too small");
     for (const Assignment &x : xs)
         reasonAssert(x.size() >= flat_.numVars, "assignment too short");
+    if (xs.empty())
+        return;
     util::ThreadPool &pool = activePool();
-    const size_t num_blocks = xs.size() / kBlock;
     const unsigned threads = pool.numThreads();
-    size_t r = 0;
-    if (num_blocks > 0) {
-        const size_t val_size = flat_.numNodes() * kBlock;
-        const size_t term_size = std::max<size_t>(maxFanIn_, 1) * kBlock;
-        const unsigned buffers =
-            threads > 1 && num_blocks > 1
-                ? unsigned(std::min<size_t>(threads, num_blocks))
-                : 1;
-        if (blockVal_.size() < buffers) {
-            blockVal_.resize(buffers);
-            blockTerms_.resize(buffers);
-        }
-        for (unsigned w = 0; w < buffers; ++w) {
-            if (blockVal_[w].empty()) {
-                blockVal_[w].assign(val_size, 0.0);
-                blockTerms_[w].assign(term_size, 0.0);
-            }
-        }
-        // Block-parallel: each worker streams a contiguous run of
-        // kBlock-row blocks through its own SoA buffers.  Blocks are
-        // computed identically regardless of which worker runs them.
-        pool.parallelFor(
-            0, num_blocks, 1,
-            [&](size_t b, size_t e, unsigned worker) {
-                for (size_t blk = b; blk < e; ++blk)
-                    evaluateBlock(&xs[blk * kBlock], &out[blk * kBlock],
-                                  blockVal_[worker].data(),
-                                  blockTerms_[worker].data());
-            });
-        r = num_blocks * kBlock;
+    // Every row — including a trailing partial block — goes through
+    // the same SIMD block kernel: tail lanes replicate the last row
+    // and are not stored, so each row's result is independent of the
+    // batch shape (bit-identical to a single-row evaluate()).
+    const size_t num_blocks = (xs.size() + kBlock - 1) / kBlock;
+    const size_t val_size = flat_.numNodes() * kBlock;
+    const size_t term_size = std::max<size_t>(maxFanIn_, 1) * kBlock;
+    const unsigned buffers =
+        threads > 1 && num_blocks > 1
+            ? unsigned(std::min<size_t>(threads, num_blocks))
+            : 1;
+    if (blockVal_.size() < buffers) {
+        blockVal_.resize(buffers);
+        blockTerms_.resize(buffers);
     }
-    for (; r < xs.size(); ++r)
-        out[r] = evaluate(xs[r])[flat_.root];
+    for (unsigned w = 0; w < buffers; ++w) {
+        if (blockVal_[w].empty()) {
+            blockVal_[w].assign(val_size, 0.0);
+            blockTerms_[w].assign(term_size, 0.0);
+        }
+    }
+    // Block-parallel: each worker streams a contiguous run of
+    // kBlock-row blocks through its own SoA buffers.  Blocks are
+    // computed identically regardless of which worker runs them.
+    pool.parallelFor(
+        0, num_blocks, 1,
+        [&](size_t b, size_t e, unsigned worker) {
+            const Assignment *rows[kBlock];
+            for (size_t blk = b; blk < e; ++blk) {
+                const size_t base = blk * kBlock;
+                const size_t n = std::min(kBlock, xs.size() - base);
+                for (size_t i = 0; i < kBlock; ++i)
+                    rows[i] = &xs[base + (i < n ? i : n - 1)];
+                evaluateBlock(rows, n, &out[base],
+                              blockVal_[worker].data(),
+                              blockTerms_[worker].data());
+            }
+        });
 }
 
 void
-CircuitEvaluator::evaluateBlock(const Assignment *rows, double *out,
-                                double *block_val, double *block_terms)
+CircuitEvaluator::evaluateBlock(const Assignment *const *rows, size_t n_out,
+                                double *out, double *block_val,
+                                double *block_terms)
 {
     constexpr size_t B = kBlock;
+    static_assert(B == simd::kLanes, "SoA block width is one SIMD pack");
     double *val = block_val;
     double *terms = block_terms;
     const uint8_t *types = flat_.types.data();
@@ -293,15 +312,19 @@ CircuitEvaluator::evaluateBlock(const Assignment *rows, double *out,
     const uint32_t arity = flat_.arity;
     const size_t n = flat_.numNodes();
 
+    const simd::Pack zero = simd::splat(0.0);
+
     for (size_t i = 0; i < n; ++i) {
         double *vi = val + i * B;
         switch (types[i]) {
           case FlatCircuit::kLeaf: {
+            // Leaf scoring gathers one table entry per row; the rows
+            // are distinct assignments, so this stays a scalar gather.
             const uint32_t s = slot[i];
             const uint32_t v_idx = var[s];
             const double *row_dist = dist + size_t(s) * arity;
             for (size_t b = 0; b < B; ++b) {
-                const uint32_t v = rows[b][v_idx];
+                const uint32_t v = (*rows[b])[v_idx];
                 if (v == kMissing) {
                     vi[b] = 0.0; // marginalized: sums to 1
                 } else {
@@ -313,54 +336,32 @@ CircuitEvaluator::evaluateBlock(const Assignment *rows, double *out,
             break;
           }
           case FlatCircuit::kProduct: {
-            double acc[B] = {0, 0, 0, 0, 0, 0, 0, 0};
-            for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
-                const double *child = val + size_t(tgt[e]) * B;
-                for (size_t b = 0; b < B; ++b)
-                    acc[b] += child[b];
-            }
-            for (size_t b = 0; b < B; ++b)
-                vi[b] = acc[b];
+            simd::Pack acc = zero;
+            for (uint32_t e = off[i]; e < off[i + 1]; ++e)
+                acc = simd::add(
+                    acc, simd::load(val + size_t(tgt[e]) * B));
+            simd::store(vi, acc);
             break;
           }
           case FlatCircuit::kSum: {
+            // The canonical two-pass logsumexp kernel across the 8
+            // row lanes (simd::sumLayerBlock); terms are formed from
+            // the edge log-weight and the child SoA rows on the fly.
             const uint32_t lo = off[i];
             const uint32_t hi_e = off[i + 1];
-            double hi[B];
-            for (size_t b = 0; b < B; ++b)
-                hi[b] = kLogZero;
-            for (uint32_t e = lo; e < hi_e; ++e) {
-                const double *child = val + size_t(tgt[e]) * B;
-                double *trow = terms + size_t(e - lo) * B;
-                const double w = lw[e];
-                for (size_t b = 0; b < B; ++b) {
-                    const double t = w + child[b];
-                    trow[b] = t;
-                    hi[b] = std::max(hi[b], t);
-                }
-            }
-            // Dead lanes (all terms -inf) would produce NaN in the
-            // subtraction below; substitute 0 and restore afterwards.
-            bool dead[B];
-            for (size_t b = 0; b < B; ++b) {
-                dead[b] = hi[b] == kLogZero;
-                if (dead[b])
-                    hi[b] = 0.0;
-            }
-            double acc[B] = {0, 0, 0, 0, 0, 0, 0, 0};
-            for (uint32_t e = lo; e < hi_e; ++e) {
-                const double *trow = terms + size_t(e - lo) * B;
-                for (size_t b = 0; b < B; ++b)
-                    acc[b] += fastExpNonPositive(trow[b] - hi[b]);
-            }
-            for (size_t b = 0; b < B; ++b)
-                vi[b] = dead[b] ? kLogZero : hi[b] + std::log(acc[b]);
+            const simd::Pack res = simd::sumLayerBlock(
+                hi_e - lo, terms, [&](size_t e) {
+                    return simd::add(
+                        simd::splat(lw[lo + e]),
+                        simd::load(val + size_t(tgt[lo + e]) * B));
+                });
+            simd::store(vi, res);
             break;
           }
         }
     }
     const double *root_val = val + size_t(flat_.root) * B;
-    for (size_t b = 0; b < B; ++b)
+    for (size_t b = 0; b < n_out; ++b)
         out[b] = root_val[b];
 }
 
@@ -369,9 +370,9 @@ namespace {
 /**
  * Per-product-node derivative quantities: count of zero-valued
  * children, the (last) zero child, and the finite log-sum of the
- * rest.  Shared by the serial reverse scatter and the parallel
- * pre-pass so both accumulate finiteSum over the same edges in the
- * same order — the bit-identity contract depends on it.
+ * rest.  finiteSum folds the child values in CSR edge order — one
+ * fixed order on every path, which the bit-identity contract depends
+ * on.
  */
 struct ProdDerivInfo
 {
@@ -407,127 +408,97 @@ logDerivativesInto(const FlatCircuit &flat, std::span<const double> logv,
     const size_t n = flat.numNodes();
     reasonAssert(logv.size() == n, "log-value/graph size mismatch");
     logd.assign(n, kLogZero);
-    logd[flat.root] = 0.0;
 
     const uint8_t *types = flat.types.data();
-    const uint32_t *off = flat.edgeOffset.data();
-    const uint32_t *tgt = flat.edgeTarget.data();
-    const double *lw = flat.edgeLogWeight.data();
 
     util::ThreadPool &active =
         pool ? *pool : util::globalThreadPool();
-    if (active.numThreads() == 1) {
-        // Serial reverse scatter: children precede parents, so logd[i]
-        // is final when the reverse id scan reaches node i.
-        for (size_t i = n; i-- > 0;) {
-            if (logd[i] == kLogZero)
-                continue;
-            switch (types[i]) {
-              case FlatCircuit::kLeaf:
-                break;
-              case FlatCircuit::kSum:
-                for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
-                    if (lw[e] == kLogZero)
-                        continue;
-                    const uint32_t c = tgt[e];
-                    logd[c] = logAdd(logd[c], logd[i] + lw[e]);
-                }
-                break;
-              case FlatCircuit::kProduct: {
-                // dv_n/dv_c = prod of sibling values; handle zeros
-                // exactly.
-                const ProdDerivInfo info =
-                    productDerivInfo(flat, logv.data(), i);
-                if (info.zeros >= 2)
-                    break;
-                if (info.zeros == 1) {
-                    logd[info.zeroChild] =
-                        logAdd(logd[info.zeroChild],
-                               logd[i] + info.finiteSum);
-                    break;
-                }
-                for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
-                    const uint32_t c = tgt[e];
-                    logd[c] = logAdd(
-                        logd[c], logd[i] + info.finiteSum - logv[c]);
-                }
-                break;
-              }
-            }
-        }
-        return;
-    }
 
-    // Parallel reverse wavefront: walk levels top-down and *gather*
-    // each node's derivative from its finalized parents through the
-    // parent transpose (one writer per logd entry, no atomics).
-    // Incoming edges are stored in descending parent order — the exact
-    // logAdd accumulation order of the serial scatter — and the
-    // product-parent terms reuse (zero count, finite sum) tables
-    // computed below with the scatter's own expressions
-    // (productDerivInfo), so every entry matches the serial path bit
-    // for bit.  The tables persist per calling thread: repeated
-    // marginal queries reuse them allocation-free once grown, and the
-    // pool workers filling them write disjoint chunks behind the
-    // pre-pass barrier.
+    // Reverse wavefront gather — the canonical backward kernel for
+    // every thread count (a 1-thread pool runs it inline, so results
+    // are trivially bit-identical across thread counts).  Levels are
+    // walked top-down; each node gathers its incoming derivative terms
+    // from its finalized parents through the flattened transpose
+    // streams into a contiguous stripe (stored descending-parent
+    // order), then reduces them with the canonical two-pass SIMD
+    // logsumexp (-inf terms are exact identities).  One writer per
+    // logd entry, no atomics.  When a node turns out to be a product
+    // with nonzero derivative, its (zero count, finite sum) pair is
+    // tabulated immediately — its children sit in strictly lower
+    // levels, so the per-level barrier publishes the entry before any
+    // reader, and zero-derivative products are never tabulated at all.
+    // The tables persist per calling thread: repeated marginal queries
+    // reuse them allocation-free once grown.
     thread_local std::vector<double> prod_sum_tls;
     thread_local std::vector<uint8_t> prod_zeros_tls;
+    thread_local std::vector<double> term_tls;
+    // Terms per node: one per incoming parent edge plus the root seed.
+    const size_t stripe = size_t(flat.maxParentFanIn) + 1;
+    const size_t term_size = stripe * active.numThreads();
     if (prod_sum_tls.size() < n) {
         prod_sum_tls.resize(n);
         prod_zeros_tls.resize(n);
     }
+    if (term_tls.size() < term_size)
+        term_tls.resize(term_size);
     // Raw views: a thread_local named inside a lambda would resolve to
     // each *worker's* (empty) instance, not the caller's.
     double *prod_sum = prod_sum_tls.data();
     uint8_t *prod_zeros = prod_zeros_tls.data();
-    active.parallelFor(
-        0, n, kMinWavefrontNodesPerChunk,
-        [&](size_t b, size_t e, unsigned) {
-            for (size_t i = b; i < e; ++i) {
-                if (types[i] != FlatCircuit::kProduct)
-                    continue;
-                const ProdDerivInfo info =
-                    productDerivInfo(flat, logv.data(), i);
-                prod_sum[i] = info.finiteSum;
-                prod_zeros[i] = uint8_t(std::min<uint32_t>(info.zeros, 2));
-            }
-        });
+    double *term_base = term_tls.data();
 
     const uint32_t *poff = flat.parentOffset.data();
-    const uint32_t *pedge = flat.parentEdge.data();
-    const uint32_t *src = flat.edgeSource.data();
+    const uint32_t *psrc = flat.parentNode.data();
+    const double *plw = flat.parentLogWeight.data();
     double *d = logd.data();
-    auto gather = [&](size_t b, size_t e, unsigned) {
-        for (size_t k = b; k < e; ++k) {
-            const uint32_t c = flat.levelNodes[k];
-            double dn = c == flat.root ? 0.0 : kLogZero;
-            for (uint32_t pe = poff[c]; pe < poff[c + 1]; ++pe) {
-                const uint32_t edge = pedge[pe];
-                const uint32_t p = src[edge];
-                const double dp = d[p];
-                if (dp == kLogZero)
-                    continue;
+    // Per-node kernel, shared by both traversals below: the result
+    // depends only on the (finalized) parents, not on traversal order.
+    auto gatherNode = [&](uint32_t c, double *terms) {
+        size_t cnt = 0;
+        if (c == flat.root)
+            terms[cnt++] = 0.0; // dRoot/dRoot == 1
+        for (uint32_t pe = poff[c]; pe < poff[c + 1]; ++pe) {
+            const uint32_t p = psrc[pe];
+            const double dp = d[p];
+            double t = kLogZero; // masked: exact identity
+            if (dp != kLogZero) {
                 if (types[p] == FlatCircuit::kSum) {
-                    if (lw[edge] == kLogZero)
-                        continue;
-                    dn = logAdd(dn, dp + lw[edge]);
-                } else { // product parent
-                    if (prod_zeros[p] >= 2)
-                        continue;
-                    if (prod_zeros[p] == 1) {
-                        if (logv[c] == kLogZero)
-                            dn = logAdd(dn, dp + prod_sum[p]);
-                        continue;
-                    }
-                    dn = logAdd(dn, dp + prod_sum[p] - logv[c]);
+                    if (plw[pe] != kLogZero)
+                        t = dp + plw[pe];
+                } else if (prod_zeros[p] == 0) {
+                    t = dp + prod_sum[p] - logv[c];
+                } else if (prod_zeros[p] == 1 && logv[c] == kLogZero) {
+                    t = dp + prod_sum[p];
                 }
             }
-            d[c] = dn;
+            terms[cnt++] = t;
+        }
+        const double dc = simd::logSumExpMasked(terms, cnt);
+        d[c] = dc;
+        if (types[c] == FlatCircuit::kProduct && dc != kLogZero) {
+            const ProdDerivInfo info =
+                productDerivInfo(flat, logv.data(), c);
+            prod_sum[c] = info.finiteSum;
+            prod_zeros[c] = uint8_t(std::min<uint32_t>(info.zeros, 2));
         }
     };
+    if (active.numThreads() == 1) {
+        // Parents always carry higher ids than their children, so a
+        // reverse id scan finalizes every parent before its children —
+        // same kernel, cache-friendly sequential streams.
+        for (size_t i = n; i-- > 0;)
+            gatherNode(uint32_t(i), term_base);
+        return;
+    }
     for (size_t l = flat.numLevels(); l-- > 0;)
-        active.parallelFor(flat.levelOffset[l], flat.levelOffset[l + 1],
-                           kMinWavefrontNodesPerChunk, gather);
+        active.parallelFor(
+            flat.levelOffset[l], flat.levelOffset[l + 1],
+            kMinWavefrontNodesPerChunk,
+            [&](size_t b, size_t e, unsigned worker) {
+                double *terms = term_base + worker * stripe;
+                for (size_t k = b; k < e; ++k)
+                    gatherNode(flat.levelNodes[k], terms);
+            });
 }
 
 FlowAccumulator::FlowAccumulator(const FlatCircuit &flat,
@@ -548,109 +519,96 @@ FlowAccumulator::add(const Assignment &x)
         return; // zero-probability evidence carries no flow
 
     const uint8_t *types = flat_.types.data();
-    const uint32_t *off = flat_.edgeOffset.data();
-    const uint32_t *tgt = flat_.edgeTarget.data();
-    const double *lw = flat_.edgeLogWeight.data();
     const uint32_t *slot = flat_.leafSlot.data();
     const uint32_t *var = flat_.leafVar.data();
 
     util::ThreadPool &pool =
         pool_ ? *pool_ : util::globalThreadPool();
-    if (pool.numThreads() == 1) {
-        std::fill(flow_.begin(), flow_.end(), 0.0);
-        flow_[flat_.root] = 1.0;
-        // Children precede parents, so a reverse scan visits parents
-        // first; a node's flow is final when the scan reaches it.
-        for (size_t i = flat_.numNodes(); i-- > 0;) {
-            const double fn = flow_[i];
-            if (fn == 0.0)
-                continue;
-            nodeTotal_[i] += fn;
-            switch (types[i]) {
-              case FlatCircuit::kLeaf: {
-                const uint32_t s = slot[i];
-                const uint32_t v = x[var[s]];
-                if (v != kMissing)
-                    leafTotal_[size_t(s) * flat_.arity + v] += fn;
-                break;
-              }
-              case FlatCircuit::kProduct:
-                for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
-                    edgeTotal_[e] += fn;
-                    flow_[tgt[e]] += fn;
-                }
-                break;
-              case FlatCircuit::kSum:
-                for (uint32_t e = off[i]; e < off[i + 1]; ++e) {
-                    if (lw[e] == kLogZero)
-                        continue;
-                    const double child_val = val[tgt[e]];
-                    if (child_val == kLogZero)
-                        continue;
-                    const double f =
-                        std::exp(lw[e] + child_val - val[i]) * fn;
-                    edgeTotal_[e] += f;
-                    flow_[tgt[e]] += f;
-                }
-                break;
-            }
-        }
-        return;
-    }
 
-    // Parallel downward pass: walk levels top-down and *gather* each
-    // node's flow from its finalized parents through the transpose.
-    // Parents of a level-L node all sit in levels > L, so inside one
-    // level every node is independent; flow_[c], edgeTotal_[e] (one
-    // child per edge), nodeTotal_[c], and leafTotal_ rows each have a
-    // single writer.  Incoming edges are stored in descending parent
-    // order — the exact accumulation order of the serial scatter — so
-    // every total matches the serial path bit for bit.
+    // Downward pass: walk levels top-down and *gather* each node's
+    // flow from its finalized parents through the transpose — the one
+    // canonical kernel for every thread count (a 1-thread pool runs
+    // the same code inline).  Parents of a level-L node all sit in
+    // levels > L, so inside one level every node is independent;
+    // flow_[c], edgeTotal_[e] (one child per edge), nodeTotal_[c], and
+    // leafTotal_ rows each have a single writer.  Per node, the edge
+    // arguments are staged into a contiguous stripe and the exp is
+    // computed by the masked SIMD kernel (-inf encodes "no flow" and
+    // contributes an exact zero); the fold over the resulting flows
+    // keeps the stored descending-parent order, so totals are
+    // bit-identical for any thread count and SIMD backend.
     const uint32_t *poff = flat_.parentOffset.data();
     const uint32_t *pedge = flat_.parentEdge.data();
-    const uint32_t *src = flat_.edgeSource.data();
+    const uint32_t *psrc = flat_.parentNode.data();
+    const double *plw = flat_.parentLogWeight.data();
     double *flow = flow_.data();
     const double *valp = val.data();
-    auto gather = [&](size_t b, size_t e, unsigned) {
-        for (size_t k = b; k < e; ++k) {
-            const uint32_t c = flat_.levelNodes[k];
-            double fn = c == flat_.root ? 1.0 : 0.0;
-            for (uint32_t pe = poff[c]; pe < poff[c + 1]; ++pe) {
-                const uint32_t edge = pedge[pe];
-                const uint32_t p = src[edge];
-                const double fp = flow[p];
-                if (fp == 0.0)
-                    continue;
-                if (types[p] == FlatCircuit::kProduct) {
-                    edgeTotal_[edge] += fp;
-                    fn += fp;
-                } else { // sum parent
-                    if (lw[edge] == kLogZero)
-                        continue;
-                    const double child_val = valp[c];
-                    if (child_val == kLogZero)
-                        continue;
-                    const double f =
-                        std::exp(lw[edge] + child_val - valp[p]) * fp;
-                    edgeTotal_[edge] += f;
-                    fn += f;
-                }
+    const size_t stripe = std::max<uint32_t>(flat_.maxParentFanIn, 1);
+    const unsigned workers = pool.numThreads();
+    if (argScratch_.size() < stripe * workers) {
+        argScratch_.resize(stripe * workers);
+        scaleScratch_.resize(stripe * workers);
+        flowScratch_.resize(stripe * workers);
+    }
+    // Per-node kernel, shared by both traversals below: the result
+    // depends only on the (finalized) parents, not on traversal order.
+    auto gatherNode = [&](uint32_t c, double *args, double *scale,
+                          double *f) {
+        const uint32_t lo = poff[c];
+        const uint32_t cnt = poff[c + 1] - lo;
+        const double child_val = valp[c];
+        for (uint32_t j = 0; j < cnt; ++j) {
+            const uint32_t p = psrc[lo + j];
+            const double fp = flow[p];
+            if (types[p] == FlatCircuit::kProduct) {
+                // exp(0) == 1 exactly, so the kernel passes fp
+                // through unchanged — the product-edge flow.
+                args[j] = fp == 0.0 ? kLogZero : 0.0;
+            } else if (fp == 0.0 || plw[lo + j] == kLogZero ||
+                       child_val == kLogZero) {
+                args[j] = kLogZero; // masked: contributes exactly 0
+            } else {
+                args[j] = plw[lo + j] + child_val - valp[p];
             }
-            flow[c] = fn;
-            if (fn == 0.0)
-                continue;
-            nodeTotal_[c] += fn;
-            if (types[c] == FlatCircuit::kLeaf) {
-                const uint32_t s = slot[c];
-                const uint32_t v = x[var[s]];
-                if (v != kMissing)
-                    leafTotal_[size_t(s) * flat_.arity + v] += fn;
-            }
+            scale[j] = fp;
+        }
+        simd::expMulOrZero(args, scale, f, cnt);
+        double fn = c == flat_.root ? 1.0 : 0.0;
+        for (uint32_t j = 0; j < cnt; ++j) {
+            edgeTotal_[pedge[lo + j]] += f[j];
+            fn += f[j];
+        }
+        flow[c] = fn;
+        if (fn == 0.0)
+            return;
+        nodeTotal_[c] += fn;
+        if (types[c] == FlatCircuit::kLeaf) {
+            const uint32_t s = slot[c];
+            const uint32_t v = x[var[s]];
+            if (v != kMissing)
+                leafTotal_[size_t(s) * flat_.arity + v] += fn;
         }
     };
+    if (pool.numThreads() == 1) {
+        // Parents always carry higher ids than their children, so a
+        // reverse id scan finalizes every parent before its children —
+        // same kernel, cache-friendly sequential streams.
+        for (size_t i = flat_.numNodes(); i-- > 0;)
+            gatherNode(uint32_t(i), argScratch_.data(),
+                       scaleScratch_.data(), flowScratch_.data());
+        return;
+    }
     for (size_t l = flat_.numLevels(); l-- > 0;)
-        pool.parallelFor(flat_.levelOffset[l], flat_.levelOffset[l + 1],
-                         kMinNodesPerChunk, gather);
+        pool.parallelFor(
+            flat_.levelOffset[l], flat_.levelOffset[l + 1],
+            kMinNodesPerChunk,
+            [&](size_t b, size_t e, unsigned worker) {
+                double *args = argScratch_.data() + worker * stripe;
+                double *scale = scaleScratch_.data() + worker * stripe;
+                double *f = flowScratch_.data() + worker * stripe;
+                for (size_t k = b; k < e; ++k)
+                    gatherNode(flat_.levelNodes[k], args, scale, f);
+            });
 }
 
 void
@@ -658,12 +616,12 @@ FlowAccumulator::mergeFrom(const FlowAccumulator &other)
 {
     reasonAssert(&flat_ == &other.flat_,
                  "cannot merge flows of different lowerings");
-    for (size_t i = 0; i < edgeTotal_.size(); ++i)
-        edgeTotal_[i] += other.edgeTotal_[i];
-    for (size_t i = 0; i < nodeTotal_.size(); ++i)
-        nodeTotal_[i] += other.nodeTotal_[i];
-    for (size_t i = 0; i < leafTotal_.size(); ++i)
-        leafTotal_[i] += other.leafTotal_[i];
+    simd::addInto(edgeTotal_.data(), other.edgeTotal_.data(),
+                  edgeTotal_.size());
+    simd::addInto(nodeTotal_.data(), other.nodeTotal_.data(),
+                  nodeTotal_.size());
+    simd::addInto(leafTotal_.data(), other.leafTotal_.data(),
+                  leafTotal_.size());
     count_ += other.count_;
 }
 

@@ -10,8 +10,10 @@
  * sweeps — pays that per sample.  `FlatCircuit` lowers the circuit once
  * into contiguous arrays with *pre-computed* edge log-weights and leaf
  * log-distributions; `CircuitEvaluator` and `FlowAccumulator` then run
- * upward/downward passes over reusable scratch, allocation-free and
- * bit-identical to the reference walkers.
+ * upward/downward passes over reusable scratch, allocation-free, with
+ * the hot inner loops expressed over the 8-lane SIMD layer
+ * (util/simd.h) — one canonical kernel per pass, bit-identical across
+ * batch shapes, thread counts, and SIMD backends.
  */
 
 #ifndef REASON_PC_FLAT_PC_H
@@ -37,10 +39,10 @@ namespace pc {
  *    level 0; an interior node sits one past its deepest child), so
  *    upward passes can evaluate each level as a data-parallel slice;
  *  - a **parent transpose** (CSC view) listing, per node, the forward
- *    edge ids arriving from its parents in *descending parent order* —
- *    exactly the order the serial top-down flow scatter accumulates in,
- *    which lets the parallel downward pass gather flows with one writer
- *    per node and bit-identical floating-point results.
+ *    edge ids arriving from its parents in *descending parent order*,
+ *    plus flattened per-slot streams (parentNode, parentLogWeight), so
+ *    the downward passes gather flows/derivatives with one writer per
+ *    node, contiguous loads, and a deterministic fold order.
  *
  * FlatCircuit is immutable after construction and safe for concurrent
  * unsynchronized reads; many evaluators may share one instance.
@@ -89,10 +91,20 @@ class FlatCircuit
     std::vector<uint32_t> parentEdge;
     /** Source (parent) node of each forward edge. */
     std::vector<uint32_t> edgeSource;
+    /** Flattened transpose streams, aligned with parentEdge, so the
+     *  gather passes stream contiguously instead of double-indirecting:
+     *  parentNode[k] == edgeSource[parentEdge[k]],
+     *  parentLogWeight[k] == edgeLogWeight[parentEdge[k]]. */
+    std::vector<uint32_t> parentNode;
+    std::vector<double> parentLogWeight;
 
     uint32_t numVars = 0;
     uint32_t arity = 0;
     uint32_t root = kInvalidNode;
+    /** Largest child fan-in of any node (sum/product arity bound). */
+    uint32_t maxFanIn = 0;
+    /** Largest parent fan-in (transpose row width bound). */
+    uint32_t maxParentFanIn = 0;
 };
 
 /**
@@ -103,17 +115,26 @@ class FlatCircuit
 inline constexpr size_t kMinWavefrontNodesPerChunk = 2048;
 
 /**
- * Allocation-free log-domain evaluator.  Matches Circuit::evaluate /
- * Circuit::logLikelihood exactly (same operation order and expressions).
- * The referenced FlatCircuit must outlive the evaluator.
+ * Allocation-free log-domain evaluator.  Agrees with
+ * Circuit::evaluate / Circuit::logLikelihood to the 1e-12 reference
+ * contract.  The referenced FlatCircuit must outlive the evaluator.
+ *
+ * **One canonical kernel.**  The sum-layer two-pass logsumexp (max
+ * scan, masked exp-accumulate, one log) is the *same* kernel on every
+ * path: the blocked SoA batch runs it across `kBlock` SIMD lanes
+ * (util/simd.h), batch tails re-run it with replicated row pointers
+ * and masked stores, and single-assignment evaluate() runs the
+ * identical expressions one lane at a time.  `-inf` terms are exact
+ * additive identities (masked, not clamped).  Consequently every row's
+ * log-likelihood is **bit-identical** regardless of batch size, batch
+ * composition, tail position, thread count, or SIMD backend — the
+ * guarantee the serving engine's coalescing relies on.
  *
  * **Threading.**  With a multi-worker pool (explicit or the global
  * pool), evaluate() runs each wavefront of the level schedule in
  * parallel (per-worker term scratch, one writer per node value) and
  * logLikelihoodBatch() splits the row-block dimension across workers
- * (one private SoA block buffer per worker).  Both paths keep every
- * per-node floating-point expression identical to the serial walk, so
- * results are bit-identical for any thread count.
+ * (one private SoA block buffer per worker).
  *
  * **Thread-safety contract.**  One CircuitEvaluator serves one caller
  * at a time; for concurrent queries create one evaluator per thread
@@ -141,15 +162,17 @@ class CircuitEvaluator
     /**
      * Batched log-likelihoods: one output per assignment.  Rows are
      * processed in blocks of kBlock laid out structure-of-arrays
-     * (value[node][row]), so every operand load fills a whole cache
-     * line and the per-edge loops vectorize across rows; the tail uses
-     * the scalar path.  Blocks are split across pool workers; zero
-     * allocations once warm.
+     * (value[node][row]) and evaluated with the 8-lane SIMD kernels;
+     * a trailing partial block runs the *same* kernel with the last
+     * row replicated into the unused lanes and only the live lanes
+     * stored, so every row is bit-identical to any other batch shape.
+     * Blocks are split across pool workers; zero allocations once
+     * warm.
      */
     void logLikelihoodBatch(const std::vector<Assignment> &xs,
                             std::span<double> out);
 
-    /** Rows per SoA block of the batched path (one cache line). */
+    /** Rows per SoA block: one cache line and one simd::Pack of lanes. */
     static constexpr size_t kBlock = 8;
 
     const FlatCircuit &flat() const { return flat_; }
@@ -166,9 +189,13 @@ class CircuitEvaluator
 
     /** The explicit pool, or the (possibly reconfigured) global one. */
     util::ThreadPool &activePool() const;
-    /** Evaluate kBlock rows into one SoA block buffer. */
-    void evaluateBlock(const Assignment *rows, double *out,
-                       double *block_val, double *block_terms);
+    /**
+     * Evaluate one SoA block: all kBlock row pointers are read (tail
+     * callers replicate a live row), only out[0..n) is written.
+     */
+    void evaluateBlock(const Assignment *const *rows, size_t n,
+                       double *out, double *block_val,
+                       double *block_terms);
     /** Evaluate nodes [b, e) of the level schedule for assignment x. */
     void evaluateLevelSlice(const Assignment &x, size_t b, size_t e,
                             double *terms);
@@ -189,17 +216,22 @@ class CircuitEvaluator
 /**
  * Log-space backward (derivative) pass over the flat circuit, writing
  * log dRoot/dv_n into `logd` (resized to numNodes).  `logv` must be the
- * upward pass for the same assignment.  Matches pc::logDerivatives.
+ * upward pass for the same assignment.  Agrees with pc::logDerivatives
+ * to the 1e-10 differential contract.
  *
- * **Threading.**  With a multi-worker pool (nullptr selects the global
- * pool) the pass runs as a reverse-level wavefront: levels are walked
- * top-down and each node *gathers* its derivative from its finalized
- * parents through the parent transpose, logAdd-accumulating incoming
- * terms in the same descending-parent order the serial reverse scatter
- * uses.  Product-parent terms reuse per-node (zero count, finite sum)
- * tables precomputed in a parallel pre-pass with the serial pass's
- * expressions, so every logd entry has one writer and is bit-identical
- * to the serial path for any thread count.
+ * The pass is a transpose *gather* with one shared per-node kernel:
+ * each node collects its incoming derivative terms from its finalized
+ * parents (flattened transpose streams, descending-parent order) into
+ * a contiguous buffer and reduces them with the canonical two-pass
+ * SIMD logsumexp (simd::logSumExpMasked — -inf terms are exact
+ * identities); product parents use (zero count, finite sum) tables
+ * tabulated lazily when the product's own derivative is finalized.
+ * A 1-thread pool walks nodes in reverse id order (parents carry
+ * higher ids, so they are always finalized first — sequential,
+ * cache-friendly); a multi-worker pool walks the reverse level
+ * schedule.  The kernel's result depends only on the parents, not the
+ * traversal, so results are bit-identical for any thread count.  One
+ * writer per logd entry, no atomics.
  */
 void logDerivativesInto(const FlatCircuit &flat,
                         std::span<const double> logv,
@@ -214,13 +246,16 @@ struct FlowShardOptions;
  * and one downward pass per sample over reused scratch.  Replaces the
  * per-sample EdgeFlows allocation pattern of accumulateFlows/emTrain.
  *
- * **Threading.**  With a multi-worker pool both passes run as level
- * wavefronts: the upward pass through CircuitEvaluator, the downward
- * pass as a reverse-level *gather* over the parent transpose — node
- * flows, per-edge totals, and leaf totals each have exactly one
- * writer, and parent contributions are summed in the same descending
- * parent order as the serial scatter, so all totals are bit-identical
- * to the serial path for any thread count (no atomics anywhere).
+ * The downward pass is a transpose *gather* with one shared per-node
+ * kernel: each node's incoming flow arguments are staged into a
+ * contiguous buffer and the per-edge exp is computed by the masked
+ * SIMD kernel (simd::expMulOrZero), then folded in descending parent
+ * order.  A 1-thread pool walks nodes in reverse id order (parents
+ * carry higher ids — sequential, cache-friendly); a multi-worker pool
+ * walks the reverse level schedule.  Node flows, per-edge totals, and
+ * leaf totals each have exactly one writer and the kernel depends
+ * only on the finalized parents, so all totals are bit-identical for
+ * any thread count (no atomics anywhere).
  *
  * **Thread-safety contract.**  One accumulator per caller; totals are
  * plain members.  Concurrent accumulation requires one accumulator per
@@ -272,6 +307,10 @@ class FlowAccumulator
     CircuitEvaluator eval_;
     /** Per-sample downward flow scratch. */
     std::vector<double> flow_;
+    /** Per-worker (arg, scale, flow) stripes of the masked exp kernel. */
+    std::vector<double> argScratch_;
+    std::vector<double> scaleScratch_;
+    std::vector<double> flowScratch_;
     std::vector<double> edgeTotal_;
     std::vector<double> nodeTotal_;
     std::vector<double> leafTotal_;

@@ -279,22 +279,17 @@ ReasonEngine::executeCircuitGroup(
     for (const auto &r : group)
         total += r->rows.size();
 
-    // Pad to whole SoA blocks: every row then takes the blocked path
-    // (lanes are independent), so each request's outputs are
-    // bit-identical regardless of how it was coalesced.  The pad lanes
-    // replicate the first row and are discarded.
-    constexpr size_t kBlock = pc::CircuitEvaluator::kBlock;
-    const size_t padded = (total + kBlock - 1) / kBlock * kBlock;
-    groupRows_.resize(padded);
+    // No padding needed: logLikelihoodBatch runs every row — tails
+    // included — through the one canonical SIMD block kernel with
+    // independent lanes, so each request's outputs are bit-identical
+    // regardless of how it was coalesced.
+    groupRows_.resize(total);
     size_t at = 0;
     for (const auto &r : group)
         for (const pc::Assignment &x : r->rows)
             groupRows_[at++].assign(x.begin(), x.end());
-    for (; at < padded; ++at)
-        groupRows_[at].assign(groupRows_[0].begin(),
-                              groupRows_[0].end());
 
-    groupOut_.resize(padded);
+    groupOut_.resize(total);
     eval.logLikelihoodBatch(groupRows_,
                             {groupOut_.data(), groupOut_.size()});
 

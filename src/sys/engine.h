@@ -13,8 +13,9 @@
  * pc::CircuitEvaluator.
  *
  * **Determinism contract.**  Every circuit-mode row is evaluated
- * through the blocked SoA path (groups are padded to whole
- * CircuitEvaluator::kBlock blocks; SoA lanes are independent), so a
+ * through the one canonical SIMD block kernel of
+ * pc::CircuitEvaluator::logLikelihoodBatch (tails run the same masked
+ * kernel; SoA lanes are independent), so a
  * request's outputs are bit-identical no matter how it was coalesced —
  * alone, with other requests, or split across engine instances — and
  * for any serveThreads count (the pool contract of flat_pc.h).

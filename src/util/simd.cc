@@ -1,0 +1,66 @@
+#include "util/simd.h"
+
+#include <string>
+
+namespace reason {
+namespace simd {
+
+const char *
+isaName()
+{
+    return kIsaName;
+}
+
+unsigned
+nativeLanes()
+{
+    return kNativeLanes;
+}
+
+const char *
+cpuFeatures()
+{
+    // Built once: the feature set of a CPU does not change mid-process.
+    static const std::string features = [] {
+        std::string s;
+        auto append = [&s](const char *name) {
+            if (!s.empty())
+                s += ' ';
+            s += name;
+        };
+#if defined(__x86_64__) || defined(_M_X64) || defined(__i386__)
+#if defined(__GNUC__) || defined(__clang__)
+        if (__builtin_cpu_supports("sse2"))
+            append("sse2");
+        if (__builtin_cpu_supports("sse4.2"))
+            append("sse4.2");
+        if (__builtin_cpu_supports("avx"))
+            append("avx");
+        if (__builtin_cpu_supports("avx2"))
+            append("avx2");
+        if (__builtin_cpu_supports("fma"))
+            append("fma");
+        if (__builtin_cpu_supports("avx512f"))
+            append("avx512f");
+        if (__builtin_cpu_supports("avx512dq"))
+            append("avx512dq");
+        if (__builtin_cpu_supports("avx512vl"))
+            append("avx512vl");
+#else
+        append("x86-64");
+#endif
+#elif defined(__aarch64__)
+        // NEON (ASIMD) is architecturally mandatory on AArch64.
+        append("neon");
+#else
+        append("unknown");
+#endif
+        if (s.empty())
+            s = "none";
+        return s;
+    }();
+    return features.c_str();
+}
+
+} // namespace simd
+} // namespace reason

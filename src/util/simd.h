@@ -1,0 +1,1080 @@
+/**
+ * @file
+ * Portable fixed-width SIMD layer for the hot numeric kernels.
+ *
+ * Every kernel in the flat engines is written against an **8-lane pack
+ * of doubles** (`simd::Pack`, matching `pc::CircuitEvaluator::kBlock`),
+ * regardless of what the hardware provides.  The backend — selected at
+ * compile time from the target ISA — implements the pack with native
+ * registers:
+ *
+ *   | backend | selected when                   | pack storage   |
+ *   |---------|---------------------------------|----------------|
+ *   | avx512f | `__AVX512F__`                   | 1 × `__m512d`  |
+ *   | avx2    | `__AVX2__`                      | 2 × `__m256d`  |
+ *   | sse2    | x86-64 baseline (`__SSE2__`)    | 4 × `__m128d`  |
+ *   | neon    | `__aarch64__` + `__ARM_NEON`    | 4 × `float64x2_t` |
+ *   | scalar  | `REASON_FORCE_SCALAR` or other  | `double[8]`    |
+ *
+ * **Bit-exactness contract.**  All pack operations are lane-parallel
+ * IEEE-754 double operations (no FMA contraction, no reassociation),
+ * and the transcendental pair (`expNonPositive`, `logPositive`) is one
+ * shared algorithm expressed over the backend primitives — so every
+ * backend, including the forced-scalar fallback, produces **bit
+ * identical** results lane for lane.  The only order-sensitive
+ * operations are the horizontal reductions, which use one documented
+ * fixed tree shape (`((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))`) on every
+ * backend.  Lanes never interact otherwise, so results are independent
+ * of the native register width.
+ *
+ * **Accuracy contract.**
+ *  - `expNonPositive` matches `reason::fastExpNonPositive` (numeric.h)
+ *    bit for bit: Cody-Waite reduction + degree-13 Taylor, relative
+ *    error ~1e-16 over x <= 0; inputs below -708 clamp to ~5e-308
+ *    (never 0).  Inputs must not be NaN; x slightly positive (< ln2/2)
+ *    is tolerated and exact at x == 0.
+ *  - `logPositive` and its scalar twin `fastLogPositive` implement the
+ *    standard fdlibm-style decomposition (x = 2^k · m, m in
+ *    [sqrt(2)/2, sqrt(2)), atanh-series remainder): relative error
+ *    < 2 ulp over all positive, finite, *normal* inputs.  Zero,
+ *    subnormal, negative, and non-finite inputs are out of contract
+ *    (no traps or NaNs for +0, but the value is meaningless — callers
+ *    mask such lanes).
+ *
+ * The vectorizer-resistant reference kernels used by `bench_eval` to
+ * measure the SIMD speedup honestly are marked `REASON_NOVECTORIZE`
+ * (GCC, whole function) and carry `REASON_NOVECTORIZE_LOOP` on every
+ * loop (clang, per loop).
+ */
+
+#ifndef REASON_UTIL_SIMD_H
+#define REASON_UTIL_SIMD_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/numeric.h"
+
+// ---------------------------------------------------------------------------
+// Backend selection (compile time).  REASON_FORCE_SCALAR wins so the
+// scalar fallback can be exercised on any host.
+// ---------------------------------------------------------------------------
+#if defined(REASON_FORCE_SCALAR)
+#define REASON_SIMD_SCALAR 1
+#elif defined(__AVX512F__)
+#define REASON_SIMD_AVX512 1
+#include <immintrin.h>
+#elif defined(__AVX2__)
+#define REASON_SIMD_AVX2 1
+#include <immintrin.h>
+#elif defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64)
+#define REASON_SIMD_SSE2 1
+#include <emmintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#define REASON_SIMD_NEON 1
+#include <arm_neon.h>
+#else
+#define REASON_SIMD_SCALAR 1
+#endif
+
+/**
+ * Marks a reference kernel the auto-vectorizer must leave scalar.  On
+ * GCC the function attribute covers the whole body; clang has no such
+ * attribute, so reference kernels must ALSO place
+ * REASON_NOVECTORIZE_LOOP immediately before every loop (it disables
+ * vectorization for exactly one following loop).
+ */
+#if defined(__clang__)
+#define REASON_NOVECTORIZE
+#define REASON_NOVECTORIZE_LOOP _Pragma("clang loop vectorize(disable)")
+#elif defined(__GNUC__)
+#define REASON_NOVECTORIZE __attribute__((optimize("no-tree-vectorize")))
+#define REASON_NOVECTORIZE_LOOP
+#else
+#define REASON_NOVECTORIZE
+#define REASON_NOVECTORIZE_LOOP
+#endif
+
+namespace reason {
+namespace simd {
+
+/** Lanes per pack — fixed at 8 on every backend (== kBlock rows). */
+inline constexpr size_t kLanes = 8;
+
+/**
+ * Scalar twin of Pack logPositive: fdlibm-style log for positive,
+ * finite, normal x (see the accuracy contract above).  The serial
+ * walkers use this so single-row evaluation stays bit-identical to the
+ * blocked SIMD path lane for lane.
+ */
+inline double
+fastLogPositive(double x)
+{
+    constexpr double kLn2Hi = 6.93147180369123816490e-01;
+    constexpr double kLn2Lo = 1.90821492927058770002e-10;
+    // Minimax coefficients of the standard atanh-series remainder.
+    constexpr double kLg1 = 6.666666666666735130e-01;
+    constexpr double kLg2 = 3.999999999940941908e-01;
+    constexpr double kLg3 = 2.857142874366239149e-01;
+    constexpr double kLg4 = 2.222219843214978396e-01;
+    constexpr double kLg5 = 1.818357216161805012e-01;
+    constexpr double kLg6 = 1.531383769920937332e-01;
+    constexpr double kLg7 = 1.479819860511658591e-01;
+    constexpr double kSqrt2 = 1.41421356237309514547;
+
+    const uint64_t bits = std::bit_cast<uint64_t>(x);
+    int64_t k = int64_t(bits >> 52) - 1023;
+    double m = std::bit_cast<double>(
+        (bits & 0x000FFFFFFFFFFFFFull) | 0x3FF0000000000000ull);
+    // Renormalize m into [sqrt(2)/2, sqrt(2)); halving is exact.
+    const bool big = m > kSqrt2;
+    m = big ? m * 0.5 : m;
+    double dk = double(k) + (big ? 1.0 : 0.0);
+
+    const double f = m - 1.0;
+    const double s = f / (2.0 + f);
+    const double z = s * s;
+    const double w = z * z;
+    const double t1 = w * (kLg2 + w * (kLg4 + w * kLg6));
+    const double t2 = z * (kLg1 + w * (kLg3 + w * (kLg5 + w * kLg7)));
+    const double r = t2 + t1;
+    const double hfsq = 0.5 * f * f;
+    return dk * kLn2Hi - ((hfsq - (s * (hfsq + r) + dk * kLn2Lo)) - f);
+}
+
+// ---------------------------------------------------------------------------
+// Backend primitives.  Each backend defines Pack / Mask / PackI and the
+// same minimal operation set; everything above this layer is generic.
+// ---------------------------------------------------------------------------
+
+#if defined(REASON_SIMD_AVX512)
+
+inline constexpr const char *kIsaName = "avx512f";
+inline constexpr unsigned kNativeLanes = 8;
+
+struct Pack
+{
+    __m512d v;
+};
+struct Mask
+{
+    __mmask8 m;
+};
+struct PackI
+{
+    __m512i v;
+};
+
+inline Pack splat(double x) { return {_mm512_set1_pd(x)}; }
+inline Pack load(const double *p) { return {_mm512_loadu_pd(p)}; }
+inline void store(double *p, Pack a) { _mm512_storeu_pd(p, a.v); }
+inline Pack add(Pack a, Pack b) { return {_mm512_add_pd(a.v, b.v)}; }
+inline Pack sub(Pack a, Pack b) { return {_mm512_sub_pd(a.v, b.v)}; }
+inline Pack mul(Pack a, Pack b) { return {_mm512_mul_pd(a.v, b.v)}; }
+inline Pack div(Pack a, Pack b) { return {_mm512_div_pd(a.v, b.v)}; }
+inline Pack max(Pack a, Pack b) { return {_mm512_max_pd(a.v, b.v)}; }
+inline Pack min(Pack a, Pack b) { return {_mm512_min_pd(a.v, b.v)}; }
+inline Mask cmpEq(Pack a, Pack b)
+{
+    return {_mm512_cmp_pd_mask(a.v, b.v, _CMP_EQ_OQ)};
+}
+inline Mask cmpGt(Pack a, Pack b)
+{
+    return {_mm512_cmp_pd_mask(a.v, b.v, _CMP_GT_OQ)};
+}
+inline Pack select(Mask c, Pack ifTrue, Pack ifFalse)
+{
+    return {_mm512_mask_blend_pd(c.m, ifFalse.v, ifTrue.v)};
+}
+inline PackI toBits(Pack a) { return {_mm512_castpd_si512(a.v)}; }
+inline Pack fromBits(PackI a) { return {_mm512_castsi512_pd(a.v)}; }
+inline PackI splatI(int64_t x) { return {_mm512_set1_epi64(x)}; }
+inline PackI addI(PackI a, PackI b)
+{
+    return {_mm512_add_epi64(a.v, b.v)};
+}
+inline PackI subI(PackI a, PackI b)
+{
+    return {_mm512_sub_epi64(a.v, b.v)};
+}
+inline PackI andI(PackI a, PackI b)
+{
+    return {_mm512_and_si512(a.v, b.v)};
+}
+inline PackI orI(PackI a, PackI b)
+{
+    return {_mm512_or_si512(a.v, b.v)};
+}
+template <int K>
+inline PackI
+shlI(PackI a)
+{
+    return {_mm512_slli_epi64(a.v, K)};
+}
+template <int K>
+inline PackI
+shrI(PackI a)
+{
+    return {_mm512_srli_epi64(a.v, K)};
+}
+
+#elif defined(REASON_SIMD_AVX2)
+
+inline constexpr const char *kIsaName = "avx2";
+inline constexpr unsigned kNativeLanes = 4;
+
+struct Pack
+{
+    __m256d lo, hi;
+};
+struct Mask
+{
+    __m256d lo, hi;
+};
+struct PackI
+{
+    __m256i lo, hi;
+};
+
+inline Pack splat(double x)
+{
+    const __m256d v = _mm256_set1_pd(x);
+    return {v, v};
+}
+inline Pack load(const double *p)
+{
+    return {_mm256_loadu_pd(p), _mm256_loadu_pd(p + 4)};
+}
+inline void
+store(double *p, Pack a)
+{
+    _mm256_storeu_pd(p, a.lo);
+    _mm256_storeu_pd(p + 4, a.hi);
+}
+inline Pack add(Pack a, Pack b)
+{
+    return {_mm256_add_pd(a.lo, b.lo), _mm256_add_pd(a.hi, b.hi)};
+}
+inline Pack sub(Pack a, Pack b)
+{
+    return {_mm256_sub_pd(a.lo, b.lo), _mm256_sub_pd(a.hi, b.hi)};
+}
+inline Pack mul(Pack a, Pack b)
+{
+    return {_mm256_mul_pd(a.lo, b.lo), _mm256_mul_pd(a.hi, b.hi)};
+}
+inline Pack div(Pack a, Pack b)
+{
+    return {_mm256_div_pd(a.lo, b.lo), _mm256_div_pd(a.hi, b.hi)};
+}
+inline Pack max(Pack a, Pack b)
+{
+    return {_mm256_max_pd(a.lo, b.lo), _mm256_max_pd(a.hi, b.hi)};
+}
+inline Pack min(Pack a, Pack b)
+{
+    return {_mm256_min_pd(a.lo, b.lo), _mm256_min_pd(a.hi, b.hi)};
+}
+inline Mask cmpEq(Pack a, Pack b)
+{
+    return {_mm256_cmp_pd(a.lo, b.lo, _CMP_EQ_OQ),
+            _mm256_cmp_pd(a.hi, b.hi, _CMP_EQ_OQ)};
+}
+inline Mask cmpGt(Pack a, Pack b)
+{
+    return {_mm256_cmp_pd(a.lo, b.lo, _CMP_GT_OQ),
+            _mm256_cmp_pd(a.hi, b.hi, _CMP_GT_OQ)};
+}
+inline Pack select(Mask c, Pack ifTrue, Pack ifFalse)
+{
+    return {_mm256_blendv_pd(ifFalse.lo, ifTrue.lo, c.lo),
+            _mm256_blendv_pd(ifFalse.hi, ifTrue.hi, c.hi)};
+}
+inline PackI toBits(Pack a)
+{
+    return {_mm256_castpd_si256(a.lo), _mm256_castpd_si256(a.hi)};
+}
+inline Pack fromBits(PackI a)
+{
+    return {_mm256_castsi256_pd(a.lo), _mm256_castsi256_pd(a.hi)};
+}
+inline PackI splatI(int64_t x)
+{
+    const __m256i v = _mm256_set1_epi64x(x);
+    return {v, v};
+}
+inline PackI addI(PackI a, PackI b)
+{
+    return {_mm256_add_epi64(a.lo, b.lo), _mm256_add_epi64(a.hi, b.hi)};
+}
+inline PackI subI(PackI a, PackI b)
+{
+    return {_mm256_sub_epi64(a.lo, b.lo), _mm256_sub_epi64(a.hi, b.hi)};
+}
+inline PackI andI(PackI a, PackI b)
+{
+    return {_mm256_and_si256(a.lo, b.lo), _mm256_and_si256(a.hi, b.hi)};
+}
+inline PackI orI(PackI a, PackI b)
+{
+    return {_mm256_or_si256(a.lo, b.lo), _mm256_or_si256(a.hi, b.hi)};
+}
+template <int K>
+inline PackI
+shlI(PackI a)
+{
+    return {_mm256_slli_epi64(a.lo, K), _mm256_slli_epi64(a.hi, K)};
+}
+template <int K>
+inline PackI
+shrI(PackI a)
+{
+    return {_mm256_srli_epi64(a.lo, K), _mm256_srli_epi64(a.hi, K)};
+}
+
+#elif defined(REASON_SIMD_SSE2)
+
+inline constexpr const char *kIsaName = "sse2";
+inline constexpr unsigned kNativeLanes = 2;
+
+struct Pack
+{
+    __m128d q[4];
+};
+struct Mask
+{
+    __m128d q[4];
+};
+struct PackI
+{
+    __m128i q[4];
+};
+
+inline Pack
+splat(double x)
+{
+    const __m128d v = _mm_set1_pd(x);
+    return {{v, v, v, v}};
+}
+inline Pack
+load(const double *p)
+{
+    return {{_mm_loadu_pd(p), _mm_loadu_pd(p + 2), _mm_loadu_pd(p + 4),
+             _mm_loadu_pd(p + 6)}};
+}
+inline void
+store(double *p, Pack a)
+{
+    _mm_storeu_pd(p, a.q[0]);
+    _mm_storeu_pd(p + 2, a.q[1]);
+    _mm_storeu_pd(p + 4, a.q[2]);
+    _mm_storeu_pd(p + 6, a.q[3]);
+}
+#define REASON_SIMD_SSE2_BINOP(name, op)                                  \
+    inline Pack name(Pack a, Pack b)                                      \
+    {                                                                     \
+        return {{op(a.q[0], b.q[0]), op(a.q[1], b.q[1]),                  \
+                 op(a.q[2], b.q[2]), op(a.q[3], b.q[3])}};                \
+    }
+REASON_SIMD_SSE2_BINOP(add, _mm_add_pd)
+REASON_SIMD_SSE2_BINOP(sub, _mm_sub_pd)
+REASON_SIMD_SSE2_BINOP(mul, _mm_mul_pd)
+REASON_SIMD_SSE2_BINOP(div, _mm_div_pd)
+REASON_SIMD_SSE2_BINOP(max, _mm_max_pd)
+REASON_SIMD_SSE2_BINOP(min, _mm_min_pd)
+#undef REASON_SIMD_SSE2_BINOP
+inline Mask
+cmpEq(Pack a, Pack b)
+{
+    return {{_mm_cmpeq_pd(a.q[0], b.q[0]), _mm_cmpeq_pd(a.q[1], b.q[1]),
+             _mm_cmpeq_pd(a.q[2], b.q[2]),
+             _mm_cmpeq_pd(a.q[3], b.q[3])}};
+}
+inline Mask
+cmpGt(Pack a, Pack b)
+{
+    return {{_mm_cmpgt_pd(a.q[0], b.q[0]), _mm_cmpgt_pd(a.q[1], b.q[1]),
+             _mm_cmpgt_pd(a.q[2], b.q[2]),
+             _mm_cmpgt_pd(a.q[3], b.q[3])}};
+}
+inline Pack
+select(Mask c, Pack ifTrue, Pack ifFalse)
+{
+    Pack r;
+    for (int i = 0; i < 4; ++i)
+        r.q[i] = _mm_or_pd(_mm_and_pd(c.q[i], ifTrue.q[i]),
+                           _mm_andnot_pd(c.q[i], ifFalse.q[i]));
+    return r;
+}
+inline PackI
+toBits(Pack a)
+{
+    return {{_mm_castpd_si128(a.q[0]), _mm_castpd_si128(a.q[1]),
+             _mm_castpd_si128(a.q[2]), _mm_castpd_si128(a.q[3])}};
+}
+inline Pack
+fromBits(PackI a)
+{
+    return {{_mm_castsi128_pd(a.q[0]), _mm_castsi128_pd(a.q[1]),
+             _mm_castsi128_pd(a.q[2]), _mm_castsi128_pd(a.q[3])}};
+}
+inline PackI
+splatI(int64_t x)
+{
+    const __m128i v = _mm_set1_epi64x(x);
+    return {{v, v, v, v}};
+}
+inline PackI
+addI(PackI a, PackI b)
+{
+    return {{_mm_add_epi64(a.q[0], b.q[0]), _mm_add_epi64(a.q[1], b.q[1]),
+             _mm_add_epi64(a.q[2], b.q[2]),
+             _mm_add_epi64(a.q[3], b.q[3])}};
+}
+inline PackI
+subI(PackI a, PackI b)
+{
+    return {{_mm_sub_epi64(a.q[0], b.q[0]), _mm_sub_epi64(a.q[1], b.q[1]),
+             _mm_sub_epi64(a.q[2], b.q[2]),
+             _mm_sub_epi64(a.q[3], b.q[3])}};
+}
+inline PackI
+andI(PackI a, PackI b)
+{
+    return {{_mm_and_si128(a.q[0], b.q[0]), _mm_and_si128(a.q[1], b.q[1]),
+             _mm_and_si128(a.q[2], b.q[2]),
+             _mm_and_si128(a.q[3], b.q[3])}};
+}
+inline PackI
+orI(PackI a, PackI b)
+{
+    return {{_mm_or_si128(a.q[0], b.q[0]), _mm_or_si128(a.q[1], b.q[1]),
+             _mm_or_si128(a.q[2], b.q[2]), _mm_or_si128(a.q[3], b.q[3])}};
+}
+template <int K>
+inline PackI
+shlI(PackI a)
+{
+    return {{_mm_slli_epi64(a.q[0], K), _mm_slli_epi64(a.q[1], K),
+             _mm_slli_epi64(a.q[2], K), _mm_slli_epi64(a.q[3], K)}};
+}
+template <int K>
+inline PackI
+shrI(PackI a)
+{
+    return {{_mm_srli_epi64(a.q[0], K), _mm_srli_epi64(a.q[1], K),
+             _mm_srli_epi64(a.q[2], K), _mm_srli_epi64(a.q[3], K)}};
+}
+
+#elif defined(REASON_SIMD_NEON)
+
+inline constexpr const char *kIsaName = "neon";
+inline constexpr unsigned kNativeLanes = 2;
+
+struct Pack
+{
+    float64x2_t q[4];
+};
+struct Mask
+{
+    uint64x2_t q[4];
+};
+struct PackI
+{
+    int64x2_t q[4];
+};
+
+inline Pack
+splat(double x)
+{
+    const float64x2_t v = vdupq_n_f64(x);
+    return {{v, v, v, v}};
+}
+inline Pack
+load(const double *p)
+{
+    return {{vld1q_f64(p), vld1q_f64(p + 2), vld1q_f64(p + 4),
+             vld1q_f64(p + 6)}};
+}
+inline void
+store(double *p, Pack a)
+{
+    vst1q_f64(p, a.q[0]);
+    vst1q_f64(p + 2, a.q[1]);
+    vst1q_f64(p + 4, a.q[2]);
+    vst1q_f64(p + 6, a.q[3]);
+}
+#define REASON_SIMD_NEON_BINOP(name, op)                                  \
+    inline Pack name(Pack a, Pack b)                                      \
+    {                                                                     \
+        return {{op(a.q[0], b.q[0]), op(a.q[1], b.q[1]),                  \
+                 op(a.q[2], b.q[2]), op(a.q[3], b.q[3])}};                \
+    }
+REASON_SIMD_NEON_BINOP(add, vaddq_f64)
+REASON_SIMD_NEON_BINOP(sub, vsubq_f64)
+REASON_SIMD_NEON_BINOP(mul, vmulq_f64)
+REASON_SIMD_NEON_BINOP(div, vdivq_f64)
+REASON_SIMD_NEON_BINOP(max, vmaxq_f64)
+REASON_SIMD_NEON_BINOP(min, vminq_f64)
+#undef REASON_SIMD_NEON_BINOP
+inline Mask
+cmpEq(Pack a, Pack b)
+{
+    return {{vceqq_f64(a.q[0], b.q[0]), vceqq_f64(a.q[1], b.q[1]),
+             vceqq_f64(a.q[2], b.q[2]), vceqq_f64(a.q[3], b.q[3])}};
+}
+inline Mask
+cmpGt(Pack a, Pack b)
+{
+    return {{vcgtq_f64(a.q[0], b.q[0]), vcgtq_f64(a.q[1], b.q[1]),
+             vcgtq_f64(a.q[2], b.q[2]), vcgtq_f64(a.q[3], b.q[3])}};
+}
+inline Pack
+select(Mask c, Pack ifTrue, Pack ifFalse)
+{
+    Pack r;
+    for (int i = 0; i < 4; ++i)
+        r.q[i] = vbslq_f64(c.q[i], ifTrue.q[i], ifFalse.q[i]);
+    return r;
+}
+inline PackI
+toBits(Pack a)
+{
+    return {{vreinterpretq_s64_f64(a.q[0]), vreinterpretq_s64_f64(a.q[1]),
+             vreinterpretq_s64_f64(a.q[2]),
+             vreinterpretq_s64_f64(a.q[3])}};
+}
+inline Pack
+fromBits(PackI a)
+{
+    return {{vreinterpretq_f64_s64(a.q[0]), vreinterpretq_f64_s64(a.q[1]),
+             vreinterpretq_f64_s64(a.q[2]),
+             vreinterpretq_f64_s64(a.q[3])}};
+}
+inline PackI
+splatI(int64_t x)
+{
+    const int64x2_t v = vdupq_n_s64(x);
+    return {{v, v, v, v}};
+}
+inline PackI
+addI(PackI a, PackI b)
+{
+    return {{vaddq_s64(a.q[0], b.q[0]), vaddq_s64(a.q[1], b.q[1]),
+             vaddq_s64(a.q[2], b.q[2]), vaddq_s64(a.q[3], b.q[3])}};
+}
+inline PackI
+subI(PackI a, PackI b)
+{
+    return {{vsubq_s64(a.q[0], b.q[0]), vsubq_s64(a.q[1], b.q[1]),
+             vsubq_s64(a.q[2], b.q[2]), vsubq_s64(a.q[3], b.q[3])}};
+}
+inline PackI
+andI(PackI a, PackI b)
+{
+    return {{vandq_s64(a.q[0], b.q[0]), vandq_s64(a.q[1], b.q[1]),
+             vandq_s64(a.q[2], b.q[2]), vandq_s64(a.q[3], b.q[3])}};
+}
+inline PackI
+orI(PackI a, PackI b)
+{
+    return {{vorrq_s64(a.q[0], b.q[0]), vorrq_s64(a.q[1], b.q[1]),
+             vorrq_s64(a.q[2], b.q[2]), vorrq_s64(a.q[3], b.q[3])}};
+}
+template <int K>
+inline PackI
+shlI(PackI a)
+{
+    return {{vshlq_n_s64(a.q[0], K), vshlq_n_s64(a.q[1], K),
+             vshlq_n_s64(a.q[2], K), vshlq_n_s64(a.q[3], K)}};
+}
+template <int K>
+inline PackI
+shrI(PackI a)
+{
+    return {{vreinterpretq_s64_u64(
+                 vshrq_n_u64(vreinterpretq_u64_s64(a.q[0]), K)),
+             vreinterpretq_s64_u64(
+                 vshrq_n_u64(vreinterpretq_u64_s64(a.q[1]), K)),
+             vreinterpretq_s64_u64(
+                 vshrq_n_u64(vreinterpretq_u64_s64(a.q[2]), K)),
+             vreinterpretq_s64_u64(
+                 vshrq_n_u64(vreinterpretq_u64_s64(a.q[3]), K))}};
+}
+
+#else // REASON_SIMD_SCALAR
+
+inline constexpr const char *kIsaName = "scalar";
+inline constexpr unsigned kNativeLanes = 1;
+
+struct Pack
+{
+    double l[kLanes];
+};
+struct Mask
+{
+    bool l[kLanes];
+};
+struct PackI
+{
+    int64_t l[kLanes];
+};
+
+inline Pack
+splat(double x)
+{
+    Pack r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = x;
+    return r;
+}
+inline Pack
+load(const double *p)
+{
+    Pack r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = p[i];
+    return r;
+}
+inline void
+store(double *p, Pack a)
+{
+    for (size_t i = 0; i < kLanes; ++i)
+        p[i] = a.l[i];
+}
+#define REASON_SIMD_SCALAR_BINOP(name, expr)                              \
+    inline Pack name(Pack a, Pack b)                                      \
+    {                                                                     \
+        Pack r;                                                           \
+        for (size_t i = 0; i < kLanes; ++i)                               \
+            r.l[i] = (expr);                                              \
+        return r;                                                         \
+    }
+REASON_SIMD_SCALAR_BINOP(add, a.l[i] + b.l[i])
+REASON_SIMD_SCALAR_BINOP(sub, a.l[i] - b.l[i])
+REASON_SIMD_SCALAR_BINOP(mul, a.l[i] * b.l[i])
+REASON_SIMD_SCALAR_BINOP(div, a.l[i] / b.l[i])
+REASON_SIMD_SCALAR_BINOP(max, a.l[i] > b.l[i] ? a.l[i] : b.l[i])
+REASON_SIMD_SCALAR_BINOP(min, a.l[i] < b.l[i] ? a.l[i] : b.l[i])
+#undef REASON_SIMD_SCALAR_BINOP
+inline Mask
+cmpEq(Pack a, Pack b)
+{
+    Mask r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = a.l[i] == b.l[i];
+    return r;
+}
+inline Mask
+cmpGt(Pack a, Pack b)
+{
+    Mask r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = a.l[i] > b.l[i];
+    return r;
+}
+inline Pack
+select(Mask c, Pack ifTrue, Pack ifFalse)
+{
+    Pack r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = c.l[i] ? ifTrue.l[i] : ifFalse.l[i];
+    return r;
+}
+inline PackI
+toBits(Pack a)
+{
+    PackI r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = std::bit_cast<int64_t>(a.l[i]);
+    return r;
+}
+inline Pack
+fromBits(PackI a)
+{
+    Pack r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = std::bit_cast<double>(a.l[i]);
+    return r;
+}
+inline PackI
+splatI(int64_t x)
+{
+    PackI r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = x;
+    return r;
+}
+inline PackI
+addI(PackI a, PackI b)
+{
+    PackI r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = a.l[i] + b.l[i];
+    return r;
+}
+inline PackI
+subI(PackI a, PackI b)
+{
+    PackI r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = a.l[i] - b.l[i];
+    return r;
+}
+inline PackI
+andI(PackI a, PackI b)
+{
+    PackI r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = a.l[i] & b.l[i];
+    return r;
+}
+inline PackI
+orI(PackI a, PackI b)
+{
+    PackI r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = a.l[i] | b.l[i];
+    return r;
+}
+template <int K>
+inline PackI
+shlI(PackI a)
+{
+    PackI r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = int64_t(uint64_t(a.l[i]) << K);
+    return r;
+}
+template <int K>
+inline PackI
+shrI(PackI a)
+{
+    PackI r;
+    for (size_t i = 0; i < kLanes; ++i)
+        r.l[i] = int64_t(uint64_t(a.l[i]) >> K);
+    return r;
+}
+
+#endif // backend selection
+
+// ---------------------------------------------------------------------------
+// Generic layer: everything below is backend-independent.
+// ---------------------------------------------------------------------------
+
+/** First n lanes from p, remaining lanes filled with `fill` (n <= 8). */
+inline Pack
+loadN(const double *p, size_t n, double fill)
+{
+    double buf[kLanes];
+    for (size_t i = 0; i < kLanes; ++i)
+        buf[i] = i < n ? p[i] : fill;
+    return load(buf);
+}
+
+/** Store only the first n lanes (n <= 8). */
+inline void
+storeN(double *p, size_t n, Pack a)
+{
+    double buf[kLanes];
+    store(buf, a);
+    for (size_t i = 0; i < n; ++i)
+        p[i] = buf[i];
+}
+
+/**
+ * Horizontal sum with the fixed tree shape
+ * `((l0+l1)+(l2+l3)) + ((l4+l5)+(l6+l7))` — identical on every
+ * backend, so reductions are bit-stable across ISAs too.
+ */
+inline double
+reduceAdd(Pack a)
+{
+    double b[kLanes];
+    store(b, a);
+    return ((b[0] + b[1]) + (b[2] + b[3])) +
+           ((b[4] + b[5]) + (b[6] + b[7]));
+}
+
+/** Horizontal max (order-insensitive; same tree shape for symmetry). */
+inline double
+reduceMax(Pack a)
+{
+    double b[kLanes];
+    store(b, a);
+    const double m01 = b[0] > b[1] ? b[0] : b[1];
+    const double m23 = b[2] > b[3] ? b[2] : b[3];
+    const double m45 = b[4] > b[5] ? b[4] : b[5];
+    const double m67 = b[6] > b[7] ? b[6] : b[7];
+    const double lo = m01 > m23 ? m01 : m23;
+    const double hi = m45 > m67 ? m45 : m67;
+    return lo > hi ? lo : hi;
+}
+
+/** Horizontal min (order-insensitive; same tree shape for symmetry). */
+inline double
+reduceMin(Pack a)
+{
+    double b[kLanes];
+    store(b, a);
+    const double m01 = b[0] < b[1] ? b[0] : b[1];
+    const double m23 = b[2] < b[3] ? b[2] : b[3];
+    const double m45 = b[4] < b[5] ? b[4] : b[5];
+    const double m67 = b[6] < b[7] ? b[6] : b[7];
+    const double lo = m01 < m23 ? m01 : m23;
+    const double hi = m45 < m67 ? m45 : m67;
+    return lo < hi ? lo : hi;
+}
+
+/**
+ * Lane-parallel `fastExpNonPositive`: bit-identical to the scalar
+ * version in numeric.h (same clamp, Cody-Waite split, Horner chain,
+ * and exponent assembly — the integer k is recovered from the bits of
+ * the shifted value, which equals the scalar int64 cast exactly).
+ * Inputs must not be NaN.
+ */
+inline Pack
+expNonPositive(Pack x)
+{
+    constexpr double kLog2e = 1.4426950408889634074;
+    constexpr double kLn2Hi = 6.93147180369123816490e-01;
+    constexpr double kLn2Lo = 1.90821492927058770002e-10;
+    constexpr double kShift = 6755399441055744.0; // 2^52 + 2^51
+    const int64_t kShiftBits = std::bit_cast<int64_t>(kShift);
+
+    x = max(x, splat(-708.0));
+    const Pack shift = splat(kShift);
+    const Pack t = add(mul(x, splat(kLog2e)), shift);
+    const Pack kd = sub(t, shift);
+    // t = kShift + k exactly and ulp(t) == 1 in that binade, so the
+    // integer k is the bit distance from kShift.
+    const PackI k = subI(toBits(t), splatI(kShiftBits));
+    const Pack r =
+        sub(sub(x, mul(kd, splat(kLn2Hi))), mul(kd, splat(kLn2Lo)));
+    Pack p = splat(1.0 / 6227020800.0); // 1/13!
+    p = add(mul(p, r), splat(1.0 / 479001600.0));
+    p = add(mul(p, r), splat(1.0 / 39916800.0));
+    p = add(mul(p, r), splat(1.0 / 3628800.0));
+    p = add(mul(p, r), splat(1.0 / 362880.0));
+    p = add(mul(p, r), splat(1.0 / 40320.0));
+    p = add(mul(p, r), splat(1.0 / 5040.0));
+    p = add(mul(p, r), splat(1.0 / 720.0));
+    p = add(mul(p, r), splat(1.0 / 120.0));
+    p = add(mul(p, r), splat(1.0 / 24.0));
+    p = add(mul(p, r), splat(1.0 / 6.0));
+    p = add(mul(p, r), splat(0.5));
+    p = add(mul(p, r), splat(1.0));
+    p = add(mul(p, r), splat(1.0));
+    const PackI pow2 = shlI<52>(addI(k, splatI(1023)));
+    return mul(p, fromBits(pow2));
+}
+
+/** Lane-parallel `fastLogPositive` (same algorithm, same bits). */
+inline Pack
+logPositive(Pack x)
+{
+    constexpr double kLn2Hi = 6.93147180369123816490e-01;
+    constexpr double kLn2Lo = 1.90821492927058770002e-10;
+    constexpr double kLg1 = 6.666666666666735130e-01;
+    constexpr double kLg2 = 3.999999999940941908e-01;
+    constexpr double kLg3 = 2.857142874366239149e-01;
+    constexpr double kLg4 = 2.222219843214978396e-01;
+    constexpr double kLg5 = 1.818357216161805012e-01;
+    constexpr double kLg6 = 1.531383769920937332e-01;
+    constexpr double kLg7 = 1.479819860511658591e-01;
+    constexpr double kSqrt2 = 1.41421356237309514547;
+    constexpr double kMagic = 6755399441055744.0; // 2^52 + 2^51
+    const int64_t kMagicBits = std::bit_cast<int64_t>(kMagic);
+
+    const PackI bits = toBits(x);
+    // m = mantissa with the exponent field forced to [1, 2).
+    Pack m = fromBits(orI(andI(bits, splatI(0x000FFFFFFFFFFFFFll)),
+                          splatI(0x3FF0000000000000ll)));
+    // Unbiased exponent as a double via the magic-constant trick:
+    // (bits >> 52) is the biased exponent in [1, 2046]; writing it
+    // into kMagic's low mantissa bits yields double(kMagic + e)
+    // exactly (ulp == 1 in that binade), so the subtraction recovers
+    // the exact integer as a double — identical to the scalar
+    // double(int64) conversion.
+    const Pack ed =
+        sub(fromBits(orI(shrI<52>(bits), splatI(kMagicBits))),
+            splat(kMagic));
+    Pack dk = sub(ed, splat(1023.0));
+    const Mask big = cmpGt(m, splat(kSqrt2));
+    m = select(big, mul(m, splat(0.5)), m);
+    dk = add(dk, select(big, splat(1.0), splat(0.0)));
+
+    const Pack f = sub(m, splat(1.0));
+    const Pack s = div(f, add(splat(2.0), f));
+    const Pack z = mul(s, s);
+    const Pack w = mul(z, z);
+    const Pack t1 = mul(
+        w, add(splat(kLg2),
+               mul(w, add(splat(kLg4), mul(w, splat(kLg6))))));
+    const Pack t2 = mul(
+        z,
+        add(splat(kLg1),
+            mul(w, add(splat(kLg3),
+                       mul(w, add(splat(kLg5),
+                                  mul(w, splat(kLg7))))))));
+    const Pack r = add(t2, t1);
+    const Pack hfsq = mul(splat(0.5), mul(f, f));
+    // dk*Hi - ((hfsq - (s*(hfsq+r) + dk*Lo)) - f)
+    const Pack inner =
+        add(mul(s, add(hfsq, r)), mul(dk, splat(kLn2Lo)));
+    return sub(mul(dk, splat(kLn2Hi)), sub(sub(hfsq, inner), f));
+}
+
+/**
+ * log(sum_i exp(xs[i])) over a contiguous buffer with the canonical
+ * two-pass kernel: vectorized max scan, then masked exp-accumulation
+ * into 8 lane partials folded by the fixed reduction tree, then one
+ * `fastLogPositive`.  `kLogZero` entries are exact additive identities
+ * (they are masked out, not clamped), so the result matches a chained
+ * `logAdd` fold to ~1e-15.  Returns kLogZero when every term (or n
+ * itself) is zero/-inf.  Deterministic for a given n on every backend.
+ */
+inline double
+logSumExpMasked(const double *xs, size_t n)
+{
+    if (n == 0)
+        return kLogZero;
+    if (n == 1)
+        return xs[0]; // == hi + log(exp(0)) == hi + 0 exactly
+    if (n <= kLanes) {
+        // Small fan-in fast path (the common case in circuit
+        // transposes): same masked lanes and the same fixed reduction
+        // tree as the pack path below — bit-identical — without the
+        // pack/buffer round trips.
+        double hi = xs[0];
+        for (size_t i = 1; i < n; ++i)
+            hi = xs[i] > hi ? xs[i] : hi;
+        if (hi == kLogZero)
+            return kLogZero;
+        double c[kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+        for (size_t i = 0; i < n; ++i)
+            c[i] = xs[i] == kLogZero ? 0.0
+                                     : fastExpNonPositive(xs[i] - hi);
+        return hi + fastLogPositive(((c[0] + c[1]) + (c[2] + c[3])) +
+                                    ((c[4] + c[5]) + (c[6] + c[7])));
+    }
+    const Pack neg_inf = splat(kLogZero);
+    Pack hi_v = neg_inf;
+    size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes)
+        hi_v = max(hi_v, load(xs + i));
+    if (i < n)
+        hi_v = max(hi_v, loadN(xs + i, n - i, kLogZero));
+    const double hi = reduceMax(hi_v);
+    if (hi == kLogZero)
+        return kLogZero;
+
+    const Pack hi_p = splat(hi);
+    const Pack zero = splat(0.0);
+    Pack acc = zero;
+    for (i = 0; i + kLanes <= n; i += kLanes) {
+        const Pack t = load(xs + i);
+        const Pack e = expNonPositive(sub(t, hi_p));
+        acc = add(acc, select(cmpEq(t, neg_inf), zero, e));
+    }
+    if (i < n) {
+        const Pack t = loadN(xs + i, n - i, kLogZero);
+        const Pack e = expNonPositive(sub(t, hi_p));
+        acc = add(acc, select(cmpEq(t, neg_inf), zero, e));
+    }
+    return hi + fastLogPositive(reduceAdd(acc));
+}
+
+/**
+ * Masked exp-multiply: out[i] = args[i] == -inf ? 0
+ *                               : expNonPositive(args[i]) * scale[i].
+ * The downward-flow building block: -inf encodes "edge carries no
+ * flow" and must contribute an exact additive identity, while live
+ * lanes pay one vectorized exp.  args must not contain NaN.
+ */
+inline void
+expMulOrZero(const double *args, const double *scale, double *out,
+             size_t n)
+{
+    const Pack neg_inf = splat(kLogZero);
+    const Pack zero = splat(0.0);
+    size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+        const Pack a = load(args + i);
+        // Masked lanes are clamped by expNonPositive, so computing
+        // then blending is NaN-free and branch-free.
+        const Pack f = mul(expNonPositive(a), load(scale + i));
+        store(out + i, select(cmpEq(a, neg_inf), zero, f));
+    }
+    // Lanes are independent, so the scalar tail (and the common
+    // small-fan-in case) is bit-identical to a masked pack.
+    for (; i < n; ++i)
+        out[i] = args[i] == kLogZero
+                     ? 0.0
+                     : fastExpNonPositive(args[i]) * scale[i];
+}
+
+/**
+ * Canonical sum-layer two-pass logsumexp over one 8-lane SoA block:
+ * `term_at(e)` produces the 8 row-lane terms of fan-in edge e (each is
+ * also staged to `terms_scratch`, edge-major, for the second pass),
+ * `-inf` terms are exact additive identities, and dead lanes (every
+ * term `-inf`) come back as `-inf`.  This is THE sum-node kernel: the
+ * production block evaluator (pc::CircuitEvaluator::evaluateBlock)
+ * and bench_eval's gated kernel_logsumexp micro-bench both call it,
+ * so the measured kernel is the shipped one.
+ */
+template <typename TermAt>
+inline Pack
+sumLayerBlock(size_t fanin, double *terms_scratch, TermAt term_at)
+{
+    const Pack neg_inf = splat(kLogZero);
+    const Pack zero = splat(0.0);
+    Pack hi = neg_inf;
+    for (size_t e = 0; e < fanin; ++e) {
+        const Pack t = term_at(e);
+        store(terms_scratch + e * kLanes, t);
+        hi = max(hi, t);
+    }
+    const Mask dead = cmpEq(hi, neg_inf);
+    const Pack hi_safe = select(dead, zero, hi);
+    Pack acc = zero;
+    for (size_t e = 0; e < fanin; ++e) {
+        const Pack t = load(terms_scratch + e * kLanes);
+        const Pack ex = expNonPositive(sub(t, hi_safe));
+        acc = add(acc, select(cmpEq(t, neg_inf), zero, ex));
+    }
+    return select(dead, neg_inf, add(hi, logPositive(acc)));
+}
+
+/**
+ * dst[i] += src[i] for i in [0, n): the element-wise merge fold of the
+ * sharded reductions.  Lanes are independent, so this is bit-identical
+ * to the scalar loop on every backend.
+ */
+inline void
+addInto(double *dst, const double *src, size_t n)
+{
+    size_t i = 0;
+    for (; i + kLanes <= n; i += kLanes)
+        store(dst + i, add(load(dst + i), load(src + i)));
+    for (; i < n; ++i)
+        dst[i] += src[i];
+}
+
+/** Compile-time selected backend name ("avx512f", "avx2", ...). */
+const char *isaName();
+/** Native register lanes of the selected backend (1 for scalar). */
+unsigned nativeLanes();
+/**
+ * Runtime-detected CPU SIMD features (space-separated, e.g.
+ * "sse2 avx avx2 fma avx512f"), independent of what the build targets;
+ * reported in bench provenance and `reason_cli --version`.
+ */
+const char *cpuFeatures();
+
+} // namespace simd
+} // namespace reason
+
+#endif // REASON_UTIL_SIMD_H

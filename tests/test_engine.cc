@@ -3,8 +3,9 @@
  * Serving-engine tests (sys::ReasonEngine, sys/engine.h):
  *
  *  - coalesced vs one-at-a-time determinism: a request's outputs are
- *    bit-identical no matter how the engine batched it (the padded
- *    SoA-block contract), and independent of serveThreads;
+ *    bit-identical no matter how the engine batched it (the canonical
+ *    SIMD block-kernel contract of flat_pc.h), and independent of
+ *    serveThreads;
  *  - concurrent multi-session submit/wait from several client threads
  *    (the TSan target for the queue/dispatcher synchronization);
  *  - poll-vs-wait equivalence;
@@ -105,7 +106,8 @@ TEST(EngineCircuit, CoalescedBitIdenticalToOneAtATime)
     std::vector<double> reference = serveOneAtATime(circuit, rows);
 
     // Coalesce across two sessions with a held dispatcher, through
-    // several maxBatch shapes (including ones that force pad lanes).
+    // several maxBatch shapes (including ones that force masked
+    // tail lanes).
     for (unsigned max_batch : {2u, 7u, 16u, 64u}) {
         ServeOptions options;
         options.maxBatch = max_batch;

@@ -247,7 +247,7 @@ TEST(ParallelCircuitEvaluator, BatchBitIdenticalAcrossThreadCounts)
     Rng rng(29);
     pc::Circuit c = pc::randomCircuit(rng, 64, 3, 3, 6);
     pc::FlatCircuit flat(c);
-    // 67 rows: full blocks plus a scalar tail.
+    // 67 rows: full blocks plus a masked-tail block (3 live lanes).
     auto xs = randomAssignments(rng, c, 67, 0.2);
 
     util::ThreadPool serial(1);

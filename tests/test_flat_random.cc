@@ -128,7 +128,8 @@ TEST(FlatRandomDifferential, DerivativesMatchSeedWalker)
                     << "trial " << trial << " node " << i;
 
             // The parallel reverse wavefront must agree with the
-            // serial scatter bit for bit, structure by structure.
+            // serial reverse-id gather bit for bit, structure by
+            // structure.
             pc::logDerivativesInto(flat, logv, logd_mt, &parallel);
             for (size_t i = 0; i < logd.size(); ++i)
                 ASSERT_EQ(std::bit_cast<uint64_t>(logd_mt[i]),

@@ -1,0 +1,336 @@
+/**
+ * @file
+ * Tests for the portable 8-lane SIMD layer (util/simd.h) and the
+ * canonical-kernel contract it underwrites:
+ *
+ *  - pack ops and the expNonPositive/logPositive pair are bit-exact
+ *    against their scalar-lane twins on every backend (including the
+ *    REASON_FORCE_SCALAR fallback — the CI leg builds this file both
+ *    ways);
+ *  - the transcendentals meet their documented accuracy contracts
+ *    against libm;
+ *  - masked loads/stores, fixed-shape reductions, logSumExpMasked,
+ *    expMulOrZero, and addInto behave exactly as specified;
+ *  - batched circuit evaluation is bit-identical to the single-row
+ *    walk for every batch size (tail/remainder lanes) and thread
+ *    count, and stays within 1e-10 of the seed reference walker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "pc/flat_pc.h"
+#include "pc/pc.h"
+#include "util/numeric.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/simd.h"
+
+using namespace reason;
+
+namespace {
+
+uint64_t
+bits(double x)
+{
+    return std::bit_cast<uint64_t>(x);
+}
+
+/** Relative error in units in the last place of the reference. */
+double
+ulpError(double got, double want)
+{
+    if (got == want)
+        return 0.0;
+    const double ulp = std::ldexp(1.0, std::ilogb(want) - 52);
+    return std::fabs(got - want) / ulp;
+}
+
+std::vector<pc::Assignment>
+randomAssignments(Rng &rng, const pc::Circuit &c, size_t count,
+                  double missing_prob)
+{
+    std::vector<pc::Assignment> xs(count);
+    for (auto &x : xs) {
+        x.resize(c.numVars());
+        for (uint32_t v = 0; v < c.numVars(); ++v)
+            x[v] = rng.bernoulli(missing_prob)
+                       ? pc::kMissing
+                       : uint32_t(rng.uniformInt(0, c.arity() - 1));
+    }
+    return xs;
+}
+
+} // namespace
+
+TEST(SimdPack, LaneOpsMatchScalarBitwise)
+{
+    Rng rng(11);
+    for (int iter = 0; iter < 2000; ++iter) {
+        double a[simd::kLanes], b[simd::kLanes], out[simd::kLanes];
+        for (size_t i = 0; i < simd::kLanes; ++i) {
+            a[i] = rng.uniformReal(-1e3, 1e3);
+            b[i] = rng.uniformReal(-1e3, 1e3);
+            if (rng.bernoulli(0.1))
+                a[i] = kLogZero;
+        }
+        const simd::Pack pa = simd::load(a);
+        const simd::Pack pb = simd::load(b);
+
+        simd::store(out, simd::add(pa, pb));
+        for (size_t i = 0; i < simd::kLanes; ++i)
+            EXPECT_EQ(bits(out[i]), bits(a[i] + b[i]));
+        simd::store(out, simd::sub(pa, pb));
+        for (size_t i = 0; i < simd::kLanes; ++i)
+            EXPECT_EQ(bits(out[i]), bits(a[i] - b[i]));
+        simd::store(out, simd::mul(pa, pb));
+        for (size_t i = 0; i < simd::kLanes; ++i)
+            EXPECT_EQ(bits(out[i]), bits(a[i] * b[i]));
+        simd::store(out, simd::div(pa, pb));
+        for (size_t i = 0; i < simd::kLanes; ++i)
+            EXPECT_EQ(bits(out[i]), bits(a[i] / b[i]));
+        simd::store(out, simd::max(pa, pb));
+        for (size_t i = 0; i < simd::kLanes; ++i)
+            EXPECT_EQ(out[i], a[i] > b[i] ? a[i] : b[i]);
+        simd::store(out, simd::min(pa, pb));
+        for (size_t i = 0; i < simd::kLanes; ++i)
+            EXPECT_EQ(out[i], a[i] < b[i] ? a[i] : b[i]);
+        simd::store(out, simd::select(simd::cmpGt(pa, pb), pa, pb));
+        for (size_t i = 0; i < simd::kLanes; ++i)
+            EXPECT_EQ(out[i], a[i] > b[i] ? a[i] : b[i]);
+    }
+}
+
+TEST(SimdPack, ExpNonPositiveBitExactWithScalarTwin)
+{
+    Rng rng(13);
+    for (int iter = 0; iter < 20000; ++iter) {
+        double in[simd::kLanes], out[simd::kLanes];
+        for (size_t i = 0; i < simd::kLanes; ++i) {
+            in[i] = rng.uniformReal(-750.0, 0.3);
+            if (rng.bernoulli(0.05))
+                in[i] = kLogZero; // clamp region
+            if (rng.bernoulli(0.05))
+                in[i] = 0.0;
+        }
+        simd::store(out, simd::expNonPositive(simd::load(in)));
+        for (size_t i = 0; i < simd::kLanes; ++i)
+            EXPECT_EQ(bits(out[i]), bits(fastExpNonPositive(in[i])))
+                << "x=" << in[i];
+    }
+    // Exactness anchors of the accuracy contract.
+    double x[simd::kLanes] = {0.0, -1.0, -0.5, -708.0,
+                              kLogZero, -1e-300, -20.0, -100.0};
+    double out[simd::kLanes];
+    simd::store(out, simd::expNonPositive(simd::load(x)));
+    EXPECT_EQ(out[0], 1.0); // exp(0) must be exactly 1
+    EXPECT_GT(out[4], 0.0); // clamped, never flushed to zero
+}
+
+TEST(SimdPack, LogPositiveBitExactWithScalarTwinAndAccurate)
+{
+    Rng rng(17);
+    double max_ulp = 0.0;
+    for (int iter = 0; iter < 20000; ++iter) {
+        double in[simd::kLanes], out[simd::kLanes];
+        for (size_t i = 0; i < simd::kLanes; ++i) {
+            switch (iter % 3) {
+              case 0: // the logsumexp accumulator regime: [1, fan-in]
+                in[i] = 1.0 + rng.uniformReal(0.0, 4000.0);
+                break;
+              case 1: // tiny positives from clamped exp sums
+                in[i] = 5e-308 * (1.0 + rng.uniformReal(0.0, 1.0));
+                break;
+              default: // broad normal range
+                in[i] = std::ldexp(1.0 + rng.uniformReal(0.0, 1.0),
+                                   int(rng.uniformInt(-900, 900)));
+                break;
+            }
+        }
+        simd::store(out, simd::logPositive(simd::load(in)));
+        for (size_t i = 0; i < simd::kLanes; ++i) {
+            EXPECT_EQ(bits(out[i]), bits(simd::fastLogPositive(in[i])))
+                << "x=" << in[i];
+            const double want = std::log(in[i]);
+            if (std::fabs(want) > 1e-12)
+                max_ulp = std::max(max_ulp, ulpError(out[i], want));
+        }
+    }
+    // Documented contract: < 2 ulp over positive finite normals.
+    EXPECT_LT(max_ulp, 2.0);
+    // log(1) must be exactly +0 (the single-term logsumexp identity).
+    EXPECT_EQ(bits(simd::fastLogPositive(1.0)), bits(0.0));
+}
+
+TEST(SimdPack, ReductionsUseTheFixedTreeShape)
+{
+    double v[simd::kLanes] = {1e16, 1.0, -1e16, 1.0, 0.5, 0.25, -0.5,
+                              2.0};
+    const simd::Pack p = simd::load(v);
+    const double want = ((v[0] + v[1]) + (v[2] + v[3])) +
+                        ((v[4] + v[5]) + (v[6] + v[7]));
+    EXPECT_EQ(bits(simd::reduceAdd(p)), bits(want));
+    EXPECT_EQ(simd::reduceMax(p), 1e16);
+    EXPECT_EQ(simd::reduceMin(p), -1e16);
+}
+
+TEST(SimdPack, MaskedLoadStoreTouchOnlyLiveLanes)
+{
+    double src[simd::kLanes] = {1, 2, 3, 4, 5, 6, 7, 8};
+    for (size_t n = 0; n <= simd::kLanes; ++n) {
+        double out[simd::kLanes];
+        simd::store(out, simd::loadN(src, n, -9.0));
+        for (size_t i = 0; i < simd::kLanes; ++i)
+            EXPECT_EQ(out[i], i < n ? src[i] : -9.0) << "n=" << n;
+        double sink[simd::kLanes] = {0, 0, 0, 0, 0, 0, 0, 0};
+        simd::storeN(sink, n, simd::load(src));
+        for (size_t i = 0; i < simd::kLanes; ++i)
+            EXPECT_EQ(sink[i], i < n ? src[i] : 0.0) << "n=" << n;
+    }
+}
+
+TEST(SimdKernels, LogSumExpMaskedMatchesLogAddChain)
+{
+    Rng rng(19);
+    double max_diff = 0.0;
+    for (int iter = 0; iter < 5000; ++iter) {
+        const size_t n = size_t(rng.uniformInt(0, 25));
+        std::vector<double> xs(n);
+        for (auto &x : xs) {
+            x = rng.uniformReal(-60.0, 0.0);
+            if (rng.bernoulli(0.3))
+                x = kLogZero; // must act as an exact identity
+        }
+        double chain = kLogZero;
+        for (double x : xs)
+            chain = logAdd(chain, x);
+        const double lse = simd::logSumExpMasked(xs.data(), n);
+        if (chain == kLogZero) {
+            EXPECT_EQ(lse, kLogZero) << "n=" << n;
+            continue;
+        }
+        max_diff = std::max(max_diff, std::fabs(lse - chain));
+    }
+    EXPECT_LT(max_diff, 1e-13);
+
+    // Single-term exactness: LSE({t}) == t bit for bit (the identity
+    // the derivative gather's fan-in-1 fast path relies on).
+    for (double t : {-3.25, 0.0, -700.0, kLogZero}) {
+        double buf[2] = {t, kLogZero};
+        EXPECT_EQ(bits(simd::logSumExpMasked(buf, 1)), bits(t));
+        EXPECT_EQ(bits(simd::logSumExpMasked(buf, 2)), bits(t));
+    }
+    EXPECT_EQ(simd::logSumExpMasked(nullptr, 0), kLogZero);
+}
+
+TEST(SimdKernels, ExpMulOrZeroMasksExactly)
+{
+    Rng rng(23);
+    for (size_t n : {size_t(1), size_t(5), size_t(8), size_t(19)}) {
+        std::vector<double> args(n), scale(n), out(n);
+        for (size_t i = 0; i < n; ++i) {
+            args[i] = rng.bernoulli(0.3) ? kLogZero
+                                         : rng.uniformReal(-50.0, 0.0);
+            scale[i] = rng.uniformReal(0.0, 2.0);
+        }
+        simd::expMulOrZero(args.data(), scale.data(), out.data(), n);
+        for (size_t i = 0; i < n; ++i) {
+            const double want =
+                args[i] == kLogZero
+                    ? 0.0
+                    : fastExpNonPositive(args[i]) * scale[i];
+            EXPECT_EQ(bits(out[i]), bits(want)) << "lane " << i;
+        }
+    }
+}
+
+TEST(SimdKernels, AddIntoMatchesScalarLoop)
+{
+    Rng rng(27);
+    for (size_t n : {size_t(0), size_t(3), size_t(8), size_t(29)}) {
+        std::vector<double> dst(n), src(n), want(n);
+        for (size_t i = 0; i < n; ++i) {
+            dst[i] = rng.uniformReal(-5.0, 5.0);
+            src[i] = rng.uniformReal(-5.0, 5.0);
+            want[i] = dst[i] + src[i];
+        }
+        simd::addInto(dst.data(), src.data(), n);
+        for (size_t i = 0; i < n; ++i)
+            EXPECT_EQ(bits(dst[i]), bits(want[i]));
+    }
+}
+
+TEST(SimdProvenance, IsaNameAndFeaturesAreReported)
+{
+    const char *isa = simd::isaName();
+    ASSERT_NE(isa, nullptr);
+    EXPECT_GT(simd::nativeLanes(), 0u);
+#if defined(REASON_FORCE_SCALAR)
+    EXPECT_STREQ(isa, "scalar");
+    EXPECT_EQ(simd::nativeLanes(), 1u);
+#endif
+    ASSERT_NE(simd::cpuFeatures(), nullptr);
+    EXPECT_GT(std::string(simd::cpuFeatures()).size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// The canonical-kernel contract on a real circuit: every batch shape
+// (tails included) and thread count must reproduce the single-row
+// walk bit for bit, and the whole family must stay within 1e-10 of
+// the seed reference walker.
+// ---------------------------------------------------------------------------
+
+TEST(SimdCircuit, EveryBatchShapeBitIdenticalToSingleRowWalk)
+{
+    Rng rng(31);
+    pc::Circuit c = pc::randomCircuit(rng, 48, 3, 4, 8);
+    pc::FlatCircuit flat(c);
+    auto xs = randomAssignments(rng, c, 21, 0.25);
+
+    util::ThreadPool serial(1);
+    pc::CircuitEvaluator row_eval(flat, &serial);
+    std::vector<double> want(xs.size());
+    for (size_t i = 0; i < xs.size(); ++i)
+        want[i] = row_eval.logLikelihood(xs[i]);
+
+    for (unsigned threads : {1u, 2u, 4u}) {
+        util::ThreadPool pool(threads);
+        pc::CircuitEvaluator eval(flat, &pool);
+        // Every batch size from a lone row through full blocks plus
+        // every tail remainder.
+        for (size_t n = 1; n <= xs.size(); ++n) {
+            std::vector<pc::Assignment> rows(xs.begin(),
+                                             xs.begin() + n);
+            std::vector<double> got(n);
+            eval.logLikelihoodBatch(rows, got);
+            for (size_t i = 0; i < n; ++i)
+                EXPECT_EQ(bits(got[i]), bits(want[i]))
+                    << "batch=" << n << " row=" << i
+                    << " threads=" << threads;
+        }
+    }
+}
+
+TEST(SimdCircuit, BatchStaysWithinDifferentialContractOfSeedWalker)
+{
+    Rng rng(37);
+    pc::Circuit c = pc::randomCircuit(rng, 40, 2, 4, 8);
+    pc::FlatCircuit flat(c);
+    auto xs = randomAssignments(rng, c, 33, 0.2);
+
+    util::ThreadPool serial(1);
+    pc::CircuitEvaluator eval(flat, &serial);
+    std::vector<double> got(xs.size());
+    eval.logLikelihoodBatch(xs, got);
+    for (size_t i = 0; i < xs.size(); ++i) {
+        const double want = c.logLikelihood(xs[i]);
+        if (want == kLogZero)
+            EXPECT_EQ(got[i], kLogZero);
+        else
+            EXPECT_NEAR(got[i], want, 1e-10) << "row " << i;
+    }
+}

@@ -77,6 +77,14 @@
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
+#include "util/simd.h"
+
+#ifndef REASON_BUILD_FLAGS
+#define REASON_BUILD_FLAGS "unknown"
+#endif
+#ifndef REASON_BUILD_TYPE
+#define REASON_BUILD_TYPE "unknown"
+#endif
 
 using namespace reason;
 
@@ -98,6 +106,7 @@ usage()
         "  serve <file.rpc> [--requests N] [--clients N]\n"
         "      [--max-batch N] [--window-us N] [--serve-threads N]\n"
         "      [--seed N]\n"
+        "  version          build, SIMD backend, and CPU features\n"
         "  <command> --help describes the command's options.\n"
         "--threads N sets the worker count of the flat evaluation\n"
         "engine (0 = hardware concurrency); results are identical for\n"
@@ -107,6 +116,21 @@ usage()
         "the thread-count-independent fixed reduction shape for\n"
         "per-worker sharding.\n");
     return 2;
+}
+
+int
+cmdVersion()
+{
+    std::printf("reason_cli (%s build)\n", REASON_BUILD_TYPE);
+    std::printf("flags:        %s\n", REASON_BUILD_FLAGS);
+    std::printf("simd backend: %s (%u-wide native lanes, 8-lane "
+                "packs)\n",
+                simd::isaName(), simd::nativeLanes());
+    std::printf("cpu features: %s\n", simd::cpuFeatures());
+    if (std::strcmp(simd::isaName(), "scalar") == 0)
+        std::printf("note: scalar fallback build — results are "
+                    "bit-identical to every SIMD backend\n");
+    return 0;
 }
 
 /**
@@ -713,7 +737,9 @@ main(int argc, char **argv)
     util::ReductionPolicy reductions = util::reductionPolicy();
     while (at < all.size() && all[at].rfind("--", 0) == 0) {
         unsigned threads = 0;
-        if (all[at] == "--threads" && at + 1 < all.size() &&
+        if (all[at] == "--version") {
+            return cmdVersion();
+        } else if (all[at] == "--threads" && at + 1 < all.size() &&
             util::parseThreadCount(all[at + 1].c_str(), &threads)) {
             util::setGlobalThreads(threads);
             at += 2;
@@ -737,6 +763,8 @@ main(int argc, char **argv)
         return usage();
     std::string cmd = all[at];
     std::vector<std::string> args(all.begin() + at + 1, all.end());
+    if (cmd == "version")
+        return cmdVersion();
     if (cmd == "solve")
         return cmdSolve(args);
     if (cmd == "count")
