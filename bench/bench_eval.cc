@@ -342,6 +342,7 @@ main(int argc, char **argv)
     // any nonzero total fails the run (nonzero exit) so CI catches
     // determinism regressions, not just slowdowns.
     size_t bitwise_failures = 0;
+    size_t gate_failures = 0;
 
     // --- threaded wavefront variant ------------------------------------
     if (threads > 1) {
@@ -750,6 +751,166 @@ main(int argc, char **argv)
         bitwise_failures += mismatches;
     }
 
+    // --- scale-out serving: N dispatchers, bounded queue, shedding -----
+    if (threads > 1) {
+        // One-at-a-time reference: the bitwise ground truth every
+        // multi-dispatcher configuration must reproduce exactly.
+        sys::ServeOptions ref_opts;
+        ref_opts.maxBatch = max_batch;
+        ref_opts.serveThreads = 1;
+        std::vector<double> ref_ll(data.size());
+        {
+            sys::ReasonEngine engine(ref_opts);
+            sys::Session session = engine.createSession(circuit);
+            session.wait(session.submit(data[0])); // warm evaluator
+            for (size_t i = 0; i < data.size(); ++i)
+                ref_ll[i] =
+                    session.wait(session.submit(data[i]))->outputs[0];
+        }
+
+        constexpr size_t kClients = 4;
+        size_t mismatches = 0;
+        // Identity sweep: dispatcher counts x queue policies (plus
+        // linger autotuning on the widest config).  Backlog is built
+        // under pause so coalescing itself is deterministic; the
+        // *outputs* must be bit-identical in any case.
+        double serve_ms = 0.0, occupancy = 0.0;
+        double p50_ms = 0.0, p99_ms = 0.0, rps = 0.0;
+        for (unsigned dispatchers : {1u, 2u, 4u}) {
+            for (sys::QueuePolicy policy :
+                 {sys::QueuePolicy::RejectNew,
+                  sys::QueuePolicy::ShedOldest}) {
+                sys::ServeOptions sopts;
+                sopts.maxBatch = max_batch;
+                sopts.serveThreads = 1;
+                sopts.dispatchers = dispatchers;
+                sopts.queuePolicy = policy;
+                sopts.autoLingerWindow = dispatchers == 4;
+                sopts.startPaused = true;
+                sys::ReasonEngine engine(sopts);
+                sys::EngineStats stats{};
+                std::vector<sys::Session> sessions;
+                for (size_t c = 0; c < kClients; ++c)
+                    sessions.push_back(engine.createSession(circuit));
+                std::vector<sys::RequestHandle> handles(data.size());
+                for (size_t i = 0; i < data.size(); ++i)
+                    handles[i] =
+                        sessions[i % kClients].submit(data[i]);
+                const auto t0 = Clock::now();
+                engine.resume();
+                for (size_t i = 0; i < data.size(); ++i) {
+                    std::shared_ptr<const sys::Request> r =
+                        sessions[i % kClients].wait(handles[i]);
+                    uint64_t ba, bb;
+                    std::memcpy(&ba, &ref_ll[i], sizeof ba);
+                    std::memcpy(&bb, &r->outputs[0], sizeof bb);
+                    mismatches += r->error != sys::REASON_OK ||
+                                  ba != bb;
+                }
+                const double ms = msSince(t0);
+                stats = engine.stats();
+                // Report throughput/latency of the widest sweep
+                // configuration (4 dispatchers, shed policy).
+                if (dispatchers == 4 &&
+                    policy == sys::QueuePolicy::ShedOldest) {
+                    serve_ms = ms;
+                    rps = double(data.size()) / (ms * 1e-3);
+                    // No batch ran before resume() (warm.batches is
+                    // 0), so the engine-lifetime mean is exactly the
+                    // drain-phase occupancy.
+                    occupancy = stats.meanBatchOccupancy;
+                    p50_ms = stats.p50LatencyMs;
+                    p99_ms = stats.p99LatencyMs;
+                }
+            }
+        }
+
+        // Deterministic 2x-capacity overload: build the backlog while
+        // paused, so exactly `capacity` requests are admitted and
+        // `capacity` shed (ShedOldest keeps the newest).  Queue depth
+        // must never exceed capacity, and the latency of admitted
+        // requests must be bounded by capacity — not by offered load.
+        const size_t capacity =
+            std::max<size_t>(8, std::min<size_t>(data.size() / 2, 256));
+        const size_t offered = 2 * capacity;
+        uint64_t shed = 0;
+        size_t admitted = 0;
+        sys::EngineStats over_stats{};
+        {
+            sys::ServeOptions sopts;
+            sopts.maxBatch = max_batch;
+            sopts.serveThreads = 1;
+            sopts.dispatchers = 2;
+            sopts.queueCapacity = capacity;
+            sopts.queuePolicy = sys::QueuePolicy::ShedOldest;
+            sopts.startPaused = true;
+            sys::ReasonEngine engine(sopts);
+            std::vector<sys::Session> sessions;
+            for (size_t c = 0; c < kClients; ++c)
+                sessions.push_back(engine.createSession(circuit));
+            std::vector<sys::RequestHandle> handles(offered);
+            for (size_t i = 0; i < offered; ++i)
+                handles[i] = sessions[i % kClients].submit(
+                    data[i % data.size()]);
+            engine.resume();
+            for (size_t i = 0; i < offered; ++i) {
+                std::shared_ptr<const sys::Request> r =
+                    sessions[i % kClients].wait(handles[i]);
+                if (r->error == sys::REASON_ERR_OVERLOAD) {
+                    ++shed;
+                    continue;
+                }
+                ++admitted;
+                uint64_t ba, bb;
+                std::memcpy(&ba, &ref_ll[i % data.size()], sizeof ba);
+                std::memcpy(&bb, &r->outputs[0], sizeof bb);
+                mismatches += r->error != sys::REASON_OK || ba != bb;
+            }
+            over_stats = engine.stats();
+        }
+        const double shed_rate = double(shed) / double(offered);
+        const double over_p99 = over_stats.p99LatencyMs;
+
+        // Gates: exact shed accounting, bounded depth, bounded
+        // admitted-latency tail.  The wide absolute p99 bound only
+        // rejects runaway queueing; shedding is what keeps the tail
+        // independent of offered load.
+        const bool shed_ok = shed == capacity && admitted == capacity;
+        const bool depth_ok = over_stats.maxQueueDepth <= capacity;
+        const bool p99_ok = over_p99 > 0.0 && over_p99 <= 1000.0;
+        gate_failures += !shed_ok + !depth_ok + !p99_ok;
+
+        std::printf(
+            "BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+            "\"serving_mt\",\"nodes\":%zu,\"edges\":%zu,"
+            "\"reps\":%zu,\"threads\":%u,\"dispatchers\":4,"
+            "\"max_batch\":%u,\"clients\":%zu,\"serve_ms\":%.3f,"
+            "\"requests_per_sec\":%.1f,\"p50_ms\":%.4f,"
+            "\"p99_ms\":%.4f,\"mean_batch_occupancy\":%.2f,"
+            "\"capacity\":%zu,\"shed_rate\":%.3f,"
+            "\"max_queue_depth\":%llu,\"overload_p99_ms\":%.4f,"
+            "\"bitwise_mismatches\":%zu%s}\n",
+            circuit.numNodes(), circuit.numEdges(), data.size(),
+            1u, max_batch, kClients, serve_ms, rps, p50_ms, p99_ms,
+            occupancy, capacity, shed_rate,
+            (unsigned long long)over_stats.maxQueueDepth, over_p99,
+            mismatches, provenance);
+        std::printf(
+            "serving_mt: %.1f req/s over 4 dispatchers (p50 %.4f "
+            "ms, p99 %.4f ms, occupancy %.2f), %zu bitwise "
+            "mismatches %s\n",
+            rps, p50_ms, p99_ms, occupancy, mismatches,
+            mismatches == 0 ? "PASS" : "FAIL");
+        std::printf(
+            "serving_mt overload: 2x capacity %zu -> shed rate %.3f "
+            "%s, max depth %llu %s, admitted p99 %.4f ms %s\n",
+            capacity, shed_rate, shed_ok ? "PASS" : "FAIL",
+            (unsigned long long)over_stats.maxQueueDepth,
+            depth_ok ? "PASS" : "FAIL", over_p99,
+            p99_ok ? "PASS" : "FAIL");
+        bitwise_failures += mismatches;
+    }
+
     // --- linear domain: Dag::evaluate vs core::Evaluator ---------------
     core::Dag dag = core::buildFromCircuit(circuit);
     const size_t dag_reps = reps / 4 ? reps / 4 : 1;
@@ -797,6 +958,13 @@ main(int argc, char **argv)
                      "bench_eval: %zu bitwise mismatches across "
                      "variants that must match exactly\n",
                      bitwise_failures);
+        return 1;
+    }
+    if (gate_failures != 0) {
+        std::fprintf(stderr,
+                     "bench_eval: %zu failed serving_mt gates "
+                     "(shed rate / queue depth / admitted p99)\n",
+                     gate_failures);
         return 1;
     }
     return 0;

@@ -9,6 +9,7 @@
 #include "util/numeric.h"
 #include "util/parallel.h"
 #include "util/simd.h"
+#include "util/simd_dispatch.h"
 
 namespace reason {
 namespace pc {
@@ -313,6 +314,11 @@ CircuitEvaluator::evaluateBlock(const Assignment *const *rows, size_t n_out,
     const size_t n = flat_.numNodes();
 
     const simd::Pack zero = simd::splat(0.0);
+    // Runtime-selected kernels: the widest table the host CPU can run
+    // (util/simd_dispatch.h).  Bit-identical to the compile-time
+    // backend by the simd.h contract; hoisted once per block so the
+    // per-node cost is a single indirect call.
+    const simd::KernelTable &kernels = simd::activeKernels();
 
     for (size_t i = 0; i < n; ++i) {
         double *vi = val + i * B;
@@ -345,17 +351,20 @@ CircuitEvaluator::evaluateBlock(const Assignment *const *rows, size_t n_out,
           }
           case FlatCircuit::kSum: {
             // The canonical two-pass logsumexp kernel across the 8
-            // row lanes (simd::sumLayerBlock); terms are formed from
-            // the edge log-weight and the child SoA rows on the fly.
+            // row lanes: terms (edge log-weight + child SoA row) are
+            // staged into the scratch block, then reduced by the
+            // runtime-dispatched sumLayerBlockStaged — the same
+            // staged shape simd::sumLayerBlock lowers to.
             const uint32_t lo = off[i];
             const uint32_t hi_e = off[i + 1];
-            const simd::Pack res = simd::sumLayerBlock(
-                hi_e - lo, terms, [&](size_t e) {
-                    return simd::add(
+            const size_t fanin = hi_e - lo;
+            for (size_t e = 0; e < fanin; ++e)
+                simd::store(
+                    terms + e * B,
+                    simd::add(
                         simd::splat(lw[lo + e]),
-                        simd::load(val + size_t(tgt[lo + e]) * B));
-                });
-            simd::store(vi, res);
+                        simd::load(val + size_t(tgt[lo + e]) * B)));
+            kernels.sumLayerBlockStaged(fanin, terms, vi);
             break;
           }
         }
@@ -451,6 +460,7 @@ logDerivativesInto(const FlatCircuit &flat, std::span<const double> logv,
     const uint32_t *psrc = flat.parentNode.data();
     const double *plw = flat.parentLogWeight.data();
     double *d = logd.data();
+    const simd::KernelTable &kernels = simd::activeKernels();
     // Per-node kernel, shared by both traversals below: the result
     // depends only on the (finalized) parents, not on traversal order.
     auto gatherNode = [&](uint32_t c, double *terms) {
@@ -473,7 +483,7 @@ logDerivativesInto(const FlatCircuit &flat, std::span<const double> logv,
             }
             terms[cnt++] = t;
         }
-        const double dc = simd::logSumExpMasked(terms, cnt);
+        const double dc = kernels.logSumExpMasked(terms, cnt);
         d[c] = dc;
         if (types[c] == FlatCircuit::kProduct && dc != kLogZero) {
             const ProdDerivInfo info =
@@ -550,6 +560,7 @@ FlowAccumulator::add(const Assignment &x)
         scaleScratch_.resize(stripe * workers);
         flowScratch_.resize(stripe * workers);
     }
+    const simd::KernelTable &kernels = simd::activeKernels();
     // Per-node kernel, shared by both traversals below: the result
     // depends only on the (finalized) parents, not on traversal order.
     auto gatherNode = [&](uint32_t c, double *args, double *scale,
@@ -572,7 +583,7 @@ FlowAccumulator::add(const Assignment &x)
             }
             scale[j] = fp;
         }
-        simd::expMulOrZero(args, scale, f, cnt);
+        kernels.expMulOrZero(args, scale, f, cnt);
         double fn = c == flat_.root ? 1.0 : 0.0;
         for (uint32_t j = 0; j < cnt; ++j) {
             edgeTotal_[pedge[lo + j]] += f[j];
@@ -616,12 +627,13 @@ FlowAccumulator::mergeFrom(const FlowAccumulator &other)
 {
     reasonAssert(&flat_ == &other.flat_,
                  "cannot merge flows of different lowerings");
-    simd::addInto(edgeTotal_.data(), other.edgeTotal_.data(),
-                  edgeTotal_.size());
-    simd::addInto(nodeTotal_.data(), other.nodeTotal_.data(),
-                  nodeTotal_.size());
-    simd::addInto(leafTotal_.data(), other.leafTotal_.data(),
-                  leafTotal_.size());
+    const simd::KernelTable &kernels = simd::activeKernels();
+    kernels.addInto(edgeTotal_.data(), other.edgeTotal_.data(),
+                    edgeTotal_.size());
+    kernels.addInto(nodeTotal_.data(), other.nodeTotal_.data(),
+                    nodeTotal_.size());
+    kernels.addInto(leafTotal_.data(), other.leafTotal_.data(),
+                    leafTotal_.size());
     count_ += other.count_;
 }
 

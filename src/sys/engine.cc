@@ -28,8 +28,18 @@ struct SessionState
 
 namespace {
 
-/** Distinct lowerings the dispatcher keeps warm evaluators for. */
+/** Distinct lowerings each dispatcher keeps warm evaluators for. */
 constexpr size_t kMaxCachedEvaluators = 32;
+
+QueueOptions
+queueOptionsFrom(const ServeOptions &options)
+{
+    QueueOptions q;
+    q.capacity = options.queueCapacity;
+    q.policy = options.queuePolicy;
+    q.autoLinger = options.autoLingerWindow;
+    return q;
+}
 
 } // namespace
 
@@ -96,6 +106,9 @@ Session::submitProgram(int batch_size, const double *inputs, int mode)
         return finishRejected(std::move(request), REASON_ERR_BAD_MODE);
     request->mode = ReasonMode(mode);
     request->groupKey = state_.get();
+    // Program execution mutates the session accelerator: the shard
+    // must serialize its in-flight groups across dispatchers.
+    request->exclusive = true;
     request->batchSize = batch_size;
     request->inputs.assign(inputs,
                            inputs + size_t(batch_size) *
@@ -137,20 +150,36 @@ Session::wait(const RequestHandle &handle) const
 // ---------------------------------------------------------------------------
 
 ReasonEngine::ReasonEngine(const ServeOptions &options)
-    : options_(options), evalPool_(options.serveThreads)
+    : options_(options), queue_(queueOptionsFrom(options))
 {
     if (options_.maxBatch == 0)
         options_.maxBatch = 1;
+    if (options_.dispatchers == 0)
+        options_.dispatchers = 1;
     if (options_.startPaused)
         queue_.pause();
-    dispatcher_ = std::thread(&ReasonEngine::workerLoop, this);
+    for (unsigned d = 0; d < options_.dispatchers; ++d) {
+        auto disp = std::make_unique<Dispatcher>();
+        disp->evalPool = std::make_unique<util::ThreadPool>(
+            options_.serveThreads, options_.pinThreads);
+        dispatchers_.push_back(std::move(disp));
+    }
+    for (unsigned d = 0; d < options_.dispatchers; ++d) {
+        Dispatcher *disp = dispatchers_[d].get();
+        disp->thread = std::thread([this, disp, d] {
+            if (options_.pinThreads)
+                util::pinCurrentThreadToCore(d);
+            workerLoop(*disp);
+        });
+    }
 }
 
 ReasonEngine::~ReasonEngine()
 {
     queue_.shutdown();
-    if (dispatcher_.joinable())
-        dispatcher_.join();
+    for (auto &disp : dispatchers_)
+        if (disp->thread.joinable())
+            disp->thread.join();
 }
 
 Session
@@ -204,6 +233,12 @@ ReasonEngine::stats() const
         s.meanLatencyMs =
             double(q.totalLatencyNs) / double(q.completed) * 1e-6;
     }
+    s.shedRequests = q.shedRequests;
+    s.p50LatencyMs = q.p50LatencyMs;
+    s.p99LatencyMs = q.p99LatencyMs;
+    s.ewmaInterArrivalUs = q.ewmaInterArrivalUs;
+    s.ewmaExecUs = q.ewmaExecUs;
+    s.lastLingerUs = q.lastLingerUs;
     return s;
 }
 
@@ -216,7 +251,7 @@ ReasonEngine::enqueue(const std::shared_ptr<Request> &request)
 }
 
 void
-ReasonEngine::workerLoop()
+ReasonEngine::workerLoop(Dispatcher &disp)
 {
     for (;;) {
         std::vector<std::shared_ptr<Request>> group =
@@ -224,56 +259,60 @@ ReasonEngine::workerLoop()
                             options_.maxCoalesceWindowUs);
         if (group.empty())
             return; // shutdown
-        executeGroup(group);
+        executeGroup(disp, group);
         queue_.complete(group);
     }
 }
 
 void
 ReasonEngine::executeGroup(
+    Dispatcher &disp,
     const std::vector<std::shared_ptr<Request>> &group)
 {
     if (group.front()->session->isProgram()) {
-        // Program requests share a key only within one session; they
-        // execute back to back, each exactly like a sequential
-        // REASON_execute call.
+        // Program requests share a key only within one session; their
+        // shard is exclusive (one in-flight group), so they execute
+        // back to back, each exactly like a sequential REASON_execute
+        // call — for any dispatcher count.
         for (const auto &r : group)
-            executeProgramRequest(*r);
+            executeProgramRequest(disp, *r);
         return;
     }
-    executeCircuitGroup(group);
+    executeCircuitGroup(disp, group);
 }
 
 pc::CircuitEvaluator &
-ReasonEngine::evaluatorFor(const pc::FlatCircuit &flat,
+ReasonEngine::evaluatorFor(Dispatcher &disp,
+                           const pc::FlatCircuit &flat,
                            std::shared_ptr<const pc::FlatCircuit>
                                keepAlive)
 {
-    auto it = evaluators_.find(&flat);
-    if (it == evaluators_.end()) {
+    auto it = disp.evaluators.find(&flat);
+    if (it == disp.evaluators.end()) {
         // Bounded: in-flight requests pin their lowerings through the
         // session state, so dropping a warm evaluator is always safe.
         // Evict one victim, not the whole cache — the other warm
         // evaluators stay hot.
-        if (evaluators_.size() >= kMaxCachedEvaluators)
-            evaluators_.erase(evaluators_.begin());
+        if (disp.evaluators.size() >= kMaxCachedEvaluators)
+            disp.evaluators.erase(disp.evaluators.begin());
         CachedEvaluator entry;
         entry.flat = std::move(keepAlive);
-        entry.eval =
-            std::make_unique<pc::CircuitEvaluator>(flat, &evalPool_);
-        it = evaluators_.emplace(&flat, std::move(entry)).first;
+        entry.eval = std::make_unique<pc::CircuitEvaluator>(
+            flat, disp.evalPool.get());
+        it = disp.evaluators.emplace(&flat, std::move(entry)).first;
     }
     return *it->second.eval;
 }
 
 void
 ReasonEngine::executeCircuitGroup(
+    Dispatcher &disp,
     const std::vector<std::shared_ptr<Request>> &group)
 {
     const pc::FlatCircuit &flat = *static_cast<const pc::FlatCircuit *>(
         group.front()->groupKey);
     pc::CircuitEvaluator &eval =
-        evaluatorFor(flat, group.front()->session->lowering);
+        evaluatorFor(disp, flat, group.front()->session->lowering);
 
     size_t total = 0;
     for (const auto &r : group)
@@ -283,26 +322,28 @@ ReasonEngine::executeCircuitGroup(
     // included — through the one canonical SIMD block kernel with
     // independent lanes, so each request's outputs are bit-identical
     // regardless of how it was coalesced.
-    groupRows_.resize(total);
+    disp.groupRows.resize(total);
     size_t at = 0;
     for (const auto &r : group)
         for (const pc::Assignment &x : r->rows)
-            groupRows_[at++].assign(x.begin(), x.end());
+            disp.groupRows[at++].assign(x.begin(), x.end());
 
-    groupOut_.resize(total);
-    eval.logLikelihoodBatch(groupRows_,
-                            {groupOut_.data(), groupOut_.size()});
+    disp.groupOut.resize(total);
+    eval.logLikelihoodBatch(disp.groupRows,
+                            {disp.groupOut.data(),
+                             disp.groupOut.size()});
 
     at = 0;
     for (const auto &r : group) {
-        r->outputs.assign(groupOut_.begin() + long(at),
-                          groupOut_.begin() + long(at + r->rows.size()));
+        r->outputs.assign(
+            disp.groupOut.begin() + long(at),
+            disp.groupOut.begin() + long(at + r->rows.size()));
         at += r->rows.size();
     }
 }
 
 void
-ReasonEngine::executeProgramRequest(Request &request)
+ReasonEngine::executeProgramRequest(Dispatcher &disp, Request &request)
 {
     SessionState &s = *request.session;
     const double *in = request.inputs.data();
@@ -310,13 +351,13 @@ ReasonEngine::executeProgramRequest(Request &request)
     request.outputs.resize(size_t(batch_size));
 
     uint64_t batch_cycles = 0;
-    inputRow_.resize(s.numInputs);
+    disp.inputRow.resize(s.numInputs);
     for (int b = 0; b < batch_size; ++b) {
         // Reused row buffer: batched serving must not allocate per item.
-        inputRow_.assign(in + size_t(b) * s.numInputs,
-                         in + size_t(b + 1) * s.numInputs);
+        disp.inputRow.assign(in + size_t(b) * s.numInputs,
+                             in + size_t(b + 1) * s.numInputs);
         arch::ExecutionResult r =
-            s.accel->run(s.program, inputRow_, /*preloaded=*/b > 0);
+            s.accel->run(s.program, disp.inputRow, /*preloaded=*/b > 0);
         request.outputs[size_t(b)] = r.rootValue;
         batch_cycles += r.cycles;
         if (b == batch_size - 1)

@@ -3,14 +3,16 @@
  * sys::ReasonEngine — the asynchronous batch-serving front door of the
  * runtime (the production successor of the Listing-1 polling loop).
  *
- * An engine owns a submission queue (sys::RequestQueue), one dispatcher
- * thread, and a util::ThreadPool evaluation pool.  Clients open
- * *sessions* and submit requests; the dispatcher coalesces queued
- * requests that share a coalescing key — circuit sessions are keyed by
- * their structural lowering fingerprint (pc::cachedLowering), so
- * independent sessions over structurally identical circuits share
- * batches — and executes each group as one blocked SoA evaluation on
- * pc::CircuitEvaluator.
+ * An engine owns a sharded submission queue (sys::RequestQueue) and N
+ * dispatcher threads, each with a private evaluator cache and
+ * util::ThreadPool evaluation pool.  Clients open *sessions* and
+ * submit requests; dispatchers drain per-fingerprint shards — circuit
+ * sessions are keyed by their structural lowering fingerprint
+ * (pc::cachedLowering), so independent sessions over structurally
+ * identical circuits share batches — and execute each coalesced group
+ * as one blocked SoA evaluation on pc::CircuitEvaluator.  The queue
+ * provides bounded admission with overload shedding, per-session
+ * fairness, and optional linger autotuning (see request_queue.h).
  *
  * **Determinism contract.**  Every circuit-mode row is evaluated
  * through the one canonical SIMD block kernel of
@@ -18,7 +20,8 @@
  * kernel; SoA lanes are independent), so a
  * request's outputs are bit-identical no matter how it was coalesced —
  * alone, with other requests, or split across engine instances — and
- * for any serveThreads count (the pool contract of flat_pc.h).
+ * for any serveThreads or dispatcher count and any queue policy (the
+ * pool contract of flat_pc.h; dispatchers share no evaluation state).
  * Program-mode (Listing-1) requests replay the exact per-row
  * accelerator loop of the pre-engine ReasonRuntime, so their outputs
  * are bit-identical to sequential REASON_execute.
@@ -93,6 +96,32 @@ struct ServeOptions
      * deterministic rather than arrival-timing dependent.
      */
     bool startPaused = false;
+    /**
+     * Dispatcher threads draining the sharded queue.  Each dispatcher
+     * owns a private evaluator cache and evaluation pool, so circuit
+     * shards can execute concurrently; 0 behaves as 1.  Results are
+     * bit-identical for any count.
+     */
+    unsigned dispatchers = 1;
+    /**
+     * Max requests pending in the queue; 0 = unbounded.  At capacity
+     * the engine sheds per `queuePolicy` with REASON_ERR_OVERLOAD
+     * instead of letting latency grow without bound.
+     */
+    size_t queueCapacity = 0;
+    /** What a full queue does with the overflow. */
+    QueuePolicy queuePolicy = QueuePolicy::RejectNew;
+    /**
+     * Autotune the coalesce linger window from EWMAs of request
+     * inter-arrival time and batch execution time; the configured
+     * maxCoalesceWindowUs then acts as the cap (default cap when 0).
+     */
+    bool autoLingerWindow = false;
+    /**
+     * Pin dispatcher threads and evaluation-pool workers to cores
+     * (best effort; a no-op on platforms without affinity support).
+     */
+    bool pinThreads = false;
 };
 
 /** Aggregate serving statistics (snapshot; monotone counters). */
@@ -114,6 +143,18 @@ struct EngineStats
     double meanQueueMs = 0.0;
     /** Mean enqueue-to-completion latency over completed requests (ms). */
     double meanLatencyMs = 0.0;
+    /** Requests completed with REASON_ERR_OVERLOAD. */
+    uint64_t shedRequests = 0;
+    /**
+     * Latency percentiles over executed requests, from a fixed-size
+     * reservoir sample — the same estimate bench_eval reports.
+     */
+    double p50LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
+    /** Linger-autotune telemetry (EWMAs; zero until enough traffic). */
+    double ewmaInterArrivalUs = 0.0;
+    double ewmaExecUs = 0.0;
+    double lastLingerUs = 0.0;
 };
 
 /**
@@ -235,8 +276,8 @@ class Session
 /**
  * The asynchronous serving engine.  See the file comment for the
  * execution and determinism model.  Destroying the engine fails
- * still-queued requests with REASON_ERR_SHUTDOWN, finishes the group
- * in flight, and joins the dispatcher.
+ * still-queued requests with REASON_ERR_SHUTDOWN, finishes the groups
+ * in flight, and joins every dispatcher.
  */
 class ReasonEngine
 {
@@ -275,37 +316,49 @@ class ReasonEngine
   private:
     friend class Session;
 
-    void workerLoop();
-    void executeGroup(const std::vector<std::shared_ptr<Request>> &group);
+    struct CachedEvaluator
+    {
+        std::shared_ptr<const pc::FlatCircuit> flat;
+        std::unique_ptr<pc::CircuitEvaluator> eval;
+    };
+
+    /**
+     * Per-dispatcher private state: evaluator cache, reused scratch,
+     * and the evaluation pool.  Touched only by the owning dispatcher
+     * thread, so dispatchers never share evaluation state — the basis
+     * of the bit-identity-for-any-dispatcher-count contract.
+     */
+    struct Dispatcher
+    {
+        std::unordered_map<const pc::FlatCircuit *, CachedEvaluator>
+            evaluators;
+        /** Reused group scratch (rows, outputs) — no per-batch
+         *  allocation once warm. */
+        std::vector<pc::Assignment> groupRows;
+        std::vector<double> groupOut;
+        /** Program-mode reused input row (the Listing-1 alloc hoist). */
+        std::vector<double> inputRow;
+        std::unique_ptr<util::ThreadPool> evalPool;
+        std::thread thread;
+    };
+
+    void workerLoop(Dispatcher &disp);
+    void executeGroup(Dispatcher &disp,
+                      const std::vector<std::shared_ptr<Request>> &group);
     void executeCircuitGroup(
+        Dispatcher &disp,
         const std::vector<std::shared_ptr<Request>> &group);
-    void executeProgramRequest(Request &request);
-    pc::CircuitEvaluator &evaluatorFor(const pc::FlatCircuit &flat,
+    void executeProgramRequest(Dispatcher &disp, Request &request);
+    pc::CircuitEvaluator &evaluatorFor(Dispatcher &disp,
+                                       const pc::FlatCircuit &flat,
                                        std::shared_ptr<const pc::FlatCircuit>
                                            keepAlive);
     RequestHandle enqueue(const std::shared_ptr<Request> &request);
 
     ServeOptions options_;
     RequestQueue queue_;
-    util::ThreadPool evalPool_;
     std::atomic<uint64_t> nextId_{1};
-
-    /** Dispatcher-thread-only state below. */
-    struct CachedEvaluator
-    {
-        std::shared_ptr<const pc::FlatCircuit> flat;
-        std::unique_ptr<pc::CircuitEvaluator> eval;
-    };
-    std::unordered_map<const pc::FlatCircuit *, CachedEvaluator>
-        evaluators_;
-    /** Reused group scratch (rows, outputs) — no per-batch allocation
-     *  once warm. */
-    std::vector<pc::Assignment> groupRows_;
-    std::vector<double> groupOut_;
-    /** Program-mode reused input row (the Listing-1 alloc hoist). */
-    std::vector<double> inputRow_;
-
-    std::thread dispatcher_;
+    std::vector<std::unique_ptr<Dispatcher>> dispatchers_;
 };
 
 } // namespace sys

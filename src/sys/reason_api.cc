@@ -17,6 +17,11 @@ serveOptionsFrom(const RuntimeOptions &options)
     serve.maxBatch = options.maxBatch;
     serve.maxCoalesceWindowUs = options.maxCoalesceWindowUs;
     serve.serveThreads = options.serveThreads;
+    serve.dispatchers = options.dispatchers;
+    serve.queueCapacity = options.queueCapacity;
+    serve.queuePolicy = options.queuePolicy;
+    serve.autoLingerWindow = options.autoLingerWindow;
+    serve.pinThreads = options.pinThreads;
     return serve;
 }
 

@@ -101,6 +101,20 @@ struct RuntimeOptions
     unsigned maxCoalesceWindowUs = 0;
     /** ServeOptions::serveThreads (0 = hardware concurrency). */
     unsigned serveThreads = 1;
+    /** ServeOptions::dispatchers (0 behaves as 1). */
+    unsigned dispatchers = 1;
+    /** ServeOptions::queueCapacity (0 = unbounded). */
+    size_t queueCapacity = 0;
+    /** ServeOptions::queuePolicy. */
+    QueuePolicy queuePolicy = QueuePolicy::RejectNew;
+    /** ServeOptions::autoLingerWindow. */
+    bool autoLingerWindow = false;
+    /**
+     * Pin engine dispatchers and pool workers to cores
+     * (ServeOptions::pinThreads; best effort, no-op where
+     * unsupported).
+     */
+    bool pinThreads = false;
 };
 
 /**

@@ -1,6 +1,8 @@
 #include "sys/request_queue.h"
 
+#include <algorithm>
 #include <chrono>
+#include <cmath>
 
 #include "util/logging.h"
 
@@ -18,28 +20,235 @@ nowNs()
                         .count());
 }
 
+/** EWMA smoothing factor for arrival/execution tracking. */
+constexpr double kEwmaAlpha = 0.2;
+
+/** Linger cap when autotuning is on but no explicit window is set. */
+constexpr unsigned kAutoLingerCapUs = 1000;
+
+double
+ewma(double current, double sample)
+{
+    return current <= 0.0
+               ? sample
+               : current + kEwmaAlpha * (sample - current);
+}
+
+/** Nearest-rank percentile of an already-sorted sample. */
+double
+percentileSorted(const std::vector<double> &sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double rank = std::ceil(q * double(sorted.size()));
+    const size_t idx =
+        std::min(sorted.size() - 1,
+                 size_t(std::max(rank - 1.0, 0.0)));
+    return sorted[idx];
+}
+
 } // namespace
+
+RequestQueue::RequestQueue(const QueueOptions &options)
+    : options_(options)
+{
+    reservoir_.reserve(kLatencyReservoirSize);
+}
+
+void
+RequestQueue::failLocked(const std::shared_ptr<Request> &request,
+                         int error, uint64_t now)
+{
+    request->error = error;
+    request->state = RequestState::Done;
+    if (request->enqueuedNs == 0)
+        request->enqueuedNs = now;
+    request->completedNs = now;
+    ++stats_.completed;
+    if (error == REASON_ERR_OVERLOAD)
+        ++stats_.shedRequests;
+    doneCv_.notify_all();
+}
+
+void
+RequestQueue::readyShardLocked(const ShardKey &key, Shard &shard)
+{
+    reasonAssert(!shard.inReady && !shard.inService,
+                 "readying a held shard");
+    shard.inReady = true;
+    ready_.push_back(key);
+    workCv_.notify_all();
+}
+
+void
+RequestQueue::eraseShardIfIdleLocked(ShardMap::iterator it)
+{
+    if (it == shards_.end())
+        return;
+    Shard &shard = it->second;
+    if (shard.pendingRequests == 0 && !shard.inService &&
+        !shard.inReady)
+        shards_.erase(it);
+}
+
+bool
+RequestQueue::shedOldestLocked()
+{
+    // The age deque is an admission-ordered *view*; entries whose
+    // request already left the queue (dispatched or shed) are pruned
+    // here instead of eagerly at pop time.
+    while (!age_.empty() &&
+           age_.front()->state != RequestState::Queued)
+        age_.pop_front();
+    if (age_.empty())
+        return false;
+    std::shared_ptr<Request> victim = age_.front();
+    age_.pop_front();
+
+    auto sit = shards_.find(ShardKey{victim->groupKey, victim->mode});
+    reasonAssert(sit != shards_.end(), "shed victim has no shard");
+    Shard &shard = sit->second;
+    bool removed = false;
+    for (size_t li = 0; li < shard.lanes.size(); ++li) {
+        Lane &lane = shard.lanes[li];
+        if (lane.session != victim->session.get())
+            continue;
+        // The globally oldest queued request is necessarily the head
+        // of its lane (lanes are FIFO in admission order).
+        reasonAssert(lane.queue.front().get() == victim.get(),
+                     "shed victim not at lane head");
+        lane.queue.pop_front();
+        if (lane.queue.empty()) {
+            shard.lanes.erase(shard.lanes.begin() +
+                              std::ptrdiff_t(li));
+            if (shard.cursor > li)
+                --shard.cursor;
+        }
+        removed = true;
+        break;
+    }
+    reasonAssert(removed, "shed victim has no lane");
+    --shard.pendingRequests;
+    --totalPending_;
+    failLocked(victim, REASON_ERR_OVERLOAD, nowNs());
+    return true;
+}
 
 void
 RequestQueue::push(const std::shared_ptr<Request> &request)
 {
     reasonAssert(request != nullptr, "null request");
     std::lock_guard<std::mutex> lock(mutex_);
-    request->enqueuedNs = nowNs();
+    const uint64_t now = nowNs();
+    request->enqueuedNs = now;
     if (shutdown_) {
-        request->error = REASON_ERR_SHUTDOWN;
-        request->state = RequestState::Done;
-        request->completedNs = request->enqueuedNs;
-        ++stats_.completed;
-        doneCv_.notify_all();
+        failLocked(request, REASON_ERR_SHUTDOWN, now);
         return;
     }
-    pending_.push_back(request);
+    if (options_.capacity > 0 &&
+        totalPending_ >= options_.capacity) {
+        // Shed before admitting so the pending count never exceeds
+        // capacity; fall back to rejection if nothing is sheddable.
+        if (options_.policy == QueuePolicy::RejectNew ||
+            !shedOldestLocked()) {
+            failLocked(request, REASON_ERR_OVERLOAD, now);
+            return;
+        }
+    }
+
+    if (lastArrivalNs_ != 0)
+        ewmaInterArrivalNs_ =
+            ewma(ewmaInterArrivalNs_, double(now - lastArrivalNs_));
+    lastArrivalNs_ = now;
+
+    const ShardKey key{request->groupKey, request->mode};
+    Shard &shard = shards_[key];
+    if (request->exclusive)
+        shard.exclusive = true;
+    Lane *lane = nullptr;
+    for (Lane &l : shard.lanes)
+        if (l.session == request->session.get()) {
+            lane = &l;
+            break;
+        }
+    if (lane == nullptr) {
+        shard.lanes.push_back(Lane{request->session.get(), {}});
+        lane = &shard.lanes.back();
+    }
+    lane->queue.push_back(request);
+    ++shard.pendingRequests;
+    ++totalPending_;
+    if (options_.capacity > 0 &&
+        options_.policy == QueuePolicy::ShedOldest)
+        age_.push_back(request);
+
     stats_.requests += 1;
     stats_.rows += request->numRows();
     stats_.maxQueueDepth =
-        std::max<uint64_t>(stats_.maxQueueDepth, pending_.size());
+        std::max<uint64_t>(stats_.maxQueueDepth, totalPending_);
+
+    if (!shard.inService && !shard.inReady)
+        readyShardLocked(key, shard);
+    // Wake lingering pops of this shard too (they hold it inService
+    // and gather on every wakeup).
     workCv_.notify_all();
+}
+
+void
+RequestQueue::gatherLocked(Shard &shard,
+                           std::vector<std::shared_ptr<Request>> &group,
+                           size_t &rowCount, size_t maxRows)
+{
+    while (shard.pendingRequests > 0 && !shard.lanes.empty()) {
+        if (shard.cursor >= shard.lanes.size())
+            shard.cursor = 0;
+        Lane &lane = shard.lanes[shard.cursor];
+        std::shared_ptr<Request> head = lane.queue.front();
+        // The first request always rides (oversized explicit batches
+        // still run); afterwards stop at the row budget.
+        if (!group.empty() &&
+            rowCount + head->numRows() > maxRows)
+            break;
+        rowCount += head->numRows();
+        group.push_back(std::move(head));
+        lane.queue.pop_front();
+        --shard.pendingRequests;
+        --totalPending_;
+        if (lane.queue.empty())
+            // Erasing shifts the next lane into cursor's slot, which
+            // is exactly the round-robin successor.
+            shard.lanes.erase(shard.lanes.begin() +
+                              std::ptrdiff_t(shard.cursor));
+        else
+            ++shard.cursor;
+        if (rowCount >= maxRows)
+            break;
+    }
+}
+
+unsigned
+RequestQueue::effectiveLingerLocked(size_t rowCount, size_t maxRows,
+                                    unsigned lingerUs)
+{
+    unsigned effective = lingerUs;
+    if (options_.autoLinger) {
+        const unsigned capUs =
+            lingerUs > 0 ? lingerUs : kAutoLingerCapUs;
+        effective = 0;
+        if (ewmaInterArrivalNs_ > 0.0 && ewmaExecNs_ > 0.0 &&
+            rowCount < maxRows) {
+            // Expected time for arrivals to fill the remaining batch
+            // slots; linger only while that wait is small next to the
+            // batch execution it would amortize.
+            const double fill_ns =
+                ewmaInterArrivalNs_ * double(maxRows - rowCount);
+            if (fill_ns < ewmaExecNs_)
+                effective = unsigned(std::min(
+                    fill_ns / 1000.0, double(capUs)));
+        }
+    }
+    lastLingerUs_ = double(effective);
+    return effective;
 }
 
 std::vector<std::shared_ptr<Request>>
@@ -48,62 +257,96 @@ RequestQueue::popGroup(size_t maxRows, unsigned lingerUs)
     if (maxRows == 0)
         maxRows = 1;
     std::unique_lock<std::mutex> lock(mutex_);
-    workCv_.wait(lock, [&] {
-        return shutdown_ || (!paused_ && !pending_.empty());
-    });
-    if (pending_.empty())
-        return {}; // shutdown: dispatcher exit signal
+    for (;;) {
+        workCv_.wait(lock, [&] {
+            return shutdown_ || (!paused_ && !ready_.empty());
+        });
+        if (ready_.empty())
+            return {}; // shutdown: dispatcher exit signal
 
-    std::vector<std::shared_ptr<Request>> group;
-    group.push_back(pending_.front());
-    pending_.pop_front();
-    const void *key = group.front()->groupKey;
-    const ReasonMode mode = group.front()->mode;
-    size_t rowCount = group.front()->numRows();
+        const ShardKey key = ready_.front();
+        ready_.pop_front();
+        auto sit = shards_.find(key);
+        reasonAssert(sit != shards_.end(), "ready shard missing");
+        Shard &shard = sit->second;
+        shard.inReady = false;
+        shard.inService = true;
 
-    auto gatherMatches = [&] {
-        for (auto it = pending_.begin();
-             it != pending_.end() && rowCount < maxRows;) {
-            Request &r = **it;
-            if (r.groupKey == key && r.mode == mode &&
-                rowCount + r.numRows() <= maxRows) {
-                rowCount += r.numRows();
-                group.push_back(*it);
-                it = pending_.erase(it);
-            } else {
-                ++it;
+        std::vector<std::shared_ptr<Request>> group;
+        size_t rowCount = 0;
+        gatherLocked(shard, group, rowCount, maxRows);
+        if (group.empty()) {
+            // Shedding emptied the shard after it was readied.
+            shard.inService = false;
+            eraseShardIfIdleLocked(sit);
+            continue;
+        }
+
+        const unsigned effLinger =
+            effectiveLingerLocked(rowCount, maxRows, lingerUs);
+        if (effLinger > 0 && rowCount < maxRows && !shutdown_ &&
+            !paused_) {
+            // Linger for matching late arrivals.  Spurious wakeups
+            // only re-run the gather; the deadline bounds the added
+            // latency.  A pause() ends the linger without gathering
+            // further — work submitted during a pause must stay held
+            // for the resume.  The shard stays inService, so no other
+            // dispatcher can race this pop for its lanes.
+            const auto deadline =
+                std::chrono::steady_clock::now() +
+                std::chrono::microseconds(effLinger);
+            while (rowCount < maxRows && !shutdown_ && !paused_) {
+                const bool timed_out =
+                    workCv_.wait_until(lock, deadline) ==
+                    std::cv_status::timeout;
+                if (!paused_ && !shutdown_)
+                    gatherLocked(shard, group, rowCount, maxRows);
+                if (timed_out)
+                    break;
             }
         }
-    };
-    gatherMatches();
 
-    if (lingerUs > 0 && rowCount < maxRows && !shutdown_ &&
-        !paused_) {
-        // Linger for matching late arrivals.  Spurious wakeups only
-        // re-run the gather; the deadline bounds the added latency.
-        // A pause() ends the linger without gathering further — work
-        // submitted during a pause must stay held for the resume.
-        const auto deadline = std::chrono::steady_clock::now() +
-                              std::chrono::microseconds(lingerUs);
-        while (rowCount < maxRows && !shutdown_ && !paused_) {
-            const bool timed_out =
-                workCv_.wait_until(lock, deadline) ==
-                std::cv_status::timeout;
-            if (!paused_)
-                gatherMatches();
-            if (timed_out)
-                break;
+        // Release the shard for concurrent pops; exclusive shards stay
+        // held until complete() so stateful program execution is
+        // serialized.  Re-readying goes behind other ready shards —
+        // that is the cross-fingerprint fairness.  (`shard` stayed
+        // valid across the linger waits: map references survive
+        // rehashes, and only the inService holder may erase a shard —
+        // but `sit` may not have, so re-find before erasing.)
+        if (!shard.exclusive) {
+            shard.inService = false;
+            if (shard.pendingRequests > 0)
+                readyShardLocked(key, shard);
+            else
+                eraseShardIfIdleLocked(shards_.find(key));
         }
-    }
 
-    const uint64_t started = nowNs();
-    for (const auto &r : group) {
-        r->state = RequestState::Running;
-        r->startedNs = started;
+        const uint64_t started = nowNs();
+        for (const auto &r : group) {
+            r->state = RequestState::Running;
+            r->startedNs = started;
+        }
+        stats_.batches += 1;
+        stats_.batchedRows += rowCount;
+        return group;
     }
-    stats_.batches += 1;
-    stats_.batchedRows += rowCount;
-    return group;
+}
+
+void
+RequestQueue::recordLatencyLocked(double latencyMs)
+{
+    ++reservoirSeen_;
+    if (reservoir_.size() < kLatencyReservoirSize) {
+        reservoir_.push_back(latencyMs);
+        return;
+    }
+    // Algorithm R with a deterministic LCG: each of the `seen` samples
+    // ends up in the reservoir with equal probability.
+    reservoirLcg_ = reservoirLcg_ * 6364136223846793005ull +
+                    1442695040888963407ull;
+    const uint64_t slot = reservoirLcg_ % reservoirSeen_;
+    if (slot < kLatencyReservoirSize)
+        reservoir_[size_t(slot)] = latencyMs;
 }
 
 void
@@ -117,6 +360,23 @@ RequestQueue::complete(const std::vector<std::shared_ptr<Request>> &group)
         stats_.totalQueueNs += r->startedNs - r->enqueuedNs;
         stats_.totalLatencyNs += done - r->enqueuedNs;
         ++stats_.completed;
+        recordLatencyLocked(double(done - r->enqueuedNs) / 1e6);
+    }
+    if (!group.empty() && group.front()->startedNs > 0)
+        ewmaExecNs_ = ewma(ewmaExecNs_,
+                           double(done - group.front()->startedNs));
+    if (!group.empty() && group.front()->exclusive && !shutdown_) {
+        // Re-open the exclusive shard for its next group.
+        auto sit = shards_.find(ShardKey{group.front()->groupKey,
+                                         group.front()->mode});
+        if (sit != shards_.end()) {
+            Shard &shard = sit->second;
+            shard.inService = false;
+            if (shard.pendingRequests > 0)
+                readyShardLocked(sit->first, shard);
+            else
+                eraseShardIfIdleLocked(sit);
+        }
     }
     doneCv_.notify_all();
 }
@@ -142,15 +402,27 @@ RequestQueue::shutdown()
     std::lock_guard<std::mutex> lock(mutex_);
     shutdown_ = true;
     const uint64_t done = nowNs();
-    for (const auto &r : pending_) {
-        r->error = REASON_ERR_SHUTDOWN;
-        r->state = RequestState::Done;
-        r->completedNs = done;
-        stats_.totalQueueNs += done - r->enqueuedNs;
-        stats_.totalLatencyNs += done - r->enqueuedNs;
-        ++stats_.completed;
+    // Fail queued work but keep the shard entries themselves: a
+    // dispatcher lingering inside popGroup holds a reference into the
+    // map across its timed wait, so entries must stay stable here.
+    for (auto &entry : shards_) {
+        Shard &shard = entry.second;
+        for (Lane &lane : shard.lanes)
+            for (const auto &r : lane.queue) {
+                r->error = REASON_ERR_SHUTDOWN;
+                r->state = RequestState::Done;
+                r->completedNs = done;
+                stats_.totalQueueNs += done - r->enqueuedNs;
+                stats_.totalLatencyNs += done - r->enqueuedNs;
+                ++stats_.completed;
+            }
+        shard.lanes.clear();
+        shard.pendingRequests = 0;
+        shard.inReady = false;
     }
-    pending_.clear();
+    ready_.clear();
+    age_.clear();
+    totalPending_ = 0;
     workCv_.notify_all();
     doneCv_.notify_all();
 }
@@ -160,8 +432,8 @@ RequestQueue::pause()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     paused_ = true;
-    // Wake a lingering popGroup so it dispatches what it already
-    // gathered instead of sleeping out its window.
+    // Wake lingering pops so they dispatch what they already gathered
+    // instead of sleeping out their window.
     workCv_.notify_all();
 }
 
@@ -177,7 +449,17 @@ QueueStats
 RequestQueue::stats() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    QueueStats out = stats_;
+    out.ewmaInterArrivalUs = ewmaInterArrivalNs_ / 1000.0;
+    out.ewmaExecUs = ewmaExecNs_ / 1000.0;
+    out.lastLingerUs = lastLingerUs_;
+    if (!reservoir_.empty()) {
+        std::vector<double> sorted = reservoir_;
+        std::sort(sorted.begin(), sorted.end());
+        out.p50LatencyMs = percentileSorted(sorted, 0.50);
+        out.p99LatencyMs = percentileSorted(sorted, 0.99);
+    }
+    return out;
 }
 
 } // namespace sys

@@ -5,11 +5,37 @@
  * with the Listing-1 compatibility shim, and the coalescing pop that
  * turns independent queued requests into one batched evaluation.
  *
- * The queue is the synchronization hub of the engine: clients push
- * requests and block on completion, the dispatcher pops *groups* of
- * requests that share a coalescing key (circuit lowering fingerprint +
- * reasoning mode), and every state transition happens under one mutex
- * so poll/wait observe a consistent lifecycle.
+ * The queue is the synchronization hub of the engine.  Requests are
+ * sharded by their coalescing key (circuit lowering fingerprint +
+ * reasoning mode), each shard holds one FIFO lane per submitting
+ * session, and any number of dispatcher threads pop coalesced groups:
+ *
+ *  - **Per-fingerprint shards.**  A popped group always comes from one
+ *    shard, so a batch never mixes lowerings or modes.  Ready shards
+ *    are served oldest-first, and a shard with remaining work is
+ *    re-readied behind the others, so no fingerprint monopolizes the
+ *    dispatchers.
+ *  - **Session-fair lanes.**  Within a shard the gather round-robins
+ *    across session lanes, so a tenant flooding one session cannot
+ *    starve light tenants sharing the fingerprint: every lane
+ *    contributes to every batch it has work for.
+ *  - **Bounded admission.**  With a nonzero capacity the queue holds at
+ *    most `capacity` pending requests.  Overload either rejects the new
+ *    request or sheds the globally oldest queued one (QueuePolicy),
+ *    completing the victim with REASON_ERR_OVERLOAD — clients always
+ *    get an answer, the queue never grows without bound.
+ *  - **Exclusive shards.**  Program (Listing-1) requests mutate their
+ *    session's accelerator state, so their shards admit one in-flight
+ *    group at a time; circuit shards are stateless and may be drained
+ *    by several dispatchers concurrently.
+ *  - **Linger autotuning.**  The queue tracks EWMAs of request
+ *    inter-arrival time and batch execution time; when enabled, the
+ *    coalesce linger window is derived from them (wait only while the
+ *    expected fill time is cheap next to the execution it amortizes).
+ *
+ * Every state transition happens under one mutex so poll/wait observe
+ * a consistent lifecycle, and shedding/fairness decisions are atomic
+ * with respect to submission.
  */
 
 #ifndef REASON_SYS_REQUEST_QUEUE_H
@@ -20,6 +46,8 @@
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "arch/accelerator.h"
@@ -61,7 +89,40 @@ enum ReasonError : int
     /** Submission kind does not match the session kind (or no session). */
     REASON_ERR_WRONG_SESSION = -6,
     /** Engine shut down before the request could execute. */
-    REASON_ERR_SHUTDOWN = -7
+    REASON_ERR_SHUTDOWN = -7,
+    /**
+     * Bounded queue at capacity: this submission was rejected
+     * (QueuePolicy::RejectNew) or a queued request was shed to admit a
+     * newer one (QueuePolicy::ShedOldest).
+     */
+    REASON_ERR_OVERLOAD = -8
+};
+
+/** What a full bounded queue does with the overflow. */
+enum class QueuePolicy : uint8_t
+{
+    /** Complete the *new* submission with REASON_ERR_OVERLOAD. */
+    RejectNew = 0,
+    /**
+     * Admit the new submission and complete the globally *oldest*
+     * still-queued request with REASON_ERR_OVERLOAD instead (fresh
+     * work is worth more than stale work under overload).
+     */
+    ShedOldest = 1
+};
+
+/** Admission-control and autotuning knobs of the queue. */
+struct QueueOptions
+{
+    /** Max pending requests; 0 = unbounded (no shedding). */
+    size_t capacity = 0;
+    QueuePolicy policy = QueuePolicy::RejectNew;
+    /**
+     * Derive the coalesce linger window from the arrival/execution
+     * EWMAs instead of using the configured window verbatim (the
+     * configured window then acts as the upper cap).
+     */
+    bool autoLinger = false;
 };
 
 /** Lifecycle of a request inside the engine. */
@@ -69,7 +130,7 @@ enum class RequestState : uint8_t
 {
     /** Waiting in the submission queue. */
     Queued,
-    /** Popped by the dispatcher, evaluation in flight. */
+    /** Popped by a dispatcher, evaluation in flight. */
     Running,
     /** Finished: outputs (or error) are final, waiters are released. */
     Done
@@ -91,14 +152,20 @@ struct Request
 {
     uint64_t id = 0;
     /**
-     * Coalescing key: requests with the same key (and mode) may share
-     * one batched evaluation.  Circuit sessions use the cached lowering
-     * pointer (structural fingerprint identity via pc::cachedLowering);
+     * Coalescing and sharding key: requests with the same key (and
+     * mode) may share one batched evaluation and live in one dispatch
+     * shard.  Circuit sessions use the cached lowering pointer
+     * (structural fingerprint identity via pc::cachedLowering);
      * program sessions use their private session state, so Listing-1
      * batches never coalesce across sessions.
      */
     const void *groupKey = nullptr;
     ReasonMode mode = REASON_MODE_PROBABILISTIC;
+    /**
+     * Stateful execution: the shard admits one in-flight group at a
+     * time (program sessions mutate accelerator state).
+     */
+    bool exclusive = false;
     /** Owning session; keeps the lowering / accelerator alive. */
     std::shared_ptr<SessionState> session;
 
@@ -135,22 +202,34 @@ struct Request
 /** Counters accumulated by the queue since engine construction. */
 struct QueueStats
 {
-    /** Requests enqueued (excludes submissions rejected at validation). */
+    /** Requests admitted (excludes validation and RejectNew rejects). */
     uint64_t requests = 0;
-    /** Rows across enqueued requests. */
+    /** Rows across admitted requests. */
     uint64_t rows = 0;
-    /** Coalesced groups handed to the dispatcher. */
+    /** Coalesced groups handed to dispatchers. */
     uint64_t batches = 0;
     /** Rows across those groups (batchedRows / batches = occupancy). */
     uint64_t batchedRows = 0;
-    /** Deepest pending-queue depth observed at enqueue time. */
+    /** Deepest pending-request count observed at admission time. */
     uint64_t maxQueueDepth = 0;
-    /** Sum of enqueue-to-start times over completed requests. */
+    /** Sum of enqueue-to-start times over executed requests. */
     uint64_t totalQueueNs = 0;
-    /** Sum of enqueue-to-completion times over completed requests. */
+    /** Sum of enqueue-to-completion times over executed requests. */
     uint64_t totalLatencyNs = 0;
-    /** Requests completed (including shutdown failures). */
+    /** Requests completed (including shutdown/overload failures). */
     uint64_t completed = 0;
+    /** Requests completed with REASON_ERR_OVERLOAD (both policies). */
+    uint64_t shedRequests = 0;
+
+    /** Latency percentiles over executed requests (reservoir sample). */
+    double p50LatencyMs = 0.0;
+    double p99LatencyMs = 0.0;
+
+    /** Autotuning state snapshot (zero until enough traffic). */
+    double ewmaInterArrivalUs = 0.0;
+    double ewmaExecUs = 0.0;
+    /** Most recent effective linger window a pop used. */
+    double lastLingerUs = 0.0;
 
     /** Mean rows per coalesced batch (the occupancy statistic). */
     double
@@ -161,40 +240,51 @@ struct QueueStats
     }
 };
 
+/** Latency samples kept for the p50/p99 estimate (Algorithm R). */
+inline constexpr size_t kLatencyReservoirSize = 2048;
+
 /**
- * Thread-safe submission queue with cross-request coalescing.
+ * Thread-safe sharded submission queue with cross-request coalescing,
+ * bounded admission, and session-fair scheduling (see file comment for
+ * the full topology).
  *
- * Clients push requests and wait on completion; one dispatcher pops
- * coalesced groups.  popGroup takes the FIFO head, then scans the
- * remaining queue for requests with the same (groupKey, mode) until
- * `maxRows` rows are gathered — requests with other keys keep their
- * relative order and are simply skipped.  When the group is still
- * short of maxRows and `lingerUs` is nonzero, the pop lingers up to
- * that long for matching late arrivals before dispatching.
+ * Clients push requests and wait on completion; any number of
+ * dispatchers pop coalesced groups concurrently.  popGroup picks the
+ * oldest ready shard, gathers up to `maxRows` rows round-robin across
+ * its session lanes, and optionally lingers for late arrivals before
+ * dispatching.  The first gathered request is always admitted even if
+ * it alone exceeds maxRows (oversized explicit batches still run).
  */
 class RequestQueue
 {
   public:
-    RequestQueue() = default;
+    explicit RequestQueue(const QueueOptions &options = {});
     RequestQueue(const RequestQueue &) = delete;
     RequestQueue &operator=(const RequestQueue &) = delete;
 
     /**
      * Enqueue a request (state must be Queued).  After shutdown() the
-     * request is immediately completed with REASON_ERR_SHUTDOWN.
+     * request is immediately completed with REASON_ERR_SHUTDOWN; at
+     * capacity it is rejected — or an older request shed — with
+     * REASON_ERR_OVERLOAD per the configured policy.  Never blocks.
      */
     void push(const std::shared_ptr<Request> &request);
 
     /**
      * Block until work is available (or shutdown), then pop one
      * coalesced group and mark it Running.  Returns an empty vector
-     * only at shutdown with an empty queue — the dispatcher's exit
-     * signal.  Single-dispatcher use only.
+     * only at shutdown — the dispatcher's exit signal.  Safe to call
+     * from any number of dispatcher threads; concurrent pops always
+     * receive disjoint groups.
      */
     std::vector<std::shared_ptr<Request>> popGroup(size_t maxRows,
                                                    unsigned lingerUs);
 
-    /** Mark an executed group Done and release its waiters. */
+    /**
+     * Mark an executed group Done and release its waiters.  For
+     * exclusive shards this also re-opens the shard for the next
+     * group.
+     */
     void complete(const std::vector<std::shared_ptr<Request>> &group);
 
     /** True once the request has completed (never blocks). */
@@ -205,7 +295,7 @@ class RequestQueue
 
     /**
      * Stop dispatching: pending requests are completed with
-     * REASON_ERR_SHUTDOWN, waiters and the dispatcher are woken.
+     * REASON_ERR_SHUTDOWN, waiters and dispatchers are woken.
      * A group already popped may still be complete()d normally.
      */
     void shutdown();
@@ -218,15 +308,88 @@ class RequestQueue
     QueueStats stats() const;
 
   private:
+    /** One session's FIFO of queued requests within a shard. */
+    struct Lane
+    {
+        const void *session = nullptr;
+        std::deque<std::shared_ptr<Request>> queue;
+    };
+
+    /** All queued work sharing one (groupKey, mode) coalescing key. */
+    struct Shard
+    {
+        std::vector<Lane> lanes;
+        /** Next lane index the gather serves (round-robin). */
+        size_t cursor = 0;
+        /** Queued requests across all lanes. */
+        size_t pendingRequests = 0;
+        /** Program shard: one in-flight group at a time. */
+        bool exclusive = false;
+        /** A dispatcher holds this shard (gather/linger/exclusive). */
+        bool inService = false;
+        /** Shard is queued in ready_. */
+        bool inReady = false;
+    };
+
+    using ShardKey = std::pair<const void *, int>;
+    struct ShardKeyHash
+    {
+        size_t operator()(const ShardKey &k) const
+        {
+            return std::hash<const void *>()(k.first) ^
+                   (std::hash<int>()(k.second) * 0x9e3779b97f4a7c15ull);
+        }
+    };
+    using ShardMap = std::unordered_map<ShardKey, Shard, ShardKeyHash>;
+
+    void readyShardLocked(const ShardKey &key, Shard &shard);
+    void eraseShardIfIdleLocked(ShardMap::iterator it);
+    /** Gather up to maxRows into group, round-robin over lanes. */
+    void gatherLocked(Shard &shard,
+                      std::vector<std::shared_ptr<Request>> &group,
+                      size_t &rowCount, size_t maxRows);
+    /** Drop the globally oldest queued request (ShedOldest). */
+    bool shedOldestLocked();
+    /** Complete a request that never ran (overload/shutdown). */
+    void failLocked(const std::shared_ptr<Request> &request, int error,
+                    uint64_t now);
+    /** Effective linger window for a pop that gathered rowCount rows. */
+    unsigned effectiveLingerLocked(size_t rowCount, size_t maxRows,
+                                   unsigned lingerUs);
+    void recordLatencyLocked(double latencyMs);
+
+    QueueOptions options_;
     mutable std::mutex mutex_;
-    /** Wakes the dispatcher: new work, resume, shutdown. */
+    /** Wakes dispatchers: new work, re-readied shard, resume, shutdown. */
     std::condition_variable workCv_;
     /** Wakes client waiters: request completion, shutdown. */
     mutable std::condition_variable doneCv_;
-    std::deque<std::shared_ptr<Request>> pending_;
+
+    ShardMap shards_;
+    /** Shards with queued work and no holder, oldest readied first. */
+    std::deque<ShardKey> ready_;
+    /**
+     * Admission-ordered view of queued requests, kept only under
+     * QueuePolicy::ShedOldest; completed entries are pruned lazily.
+     */
+    std::deque<std::shared_ptr<Request>> age_;
+    /** Queued requests across all shards. */
+    size_t totalPending_ = 0;
     bool shutdown_ = false;
     bool paused_ = false;
+
     QueueStats stats_;
+
+    /** EWMA state for linger autotuning (nanoseconds). */
+    uint64_t lastArrivalNs_ = 0;
+    double ewmaInterArrivalNs_ = 0.0;
+    double ewmaExecNs_ = 0.0;
+    double lastLingerUs_ = 0.0;
+
+    /** Fixed-size latency reservoir (Algorithm R, LCG replacement). */
+    std::vector<double> reservoir_;
+    uint64_t reservoirSeen_ = 0;
+    uint64_t reservoirLcg_ = 0x9e3779b97f4a7c15ull;
 };
 
 } // namespace sys

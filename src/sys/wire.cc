@@ -1,0 +1,261 @@
+#include "sys/wire.h"
+
+#include <bit>
+#include <cstring>
+
+namespace reason {
+namespace sys {
+namespace wire {
+
+namespace {
+
+void
+putU8(std::vector<uint8_t> &out, uint8_t v)
+{
+    out.push_back(v);
+}
+
+void
+putU32(std::vector<uint8_t> &out, uint32_t v)
+{
+    out.push_back(uint8_t(v));
+    out.push_back(uint8_t(v >> 8));
+    out.push_back(uint8_t(v >> 16));
+    out.push_back(uint8_t(v >> 24));
+}
+
+void
+putU64(std::vector<uint8_t> &out, uint64_t v)
+{
+    putU32(out, uint32_t(v));
+    putU32(out, uint32_t(v >> 32));
+}
+
+uint32_t
+getU32(const uint8_t *p)
+{
+    return uint32_t(p[0]) | uint32_t(p[1]) << 8 | uint32_t(p[2]) << 16 |
+           uint32_t(p[3]) << 24;
+}
+
+uint64_t
+getU64(const uint8_t *p)
+{
+    return uint64_t(getU32(p)) | uint64_t(getU32(p + 4)) << 32;
+}
+
+/**
+ * Patch the length prefix once the frame body is known: frames are
+ * encoded body-first into `out` with a 4-byte hole at `len_at`.
+ */
+void
+patchLength(std::vector<uint8_t> &out, size_t len_at)
+{
+    const size_t body = out.size() - (len_at + 4);
+    out[len_at + 0] = uint8_t(body);
+    out[len_at + 1] = uint8_t(body >> 8);
+    out[len_at + 2] = uint8_t(body >> 16);
+    out[len_at + 3] = uint8_t(body >> 24);
+}
+
+size_t
+beginFrame(std::vector<uint8_t> &out, FrameType type)
+{
+    const size_t len_at = out.size();
+    putU32(out, 0); // patched by patchLength
+    putU8(out, uint8_t(type));
+    return len_at;
+}
+
+/** Bounded little-endian reader over one frame's payload. */
+struct Reader
+{
+    const uint8_t *p;
+    size_t left;
+
+    bool
+    u32(uint32_t *out)
+    {
+        if (left < 4)
+            return false;
+        *out = getU32(p);
+        p += 4;
+        left -= 4;
+        return true;
+    }
+
+    bool
+    u64(uint64_t *out)
+    {
+        if (left < 8)
+            return false;
+        *out = getU64(p);
+        p += 8;
+        left -= 8;
+        return true;
+    }
+};
+
+} // namespace
+
+void
+appendHello(std::vector<uint8_t> &out, uint32_t version)
+{
+    const size_t at = beginFrame(out, FrameType::Hello);
+    putU32(out, version);
+    patchLength(out, at);
+}
+
+void
+appendHelloAck(std::vector<uint8_t> &out, uint32_t version)
+{
+    const size_t at = beginFrame(out, FrameType::HelloAck);
+    putU32(out, version);
+    patchLength(out, at);
+}
+
+void
+appendSubmit(std::vector<uint8_t> &out, const SubmitFrame &frame)
+{
+    const size_t at = beginFrame(out, FrameType::Submit);
+    putU64(out, frame.id);
+    putU32(out, uint32_t(frame.rows.size()));
+    putU32(out, frame.numVars);
+    for (const auto &row : frame.rows)
+        for (uint32_t v : row)
+            putU32(out, v);
+    patchLength(out, at);
+}
+
+void
+appendResult(std::vector<uint8_t> &out, const ResultFrame &frame)
+{
+    const size_t at = beginFrame(out, FrameType::Result);
+    putU64(out, frame.id);
+    putU32(out, uint32_t(frame.error));
+    putU32(out, uint32_t(frame.values.size()));
+    for (double v : frame.values)
+        putU64(out, std::bit_cast<uint64_t>(v));
+    patchLength(out, at);
+}
+
+void
+FrameDecoder::feed(const uint8_t *data, size_t n)
+{
+    // Compact the consumed prefix before growing, so a long-lived
+    // connection does not accumulate every byte it ever received.
+    if (pos_ > 0 && (pos_ == buf_.size() || pos_ >= 4096)) {
+        buf_.erase(buf_.begin(), buf_.begin() + long(pos_));
+        pos_ = 0;
+    }
+    buf_.insert(buf_.end(), data, data + n);
+}
+
+FrameDecoder::Status
+FrameDecoder::next(Frame *out)
+{
+    if (poisoned_)
+        return Status::Malformed;
+    const size_t avail = buf_.size() - pos_;
+    if (avail < 4)
+        return Status::NeedMore;
+    const uint8_t *base = buf_.data() + pos_;
+    const uint32_t length = getU32(base);
+    if (length < 1 || length > kMaxFrameBytes) {
+        poisoned_ = true;
+        return Status::Malformed;
+    }
+    if (avail < 4 + size_t(length))
+        return Status::NeedMore;
+
+    const uint8_t type = base[4];
+    Reader r{base + 5, size_t(length) - 1};
+    bool ok = false;
+    switch (type) {
+      case uint8_t(FrameType::Hello):
+      case uint8_t(FrameType::HelloAck): {
+        out->type = FrameType(type);
+        ok = r.u32(&out->helloVersion) && r.left == 0;
+        break;
+      }
+      case uint8_t(FrameType::Submit): {
+        out->type = FrameType::Submit;
+        SubmitFrame &s = out->submit;
+        s.rows.clear();
+        uint32_t num_rows = 0;
+        ok = r.u64(&s.id) && r.u32(&num_rows) && r.u32(&s.numVars);
+        // The row payload must match the declared shape exactly; the
+        // size_t products cannot overflow (both factors fit 32 bits).
+        ok = ok &&
+             r.left == size_t(num_rows) * size_t(s.numVars) * 4;
+        if (ok) {
+            s.rows.resize(num_rows);
+            for (auto &row : s.rows) {
+                row.resize(s.numVars);
+                for (auto &v : row)
+                    r.u32(&v);
+            }
+        }
+        break;
+      }
+      case uint8_t(FrameType::Result): {
+        out->type = FrameType::Result;
+        ResultFrame &res = out->result;
+        res.values.clear();
+        uint32_t err = 0;
+        uint32_t num_rows = 0;
+        ok = r.u64(&res.id) && r.u32(&err) && r.u32(&num_rows);
+        res.error = int32_t(err);
+        ok = ok && r.left == size_t(num_rows) * 8;
+        if (ok) {
+            res.values.resize(num_rows);
+            for (auto &v : res.values) {
+                uint64_t bits = 0;
+                r.u64(&bits);
+                v = std::bit_cast<double>(bits);
+            }
+        }
+        break;
+      }
+      default:
+        break; // unknown type
+    }
+    if (!ok) {
+        poisoned_ = true;
+        return Status::Malformed;
+    }
+    pos_ += 4 + size_t(length);
+    return Status::Ok;
+}
+
+uint64_t
+fnv1a(const void *data, size_t n, uint64_t seed)
+{
+    uint64_t h = seed ? seed : 14695981039346656037ull;
+    const uint8_t *p = static_cast<const uint8_t *>(data);
+    for (size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+uint64_t
+checksumValues(const double *values, size_t n, uint64_t seed)
+{
+    uint64_t h = seed ? seed : 14695981039346656037ull;
+    for (size_t i = 0; i < n; ++i) {
+        const uint64_t bits = std::bit_cast<uint64_t>(values[i]);
+        // Fold the little-endian byte order explicitly, so the
+        // checksum matches across hosts (and the wire encoding).
+        for (size_t b = 0; b < 8; ++b) {
+            h ^= uint8_t(bits >> (8 * b));
+            h *= 1099511628211ull;
+        }
+    }
+    return h;
+}
+
+} // namespace wire
+} // namespace sys
+} // namespace reason

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Length-prefixed binary wire protocol of the socket serving
+ * front-end (`reason_cli serve --listen` / `bench-client`).
+ *
+ * Frame layout (all integers little-endian, packed, no padding):
+ *
+ *     [u32 length][u8 type][payload ...]
+ *
+ * `length` counts the type byte plus the payload, so an empty frame
+ * has length 1.  Frame types:
+ *
+ *     Hello    = 1  client -> server   u32 protocolVersion
+ *     HelloAck = 2  server -> client   u32 protocolVersion
+ *     Submit   = 3  client -> server   u64 id, u32 numRows,
+ *                                      u32 numVars,
+ *                                      numRows*numVars u32 values
+ *                                      (row-major; kMissing allowed)
+ *     Result   = 4  server -> client   u64 id, i32 error,
+ *                                      u32 numRows,
+ *                                      numRows u64 double bit
+ *                                      patterns (log-likelihoods)
+ *
+ * Result values travel as raw IEEE-754 bit patterns, never text: the
+ * serving contract is *bitwise* identity with in-process submission,
+ * and the checksum helpers fold exactly those bits, so a client can
+ * prove end-to-end equality with a local run.
+ *
+ * Decoding is stream-oriented and malformed-tolerant: FrameDecoder
+ * consumes an arbitrary byte stream, yields complete frames, and
+ * reports (rather than crashes on) truncated, oversized, unknown, or
+ * inconsistent frames — the server drops the connection, the fuzz
+ * tests feed it garbage.  A decoder that has reported Malformed is
+ * poisoned: framing is lost, so no further frames are yielded.
+ *
+ * Encoding and decoding use explicit byte packing, so the format is
+ * identical on every host (endianness-independent).
+ */
+
+#ifndef REASON_SYS_WIRE_H
+#define REASON_SYS_WIRE_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace reason {
+namespace sys {
+namespace wire {
+
+/** Protocol version exchanged in Hello/HelloAck. */
+inline constexpr uint32_t kProtocolVersion = 1;
+
+/**
+ * Upper bound on `length` (16 MiB): a framing-error guard, so a
+ * corrupt length prefix cannot make the decoder buffer gigabytes
+ * before noticing the stream is garbage.
+ */
+inline constexpr uint32_t kMaxFrameBytes = 16u * 1024 * 1024;
+
+enum class FrameType : uint8_t
+{
+    Hello = 1,
+    HelloAck = 2,
+    Submit = 3,
+    Result = 4,
+};
+
+/** Submit payload: a batch of assignment rows under one request id. */
+struct SubmitFrame
+{
+    uint64_t id = 0;
+    uint32_t numVars = 0;
+    /** numRows rows of numVars values each (pc::kMissing allowed). */
+    std::vector<std::vector<uint32_t>> rows;
+};
+
+/** Result payload: per-row log-likelihood bits, or an error code. */
+struct ResultFrame
+{
+    uint64_t id = 0;
+    /** 0 on success, else a REASON_ERR_* code; values then empty. */
+    int32_t error = 0;
+    std::vector<double> values;
+};
+
+/** One decoded frame; only the member matching `type` is meaningful. */
+struct Frame
+{
+    FrameType type = FrameType::Hello;
+    uint32_t helloVersion = 0; ///< Hello and HelloAck
+    SubmitFrame submit;        ///< Submit
+    ResultFrame result;        ///< Result
+};
+
+/** Append an encoded Hello / HelloAck / Submit / Result to `out`. */
+void appendHello(std::vector<uint8_t> &out,
+                 uint32_t version = kProtocolVersion);
+void appendHelloAck(std::vector<uint8_t> &out,
+                    uint32_t version = kProtocolVersion);
+void appendSubmit(std::vector<uint8_t> &out, const SubmitFrame &frame);
+void appendResult(std::vector<uint8_t> &out, const ResultFrame &frame);
+
+/**
+ * Incremental decoder over an arbitrary byte stream.  feed() appends
+ * received bytes; next() yields frames until the buffer runs dry.
+ */
+class FrameDecoder
+{
+  public:
+    enum class Status
+    {
+        NeedMore, ///< no complete frame buffered yet
+        Ok,       ///< *out holds the next frame
+        Malformed ///< protocol violation; decoder is poisoned
+    };
+
+    void feed(const uint8_t *data, size_t n);
+
+    /** Decode the next buffered frame into *out. */
+    Status next(Frame *out);
+
+    /** True once a malformed frame has been seen (framing lost). */
+    bool poisoned() const
+    {
+        return poisoned_;
+    }
+
+  private:
+    std::vector<uint8_t> buf_;
+    size_t pos_ = 0; ///< consumed prefix of buf_
+    bool poisoned_ = false;
+};
+
+/**
+ * FNV-1a over a byte span — the checksum the socket demo uses to
+ * prove bitwise agreement between remote and in-process results.
+ */
+uint64_t fnv1a(const void *data, size_t n, uint64_t seed = 0);
+
+/** FNV-1a folded over the IEEE-754 bit patterns of `values`. */
+uint64_t checksumValues(const double *values, size_t n,
+                        uint64_t seed = 0);
+
+} // namespace wire
+} // namespace sys
+} // namespace reason
+
+#endif // REASON_SYS_WIRE_H

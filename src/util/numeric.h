@@ -13,7 +13,24 @@
 #include <limits>
 #include <vector>
 
+// ISA-keyed ABI inline namespace, for the same reason as simd.h: these
+// helpers are inlined into hot kernels, and the per-ISA kernel TUs of
+// the runtime dispatcher (util/simd_dispatch.h) compile them under
+// -mavx2/-mavx512f.  Distinct mangled names per ISA stop the linker
+// from comdat-folding a wide-ISA instantiation into baseline callers.
+// Keyed off the raw compiler macros (this header cannot see simd.h's
+// backend selection); REASON_FORCE_SCALAR still shares the baseline
+// ABI — the scalar override changes the simd backend, not this code.
+#if defined(__AVX512F__)
+#define REASON_NUMERIC_ABI nabi_avx512f
+#elif defined(__AVX2__)
+#define REASON_NUMERIC_ABI nabi_avx2
+#else
+#define REASON_NUMERIC_ABI nabi_base
+#endif
+
 namespace reason {
+inline namespace REASON_NUMERIC_ABI {
 
 /** Negative infinity, the additive identity of log-space sums. */
 inline constexpr double kLogZero = -std::numeric_limits<double>::infinity();
@@ -155,6 +172,7 @@ nextPow2(uint64_t v)
     return uint64_t(1) << ceilLog2(v);
 }
 
+} // inline namespace REASON_NUMERIC_ABI
 } // namespace reason
 
 #endif // REASON_UTIL_NUMERIC_H

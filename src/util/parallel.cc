@@ -3,10 +3,34 @@
 #include <algorithm>
 #include <memory>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace reason {
 namespace util {
 
-ThreadPool::ThreadPool(unsigned threads)
+bool
+pinCurrentThreadToCore(unsigned core)
+{
+#if defined(__linux__)
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 1;
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(core % hw, &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) ==
+           0;
+#else
+    (void)core;
+    return false;
+#endif
+}
+
+ThreadPool::ThreadPool(unsigned threads, bool pin_threads)
+    : pinThreads_(pin_threads)
 {
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();
@@ -32,6 +56,8 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::workerLoop(unsigned worker_index)
 {
+    if (pinThreads_)
+        pinCurrentThreadToCore(worker_index);
     uint64_t seen = 0;
     for (;;) {
         RangeFn fn;

@@ -47,9 +47,12 @@ class ThreadPool
     /**
      * Create a pool with `threads` total workers including the calling
      * thread (so `threads - 1` OS threads are spawned).  `threads == 0`
-     * uses std::thread::hardware_concurrency().
+     * uses std::thread::hardware_concurrency().  With `pin_threads`,
+     * each spawned worker pins itself to core `worker_index mod
+     * hardware_concurrency` (best effort — see pinCurrentThreadToCore;
+     * the calling thread is never pinned by the pool).
      */
-    explicit ThreadPool(unsigned threads = 0);
+    explicit ThreadPool(unsigned threads = 0, bool pin_threads = false);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -100,6 +103,7 @@ class ThreadPool
     /** Workers still to finish the current job (or acknowledge skip). */
     unsigned pending_ = 0;
     bool shutdown_ = false;
+    bool pinThreads_ = false;
     /** Current job (valid while pending_ > 0). */
     RangeFn jobFn_ = nullptr;
     void *jobCtx_ = nullptr;
@@ -136,6 +140,16 @@ unsigned globalThreads();
  */
 inline constexpr unsigned kMaxThreads = 1024;
 bool parseThreadCount(const char *text, unsigned *out);
+
+/**
+ * Pin the calling thread to core `core mod hardware_concurrency`
+ * (NUMA/affinity knob of the serving engine and thread pools).  Best
+ * effort: returns true when the affinity call succeeded, false where
+ * the platform has no thread-affinity support (a no-op there) or the
+ * call failed.  Results never depend on pinning — it only affects
+ * locality.
+ */
+bool pinCurrentThreadToCore(unsigned core);
 
 /**
  * Process-wide policy for sample-sharded learning reductions (EM flow

@@ -78,6 +78,28 @@
 #define REASON_SIMD_SCALAR 1
 #endif
 
+// ---------------------------------------------------------------------------
+// ABI namespace.  Everything below lives in an ISA-keyed *inline*
+// namespace, so a translation unit compiled with, say, -mavx2 emits
+// its inline kernels under distinct mangled names from the baseline
+// TUs.  That is what makes runtime ISA dispatch (simd_dispatch.h) safe:
+// the per-ISA kernel TUs can coexist in one binary without the linker
+// comdat-folding a wide-ISA instantiation into baseline callers (which
+// would SIGILL on narrow hosts).  Ordinary code is unaffected — the
+// namespace is inline, so `simd::Pack` etc. resolve as before.
+// ---------------------------------------------------------------------------
+#if defined(REASON_SIMD_AVX512)
+#define REASON_SIMD_ABI abi_avx512f
+#elif defined(REASON_SIMD_AVX2)
+#define REASON_SIMD_ABI abi_avx2
+#elif defined(REASON_SIMD_SSE2)
+#define REASON_SIMD_ABI abi_sse2
+#elif defined(REASON_SIMD_NEON)
+#define REASON_SIMD_ABI abi_neon
+#else
+#define REASON_SIMD_ABI abi_scalar
+#endif
+
 /**
  * Marks a reference kernel the auto-vectorizer must leave scalar.  On
  * GCC the function attribute covers the whole body; clang has no such
@@ -98,6 +120,7 @@
 
 namespace reason {
 namespace simd {
+inline namespace REASON_SIMD_ABI {
 
 /** Lanes per pack — fixed at 8 on every backend (== kBlock rows). */
 inline constexpr size_t kLanes = 8;
@@ -1016,6 +1039,34 @@ expMulOrZero(const double *args, const double *scale, double *out,
 }
 
 /**
+ * The staged half of sumLayerBlock (below): `terms` already holds the
+ * fan-in edge terms, edge-major (fanin * kLanes doubles).  Split out
+ * so the runtime-dispatched kernel tables (simd_dispatch.h) can run
+ * the two-pass scan in a wider ISA than the caller staged the terms
+ * with — bit-identical by the backend contract, since the scan
+ * computes max, expNonPositive, and logPositive over the same values
+ * in the same order.
+ */
+inline Pack
+sumLayerBlockStaged(size_t fanin, const double *terms)
+{
+    const Pack neg_inf = splat(kLogZero);
+    const Pack zero = splat(0.0);
+    Pack hi = neg_inf;
+    for (size_t e = 0; e < fanin; ++e)
+        hi = max(hi, load(terms + e * kLanes));
+    const Mask dead = cmpEq(hi, neg_inf);
+    const Pack hi_safe = select(dead, zero, hi);
+    Pack acc = zero;
+    for (size_t e = 0; e < fanin; ++e) {
+        const Pack t = load(terms + e * kLanes);
+        const Pack ex = expNonPositive(sub(t, hi_safe));
+        acc = add(acc, select(cmpEq(t, neg_inf), zero, ex));
+    }
+    return select(dead, neg_inf, add(hi, logPositive(acc)));
+}
+
+/**
  * Canonical sum-layer two-pass logsumexp over one 8-lane SoA block:
  * `term_at(e)` produces the 8 row-lane terms of fan-in edge e (each is
  * also staged to `terms_scratch`, edge-major, for the second pass),
@@ -1029,23 +1080,9 @@ template <typename TermAt>
 inline Pack
 sumLayerBlock(size_t fanin, double *terms_scratch, TermAt term_at)
 {
-    const Pack neg_inf = splat(kLogZero);
-    const Pack zero = splat(0.0);
-    Pack hi = neg_inf;
-    for (size_t e = 0; e < fanin; ++e) {
-        const Pack t = term_at(e);
-        store(terms_scratch + e * kLanes, t);
-        hi = max(hi, t);
-    }
-    const Mask dead = cmpEq(hi, neg_inf);
-    const Pack hi_safe = select(dead, zero, hi);
-    Pack acc = zero;
-    for (size_t e = 0; e < fanin; ++e) {
-        const Pack t = load(terms_scratch + e * kLanes);
-        const Pack ex = expNonPositive(sub(t, hi_safe));
-        acc = add(acc, select(cmpEq(t, neg_inf), zero, ex));
-    }
-    return select(dead, neg_inf, add(hi, logPositive(acc)));
+    for (size_t e = 0; e < fanin; ++e)
+        store(terms_scratch + e * kLanes, term_at(e));
+    return sumLayerBlockStaged(fanin, terms_scratch);
 }
 
 /**
@@ -1062,6 +1099,8 @@ addInto(double *dst, const double *src, size_t n)
     for (; i < n; ++i)
         dst[i] += src[i];
 }
+
+} // inline namespace REASON_SIMD_ABI
 
 /** Compile-time selected backend name ("avx512f", "avx2", ...). */
 const char *isaName();

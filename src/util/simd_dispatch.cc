@@ -1,0 +1,106 @@
+#include "util/simd_kernels.inc"
+
+#include <cstring>
+
+namespace reason {
+namespace simd {
+
+namespace {
+
+// Wider is better; the baseline wins ties (it is what the rest of the
+// binary runs anyway).
+int
+isaRank(const char *isa)
+{
+    if (std::strcmp(isa, "avx512f") == 0)
+        return 3;
+    if (std::strcmp(isa, "avx2") == 0)
+        return 2;
+    if (std::strcmp(isa, "sse2") == 0 || std::strcmp(isa, "neon") == 0)
+        return 1;
+    return 0;
+}
+
+// Can the host CPU execute a table of this ISA?  The baseline is
+// always runnable (the binary could not have started otherwise); the
+// x86 extensions are CPUID-gated.
+bool
+cpuRunnable(const char *isa)
+{
+    if (std::strcmp(isa, kKernelTable.isa) == 0)
+        return true;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+    if (std::strcmp(isa, "avx512f") == 0)
+        return __builtin_cpu_supports("avx512f") != 0;
+    if (std::strcmp(isa, "avx2") == 0)
+        return __builtin_cpu_supports("avx2") != 0;
+#endif
+    return false;
+}
+
+// The per-ISA tables this binary carries (nullptr when compiled out).
+// Explicit accessor calls, so the static-library link always pulls the
+// kernel TUs in.
+constexpr size_t kNumIsaTables = 2;
+
+void
+isaTables(const KernelTable *out[kNumIsaTables])
+{
+    out[0] = detail::avx2KernelTable();
+    out[1] = detail::avx512KernelTable();
+}
+
+} // namespace
+
+const KernelTable &
+activeKernels()
+{
+    // Selected once, on first use (magic-static; thread-safe).
+    static const KernelTable *const selected = [] {
+        const KernelTable *best = &kKernelTable;
+        int bestRank = isaRank(best->isa);
+        const KernelTable *tables[kNumIsaTables];
+        isaTables(tables);
+        for (const KernelTable *t : tables) {
+            if (t == nullptr || !cpuRunnable(t->isa))
+                continue;
+            int rank = isaRank(t->isa);
+            if (rank > bestRank) {
+                best = t;
+                bestRank = rank;
+            }
+        }
+        return best;
+    }();
+    return *selected;
+}
+
+const char *
+activeIsaName()
+{
+    return activeKernels().isa;
+}
+
+size_t
+runnableKernelTables(const KernelTable **out, size_t maxOut)
+{
+    size_t n = 0;
+    auto push = [&](const KernelTable *t) {
+        for (size_t i = 0; i < n; ++i)
+            if (std::strcmp(out[i]->isa, t->isa) == 0)
+                return;
+        if (n < maxOut)
+            out[n++] = t;
+    };
+    push(&kKernelTable);
+    const KernelTable *tables[kNumIsaTables];
+    isaTables(tables);
+    for (const KernelTable *t : tables)
+        if (t != nullptr && cpuRunnable(t->isa))
+            push(t);
+    return n;
+}
+
+} // namespace simd
+} // namespace reason

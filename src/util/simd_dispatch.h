@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Runtime ISA dispatch for the hot SIMD kernels.
+ *
+ * simd.h selects its backend at *compile* time, which leaves a default
+ * (portable) binary on the SSE2 floor even when the host CPU has AVX2
+ * or AVX-512.  This layer fixes that: the same kernels are compiled
+ * again in dedicated per-ISA translation units
+ * (util/simd_kernels_{avx2,avx512}.cc, built with -mavx2 / -mavx512f
+ * and isolated by the ABI inline namespaces of simd.h/numeric.h), each
+ * exposing a table of C function pointers through an always-defined
+ * accessor (an explicit symbol reference, not static-init
+ * registration, which a static-library link would dead-strip along
+ * with the unreferenced object file).  At first use, activeKernels()
+ * CPUID-gates the candidate tables (__builtin_cpu_supports) and picks
+ * the widest one the host can run; the baseline table — whatever ISA
+ * the rest of the binary targets — is always available as the floor.
+ *
+ * Dispatch is safe *because of* the bit-exactness contract of simd.h:
+ * every backend produces bit-identical results, so the choice of table
+ * affects speed only, never output.  Callers on the block hot path
+ * hoist `const KernelTable &k = activeKernels()` once and then pay one
+ * indirect call per kernel invocation.
+ *
+ * The dispatched surface is the array-shaped serving hot path (sum
+ * layers, gather logsumexp, flow exp-multiplies, reduction merges).
+ * Lane-op-heavy code that inlines pack primitives directly (the HMM
+ * leaf batches, core/flat.cc) keeps the compile-time backend — a
+ * function-pointer boundary per lane op would cost more than the wider
+ * registers buy; REASON_NATIVE builds (one CI leg) cover those at full
+ * width.
+ */
+
+#ifndef REASON_UTIL_SIMD_DISPATCH_H
+#define REASON_UTIL_SIMD_DISPATCH_H
+
+#include <cstddef>
+
+namespace reason {
+namespace simd {
+
+/**
+ * One ISA's kernel entry points.  All functions follow the exact
+ * semantics of their simd.h namesakes; sumLayerBlockStaged writes the
+ * 8-lane result pack to `out` (kLanes doubles) instead of returning a
+ * Pack, since Pack types differ per ABI namespace and must not cross
+ * this boundary.
+ */
+struct KernelTable
+{
+    /** Backend name: "avx512f", "avx2", "sse2", "neon", "scalar". */
+    const char *isa;
+    double (*logSumExpMasked)(const double *xs, size_t n);
+    void (*expMulOrZero)(const double *args, const double *scale,
+                         double *out, size_t n);
+    void (*addInto)(double *dst, const double *src, size_t n);
+    void (*sumLayerBlockStaged)(size_t fanin, const double *terms,
+                                double *out);
+};
+
+/**
+ * The widest CPUID-supported kernel table in this binary, selected
+ * once on first call (thread-safe; subsequent calls are a load).
+ */
+const KernelTable &activeKernels();
+
+/** ISA name of the runtime-selected kernels (activeKernels().isa). */
+const char *activeIsaName();
+
+/**
+ * All tables this binary carries that the host CPU can run, baseline
+ * first (for the cross-ISA agreement tests).  Writes up to `maxOut`
+ * pointers into `out`; returns the count written.
+ */
+size_t runnableKernelTables(const KernelTable **out, size_t maxOut);
+
+namespace detail {
+
+/**
+ * Per-ISA table accessors, defined (always, so the dispatcher can
+ * reference them unconditionally) by the kernel TUs; nullptr when the
+ * table is compiled out — wrong architecture, toolchain without the
+ * ISA, scalar-forced build, or subsumed by a wider baseline.
+ */
+const KernelTable *avx2KernelTable();
+const KernelTable *avx512KernelTable();
+
+} // namespace detail
+
+} // namespace simd
+} // namespace reason
+
+#endif // REASON_UTIL_SIMD_DISPATCH_H

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * AVX2 kernel table for the runtime dispatcher.  Built with -mavx2
+ * appended (see CMakeLists.txt); self-gates on the raw compiler macros
+ * rather than trusting the build system, so a -march=native build that
+ * already targets AVX-512 (where this TU would duplicate the AVX-512
+ * table) or a scalar-forced build exports only a null accessor.
+ */
+
+#include "util/simd_dispatch.h"
+
+#if defined(__AVX2__) && !defined(__AVX512F__) && \
+    !defined(REASON_FORCE_SCALAR)
+
+#define REASON_SIMD_KERNEL_ACCESSOR avx2KernelTable
+#include "util/simd_kernels.inc"
+
+#else
+
+namespace reason {
+namespace simd {
+namespace detail {
+
+const KernelTable *
+avx2KernelTable()
+{
+    return nullptr;
+}
+
+} // namespace detail
+} // namespace simd
+} // namespace reason
+
+#endif

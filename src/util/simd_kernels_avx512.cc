@@ -1,0 +1,32 @@
+/**
+ * @file
+ * AVX-512F kernel table for the runtime dispatcher.  Built with
+ * -mavx512f appended (see CMakeLists.txt); self-gates on the raw
+ * compiler macros so builds whose toolchain never defines __AVX512F__
+ * (or that force the scalar backend) export only a null accessor.
+ */
+
+#include "util/simd_dispatch.h"
+
+#if defined(__AVX512F__) && !defined(REASON_FORCE_SCALAR)
+
+#define REASON_SIMD_KERNEL_ACCESSOR avx512KernelTable
+#include "util/simd_kernels.inc"
+
+#else
+
+namespace reason {
+namespace simd {
+namespace detail {
+
+const KernelTable *
+avx512KernelTable()
+{
+    return nullptr;
+}
+
+} // namespace detail
+} // namespace simd
+} // namespace reason
+
+#endif

@@ -263,6 +263,38 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
             EXPECT_GT(field(obj, "requests_per_sec")->number(), 0.0);
             EXPECT_LE(field(obj, "p50_ms")->number(),
                       field(obj, "p99_ms")->number());
+        } else if (engine->text == "serving_mt") {
+            for (const char *key :
+                 {"threads", "dispatchers", "max_batch", "clients",
+                  "serve_ms", "requests_per_sec", "p50_ms", "p99_ms",
+                  "mean_batch_occupancy", "capacity", "shed_rate",
+                  "max_queue_depth", "overload_p99_ms",
+                  "bitwise_mismatches"}) {
+                const JsonValue *v = field(obj, key);
+                ASSERT_NE(v, nullptr) << "serving_mt lacks " << key;
+                EXPECT_FALSE(v->isString);
+            }
+            // Dispatcher count, queue policy, and shedding must never
+            // change the bits of admitted requests, and the paused
+            // backlog must coalesce into wide batches.
+            EXPECT_EQ(field(obj, "bitwise_mismatches")->number(), 0.0)
+                << "serving_mt reports bitwise mismatches";
+            EXPECT_GT(field(obj, "dispatchers")->number(), 1.0);
+            EXPECT_GT(field(obj, "mean_batch_occupancy")->number(), 1.0)
+                << "serving_mt batches never coalesced";
+            EXPECT_GT(field(obj, "requests_per_sec")->number(), 0.0);
+            EXPECT_LE(field(obj, "p50_ms")->number(),
+                      field(obj, "p99_ms")->number());
+            // Deterministic 2x-capacity overload: exactly half the
+            // offered load is shed, and the queue never grows past
+            // its configured capacity.
+            EXPECT_EQ(field(obj, "shed_rate")->number(), 0.5)
+                << "overload phase shed an unexpected fraction";
+            EXPECT_GT(field(obj, "capacity")->number(), 0.0);
+            EXPECT_LE(field(obj, "max_queue_depth")->number(),
+                      field(obj, "capacity")->number())
+                << "bounded queue exceeded its capacity";
+            EXPECT_GT(field(obj, "overload_p99_ms")->number(), 0.0);
         } else if (is_mt) {
             for (const char *key : {"threads", "flat_ms", "mt_ms",
                                     "speedup_vs_flat",
@@ -300,7 +332,7 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
     for (const char *engine :
          {"circuit_loglik", "circuit_loglik_mt", "derivatives_mt",
           "em_fit", "kernel_logsumexp", "hmm_leaf_batch", "serving",
-          "dag_eval"}) {
+          "serving_mt", "dag_eval"}) {
         EXPECT_EQ(engines[engine], 1)
             << "engine " << engine << " missing or duplicated";
     }
@@ -332,5 +364,6 @@ TEST(BenchJsonSchema, SingleThreadRunSkipsMtVariantsAndExitsZero)
     EXPECT_EQ(engines["circuit_loglik_mt"], 0);
     EXPECT_EQ(engines["derivatives_mt"], 0);
     EXPECT_EQ(engines["em_fit"], 0);
+    EXPECT_EQ(engines["serving_mt"], 0);
 #endif
 }

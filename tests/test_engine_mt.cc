@@ -1,0 +1,437 @@
+/**
+ * @file
+ * Scale-out serving tests (sys::ReasonEngine with multiple dispatcher
+ * threads, bounded queues, and the socket wire protocol):
+ *
+ *  - bit-identity: outputs match one-at-a-time submission for every
+ *    dispatcher count x queue policy combination (the determinism
+ *    contract shedding and scale-out must not weaken);
+ *  - backpressure: a full bounded queue rejects (RejectNew) or sheds
+ *    (ShedOldest) with REASON_ERR_OVERLOAD, with exact deterministic
+ *    accounting when the backlog is built under pause, and the queue
+ *    depth never exceeds capacity;
+ *  - fairness: a flooding session cannot starve a light session —
+ *    per-session lanes are drained round-robin, so the light rows
+ *    start well before the flood's tail;
+ *  - linger autotuning smoke: EWMAs populate and outputs stay exact;
+ *  - wire protocol: encode/decode round-trips every frame type with
+ *    bit-exact doubles, and malformed input (truncations, bad
+ *    lengths, unknown types, random garbage) poisons the decoder
+ *    instead of crashing — this file is part of the TSan/ASan CI
+ *    matrix, so the concurrency paths run under the sanitizers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "random_circuit.h"
+#include "sys/engine.h"
+#include "sys/wire.h"
+#include "util/rng.h"
+
+using namespace reason;
+using namespace reason::sys;
+
+namespace {
+
+bool
+bitEqual(double a, double b)
+{
+    uint64_t ba, bb;
+    std::memcpy(&ba, &a, sizeof ba);
+    std::memcpy(&bb, &b, sizeof bb);
+    return ba == bb;
+}
+
+/** One-at-a-time engine outputs: the coalescing-free reference. */
+std::vector<double>
+serveOneAtATime(const pc::Circuit &circuit,
+                const std::vector<pc::Assignment> &rows)
+{
+    ServeOptions options;
+    options.maxBatch = 1;
+    ReasonEngine engine(options);
+    Session session = engine.createSession(circuit);
+    std::vector<double> out;
+    for (const pc::Assignment &x : rows)
+        out.push_back(session.wait(session.submit(x))->outputs[0]);
+    return out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Bit-identity across dispatcher counts and queue policies.
+// ---------------------------------------------------------------------------
+
+TEST(EngineMt, BitIdenticalAcrossDispatchersAndPolicies)
+{
+    Rng rng(901);
+    pc::Circuit circuit = pc::randomCircuit(rng, 28, 2, 4, 7);
+    std::vector<pc::Assignment> rows =
+        pc::sampleDataset(rng, circuit, 53);
+    std::vector<double> reference = serveOneAtATime(circuit, rows);
+
+    constexpr size_t kSessions = 3;
+    for (unsigned dispatchers : {1u, 2u, 4u}) {
+        for (QueuePolicy policy :
+             {QueuePolicy::RejectNew, QueuePolicy::ShedOldest}) {
+            ServeOptions options;
+            options.maxBatch = 8;
+            options.dispatchers = dispatchers;
+            options.queuePolicy = policy;
+            options.startPaused = true;
+            ReasonEngine engine(options);
+            std::vector<Session> sessions;
+            for (size_t s = 0; s < kSessions; ++s)
+                sessions.push_back(engine.createSession(circuit));
+            std::vector<RequestHandle> handles;
+            for (size_t i = 0; i < rows.size(); ++i)
+                handles.push_back(
+                    sessions[i % kSessions].submit(rows[i]));
+            engine.resume();
+            for (size_t i = 0; i < rows.size(); ++i) {
+                std::shared_ptr<const Request> r =
+                    sessions[i % kSessions].wait(handles[i]);
+                ASSERT_EQ(r->error, REASON_OK)
+                    << dispatchers << " dispatchers, request " << i;
+                EXPECT_TRUE(bitEqual(r->outputs[0], reference[i]))
+                    << dispatchers << " dispatchers, request " << i;
+            }
+            EngineStats stats = engine.stats();
+            EXPECT_EQ(stats.completed, rows.size());
+            EXPECT_EQ(stats.shedRequests, 0u);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure and load shedding on a bounded queue.
+// ---------------------------------------------------------------------------
+
+TEST(EngineMt, RejectNewFailsOverflowWithOverloadError)
+{
+    Rng rng(902);
+    pc::Circuit circuit = pc::randomCircuit(rng, 20, 2, 3, 6);
+    std::vector<pc::Assignment> rows =
+        pc::sampleDataset(rng, circuit, 24);
+    std::vector<double> reference = serveOneAtATime(circuit, rows);
+
+    const size_t capacity = rows.size() / 2;
+    ServeOptions options;
+    options.maxBatch = 4;
+    options.dispatchers = 2;
+    options.queueCapacity = capacity;
+    options.queuePolicy = QueuePolicy::RejectNew;
+    options.startPaused = true;
+    ReasonEngine engine(options);
+    Session session = engine.createSession(circuit);
+    std::vector<RequestHandle> handles;
+    for (const pc::Assignment &x : rows)
+        handles.push_back(session.submit(x));
+    // RejectNew admits the first `capacity` submissions and fails the
+    // rest immediately — before resume() even runs a batch.
+    for (size_t i = capacity; i < rows.size(); ++i) {
+        EXPECT_TRUE(session.poll(handles[i])) << "request " << i;
+        EXPECT_EQ(session.wait(handles[i])->error,
+                  REASON_ERR_OVERLOAD)
+            << "request " << i;
+    }
+    engine.resume();
+    for (size_t i = 0; i < capacity; ++i) {
+        std::shared_ptr<const Request> r = session.wait(handles[i]);
+        ASSERT_EQ(r->error, REASON_OK) << "request " << i;
+        EXPECT_TRUE(bitEqual(r->outputs[0], reference[i]))
+            << "request " << i;
+    }
+    EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.shedRequests, rows.size() - capacity);
+    EXPECT_LE(stats.maxQueueDepth, capacity);
+}
+
+TEST(EngineMt, ShedOldestKeepsNewestAndBoundsDepth)
+{
+    Rng rng(903);
+    pc::Circuit circuit = pc::randomCircuit(rng, 20, 2, 3, 6);
+    std::vector<pc::Assignment> rows =
+        pc::sampleDataset(rng, circuit, 26);
+    std::vector<double> reference = serveOneAtATime(circuit, rows);
+
+    const size_t capacity = rows.size() / 2;
+    ServeOptions options;
+    options.maxBatch = 4;
+    options.dispatchers = 2;
+    options.queueCapacity = capacity;
+    options.queuePolicy = QueuePolicy::ShedOldest;
+    options.startPaused = true;
+    ReasonEngine engine(options);
+    Session session = engine.createSession(circuit);
+    std::vector<RequestHandle> handles;
+    for (const pc::Assignment &x : rows)
+        handles.push_back(session.submit(x));
+    engine.resume();
+    // ShedOldest evicts the globally oldest queued request per
+    // over-capacity admission, so under a paused backlog exactly the
+    // first half is shed and the newest half executes.
+    for (size_t i = 0; i < rows.size(); ++i) {
+        std::shared_ptr<const Request> r = session.wait(handles[i]);
+        if (i < rows.size() - capacity) {
+            EXPECT_EQ(r->error, REASON_ERR_OVERLOAD)
+                << "request " << i;
+        } else {
+            ASSERT_EQ(r->error, REASON_OK) << "request " << i;
+            EXPECT_TRUE(bitEqual(r->outputs[0], reference[i]))
+                << "request " << i;
+        }
+    }
+    EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.shedRequests, rows.size() - capacity);
+    EXPECT_LE(stats.maxQueueDepth, capacity);
+}
+
+// ---------------------------------------------------------------------------
+// Per-session fairness under a flooding client.
+// ---------------------------------------------------------------------------
+
+TEST(EngineMt, LightSessionNotStarvedByFloodingSession)
+{
+    Rng rng(904);
+    pc::Circuit circuit = pc::randomCircuit(rng, 24, 2, 3, 6);
+    std::vector<pc::Assignment> flood_rows =
+        pc::sampleDataset(rng, circuit, 64);
+    std::vector<pc::Assignment> light_rows =
+        pc::sampleDataset(rng, circuit, 4);
+
+    ServeOptions options;
+    options.maxBatch = 4;
+    options.dispatchers = 2;
+    options.startPaused = true;
+    ReasonEngine engine(options);
+    Session flooder = engine.createSession(circuit);
+    Session light = engine.createSession(circuit);
+    std::vector<RequestHandle> flood_handles;
+    for (const pc::Assignment &x : flood_rows)
+        flood_handles.push_back(flooder.submit(x));
+    std::vector<RequestHandle> light_handles;
+    for (const pc::Assignment &x : light_rows)
+        light_handles.push_back(light.submit(x));
+    engine.resume();
+
+    uint64_t light_last_start = 0;
+    for (const RequestHandle &h : light_handles) {
+        std::shared_ptr<const Request> r = light.wait(h);
+        ASSERT_EQ(r->error, REASON_OK);
+        light_last_start = std::max(light_last_start, r->startedNs);
+    }
+    uint64_t flood_last_start = 0;
+    for (const RequestHandle &h : flood_handles) {
+        std::shared_ptr<const Request> r = flooder.wait(h);
+        ASSERT_EQ(r->error, REASON_OK);
+        flood_last_start = std::max(flood_last_start, r->startedNs);
+    }
+    // Session lanes are gathered round-robin, so the light session's
+    // rows ride the earliest batches even though the flooder enqueued
+    // its entire backlog first; the flood's tail starts strictly
+    // later.
+    EXPECT_LT(light_last_start, flood_last_start)
+        << "light session waited behind the flood";
+}
+
+// ---------------------------------------------------------------------------
+// Coalesce-linger autotuning smoke (EWMAs populate; bits unchanged).
+// ---------------------------------------------------------------------------
+
+TEST(EngineMt, AutoLingerTunesWithoutChangingBits)
+{
+    Rng rng(905);
+    pc::Circuit circuit = pc::randomCircuit(rng, 20, 2, 3, 6);
+    std::vector<pc::Assignment> rows =
+        pc::sampleDataset(rng, circuit, 40);
+    std::vector<double> reference = serveOneAtATime(circuit, rows);
+
+    ServeOptions options;
+    options.maxBatch = 8;
+    options.dispatchers = 2;
+    options.autoLingerWindow = true;
+    ReasonEngine engine(options);
+    Session session = engine.createSession(circuit);
+    std::vector<RequestHandle> handles;
+    for (const pc::Assignment &x : rows)
+        handles.push_back(session.submit(x));
+    for (size_t i = 0; i < rows.size(); ++i) {
+        std::shared_ptr<const Request> r = session.wait(handles[i]);
+        ASSERT_EQ(r->error, REASON_OK);
+        EXPECT_TRUE(bitEqual(r->outputs[0], reference[i]));
+    }
+    EngineStats stats = engine.stats();
+    // The EWMAs have seen real traffic; the tuned linger is clamped
+    // to a sane non-negative window.
+    EXPECT_GT(stats.ewmaExecUs, 0.0);
+    EXPECT_GE(stats.ewmaInterArrivalUs, 0.0);
+    EXPECT_GE(stats.lastLingerUs, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol: round-trip and malformed-input robustness.
+// ---------------------------------------------------------------------------
+
+TEST(WireProtocol, RoundTripsEveryFrameTypeBitExact)
+{
+    namespace wire = reason::sys::wire;
+
+    wire::SubmitFrame submit;
+    submit.id = 0x0123456789abcdefull;
+    submit.numVars = 3;
+    submit.rows = {{0u, 1u, 0xffffffffu}, {2u, 0u, 1u}};
+
+    wire::ResultFrame result;
+    result.id = 42;
+    result.error = REASON_ERR_OVERLOAD;
+    // Exercise bit-exact transport: negative zero, a subnormal, and a
+    // quiet NaN all survive only if doubles travel as raw bits.
+    result.values = {-0.0, 5e-324,
+                     std::numeric_limits<double>::quiet_NaN(),
+                     -123.456789};
+
+    std::vector<uint8_t> bytes;
+    wire::appendHello(bytes);
+    wire::appendHelloAck(bytes);
+    wire::appendSubmit(bytes, submit);
+    wire::appendResult(bytes, result);
+
+    // Feed in 3-byte chunks so every frame crosses feed() boundaries.
+    wire::FrameDecoder decoder;
+    std::vector<wire::Frame> frames;
+    for (size_t at = 0; at < bytes.size(); at += 3) {
+        decoder.feed(bytes.data() + at,
+                     std::min<size_t>(3, bytes.size() - at));
+        wire::Frame f;
+        while (decoder.next(&f) == wire::FrameDecoder::Status::Ok)
+            frames.push_back(f);
+    }
+    ASSERT_FALSE(decoder.poisoned());
+    ASSERT_EQ(frames.size(), 4u);
+
+    EXPECT_EQ(frames[0].type, wire::FrameType::Hello);
+    EXPECT_EQ(frames[0].helloVersion, wire::kProtocolVersion);
+    EXPECT_EQ(frames[1].type, wire::FrameType::HelloAck);
+    EXPECT_EQ(frames[1].helloVersion, wire::kProtocolVersion);
+
+    EXPECT_EQ(frames[2].type, wire::FrameType::Submit);
+    EXPECT_EQ(frames[2].submit.id, submit.id);
+    EXPECT_EQ(frames[2].submit.numVars, submit.numVars);
+    EXPECT_EQ(frames[2].submit.rows, submit.rows);
+
+    EXPECT_EQ(frames[3].type, wire::FrameType::Result);
+    EXPECT_EQ(frames[3].result.id, result.id);
+    EXPECT_EQ(frames[3].result.error, result.error);
+    ASSERT_EQ(frames[3].result.values.size(), result.values.size());
+    for (size_t i = 0; i < result.values.size(); ++i)
+        EXPECT_TRUE(bitEqual(frames[3].result.values[i],
+                             result.values[i]))
+            << "value " << i;
+
+    // The checksum helpers agree on the decoded values, so remote and
+    // in-process runs can prove bitwise equality.
+    EXPECT_EQ(wire::checksumValues(frames[3].result.values.data(),
+                                   frames[3].result.values.size()),
+              wire::checksumValues(result.values.data(),
+                                   result.values.size()));
+}
+
+TEST(WireProtocol, MalformedFramesPoisonInsteadOfCrashing)
+{
+    namespace wire = reason::sys::wire;
+    using Status = wire::FrameDecoder::Status;
+
+    auto decode_all = [](const std::vector<uint8_t> &bytes) {
+        wire::FrameDecoder decoder;
+        decoder.feed(bytes.data(), bytes.size());
+        wire::Frame f;
+        Status status;
+        size_t guard = 0;
+        while ((status = decoder.next(&f)) == Status::Ok) {
+            if (++guard >= 10000u) {
+                ADD_FAILURE() << "decoder failed to consume";
+                break;
+            }
+        }
+        return status;
+    };
+
+    // Zero length: frames carry at least the type byte.
+    EXPECT_EQ(decode_all({0, 0, 0, 0, 1}), Status::Malformed);
+    // Length beyond kMaxFrameBytes: framing-error guard.
+    EXPECT_EQ(decode_all({0xff, 0xff, 0xff, 0xff, 1}),
+              Status::Malformed);
+    // Unknown frame type.
+    EXPECT_EQ(decode_all({1, 0, 0, 0, 99}), Status::Malformed);
+    // Hello with a short payload.
+    EXPECT_EQ(decode_all({3, 0, 0, 0, 1, 0, 0}), Status::Malformed);
+    // Submit whose row payload disagrees with its declared shape.
+    {
+        std::vector<uint8_t> bytes;
+        wire::SubmitFrame submit;
+        submit.id = 7;
+        submit.numVars = 2;
+        submit.rows = {{1u, 0u}};
+        wire::appendSubmit(bytes, submit);
+        bytes.pop_back(); // truncate the last row value
+        bytes[0] -= 1;    // keep the length prefix consistent
+        EXPECT_EQ(decode_all(bytes), Status::Malformed);
+    }
+    // A truncated valid frame is NeedMore, not Malformed.
+    {
+        std::vector<uint8_t> bytes;
+        wire::appendHello(bytes);
+        bytes.resize(bytes.size() - 2);
+        EXPECT_EQ(decode_all(bytes), Status::NeedMore);
+    }
+    // Once poisoned, the decoder stays poisoned even after good data.
+    {
+        wire::FrameDecoder decoder;
+        const uint8_t bad[] = {0, 0, 0, 0, 1};
+        decoder.feed(bad, sizeof bad);
+        wire::Frame f;
+        EXPECT_EQ(decoder.next(&f), Status::Malformed);
+        std::vector<uint8_t> good;
+        wire::appendHello(good);
+        decoder.feed(good.data(), good.size());
+        EXPECT_EQ(decoder.next(&f), Status::Malformed);
+        EXPECT_TRUE(decoder.poisoned());
+    }
+}
+
+TEST(WireProtocol, RandomGarbageNeverCrashesTheDecoder)
+{
+    namespace wire = reason::sys::wire;
+    using Status = wire::FrameDecoder::Status;
+
+    Rng rng(906);
+    for (int trial = 0; trial < 200; ++trial) {
+        wire::FrameDecoder decoder;
+        const size_t total = 1 + size_t(rng() % 512);
+        std::vector<uint8_t> bytes(total);
+        for (uint8_t &b : bytes)
+            b = uint8_t(rng());
+        size_t at = 0;
+        while (at < bytes.size()) {
+            const size_t chunk = std::min<size_t>(
+                1 + size_t(rng() % 64), bytes.size() - at);
+            decoder.feed(bytes.data() + at, chunk);
+            at += chunk;
+            wire::Frame f;
+            Status status;
+            size_t guard = 0;
+            while ((status = decoder.next(&f)) == Status::Ok)
+                ASSERT_LT(++guard, 10000u)
+                    << "decoder failed to consume";
+            if (status == Status::Malformed)
+                break; // poisoned: framing is lost by contract
+        }
+    }
+}

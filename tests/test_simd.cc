@@ -29,6 +29,7 @@
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/simd.h"
+#include "util/simd_dispatch.h"
 
 using namespace reason;
 
@@ -262,6 +263,87 @@ TEST(SimdKernels, AddIntoMatchesScalarLoop)
         for (size_t i = 0; i < n; ++i)
             EXPECT_EQ(bits(dst[i]), bits(want[i]));
     }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime ISA dispatch (util/simd_dispatch.h): every kernel table the
+// host can run — the compile-time baseline plus any CPUID-gated
+// wide-ISA tables the binary carries — must agree bit for bit on the
+// same inputs, and the active table must be one of them.
+// ---------------------------------------------------------------------------
+
+TEST(SimdDispatch, AllRunnableKernelTablesAgreeBitwise)
+{
+    const simd::KernelTable *tables[8];
+    const size_t count = simd::runnableKernelTables(tables, 8);
+    ASSERT_GE(count, 1u);
+    // Baseline first, and it is the compile-time backend.
+    EXPECT_STREQ(tables[0]->isa, simd::isaName());
+
+    Rng rng(41);
+    for (int iter = 0; iter < 500; ++iter) {
+        const size_t n = size_t(rng.uniformInt(0, 40));
+        std::vector<double> xs(std::max<size_t>(n, 1));
+        std::vector<double> scale(xs.size());
+        for (size_t i = 0; i < n; ++i) {
+            xs[i] = rng.bernoulli(0.25) ? kLogZero
+                                        : rng.uniformReal(-80.0, 0.0);
+            scale[i] = rng.uniformReal(0.0, 2.0);
+        }
+        const size_t fanin = 1 + n % 16;
+        std::vector<double> terms(fanin * simd::kLanes);
+        for (auto &t : terms)
+            t = rng.bernoulli(0.2) ? kLogZero
+                                   : rng.uniformReal(-60.0, 0.0);
+
+        const double lse0 = tables[0]->logSumExpMasked(xs.data(), n);
+        std::vector<double> emz0(xs.size());
+        tables[0]->expMulOrZero(xs.data(), scale.data(), emz0.data(),
+                                n);
+        std::vector<double> add0(xs.begin(), xs.end());
+        tables[0]->addInto(add0.data(), scale.data(), n);
+        double slb0[simd::kLanes];
+        tables[0]->sumLayerBlockStaged(fanin, terms.data(), slb0);
+
+        for (size_t t = 1; t < count; ++t) {
+            EXPECT_EQ(bits(tables[t]->logSumExpMasked(xs.data(), n)),
+                      bits(lse0))
+                << tables[t]->isa;
+            std::vector<double> emz(xs.size());
+            tables[t]->expMulOrZero(xs.data(), scale.data(),
+                                    emz.data(), n);
+            std::vector<double> add(xs.begin(), xs.end());
+            tables[t]->addInto(add.data(), scale.data(), n);
+            double slb[simd::kLanes];
+            tables[t]->sumLayerBlockStaged(fanin, terms.data(), slb);
+            for (size_t i = 0; i < n; ++i) {
+                EXPECT_EQ(bits(emz[i]), bits(emz0[i]))
+                    << tables[t]->isa << " lane " << i;
+                EXPECT_EQ(bits(add[i]), bits(add0[i]))
+                    << tables[t]->isa << " lane " << i;
+            }
+            for (size_t i = 0; i < simd::kLanes; ++i)
+                EXPECT_EQ(bits(slb[i]), bits(slb0[i]))
+                    << tables[t]->isa << " lane " << i;
+        }
+    }
+}
+
+TEST(SimdDispatch, ActiveTableIsARunnableTable)
+{
+    const simd::KernelTable *tables[8];
+    const size_t count = simd::runnableKernelTables(tables, 8);
+    const simd::KernelTable &active = simd::activeKernels();
+    EXPECT_STREQ(active.isa, simd::activeIsaName());
+    bool found = false;
+    for (size_t i = 0; i < count; ++i)
+        found = found || tables[i] == &active;
+    EXPECT_TRUE(found);
+#if defined(REASON_FORCE_SCALAR)
+    // The scalar CI leg carries no wide tables by design.
+    EXPECT_EQ(count, 1u);
+    EXPECT_STREQ(active.isa, "scalar");
+#endif
 }
 
 TEST(SimdProvenance, IsaNameAndFeaturesAreReported)

@@ -34,13 +34,26 @@
  *       shard count and per-iteration likelihoods.
  *
  *   serve <file.rpc> [--requests N] [--clients N] [--max-batch N]
- *         [--window-us N] [--serve-threads N] [--seed N]
+ *         [--window-us N] [--serve-threads N] [--dispatchers N]
+ *         [--capacity N] [--policy reject|shed] [--auto-window]
+ *         [--pin] [--seed N] [--listen PORT]
  *       Serve likelihood queries against a stored circuit through the
  *       async batch-serving engine (sys::ReasonEngine): N client
  *       threads submit sampled queries through their own sessions, the
  *       engine coalesces them into batched SoA evaluations, and the
- *       run reports throughput, latency percentiles, and batch
- *       occupancy.
+ *       run reports throughput, latency percentiles, batch occupancy,
+ *       and shed counts.  With --listen the command instead serves the
+ *       length-prefixed binary wire protocol (sys/wire.h) on a
+ *       loopback TCP socket, one engine session per connection, until
+ *       killed.
+ *
+ *   bench-client <file.rpc> --port N [--host H] [--requests N]
+ *         [--clients N] [--pipeline N] [--seed N]
+ *       Load generator for `serve --listen`: N client threads stream
+ *       sampled queries over the wire protocol with a bounded
+ *       pipeline, then verify every returned log-likelihood bit for
+ *       bit against an in-process one-at-a-time run of the same
+ *       queries (checksums printed; nonzero exit on any mismatch).
  *
  * Every subcommand accepts --help and parses its flags through one
  * shared option table, so flag handling and help output stay
@@ -48,15 +61,30 @@
  */
 
 #include <algorithm>
+#include <atomic>
+#include <bit>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define REASON_HAS_SOCKETS 1
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#else
+#define REASON_HAS_SOCKETS 0
+#endif
 
 #include "arch/accelerator.h"
 #include "arch/symbolic.h"
@@ -74,10 +102,12 @@
 #include "pc/learn.h"
 #include "pc/queries.h"
 #include "sys/engine.h"
+#include "sys/wire.h"
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
 #include "util/simd.h"
+#include "util/simd_dispatch.h"
 
 #ifndef REASON_BUILD_FLAGS
 #define REASON_BUILD_FLAGS "unknown"
@@ -87,6 +117,7 @@
 #endif
 
 using namespace reason;
+namespace wire = reason::sys::wire;
 
 namespace {
 
@@ -105,7 +136,10 @@ usage()
         "      [--out f.rpc]\n"
         "  serve <file.rpc> [--requests N] [--clients N]\n"
         "      [--max-batch N] [--window-us N] [--serve-threads N]\n"
-        "      [--seed N]\n"
+        "      [--dispatchers N] [--capacity N] [--policy reject|shed]\n"
+        "      [--auto-window] [--pin] [--seed N] [--listen PORT]\n"
+        "  bench-client <file.rpc> --port N [--host H] [--requests N]\n"
+        "      [--clients N] [--pipeline N] [--seed N]\n"
         "  version          build, SIMD backend, and CPU features\n"
         "  <command> --help describes the command's options.\n"
         "--threads N sets the worker count of the flat evaluation\n"
@@ -123,9 +157,14 @@ cmdVersion()
 {
     std::printf("reason_cli (%s build)\n", REASON_BUILD_TYPE);
     std::printf("flags:        %s\n", REASON_BUILD_FLAGS);
+    // Two backends can differ: the compile-time floor every inline
+    // pack op uses, and the runtime-dispatched kernel table picked for
+    // the hot block kernels (widest ISA the host CPU supports).
     std::printf("simd backend: %s (%u-wide native lanes, 8-lane "
                 "packs)\n",
                 simd::isaName(), simd::nativeLanes());
+    std::printf("simd kernels: %s (runtime-selected)\n",
+                simd::activeIsaName());
     std::printf("cpu features: %s\n", simd::cpuFeatures());
     if (std::strcmp(simd::isaName(), "scalar") == 0)
         std::printf("note: scalar fallback build — results are "
@@ -608,6 +647,444 @@ cmdFit(const std::vector<std::string> &args)
     return 0;
 }
 
+/** Map a --policy argument onto the queue policy enum. */
+bool
+parseQueuePolicy(const std::string &text, sys::QueuePolicy *out)
+{
+    if (text == "reject") {
+        *out = sys::QueuePolicy::RejectNew;
+        return true;
+    }
+    if (text == "shed") {
+        *out = sys::QueuePolicy::ShedOldest;
+        return true;
+    }
+    return false;
+}
+
+#if REASON_HAS_SOCKETS
+
+bool
+sendAll(int fd, const uint8_t *data, size_t n)
+{
+    while (n > 0) {
+        const ssize_t sent = ::send(fd, data, n, 0);
+        if (sent <= 0)
+            return false;
+        data += size_t(sent);
+        n -= size_t(sent);
+    }
+    return true;
+}
+
+/**
+ * One wire-protocol connection: Hello -> HelloAck, then every Submit
+ * frame becomes per-row engine submissions through this connection's
+ * private session (so the queue's fair scheduler sees each connection
+ * as one tenant) and one Result frame in request order.  Any framing
+ * violation or unexpected frame type drops the connection.
+ */
+void
+serveConnection(sys::ReasonEngine &engine, const pc::Circuit &circuit,
+                int fd)
+{
+    sys::Session session = engine.createSession(circuit);
+    wire::FrameDecoder decoder;
+    std::vector<uint8_t> outbuf;
+    std::vector<uint8_t> inbuf(1 << 16);
+    bool open = true;
+    while (open) {
+        const ssize_t n =
+            ::recv(fd, inbuf.data(), inbuf.size(), 0);
+        if (n <= 0)
+            break;
+        decoder.feed(inbuf.data(), size_t(n));
+        for (;;) {
+            wire::Frame frame;
+            const auto status = decoder.next(&frame);
+            if (status == wire::FrameDecoder::Status::NeedMore)
+                break;
+            if (status == wire::FrameDecoder::Status::Malformed) {
+                open = false;
+                break;
+            }
+            outbuf.clear();
+            if (frame.type == wire::FrameType::Hello) {
+                wire::appendHelloAck(outbuf);
+            } else if (frame.type == wire::FrameType::Submit) {
+                // Rows ride the engine individually so cross-request
+                // coalescing applies; outputs keep submit order.
+                std::vector<sys::RequestHandle> handles;
+                handles.reserve(frame.submit.rows.size());
+                for (auto &row : frame.submit.rows)
+                    handles.push_back(
+                        session.submit(std::move(row)));
+                wire::ResultFrame result;
+                result.id = frame.submit.id;
+                for (sys::RequestHandle &h : handles) {
+                    const auto r = session.wait(h);
+                    if (r->error != sys::REASON_OK &&
+                        result.error == 0)
+                        result.error = r->error;
+                    if (result.error == 0)
+                        result.values.push_back(r->outputs[0]);
+                }
+                if (result.error != 0)
+                    result.values.clear();
+                wire::appendResult(outbuf, result);
+            } else {
+                open = false; // clients never send HelloAck/Result
+                break;
+            }
+            if (!sendAll(fd, outbuf.data(), outbuf.size())) {
+                open = false;
+                break;
+            }
+        }
+    }
+    ::close(fd);
+}
+
+/**
+ * `serve --listen`: accept wire-protocol connections on loopback TCP
+ * until the process is killed.  Prints the bound address (port 0
+ * resolves to an ephemeral port) before accepting, so scripts can
+ * wait for readiness.
+ */
+int
+runServeSocket(const pc::Circuit &circuit,
+               const sys::ServeOptions &serve, uint16_t port)
+{
+    sys::ReasonEngine engine(serve);
+
+    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd < 0)
+        fatal("socket() failed");
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("cannot bind 127.0.0.1:%u", unsigned(port));
+    if (::listen(listen_fd, 64) != 0)
+        fatal("listen() failed");
+    socklen_t addr_len = sizeof(addr);
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&addr),
+                  &addr_len);
+    std::printf("listening on 127.0.0.1:%u\n",
+                unsigned(ntohs(addr.sin_port)));
+    std::fflush(stdout);
+
+    for (;;) {
+        const int fd = ::accept(listen_fd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        // Connections are independent and the server runs until
+        // killed, so handler threads are detached by design.
+        std::thread(
+            [&engine, &circuit, fd] {
+                serveConnection(engine, circuit, fd);
+            })
+            .detach();
+    }
+}
+
+/** One bench-client connection worker; returns false on socket/protocol failure. */
+struct BenchClientResult
+{
+    std::vector<uint64_t> latenciesNs;
+    uint64_t overloads = 0;
+    uint64_t otherErrors = 0;
+    bool ok = true;
+};
+
+BenchClientResult
+runBenchClientWorker(const std::string &host, uint16_t port,
+                     const std::vector<pc::Assignment> &queries,
+                     const std::vector<size_t> &slice, size_t pipeline,
+                     std::vector<double> &values,
+                     std::vector<uint8_t> &got)
+{
+    BenchClientResult res;
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        res.ok = false;
+        return res;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        res.ok = false;
+        return res;
+    }
+
+    // Handshake, synchronous: one Hello out, one HelloAck back.
+    std::vector<uint8_t> buf;
+    wire::appendHello(buf);
+    wire::FrameDecoder decoder;
+    bool acked = false;
+    if (sendAll(fd, buf.data(), buf.size())) {
+        std::vector<uint8_t> inbuf(4096);
+        while (!acked) {
+            const ssize_t n =
+                ::recv(fd, inbuf.data(), inbuf.size(), 0);
+            if (n <= 0)
+                break;
+            decoder.feed(inbuf.data(), size_t(n));
+            wire::Frame frame;
+            const auto status = decoder.next(&frame);
+            if (status == wire::FrameDecoder::Status::NeedMore)
+                continue;
+            acked = status == wire::FrameDecoder::Status::Ok &&
+                    frame.type == wire::FrameType::HelloAck &&
+                    frame.helloVersion == wire::kProtocolVersion;
+            break;
+        }
+    }
+    if (!acked) {
+        ::close(fd);
+        res.ok = false;
+        return res;
+    }
+
+    // Pipelined submit/receive: the reader drains Results (freeing
+    // pipeline slots) while the sender streams Submits, so neither
+    // side can wedge on a full socket buffer.
+    std::mutex m;
+    std::condition_variable cv;
+    size_t inflight = 0;
+    bool failed = false;
+    std::vector<std::chrono::steady_clock::time_point> sent_at(
+        queries.size());
+    std::thread reader([&] {
+        std::vector<uint8_t> inbuf(1 << 16);
+        size_t received = 0;
+        while (received < slice.size()) {
+            const ssize_t n =
+                ::recv(fd, inbuf.data(), inbuf.size(), 0);
+            if (n <= 0)
+                break;
+            decoder.feed(inbuf.data(), size_t(n));
+            for (;;) {
+                wire::Frame frame;
+                const auto status = decoder.next(&frame);
+                if (status == wire::FrameDecoder::Status::NeedMore)
+                    break;
+                if (status !=
+                        wire::FrameDecoder::Status::Ok ||
+                    frame.type != wire::FrameType::Result) {
+                    received = slice.size(); // abort
+                    std::lock_guard<std::mutex> lock(m);
+                    failed = true;
+                    break;
+                }
+                const size_t q = size_t(frame.result.id);
+                const auto now = std::chrono::steady_clock::now();
+                res.latenciesNs.push_back(uint64_t(
+                    std::chrono::duration_cast<
+                        std::chrono::nanoseconds>(now - sent_at[q])
+                        .count()));
+                if (frame.result.error == sys::REASON_ERR_OVERLOAD) {
+                    ++res.overloads;
+                } else if (frame.result.error != 0 ||
+                           frame.result.values.size() != 1) {
+                    ++res.otherErrors;
+                } else {
+                    values[q] = frame.result.values[0];
+                    got[q] = 1;
+                }
+                ++received;
+                {
+                    std::lock_guard<std::mutex> lock(m);
+                    --inflight;
+                }
+                cv.notify_one();
+            }
+        }
+        std::lock_guard<std::mutex> lock(m);
+        if (received < slice.size())
+            failed = true;
+        cv.notify_all();
+    });
+
+    std::vector<uint8_t> out;
+    for (size_t q : slice) {
+        {
+            std::unique_lock<std::mutex> lock(m);
+            cv.wait(lock,
+                    [&] { return inflight < pipeline || failed; });
+            if (failed)
+                break;
+            ++inflight;
+        }
+        wire::SubmitFrame submit;
+        submit.id = q;
+        submit.numVars = uint32_t(queries[q].size());
+        submit.rows.push_back(queries[q]);
+        out.clear();
+        wire::appendSubmit(out, submit);
+        sent_at[q] = std::chrono::steady_clock::now();
+        if (!sendAll(fd, out.data(), out.size())) {
+            std::lock_guard<std::mutex> lock(m);
+            failed = true;
+            break;
+        }
+    }
+    reader.join();
+    ::close(fd);
+    res.ok = !failed;
+    return res;
+}
+
+#endif // REASON_HAS_SOCKETS
+
+int
+cmdBenchClient(const std::vector<std::string> &args)
+{
+    uint64_t port = 0;
+    std::string host = "127.0.0.1";
+    uint64_t requests = 2000;
+    uint64_t clients = 2;
+    uint64_t pipeline = 64;
+    uint64_t seed = 1;
+    const std::vector<CliOption> options = {
+        countOpt("--port", 1, 65535, &port,
+                 "server port (see `serve --listen`)"),
+        textOpt("--host", &host, "server address (default loopback)"),
+        countOpt("--requests", 1, uint64_t(1) << 30, &requests,
+                 "total queries submitted across clients"),
+        countOpt("--clients", 1, 256, &clients,
+                 "client threads, one connection each"),
+        countOpt("--pipeline", 1, 1u << 20, &pipeline,
+                 "max in-flight requests per connection"),
+        countOpt("--seed", 0, ~uint64_t(0), &seed,
+                 "query sampling RNG seed"),
+    };
+    switch (parseSubcommand("bench-client", "<file.rpc>", args,
+                            options)) {
+      case ParseStatus::Help: return 0;
+      case ParseStatus::Error: return usage();
+      case ParseStatus::Ok: break;
+    }
+    if (port == 0) {
+        std::fprintf(stderr, "bench-client: --port is required\n");
+        return usage();
+    }
+#if !REASON_HAS_SOCKETS
+    fatal("bench-client requires POSIX sockets (unavailable on this "
+          "platform)");
+#else
+    pc::Circuit circuit = loadCircuit(args[0]);
+    Rng rng(seed);
+    const std::vector<pc::Assignment> queries =
+        pc::sampleDataset(rng, circuit, size_t(requests));
+
+    std::vector<double> values(queries.size(), 0.0);
+    std::vector<uint8_t> got(queries.size(), 0);
+    std::vector<std::vector<size_t>> slices(clients);
+    for (size_t q = 0; q < queries.size(); ++q)
+        slices[q % clients].push_back(q);
+
+    std::printf("bench-client: %zu requests, %llu connection(s), "
+                "pipeline %llu, %s:%llu\n",
+                queries.size(), (unsigned long long)clients,
+                (unsigned long long)pipeline, host.c_str(),
+                (unsigned long long)port);
+
+    std::vector<BenchClientResult> results(clients);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> workers;
+    for (uint64_t c = 0; c < clients; ++c)
+        workers.emplace_back([&, c] {
+            results[c] = runBenchClientWorker(
+                host, uint16_t(port), queries, slices[c],
+                size_t(pipeline), values, got);
+        });
+    for (std::thread &w : workers)
+        w.join();
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count();
+
+    bool transport_ok = true;
+    uint64_t overloads = 0;
+    uint64_t other_errors = 0;
+    std::vector<uint64_t> all_lat;
+    for (const BenchClientResult &r : results) {
+        transport_ok = transport_ok && r.ok;
+        overloads += r.overloads;
+        other_errors += r.otherErrors;
+        all_lat.insert(all_lat.end(), r.latenciesNs.begin(),
+                       r.latenciesNs.end());
+    }
+    std::sort(all_lat.begin(), all_lat.end());
+    auto percentile = [&](double p) {
+        if (all_lat.empty())
+            return 0.0;
+        const size_t idx = std::min(
+            all_lat.size() - 1, size_t(p * double(all_lat.size())));
+        return double(all_lat[idx]) * 1e-6;
+    };
+
+    // Bitwise verification against in-process one-at-a-time
+    // submission — the serving determinism contract made observable
+    // from outside the process.
+    sys::ReasonEngine reference;
+    sys::Session session = reference.createSession(circuit);
+    uint64_t mismatches = 0;
+    size_t answered = 0;
+    std::vector<double> remote_answered;
+    std::vector<double> local_answered;
+    for (size_t q = 0; q < queries.size(); ++q) {
+        if (!got[q])
+            continue;
+        ++answered;
+        const auto r = session.wait(session.submit(queries[q]));
+        if (r->error != sys::REASON_OK) {
+            ++mismatches; // remote answered, local failed
+            continue;
+        }
+        remote_answered.push_back(values[q]);
+        local_answered.push_back(r->outputs[0]);
+        if (std::bit_cast<uint64_t>(values[q]) !=
+            std::bit_cast<uint64_t>(r->outputs[0]))
+            ++mismatches;
+    }
+
+    std::printf("completed %zu/%zu in %.3f ms: %.1f req/s\n",
+                answered + size_t(overloads), queries.size(), wall_ms,
+                double(answered + size_t(overloads)) /
+                    (wall_ms * 1e-3));
+    std::printf("latency: p50 %.3f ms, p99 %.3f ms\n",
+                percentile(0.50), percentile(0.99));
+    std::printf("errors: %llu overload, %llu other\n",
+                (unsigned long long)overloads,
+                (unsigned long long)other_errors);
+    std::printf("bitwise: %llu mismatches over %zu answered "
+                "(checksum remote %016llx local %016llx)\n",
+                (unsigned long long)mismatches, answered,
+                (unsigned long long)wire::checksumValues(
+                    remote_answered.data(), remote_answered.size()),
+                (unsigned long long)wire::checksumValues(
+                    local_answered.data(), local_answered.size()));
+    if (!transport_ok)
+        std::fprintf(stderr, "bench-client: transport failure\n");
+    return transport_ok && mismatches == 0 && other_errors == 0 ? 0
+                                                                : 1;
+#endif
+}
+
 int
 cmdServe(const std::vector<std::string> &args)
 {
@@ -616,8 +1093,15 @@ cmdServe(const std::vector<std::string> &args)
     uint64_t max_batch = 64;
     uint64_t window_us = 0;
     uint64_t serve_threads = 1;
+    uint64_t dispatchers = 1;
+    uint64_t capacity = 0;
+    std::string policy_text = "reject";
+    bool auto_window = false;
+    bool pin_threads = false;
+    uint64_t listen_port = 0;
+    bool listen_set = false;
     uint64_t seed = 1;
-    const std::vector<CliOption> options = {
+    std::vector<CliOption> options = {
         countOpt("--requests", 1, uint64_t(1) << 30, &requests,
                  "total queries submitted across clients"),
         countOpt("--clients", 1, 256, &clients,
@@ -629,6 +1113,18 @@ cmdServe(const std::vector<std::string> &args)
         countOpt("--serve-threads", 0, util::kMaxThreads,
                  &serve_threads,
                  "engine evaluation pool workers (0 = hardware)"),
+        countOpt("--dispatchers", 1, util::kMaxThreads, &dispatchers,
+                 "dispatcher threads draining the queue"),
+        countOpt("--capacity", 0, uint64_t(1) << 30, &capacity,
+                 "queue capacity before shedding (0 = unbounded)"),
+        textOpt("--policy", &policy_text,
+                "full-queue policy: reject (new) or shed (oldest)"),
+        flagOpt("--auto-window", &auto_window,
+                "autotune the linger window from arrival/exec EWMAs"),
+        flagOpt("--pin", &pin_threads,
+                "pin dispatcher and eval threads to cores"),
+        countOpt("--listen", 0, 65535, &listen_port,
+                 "serve the binary wire protocol on loopback TCP"),
         countOpt("--seed", 0, ~uint64_t(0), &seed,
                  "query sampling RNG seed"),
     };
@@ -637,20 +1133,43 @@ cmdServe(const std::vector<std::string> &args)
       case ParseStatus::Error: return usage();
       case ParseStatus::Ok: break;
     }
+    sys::QueuePolicy policy = sys::QueuePolicy::RejectNew;
+    if (!parseQueuePolicy(policy_text, &policy)) {
+        std::fprintf(stderr, "serve: unknown --policy '%s'\n",
+                     policy_text.c_str());
+        return usage();
+    }
+    for (const std::string &a : args)
+        listen_set = listen_set || a == "--listen";
 
     pc::Circuit circuit = loadCircuit(args[0]);
     std::printf("circuit: %zu nodes, %zu edges, %u vars\n",
                 circuit.numNodes(), circuit.numEdges(),
                 circuit.numVars());
 
-    Rng rng(seed);
-    std::vector<pc::Assignment> queries =
-        pc::sampleDataset(rng, circuit, size_t(requests));
-
     sys::ServeOptions serve;
     serve.maxBatch = unsigned(max_batch);
     serve.maxCoalesceWindowUs = unsigned(window_us);
     serve.serveThreads = unsigned(serve_threads);
+    serve.dispatchers = unsigned(dispatchers);
+    serve.queueCapacity = size_t(capacity);
+    serve.queuePolicy = policy;
+    serve.autoLingerWindow = auto_window;
+    serve.pinThreads = pin_threads;
+
+    if (listen_set) {
+#if REASON_HAS_SOCKETS
+        return runServeSocket(circuit, serve, uint16_t(listen_port));
+#else
+        fatal("serve --listen requires POSIX sockets (unavailable on "
+              "this platform)");
+#endif
+    }
+
+    Rng rng(seed);
+    std::vector<pc::Assignment> queries =
+        pc::sampleDataset(rng, circuit, size_t(requests));
+
     sys::ReasonEngine engine(serve);
 
     std::vector<sys::Session> sessions;
@@ -658,16 +1177,22 @@ cmdServe(const std::vector<std::string> &args)
         sessions.push_back(engine.createSession(circuit));
 
     std::printf("serve: %zu requests, %llu client(s), maxBatch %llu, "
-                "window %llu us, %llu eval worker(s)\n",
+                "window %llu us, %llu eval worker(s), %llu "
+                "dispatcher(s), capacity %llu (%s)\n",
                 queries.size(), (unsigned long long)clients,
                 (unsigned long long)max_batch,
                 (unsigned long long)window_us,
-                (unsigned long long)serve_threads);
+                (unsigned long long)serve_threads,
+                (unsigned long long)dispatchers,
+                (unsigned long long)capacity, policy_text.c_str());
 
     // Each client submits its slice asynchronously, then waits — the
-    // backlog is what the engine coalesces across sessions.
+    // backlog is what the engine coalesces across sessions.  Overload
+    // shedding is an expected outcome under a bounded queue, not a
+    // failure.
     std::vector<std::vector<uint64_t>> latencies(clients);
     std::vector<std::vector<double>> lls(clients);
+    std::atomic<uint64_t> shed{0};
     const auto t0 = std::chrono::steady_clock::now();
     std::vector<std::thread> workers;
     for (uint64_t c = 0; c < clients; ++c) {
@@ -678,6 +1203,10 @@ cmdServe(const std::vector<std::string> &args)
                 handles.push_back(session.submit(queries[q]));
             for (sys::RequestHandle &h : handles) {
                 std::shared_ptr<const sys::Request> r = session.wait(h);
+                if (r->error == sys::REASON_ERR_OVERLOAD) {
+                    shed.fetch_add(1, std::memory_order_relaxed);
+                    continue;
+                }
                 if (r->error != sys::REASON_OK)
                     fatal("request %llu failed with error %d",
                           (unsigned long long)h.id(), r->error);
@@ -703,6 +1232,8 @@ cmdServe(const std::vector<std::string> &args)
     }
     std::sort(all_lat.begin(), all_lat.end());
     auto percentile = [&](double p) {
+        if (all_lat.empty())
+            return 0.0;
         const size_t idx = std::min(
             all_lat.size() - 1,
             size_t(p * double(all_lat.size())));
@@ -710,19 +1241,25 @@ cmdServe(const std::vector<std::string> &args)
     };
 
     const sys::EngineStats stats = engine.stats();
-    std::printf("served %zu requests in %.3f ms: %.1f req/s\n",
-                queries.size(), wall_ms,
-                double(queries.size()) / (wall_ms * 1e-3));
-    std::printf("latency: p50 %.3f ms, p99 %.3f ms, mean %.3f ms\n",
+    std::printf("served %zu/%zu requests in %.3f ms: %.1f req/s "
+                "(%llu shed)\n",
+                all_lat.size(), queries.size(), wall_ms,
+                double(queries.size()) / (wall_ms * 1e-3),
+                (unsigned long long)shed.load());
+    std::printf("latency: p50 %.3f ms, p99 %.3f ms, mean %.3f ms "
+                "(engine reservoir p50 %.3f ms, p99 %.3f ms)\n",
                 percentile(0.50), percentile(0.99),
-                stats.meanLatencyMs);
+                stats.meanLatencyMs, stats.p50LatencyMs,
+                stats.p99LatencyMs);
     std::printf("batching: %llu batches, mean occupancy %.2f rows, "
-                "max queue depth %llu\n",
+                "max queue depth %llu, last linger %.1f us\n",
                 (unsigned long long)stats.batches,
                 stats.meanBatchOccupancy,
-                (unsigned long long)stats.maxQueueDepth);
-    std::printf("mean served log-likelihood: %.9f\n",
-                ll_sum / double(queries.size()));
+                (unsigned long long)stats.maxQueueDepth,
+                stats.lastLingerUs);
+    if (!all_lat.empty())
+        std::printf("mean served log-likelihood: %.9f\n",
+                    ll_sum / double(all_lat.size()));
     return 0;
 }
 
@@ -777,5 +1314,7 @@ main(int argc, char **argv)
         return cmdFit(args);
     if (cmd == "serve")
         return cmdServe(args);
+    if (cmd == "bench-client")
+        return cmdBenchClient(args);
     return usage();
 }
