@@ -158,17 +158,26 @@ ReasonEngine::ReasonEngine(const ServeOptions &options)
         options_.dispatchers = 1;
     if (options_.startPaused)
         queue_.pause();
+    // Disjoint pin layout: dispatcher d occupies the contiguous core
+    // block [base, base + poolThreads).  The dispatcher thread takes
+    // the block's first core — it is worker 0 of its own pool (the
+    // parallelFor caller) — and the pool's spawned workers take the
+    // rest, so pools of different dispatchers never stack on the same
+    // low core indices.
+    unsigned pin_base = 0;
     for (unsigned d = 0; d < options_.dispatchers; ++d) {
         auto disp = std::make_unique<Dispatcher>();
         disp->evalPool = std::make_unique<util::ThreadPool>(
-            options_.serveThreads, options_.pinThreads);
+            options_.serveThreads, options_.pinThreads, pin_base);
+        disp->pinCore = pin_base;
+        pin_base += disp->evalPool->numThreads();
         dispatchers_.push_back(std::move(disp));
     }
     for (unsigned d = 0; d < options_.dispatchers; ++d) {
         Dispatcher *disp = dispatchers_[d].get();
-        disp->thread = std::thread([this, disp, d] {
+        disp->thread = std::thread([this, disp] {
             if (options_.pinThreads)
-                util::pinCurrentThreadToCore(d);
+                util::pinCurrentThreadToCore(disp->pinCore);
             workerLoop(*disp);
         });
     }
@@ -225,13 +234,17 @@ ReasonEngine::stats() const
     s.rows = q.rows;
     s.batches = q.batches;
     s.completed = q.completed;
+    s.executed = q.executed;
     s.meanBatchOccupancy = q.meanBatchOccupancy();
     s.maxQueueDepth = q.maxQueueDepth;
-    if (q.completed > 0) {
+    // Means are over *executed* requests: shed/rejected/shutdown
+    // completions carry no latency and would bias the means low
+    // exactly when the engine is overloaded.
+    if (q.executed > 0) {
         s.meanQueueMs =
-            double(q.totalQueueNs) / double(q.completed) * 1e-6;
+            double(q.totalQueueNs) / double(q.executed) * 1e-6;
         s.meanLatencyMs =
-            double(q.totalLatencyNs) / double(q.completed) * 1e-6;
+            double(q.totalLatencyNs) / double(q.executed) * 1e-6;
     }
     s.shedRequests = q.shedRequests;
     s.p50LatencyMs = q.p50LatencyMs;

@@ -133,15 +133,17 @@ struct EngineStats
     uint64_t rows = 0;
     /** Coalesced batches dispatched. */
     uint64_t batches = 0;
-    /** Requests completed (including shutdown failures). */
+    /** Requests completed (including shutdown/overload failures). */
     uint64_t completed = 0;
+    /** Requests that actually executed (completed minus failures). */
+    uint64_t executed = 0;
     /** Mean rows per dispatched batch. */
     double meanBatchOccupancy = 0.0;
     /** Deepest pending-queue depth observed. */
     uint64_t maxQueueDepth = 0;
-    /** Mean enqueue-to-dispatch wait over completed requests (ms). */
+    /** Mean enqueue-to-dispatch wait over executed requests (ms). */
     double meanQueueMs = 0.0;
-    /** Mean enqueue-to-completion latency over completed requests (ms). */
+    /** Mean enqueue-to-completion latency over executed requests (ms). */
     double meanLatencyMs = 0.0;
     /** Requests completed with REASON_ERR_OVERLOAD. */
     uint64_t shedRequests = 0;
@@ -339,6 +341,8 @@ class ReasonEngine
         /** Program-mode reused input row (the Listing-1 alloc hoist). */
         std::vector<double> inputRow;
         std::unique_ptr<util::ThreadPool> evalPool;
+        /** First core of this dispatcher's pin block (pinThreads). */
+        unsigned pinCore = 0;
         std::thread thread;
     };
 

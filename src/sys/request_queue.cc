@@ -360,6 +360,7 @@ RequestQueue::complete(const std::vector<std::shared_ptr<Request>> &group)
         stats_.totalQueueNs += r->startedNs - r->enqueuedNs;
         stats_.totalLatencyNs += done - r->enqueuedNs;
         ++stats_.completed;
+        ++stats_.executed;
         recordLatencyLocked(double(done - r->enqueuedNs) / 1e6);
     }
     if (!group.empty() && group.front()->startedNs > 0)
@@ -409,11 +410,12 @@ RequestQueue::shutdown()
         Shard &shard = entry.second;
         for (Lane &lane : shard.lanes)
             for (const auto &r : lane.queue) {
+                // Failed, never executed: count completion only, so
+                // the latency means keep their executed-requests
+                // denominator (see QueueStats::executed).
                 r->error = REASON_ERR_SHUTDOWN;
                 r->state = RequestState::Done;
                 r->completedNs = done;
-                stats_.totalQueueNs += done - r->enqueuedNs;
-                stats_.totalLatencyNs += done - r->enqueuedNs;
                 ++stats_.completed;
             }
         shard.lanes.clear();

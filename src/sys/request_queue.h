@@ -218,6 +218,13 @@ struct QueueStats
     uint64_t totalLatencyNs = 0;
     /** Requests completed (including shutdown/overload failures). */
     uint64_t completed = 0;
+    /**
+     * Requests that ran to completion through a dispatcher — the
+     * denominator of the latency/queue-time means and the reservoir
+     * population.  Shed, rejected, and shutdown-failed requests count
+     * in `completed` only, so overload cannot bias the means low.
+     */
+    uint64_t executed = 0;
     /** Requests completed with REASON_ERR_OVERLOAD (both policies). */
     uint64_t shedRequests = 0;
 

@@ -184,10 +184,20 @@ FrameDecoder::next(Frame *out)
         s.rows.clear();
         uint32_t num_rows = 0;
         ok = r.u64(&s.id) && r.u32(&num_rows) && r.u32(&s.numVars);
-        // The row payload must match the declared shape exactly; the
-        // size_t products cannot overflow (both factors fit 32 bits).
-        ok = ok &&
-             r.left == size_t(num_rows) * size_t(s.numVars) * 4;
+        // Validate the declared shape by dividing the remaining
+        // payload, never by multiplying it out: the product form can
+        // wrap 64 bits (2^31 x 2^31 x 4 == 0 mod 2^64), and
+        // numVars == 0 would let any num_rows pass against an empty
+        // payload — either way a tiny frame could drive the resize
+        // below into a multi-gigabyte allocation.  r.left is bounded
+        // by kMaxFrameBytes, so this also bounds the allocation.
+        if (ok) {
+            const size_t row_bytes = size_t(s.numVars) * 4;
+            ok = row_bytes == 0
+                     ? num_rows == 0 && r.left == 0
+                     : r.left % row_bytes == 0 &&
+                           size_t(num_rows) == r.left / row_bytes;
+        }
         if (ok) {
             s.rows.resize(num_rows);
             for (auto &row : s.rows) {

@@ -29,8 +29,9 @@ pinCurrentThreadToCore(unsigned core)
 #endif
 }
 
-ThreadPool::ThreadPool(unsigned threads, bool pin_threads)
-    : pinThreads_(pin_threads)
+ThreadPool::ThreadPool(unsigned threads, bool pin_threads,
+                       unsigned pin_base)
+    : pinThreads_(pin_threads), pinBase_(pin_base)
 {
     if (threads == 0) {
         threads = std::thread::hardware_concurrency();
@@ -57,7 +58,7 @@ void
 ThreadPool::workerLoop(unsigned worker_index)
 {
     if (pinThreads_)
-        pinCurrentThreadToCore(worker_index);
+        pinCurrentThreadToCore(pinBase_ + worker_index);
     uint64_t seen = 0;
     for (;;) {
         RangeFn fn;

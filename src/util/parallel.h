@@ -48,11 +48,15 @@ class ThreadPool
      * Create a pool with `threads` total workers including the calling
      * thread (so `threads - 1` OS threads are spawned).  `threads == 0`
      * uses std::thread::hardware_concurrency().  With `pin_threads`,
-     * each spawned worker pins itself to core `worker_index mod
-     * hardware_concurrency` (best effort — see pinCurrentThreadToCore;
-     * the calling thread is never pinned by the pool).
+     * each spawned worker pins itself to core `(pin_base +
+     * worker_index) mod hardware_concurrency` (best effort — see
+     * pinCurrentThreadToCore; the calling thread is never pinned by
+     * the pool).  Owners of several pools pass distinct `pin_base`
+     * offsets so pools occupy disjoint core blocks instead of all
+     * stacking on cores 0..threads-1 (see ReasonEngine).
      */
-    explicit ThreadPool(unsigned threads = 0, bool pin_threads = false);
+    explicit ThreadPool(unsigned threads = 0, bool pin_threads = false,
+                        unsigned pin_base = 0);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -104,6 +108,8 @@ class ThreadPool
     unsigned pending_ = 0;
     bool shutdown_ = false;
     bool pinThreads_ = false;
+    /** First core of this pool's pin block (worker w -> base + w). */
+    unsigned pinBase_ = 0;
     /** Current job (valid while pending_ > 0). */
     RangeFn jobFn_ = nullptr;
     void *jobCtx_ = nullptr;

@@ -104,6 +104,7 @@ TEST(EngineMt, BitIdenticalAcrossDispatchersAndPolicies)
             }
             EngineStats stats = engine.stats();
             EXPECT_EQ(stats.completed, rows.size());
+            EXPECT_EQ(stats.executed, rows.size());
             EXPECT_EQ(stats.shedRequests, 0u);
         }
     }
@@ -151,6 +152,10 @@ TEST(EngineMt, RejectNewFailsOverflowWithOverloadError)
     EngineStats stats = engine.stats();
     EXPECT_EQ(stats.shedRequests, rows.size() - capacity);
     EXPECT_LE(stats.maxQueueDepth, capacity);
+    // Latency means count only the requests that actually executed;
+    // instant rejections must not drag the means toward zero.
+    EXPECT_EQ(stats.completed, rows.size());
+    EXPECT_EQ(stats.executed, capacity);
 }
 
 TEST(EngineMt, ShedOldestKeepsNewestAndBoundsDepth)
@@ -191,6 +196,8 @@ TEST(EngineMt, ShedOldestKeepsNewestAndBoundsDepth)
     EngineStats stats = engine.stats();
     EXPECT_EQ(stats.shedRequests, rows.size() - capacity);
     EXPECT_LE(stats.maxQueueDepth, capacity);
+    EXPECT_EQ(stats.completed, rows.size());
+    EXPECT_EQ(stats.executed, capacity);
 }
 
 // ---------------------------------------------------------------------------
@@ -383,6 +390,38 @@ TEST(WireProtocol, MalformedFramesPoisonInsteadOfCrashing)
         bytes.pop_back(); // truncate the last row value
         bytes[0] -= 1;    // keep the length prefix consistent
         EXPECT_EQ(decode_all(bytes), Status::Malformed);
+    }
+    // Shape attacks: a Submit header with no row payload (body is
+    // type + id(8) + numRows(4) + numVars(4) = 17 bytes) must never
+    // turn its declared shape into a huge allocation.
+    auto shape_frame = [](uint32_t num_rows, uint32_t num_vars) {
+        std::vector<uint8_t> bytes = {
+            17, 0, 0, 0, uint8_t(wire::FrameType::Submit)};
+        bytes.insert(bytes.end(), 8, 0); // id
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(uint8_t(num_rows >> (8 * i)));
+        for (int i = 0; i < 4; ++i)
+            bytes.push_back(uint8_t(num_vars >> (8 * i)));
+        return bytes;
+    };
+    // numVars == 0 must not validate an arbitrary declared row count
+    // against the empty payload (a 21-byte frame would otherwise
+    // resize ~4G rows and likely kill the server on bad_alloc).
+    EXPECT_EQ(decode_all(shape_frame(0xffffffffu, 0)),
+              Status::Malformed);
+    // 2^31 rows x 2^31 vars x 4 bytes wraps 64-bit size_t to zero;
+    // the division-based shape check still rejects it.
+    EXPECT_EQ(decode_all(shape_frame(0x80000000u, 0x80000000u)),
+              Status::Malformed);
+    // An empty batch (numVars set, zero rows) stays decodable.
+    {
+        const std::vector<uint8_t> bytes = shape_frame(0, 4);
+        wire::FrameDecoder decoder;
+        decoder.feed(bytes.data(), bytes.size());
+        wire::Frame f;
+        EXPECT_EQ(decoder.next(&f), Status::Ok);
+        EXPECT_EQ(f.submit.numVars, 4u);
+        EXPECT_TRUE(f.submit.rows.empty());
     }
     // A truncated valid frame is NeedMore, not Malformed.
     {

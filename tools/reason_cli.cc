@@ -685,8 +685,8 @@ sendAll(int fd, const uint8_t *data, size_t n)
  * violation or unexpected frame type drops the connection.
  */
 void
-serveConnection(sys::ReasonEngine &engine, const pc::Circuit &circuit,
-                int fd)
+serveConnectionLoop(sys::ReasonEngine &engine,
+                    const pc::Circuit &circuit, int fd)
 {
     sys::Session session = engine.createSession(circuit);
     wire::FrameDecoder decoder;
@@ -741,6 +741,18 @@ serveConnection(sys::ReasonEngine &engine, const pc::Circuit &circuit,
                 break;
             }
         }
+    }
+}
+
+void
+serveConnection(sys::ReasonEngine &engine, const pc::Circuit &circuit,
+                int fd)
+{
+    try {
+        serveConnectionLoop(engine, circuit, fd);
+    } catch (const std::exception &) {
+        // One connection must never take the server down: treat any
+        // handler failure (e.g. allocation) as a dropped connection.
     }
     ::close(fd);
 }
@@ -866,6 +878,11 @@ runBenchClientWorker(const std::string &host, uint16_t port,
     bool failed = false;
     std::vector<std::chrono::steady_clock::time_point> sent_at(
         queries.size());
+    // Per-query lifecycle (guarded by m): 0 = unsent, 1 = in flight,
+    // 2 = result received.  Result ids are server-echoed, so anything
+    // that is not a currently in-flight query of this worker is a
+    // protocol violation, never an index.
+    std::vector<uint8_t> query_state(queries.size(), 0);
     std::thread reader([&] {
         std::vector<uint8_t> inbuf(1 << 16);
         size_t received = 0;
@@ -888,11 +905,29 @@ runBenchClientWorker(const std::string &host, uint16_t port,
                     failed = true;
                     break;
                 }
-                const size_t q = size_t(frame.result.id);
+                const uint64_t id = frame.result.id;
                 const auto now = std::chrono::steady_clock::now();
+                std::chrono::steady_clock::time_point sent;
+                bool id_ok;
+                {
+                    std::lock_guard<std::mutex> lock(m);
+                    id_ok = id < queries.size() &&
+                            query_state[size_t(id)] == 1;
+                    if (id_ok) {
+                        query_state[size_t(id)] = 2;
+                        sent = sent_at[size_t(id)];
+                    } else {
+                        failed = true; // unknown or duplicate id
+                    }
+                }
+                if (!id_ok) {
+                    received = slice.size(); // abort
+                    break;
+                }
+                const size_t q = size_t(id);
                 res.latenciesNs.push_back(uint64_t(
                     std::chrono::duration_cast<
-                        std::chrono::nanoseconds>(now - sent_at[q])
+                        std::chrono::nanoseconds>(now - sent)
                         .count()));
                 if (frame.result.error == sys::REASON_ERR_OVERLOAD) {
                     ++res.overloads;
@@ -926,6 +961,8 @@ runBenchClientWorker(const std::string &host, uint16_t port,
             if (failed)
                 break;
             ++inflight;
+            sent_at[q] = std::chrono::steady_clock::now();
+            query_state[q] = 1;
         }
         wire::SubmitFrame submit;
         submit.id = q;
@@ -933,7 +970,6 @@ runBenchClientWorker(const std::string &host, uint16_t port,
         submit.rows.push_back(queries[q]);
         out.clear();
         wire::appendSubmit(out, submit);
-        sent_at[q] = std::chrono::steady_clock::now();
         if (!sendAll(fd, out.data(), out.size())) {
             std::lock_guard<std::mutex> lock(m);
             failed = true;
