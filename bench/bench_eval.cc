@@ -28,6 +28,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,9 +36,11 @@
 #include <thread>
 #include <vector>
 
+#include "../tests/random_circuit.h"
 #include "core/builders.h"
 #include "core/flat.h"
 #include "hmm/hmm.h"
+#include "pc/approx.h"
 #include "pc/flat_pc.h"
 #include "pc/learn.h"
 #include "pc/pc.h"
@@ -201,6 +204,45 @@ hmmForwardScalarRef(const hmm::Hmm &h, const hmm::Sequence &obs,
         alpha.swap(next);
     }
     return ll;
+}
+
+/**
+ * Skewed mixture for the approximate tier: C product components over V
+ * shared variables with geometrically decaying weights exp(-2.5 k) and
+ * near-identical per-component leaf distributions (small perturbations
+ * around one shared base), so the negligible-weight tail is negligible
+ * *conditionally* too — pruning it is both fast and provably cheap.
+ * At the default 1500 vars this is 800 x 151 + 1 = ~120.8k nodes, of
+ * which a 1e-3 budget keeps a handful of components.
+ */
+reason::pc::Circuit
+approxMixtureCircuit(reason::Rng &rng, uint32_t num_vars)
+{
+    using reason::pc::NodeId;
+    const uint32_t V = std::max(4u, num_vars / 10);
+    const uint32_t C = std::max(8u, num_vars * 8 / 15);
+    reason::pc::Circuit mc(V, 2);
+    std::vector<double> base(V);
+    for (uint32_t v = 0; v < V; ++v)
+        base[v] = rng.uniformReal(0.2, 0.8);
+    std::vector<NodeId> comps;
+    std::vector<double> weights;
+    for (uint32_t k = 0; k < C; ++k) {
+        std::vector<NodeId> leaves;
+        for (uint32_t v = 0; v < V; ++v) {
+            const double p =
+                base[v] + rng.uniformReal(-0.002, 0.002);
+            leaves.push_back(mc.addLeaf(v, {p, 1.0 - p}));
+        }
+        comps.push_back(mc.addProduct(std::move(leaves)));
+        // exp(-2.5 k) underflows to exact 0 past k ~ 283: those
+        // components stay in the circuit (the exact engine pays for
+        // them) but carry -inf log-weight, the zero-mass case the
+        // pruner must drop bitwise-safely.
+        weights.push_back(std::exp(-2.5 * double(k)));
+    }
+    mc.markRoot(mc.addSum(std::move(comps), std::move(weights)));
+    return mc;
 }
 
 /** Doubles that differ bitwise between two parameter sets. */
@@ -911,6 +953,133 @@ main(int argc, char **argv)
         bitwise_failures += mismatches;
     }
 
+    // --- approximate/anytime tier: budgeted evaluator + bound gate ------
+    {
+        // Speedup leg: the skewed mixture (~120k nodes at the default
+        // size) where a 1e-3 budget keeps a handful of components.
+        // Exact baseline is the production serial flat engine; the
+        // approximate tier must clear >= 10x with actual error
+        // |dlogp| <= 1e-3 (gate waived on small bench sizes, where the
+        // mixture is too tiny for either the timing or the pruning
+        // ratio to mean anything).
+        Rng arng(909);
+        pc::Circuit mix = approxMixtureCircuit(arng, num_vars);
+        pc::FlatCircuit mix_flat(mix);
+        const double gate_budget = 1e-3;
+        pc::ApproxOptions aopts;
+        aopts.budget = gate_budget;
+        pc::ApproxEvaluator aeval(mix_flat, aopts);
+        pc::CircuitEvaluator mix_eval(mix_flat, &serial_pool);
+
+        const size_t approx_reps = std::min<size_t>(reps, 200);
+        std::vector<pc::Assignment> mix_rows =
+            pc::sampleDataset(arng, mix, approx_reps);
+        std::vector<double> exact_ll(mix_rows.size());
+        std::vector<pc::ApproxResult> approx_res;
+        mix_eval.logLikelihoodBatch(mix_rows, exact_ll); // warm
+        aeval.queryBatch(mix_rows, approx_res);          // warm
+        double exact_ms = 1e300, approx_ms = 1e300;
+        for (int round = 0; round < 3; ++round) {
+            t0 = Clock::now();
+            mix_eval.logLikelihoodBatch(mix_rows, exact_ll);
+            exact_ms = std::min(exact_ms, msSince(t0));
+            t0 = Clock::now();
+            aeval.queryBatch(mix_rows, approx_res);
+            approx_ms = std::min(approx_ms, msSince(t0));
+        }
+        size_t violations = 0;
+        double max_dlogp = 0.0, sum_dlogp = 0.0;
+        for (size_t i = 0; i < mix_rows.size(); ++i) {
+            const pc::ApproxResult &r = approx_res[i];
+            violations +=
+                !(r.lo <= exact_ll[i] && exact_ll[i] <= r.hi);
+            const double d = std::fabs(r.value - exact_ll[i]);
+            sum_dlogp += d;
+            max_dlogp = std::max(max_dlogp, d);
+        }
+        const double mean_dlogp =
+            mix_rows.empty() ? 0.0
+                             : sum_dlogp / double(mix_rows.size());
+        const double approx_speedup = exact_ms / approx_ms;
+
+        // Differential corpus: the certified interval must contain the
+        // exact answer on every query of 200 adversarial random
+        // circuits (shared DAGs, zero weights, non-decomposable
+        // structure) across the budget sweep; budget 0 must be
+        // *bit-identical* to the exact engine, and rebuilding the
+        // evaluator must reproduce every bit (determinism).
+        size_t corpus_checks = 0, identity_mismatches = 0,
+               determinism_mismatches = 0;
+        Rng crng(20260807);
+        for (int cc = 0; cc < 200; ++cc) {
+            pc::Circuit c = testutil::randomTestCircuit(crng);
+            pc::FlatCircuit cf(c);
+            pc::CircuitEvaluator cev(cf, &serial_pool);
+            const std::vector<pc::Assignment> rows =
+                testutil::randomPartialAssignments(crng, c, 4, 0.3);
+            for (double budget : {0.0, 0.01, 0.1, 0.5, 1.0}) {
+                pc::ApproxOptions o;
+                o.budget = budget;
+                pc::ApproxEvaluator ae(cf, o);
+                pc::ApproxEvaluator ae2(cf, o);
+                for (const pc::Assignment &x : rows) {
+                    const double exact = cev.logLikelihood(x);
+                    const pc::ApproxResult r = ae.query(x);
+                    const pc::ApproxResult r2 = ae2.query(x);
+                    ++corpus_checks;
+                    violations += !(r.lo <= exact && exact <= r.hi);
+                    determinism_mismatches +=
+                        bitsDiffer(r.value, r2.value) ||
+                        bitsDiffer(r.lo, r2.lo) ||
+                        bitsDiffer(r.hi, r2.hi);
+                    if (budget == 0.0)
+                        identity_mismatches +=
+                            bitsDiffer(r.value, exact) ||
+                            bitsDiffer(r.lo, exact) ||
+                            bitsDiffer(r.hi, exact);
+                }
+            }
+        }
+
+        // Bound violations and bitwise regressions always fail the
+        // run; the speedup/accuracy gate needs the full-size mixture.
+        const bool tiny_mixture = mix_flat.numNodes() < 20000;
+        const bool speed_ok =
+            tiny_mixture ||
+            (approx_speedup >= 10.0 && max_dlogp <= 1e-3);
+        gate_failures += violations != 0;
+        gate_failures += !speed_ok;
+        bitwise_failures +=
+            identity_mismatches + determinism_mismatches;
+
+        std::printf(
+            "BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+            "\"approx_tier\",\"nodes\":%zu,\"edges\":%zu,"
+            "\"reps\":%zu,\"budget\":%.0e,\"kept_nodes\":%zu,"
+            "\"total_nodes\":%zu,\"exact_ms\":%.3f,"
+            "\"approx_ms\":%.3f,\"speedup_vs_exact\":%.2f,"
+            "\"mean_abs_dlogp\":%.3e,\"max_abs_dlogp\":%.3e,"
+            "\"corpus_circuits\":200,\"corpus_checks\":%zu,"
+            "\"bound_violations\":%zu,\"bitwise_mismatches\":%zu%s}\n",
+            mix_flat.numNodes(), mix_flat.numEdges(), mix_rows.size(),
+            gate_budget, aeval.keptNodes(), aeval.totalNodes(),
+            exact_ms, approx_ms, approx_speedup, mean_dlogp,
+            max_dlogp, corpus_checks, violations,
+            identity_mismatches + determinism_mismatches, provenance);
+        std::printf(
+            "approx_tier: exact %.3f ms, approx %.3f ms (%zu/%zu "
+            "nodes kept): %.2fx %s (target >=10x at |dlogp| <= 1e-3"
+            "%s), max |dlogp| %.2e, %zu bound violations over %zu "
+            "corpus checks, %zu identity / %zu determinism "
+            "mismatches\n",
+            exact_ms, approx_ms, aeval.keptNodes(),
+            aeval.totalNodes(), approx_speedup,
+            speed_ok && violations == 0 ? "PASS" : "FAIL",
+            tiny_mixture ? ", waived: tiny mixture" : "", max_dlogp,
+            violations, corpus_checks, identity_mismatches,
+            determinism_mismatches);
+    }
+
     // --- linear domain: Dag::evaluate vs core::Evaluator ---------------
     core::Dag dag = core::buildFromCircuit(circuit);
     const size_t dag_reps = reps / 4 ? reps / 4 : 1;
@@ -962,8 +1131,9 @@ main(int argc, char **argv)
     }
     if (gate_failures != 0) {
         std::fprintf(stderr,
-                     "bench_eval: %zu failed serving_mt gates "
-                     "(shed rate / queue depth / admitted p99)\n",
+                     "bench_eval: %zu failed gates (serving_mt shed "
+                     "rate / queue depth / admitted p99, approx_tier "
+                     "bound violations / speedup-at-accuracy)\n",
                      gate_failures);
         return 1;
     }

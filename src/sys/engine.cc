@@ -1,5 +1,8 @@
 #include "sys/engine.h"
 
+#include <bit>
+#include <cmath>
+
 #include "pc/flat_cache.h"
 #include "pc/pc.h"
 #include "util/logging.h"
@@ -66,11 +69,31 @@ Session::submit(pc::Assignment row)
 RequestHandle
 Session::submitBatch(std::vector<pc::Assignment> rows)
 {
+    return submitBatch(std::move(rows), 0.0);
+}
+
+RequestHandle
+Session::submit(pc::Assignment row, double accuracyBudget)
+{
+    std::vector<pc::Assignment> rows;
+    rows.push_back(std::move(row));
+    return submitBatch(std::move(rows), accuracyBudget);
+}
+
+RequestHandle
+Session::submitBatch(std::vector<pc::Assignment> rows,
+                     double accuracyBudget)
+{
     auto request = std::make_shared<Request>();
     request->session = state_;
     if (engine_ == nullptr || state_ == nullptr || state_->isProgram())
         return finishRejected(std::move(request),
                               REASON_ERR_WRONG_SESSION);
+    // NaN fails the >= comparison; infinities are explicit.  Budgets
+    // are rejected, never clamped.
+    if (!(accuracyBudget >= 0.0) || std::isinf(accuracyBudget))
+        return finishRejected(std::move(request),
+                              REASON_ERR_BAD_BUDGET);
     if (rows.empty())
         return finishRejected(std::move(request), REASON_ERR_BAD_BATCH);
     const pc::FlatCircuit &flat = *state_->lowering;
@@ -83,7 +106,15 @@ Session::submitBatch(std::vector<pc::Assignment> rows)
                 return finishRejected(std::move(request),
                                       REASON_ERR_BAD_ASSIGNMENT);
     }
-    request->mode = REASON_MODE_PROBABILISTIC;
+    // Tier selection: a positive budget routes to the approximate
+    // tier; budget 0 (including -0.0) is the exact tier, so the
+    // budgeted overloads degrade to the classic path bit for bit.
+    if (accuracyBudget > 0.0) {
+        request->mode = REASON_MODE_APPROX;
+        request->accuracyBudget = accuracyBudget;
+    } else {
+        request->mode = REASON_MODE_PROBABILISTIC;
+    }
     request->groupKey = state_->lowering.get();
     request->rows = std::move(rows);
     return engine_->enqueue(request);
@@ -291,6 +322,10 @@ ReasonEngine::executeGroup(
             executeProgramRequest(disp, *r);
         return;
     }
+    if (group.front()->mode == REASON_MODE_APPROX) {
+        executeApproxGroup(disp, group);
+        return;
+    }
     executeCircuitGroup(disp, group);
 }
 
@@ -352,6 +387,60 @@ ReasonEngine::executeCircuitGroup(
             disp.groupOut.begin() + long(at),
             disp.groupOut.begin() + long(at + r->rows.size()));
         at += r->rows.size();
+    }
+}
+
+pc::ApproxEvaluator &
+ReasonEngine::approxEvaluatorFor(Dispatcher &disp,
+                                 const pc::FlatCircuit &flat,
+                                 double budget,
+                                 std::shared_ptr<const pc::FlatCircuit>
+                                     keepAlive)
+{
+    const ApproxKey key{&flat, std::bit_cast<uint64_t>(budget)};
+    auto it = disp.approxEvaluators.find(key);
+    if (it == disp.approxEvaluators.end()) {
+        // Same bounded-cache discipline as the exact evaluators:
+        // lowerings stay pinned by in-flight sessions, so evicting a
+        // warm evaluator is always safe.
+        if (disp.approxEvaluators.size() >= kMaxCachedEvaluators)
+            disp.approxEvaluators.erase(disp.approxEvaluators.begin());
+        CachedApprox entry;
+        entry.flat = std::move(keepAlive);
+        pc::ApproxOptions opts;
+        opts.budget = budget;
+        entry.eval = std::make_unique<pc::ApproxEvaluator>(flat, opts);
+        it = disp.approxEvaluators.emplace(key, std::move(entry)).first;
+    }
+    return *it->second.eval;
+}
+
+void
+ReasonEngine::executeApproxGroup(
+    Dispatcher &disp,
+    const std::vector<std::shared_ptr<Request>> &group)
+{
+    // An approx shard coalesces requests of one lowering but possibly
+    // different budgets; each request runs against the evaluator built
+    // for exactly its budget.  Queries are scalar and row-independent
+    // (pc::ApproxEvaluator::queryBatch), so outputs and bounds are
+    // bit-identical no matter how the group was coalesced — the same
+    // contract as the exact tier.
+    const pc::FlatCircuit &flat = *static_cast<const pc::FlatCircuit *>(
+        group.front()->groupKey);
+    for (const auto &r : group) {
+        pc::ApproxEvaluator &eval = approxEvaluatorFor(
+            disp, flat, r->accuracyBudget, r->session->lowering);
+        eval.queryBatch(r->rows, disp.approxOut);
+        const size_t n = r->rows.size();
+        r->outputs.resize(n);
+        r->boundLo.resize(n);
+        r->boundHi.resize(n);
+        for (size_t i = 0; i < n; ++i) {
+            r->outputs[i] = disp.approxOut[i].value;
+            r->boundLo[i] = disp.approxOut[i].lo;
+            r->boundHi[i] = disp.approxOut[i].hi;
+        }
     }
 }
 

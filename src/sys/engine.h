@@ -47,6 +47,7 @@
 
 #include "arch/config.h"
 #include "compiler/program.h"
+#include "pc/approx.h"
 #include "pc/flat_pc.h"
 #include "sys/request_queue.h"
 #include "util/logging.h"
@@ -181,6 +182,19 @@ class RequestHandle
     {
         return checked().outputs;
     }
+    /**
+     * Approximate tier: certified per-row interval endpoints,
+     * boundsLo()[r] <= exact log-likelihood <= boundsHi()[r].
+     * Empty for exact-tier and program requests.
+     */
+    const std::vector<double> &boundsLo() const
+    {
+        return checked().boundLo;
+    }
+    const std::vector<double> &boundsHi() const
+    {
+        return checked().boundHi;
+    }
     /** Program mode: execution result of the batch's final row. */
     const arch::ExecutionResult &execution() const
     {
@@ -241,6 +255,19 @@ class Session
      * bulk queries into several requests for bounded dispatch units.
      */
     RequestHandle submitBatch(std::vector<pc::Assignment> rows);
+
+    /**
+     * Tier-selecting submission: the engine picks the tier from the
+     * accuracy budget.  Budget 0 routes to the exact tier (identical
+     * to the budget-less overloads); a positive budget routes to
+     * REASON_MODE_APPROX, whose results carry certified per-row
+     * bounds (RequestHandle::boundsLo/boundsHi) and are bit-identical
+     * across threads, batch shapes, and dispatcher counts.  NaN,
+     * infinite, or negative budgets fail with REASON_ERR_BAD_BUDGET.
+     */
+    RequestHandle submit(pc::Assignment row, double accuracyBudget);
+    RequestHandle submitBatch(std::vector<pc::Assignment> rows,
+                              double accuracyBudget);
 
     /**
      * Program sessions: submit a Listing-1 batch (row-major inputs,
@@ -325,6 +352,37 @@ class ReasonEngine
     };
 
     /**
+     * Approximate-tier cache key: one evaluator per (lowering,
+     * budget).  The budget participates as its IEEE-754 bit pattern
+     * so distinct budgets never alias (and -0.0 != +0.0 never
+     * matters: submission validation routes budget 0 to the exact
+     * tier).
+     */
+    struct ApproxKey
+    {
+        const pc::FlatCircuit *flat = nullptr;
+        uint64_t budgetBits = 0;
+        bool operator==(const ApproxKey &o) const
+        {
+            return flat == o.flat && budgetBits == o.budgetBits;
+        }
+    };
+    struct ApproxKeyHash
+    {
+        size_t operator()(const ApproxKey &k) const
+        {
+            return std::hash<const void *>()(k.flat) ^
+                   (std::hash<uint64_t>()(k.budgetBits) *
+                    0x9e3779b97f4a7c15ull);
+        }
+    };
+    struct CachedApprox
+    {
+        std::shared_ptr<const pc::FlatCircuit> flat;
+        std::unique_ptr<pc::ApproxEvaluator> eval;
+    };
+
+    /**
      * Per-dispatcher private state: evaluator cache, reused scratch,
      * and the evaluation pool.  Touched only by the owning dispatcher
      * thread, so dispatchers never share evaluation state — the basis
@@ -334,6 +392,11 @@ class ReasonEngine
     {
         std::unordered_map<const pc::FlatCircuit *, CachedEvaluator>
             evaluators;
+        /** Approximate-tier evaluators, keyed (lowering, budget). */
+        std::unordered_map<ApproxKey, CachedApprox, ApproxKeyHash>
+            approxEvaluators;
+        /** Reused approx result scratch. */
+        std::vector<pc::ApproxResult> approxOut;
         /** Reused group scratch (rows, outputs) — no per-batch
          *  allocation once warm. */
         std::vector<pc::Assignment> groupRows;
@@ -352,11 +415,17 @@ class ReasonEngine
     void executeCircuitGroup(
         Dispatcher &disp,
         const std::vector<std::shared_ptr<Request>> &group);
+    void executeApproxGroup(
+        Dispatcher &disp,
+        const std::vector<std::shared_ptr<Request>> &group);
     void executeProgramRequest(Dispatcher &disp, Request &request);
     pc::CircuitEvaluator &evaluatorFor(Dispatcher &disp,
                                        const pc::FlatCircuit &flat,
                                        std::shared_ptr<const pc::FlatCircuit>
                                            keepAlive);
+    pc::ApproxEvaluator &approxEvaluatorFor(
+        Dispatcher &disp, const pc::FlatCircuit &flat, double budget,
+        std::shared_ptr<const pc::FlatCircuit> keepAlive);
     RequestHandle enqueue(const std::shared_ptr<Request> &request);
 
     ServeOptions options_;

@@ -64,7 +64,15 @@ enum ReasonMode : int
 {
     REASON_MODE_PROBABILISTIC = 0,
     REASON_MODE_SYMBOLIC = 1,
-    REASON_MODE_SPMSPM = 2
+    REASON_MODE_SPMSPM = 2,
+    /**
+     * Approximate/anytime circuit tier: the request carries an
+     * accuracy budget and its results carry certified error bounds
+     * (pc::ApproxEvaluator).  Only valid for circuit sessions; the
+     * engine selects this mode itself when a submission's budget is
+     * positive.
+     */
+    REASON_MODE_APPROX = 3
 };
 
 /**
@@ -95,7 +103,12 @@ enum ReasonError : int
      * (QueuePolicy::RejectNew) or a queued request was shed to admit a
      * newer one (QueuePolicy::ShedOldest).
      */
-    REASON_ERR_OVERLOAD = -8
+    REASON_ERR_OVERLOAD = -8,
+    /**
+     * Invalid accuracy budget: NaN, infinite, negative — or, at the
+     * wire layer, above the server's configured --max-budget cap.
+     */
+    REASON_ERR_BAD_BUDGET = -9
 };
 
 /** What a full bounded queue does with the overflow. */
@@ -171,12 +184,26 @@ struct Request
 
     /** Circuit-mode payload: one assignment per requested row. */
     std::vector<pc::Assignment> rows;
+    /**
+     * Approximate tier (REASON_MODE_APPROX): the accuracy budget the
+     * submission carried (pc::ApproxOptions::budget).  Part of the
+     * coalescing identity — the dispatcher evaluates each request
+     * with an evaluator built for exactly this budget.
+     */
+    double accuracyBudget = 0.0;
     /** Program-mode payload: row-major inputs, batchSize rows. */
     std::vector<double> inputs;
     int batchSize = 0;
 
     /** One output per row: log-likelihoods (circuit) or root values. */
     std::vector<double> outputs;
+    /**
+     * Approximate tier: certified per-row interval endpoints,
+     * boundLo[r] <= exact log-likelihood of row r <= boundHi[r].
+     * Empty for exact-tier and program requests.
+     */
+    std::vector<double> boundLo;
+    std::vector<double> boundHi;
     /** Program mode: execution result of the final row. */
     arch::ExecutionResult exec;
     /** Program mode: simulated cycles summed over the batch rows. */

@@ -1,7 +1,10 @@
 #include "sys/wire.h"
 
 #include <bit>
+#include <cmath>
 #include <cstring>
+
+#include "sys/request_queue.h"
 
 namespace reason {
 namespace sys {
@@ -74,6 +77,17 @@ struct Reader
     size_t left;
 
     bool
+    u8(uint8_t *out)
+    {
+        if (left < 1)
+            return false;
+        *out = p[0];
+        p += 1;
+        left -= 1;
+        return true;
+    }
+
+    bool
     u32(uint32_t *out)
     {
         if (left < 4)
@@ -119,6 +133,10 @@ appendSubmit(std::vector<uint8_t> &out, const SubmitFrame &frame)
 {
     const size_t at = beginFrame(out, FrameType::Submit);
     putU64(out, frame.id);
+    putU32(out, frame.mode);
+    // Raw double bits: NaN payloads and -0.0 must survive the round
+    // trip bit-exactly so the server validates what the client sent.
+    putU64(out, std::bit_cast<uint64_t>(frame.budget));
     putU32(out, uint32_t(frame.rows.size()));
     putU32(out, frame.numVars);
     for (const auto &row : frame.rows)
@@ -133,10 +151,33 @@ appendResult(std::vector<uint8_t> &out, const ResultFrame &frame)
     const size_t at = beginFrame(out, FrameType::Result);
     putU64(out, frame.id);
     putU32(out, uint32_t(frame.error));
+    putU8(out, frame.tier);
     putU32(out, uint32_t(frame.values.size()));
     for (double v : frame.values)
         putU64(out, std::bit_cast<uint64_t>(v));
+    if (frame.tier == 1)
+        for (size_t i = 0; i < frame.values.size(); ++i) {
+            putU64(out, std::bit_cast<uint64_t>(frame.boundLo[i]));
+            putU64(out, std::bit_cast<uint64_t>(frame.boundHi[i]));
+        }
     patchLength(out, at);
+}
+
+int
+validateSubmit(const SubmitFrame &frame)
+{
+    if (frame.mode != uint32_t(REASON_MODE_PROBABILISTIC) &&
+        frame.mode != uint32_t(REASON_MODE_APPROX))
+        return REASON_ERR_BAD_MODE;
+    // NaN fails the >= comparison; infinities are explicit.  The
+    // exact mode must not smuggle a budget (a client bug, not a
+    // quietly ignored field).
+    if (!(frame.budget >= 0.0) || std::isinf(frame.budget))
+        return REASON_ERR_BAD_BUDGET;
+    if (frame.mode == uint32_t(REASON_MODE_PROBABILISTIC) &&
+        frame.budget != 0.0)
+        return REASON_ERR_BAD_BUDGET;
+    return REASON_OK;
 }
 
 void
@@ -183,7 +224,15 @@ FrameDecoder::next(Frame *out)
         SubmitFrame &s = out->submit;
         s.rows.clear();
         uint32_t num_rows = 0;
-        ok = r.u64(&s.id) && r.u32(&num_rows) && r.u32(&s.numVars);
+        uint64_t budget_bits = 0;
+        // mode and budget are decoded structurally, never validated
+        // here: unknown modes and garbage budgets are *semantic*
+        // errors the server answers with an error Result
+        // (validateSubmit), so one bad request cannot poison the
+        // connection's framing.
+        ok = r.u64(&s.id) && r.u32(&s.mode) && r.u64(&budget_bits) &&
+             r.u32(&num_rows) && r.u32(&s.numVars);
+        s.budget = std::bit_cast<double>(budget_bits);
         // Validate the declared shape by dividing the remaining
         // payload, never by multiplying it out: the product form can
         // wrap 64 bits (2^31 x 2^31 x 4 == 0 mod 2^64), and
@@ -212,17 +261,38 @@ FrameDecoder::next(Frame *out)
         out->type = FrameType::Result;
         ResultFrame &res = out->result;
         res.values.clear();
+        res.boundLo.clear();
+        res.boundHi.clear();
         uint32_t err = 0;
         uint32_t num_rows = 0;
-        ok = r.u64(&res.id) && r.u32(&err) && r.u32(&num_rows);
+        ok = r.u64(&res.id) && r.u32(&err) && r.u8(&res.tier) &&
+             r.u32(&num_rows);
         res.error = int32_t(err);
-        ok = ok && r.left == size_t(num_rows) * 8;
+        // The tier byte *is* framing — it decides the payload length
+        // — so unlike Submit's mode it is validated here: values,
+        // then (lo, hi) pairs when the approximate tier appended
+        // bounds.  num_rows is bounded by kMaxFrameBytes / 8, so the
+        // widest multiplier (24) cannot overflow size_t.
+        ok = ok && res.tier <= 1 &&
+             r.left == size_t(num_rows) * (res.tier == 1 ? 24 : 8);
         if (ok) {
             res.values.resize(num_rows);
             for (auto &v : res.values) {
                 uint64_t bits = 0;
                 r.u64(&bits);
                 v = std::bit_cast<double>(bits);
+            }
+            if (res.tier == 1) {
+                res.boundLo.resize(num_rows);
+                res.boundHi.resize(num_rows);
+                for (uint32_t i = 0; i < num_rows; ++i) {
+                    uint64_t lo = 0;
+                    uint64_t hi = 0;
+                    r.u64(&lo);
+                    r.u64(&hi);
+                    res.boundLo[i] = std::bit_cast<double>(lo);
+                    res.boundHi[i] = std::bit_cast<double>(hi);
+                }
             }
         }
         break;

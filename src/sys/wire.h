@@ -12,19 +12,31 @@
  *
  *     Hello    = 1  client -> server   u32 protocolVersion
  *     HelloAck = 2  server -> client   u32 protocolVersion
- *     Submit   = 3  client -> server   u64 id, u32 numRows,
- *                                      u32 numVars,
+ *     Submit   = 3  client -> server   u64 id, u32 mode,
+ *                                      u64 budget (double bits),
+ *                                      u32 numRows, u32 numVars,
  *                                      numRows*numVars u32 values
  *                                      (row-major; kMissing allowed)
- *     Result   = 4  server -> client   u64 id, i32 error,
+ *     Result   = 4  server -> client   u64 id, i32 error, u8 tier,
  *                                      u32 numRows,
  *                                      numRows u64 double bit
- *                                      patterns (log-likelihoods)
+ *                                      patterns (log-likelihoods);
+ *                                      tier 1 appends numRows
+ *                                      (lo, hi) u64 pairs (bounds)
  *
- * Result values travel as raw IEEE-754 bit patterns, never text: the
- * serving contract is *bitwise* identity with in-process submission,
- * and the checksum helpers fold exactly those bits, so a client can
- * prove end-to-end equality with a local run.
+ * Submit carries the reasoning mode and accuracy budget of the
+ * approximate tier (protocol v2).  The decoder accepts *any* mode and
+ * budget bits — those are semantic properties, validated server-side
+ * by validateSubmit(), which maps violations to REASON_ERR_BAD_MODE /
+ * REASON_ERR_BAD_BUDGET result frames instead of poisoning the
+ * stream.  Result's tier byte is 0 (exact) or 1 (approximate, bounds
+ * appended); any other tier is a framing violation.
+ *
+ * Result values and bounds travel as raw IEEE-754 bit patterns, never
+ * text: the serving contract is *bitwise* identity with in-process
+ * submission (NaN payloads and -0.0 signs included), and the checksum
+ * helpers fold exactly those bits, so a client can prove end-to-end
+ * equality with a local run.
  *
  * Decoding is stream-oriented and malformed-tolerant: FrameDecoder
  * consumes an arbitrary byte stream, yields complete frames, and
@@ -48,8 +60,9 @@ namespace reason {
 namespace sys {
 namespace wire {
 
-/** Protocol version exchanged in Hello/HelloAck. */
-inline constexpr uint32_t kProtocolVersion = 1;
+/** Protocol version exchanged in Hello/HelloAck (v2: Submit carries
+ *  mode + budget, Result carries tier + optional bounds). */
+inline constexpr uint32_t kProtocolVersion = 2;
 
 /**
  * Upper bound on `length` (16 MiB): a framing-error guard, so a
@@ -70,6 +83,18 @@ enum class FrameType : uint8_t
 struct SubmitFrame
 {
     uint64_t id = 0;
+    /**
+     * Requested ReasonMode: 0 (exact probabilistic) or 3
+     * (approximate tier).  The decoder passes any value through;
+     * validateSubmit() enforces the semantic contract.
+     */
+    uint32_t mode = 0;
+    /**
+     * Accuracy budget (meaningful for the approximate tier).
+     * Travels as raw double bits, so NaN payloads and -0.0 survive
+     * the round trip bit-exactly for validation at the server.
+     */
+    double budget = 0.0;
     uint32_t numVars = 0;
     /** numRows rows of numVars values each (pc::kMissing allowed). */
     std::vector<std::vector<uint32_t>> rows;
@@ -81,7 +106,13 @@ struct ResultFrame
     uint64_t id = 0;
     /** 0 on success, else a REASON_ERR_* code; values then empty. */
     int32_t error = 0;
+    /** 0 = exact tier, 1 = approximate tier (bounds present). */
+    uint8_t tier = 0;
     std::vector<double> values;
+    /** Tier 1 only: per-row certified interval endpoints, aligned
+     *  with values; empty on tier 0. */
+    std::vector<double> boundLo;
+    std::vector<double> boundHi;
 };
 
 /** One decoded frame; only the member matching `type` is meaningful. */
@@ -131,6 +162,17 @@ class FrameDecoder
     size_t pos_ = 0; ///< consumed prefix of buf_
     bool poisoned_ = false;
 };
+
+/**
+ * Semantic validation of a structurally well-formed Submit frame: the
+ * wire layer accepts any mode/budget bits so one bad client request
+ * cannot poison the stream; the server maps violations to an error
+ * Result on the same connection.  Returns REASON_OK,
+ * REASON_ERR_BAD_MODE (mode is neither exact nor approximate), or
+ * REASON_ERR_BAD_BUDGET (NaN/infinite/negative budget, or a nonzero
+ * budget on the exact mode).
+ */
+int validateSubmit(const SubmitFrame &frame);
 
 /**
  * FNV-1a over a byte span — the checksum the socket demo uses to

@@ -1,0 +1,327 @@
+/**
+ * @file
+ * Differential harness for the approximate/anytime tier
+ * (pc::ApproxEvaluator, pc::staticUpperBounds,
+ * pc::estimateLogEvidence) over the adversarial 200-circuit corpus
+ * (tests/random_circuit.h: shared sub-DAGs, zero weights and
+ * all-zero-weight sums, non-smooth/non-decomposable structure):
+ *
+ *  - containment: the certified interval [lo, hi] contains the exact
+ *    answer of *both* reference engines (seed walker and flat CSR) on
+ *    every circuit x budget x query — zero violations tolerated;
+ *  - monotonicity: growing the budget only prunes more, so lo weakly
+ *    decreases and hi weakly increases along a budget sweep;
+ *  - exact-mode identity: budget 0 is bit-identical to the exact
+ *    engine, with lo == hi == value;
+ *  - determinism: rebuilding the evaluator and re-running the query
+ *    reproduces every result bit;
+ *  - guide mode: posterior-guided pruning (calibration flows) keeps
+ *    the interval sound;
+ *  - importance sampling: fixed-seed reproducibility and statistical
+ *    agreement with the exact evidence on a smooth random circuit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "pc/approx.h"
+#include "pc/flat_pc.h"
+#include "pc/pc.h"
+#include "random_circuit.h"
+#include "util/numeric.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+using namespace reason;
+
+namespace {
+
+constexpr int kNumCircuits = 200;
+
+/** Budget sweep, ascending: index 0 is the exact tier. */
+constexpr double kBudgets[] = {0.0, 1e-3, 1e-2, 0.1, 0.5, 1.0};
+
+bool
+bitsEqual(double x, double y)
+{
+    return std::bit_cast<uint64_t>(x) == std::bit_cast<uint64_t>(y);
+}
+
+/**
+ * Containment with log-zero awareness: a -inf exact answer must be
+ * covered too (lo must be -inf, hi anything >=).
+ */
+::testing::AssertionResult
+contains(const pc::ApproxResult &r, double exact)
+{
+    if (r.lo <= exact && exact <= r.hi)
+        return ::testing::AssertionSuccess();
+    return ::testing::AssertionFailure()
+           << "exact " << exact << " outside [" << r.lo << ", "
+           << r.hi << "]";
+}
+
+/** Slack tolerance for cross-budget comparisons: the interval padding
+ *  is ~1e-9 relative, so monotonicity holds up to that noise. */
+double
+monotoneTol(double x, double y)
+{
+    const double mag =
+        std::max(std::isinf(x) ? 0.0 : std::fabs(x),
+                 std::isinf(y) ? 0.0 : std::fabs(y));
+    return 1e-7 * (1.0 + mag);
+}
+
+} // namespace
+
+TEST(ApproxDifferential, BoundsContainExactOnCorpus)
+{
+    Rng rng(20260801);
+    util::ThreadPool serial(1);
+    size_t violations = 0;
+    size_t checks = 0;
+    for (int trial = 0; trial < kNumCircuits; ++trial) {
+        pc::Circuit c = testutil::randomTestCircuit(rng);
+        pc::FlatCircuit flat(c);
+        pc::CircuitEvaluator eval(flat, &serial);
+        const std::vector<pc::Assignment> rows =
+            testutil::randomPartialAssignments(rng, c, 6, 0.3);
+        for (double budget : kBudgets) {
+            pc::ApproxOptions opts;
+            opts.budget = budget;
+            pc::ApproxEvaluator approx(flat, opts);
+            for (const pc::Assignment &x : rows) {
+                const double exact_flat = eval.logLikelihood(x);
+                const double exact_seed = c.logLikelihood(x);
+                const pc::ApproxResult r = approx.query(x);
+                ++checks;
+                if (!(r.lo <= exact_flat && exact_flat <= r.hi) ||
+                    !(r.lo <= r.value && r.value <= r.hi))
+                    ++violations;
+                EXPECT_TRUE(contains(r, exact_flat))
+                    << "trial " << trial << " budget " << budget;
+                // The seed walker computes in a different order;
+                // containment must still hold up to its agreement
+                // tolerance with the flat engine (<= 1e-10 per
+                // test_flat_random).
+                if (exact_seed != kLogZero) {
+                    EXPECT_TRUE(r.lo - 1e-9 <= exact_seed &&
+                                exact_seed <= r.hi + 1e-9)
+                        << "seed walker " << exact_seed
+                        << " outside [" << r.lo << ", " << r.hi
+                        << "], trial " << trial;
+                }
+            }
+        }
+    }
+    EXPECT_EQ(violations, 0u);
+    // 200 circuits x 6 budgets x 6 rows.
+    EXPECT_EQ(checks, size_t(kNumCircuits) * 6 * 6);
+}
+
+TEST(ApproxDifferential, IntervalsWidenMonotonicallyWithBudget)
+{
+    Rng rng(20260802);
+    util::ThreadPool serial(1);
+    for (int trial = 0; trial < kNumCircuits; ++trial) {
+        pc::Circuit c = testutil::randomTestCircuit(rng);
+        pc::FlatCircuit flat(c);
+        const std::vector<pc::Assignment> rows =
+            testutil::randomPartialAssignments(rng, c, 4, 0.3);
+        std::vector<pc::ApproxEvaluator> evals;
+        for (double budget : kBudgets) {
+            pc::ApproxOptions opts;
+            opts.budget = budget;
+            evals.emplace_back(flat, opts);
+        }
+        for (const pc::Assignment &x : rows) {
+            pc::ApproxResult prev = evals[0].query(x);
+            for (size_t b = 1; b < evals.size(); ++b) {
+                const pc::ApproxResult r = evals[b].query(x);
+                // Larger budget prunes a superset of edges: the kept
+                // mass shrinks (lo down) and the certified remainder
+                // grows (hi up).
+                EXPECT_LE(r.lo, prev.lo + monotoneTol(r.lo, prev.lo))
+                    << "trial " << trial << " budget " << kBudgets[b];
+                EXPECT_GE(r.hi, prev.hi - monotoneTol(r.hi, prev.hi))
+                    << "trial " << trial << " budget " << kBudgets[b];
+                prev = r;
+            }
+        }
+    }
+}
+
+TEST(ApproxDifferential, BudgetZeroIsBitIdenticalToExact)
+{
+    Rng rng(20260803);
+    util::ThreadPool serial(1);
+    for (int trial = 0; trial < kNumCircuits; ++trial) {
+        pc::Circuit c = testutil::randomTestCircuit(rng);
+        pc::FlatCircuit flat(c);
+        pc::CircuitEvaluator eval(flat, &serial);
+        pc::ApproxEvaluator approx(flat); // default budget 0
+        EXPECT_TRUE(approx.isExact());
+        const std::vector<pc::Assignment> rows =
+            testutil::randomPartialAssignments(rng, c, 6, 0.3);
+        for (const pc::Assignment &x : rows) {
+            const double exact = eval.logLikelihood(x);
+            const pc::ApproxResult r = approx.query(x);
+            EXPECT_TRUE(bitsEqual(r.value, exact)) << "trial " << trial;
+            EXPECT_TRUE(bitsEqual(r.lo, exact)) << "trial " << trial;
+            EXPECT_TRUE(bitsEqual(r.hi, exact)) << "trial " << trial;
+        }
+    }
+}
+
+TEST(ApproxDifferential, RebuildAndRequeryAreDeterministic)
+{
+    Rng rng(20260804);
+    for (int trial = 0; trial < 50; ++trial) {
+        pc::Circuit c = testutil::randomTestCircuit(rng);
+        pc::FlatCircuit flat(c);
+        const std::vector<pc::Assignment> rows =
+            testutil::randomPartialAssignments(rng, c, 4, 0.3);
+        for (double budget : {1e-2, 0.5}) {
+            pc::ApproxOptions opts;
+            opts.budget = budget;
+            pc::ApproxEvaluator a(flat, opts);
+            pc::ApproxEvaluator b(flat, opts);
+            EXPECT_EQ(a.keptNodes(), b.keptNodes());
+            EXPECT_EQ(a.keptEdges(), b.keptEdges());
+            for (const pc::Assignment &x : rows) {
+                const pc::ApproxResult ra1 = a.query(x);
+                const pc::ApproxResult ra2 = a.query(x);
+                const pc::ApproxResult rb = b.query(x);
+                EXPECT_TRUE(bitsEqual(ra1.value, ra2.value));
+                EXPECT_TRUE(bitsEqual(ra1.lo, ra2.lo));
+                EXPECT_TRUE(bitsEqual(ra1.hi, ra2.hi));
+                EXPECT_TRUE(bitsEqual(ra1.value, rb.value));
+                EXPECT_TRUE(bitsEqual(ra1.lo, rb.lo));
+                EXPECT_TRUE(bitsEqual(ra1.hi, rb.hi));
+            }
+        }
+    }
+}
+
+TEST(ApproxDifferential, QueryBatchMatchesSingleQueries)
+{
+    Rng rng(20260805);
+    for (int trial = 0; trial < 50; ++trial) {
+        pc::Circuit c = testutil::randomTestCircuit(rng);
+        pc::FlatCircuit flat(c);
+        pc::ApproxOptions opts;
+        opts.budget = 0.1;
+        pc::ApproxEvaluator approx(flat, opts);
+        const std::vector<pc::Assignment> rows =
+            testutil::randomPartialAssignments(rng, c, 7, 0.3);
+        std::vector<pc::ApproxResult> batch;
+        approx.queryBatch(rows, batch);
+        ASSERT_EQ(batch.size(), rows.size());
+        for (size_t i = 0; i < rows.size(); ++i) {
+            const pc::ApproxResult r = approx.query(rows[i]);
+            EXPECT_TRUE(bitsEqual(batch[i].value, r.value));
+            EXPECT_TRUE(bitsEqual(batch[i].lo, r.lo));
+            EXPECT_TRUE(bitsEqual(batch[i].hi, r.hi));
+        }
+    }
+}
+
+TEST(ApproxDifferential, PosteriorGuidedPruningStaysSound)
+{
+    Rng rng(20260806);
+    util::ThreadPool serial(1);
+    for (int trial = 0; trial < 100; ++trial) {
+        pc::Circuit c = testutil::randomTestCircuit(rng);
+        pc::FlatCircuit flat(c);
+        pc::CircuitEvaluator eval(flat, &serial);
+        // Calibration flows from a held-out sample set drive the
+        // pruning decisions; soundness must not depend on how good
+        // (or stale) the guide is.
+        const std::vector<pc::Assignment> calib =
+            testutil::randomPartialAssignments(rng, c, 8, 0.2);
+        const pc::DatasetFlows flows =
+            pc::accumulateDatasetFlows(flat, calib, {}, &serial);
+        const std::vector<pc::Assignment> rows =
+            testutil::randomPartialAssignments(rng, c, 4, 0.3);
+        for (double budget : {0.05, 0.5}) {
+            pc::ApproxOptions opts;
+            opts.budget = budget;
+            opts.guideEdgeFlow = &flows.edgeFlow;
+            pc::ApproxEvaluator approx(flat, opts);
+            for (const pc::Assignment &x : rows) {
+                const double exact = eval.logLikelihood(x);
+                EXPECT_TRUE(contains(approx.query(x), exact))
+                    << "trial " << trial << " budget " << budget;
+            }
+        }
+    }
+}
+
+TEST(ApproxDifferential, StaticUpperBoundsDominateQueries)
+{
+    Rng rng(20260807);
+    util::ThreadPool serial(1);
+    for (int trial = 0; trial < 100; ++trial) {
+        pc::Circuit c = testutil::randomTestCircuit(rng);
+        pc::FlatCircuit flat(c);
+        pc::CircuitEvaluator eval(flat, &serial);
+        const std::vector<double> ub = pc::staticUpperBounds(flat);
+        ASSERT_EQ(ub.size(), flat.numNodes());
+        const std::vector<pc::Assignment> rows =
+            testutil::randomPartialAssignments(rng, c, 6, 0.4);
+        for (const pc::Assignment &x : rows) {
+            const double exact = eval.logLikelihood(x);
+            // The static bound is assignment-free: it must dominate
+            // every query, including fully marginalized ones.
+            EXPECT_GE(ub[flat.root] + 1e-12, exact)
+                << "trial " << trial;
+        }
+    }
+}
+
+TEST(ApproxImportanceSampling, FixedSeedIsReproducible)
+{
+    Rng rng(123);
+    pc::Circuit c = pc::randomCircuit(rng, 16, 2, 4, 8);
+    pc::FlatCircuit flat(c);
+    pc::Assignment evidence(c.numVars(), pc::kMissing);
+    evidence[0] = 1;
+    evidence[3] = 0;
+    const pc::LogEvidenceEstimate a =
+        pc::estimateLogEvidence(flat, evidence, 5000, 42);
+    const pc::LogEvidenceEstimate b =
+        pc::estimateLogEvidence(flat, evidence, 5000, 42);
+    EXPECT_TRUE(bitsEqual(a.logZ, b.logZ));
+    EXPECT_TRUE(bitsEqual(a.stdError, b.stdError));
+    EXPECT_EQ(a.samples, b.samples);
+    // A different seed must actually resample.
+    const pc::LogEvidenceEstimate d =
+        pc::estimateLogEvidence(flat, evidence, 5000, 43);
+    EXPECT_FALSE(bitsEqual(a.logZ, d.logZ));
+}
+
+TEST(ApproxImportanceSampling, AgreesWithExactEvidence)
+{
+    Rng rng(7);
+    // Smooth/decomposable generator: likelihood weighting is unbiased
+    // here (the estimator's documented contract).
+    pc::Circuit c = pc::randomCircuit(rng, 24, 2, 4, 8);
+    pc::FlatCircuit flat(c);
+    util::ThreadPool serial(1);
+    pc::CircuitEvaluator eval(flat, &serial);
+    pc::Assignment evidence(c.numVars(), pc::kMissing);
+    evidence[1] = 0;
+    evidence[5] = 1;
+    evidence[9] = 1;
+    const double exact = eval.logLikelihood(evidence);
+    const pc::LogEvidenceEstimate est =
+        pc::estimateLogEvidence(flat, evidence, 20000, 2026);
+    ASSERT_EQ(est.samples, size_t(20000));
+    EXPECT_GT(est.stdError, 0.0);
+    const double tol = std::max(5.0 * est.stdError, 0.05);
+    EXPECT_NEAR(est.logZ, exact, tol);
+}

@@ -295,6 +295,36 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
                       field(obj, "capacity")->number())
                 << "bounded queue exceeded its capacity";
             EXPECT_GT(field(obj, "overload_p99_ms")->number(), 0.0);
+        } else if (engine->text == "approx_tier") {
+            for (const char *key :
+                 {"budget", "kept_nodes", "total_nodes", "exact_ms",
+                  "approx_ms", "speedup_vs_exact", "mean_abs_dlogp",
+                  "max_abs_dlogp", "corpus_circuits", "corpus_checks",
+                  "bound_violations", "bitwise_mismatches"}) {
+                const JsonValue *v = field(obj, key);
+                ASSERT_NE(v, nullptr) << "approx_tier lacks " << key;
+                EXPECT_FALSE(v->isString);
+            }
+            // The certified-interval contract is absolute: zero bound
+            // violations across the whole differential corpus, and
+            // budget-0 identity / rebuild determinism hold bit for
+            // bit at any bench size (only the speedup-at-accuracy
+            // gate is size-dependent, enforced by bench_eval itself).
+            EXPECT_EQ(field(obj, "bound_violations")->number(), 0.0)
+                << "approx_tier reports bound violations";
+            EXPECT_EQ(field(obj, "bitwise_mismatches")->number(), 0.0)
+                << "approx_tier reports bitwise mismatches";
+            EXPECT_EQ(field(obj, "corpus_circuits")->number(), 200.0);
+            EXPECT_GT(field(obj, "corpus_checks")->number(), 0.0);
+            EXPECT_GT(field(obj, "budget")->number(), 0.0);
+            EXPECT_GT(field(obj, "kept_nodes")->number(), 0.0);
+            EXPECT_LE(field(obj, "kept_nodes")->number(),
+                      field(obj, "total_nodes")->number());
+            EXPECT_GT(field(obj, "exact_ms")->number(), 0.0);
+            EXPECT_GT(field(obj, "approx_ms")->number(), 0.0);
+            EXPECT_GT(field(obj, "speedup_vs_exact")->number(), 0.0);
+            EXPECT_LE(field(obj, "mean_abs_dlogp")->number(),
+                      field(obj, "max_abs_dlogp")->number());
         } else if (is_mt) {
             for (const char *key : {"threads", "flat_ms", "mt_ms",
                                     "speedup_vs_flat",
@@ -332,7 +362,7 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
     for (const char *engine :
          {"circuit_loglik", "circuit_loglik_mt", "derivatives_mt",
           "em_fit", "kernel_logsumexp", "hmm_leaf_batch", "serving",
-          "serving_mt", "dag_eval"}) {
+          "serving_mt", "approx_tier", "dag_eval"}) {
         EXPECT_EQ(engines[engine], 1)
             << "engine " << engine << " missing or duplicated";
     }
@@ -361,6 +391,7 @@ TEST(BenchJsonSchema, SingleThreadRunSkipsMtVariantsAndExitsZero)
     EXPECT_EQ(engines["serving"], 1);
     EXPECT_EQ(engines["kernel_logsumexp"], 1);
     EXPECT_EQ(engines["hmm_leaf_batch"], 1);
+    EXPECT_EQ(engines["approx_tier"], 1);
     EXPECT_EQ(engines["circuit_loglik_mt"], 0);
     EXPECT_EQ(engines["derivatives_mt"], 0);
     EXPECT_EQ(engines["em_fit"], 0);

@@ -24,6 +24,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <limits>
 #include <vector>
@@ -283,6 +284,182 @@ TEST(EngineMt, AutoLingerTunesWithoutChangingBits)
 }
 
 // ---------------------------------------------------------------------------
+// Approximate tier through the serving stack: tier selection,
+// bit-identical results and bounds across every scale-out shape,
+// and budget validation.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct ApproxReference
+{
+    std::vector<double> value, lo, hi;
+};
+
+/** One-at-a-time budgeted submission: the scale-out ground truth. */
+ApproxReference
+serveApproxOneAtATime(const pc::Circuit &circuit,
+                      const std::vector<pc::Assignment> &rows,
+                      const std::vector<double> &budgets)
+{
+    ServeOptions options;
+    options.maxBatch = 1;
+    ReasonEngine engine(options);
+    Session session = engine.createSession(circuit);
+    ApproxReference ref;
+    for (size_t i = 0; i < rows.size(); ++i) {
+        std::shared_ptr<const Request> r =
+            session.wait(session.submit(rows[i], budgets[i]));
+        EXPECT_EQ(r->error, REASON_OK);
+        ref.value.push_back(r->outputs[0]);
+        if (budgets[i] > 0.0) {
+            ref.lo.push_back(r->boundLo[0]);
+            ref.hi.push_back(r->boundHi[0]);
+        } else {
+            // Exact tier: the degenerate point interval.
+            ref.lo.push_back(r->outputs[0]);
+            ref.hi.push_back(r->outputs[0]);
+        }
+    }
+    return ref;
+}
+
+} // namespace
+
+TEST(EngineMt, ApproxBitIdenticalAcrossDispatchersThreadsAndBatches)
+{
+    Rng rng(907);
+    pc::Circuit circuit = pc::randomCircuit(rng, 26, 2, 4, 7);
+    std::vector<pc::Assignment> rows =
+        pc::sampleDataset(rng, circuit, 48);
+    // Mixed traffic: exact (0), and three distinct approx budgets, so
+    // one run covers tier selection, per-budget evaluator caching,
+    // and approx/exact shard separation at once.
+    std::vector<double> budgets(rows.size());
+    const double kTiers[] = {0.0, 1e-3, 0.1, 1.0};
+    for (size_t i = 0; i < rows.size(); ++i)
+        budgets[i] = kTiers[i % 4];
+    const ApproxReference ref =
+        serveApproxOneAtATime(circuit, rows, budgets);
+
+    constexpr size_t kSessions = 3;
+    for (unsigned dispatchers : {1u, 2u, 4u}) {
+        for (unsigned serve_threads : {1u, 2u, 4u, 8u}) {
+            for (unsigned max_batch : {1u, 8u, 64u}) {
+                // Trim the sweep: vary one axis at a time around the
+                // (2 dispatchers, 2 threads, 8 batch) center, keeping
+                // the run TSan-friendly.
+                if ((dispatchers != 2) + (serve_threads != 2) +
+                        (max_batch != 8) >
+                    1)
+                    continue;
+                ServeOptions options;
+                options.maxBatch = max_batch;
+                options.serveThreads = serve_threads;
+                options.dispatchers = dispatchers;
+                options.startPaused = true;
+                ReasonEngine engine(options);
+                std::vector<Session> sessions;
+                for (size_t s = 0; s < kSessions; ++s)
+                    sessions.push_back(engine.createSession(circuit));
+                std::vector<RequestHandle> handles;
+                for (size_t i = 0; i < rows.size(); ++i)
+                    handles.push_back(sessions[i % kSessions].submit(
+                        rows[i], budgets[i]));
+                engine.resume();
+                for (size_t i = 0; i < rows.size(); ++i) {
+                    std::shared_ptr<const Request> r =
+                        sessions[i % kSessions].wait(handles[i]);
+                    ASSERT_EQ(r->error, REASON_OK)
+                        << dispatchers << "d/" << serve_threads
+                        << "t/" << max_batch << "b, request " << i;
+                    EXPECT_TRUE(
+                        bitEqual(r->outputs[0], ref.value[i]))
+                        << "request " << i;
+                    if (budgets[i] > 0.0) {
+                        EXPECT_EQ(r->mode, REASON_MODE_APPROX);
+                        ASSERT_EQ(r->boundLo.size(), 1u);
+                        ASSERT_EQ(r->boundHi.size(), 1u);
+                        EXPECT_TRUE(
+                            bitEqual(r->boundLo[0], ref.lo[i]))
+                            << "request " << i;
+                        EXPECT_TRUE(
+                            bitEqual(r->boundHi[0], ref.hi[i]))
+                            << "request " << i;
+                        // The certified interval always brackets the
+                        // returned value.
+                        EXPECT_LE(r->boundLo[0], r->outputs[0]);
+                        EXPECT_GE(r->boundHi[0], r->outputs[0]);
+                    } else {
+                        EXPECT_EQ(r->mode, REASON_MODE_PROBABILISTIC);
+                        EXPECT_TRUE(r->boundLo.empty());
+                        EXPECT_TRUE(r->boundHi.empty());
+                    }
+                }
+            }
+        }
+    }
+}
+
+TEST(EngineMt, ApproxBatchSubmissionMatchesPerRow)
+{
+    Rng rng(908);
+    pc::Circuit circuit = pc::randomCircuit(rng, 24, 2, 3, 6);
+    std::vector<pc::Assignment> rows =
+        pc::sampleDataset(rng, circuit, 9);
+    const double budget = 0.05;
+    std::vector<double> budgets(rows.size(), budget);
+    const ApproxReference ref =
+        serveApproxOneAtATime(circuit, rows, budgets);
+
+    ReasonEngine engine;
+    Session session = engine.createSession(circuit);
+    std::shared_ptr<const Request> r =
+        session.wait(session.submitBatch(rows, budget));
+    ASSERT_EQ(r->error, REASON_OK);
+    ASSERT_EQ(r->outputs.size(), rows.size());
+    ASSERT_EQ(r->boundLo.size(), rows.size());
+    ASSERT_EQ(r->boundHi.size(), rows.size());
+    for (size_t i = 0; i < rows.size(); ++i) {
+        EXPECT_TRUE(bitEqual(r->outputs[i], ref.value[i]));
+        EXPECT_TRUE(bitEqual(r->boundLo[i], ref.lo[i]));
+        EXPECT_TRUE(bitEqual(r->boundHi[i], ref.hi[i]));
+    }
+}
+
+TEST(EngineMt, InvalidBudgetsRejectedAtSubmission)
+{
+    Rng rng(909);
+    pc::Circuit circuit = pc::randomCircuit(rng, 20, 2, 3, 6);
+    std::vector<pc::Assignment> rows =
+        pc::sampleDataset(rng, circuit, 2);
+
+    ReasonEngine engine;
+    Session session = engine.createSession(circuit);
+    const double bad[] = {-1.0, -1e-300,
+                          std::numeric_limits<double>::quiet_NaN(),
+                          std::numeric_limits<double>::infinity(),
+                          -std::numeric_limits<double>::infinity()};
+    for (double budget : bad) {
+        std::shared_ptr<const Request> r =
+            session.wait(session.submit(rows[0], budget));
+        EXPECT_EQ(r->error, REASON_ERR_BAD_BUDGET)
+            << "budget " << budget;
+        EXPECT_TRUE(r->outputs.empty());
+        EXPECT_TRUE(r->boundLo.empty());
+    }
+    // -0.0 is zero: the exact tier, not an error.
+    std::shared_ptr<const Request> ok =
+        session.wait(session.submit(rows[0], -0.0));
+    EXPECT_EQ(ok->error, REASON_OK);
+    EXPECT_EQ(ok->mode, REASON_MODE_PROBABILISTIC);
+    // The session still serves normal traffic afterwards.
+    std::shared_ptr<const Request> after =
+        session.wait(session.submit(rows[1]));
+    EXPECT_EQ(after->error, REASON_OK);
+}
+
+// ---------------------------------------------------------------------------
 // Wire protocol: round-trip and malformed-input robustness.
 // ---------------------------------------------------------------------------
 
@@ -391,13 +568,16 @@ TEST(WireProtocol, MalformedFramesPoisonInsteadOfCrashing)
         bytes[0] -= 1;    // keep the length prefix consistent
         EXPECT_EQ(decode_all(bytes), Status::Malformed);
     }
-    // Shape attacks: a Submit header with no row payload (body is
-    // type + id(8) + numRows(4) + numVars(4) = 17 bytes) must never
-    // turn its declared shape into a huge allocation.
+    // Shape attacks: a Submit header with no row payload (v2 body is
+    // type + id(8) + mode(4) + budget(8) + numRows(4) + numVars(4)
+    // = 29 bytes) must never turn its declared shape into a huge
+    // allocation.
     auto shape_frame = [](uint32_t num_rows, uint32_t num_vars) {
         std::vector<uint8_t> bytes = {
-            17, 0, 0, 0, uint8_t(wire::FrameType::Submit)};
-        bytes.insert(bytes.end(), 8, 0); // id
+            29, 0, 0, 0, uint8_t(wire::FrameType::Submit)};
+        bytes.insert(bytes.end(), 8, 0);  // id
+        bytes.insert(bytes.end(), 4, 0);  // mode
+        bytes.insert(bytes.end(), 8, 0);  // budget bits
         for (int i = 0; i < 4; ++i)
             bytes.push_back(uint8_t(num_rows >> (8 * i)));
         for (int i = 0; i < 4; ++i)
@@ -423,6 +603,54 @@ TEST(WireProtocol, MalformedFramesPoisonInsteadOfCrashing)
         EXPECT_EQ(f.submit.numVars, 4u);
         EXPECT_TRUE(f.submit.rows.empty());
     }
+    // Submit frames cut at each v2 field boundary (after id, mid
+    // mode, after mode, mid budget, after budget, mid numRows) are
+    // framing violations, not misparses of the shorter v1 layout.
+    {
+        std::vector<uint8_t> full;
+        wire::SubmitFrame submit;
+        submit.id = 9;
+        submit.mode = 3;
+        submit.budget = 0.25;
+        submit.numVars = 2;
+        submit.rows = {{1u, 0u}};
+        wire::appendSubmit(full, submit);
+        for (size_t body : {8u, 10u, 12u, 16u, 20u, 22u}) {
+            std::vector<uint8_t> cut(full.begin() + 4,
+                                     full.begin() + 5 + long(body));
+            std::vector<uint8_t> bytes = {uint8_t(body + 1), 0, 0, 0};
+            bytes.insert(bytes.end(), cut.begin(), cut.end());
+            EXPECT_EQ(decode_all(bytes), Status::Malformed)
+                << "body " << body;
+        }
+    }
+    // Result tier byte is framing: tier 2 is invalid outright, and a
+    // tier that disagrees with the payload length (bounds missing on
+    // tier 1, trailing bounds on tier 0) is Malformed too.
+    {
+        std::vector<uint8_t> full;
+        wire::ResultFrame result;
+        result.id = 5;
+        result.tier = 1;
+        result.values = {-1.5};
+        result.boundLo = {-2.0};
+        result.boundHi = {-1.0};
+        wire::appendResult(full, result);
+        std::vector<uint8_t> bad_tier = full;
+        bad_tier[4 + 1 + 8 + 4] = 2; // tier byte after type+id+error
+        EXPECT_EQ(decode_all(bad_tier), Status::Malformed);
+        std::vector<uint8_t> tier0_with_bounds = full;
+        tier0_with_bounds[4 + 1 + 8 + 4] = 0;
+        EXPECT_EQ(decode_all(tier0_with_bounds), Status::Malformed);
+        std::vector<uint8_t> no_bounds;
+        wire::ResultFrame plain;
+        plain.id = 5;
+        plain.values = {-1.5};
+        wire::appendResult(no_bounds, plain);
+        std::vector<uint8_t> tier1_without_bounds = no_bounds;
+        tier1_without_bounds[4 + 1 + 8 + 4] = 1;
+        EXPECT_EQ(decode_all(tier1_without_bounds), Status::Malformed);
+    }
     // A truncated valid frame is NeedMore, not Malformed.
     {
         std::vector<uint8_t> bytes;
@@ -443,6 +671,133 @@ TEST(WireProtocol, MalformedFramesPoisonInsteadOfCrashing)
         EXPECT_EQ(decoder.next(&f), Status::Malformed);
         EXPECT_TRUE(decoder.poisoned());
     }
+}
+
+TEST(WireProtocol, SubmitModeAndBudgetRoundTripBitExact)
+{
+    namespace wire = reason::sys::wire;
+
+    // NaN payloads and -0.0 must survive the trip bit-exactly: the
+    // server validates what the client actually sent, so the wire
+    // layer may not canonicalize them.
+    const double budgets[] = {
+        0.0, -0.0, 0.25,
+        std::bit_cast<double>(0x7ff8000000000badull), // NaN payload
+        -std::numeric_limits<double>::infinity()};
+    for (double budget : budgets) {
+        for (uint32_t mode : {0u, 3u, 7u}) {
+            wire::SubmitFrame submit;
+            submit.id = 11;
+            submit.mode = mode;
+            submit.budget = budget;
+            submit.numVars = 2;
+            submit.rows = {{0u, 1u}};
+            std::vector<uint8_t> bytes;
+            wire::appendSubmit(bytes, submit);
+            wire::FrameDecoder decoder;
+            decoder.feed(bytes.data(), bytes.size());
+            wire::Frame f;
+            ASSERT_EQ(decoder.next(&f),
+                      wire::FrameDecoder::Status::Ok)
+                << "mode " << mode;
+            EXPECT_EQ(f.submit.mode, mode);
+            EXPECT_TRUE(bitEqual(f.submit.budget, budget))
+                << "mode " << mode;
+            EXPECT_EQ(f.submit.rows, submit.rows);
+        }
+    }
+}
+
+TEST(WireProtocol, ValidateSubmitMapsSemanticViolationsToErrors)
+{
+    namespace wire = reason::sys::wire;
+
+    auto frame = [](uint32_t mode, double budget) {
+        wire::SubmitFrame f;
+        f.mode = mode;
+        f.budget = budget;
+        return f;
+    };
+    // The two real modes with their legal budgets.
+    EXPECT_EQ(wire::validateSubmit(
+                  frame(uint32_t(REASON_MODE_PROBABILISTIC), 0.0)),
+              REASON_OK);
+    EXPECT_EQ(wire::validateSubmit(
+                  frame(uint32_t(REASON_MODE_APPROX), 0.0)),
+              REASON_OK);
+    EXPECT_EQ(wire::validateSubmit(
+                  frame(uint32_t(REASON_MODE_APPROX), 0.5)),
+              REASON_OK);
+    // Unknown modes answer BAD_MODE instead of poisoning the decoder.
+    for (uint32_t mode : {1u, 2u, 4u, 99u, 0xffffffffu})
+        EXPECT_EQ(wire::validateSubmit(frame(mode, 0.0)),
+                  REASON_ERR_BAD_MODE)
+            << "mode " << mode;
+    // Garbage budgets answer BAD_BUDGET: NaN (any payload), the
+    // infinities, negatives, and a budget smuggled onto the exact
+    // mode.
+    EXPECT_EQ(wire::validateSubmit(frame(
+                  uint32_t(REASON_MODE_APPROX),
+                  std::numeric_limits<double>::quiet_NaN())),
+              REASON_ERR_BAD_BUDGET);
+    EXPECT_EQ(wire::validateSubmit(frame(
+                  uint32_t(REASON_MODE_APPROX),
+                  std::numeric_limits<double>::infinity())),
+              REASON_ERR_BAD_BUDGET);
+    EXPECT_EQ(wire::validateSubmit(
+                  frame(uint32_t(REASON_MODE_APPROX), -1e-9)),
+              REASON_ERR_BAD_BUDGET);
+    EXPECT_EQ(wire::validateSubmit(
+                  frame(uint32_t(REASON_MODE_PROBABILISTIC), 0.5)),
+              REASON_ERR_BAD_BUDGET);
+    // -0.0 passes the sign test bit-for-bit (it *is* zero).
+    EXPECT_EQ(wire::validateSubmit(
+                  frame(uint32_t(REASON_MODE_PROBABILISTIC), -0.0)),
+              REASON_OK);
+}
+
+TEST(WireProtocol, ResultBoundsRoundTripBitExact)
+{
+    namespace wire = reason::sys::wire;
+
+    wire::ResultFrame result;
+    result.id = 77;
+    result.tier = 1;
+    result.values = {-3.25, -0.0};
+    result.boundLo = {std::bit_cast<double>(0x7ff8000000c0ffeeull),
+                      -std::numeric_limits<double>::infinity()};
+    result.boundHi = {-3.0, -0.0};
+
+    std::vector<uint8_t> bytes;
+    wire::appendResult(bytes, result);
+    wire::FrameDecoder decoder;
+    decoder.feed(bytes.data(), bytes.size());
+    wire::Frame f;
+    ASSERT_EQ(decoder.next(&f), wire::FrameDecoder::Status::Ok);
+    EXPECT_EQ(f.result.tier, 1);
+    ASSERT_EQ(f.result.boundLo.size(), 2u);
+    ASSERT_EQ(f.result.boundHi.size(), 2u);
+    for (size_t i = 0; i < 2; ++i) {
+        EXPECT_TRUE(bitEqual(f.result.values[i], result.values[i]));
+        EXPECT_TRUE(bitEqual(f.result.boundLo[i], result.boundLo[i]));
+        EXPECT_TRUE(bitEqual(f.result.boundHi[i], result.boundHi[i]));
+    }
+
+    // Tier 0 results never carry bounds, even if the encoder's frame
+    // struct had stale vectors in it.
+    wire::ResultFrame plain;
+    plain.id = 78;
+    plain.tier = 0;
+    plain.values = {-1.0};
+    plain.boundLo = {-9.0}; // ignored by the encoder on tier 0
+    plain.boundHi = {-0.5};
+    bytes.clear();
+    wire::appendResult(bytes, plain);
+    decoder.feed(bytes.data(), bytes.size());
+    ASSERT_EQ(decoder.next(&f), wire::FrameDecoder::Status::Ok);
+    EXPECT_EQ(f.result.tier, 0);
+    EXPECT_TRUE(f.result.boundLo.empty());
+    EXPECT_TRUE(f.result.boundHi.empty());
 }
 
 TEST(WireProtocol, RandomGarbageNeverCrashesTheDecoder)

@@ -33,10 +33,19 @@
  *       --fast-reductions knobs end to end and reports the resolved
  *       shard count and per-iteration likelihoods.
  *
+ *   query <file.rpc> [--budget X] [--rows N] [--seed N]
+ *         [--missing-pct N] [--is-samples N]
+ *       Evaluate sampled queries through the serving engine's
+ *       tier-selection path: budget 0 runs the exact tier, a positive
+ *       budget runs the approximate tier (pc::ApproxEvaluator) and
+ *       prints each certified [lo, hi] bound next to the value.
+ *       --is-samples additionally prints the importance-sampled
+ *       log-evidence estimate (value +/- stderr) for each row.
+ *
  *   serve <file.rpc> [--requests N] [--clients N] [--max-batch N]
  *         [--window-us N] [--serve-threads N] [--dispatchers N]
  *         [--capacity N] [--policy reject|shed] [--auto-window]
- *         [--pin] [--seed N] [--listen PORT]
+ *         [--pin] [--seed N] [--listen PORT] [--max-budget X]
  *       Serve likelihood queries against a stored circuit through the
  *       async batch-serving engine (sys::ReasonEngine): N client
  *       threads submit sampled queries through their own sessions, the
@@ -48,12 +57,14 @@
  *       killed.
  *
  *   bench-client <file.rpc> --port N [--host H] [--requests N]
- *         [--clients N] [--pipeline N] [--seed N]
+ *         [--clients N] [--pipeline N] [--seed N] [--budget X]
  *       Load generator for `serve --listen`: N client threads stream
  *       sampled queries over the wire protocol with a bounded
  *       pipeline, then verify every returned log-likelihood bit for
  *       bit against an in-process one-at-a-time run of the same
  *       queries (checksums printed; nonzero exit on any mismatch).
+ *       With --budget the queries ride the approximate tier and the
+ *       returned error bounds are bit-verified too.
  *
  * Every subcommand accepts --help and parses its flags through one
  * shared option table, so flag handling and help output stay
@@ -64,9 +75,11 @@
 #include <atomic>
 #include <bit>
 #include <chrono>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <mutex>
@@ -97,6 +110,8 @@
 #include "logic/nnf_io.h"
 #include "logic/preprocess.h"
 #include "logic/solver.h"
+#include "pc/approx.h"
+#include "pc/flat_cache.h"
 #include "pc/from_logic.h"
 #include "pc/io.h"
 #include "pc/learn.h"
@@ -134,12 +149,15 @@ usage()
         "  compile <file.cnf> [--disasm]\n"
         "  fit <file.rpc> [--samples N] [--iters N] [--seed N]\n"
         "      [--out f.rpc]\n"
+        "  query <file.rpc> [--budget X] [--rows N] [--seed N]\n"
+        "      [--missing-pct N] [--is-samples N]\n"
         "  serve <file.rpc> [--requests N] [--clients N]\n"
         "      [--max-batch N] [--window-us N] [--serve-threads N]\n"
         "      [--dispatchers N] [--capacity N] [--policy reject|shed]\n"
         "      [--auto-window] [--pin] [--seed N] [--listen PORT]\n"
+        "      [--max-budget X]\n"
         "  bench-client <file.rpc> --port N [--host H] [--requests N]\n"
-        "      [--clients N] [--pipeline N] [--seed N]\n"
+        "      [--clients N] [--pipeline N] [--seed N] [--budget X]\n"
         "  version          build, SIMD backend, and CPU features\n"
         "  <command> --help describes the command's options.\n"
         "--threads N sets the worker count of the flat evaluation\n"
@@ -197,6 +215,28 @@ parseCount(const std::string &text, uint64_t min_value,
     return true;
 }
 
+/**
+ * Parse an accuracy-budget argument: a plain non-negative finite
+ * decimal.  Negative values, NaN, infinities, and any trailing
+ * garbage are *rejected* (never silently clamped) so a typo'd budget
+ * fails loudly at the command line instead of quietly changing the
+ * serving tier.
+ */
+bool
+parseBudget(const std::string &text, double *out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    const double value = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() + text.size())
+        return false; // non-numeric or trailing garbage
+    if (!(value >= 0.0) || std::isinf(value))
+        return false; // NaN fails the comparison; negatives/inf explicit
+    *out = value;
+    return true;
+}
+
 // ---------------------------------------------------------------------------
 // Shared subcommand option parser.
 //
@@ -205,10 +245,10 @@ parseCount(const std::string &text, uint64_t min_value,
 // keeps the parsing, validation, and --help rendering in one place.
 // ---------------------------------------------------------------------------
 
-/** One subcommand option: a boolean flag, a counted value, or a path. */
+/** One subcommand option: a flag, a count, a real, or a path. */
 struct CliOption
 {
-    enum class Kind : uint8_t { Flag, Count, Text };
+    enum class Kind : uint8_t { Flag, Count, Real, Text };
 
     const char *name = nullptr;
     Kind kind = Kind::Flag;
@@ -216,6 +256,7 @@ struct CliOption
     uint64_t maxValue = 0;
     bool *flagOut = nullptr;
     uint64_t *countOut = nullptr;
+    double *realOut = nullptr;
     std::string *textOut = nullptr;
     const char *help = "";
 };
@@ -246,6 +287,17 @@ countOpt(const char *name, uint64_t min_value, uint64_t max_value,
 }
 
 CliOption
+realOpt(const char *name, double *out, const char *help)
+{
+    CliOption o;
+    o.name = name;
+    o.kind = CliOption::Kind::Real;
+    o.realOut = out;
+    o.help = help;
+    return o;
+}
+
+CliOption
 textOpt(const char *name, std::string *out, const char *help)
 {
     CliOption o;
@@ -267,6 +319,7 @@ printCommandHelp(const char *command, const char *positional,
         std::fprintf(stderr, " [%s%s]", o.name,
                      o.kind == CliOption::Kind::Flag    ? ""
                      : o.kind == CliOption::Kind::Count ? " N"
+                     : o.kind == CliOption::Kind::Real  ? " X"
                                                         : " <path>");
     std::fprintf(stderr, "\n");
     for (const CliOption &o : options)
@@ -311,6 +364,16 @@ parseCommandOptions(const char *command,
         const std::string &value = args[++i];
         if (match->kind == CliOption::Kind::Text) {
             *match->textOut = value;
+            continue;
+        }
+        if (match->kind == CliOption::Kind::Real) {
+            if (!parseBudget(value, match->realOut)) {
+                std::fprintf(stderr,
+                             "reason_cli %s: bad value '%s' for '%s' "
+                             "(want a non-negative finite number)\n",
+                             command, value.c_str(), match->name);
+                return ParseStatus::Error;
+            }
             continue;
         }
         if (!parseCount(value, match->minValue, match->maxValue,
@@ -647,6 +710,80 @@ cmdFit(const std::vector<std::string> &args)
     return 0;
 }
 
+int
+cmdQuery(const std::vector<std::string> &args)
+{
+    double budget = 0.0;
+    uint64_t rows = 8;
+    uint64_t seed = 1;
+    uint64_t missing_pct = 0;
+    uint64_t is_samples = 0;
+    const std::vector<CliOption> options = {
+        realOpt("--budget", &budget,
+                "accuracy budget (0 = exact tier, >0 = approximate "
+                "tier with certified bounds)"),
+        countOpt("--rows", 1, 1u << 20, &rows,
+                 "queries sampled from the circuit"),
+        countOpt("--seed", 0, ~uint64_t(0), &seed,
+                 "query sampling RNG seed"),
+        countOpt("--missing-pct", 0, 100, &missing_pct,
+                 "percent of variables marginalized out per query"),
+        countOpt("--is-samples", 0, 1u << 24, &is_samples,
+                 "importance samples for the log-evidence estimate "
+                 "(0 = off)"),
+    };
+    switch (parseSubcommand("query", "<file.rpc>", args, options)) {
+      case ParseStatus::Help: return 0;
+      case ParseStatus::Error: return usage();
+      case ParseStatus::Ok: break;
+    }
+
+    pc::Circuit circuit = loadCircuit(args[0]);
+    std::printf("circuit: %zu nodes, %zu edges, %u vars\n",
+                circuit.numNodes(), circuit.numEdges(),
+                circuit.numVars());
+
+    Rng rng(seed);
+    std::vector<pc::Assignment> queries =
+        pc::sampleDataset(rng, circuit, size_t(rows));
+    for (pc::Assignment &x : queries)
+        for (uint32_t &v : x)
+            if (rng.uniformInt(0, 99) < int64_t(missing_pct))
+                v = pc::kMissing;
+
+    // Through the engine, not a local evaluator: this is the serving
+    // stack's tier-selection path (budget 0 = exact tier, positive =
+    // approximate tier with certified bounds).
+    sys::ReasonEngine engine;
+    sys::Session session = engine.createSession(circuit);
+    const bool approx = budget > 0.0;
+    std::printf("tier: %s (budget %g)\n",
+                approx ? "approximate" : "exact", budget);
+
+    std::shared_ptr<const pc::FlatCircuit> flat =
+        pc::cachedLowering(circuit);
+    for (size_t q = 0; q < queries.size(); ++q) {
+        const auto r = session.wait(session.submit(queries[q], budget));
+        if (r->error != sys::REASON_OK)
+            fatal("query %zu failed with error %d", q, r->error);
+        if (approx)
+            std::printf("row %3zu: log p = %.12f  bound [%.12f, "
+                        "%.12f]\n",
+                        q, r->outputs[0], r->boundLo[0],
+                        r->boundHi[0]);
+        else
+            std::printf("row %3zu: log p = %.12f\n", q, r->outputs[0]);
+        if (is_samples > 0) {
+            const pc::LogEvidenceEstimate est = pc::estimateLogEvidence(
+                *flat, queries[q], size_t(is_samples), seed);
+            std::printf("         IS logZ = %.12f +/- %.3e "
+                        "(%zu samples)\n",
+                        est.logZ, est.stdError, est.samples);
+        }
+    }
+    return 0;
+}
+
 /** Map a --policy argument onto the queue policy enum. */
 bool
 parseQueuePolicy(const std::string &text, sys::QueuePolicy *out)
@@ -683,10 +820,18 @@ sendAll(int fd, const uint8_t *data, size_t n)
  * private session (so the queue's fair scheduler sees each connection
  * as one tenant) and one Result frame in request order.  Any framing
  * violation or unexpected frame type drops the connection.
+ *
+ * Semantic violations — an unknown mode, a NaN/negative budget, or a
+ * budget above the server's --max-budget cap — are *not* framing
+ * errors: they answer with an error Result (REASON_ERR_BAD_MODE /
+ * REASON_ERR_BAD_BUDGET) and the connection stays usable, so one bad
+ * request cannot poison a pipelined stream.  maxBudget < 0 means
+ * uncapped.
  */
 void
 serveConnectionLoop(sys::ReasonEngine &engine,
-                    const pc::Circuit &circuit, int fd)
+                    const pc::Circuit &circuit, double maxBudget,
+                    int fd)
 {
     sys::Session session = engine.createSession(circuit);
     wire::FrameDecoder decoder;
@@ -712,25 +857,53 @@ serveConnectionLoop(sys::ReasonEngine &engine,
             if (frame.type == wire::FrameType::Hello) {
                 wire::appendHelloAck(outbuf);
             } else if (frame.type == wire::FrameType::Submit) {
-                // Rows ride the engine individually so cross-request
-                // coalescing applies; outputs keep submit order.
-                std::vector<sys::RequestHandle> handles;
-                handles.reserve(frame.submit.rows.size());
-                for (auto &row : frame.submit.rows)
-                    handles.push_back(
-                        session.submit(std::move(row)));
                 wire::ResultFrame result;
                 result.id = frame.submit.id;
-                for (sys::RequestHandle &h : handles) {
-                    const auto r = session.wait(h);
-                    if (r->error != sys::REASON_OK &&
-                        result.error == 0)
-                        result.error = r->error;
-                    if (result.error == 0)
+                result.error = wire::validateSubmit(frame.submit);
+                if (result.error == 0 && maxBudget >= 0.0 &&
+                    frame.submit.budget > maxBudget)
+                    result.error = sys::REASON_ERR_BAD_BUDGET;
+                const bool approx =
+                    frame.submit.mode ==
+                    uint32_t(sys::REASON_MODE_APPROX);
+                if (result.error == 0) {
+                    // Rows ride the engine individually so
+                    // cross-request coalescing applies; outputs keep
+                    // submit order.
+                    std::vector<sys::RequestHandle> handles;
+                    handles.reserve(frame.submit.rows.size());
+                    for (auto &row : frame.submit.rows)
+                        handles.push_back(session.submit(
+                            std::move(row), frame.submit.budget));
+                    result.tier = approx ? 1 : 0;
+                    for (sys::RequestHandle &h : handles) {
+                        const auto r = session.wait(h);
+                        if (r->error != sys::REASON_OK &&
+                            result.error == 0)
+                            result.error = r->error;
+                        if (result.error != 0)
+                            continue;
                         result.values.push_back(r->outputs[0]);
+                        if (!approx)
+                            continue;
+                        // Approximate tier with budget 0 runs the
+                        // exact path: the certified interval
+                        // degenerates to the point answer.
+                        if (r->boundLo.empty()) {
+                            result.boundLo.push_back(r->outputs[0]);
+                            result.boundHi.push_back(r->outputs[0]);
+                        } else {
+                            result.boundLo.push_back(r->boundLo[0]);
+                            result.boundHi.push_back(r->boundHi[0]);
+                        }
+                    }
                 }
-                if (result.error != 0)
+                if (result.error != 0) {
+                    result.tier = 0;
                     result.values.clear();
+                    result.boundLo.clear();
+                    result.boundHi.clear();
+                }
                 wire::appendResult(outbuf, result);
             } else {
                 open = false; // clients never send HelloAck/Result
@@ -746,10 +919,10 @@ serveConnectionLoop(sys::ReasonEngine &engine,
 
 void
 serveConnection(sys::ReasonEngine &engine, const pc::Circuit &circuit,
-                int fd)
+                double maxBudget, int fd)
 {
     try {
-        serveConnectionLoop(engine, circuit, fd);
+        serveConnectionLoop(engine, circuit, maxBudget, fd);
     } catch (const std::exception &) {
         // One connection must never take the server down: treat any
         // handler failure (e.g. allocation) as a dropped connection.
@@ -765,7 +938,8 @@ serveConnection(sys::ReasonEngine &engine, const pc::Circuit &circuit,
  */
 int
 runServeSocket(const pc::Circuit &circuit,
-               const sys::ServeOptions &serve, uint16_t port)
+               const sys::ServeOptions &serve, double maxBudget,
+               uint16_t port)
 {
     sys::ReasonEngine engine(serve);
 
@@ -798,8 +972,8 @@ runServeSocket(const pc::Circuit &circuit,
         // Connections are independent and the server runs until
         // killed, so handler threads are detached by design.
         std::thread(
-            [&engine, &circuit, fd] {
-                serveConnection(engine, circuit, fd);
+            [&engine, &circuit, maxBudget, fd] {
+                serveConnection(engine, circuit, maxBudget, fd);
             })
             .detach();
     }
@@ -818,9 +992,15 @@ BenchClientResult
 runBenchClientWorker(const std::string &host, uint16_t port,
                      const std::vector<pc::Assignment> &queries,
                      const std::vector<size_t> &slice, size_t pipeline,
-                     std::vector<double> &values,
+                     double budget, std::vector<double> &values,
+                     std::vector<double> &boundsLo,
+                     std::vector<double> &boundsHi,
                      std::vector<uint8_t> &got)
 {
+    // budget > 0 requests the approximate tier: results must come
+    // back tier 1 with per-row bounds, anything else is a protocol
+    // error.  budget 0 keeps the exact tier (tier-0 results).
+    const bool approx = budget > 0.0;
     BenchClientResult res;
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
@@ -932,10 +1112,15 @@ runBenchClientWorker(const std::string &host, uint16_t port,
                 if (frame.result.error == sys::REASON_ERR_OVERLOAD) {
                     ++res.overloads;
                 } else if (frame.result.error != 0 ||
-                           frame.result.values.size() != 1) {
+                           frame.result.values.size() != 1 ||
+                           frame.result.tier != (approx ? 1 : 0)) {
                     ++res.otherErrors;
                 } else {
                     values[q] = frame.result.values[0];
+                    if (approx) {
+                        boundsLo[q] = frame.result.boundLo[0];
+                        boundsHi[q] = frame.result.boundHi[0];
+                    }
                     got[q] = 1;
                 }
                 ++received;
@@ -966,6 +1151,9 @@ runBenchClientWorker(const std::string &host, uint16_t port,
         }
         wire::SubmitFrame submit;
         submit.id = q;
+        submit.mode = approx ? uint32_t(sys::REASON_MODE_APPROX)
+                             : uint32_t(sys::REASON_MODE_PROBABILISTIC);
+        submit.budget = budget;
         submit.numVars = uint32_t(queries[q].size());
         submit.rows.push_back(queries[q]);
         out.clear();
@@ -993,9 +1181,13 @@ cmdBenchClient(const std::vector<std::string> &args)
     uint64_t clients = 2;
     uint64_t pipeline = 64;
     uint64_t seed = 1;
+    double budget = 0.0;
     const std::vector<CliOption> options = {
         countOpt("--port", 1, 65535, &port,
                  "server port (see `serve --listen`)"),
+        realOpt("--budget", &budget,
+                "accuracy budget: 0 = exact tier, >0 = approximate "
+                "tier (bounds verified bitwise)"),
         textOpt("--host", &host, "server address (default loopback)"),
         countOpt("--requests", 1, uint64_t(1) << 30, &requests,
                  "total queries submitted across clients"),
@@ -1026,10 +1218,13 @@ cmdBenchClient(const std::vector<std::string> &args)
         pc::sampleDataset(rng, circuit, size_t(requests));
 
     std::vector<double> values(queries.size(), 0.0);
+    std::vector<double> bounds_lo(queries.size(), 0.0);
+    std::vector<double> bounds_hi(queries.size(), 0.0);
     std::vector<uint8_t> got(queries.size(), 0);
     std::vector<std::vector<size_t>> slices(clients);
     for (size_t q = 0; q < queries.size(); ++q)
         slices[q % clients].push_back(q);
+    const bool approx = budget > 0.0;
 
     std::printf("bench-client: %zu requests, %llu connection(s), "
                 "pipeline %llu, %s:%llu\n",
@@ -1044,7 +1239,8 @@ cmdBenchClient(const std::vector<std::string> &args)
         workers.emplace_back([&, c] {
             results[c] = runBenchClientWorker(
                 host, uint16_t(port), queries, slices[c],
-                size_t(pipeline), values, got);
+                size_t(pipeline), budget, values, bounds_lo,
+                bounds_hi, got);
         });
     for (std::thread &w : workers)
         w.join();
@@ -1075,7 +1271,8 @@ cmdBenchClient(const std::vector<std::string> &args)
 
     // Bitwise verification against in-process one-at-a-time
     // submission — the serving determinism contract made observable
-    // from outside the process.
+    // from outside the process.  On the approximate tier the interval
+    // endpoints must match bit-for-bit too, not just the values.
     sys::ReasonEngine reference;
     sys::Session session = reference.createSession(circuit);
     uint64_t mismatches = 0;
@@ -1086,7 +1283,8 @@ cmdBenchClient(const std::vector<std::string> &args)
         if (!got[q])
             continue;
         ++answered;
-        const auto r = session.wait(session.submit(queries[q]));
+        const auto r =
+            session.wait(session.submit(queries[q], budget));
         if (r->error != sys::REASON_OK) {
             ++mismatches; // remote answered, local failed
             continue;
@@ -1095,6 +1293,12 @@ cmdBenchClient(const std::vector<std::string> &args)
         local_answered.push_back(r->outputs[0]);
         if (std::bit_cast<uint64_t>(values[q]) !=
             std::bit_cast<uint64_t>(r->outputs[0]))
+            ++mismatches;
+        if (approx &&
+            (std::bit_cast<uint64_t>(bounds_lo[q]) !=
+                 std::bit_cast<uint64_t>(r->boundLo[0]) ||
+             std::bit_cast<uint64_t>(bounds_hi[q]) !=
+                 std::bit_cast<uint64_t>(r->boundHi[0])))
             ++mismatches;
     }
 
@@ -1137,6 +1341,9 @@ cmdServe(const std::vector<std::string> &args)
     uint64_t listen_port = 0;
     bool listen_set = false;
     uint64_t seed = 1;
+    // Sentinel -1 = uncapped; parseBudget only ever writes
+    // non-negative finite values, so any explicit --max-budget caps.
+    double max_budget = -1.0;
     std::vector<CliOption> options = {
         countOpt("--requests", 1, uint64_t(1) << 30, &requests,
                  "total queries submitted across clients"),
@@ -1161,6 +1368,9 @@ cmdServe(const std::vector<std::string> &args)
                 "pin dispatcher and eval threads to cores"),
         countOpt("--listen", 0, 65535, &listen_port,
                  "serve the binary wire protocol on loopback TCP"),
+        realOpt("--max-budget", &max_budget,
+                "largest accuracy budget accepted over the wire "
+                "(default: uncapped)"),
         countOpt("--seed", 0, ~uint64_t(0), &seed,
                  "query sampling RNG seed"),
     };
@@ -1195,7 +1405,8 @@ cmdServe(const std::vector<std::string> &args)
 
     if (listen_set) {
 #if REASON_HAS_SOCKETS
-        return runServeSocket(circuit, serve, uint16_t(listen_port));
+        return runServeSocket(circuit, serve, max_budget,
+                              uint16_t(listen_port));
 #else
         fatal("serve --listen requires POSIX sockets (unavailable on "
               "this platform)");
@@ -1348,6 +1559,8 @@ main(int argc, char **argv)
         return cmdCompile(args);
     if (cmd == "fit")
         return cmdFit(args);
+    if (cmd == "query")
+        return cmdQuery(args);
     if (cmd == "serve")
         return cmdServe(args);
     if (cmd == "bench-client")
