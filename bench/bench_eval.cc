@@ -11,7 +11,11 @@
  * vs sequential single-request submission), and the SIMD kernel
  * micro-benches (kernel_logsumexp, hmm_leaf_batch: the util/simd.h
  * pack kernels vs their bit-exact forced-scalar references, with a
- * >= 1.5x gate on vectorized builds for the sum-layer kernel).
+ * >= 1.5x gate on vectorized builds for the sum-layer kernel), and
+ * the CNF -> d-DNNF -> FlatCircuit compilation differential
+ * (compile_flat: 200 random formulas through the legacy Dag WMC, the
+ * direct flat lowering, the streamed `.nnf` round-trip, and brute
+ * force, with a throughput gate and a zero-mismatch exit gate).
  *
  * Emits one machine-readable JSON line per engine pair (prefix
  * "BENCH_JSON ", with compiler/flags/ISA provenance) so the perf
@@ -27,11 +31,13 @@
  */
 
 #include <algorithm>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -40,8 +46,13 @@
 #include "core/builders.h"
 #include "core/flat.h"
 #include "hmm/hmm.h"
+#include "logic/cnf.h"
+#include "logic/knowledge.h"
+#include "logic/nnf_io.h"
 #include "pc/approx.h"
+#include "pc/flat_cache.h"
 #include "pc/flat_pc.h"
+#include "pc/from_logic.h"
 #include "pc/learn.h"
 #include "pc/pc.h"
 #include "sys/engine.h"
@@ -1080,6 +1091,152 @@ main(int argc, char **argv)
             determinism_mismatches);
     }
 
+    // --- CNF -> d-DNNF -> FlatCircuit compilation differential ---------
+    // A 200-formula randomized corpus (mixed clause lengths with
+    // duplicates, planted SAT, forced UNSAT, sparse formulas with
+    // unused variables) through the four WMC routes the tests pin:
+    // legacy Dag wmc, direct flat lowering, streamed `.nnf`
+    // round-trip (must be byte-identical to the direct lowering), and
+    // brute-force enumeration.  Any mismatch fails the run.
+    {
+        Rng crng(0xc0de);
+        std::vector<logic::CnfFormula> corpus;
+        auto randomClause = [&](logic::CnfFormula &f, uint32_t vars,
+                                uint32_t len) {
+            logic::Clause c;
+            for (uint32_t k = 0; k < len; ++k)
+                c.push_back(logic::Lit::make(
+                    uint32_t(crng.uniformInt(0, vars - 1)),
+                    crng.bernoulli(0.5)));
+            f.addClause(c);
+        };
+        while (corpus.size() < 200) {
+            switch (corpus.size() % 4) {
+              case 0: {
+                uint32_t vars = uint32_t(crng.uniformInt(2, 12));
+                logic::CnfFormula f;
+                f.ensureVars(vars);
+                uint32_t n = uint32_t(crng.uniformInt(1, vars * 3));
+                for (uint32_t c = 0; c < n; ++c)
+                    randomClause(f, vars,
+                                 uint32_t(crng.uniformInt(1, 4)));
+                if (f.numClauses() > 0)
+                    f.addClause(f.clauses()[0]); // duplicate clause
+                corpus.push_back(std::move(f));
+                break;
+              }
+              case 1:
+                corpus.push_back(logic::plantedKSat(
+                    crng, uint32_t(crng.uniformInt(4, 12)), 24, 3));
+                break;
+              case 2: {
+                uint32_t vars = uint32_t(crng.uniformInt(2, 10));
+                logic::CnfFormula f;
+                f.ensureVars(vars);
+                for (uint32_t c = 0; c < vars; ++c)
+                    randomClause(f, vars,
+                                 uint32_t(crng.uniformInt(2, 3)));
+                f.addClause({1});
+                f.addClause({-1}); // force UNSAT
+                corpus.push_back(std::move(f));
+                break;
+              }
+              default: {
+                logic::CnfFormula f;
+                f.ensureVars(uint32_t(crng.uniformInt(6, 12)));
+                for (uint32_t c = 0; c < 4; ++c)
+                    randomClause(f, 2,
+                                 uint32_t(crng.uniformInt(1, 2)));
+                corpus.push_back(std::move(f));
+                break;
+              }
+            }
+        }
+
+        size_t wmc_mismatches = 0;
+        size_t stream_mismatches = 0;
+        size_t dnnf_nodes = 0;
+        size_t dnnf_edges = 0;
+        double compile_ms = 0.0, lower_ms2 = 0.0, stream_ms = 0.0;
+        auto close = [](double a, double b) {
+            if (std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b))
+                return true;
+            double s = std::max({1.0, std::fabs(a), std::fabs(b)});
+            return std::fabs(a - b) <= 1e-10 * s;
+        };
+        for (const logic::CnfFormula &f : corpus) {
+            t0 = Clock::now();
+            logic::DnnfGraph g = logic::compileToDnnf(f);
+            compile_ms += msSince(t0);
+            dnnf_nodes += g.numNodes();
+            dnnf_edges += g.numEdges();
+            logic::LitWeights w =
+                logic::LitWeights::random(crng, f.numVars());
+
+            double dag_wmc = g.wmc(w);
+
+            t0 = Clock::now();
+            pc::FlatCircuit direct = pc::flatFromDnnf(g, w);
+            lower_ms2 += msSince(t0);
+            double flat_log = pc::flatLogWmc(direct);
+
+            std::istringstream in(logic::toC2dFormat(g));
+            pc::FlatCircuit streamed;
+            logic::NnfError err;
+            t0 = Clock::now();
+            bool ok = pc::streamNnfToFlat(in, w, &streamed, &err);
+            stream_ms += msSince(t0);
+            if (!ok ||
+                pc::structuralFingerprint(streamed) !=
+                    pc::structuralFingerprint(direct) ||
+                std::bit_cast<uint64_t>(pc::flatLogWmc(streamed)) !=
+                    std::bit_cast<uint64_t>(flat_log))
+                ++stream_mismatches;
+
+            double brute = 0.0;
+            for (uint64_t m = 0; m < (uint64_t(1) << f.numVars());
+                 ++m) {
+                std::vector<bool> a(f.numVars());
+                for (uint32_t v = 0; v < f.numVars(); ++v)
+                    a[v] = (m >> v) & 1;
+                if (!f.evaluate(a))
+                    continue;
+                double p = 1.0;
+                for (uint32_t v = 0; v < f.numVars(); ++v)
+                    p *= a[v] ? w.pos[v] : w.neg[v];
+                brute += p;
+            }
+            double flat_wmc = std::exp(flat_log);
+            if (!close(dag_wmc, flat_wmc) || !close(dag_wmc, brute) ||
+                !close(flat_wmc, brute))
+                ++wmc_mismatches;
+        }
+        double formulas_per_s =
+            compile_ms > 0.0 ? 200.0 / (compile_ms / 1000.0) : 0.0;
+        const bool throughput_ok = formulas_per_s >= 20.0;
+        bitwise_failures += stream_mismatches;
+        gate_failures += wmc_mismatches != 0;
+        gate_failures += !throughput_ok;
+        std::printf(
+            "BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+            "\"compile_flat\",\"nodes\":%zu,\"edges\":%zu,"
+            "\"reps\":200,\"formulas\":200,"
+            "\"compile_ms\":%.3f,\"lower_ms\":%.3f,\"stream_ms\":%.3f,"
+            "\"formulas_per_s\":%.1f,\"wmc_mismatches\":%zu,"
+            "\"bitwise_mismatches\":%zu%s}\n",
+            dnnf_nodes, dnnf_edges, compile_ms, lower_ms2, stream_ms,
+            formulas_per_s, wmc_mismatches, stream_mismatches,
+            provenance);
+        std::printf(
+            "compile_flat: 200 formulas (%zu d-DNNF nodes) compiled in "
+            "%.3f ms (%.0f/s %s, target >=20/s), lower %.3f ms, stream "
+            "%.3f ms, %zu WMC mismatches, %zu streamed-vs-direct "
+            "mismatches\n",
+            dnnf_nodes, compile_ms, formulas_per_s,
+            throughput_ok ? "PASS" : "BELOW TARGET", lower_ms2,
+            stream_ms, wmc_mismatches, stream_mismatches);
+    }
+
     // --- linear domain: Dag::evaluate vs core::Evaluator ---------------
     core::Dag dag = core::buildFromCircuit(circuit);
     const size_t dag_reps = reps / 4 ? reps / 4 : 1;
@@ -1133,7 +1290,8 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "bench_eval: %zu failed gates (serving_mt shed "
                      "rate / queue depth / admitted p99, approx_tier "
-                     "bound violations / speedup-at-accuracy)\n",
+                     "bound violations / speedup-at-accuracy, "
+                     "compile_flat WMC agreement / throughput)\n",
                      gate_failures);
         return 1;
     }

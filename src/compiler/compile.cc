@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <span>
 #include <sstream>
 
 #include "core/regularize.h"
@@ -13,8 +14,8 @@ namespace compiler {
 namespace {
 
 using core::Dag;
-using core::DagNode;
-using core::DagOp;
+using core::FlatGraph;
+using core::FlatOp;
 using core::NodeId;
 
 /** A DAG value expressed as an affine transform of a base value. */
@@ -36,28 +37,51 @@ nodeIndex(uint32_t level, uint32_t pos)
 }
 
 TreeOp
-opToTreeOp(DagOp op)
+opToTreeOp(FlatOp op)
 {
     switch (op) {
-      case DagOp::Sum: return TreeOp::Add;
-      case DagOp::Product: return TreeOp::Mul;
-      case DagOp::Max: return TreeOp::Max;
-      case DagOp::Min: return TreeOp::Min;
-      default: panic("op %s has no tree opcode", core::dagOpName(op));
+      case FlatOp::Sum:
+      case FlatOp::WeightedSum: return TreeOp::Add;
+      case FlatOp::Product: return TreeOp::Mul;
+      case FlatOp::Max: return TreeOp::Max;
+      case FlatOp::Min: return TreeOp::Min;
+      default: panic("op %s has no tree opcode", core::flatOpName(op));
     }
 }
 
 class Compiler
 {
   public:
-    Compiler(const Dag &dag, const TargetConfig &target)
-        : dag_(dag), target_(target)
+    Compiler(const FlatGraph &graph, const TargetConfig &target)
+        : g_(graph), target_(target)
     {
+        // Per-node leaf metadata, scattered from the flat leaf lists.
+        tag_.assign(g_.numNodes(), 0);
+        for (const auto &[node, tag] : g_.inputs)
+            tag_[node] = tag;
+        value_.assign(g_.numNodes(), 0.0);
+        for (const auto &[node, value] : g_.consts)
+            value_[node] = value;
     }
 
     Program run();
 
   private:
+    FlatOp op(NodeId id) const { return FlatOp(g_.ops[id]); }
+    std::span<const uint32_t>
+    fanin(NodeId id) const
+    {
+        return std::span<const uint32_t>(g_.edgeTarget)
+            .subspan(g_.edgeOffset[id],
+                     g_.edgeOffset[id + 1] - g_.edgeOffset[id]);
+    }
+    /** Weight of node id's k-th operand edge (1.0 when unweighted). */
+    double
+    edgeWeight(NodeId id, uint32_t k) const
+    {
+        return g_.edgeWeight[g_.edgeOffset[id] + k];
+    }
+
     Resolved resolve(NodeId id);
     void countEffectiveConsumers();
     /** Create (or find) the block materializing op node `op_node`. */
@@ -66,13 +90,16 @@ class Compiler
                    double scale);
     void placeOperand(uint32_t blk, const Resolved &spec, double scale,
                       uint32_t level, uint32_t pos);
-    static bool canDistributeScale(DagOp op, double scale);
+    static bool canDistributeScale(FlatOp op, double scale);
     void assignPesAndBanks();
     void scheduleBlocks();
 
-    const Dag &dag_;
+    const FlatGraph &g_;
     TargetConfig target_;
     Program prog_;
+    /** Input tag / const value per node (0 elsewhere). */
+    std::vector<uint32_t> tag_;
+    std::vector<double> value_;
 
     std::vector<Resolved> resolved_;
     std::vector<bool> resolvedReady_;
@@ -95,33 +122,31 @@ Compiler::resolve(NodeId id)
 {
     if (resolvedReady_[id])
         return resolved_[id];
-    const DagNode &n = dag_.node(id);
     Resolved r;
-    switch (n.op) {
-      case DagOp::Input:
+    switch (op(id)) {
+      case FlatOp::Input:
         r.kind = Resolved::Kind::Input;
-        r.tag = n.tag;
+        r.tag = tag_[id];
         break;
-      case DagOp::Const:
+      case FlatOp::Const:
         r.kind = Resolved::Kind::Constant;
         r.a = 0.0;
-        r.b = n.value;
+        r.b = value_[id];
         break;
-      case DagOp::Not: {
-        Resolved c = resolve(n.inputs[0]);
+      case FlatOp::Not: {
+        Resolved c = resolve(fanin(id)[0]);
         r = c;
         r.a = -c.a;
         r.b = 1.0 - c.b;
         break;
       }
       default: {
-        if (n.inputs.size() == 1) {
-            // Unary Sum carries a scale; unary Product/Max/Min are
-            // identities.
-            Resolved c = resolve(n.inputs[0]);
-            double w = (n.op == DagOp::Sum && !n.weights.empty())
-                           ? n.weights[0]
-                           : 1.0;
+        if (fanin(id).size() == 1) {
+            // Unary sums carry their weight as a scale; unary
+            // Product/Max/Min are identities (edgeWeight is 1.0 for
+            // every unweighted edge, so one read covers both).
+            Resolved c = resolve(fanin(id)[0]);
+            double w = edgeWeight(id, 0);
             r = c;
             r.a = w * c.a;
             r.b = w * c.b;
@@ -140,34 +165,34 @@ Compiler::resolve(NodeId id)
 void
 Compiler::countEffectiveConsumers()
 {
-    effConsumers_.assign(dag_.numNodes(), 0);
-    for (NodeId id = 0; id < dag_.numNodes(); ++id) {
-        const DagNode &n = dag_.node(id);
-        if (n.op == DagOp::Input || n.op == DagOp::Const ||
-            n.op == DagOp::Not || n.inputs.size() == 1)
+    effConsumers_.assign(g_.numNodes(), 0);
+    for (NodeId id = 0; id < g_.numNodes(); ++id) {
+        if (op(id) == FlatOp::Input || op(id) == FlatOp::Const ||
+            op(id) == FlatOp::Not || fanin(id).size() == 1)
             continue; // unary chains are folded; count at their consumers
-        for (NodeId c : n.inputs) {
+        for (NodeId c : fanin(id)) {
             Resolved spec = resolve(c);
             if (spec.kind == Resolved::Kind::Op)
                 ++effConsumers_[spec.node];
         }
     }
-    Resolved root = resolve(dag_.root());
+    Resolved root = resolve(g_.root);
     if (root.kind == Resolved::Kind::Op)
         ++effConsumers_[root.node];
 }
 
 bool
-Compiler::canDistributeScale(DagOp op, double scale)
+Compiler::canDistributeScale(FlatOp op, double scale)
 {
     if (scale == 1.0)
         return true;
     switch (op) {
-      case DagOp::Product:
-      case DagOp::Sum:
+      case FlatOp::Product:
+      case FlatOp::Sum:
+      case FlatOp::WeightedSum:
         return true; // push into one factor / distribute over weights
-      case DagOp::Max:
-      case DagOp::Min:
+      case FlatOp::Max:
+      case FlatOp::Min:
         return scale > 0.0; // positive scaling preserves selection
       default:
         return false;
@@ -220,19 +245,18 @@ void
 Compiler::growBlock(uint32_t blk, NodeId id, uint32_t level, uint32_t pos,
                     double scale)
 {
-    const DagNode &n = dag_.node(id);
-    reasonAssert(n.inputs.size() == 2, "blocks grow over binary ops");
-    prog_.blocks[blk].nodeOps[nodeIndex(level, pos)] = opToTreeOp(n.op);
+    const FlatOp node_op = op(id);
+    const std::span<const uint32_t> kids = fanin(id);
+    reasonAssert(kids.size() == 2, "blocks grow over binary ops");
+    prog_.blocks[blk].nodeOps[nodeIndex(level, pos)] = opToTreeOp(node_op);
     ++prog_.blocks[blk].fusedNodes;
 
     // How the pending scale propagates to each child.
     double child_scale[2] = {1.0, 1.0};
-    if (n.op == DagOp::Sum) {
-        double w0 = n.weights.empty() ? 1.0 : n.weights[0];
-        double w1 = n.weights.empty() ? 1.0 : n.weights[1];
-        child_scale[0] = scale * w0;
-        child_scale[1] = scale * w1;
-    } else if (n.op == DagOp::Product) {
+    if (node_op == FlatOp::Sum || node_op == FlatOp::WeightedSum) {
+        child_scale[0] = scale * edgeWeight(id, 0);
+        child_scale[1] = scale * edgeWeight(id, 1);
+    } else if (node_op == FlatOp::Product) {
         child_scale[0] = scale; // absorb into one factor
         child_scale[1] = 1.0;
     } else {
@@ -242,7 +266,7 @@ Compiler::growBlock(uint32_t blk, NodeId id, uint32_t level, uint32_t pos,
     }
 
     for (uint32_t k = 0; k < 2; ++k) {
-        NodeId child = n.inputs[k];
+        NodeId child = kids[k];
         Resolved spec = resolve(child);
         uint32_t cpos = 2 * pos + k;
         double s = child_scale[k];
@@ -250,7 +274,7 @@ Compiler::growBlock(uint32_t blk, NodeId id, uint32_t level, uint32_t pos,
             spec.kind == Resolved::Kind::Op && spec.b == 0.0 &&
             effConsumers_[spec.node] == 1 &&
             level + 1 < target_.treeDepth &&
-            canDistributeScale(dag_.node(spec.node).op, s * spec.a);
+            canDistributeScale(op(spec.node), s * spec.a);
         if (fusable) {
             if (spec.a != 1.0 || s != 1.0)
                 ++replicated_; // modifier work replicated into the block
@@ -330,24 +354,26 @@ Compiler::assignPesAndBanks()
     }
 
     // External inputs: spread over banks not owned by PEs when possible.
+    // g_.inputs lists Input leaves in ascending node order, matching
+    // the placement sequence of the heap-walk era program for program
+    // identity across the two compile entry points.
     uint32_t input_bank_lo =
         target_.numBanks > target_.numPes ? target_.numPes : 0;
     uint32_t input_banks =
         std::max(1u, target_.numBanks - input_bank_lo);
-    std::vector<InputPlacement> placement(dag_.numInputs());
-    std::vector<bool> have(dag_.numInputs(), false);
+    std::vector<InputPlacement> placement(g_.numInputs);
+    std::vector<bool> have(g_.numInputs, false);
     uint32_t next_bank = 0;
-    for (NodeId id = 0; id < dag_.numNodes(); ++id) {
-        const DagNode &n = dag_.node(id);
-        if (n.op != DagOp::Input || have[n.tag])
+    for (const auto &[node, tag] : g_.inputs) {
+        if (have[tag])
             continue;
         uint16_t bank = static_cast<uint16_t>(
             input_bank_lo + (next_bank++ % input_banks));
-        placement[n.tag] = {n.tag, bank,
-                            static_cast<uint16_t>(bank_fill[bank]++)};
-        have[n.tag] = true;
+        placement[tag] = {tag, bank,
+                          static_cast<uint16_t>(bank_fill[bank]++)};
+        have[tag] = true;
     }
-    for (uint32_t t = 0; t < dag_.numInputs(); ++t)
+    for (uint32_t t = 0; t < g_.numInputs; ++t)
         if (have[t])
             prog_.inputs.push_back(placement[t]);
 
@@ -463,11 +489,11 @@ Compiler::run()
     prog_.numBanks = target_.numBanks;
     prog_.regsPerBank = target_.regsPerBank;
 
-    resolved_.resize(dag_.numNodes());
-    resolvedReady_.assign(dag_.numNodes(), false);
+    resolved_.resize(g_.numNodes());
+    resolvedReady_.assign(g_.numNodes(), false);
     countEffectiveConsumers();
 
-    Resolved root = resolve(dag_.root());
+    Resolved root = resolve(g_.root);
     uint32_t root_block;
     if (root.kind == Resolved::Kind::Op && root.a == 1.0 &&
         root.b == 0.0) {
@@ -481,7 +507,7 @@ Compiler::run()
                                                  OperandRef{});
         prog_.blocks[root_block].nodeOps.assign(prog_.nodesPerPe(),
                                                 TreeOp::Nop);
-        prog_.blocks[root_block].dagRoot = dag_.root();
+        prog_.blocks[root_block].dagRoot = g_.root;
         placeOperand(root_block, root, 1.0, 0, 0);
     }
     prog_.rootBlock = root_block;
@@ -512,18 +538,27 @@ Compiler::run()
 } // namespace
 
 Program
-compile(const core::Dag &dag, const TargetConfig &target)
+compile(const core::FlatGraph &graph, const TargetConfig &target)
 {
     reasonAssert(target.treeDepth >= 1 && target.treeDepth <= 8,
                  "tree depth must be in [1,8]");
+    for (size_t i = 0; i < graph.numNodes(); ++i)
+        reasonAssert(graph.edgeOffset[i + 1] - graph.edgeOffset[i] <= 2,
+                     "compile requires a two-input flat graph "
+                     "(regularize before lowering)");
+    Compiler c(graph, target);
+    return c.run();
+}
+
+Program
+compile(const core::Dag &dag, const TargetConfig &target)
+{
     if (!dag.isTwoInput()) {
         core::Dag copy = dag;
         core::regularizeTwoInput(copy);
-        Compiler c(copy, target);
-        return c.run();
+        return compile(core::lowerDag(copy), target);
     }
-    Compiler c(dag, target);
-    return c.run();
+    return compile(core::lowerDag(dag), target);
 }
 
 const char *

@@ -1,6 +1,13 @@
 /**
  * @file
- * The four-step DAG-to-hardware compiler (REASON Sec. V-C):
+ * The four-step flat-graph-to-hardware compiler (REASON Sec. V-C).
+ *
+ * The compiler consumes the flat CSR substrate directly
+ * (core::FlatGraph — the same lowering the CPU engine executes), so
+ * program generation shares one representation with evaluation instead
+ * of round-tripping through the heap `Dag`; the `Dag` overload is a
+ * thin regularize-and-lower shim kept for callers that still build
+ * pointer graphs.  The steps:
  *
  *   Step 1  Block decomposition — greedy extraction of depth-bounded
  *           subtrees ("blocks") that issue as single tree instructions.
@@ -24,6 +31,7 @@
 
 #include "compiler/program.h"
 #include "core/dag.h"
+#include "core/flat.h"
 
 namespace reason {
 namespace compiler {
@@ -40,9 +48,19 @@ struct TargetConfig
 };
 
 /**
- * Compile a DAG to a REASON program.  The DAG is regularized to
- * two-input form internally if needed.  The emitted program's simulated
- * execution yields exactly Dag::evaluateRoot for any input vector.
+ * Compile a flat graph to a REASON program.  The graph must be in
+ * two-input form (every fan-in <= 2 — regularize the source before
+ * lowering); the emitted program's simulated execution yields exactly
+ * the flat Evaluator's root value for any input vector.
+ */
+Program compile(const core::FlatGraph &graph,
+                const TargetConfig &target = {});
+
+/**
+ * Dag convenience overload: regularizes to two-input form if needed,
+ * lowers to flat CSR (core::lowerDag), and delegates to the FlatGraph
+ * compiler.  Emitted programs are identical to lowering first and
+ * calling the flat overload directly.
  */
 Program compile(const core::Dag &dag, const TargetConfig &target = {});
 

@@ -204,6 +204,33 @@ cachedLowering(const core::Dag &dag)
                       [](const core::Dag &d) { return core::lowerDag(d); });
 }
 
+uint64_t
+structuralFingerprint(const FlatCircuit &flat)
+{
+    // Only the canonical arrays participate: the schedules and the
+    // parent transpose are derived from them (finalizeTopology), so
+    // mixing them would add cost without discriminating power.
+    Fnv f;
+    f.mix(uint64_t(flat.numVars));
+    f.mix(uint64_t(flat.arity));
+    f.mix(uint64_t(flat.root));
+    f.mix(uint64_t(flat.numNodes()));
+    f.mix(uint64_t(flat.numEdges()));
+    for (uint8_t t : flat.types)
+        f.mix(uint64_t(t));
+    for (uint32_t o : flat.edgeOffset)
+        f.mix(o);
+    for (size_t e = 0; e < flat.edgeTarget.size(); ++e) {
+        f.mix(flat.edgeTarget[e]);
+        f.mix(flat.edgeLogWeight[e]);
+    }
+    for (size_t s = 0; s < flat.leafVar.size(); ++s)
+        f.mix(flat.leafVar[s]);
+    for (double d : flat.leafLogDist)
+        f.mix(d);
+    return f.h;
+}
+
 FlatCacheStats
 flatCacheStats()
 {

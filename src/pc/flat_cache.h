@@ -46,6 +46,17 @@ std::shared_ptr<const FlatCircuit> cachedLowering(const Circuit &circuit);
 std::shared_ptr<const core::FlatGraph>
 cachedLowering(const core::Dag &dag);
 
+/**
+ * 64-bit FNV-1a content fingerprint of an already-flat circuit:
+ * topology (types, CSR edges, root), parameters (edge log-weights,
+ * leaf variables and log-distributions), and meta (vars/arity).
+ * Structurally identical circuits hash equal regardless of how they
+ * were built — Circuit lowering, direct d-DNNF build, or streamed
+ * `.nnf` load — so compiled knowledge bases can be deduplicated and
+ * cache keys derived without a heap source object.
+ */
+uint64_t structuralFingerprint(const FlatCircuit &flat);
+
 /** Hit/miss/eviction counters since process start (or last clear). */
 struct FlatCacheStats
 {

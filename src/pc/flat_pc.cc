@@ -62,6 +62,16 @@ FlatCircuit::FlatCircuit(const Circuit &circuit)
         edgeOffset.push_back(uint32_t(edgeTarget.size()));
     }
 
+    finalizeTopology();
+}
+
+void
+FlatCircuit::finalizeTopology()
+{
+    reasonAssert(root != kInvalidNode, "circuit has no root");
+    const size_t n = types.size();
+    reasonAssert(edgeOffset.size() == n + 1, "CSR offsets incomplete");
+
     // Level (wavefront) schedule over all nodes: leaves sit in level 0
     // (they are re-filled per assignment), interior nodes one past
     // their deepest child.
@@ -99,6 +109,8 @@ FlatCircuit::FlatCircuit(const Circuit &circuit)
         parentLogWeight[k] = edgeLogWeight[parentEdge[k]];
     }
 
+    maxFanIn = 0;
+    maxParentFanIn = 0;
     for (size_t i = 0; i < n; ++i) {
         maxFanIn = std::max(maxFanIn, edgeOffset[i + 1] - edgeOffset[i]);
         maxParentFanIn = std::max(maxParentFanIn,

@@ -54,6 +54,24 @@ class FlatCircuit
 
     explicit FlatCircuit(const Circuit &circuit);
 
+    /**
+     * Empty circuit for direct builders (pc/from_logic's d-DNNF
+     * lowering, the streaming `.nnf` loader): fill the CSR arrays
+     * (types, edgeOffset/edgeTarget/edgeLogWeight, leaf arrays, root,
+     * numVars, arity) with children at lower ids than their parents,
+     * then call finalizeTopology() exactly once.
+     */
+    FlatCircuit() = default;
+
+    /**
+     * Derive the level schedule, parent transpose, and fan-in bounds
+     * from the filled CSR arrays.  Identical to the tail of the
+     * Circuit constructor, so a directly-built circuit is
+     * indistinguishable from a lowered one.  Requires a valid root and
+     * topological (child-before-parent) node order.
+     */
+    void finalizeTopology();
+
     size_t numNodes() const { return types.size(); }
     size_t numEdges() const { return edgeTarget.size(); }
     size_t numLeaves() const { return leafVar.size(); }

@@ -1,8 +1,13 @@
 #include "pc/from_logic.h"
 
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <span>
 #include <vector>
 
 #include "util/logging.h"
+#include "util/numeric.h"
 
 namespace reason {
 namespace pc {
@@ -167,6 +172,382 @@ Circuit
 compileCnf(const logic::CnfFormula &formula, const LitWeights &weights)
 {
     return fromDnnf(logic::compileToDnnf(formula), weights);
+}
+
+// ---------------------------------------------------------------------------
+// Direct flat (WMC) lowering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/** Flat id sentinel for True-valued NNF nodes (empty scope, weight 1). */
+constexpr uint32_t kUnitFlat = kInvalidNode;
+
+/**
+ * Incremental d-DNNF -> flat WMC circuit builder, shared by the
+ * in-memory route (flatFromDnnf) and the streaming `.nnf` loader so
+ * both emit byte-identical arrays for the same node sequence.
+ *
+ * Nodes are fed in file/topological order (children first); each call
+ * appends the flat nodes that node needs — indicator leaves, literal
+ * weight sums, and smoothing marginals are hash-consed per variable —
+ * keeping the emitted ids a pure function of the input sequence.
+ * Scopes are tracked per input node to compute the smoothing gaps of
+ * decision branches and of the root.
+ */
+class WmcFlatBuilder
+{
+  public:
+    WmcFlatBuilder(uint32_t num_vars, const LitWeights &weights)
+        : weights_(weights)
+    {
+        fc_.numVars = num_vars;
+        fc_.arity = 2;
+        fc_.edgeOffset.push_back(0);
+        indicator_.assign(size_t(num_vars) * 2, kInvalidNode);
+        litNode_.assign(size_t(num_vars) * 2, kInvalidNode);
+        marginal_.assign(num_vars, kInvalidNode);
+    }
+
+    /** Input nodes consumed so far (the next node's sequence id). */
+    size_t numNodes() const { return flatId_.size(); }
+    /** Description of the rejected node after addNode() returns false. */
+    const std::string &error() const { return error_; }
+
+    /**
+     * Consume one d-DNNF node; children are sequence ids of earlier
+     * addNode() calls (the caller guarantees the range).  Returns false
+     * — without crashing — when an And's children overlap (streamed
+     * files are not pre-validated).
+     */
+    bool
+    addNode(NnfType type, logic::Lit lit, uint32_t decision_var,
+            std::span<const NnfId> children)
+    {
+        (void)decision_var; // determinism is the producer's contract
+        std::vector<uint32_t> scope;
+        uint32_t id = kUnitFlat;
+        switch (type) {
+          case NnfType::True:
+            break;
+          case NnfType::False:
+            id = falseNode();
+            break;
+          case NnfType::Lit:
+            scope.push_back(lit.var());
+            id = litNodeFor(lit);
+            break;
+          case NnfType::And: {
+            size_t total = 0;
+            std::vector<uint32_t> parts;
+            for (NnfId c : children) {
+                scope.insert(scope.end(), scope_[c].begin(),
+                             scope_[c].end());
+                total += scope_[c].size();
+                if (flatId_[c] != kUnitFlat)
+                    parts.push_back(flatId_[c]);
+            }
+            std::sort(scope.begin(), scope.end());
+            scope.erase(std::unique(scope.begin(), scope.end()),
+                        scope.end());
+            if (scope.size() != total) {
+                error_ =
+                    "And children must have pairwise disjoint scopes";
+                return false;
+            }
+            if (parts.empty())
+                id = kUnitFlat;
+            else if (parts.size() == 1)
+                id = parts[0];
+            else
+                id = addProduct(parts);
+            break;
+          }
+          case NnfType::Or: {
+            for (NnfId c : children)
+                scope.insert(scope.end(), scope_[c].begin(),
+                             scope_[c].end());
+            std::sort(scope.begin(), scope.end());
+            scope.erase(std::unique(scope.begin(), scope.end()),
+                        scope.end());
+            // Each branch is padded out to the decision's scope, so by
+            // determinism the branch counts add: unit edge weights.
+            std::vector<uint32_t> branch;
+            for (NnfId c : children)
+                branch.push_back(
+                    padded(flatId_[c], scopeGap(scope, scope_[c])));
+            std::vector<double> logw(branch.size(), 0.0);
+            id = addSum(branch, logw);
+            break;
+          }
+        }
+        flatId_.push_back(id);
+        scope_.push_back(std::move(scope));
+        return true;
+    }
+
+    /** Pad the last node (the root) to the full variable set, fix the
+     *  root, and derive the schedules.  Call exactly once. */
+    FlatCircuit
+    finish()
+    {
+        reasonAssert(!flatId_.empty(), "flat build with no nodes");
+        const size_t r = flatId_.size() - 1;
+        std::vector<uint32_t> all_gap;
+        {
+            const auto &rs = scope_[r];
+            size_t si = 0;
+            for (uint32_t v = 0; v < fc_.numVars; ++v) {
+                while (si < rs.size() && rs[si] < v)
+                    ++si;
+                if (si < rs.size() && rs[si] == v)
+                    continue;
+                all_gap.push_back(v);
+            }
+        }
+        fc_.root = padded(flatId_[r], all_gap);
+        fc_.finalizeTopology();
+        return std::move(fc_);
+    }
+
+  private:
+    static double
+    logOrZero(double w)
+    {
+        return w > 0.0 ? std::log(w) : kLogZero;
+    }
+
+    uint32_t
+    addLeaf(uint32_t var, uint32_t value)
+    {
+        const uint32_t id = uint32_t(fc_.types.size());
+        fc_.types.push_back(FlatCircuit::kLeaf);
+        fc_.leafSlot.push_back(uint32_t(fc_.leafVar.size()));
+        fc_.leafVar.push_back(var);
+        fc_.leafLogDist.push_back(value == 0 ? 0.0 : kLogZero);
+        fc_.leafLogDist.push_back(value == 1 ? 0.0 : kLogZero);
+        fc_.edgeOffset.push_back(uint32_t(fc_.edgeTarget.size()));
+        return id;
+    }
+
+    uint32_t
+    addSum(std::span<const uint32_t> children,
+           std::span<const double> log_weights)
+    {
+        const uint32_t id = uint32_t(fc_.types.size());
+        fc_.types.push_back(FlatCircuit::kSum);
+        fc_.leafSlot.push_back(kInvalidNode);
+        for (size_t k = 0; k < children.size(); ++k) {
+            fc_.edgeTarget.push_back(children[k]);
+            fc_.edgeLogWeight.push_back(log_weights[k]);
+        }
+        fc_.edgeOffset.push_back(uint32_t(fc_.edgeTarget.size()));
+        return id;
+    }
+
+    uint32_t
+    addProduct(std::span<const uint32_t> children)
+    {
+        const uint32_t id = uint32_t(fc_.types.size());
+        fc_.types.push_back(FlatCircuit::kProduct);
+        fc_.leafSlot.push_back(kInvalidNode);
+        for (uint32_t c : children) {
+            fc_.edgeTarget.push_back(c);
+            fc_.edgeLogWeight.push_back(kLogZero);
+        }
+        fc_.edgeOffset.push_back(uint32_t(fc_.edgeTarget.size()));
+        return id;
+    }
+
+    /** 0/1 indicator leaf for var == value, hash-consed. */
+    uint32_t
+    indicatorLeaf(uint32_t var, uint32_t value)
+    {
+        uint32_t &slot = indicator_[size_t(var) * 2 + value];
+        if (slot == kInvalidNode)
+            slot = addLeaf(var, value);
+        return slot;
+    }
+
+    /** w(lit) * indicator(lit): the literal's weight rides on the sum
+     *  edge because leaf distributions must stay 0/1 indicators (a
+     *  kMissing variable evaluates the leaf to log 1). */
+    uint32_t
+    litNodeFor(logic::Lit lit)
+    {
+        const uint32_t value = lit.negated() ? 0u : 1u;
+        uint32_t &slot = litNode_[size_t(lit.var()) * 2 + value];
+        if (slot == kInvalidNode) {
+            const uint32_t leaf = indicatorLeaf(lit.var(), value);
+            const double w = lit.negated() ? weights_.neg[lit.var()]
+                                           : weights_.pos[lit.var()];
+            const uint32_t child[1] = {leaf};
+            const double logw[1] = {logOrZero(w)};
+            slot = addSum(child, logw);
+        }
+        return slot;
+    }
+
+    /** Smoothing marginal w_neg*[v=0] + w_pos*[v=1], hash-consed. */
+    uint32_t
+    marginalNode(uint32_t var)
+    {
+        uint32_t &slot = marginal_[var];
+        if (slot == kInvalidNode) {
+            const uint32_t child[2] = {indicatorLeaf(var, 0),
+                                       indicatorLeaf(var, 1)};
+            const double logw[2] = {logOrZero(weights_.neg[var]),
+                                    logOrZero(weights_.pos[var])};
+            slot = addSum(child, logw);
+        }
+        return slot;
+    }
+
+    /** Empty sum: evaluates to -inf (the constant-false circuit). */
+    uint32_t
+    falseNode()
+    {
+        if (false_ == kInvalidNode)
+            false_ = addSum({}, {});
+        return false_;
+    }
+
+    /** Empty product: evaluates to log 1 (a materialized unit). */
+    uint32_t
+    unitNode()
+    {
+        if (unit_ == kInvalidNode)
+            unit_ = addProduct({});
+        return unit_;
+    }
+
+    /** Product of `base` (kUnitFlat allowed) with the marginals over
+     *  `gap`; collapses to the single part when there is only one. */
+    uint32_t
+    padded(uint32_t base, const std::vector<uint32_t> &gap)
+    {
+        std::vector<uint32_t> parts;
+        if (base != kUnitFlat)
+            parts.push_back(base);
+        for (uint32_t v : gap)
+            parts.push_back(marginalNode(v));
+        if (parts.empty())
+            return unitNode();
+        if (parts.size() == 1)
+            return parts[0];
+        return addProduct(parts);
+    }
+
+    const LitWeights &weights_;
+    FlatCircuit fc_;
+    /** Per input node: flat id (kUnitFlat for True-valued) and scope. */
+    std::vector<uint32_t> flatId_;
+    std::vector<std::vector<uint32_t>> scope_;
+    /** Hash-consing slots. */
+    std::vector<uint32_t> indicator_;
+    std::vector<uint32_t> litNode_;
+    std::vector<uint32_t> marginal_;
+    uint32_t false_ = kInvalidNode;
+    uint32_t unit_ = kInvalidNode;
+    std::string error_;
+};
+
+} // namespace
+
+FlatCircuit
+flatFromDnnf(const DnnfGraph &graph, const LitWeights &weights)
+{
+    reasonAssert(weights.pos.size() >= graph.numVars() &&
+                     weights.neg.size() >= graph.numVars(),
+                 "weights must cover every variable");
+    // Feed the builder exactly the node sequence toC2dFormat()
+    // serializes — reachable nodes only, ascending, renumbered — so a
+    // streamed round-trip through the `.nnf` text reproduces these
+    // arrays byte for byte.
+    std::vector<bool> reachable(graph.numNodes(), false);
+    reachable[graph.root()] = true;
+    for (size_t i = graph.numNodes(); i-- > 0;) {
+        if (!reachable[i])
+            continue;
+        for (NnfId c : graph.node(NnfId(i)).children)
+            reachable[c] = true;
+    }
+
+    WmcFlatBuilder builder(graph.numVars(), weights);
+    std::vector<NnfId> renumber(graph.numNodes(), logic::kInvalidNnf);
+    std::vector<NnfId> mapped;
+    for (size_t i = 0; i < graph.numNodes(); ++i) {
+        if (!reachable[i])
+            continue;
+        const NnfNode &node = graph.node(NnfId(i));
+        mapped.clear();
+        for (NnfId c : node.children)
+            mapped.push_back(renumber[c]);
+        bool ok = builder.addNode(node.type, node.lit, node.decisionVar,
+                                  mapped);
+        reasonAssert(ok, "flatFromDnnf: d-DNNF violates decomposability");
+        renumber[i] = NnfId(builder.numNodes() - 1);
+    }
+    return builder.finish();
+}
+
+FlatCircuit
+compileCnfFlat(const logic::CnfFormula &formula)
+{
+    return compileCnfFlat(formula,
+                          LitWeights::uniform(formula.numVars()));
+}
+
+FlatCircuit
+compileCnfFlat(const logic::CnfFormula &formula, const LitWeights &weights)
+{
+    return flatFromDnnf(logic::compileToDnnf(formula), weights);
+}
+
+bool
+streamNnfToFlat(std::istream &in, const LitWeights &weights,
+                FlatCircuit *out, logic::NnfError *err)
+{
+    *err = logic::NnfError{};
+    logic::NnfStreamParser parser(in);
+    const uint32_t num_vars = parser.header().numVars;
+    if (weights.pos.size() < num_vars || weights.neg.size() < num_vars) {
+        err->message = "weights cover " +
+                       std::to_string(std::min(weights.pos.size(),
+                                               weights.neg.size())) +
+                       " variables but the header declares " +
+                       std::to_string(num_vars);
+        err->line = 1;
+        return false;
+    }
+
+    WmcFlatBuilder builder(num_vars, weights);
+    logic::NnfStreamParser::Node node;
+    for (;;) {
+        logic::NnfStreamParser::Status st = parser.next(&node);
+        if (st == logic::NnfStreamParser::Status::Error) {
+            *err = parser.error();
+            return false;
+        }
+        if (st == logic::NnfStreamParser::Status::End)
+            break;
+        if (!builder.addNode(node.type, node.lit, node.decisionVar,
+                             node.children)) {
+            err->message = builder.error();
+            err->line = parser.line();
+            return false;
+        }
+    }
+    *out = builder.finish();
+    return true;
+}
+
+double
+flatLogWmc(const FlatCircuit &flat)
+{
+    CircuitEvaluator eval(flat);
+    Assignment x(flat.numVars, kMissing);
+    return eval.logLikelihood(x);
 }
 
 } // namespace pc

@@ -1,11 +1,12 @@
 /**
  * @file
  * Knowledge-to-circuit bridge: convert a compiled decision-DNNF into a
- * smooth, decomposable probabilistic circuit (the R2-Guard construction:
- * logical safety rules -> tractable probabilistic model).
+ * probabilistic circuit (the R2-Guard construction: logical safety
+ * rules -> tractable probabilistic model).  Two lowerings share it:
  *
- * The resulting circuit represents the literal-weight product
- * distribution conditioned on the formula holding:
+ * **Normalized heap route** — fromDnnf() builds a smooth, decomposable
+ * pc::Circuit for the literal-weight product distribution conditioned
+ * on the formula holding:
  *
  *     P(x) = [x |= phi] * prod_v w(x_v) / WMC(phi)
  *
@@ -15,12 +16,30 @@
  * become indicator leaves.  Marginal and conditional queries on the
  * circuit therefore agree with WMC ratios on the formula — tested
  * exhaustively in tests/test_knowledge.cc.
+ *
+ * **Direct flat route** — flatFromDnnf() and streamNnfToFlat() build an
+ * *unnormalized* pc::FlatCircuit straight into CSR arrays, skipping the
+ * heap Circuit (and, for the streaming loader, the heap DnnfGraph)
+ * entirely.  Evaluating it under a partial assignment e yields
+ * log WMC(phi ∧ e); the all-missing assignment yields log WMC(phi)
+ * (flatLogWmc).  Literal weights ride on sum-edge weights over 0/1
+ * indicator leaves, decisions become unit-weight sums over gap-padded
+ * branches, and UNSAT formulas lower to a constant-false circuit whose
+ * root evaluates to -inf — no normalization step, so unsatisfiable
+ * inputs are representable.  Both flat builders emit the *same* node
+ * sequence as toC2dFormat() serializes, so a direct build and a
+ * streamed `.nnf` round-trip of the same graph produce byte-identical
+ * arrays (asserted in tests/test_compile_flat.cc).
  */
 
 #ifndef REASON_PC_FROM_LOGIC_H
 #define REASON_PC_FROM_LOGIC_H
 
+#include <iosfwd>
+
 #include "logic/knowledge.h"
+#include "logic/nnf_io.h"
+#include "pc/flat_pc.h"
 #include "pc/pc.h"
 
 namespace reason {
@@ -40,6 +59,37 @@ Circuit fromDnnf(const logic::DnnfGraph &graph,
 Circuit compileCnf(const logic::CnfFormula &formula);
 Circuit compileCnf(const logic::CnfFormula &formula,
                    const logic::LitWeights &weights);
+
+/**
+ * Lower a d-DNNF directly into a FlatCircuit computing the weighted
+ * model count (see the file comment for the construction).  Handles
+ * unsatisfiable graphs (constant-false circuit).  The node sequence
+ * matches toC2dFormat(): a streamed round-trip through the `.nnf`
+ * text of `graph` yields byte-identical CSR arrays.
+ */
+FlatCircuit flatFromDnnf(const logic::DnnfGraph &graph,
+                         const logic::LitWeights &weights);
+
+/** One-shot: compile a CNF straight to the flat WMC circuit
+ *  (uniform weights by default). */
+FlatCircuit compileCnfFlat(const logic::CnfFormula &formula);
+FlatCircuit compileCnfFlat(const logic::CnfFormula &formula,
+                           const logic::LitWeights &weights);
+
+/**
+ * Stream a c2d `.nnf` file bottom-up straight into a flat WMC circuit
+ * without materializing a DnnfGraph: peak memory is the output CSR
+ * arrays plus per-node scope sets — no pointer graph.  `weights` must
+ * cover the header's variable count.  On malformed input (anything
+ * NnfStreamParser rejects, plus non-decomposable And nodes) returns
+ * false with *err filled and leaves *out untouched; never crashes.
+ */
+bool streamNnfToFlat(std::istream &in, const logic::LitWeights &weights,
+                     FlatCircuit *out, logic::NnfError *err);
+
+/** log WMC of a flat WMC circuit: its root value under the all-missing
+ *  assignment (-inf for a constant-false/UNSAT circuit). */
+double flatLogWmc(const FlatCircuit &flat);
 
 } // namespace pc
 } // namespace reason

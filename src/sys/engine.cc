@@ -231,6 +231,15 @@ ReasonEngine::createSession(const pc::Circuit &circuit)
 }
 
 Session
+ReasonEngine::createSession(std::shared_ptr<const pc::FlatCircuit> lowering)
+{
+    reasonAssert(lowering != nullptr, "createSession: null lowering");
+    auto state = std::make_shared<SessionState>();
+    state->lowering = std::move(lowering);
+    return Session(this, std::move(state));
+}
+
+Session
 ReasonEngine::createSession(const arch::ArchConfig &config,
                             compiler::Program program)
 {

@@ -327,6 +327,17 @@ class ReasonEngine
     Session createSession(const pc::Circuit &circuit);
 
     /**
+     * Open a serving session over an already-flat circuit (a direct
+     * d-DNNF lowering or a streamed `.nnf` load — pc/from_logic).  No
+     * heap Circuit ever exists on this path, so there is nothing to
+     * cache-key by: sessions sharing one FlatCircuit object share one
+     * coalescing key; distinct objects never coalesce even when
+     * structurally equal.  The engine holds a reference for the
+     * session's lifetime.
+     */
+    Session createSession(std::shared_ptr<const pc::FlatCircuit> lowering);
+
+    /**
      * Open a Listing-1 session: the compiled program runs on a private
      * cycle-accurate accelerator, one row at a time, exactly as the
      * pre-engine ReasonRuntime executed it.

@@ -325,6 +325,25 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
             EXPECT_GT(field(obj, "speedup_vs_exact")->number(), 0.0);
             EXPECT_LE(field(obj, "mean_abs_dlogp")->number(),
                       field(obj, "max_abs_dlogp")->number());
+        } else if (engine->text == "compile_flat") {
+            for (const char *key :
+                 {"formulas", "compile_ms", "lower_ms", "stream_ms",
+                  "formulas_per_s", "wmc_mismatches",
+                  "bitwise_mismatches"}) {
+                const JsonValue *v = field(obj, key);
+                ASSERT_NE(v, nullptr) << "compile_flat lacks " << key;
+                EXPECT_FALSE(v->isString);
+            }
+            // The four WMC routes must agree on the whole corpus and
+            // the streamed `.nnf` round-trip must be byte-identical
+            // to the direct lowering, at any bench size.
+            EXPECT_EQ(field(obj, "wmc_mismatches")->number(), 0.0)
+                << "compile_flat reports WMC disagreements";
+            EXPECT_EQ(field(obj, "bitwise_mismatches")->number(), 0.0)
+                << "compile_flat reports streamed-vs-direct mismatches";
+            EXPECT_EQ(field(obj, "formulas")->number(), 200.0);
+            EXPECT_GT(field(obj, "compile_ms")->number(), 0.0);
+            EXPECT_GT(field(obj, "formulas_per_s")->number(), 0.0);
         } else if (is_mt) {
             for (const char *key : {"threads", "flat_ms", "mt_ms",
                                     "speedup_vs_flat",
@@ -362,7 +381,7 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
     for (const char *engine :
          {"circuit_loglik", "circuit_loglik_mt", "derivatives_mt",
           "em_fit", "kernel_logsumexp", "hmm_leaf_batch", "serving",
-          "serving_mt", "approx_tier", "dag_eval"}) {
+          "serving_mt", "approx_tier", "compile_flat", "dag_eval"}) {
         EXPECT_EQ(engines[engine], 1)
             << "engine " << engine << " missing or duplicated";
     }
@@ -392,6 +411,7 @@ TEST(BenchJsonSchema, SingleThreadRunSkipsMtVariantsAndExitsZero)
     EXPECT_EQ(engines["kernel_logsumexp"], 1);
     EXPECT_EQ(engines["hmm_leaf_batch"], 1);
     EXPECT_EQ(engines["approx_tier"], 1);
+    EXPECT_EQ(engines["compile_flat"], 1);
     EXPECT_EQ(engines["circuit_loglik_mt"], 0);
     EXPECT_EQ(engines["derivatives_mt"], 0);
     EXPECT_EQ(engines["em_fit"], 0);
