@@ -43,6 +43,7 @@
 #include <vector>
 
 #include "../tests/random_circuit.h"
+#include "arch/dram.h"
 #include "core/builders.h"
 #include "core/flat.h"
 #include "hmm/hmm.h"
@@ -1235,6 +1236,172 @@ main(int argc, char **argv)
             dnnf_nodes, compile_ms, formulas_per_s,
             throughput_ok ? "PASS" : "BELOW TARGET", lower_ms2,
             stream_ms, wmc_mismatches, stream_mismatches);
+    }
+
+    // --- DRAM timing model: locality, invariants, determinism ----------
+    // Drives the arch/dram cycle model (the path behind accelerator
+    // input preload and clause-miss DMA) with a streaming and an
+    // equal-footprint random workload through row-coalescing DMA
+    // sessions, then a randomized single-request corpus.  Gates:
+    // streaming must see a strictly higher row-hit rate and fewer
+    // cycles per logical byte than random; every corpus response must
+    // respect the minimum closed-row latency and the sustained
+    // bandwidth must stay at or below the structural peak; and the
+    // entire run must produce bit-identical cycle totals when
+    // repeated (the model is pure integer arithmetic).
+    {
+        const arch::ArchConfig acfg;
+        const uint64_t kFootprintWords = 64 * 1024; // 512 KiB footprint
+        const size_t kSessionWords = 256;           // one program session
+        const int kCorpusRequests = 20000;
+
+        struct DramRunResult
+        {
+            uint64_t streamCycles = 0, randomCycles = 0;
+            uint64_t streamHits = 0, streamBursts = 0, streamBytes = 0;
+            uint64_t randomHits = 0, randomBursts = 0, randomBytes = 0;
+            uint64_t corpusChecksum = 0;
+            uint64_t blpX100 = 0;
+            size_t latencyViolations = 0;
+            size_t bandwidthViolations = 0;
+        };
+        auto driveWorkload = [&](const std::vector<uint64_t> &words,
+                                 arch::DramModel &dram) -> uint64_t {
+            arch::DmaSession session(dram, 8);
+            uint64_t now = 0;
+            for (size_t i = 0; i < words.size(); ++i) {
+                session.requestWord(words[i] * 8);
+                if ((i + 1) % kSessionWords == 0 ||
+                    i + 1 == words.size())
+                    now = session.complete(now);
+            }
+            return now;
+        };
+        auto runOnce = [&]() -> DramRunResult {
+            DramRunResult r;
+            std::vector<uint64_t> words(kFootprintWords);
+            for (uint64_t i = 0; i < kFootprintWords; ++i)
+                words[i] = i;
+
+            arch::DramModel streamDram(acfg);
+            r.streamCycles = driveWorkload(words, streamDram);
+            r.streamHits = streamDram.rowHits();
+            r.streamBursts = streamDram.bursts();
+            r.streamBytes = streamDram.bytesRead();
+            r.blpX100 = uint64_t(
+                streamDram.meanQueuedBankParallelism() * 100.0 + 0.5);
+
+            Rng wrng(31337);
+            wrng.shuffle(words);
+            arch::DramModel randomDram(acfg);
+            r.randomCycles = driveWorkload(words, randomDram);
+            r.randomHits = randomDram.rowHits();
+            r.randomBursts = randomDram.bursts();
+            r.randomBytes = randomDram.bytesRead();
+
+            // Randomized invariant corpus: single reads with jittered
+            // issue times over a 16 MiB space.
+            arch::DramModel corpusDram(acfg);
+            const uint64_t min_latency =
+                corpusDram.minLatencyCycles();
+            Rng crng2(0xd7a3);
+            uint64_t now = 0, first_issue = 0, last_done = 0;
+            for (int i = 0; i < kCorpusRequests; ++i) {
+                now += uint64_t(crng2.uniformInt(0, 8));
+                uint64_t addr =
+                    uint64_t(crng2.uniformInt(0, (16 << 20) - 1));
+                size_t bytes = size_t(crng2.uniformInt(1, 256));
+                uint64_t done = corpusDram.read(now, addr, bytes);
+                // No response before the minimum (open-row) latency;
+                // closed/conflicting rows only take longer.
+                r.latencyViolations += done < now + min_latency;
+                r.corpusChecksum += done;
+                if (i == 0)
+                    first_issue = now;
+                last_done = std::max(last_done, done);
+            }
+            const double elapsed = double(last_done - first_issue);
+            const double sustained =
+                elapsed > 0.0 ? double(corpusDram.bytesRead()) / elapsed
+                              : 0.0;
+            r.bandwidthViolations +=
+                sustained > corpusDram.peakBytesPerCycle() + 1e-9;
+            // The streaming run must also respect peak bandwidth.
+            const double stream_bpc =
+                r.streamCycles
+                    ? double(r.streamBytes) / double(r.streamCycles)
+                    : 0.0;
+            r.bandwidthViolations +=
+                stream_bpc > streamDram.peakBytesPerCycle() + 1e-9;
+            return r;
+        };
+
+        t0 = Clock::now();
+        const DramRunResult run1 = runOnce();
+        double dram_ms = msSince(t0);
+        const DramRunResult run2 = runOnce();
+
+        const size_t determinism_mismatches =
+            (run1.streamCycles != run2.streamCycles) +
+            (run1.randomCycles != run2.randomCycles) +
+            (run1.corpusChecksum != run2.corpusChecksum) +
+            (run1.streamHits != run2.streamHits) +
+            (run1.randomHits != run2.randomHits);
+        const size_t invariant_violations =
+            run1.latencyViolations + run1.bandwidthViolations;
+
+        const double stream_hit_rate =
+            run1.streamBursts
+                ? double(run1.streamHits) / double(run1.streamBursts)
+                : 0.0;
+        const double random_hit_rate =
+            run1.randomBursts
+                ? double(run1.randomHits) / double(run1.randomBursts)
+                : 0.0;
+        // Cycles per *logical* byte: both workloads deliver the same
+        // 512 KiB footprint, so over-fetch from poor locality shows up
+        // here as well as in the hit rate.
+        const double footprint_bytes = double(kFootprintWords) * 8.0;
+        const double stream_cpb =
+            double(run1.streamCycles) / footprint_bytes;
+        const double random_cpb =
+            double(run1.randomCycles) / footprint_bytes;
+
+        const bool locality_ok = stream_hit_rate > random_hit_rate &&
+                                 stream_cpb < random_cpb;
+        gate_failures += !locality_ok;
+        gate_failures += invariant_violations != 0;
+        bitwise_failures += determinism_mismatches;
+
+        const arch::DramModel probe(acfg);
+        std::printf(
+            "BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+            "\"dram_model\",\"nodes\":%u,\"edges\":%zu,\"reps\":%d,"
+            "\"channels\":%u,\"banks\":%u,\"stream_hit_rate\":%.4f,"
+            "\"random_hit_rate\":%.4f,\"stream_cpb\":%.5f,"
+            "\"random_cpb\":%.5f,\"stream_cycles\":%llu,"
+            "\"random_cycles\":%llu,\"stream_blp_x100\":%llu,"
+            "\"peak_bytes_per_cycle\":%.1f,\"model_ms\":%.3f,"
+            "\"invariant_violations\":%zu,"
+            "\"determinism_mismatches\":%zu%s}\n",
+            acfg.dramTotalBanks(),
+            size_t(run1.streamBursts + run1.randomBursts),
+            kCorpusRequests, acfg.dramChannels,
+            acfg.dramRanksPerChannel * acfg.dramBanksPerRank,
+            stream_hit_rate, random_hit_rate, stream_cpb, random_cpb,
+            (unsigned long long)run1.streamCycles,
+            (unsigned long long)run1.randomCycles,
+            (unsigned long long)run1.blpX100,
+            probe.peakBytesPerCycle(), dram_ms, invariant_violations,
+            determinism_mismatches, provenance);
+        std::printf(
+            "dram_model: stream hit %.1f%% / %.4f cyc/B vs random hit "
+            "%.1f%% / %.4f cyc/B: %s; %zu invariant violations, %zu "
+            "determinism mismatches over %d corpus requests\n",
+            stream_hit_rate * 100.0, stream_cpb,
+            random_hit_rate * 100.0, random_cpb,
+            locality_ok ? "PASS" : "FAIL", invariant_violations,
+            determinism_mismatches, kCorpusRequests);
     }
 
     // --- linear domain: Dag::evaluate vs core::Evaluator ---------------

@@ -106,15 +106,12 @@ evaluate(uint32_t D, uint32_t B, uint32_t R,
     return p;
 }
 
+/** Representative mix: three wide-fan-in PCs plus one unrolled HMM. */
 void
-printDse()
+buildWorkload(std::vector<core::Dag> &dags,
+              std::vector<std::vector<double>> &inputs)
 {
     Rng rng(11);
-    std::vector<core::Dag> dags;
-    std::vector<std::vector<double>> inputs;
-
-    // Representative mix: three wide-fan-in PCs (the dominant DAG shape
-    // after regularization) plus one short unrolled HMM.
     for (int i = 0; i < 3; ++i) {
         pc::Circuit c =
             pc::randomCircuit(rng, 24 + 8 * i, 2, 3, 8);
@@ -128,7 +125,12 @@ printDse()
     h.sample(rng, 10, &obs);
     dags.push_back(core::buildFromHmm(h, obs));
     inputs.push_back({});
+}
 
+void
+printDse(const std::vector<core::Dag> &dags,
+         const std::vector<std::vector<double>> &inputs)
+{
     Table t({"D", "B", "R", "Latency [us]", "Energy [uJ]",
              "EDP [us*uJ]"});
     DsePoint best{};
@@ -168,6 +170,71 @@ printDse()
                 paper.edp, 100.0 * (paper.edp / best.edp - 1.0));
 }
 
+/**
+ * Memory-system DSE on the arch/dram timing model: sweep channel and
+ * bank counts, run the representative workload's input preloads
+ * through the model, and report preload latency, row-buffer locality,
+ * and queued bank-level parallelism.  The compute configuration is
+ * pinned to the paper's (D=3, B=64, R=32) so only the memory system
+ * varies.
+ */
+void
+printMemoryDse(const std::vector<core::Dag> &dags,
+               const std::vector<std::vector<double>> &inputs)
+{
+    auto runPoint = [&](uint32_t channels, uint32_t banks,
+                        StatGroup &events, uint64_t &stall_cycles) {
+        arch::ArchConfig cfg;
+        cfg.dramChannels = channels;
+        cfg.dramBanksPerRank = banks;
+        arch::Accelerator accel(cfg);
+        stall_cycles = 0;
+        for (size_t i = 0; i < dags.size(); ++i) {
+            compiler::Program prog =
+                compiler::compile(dags[i], cfg.compilerTarget());
+            arch::ExecutionResult r = accel.run(prog, inputs[i]);
+            stall_cycles += r.dmaStallCycles;
+            for (const auto &kv : r.events.all())
+                events.inc(kv.first, kv.second);
+        }
+    };
+
+    Table t({"Channels", "Banks/ch", "Preload stall [cyc]",
+             "Row hit %", "Conflicts", "BLP"});
+    for (uint32_t channels : {1u, 2u, 4u, 8u}) {
+        for (uint32_t banks : {2u, 4u, 8u, 16u}) {
+            StatGroup events;
+            uint64_t stall = 0;
+            runPoint(channels, banks, events, stall);
+            uint64_t hits = events.get("dram_row_hits");
+            uint64_t bursts = events.get("dram_bursts");
+            double hit_pct =
+                bursts ? 100.0 * double(hits) / double(bursts) : 0.0;
+            double blp = double(events.get("dram_blp_x100")) /
+                         (100.0 * double(dags.size()));
+            t.addRow({std::to_string(channels), std::to_string(banks),
+                      std::to_string(stall), Table::num(hit_pct, 1),
+                      std::to_string(events.get("dram_row_conflicts")),
+                      Table::num(blp, 2)});
+        }
+    }
+    std::printf("\n");
+    t.print("Memory-system DSE — input preload through the DRAM "
+            "timing model (D=3, B=64, R=32 fixed)");
+
+    // Per-bank counters at the paper's memory configuration.
+    StatGroup events;
+    uint64_t stall = 0;
+    runPoint(8, 8, events, stall);
+    std::printf("per-bank row-buffer counters (8 channels x 8 banks, "
+                "touched banks only):\n");
+    for (const auto &kv : events.all()) {
+        if (kv.first.rfind("dram_c", 0) == 0)
+            std::printf("  %s = %llu\n", kv.first.c_str(),
+                        (unsigned long long)kv.second);
+    }
+}
+
 } // namespace
 
 int
@@ -175,6 +242,10 @@ main(int argc, char **argv)
 {
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
-    printDse();
+    std::vector<core::Dag> dags;
+    std::vector<std::vector<double>> inputs;
+    buildWorkload(dags, inputs);
+    printDse(dags, inputs);
+    printMemoryDse(dags, inputs);
     return 0;
 }

@@ -11,7 +11,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <vector>
 
+#include "arch/dram.h"
 #include "arch/symbolic.h"
 #include "arch/trace_export.h"
 #include "sys/system.h"
@@ -65,10 +67,24 @@ printFig9()
     std::printf("episode: %zu implications, conflict=%s, %llu cycles\n",
                 r.implications.size(), r.conflict ? "yes" : "no",
                 static_cast<unsigned long long>(r.cycles));
+    // Append the DRAM per-bank view so the exported co-sim trace is
+    // memory-faithful alongside the pipeline units.
+    std::vector<TraceEvent> full_trace = r.trace;
+    if (pipe.dram() != nullptr) {
+        std::vector<TraceEvent> dram_events =
+            dramSummaryEvents(*pipe.dram(), pipe.totalCycles());
+        full_trace = mergeTraces({r.trace, dram_events});
+    }
     std::printf("\nFig. 9 timeline view (arch/trace_export):\n%s",
-                renderTimeline(r.trace, 96).c_str());
+                renderTimeline(full_trace, 96).c_str());
     std::printf("hardware counters:\n%s",
                 pipe.events().toString().c_str());
+    if (pipe.dram() != nullptr) {
+        StatGroup dram_stats;
+        pipe.dram()->exportStats(dram_stats);
+        std::printf("dram counters:\n%s",
+                    dram_stats.toString().c_str());
+    }
 
     // Top of Fig. 9: GPU-REASON task-level overlap across 3 tasks.
     sys::StageCost neural{0.9e-3, 0.0};

@@ -32,8 +32,35 @@ struct ArchConfig
     // Memory system.
     uint32_t sramBytes = 1280 * 1024; ///< 1.25 MB local SRAM
     uint32_t sramBanks = 16;
-    uint32_t dmaLatencyCycles = 24;  ///< L2/DRAM fetch latency
+    uint32_t dmaLatencyCycles = 24;  ///< L2/DRAM fetch latency (legacy mode)
     double dramBandwidthGBps = 104.0;
+    // DRAM timing model (arch/dram.h).  When enabled, DMA consumers
+    // issue address-carrying requests into a cycle-driven LPDDR5-class
+    // model (bank state machines, row-buffer tracking, FR-FCFS per
+    // channel); when disabled they fall back to the fixed
+    // dmaLatencyCycles plus a bandwidth term.  Timing defaults are
+    // controller cycles at the 500 MHz clock (2 ns each), so e.g.
+    // tRCD = 9 cycles = 18 ns.  Geometry fields must be powers of two.
+    bool dramModelEnabled = true;
+    uint32_t dramChannels = 8;
+    uint32_t dramRanksPerChannel = 1;
+    uint32_t dramBanksPerRank = 8;
+    uint32_t dramRowBytes = 2048;  ///< open page per bank (2 KB LPDDR5)
+    uint32_t dramBurstBytes = 32;  ///< one data burst (BL16 x16)
+    uint32_t dramBurstCycles = 1;  ///< data-bus beats per burst
+    uint32_t dramTRcdCycles = 9;   ///< ACT -> column command
+    uint32_t dramTRpCycles = 9;    ///< PRE -> ACT
+    uint32_t dramTCasCycles = 9;   ///< column command -> first data
+    uint32_t dramTRasCycles = 21;  ///< ACT -> earliest PRE
+    uint32_t dramQueueDepth = 16;  ///< per-channel request-queue bound
+    /**
+     * Fraction of a DMA clause-miss latency that is NOT hidden behind
+     * FIFO servicing in the analytic CDCL cycle estimate
+     * (estimateCdclCycles): the pipeline keeps draining queued
+     * implications while a fetch is in flight, overlapping ~70 % of the
+     * miss, so only this exposed remainder is charged.
+     */
+    double dmaMissExposedFraction = 0.3;
     // Symbolic engine.
     uint32_t bcpFifoDepth = 16;
     // Clocking.
@@ -53,6 +80,23 @@ struct ArchConfig
 
     /** Seconds per cycle. */
     double cycleSeconds() const { return 1e-9 / clockGhz; }
+
+    /** Total DRAM banks across all channels and ranks. */
+    uint32_t dramTotalBanks() const
+    {
+        return dramChannels * dramRanksPerChannel * dramBanksPerRank;
+    }
+
+    /**
+     * DRAM interface bytes per controller cycle, derived from the
+     * configured peak bandwidth and clock (104 GB/s at 0.5 GHz = 208).
+     * Used by the legacy fixed-latency DMA path as its bandwidth term.
+     */
+    uint32_t dmaBytesPerCycle() const
+    {
+        double bpc = dramBandwidthGBps / clockGhz;
+        return bpc < 1.0 ? 1u : static_cast<uint32_t>(bpc);
+    }
 
     /** Matching compiler target. */
     compiler::TargetConfig

@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Cycle-driven DRAM timing model for the accelerator's DMA path.
+ *
+ * Replaces the flat `dmaLatencyCycles` constant with a
+ * hardware-faithful LPDDR5-class model: a configurable address-mapping
+ * layer (channel/rank/bank/row/column bit slicing), per-bank state
+ * machines enforcing tRCD/tRP/tCAS/tRAS timing, per-channel FR-FCFS
+ * scheduling over a bounded request queue, and row-buffer
+ * hit/miss/conflict plus bank-level-parallelism statistics exported
+ * through `util/stats`.
+ *
+ * Determinism contract: all timing arithmetic is integer cycle math,
+ * scheduling decisions depend only on request content and arrival
+ * order, and iteration orders are fixed — the same request sequence
+ * always produces bit-identical cycle counts.
+ */
+
+#ifndef REASON_ARCH_DRAM_H
+#define REASON_ARCH_DRAM_H
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "arch/config.h"
+#include "util/stats.h"
+
+namespace reason {
+namespace arch {
+
+/** Decoded physical location of one DRAM burst. */
+struct DramCoord
+{
+    uint32_t channel = 0;
+    uint32_t rank = 0;
+    uint32_t bank = 0; ///< within the rank
+    uint64_t row = 0;
+    uint32_t col = 0; ///< burst column within the row
+};
+
+/**
+ * Flat-address <-> (channel, rank, bank, row, column) bit slicing.
+ *
+ * Low-order interleaving, chosen so that the accelerator's dominant
+ * access shape — long sequential scratchpad/program streams — both
+ * stripes across channels (bandwidth) and stays within open rows
+ * (row-buffer hits):
+ *
+ *     burst index = addr / burstBytes
+ *     [ row | rank | bank | column | channel ]   (msb ... lsb)
+ *
+ * Sequential bursts rotate channels; within one channel, consecutive
+ * bursts fill a row's columns before touching the next bank/row.  All
+ * geometry fields must be powers of two (checked at construction).
+ */
+class DramAddressMap
+{
+  public:
+    DramAddressMap(uint32_t channels, uint32_t ranks, uint32_t banksPerRank,
+                   uint32_t rowBytes, uint32_t burstBytes);
+
+    DramCoord decode(uint64_t addr) const;
+    /** Inverse of decode (returns the burst-aligned byte address). */
+    uint64_t encode(const DramCoord &c) const;
+
+    uint32_t channels() const { return channels_; }
+    uint32_t ranks() const { return ranks_; }
+    uint32_t banksPerRank() const { return banksPerRank_; }
+    /** Banks per channel across all ranks. */
+    uint32_t banksPerChannel() const { return ranks_ * banksPerRank_; }
+    uint32_t burstBytes() const { return burstBytes_; }
+    uint32_t rowBytes() const { return rowBytes_; }
+    uint32_t burstsPerRow() const { return burstsPerRow_; }
+    /**
+     * Bytes of flat address space covered by one row index across all
+     * channels (the "stripe set"): addresses within one such window
+     * land in the same row of their respective banks.
+     */
+    uint64_t rowSpanBytes() const
+    {
+        return uint64_t(rowBytes_) * channels_;
+    }
+
+    /** Same channel, rank, bank, and row (an open-row hit pair). */
+    bool sameRow(const DramCoord &a, const DramCoord &b) const
+    {
+        return a.channel == b.channel && a.rank == b.rank &&
+               a.bank == b.bank && a.row == b.row;
+    }
+
+  private:
+    uint32_t channels_, ranks_, banksPerRank_, rowBytes_, burstBytes_;
+    uint32_t burstsPerRow_;
+    uint32_t chBits_, colBits_, bankBits_, rankBits_;
+};
+
+/** Per-bank row-buffer access counters. */
+struct DramBankCounters
+{
+    uint64_t hits = 0;      ///< open row matched
+    uint64_t misses = 0;    ///< bank was closed (first activate)
+    uint64_t conflicts = 0; ///< open row differed (precharge + activate)
+};
+
+/** One read request: a flat byte address plus a length. */
+struct DramRequest
+{
+    uint64_t addr = 0;
+    size_t bytes = 0;
+};
+
+/**
+ * The timing model proper.  `read` / `readBatch` advance the model and
+ * return the cycle at which the last data beat of the request is on
+ * the bus.  Requests are split into bursts, enqueued per channel
+ * (bounded by `dramQueueDepth` — a full queue stalls the producer by
+ * servicing in order), and drained with FR-FCFS: the oldest queued
+ * burst whose bank has the matching row open is served first, falling
+ * back to the overall oldest.
+ */
+class DramModel
+{
+  public:
+    explicit DramModel(const ArchConfig &cfg);
+
+    /** Read `bytes` at `addr` starting no earlier than `now`. */
+    uint64_t read(uint64_t now, uint64_t addr, size_t bytes);
+    /**
+     * Read a batch of requests issued together at `now` (one program
+     * session / DMA descriptor list).  Bursts from all requests share
+     * the channel queues, so the scheduler can exploit bank-level
+     * parallelism and row locality across requests.  Returns the
+     * completion cycle of the last burst.
+     */
+    uint64_t readBatch(uint64_t now, const std::vector<DramRequest> &reqs);
+
+    const DramAddressMap &map() const { return map_; }
+
+    // --- statistics -----------------------------------------------------
+    uint64_t rowHits() const { return hits_; }
+    uint64_t rowMisses() const { return misses_; }
+    uint64_t rowConflicts() const { return conflicts_; }
+    uint64_t bursts() const { return bursts_; }
+    uint64_t bytesRead() const { return bytesRead_; }
+    /** Fraction of bursts that hit an open row. */
+    double rowHitRate() const
+    {
+        return bursts_ ? double(hits_) / double(bursts_) : 0.0;
+    }
+    /**
+     * Mean number of distinct banks with work queued per channel,
+     * sampled at each scheduling decision (bank-level parallelism).
+     */
+    double meanQueuedBankParallelism() const
+    {
+        return blpSamples_ ? double(blpSum_) / double(blpSamples_) : 0.0;
+    }
+    /** Deepest any channel queue got (bounded by dramQueueDepth). */
+    uint32_t maxQueueOccupancy() const { return maxQueueOccupancy_; }
+    const DramBankCounters &bankCounters(uint32_t channel,
+                                         uint32_t bankInChannel) const;
+
+    /** Structural peak: bytes per cycle across all channel buses. */
+    double peakBytesPerCycle() const;
+    /** Minimum possible latency of any burst (open-row hit). */
+    uint64_t minLatencyCycles() const
+    {
+        return uint64_t(tCas_) + burstCycles_;
+    }
+    /** Minimum latency when the bank is closed (activate first). */
+    uint64_t minClosedRowLatencyCycles() const
+    {
+        return uint64_t(tRcd_) + tCas_ + burstCycles_;
+    }
+    /** Completion cycle of the latest burst serviced so far. */
+    uint64_t lastCompletionCycle() const { return lastCompletion_; }
+
+    /**
+     * Export aggregate and per-bank counters into a StatGroup with a
+     * `dram_` prefix (e.g. `dram_row_hits`, `dram_c0_b3_conflicts`).
+     * Per-bank keys are emitted only for banks that were touched.
+     */
+    void exportStats(StatGroup &g) const;
+
+  private:
+    struct BankState
+    {
+        int64_t openRow = -1;    ///< -1 = closed
+        uint64_t readyAt = 0;    ///< earliest next column command
+        uint64_t rasReadyAt = 0; ///< earliest precharge (tRAS)
+    };
+    struct PendingBurst
+    {
+        uint64_t arrival = 0;
+        DramCoord coord;
+        uint64_t seq = 0; ///< global arrival order (FCFS tiebreak)
+    };
+    struct ChannelState
+    {
+        uint64_t busFreeAt = 0;
+        std::deque<PendingBurst> pending;
+    };
+
+    BankState &bank(const DramCoord &c);
+    /** Service the best pending burst on `ch`; returns completion. */
+    uint64_t serviceOne(uint32_t ch);
+    void enqueueBurst(uint32_t ch, const PendingBurst &b);
+    /** Drain every channel queue; returns max completion cycle. */
+    uint64_t drainAll();
+
+    DramAddressMap map_;
+    uint32_t tRcd_, tRp_, tCas_, tRas_, burstCycles_, queueDepth_;
+    std::vector<ChannelState> channels_;
+    std::vector<BankState> banks_; ///< [channel][rank*banksPerRank+bank]
+    std::vector<DramBankCounters> bankStats_;
+    uint64_t hits_ = 0, misses_ = 0, conflicts_ = 0;
+    uint64_t bursts_ = 0, bytesRead_ = 0;
+    uint64_t blpSum_ = 0, blpSamples_ = 0;
+    uint32_t maxQueueOccupancy_ = 0;
+    uint64_t seq_ = 0;
+    uint64_t lastCompletion_ = 0;
+    uint64_t callMax_ = 0; ///< max completion within the current call
+};
+
+/**
+ * Row-aware DMA program session.
+ *
+ * An engine program session accumulates the scratchpad words it needs
+ * (`requestWord`), then `complete` coalesces them — sorted,
+ * deduplicated, adjacent words within one row-stripe window merged
+ * into a single same-row run — and issues the runs as one batch to
+ * the DRAM model.  Returns the cycle at which every word is resident.
+ */
+class DmaSession
+{
+  public:
+    explicit DmaSession(DramModel &dram, uint32_t wordBytes = 8);
+
+    void requestWord(uint64_t addr);
+    /** Coalesce + issue all pending words; resets for reuse. */
+    uint64_t complete(uint64_t now);
+
+    uint64_t wordsRequested() const { return words_; }
+    uint64_t duplicateWords() const { return duplicates_; }
+    /** Coalesced contiguous same-row runs issued to the model. */
+    uint64_t runsIssued() const { return runs_; }
+
+  private:
+    DramModel &dram_;
+    uint32_t wordBytes_;
+    std::vector<uint64_t> pending_;
+    uint64_t words_ = 0, duplicates_ = 0, runs_ = 0;
+};
+
+} // namespace arch
+} // namespace reason
+
+#endif // REASON_ARCH_DRAM_H

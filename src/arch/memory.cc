@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "arch/dram.h"
 #include "util/logging.h"
 
 namespace reason {
@@ -147,14 +148,16 @@ BcpFifo::flush()
     return n;
 }
 
-DmaEngine::DmaEngine(uint32_t latency_cycles, uint32_t max_outstanding)
-    : latency_(latency_cycles), maxOutstanding_(max_outstanding)
+DmaEngine::DmaEngine(uint32_t latency_cycles, uint32_t max_outstanding,
+                     uint32_t bytes_per_cycle)
+    : latency_(latency_cycles), maxOutstanding_(max_outstanding),
+      bytesPerCycle_(bytes_per_cycle)
 {
     reasonAssert(max_outstanding > 0, "DMA needs outstanding slots");
 }
 
 uint64_t
-DmaEngine::issue(uint64_t now, size_t bytes)
+DmaEngine::startSlot(uint64_t now)
 {
     // Retire completed requests.
     inFlight_.erase(std::remove_if(inFlight_.begin(), inFlight_.end(),
@@ -167,10 +170,39 @@ DmaEngine::issue(uint64_t now, size_t bytes)
                                               inFlight_.end());
         start = std::max(start, earliest);
     }
-    uint64_t done = start + latency_;
+    return start;
+}
+
+void
+DmaEngine::recordIssue(uint64_t done, size_t bytes)
+{
     inFlight_.push_back(done);
     ++requests_;
     bytesFetched_ += bytes;
+}
+
+uint64_t
+DmaEngine::issue(uint64_t now, size_t bytes)
+{
+    uint64_t start = startSlot(now);
+    uint64_t done = start + latency_;
+    // Bandwidth term: a fetch cannot finish faster than the interface
+    // can move its bytes.  Disabled when bytesPerCycle_ is 0 so
+    // latency-only callers keep their exact legacy timing.
+    if (bytesPerCycle_ > 0 && bytes > 0)
+        done += (uint64_t(bytes) + bytesPerCycle_ - 1) / bytesPerCycle_;
+    recordIssue(done, bytes);
+    return done;
+}
+
+uint64_t
+DmaEngine::issueAt(uint64_t now, uint64_t addr, size_t bytes)
+{
+    if (dram_ == nullptr)
+        return issue(now, bytes);
+    uint64_t start = startSlot(now);
+    uint64_t done = dram_->read(start, addr, bytes);
+    recordIssue(done, bytes);
     return done;
 }
 

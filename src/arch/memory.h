@@ -154,15 +154,33 @@ class BcpFifo
     size_t maxOccupancy_ = 0;
 };
 
+class DramModel; // arch/dram.h
+
 /**
- * Prefetcher/DMA engine: fixed-latency fetches with a bounded number of
- * outstanding requests.  Completion times are queried by the caller's
- * cycle loop; requests beyond the outstanding limit queue up.
+ * Prefetcher/DMA engine with a bounded number of outstanding requests.
+ * Completion times are queried by the caller's cycle loop; requests
+ * beyond the outstanding limit queue up.
+ *
+ * Two timing backends:
+ *  - legacy fixed latency (`issue`): latency plus a bandwidth term
+ *    `ceil(bytes / bytes_per_cycle)` when a transfer rate is
+ *    configured (0 disables the term for latency-only modeling);
+ *  - the cycle-driven DRAM model (`attachDram` + `issueAt`):
+ *    address-carrying requests routed through `DramModel`, which
+ *    enforces bank timing, row-buffer state, and channel bandwidth.
  */
 class DmaEngine
 {
   public:
-    DmaEngine(uint32_t latency_cycles, uint32_t max_outstanding = 4);
+    DmaEngine(uint32_t latency_cycles, uint32_t max_outstanding = 4,
+              uint32_t bytes_per_cycle = 0);
+
+    /**
+     * Route subsequent `issueAt` fetches through a DRAM timing model
+     * (non-owning; must outlive the engine).  Pass nullptr to detach.
+     */
+    void attachDram(DramModel *dram) { dram_ = dram; }
+    bool dramAttached() const { return dram_ != nullptr; }
 
     /**
      * Issue a fetch at `now`; @return completion cycle (includes queueing
@@ -170,7 +188,20 @@ class DmaEngine
      */
     uint64_t issue(uint64_t now, size_t bytes);
 
-    /** Cancel all in-flight requests (conflict priority control). */
+    /**
+     * Issue an address-carrying fetch at `now`.  With a DRAM model
+     * attached the completion cycle comes from the model (row-buffer
+     * state, bank timing, channel bandwidth); otherwise this is
+     * equivalent to `issue`.
+     */
+    uint64_t issueAt(uint64_t now, uint64_t addr, size_t bytes);
+
+    /**
+     * Cancel all in-flight requests (conflict priority control).  With
+     * a DRAM model attached, already-scheduled bursts still complete
+     * inside the model (data is dropped); only the engine's
+     * outstanding-slot tracking is cleared.
+     */
     void cancelAll();
 
     uint64_t requests() const { return requests_; }
@@ -178,8 +209,14 @@ class DmaEngine
     uint64_t cancels() const { return cancels_; }
 
   private:
+    /** Retire finished requests, find the start slot, record `done`. */
+    uint64_t startSlot(uint64_t now);
+    void recordIssue(uint64_t done, size_t bytes);
+
     uint32_t latency_;
     uint32_t maxOutstanding_;
+    uint32_t bytesPerCycle_;
+    DramModel *dram_ = nullptr;
     std::vector<uint64_t> inFlight_; // completion cycles
     uint64_t requests_ = 0;
     uint64_t bytesFetched_ = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "arch/dram.h"
 #include "util/logging.h"
 #include "util/numeric.h"
 
@@ -19,13 +20,18 @@ BcpPipeline::BcpPipeline(const CnfFormula &formula,
       wl_(formula.numVars() * 2),
       sram_(config.sramBytes, config.sramBanks),
       fifo_(config.bcpFifoDepth),
-      dma_(config.dmaLatencyCycles)
+      dma_(config.dmaLatencyCycles, 4, config.dmaBytesPerCycle())
 {
     assigns_.assign(formula.numVars(), LBool::Undef);
     clauses_.reserve(formula.numClauses());
+    clauseAddr_.reserve(formula.numClauses());
+    uint64_t addr = 0;
     for (const auto &c : formula.clauses()) {
         uint32_t idx = static_cast<uint32_t>(clauses_.size());
         clauses_.push_back(c);
+        // Clause database laid out densely in DRAM address space.
+        clauseAddr_.push_back(addr);
+        addr += clauseBytes(idx);
         if (c.size() >= 2) {
             watched_.push_back({c[0], c[1]});
             wl_.watch(c[0].code(), idx);
@@ -37,7 +43,13 @@ BcpPipeline::BcpPipeline(const CnfFormula &formula,
             watched_.push_back({Lit(), Lit()});
         }
     }
+    if (config_.dramModelEnabled) {
+        dram_.reset(new DramModel(config_));
+        dma_.attachDram(dram_.get());
+    }
 }
+
+BcpPipeline::~BcpPipeline() = default;
 
 size_t
 BcpPipeline::clauseBytes(uint32_t idx) const
@@ -86,7 +98,11 @@ BcpPipeline::processFalsified(Lit p, BcpResult &res, bool record_trace)
         events_.inc("sram_accesses");
         now_ += 1;
         if (!sram_.access(idx, clauseBytes(idx))) {
-            uint64_t done = dma_.issue(now_, clauseBytes(idx));
+            // Address-carrying fetch: with the DRAM model enabled the
+            // completion cycle reflects row-buffer state and bank
+            // timing at the clause's database address.
+            uint64_t done =
+                dma_.issueAt(now_, clauseAddr_[idx], clauseBytes(idx));
             events_.inc("dma_fetches");
             if (record_trace)
                 res.trace.push_back(
@@ -237,16 +253,18 @@ estimateCdclCycles(const logic::SolverStats &stats,
     cycles += stats.propagations;
     cycles += stats.literalVisits /
               std::max<uint64_t>(1, config.leavesPerPe());
-    // SRAM misses on the clause database (fraction not resident),
-    // ~70% overlapped with FIFO servicing.
+    // SRAM misses on the clause database (fraction not resident).
+    // Only the exposed remainder of each miss is charged: the FIFO
+    // keeps servicing queued implications while the fetch is in
+    // flight (see ArchConfig::dmaMissExposedFraction).
     double resident = clause_db_bytes == 0
                           ? 1.0
                           : std::min(1.0, double(config.sramBytes) /
                                               double(clause_db_bytes));
     double miss_rate = 1.0 - resident;
     cycles += static_cast<uint64_t>(double(stats.propagations) *
-                                    miss_rate *
-                                    config.dmaLatencyCycles * 0.3);
+                                    miss_rate * config.dmaLatencyCycles *
+                                    config.dmaMissExposedFraction);
     // Conflict analysis runs on the scalar PE.
     cycles += stats.conflicts * (2 + config.reductionCycles());
     cycles += stats.learnedLiterals * 2;

@@ -12,6 +12,7 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,7 @@ class BcpPipeline
   public:
     BcpPipeline(const logic::CnfFormula &formula,
                 const ArchConfig &config);
+    ~BcpPipeline();
 
     /**
      * Assign a decision literal and propagate to fixpoint.
@@ -79,6 +81,8 @@ class BcpPipeline
     const BcpFifo &fifo() const { return fifo_; }
     const ClauseSram &sram() const { return sram_; }
     const WatchListUnit &watchUnit() const { return wl_; }
+    /** DRAM timing model behind clause misses; null in legacy mode. */
+    const DramModel *dram() const { return dram_.get(); }
     uint64_t totalCycles() const { return now_; }
 
   private:
@@ -96,9 +100,12 @@ class BcpPipeline
     ArchConfig config_;
     std::vector<logic::Clause> clauses_;
     std::vector<std::array<logic::Lit, 2>> watched_;
+    /** DRAM byte address of each clause (prefix sums of clauseBytes). */
+    std::vector<uint64_t> clauseAddr_;
     WatchListUnit wl_;
     ClauseSram sram_;
     BcpFifo fifo_;
+    std::unique_ptr<DramModel> dram_; ///< when config_.dramModelEnabled
     DmaEngine dma_;
     std::vector<logic::LBool> assigns_;
     std::vector<logic::Lit> trail_;

@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "arch/dram.h"
+
 namespace reason {
 namespace arch {
 
@@ -12,8 +14,8 @@ namespace {
 
 /** Stable unit ordering matching Fig. 9's row layout. */
 const char *const kUnitOrder[] = {"broadcast", "reduce",   "fifo",
-                                  "wl",        "dma",      "control",
-                                  "conflict"};
+                                  "wl",        "dma",      "dram",
+                                  "control",   "conflict"};
 
 int
 unitRank(const std::string &unit)
@@ -140,6 +142,35 @@ toChromeTrace(const std::vector<TraceEvent> &trace)
     }
     os << "\n]\n";
     return os.str();
+}
+
+std::vector<TraceEvent>
+dramSummaryEvents(const DramModel &dram, uint64_t cycle)
+{
+    std::vector<TraceEvent> out;
+    {
+        std::ostringstream d;
+        d << "dram totals: " << dram.bursts() << " bursts, "
+          << dram.rowHits() << " hits / " << dram.rowMisses()
+          << " misses / " << dram.rowConflicts() << " conflicts"
+          << ", hit rate "
+          << uint64_t(dram.rowHitRate() * 100.0 + 0.5) << "%";
+        out.push_back({cycle, "dram", d.str()});
+    }
+    const DramAddressMap &map = dram.map();
+    for (uint32_t ch = 0; ch < map.channels(); ++ch) {
+        for (uint32_t b = 0; b < map.banksPerChannel(); ++b) {
+            const DramBankCounters &bc = dram.bankCounters(ch, b);
+            if (bc.hits + bc.misses + bc.conflicts == 0)
+                continue;
+            std::ostringstream d;
+            d << "c" << ch << ".b" << b << ": " << bc.hits << " hits, "
+              << bc.misses << " misses, " << bc.conflicts
+              << " conflicts";
+            out.push_back({cycle, "dram", d.str()});
+        }
+    }
+    return out;
 }
 
 std::vector<TraceEvent>

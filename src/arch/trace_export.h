@@ -41,6 +41,18 @@ std::string toChromeTrace(const std::vector<TraceEvent> &trace);
 std::vector<TraceEvent> mergeTraces(
     const std::vector<std::vector<TraceEvent>> &traces);
 
+class DramModel; // arch/dram.h
+
+/**
+ * Summarize a DRAM model's per-bank row-buffer counters as "dram"-unit
+ * TraceEvents (one aggregate line plus one line per touched bank),
+ * stamped at `cycle` — typically appended to a merged trace so the
+ * co-sim export carries the memory-system view alongside the pipeline
+ * units.
+ */
+std::vector<TraceEvent> dramSummaryEvents(const DramModel &dram,
+                                          uint64_t cycle);
+
 } // namespace arch
 } // namespace reason
 

@@ -126,6 +126,58 @@ TEST(ClauseSram, AccessRefreshesRecency)
     EXPECT_FALSE(sram.resident(2));
 }
 
+TEST(ClauseSram, ByteCapacityAccounting)
+{
+    ClauseSram sram(100, 4);
+    EXPECT_EQ(sram.capacityBytes(), 100u);
+    EXPECT_EQ(sram.usedBytes(), 0u);
+    sram.access(1, 30);
+    sram.access(2, 30);
+    EXPECT_EQ(sram.usedBytes(), 60u);
+    // A 50-byte line doesn't fit beside both: evicts LRU clause 1 only.
+    sram.access(3, 50);
+    EXPECT_EQ(sram.usedBytes(), 80u);
+    EXPECT_FALSE(sram.resident(1));
+    EXPECT_TRUE(sram.resident(2));
+    EXPECT_TRUE(sram.resident(3));
+    EXPECT_EQ(sram.evictions(), 1u);
+}
+
+TEST(ClauseSram, OversizedLineNeverInstalled)
+{
+    ClauseSram sram(64, 2);
+    sram.access(1, 32);
+    // A clause larger than the whole SRAM evicts everything trying to
+    // make room but is never installed; residency stays consistent.
+    EXPECT_FALSE(sram.access(9, 128));
+    EXPECT_FALSE(sram.resident(9));
+    EXPECT_EQ(sram.usedBytes(), 0u);
+    // Re-access misses again (no phantom residency).
+    EXPECT_FALSE(sram.access(9, 128));
+    EXPECT_EQ(sram.misses(), 3u);
+}
+
+TEST(ClauseSram, InstallIsNotAnAccess)
+{
+    ClauseSram sram(100, 4);
+    sram.install(7, 40);
+    EXPECT_TRUE(sram.resident(7));
+    EXPECT_EQ(sram.hits(), 0u);
+    EXPECT_EQ(sram.misses(), 0u);
+    // Duplicate install is a no-op (no double byte accounting).
+    sram.install(7, 40);
+    EXPECT_EQ(sram.usedBytes(), 40u);
+    EXPECT_TRUE(sram.access(7, 40));
+    EXPECT_EQ(sram.hits(), 1u);
+}
+
+TEST(ClauseSram, BankMappingIsStable)
+{
+    ClauseSram sram(100, 4);
+    for (uint32_t id = 0; id < 16; ++id)
+        EXPECT_EQ(sram.bankOf(id), id % 4);
+}
+
 TEST(WatchListUnit, HeadInsertionAndUnwatch)
 {
     WatchListUnit wl(8);
@@ -149,6 +201,33 @@ TEST(WatchListUnit, TraversalCountsPointerChases)
     EXPECT_EQ(wl.pointerChases(), 3u);
 }
 
+TEST(WatchListUnit, UnwatchCountsChasesToPosition)
+{
+    WatchListUnit wl(4);
+    wl.watch(1, 10);
+    wl.watch(1, 11);
+    wl.watch(1, 12); // list order: 12, 11, 10
+    // Removing the head costs one chase; the tail costs a full walk.
+    wl.unwatch(1, 12);
+    EXPECT_EQ(wl.pointerChases(), 1u);
+    wl.unwatch(1, 10);
+    EXPECT_EQ(wl.pointerChases(), 1u + 2u);
+    EXPECT_EQ(wl.listLength(1), 1u);
+}
+
+TEST(WatchListUnit, TraversalsAccumulateAcrossLiterals)
+{
+    WatchListUnit wl(6);
+    wl.watch(0, 1);
+    wl.watch(0, 2);
+    wl.watch(5, 3);
+    wl.recordTraversal(0); // 2 chases
+    wl.recordTraversal(5); // 1 chase
+    wl.recordTraversal(4); // empty list: head lookup only
+    EXPECT_EQ(wl.headLookups(), 3u);
+    EXPECT_EQ(wl.pointerChases(), 3u);
+}
+
 TEST(BcpFifo, OrderingAndOverflow)
 {
     BcpFifo fifo(2);
@@ -169,6 +248,34 @@ TEST(BcpFifo, FlushDropsEverything)
     fifo.push(2);
     EXPECT_EQ(fifo.flush(), 2u);
     EXPECT_TRUE(fifo.empty());
+    EXPECT_EQ(fifo.flushes(), 1u);
+}
+
+TEST(BcpFifo, CountersSurviveFlushAndRefill)
+{
+    BcpFifo fifo(3);
+    fifo.push(1);
+    fifo.push(2);
+    fifo.push(3);
+    EXPECT_FALSE(fifo.push(4));
+    EXPECT_FALSE(fifo.push(5));
+    EXPECT_EQ(fifo.overflowStalls(), 2u);
+    EXPECT_EQ(fifo.flush(), 3u);
+    // Flush resets occupancy but not the cumulative counters.
+    EXPECT_EQ(fifo.pushes(), 3u);
+    EXPECT_EQ(fifo.overflowStalls(), 2u);
+    EXPECT_EQ(fifo.maxOccupancy(), 3u);
+    fifo.push(6);
+    EXPECT_EQ(fifo.pop(), 6u);
+    EXPECT_EQ(fifo.pushes(), 4u);
+    EXPECT_EQ(fifo.pops(), 1u);
+    EXPECT_EQ(fifo.flushes(), 1u);
+}
+
+TEST(BcpFifo, FlushOfEmptyFifoStillCounts)
+{
+    BcpFifo fifo(2);
+    EXPECT_EQ(fifo.flush(), 0u);
     EXPECT_EQ(fifo.flushes(), 1u);
 }
 

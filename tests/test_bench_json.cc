@@ -325,6 +325,40 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
             EXPECT_GT(field(obj, "speedup_vs_exact")->number(), 0.0);
             EXPECT_LE(field(obj, "mean_abs_dlogp")->number(),
                       field(obj, "max_abs_dlogp")->number());
+        } else if (engine->text == "dram_model") {
+            for (const char *key :
+                 {"channels", "banks", "stream_hit_rate",
+                  "random_hit_rate", "stream_cpb", "random_cpb",
+                  "stream_cycles", "random_cycles", "stream_blp_x100",
+                  "peak_bytes_per_cycle", "model_ms",
+                  "invariant_violations", "determinism_mismatches"}) {
+                const JsonValue *v = field(obj, key);
+                ASSERT_NE(v, nullptr) << "dram_model lacks " << key;
+                EXPECT_FALSE(v->isString);
+            }
+            // The timing model's contracts are absolute at any bench
+            // size: no request completes before the minimum closed-row
+            // latency, sustained bandwidth never exceeds the pin peak,
+            // and cycle counts are bit-identical across reruns.
+            EXPECT_EQ(field(obj, "invariant_violations")->number(), 0.0)
+                << "dram_model reports timing-invariant violations";
+            EXPECT_EQ(field(obj, "determinism_mismatches")->number(),
+                      0.0)
+                << "dram_model reports nondeterministic cycle counts";
+            EXPECT_GT(field(obj, "channels")->number(), 0.0);
+            EXPECT_GT(field(obj, "banks")->number(), 0.0);
+            // Row-buffer locality: a streaming scan must beat the
+            // shuffled access order on hit rate and cycles per byte.
+            EXPECT_GT(field(obj, "stream_hit_rate")->number(),
+                      field(obj, "random_hit_rate")->number())
+                << "streaming did not beat random row-hit rate";
+            EXPECT_LT(field(obj, "stream_cpb")->number(),
+                      field(obj, "random_cpb")->number())
+                << "streaming did not beat random cycles/byte";
+            EXPECT_GT(field(obj, "stream_cycles")->number(), 0.0);
+            EXPECT_GT(field(obj, "random_cycles")->number(), 0.0);
+            EXPECT_GT(field(obj, "peak_bytes_per_cycle")->number(),
+                      0.0);
         } else if (engine->text == "compile_flat") {
             for (const char *key :
                  {"formulas", "compile_ms", "lower_ms", "stream_ms",
@@ -381,7 +415,8 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
     for (const char *engine :
          {"circuit_loglik", "circuit_loglik_mt", "derivatives_mt",
           "em_fit", "kernel_logsumexp", "hmm_leaf_batch", "serving",
-          "serving_mt", "approx_tier", "compile_flat", "dag_eval"}) {
+          "serving_mt", "approx_tier", "compile_flat", "dram_model",
+          "dag_eval"}) {
         EXPECT_EQ(engines[engine], 1)
             << "engine " << engine << " missing or duplicated";
     }
@@ -412,6 +447,9 @@ TEST(BenchJsonSchema, SingleThreadRunSkipsMtVariantsAndExitsZero)
     EXPECT_EQ(engines["hmm_leaf_batch"], 1);
     EXPECT_EQ(engines["approx_tier"], 1);
     EXPECT_EQ(engines["compile_flat"], 1);
+    // The DRAM timing model is single-threaded by construction and
+    // must emit (and gate) regardless of the --threads knob.
+    EXPECT_EQ(engines["dram_model"], 1);
     EXPECT_EQ(engines["circuit_loglik_mt"], 0);
     EXPECT_EQ(engines["derivatives_mt"], 0);
     EXPECT_EQ(engines["em_fit"], 0);
