@@ -31,6 +31,7 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -57,6 +58,12 @@
 #include "pc/learn.h"
 #include "pc/pc.h"
 #include "sys/engine.h"
+#include "sys/fault.h"
+#include "sys/net.h"
+#if REASON_HAS_SOCKETS
+#include "sys/client.h"
+#include "sys/server.h"
+#endif
 #include "util/numeric.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -1403,6 +1410,222 @@ main(int argc, char **argv)
             locality_ok ? "PASS" : "FAIL", invariant_violations,
             determinism_mismatches, kCorpusRequests);
     }
+
+    // --- fault_recovery: end-to-end serving under injected faults ------
+    //
+    // Drives the real socket front-end (sys::SocketServer) with the
+    // resilient client (sys::Client) twice over a small circuit: a
+    // fault-free control pass, then a pass under a deterministic
+    // sys::FaultPlan (resets, torn frames, short reads, partial
+    // writes, dispatcher stalls).  Reliability contract, gated by
+    // exit code: zero hangs (watchdog), every query answered, every
+    // answer bitwise-identical to an in-process one-at-a-time run,
+    // exact queue accounting, clean graceful drain — and the control
+    // pass must need zero retries and shed/expire nothing, so the
+    // reliability layer is provably free when nothing fails.
+#if REASON_HAS_SOCKETS
+    {
+        Rng frng(4242);
+        pc::Circuit fcircuit = pc::randomCircuit(frng, 16, 2, 4, 8);
+        constexpr size_t kFaultQueries = 400;
+        constexpr size_t kFaultClients = 2;
+        const std::vector<pc::Assignment> fqueries =
+            pc::sampleDataset(frng, fcircuit, kFaultQueries);
+
+        // Ground truth: in-process, one at a time.
+        std::vector<double> fref(kFaultQueries);
+        {
+            sys::ReasonEngine ref_engine;
+            sys::Session s = ref_engine.createSession(fcircuit);
+            for (size_t i = 0; i < kFaultQueries; ++i)
+                fref[i] = s.wait(s.submit(fqueries[i]))->outputs[0];
+        }
+
+        // "Never hangs" is part of the contract: if either pass
+        // wedges, fail the bench by exit code instead of letting CI
+        // time out.
+        std::atomic<bool> fr_done{false};
+        std::thread watchdog([&fr_done] {
+            for (int i = 0; i < 900 && !fr_done.load(); ++i)
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+            if (!fr_done.load()) {
+                std::fprintf(stderr,
+                             "fault_recovery: watchdog timeout — "
+                             "serving stack hung\n");
+                std::_Exit(3);
+            }
+        });
+
+        struct FaultPass
+        {
+            size_t answered = 0;
+            size_t wrong = 0;
+            size_t unanswered = 0;
+            uint64_t shed = 0;
+            uint64_t expired = 0;
+            uint64_t cancelled = 0;
+            bool accountingOk = false;
+            bool drainClean = false;
+            double ms = 0.0;
+            sys::ClientStats client;
+            sys::ServerStats server;
+        };
+        const auto runPass = [&](unsigned retries) {
+            FaultPass pass;
+            sys::ServeOptions sopts;
+            sopts.maxBatch = 16;
+            sopts.serveThreads = 1;
+            sopts.dispatchers = 2;
+            sys::ReasonEngine engine(sopts);
+            sys::SocketServer server(engine,
+                                     pc::cachedLowering(fcircuit),
+                                     sys::ServerOptions{});
+            std::string err;
+            if (!server.start(&err)) {
+                std::fprintf(stderr, "fault_recovery: %s\n",
+                             err.c_str());
+                pass.unanswered = kFaultQueries;
+                return pass; // all-unanswered fails the gates below
+            }
+            std::vector<std::vector<sys::QueryOutcome>> outs(
+                kFaultClients);
+            std::vector<sys::ClientStats> cstats(kFaultClients);
+            const auto pt0 = Clock::now();
+            std::vector<std::thread> cthreads;
+            for (size_t c = 0; c < kFaultClients; ++c)
+                cthreads.emplace_back([&, c] {
+                    sys::ClientOptions copt;
+                    copt.port = server.port();
+                    copt.clientId = 1000 + c;
+                    copt.pipeline = 16;
+                    copt.maxRetries = retries;
+                    copt.backoffBaseMs = 1;
+                    copt.backoffCapMs = 50;
+                    copt.seed = 97 + c;
+                    sys::Client client(copt);
+                    std::vector<pc::Assignment> mine;
+                    for (size_t q = c; q < kFaultQueries;
+                         q += kFaultClients)
+                        mine.push_back(fqueries[q]);
+                    client.runBatch(mine, &outs[c]);
+                    cstats[c] = client.stats();
+                });
+            for (std::thread &t : cthreads)
+                t.join();
+            pass.ms = msSince(pt0);
+            pass.drainClean = server.stop();
+            pass.server = server.stats();
+            for (size_t c = 0; c < kFaultClients; ++c) {
+                pass.client.connects += cstats[c].connects;
+                pass.client.connectFailures +=
+                    cstats[c].connectFailures;
+                pass.client.retriesSent += cstats[c].retriesSent;
+                pass.client.transportErrors +=
+                    cstats[c].transportErrors;
+                for (size_t i = 0; i < outs[c].size(); ++i) {
+                    const sys::QueryOutcome &o = outs[c][i];
+                    const size_t q = c + i * kFaultClients;
+                    if (o.error != sys::REASON_OK) {
+                        ++pass.unanswered;
+                        continue;
+                    }
+                    ++pass.answered;
+                    pass.wrong += bitsDiffer(o.value, fref[q]);
+                }
+            }
+            // Exact accounting: every accepted request reaches
+            // exactly one terminal state.
+            const sys::EngineStats es = engine.stats();
+            pass.shed = es.shedRequests;
+            pass.expired = es.expired;
+            pass.cancelled = es.cancelled;
+            pass.accountingOk =
+                es.completed == es.requests &&
+                es.completed == es.executed + es.shedRequests +
+                                    es.expired + es.cancelled;
+            return pass;
+        };
+
+        const FaultPass control = runPass(4);
+
+        sys::FaultPlan plan;
+        std::string plan_err;
+        const bool plan_ok = sys::FaultPlan::parse(
+            "seed=11,reset=0.01,torn=0.01,short=0.1,partial=0.1,"
+            "stall=0.002,stall_us=1000",
+            &plan, &plan_err);
+        if (plan_ok)
+            sys::installFaultPlan(&plan);
+        const FaultPass faulted = runPass(100);
+        sys::installFaultPlan(nullptr);
+        const uint64_t faults_injected = plan.stats().total();
+
+        fr_done.store(true);
+        watchdog.join();
+
+        // Control pass: byte-perfect and retry-free — the resilience
+        // machinery must be invisible when nothing fails.
+        const bool control_ok =
+            control.answered == kFaultQueries &&
+            control.wrong == 0 && control.unanswered == 0 &&
+            control.client.retriesSent == 0 &&
+            control.client.transportErrors == 0 &&
+            control.shed == 0 && control.expired == 0 &&
+            control.cancelled == 0 && control.accountingOk &&
+            control.drainClean;
+        // Fault pass: faults actually fired, yet every query still
+        // terminated with the bit-exact answer and books balance.
+        const bool fault_ok =
+            plan_ok && faults_injected > 0 &&
+            faulted.answered == kFaultQueries &&
+            faulted.unanswered == 0 && faulted.accountingOk &&
+            faulted.drainClean;
+        gate_failures += !control_ok;
+        gate_failures += !fault_ok;
+        bitwise_failures += control.wrong + faulted.wrong;
+
+        std::printf(
+            "BENCH_JSON {\"bench\":\"bench_eval\",\"engine\":"
+            "\"fault_recovery\",\"nodes\":%zu,\"edges\":%zu,"
+            "\"reps\":%zu,\"clients\":%zu,\"control_ms\":%.3f,"
+            "\"fault_ms\":%.3f,\"control_retries\":%llu,"
+            "\"reconnects\":%llu,\"retries\":%llu,"
+            "\"transport_errors\":%llu,\"duplicates_suppressed\":%llu,"
+            "\"faults_injected\":%llu,\"unanswered\":%zu,"
+            "\"wrong_answers\":%zu,\"control_mismatches\":%zu,"
+            "\"shed\":%llu,\"expired\":%llu,\"cancelled\":%llu,"
+            "\"accounting_ok\":%d,\"drain_clean\":%d%s}\n",
+            fcircuit.numNodes(), fcircuit.numEdges(), kFaultQueries,
+            kFaultClients, control.ms, faulted.ms,
+            (unsigned long long)control.client.retriesSent,
+            (unsigned long long)faulted.client.connects,
+            (unsigned long long)faulted.client.retriesSent,
+            (unsigned long long)faulted.client.transportErrors,
+            (unsigned long long)faulted.server.duplicatesSuppressed,
+            (unsigned long long)faults_injected, faulted.unanswered,
+            faulted.wrong, control.wrong,
+            (unsigned long long)faulted.shed,
+            (unsigned long long)faulted.expired,
+            (unsigned long long)faulted.cancelled,
+            int(control_ok && faulted.accountingOk),
+            int(control.drainClean && faulted.drainClean),
+            provenance);
+        std::printf(
+            "fault_recovery: control %.3f ms %s; %llu faults -> "
+            "%zu/%zu answered in %.3f ms over %llu connects "
+            "(%llu retries, %llu duplicates suppressed), %zu wrong, "
+            "drain %s: %s\n",
+            control.ms, control_ok ? "PASS" : "FAIL",
+            (unsigned long long)faults_injected, faulted.answered,
+            kFaultQueries, faulted.ms,
+            (unsigned long long)faulted.client.connects,
+            (unsigned long long)faulted.client.retriesSent,
+            (unsigned long long)faulted.server.duplicatesSuppressed,
+            faulted.wrong, faulted.drainClean ? "clean" : "dirty",
+            fault_ok && faulted.wrong == 0 ? "PASS" : "FAIL");
+    }
+#endif // REASON_HAS_SOCKETS
 
     // --- linear domain: Dag::evaluate vs core::Evaluator ---------------
     core::Dag dag = core::buildFromCircuit(circuit);

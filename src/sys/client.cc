@@ -1,0 +1,395 @@
+#include "sys/client.h"
+
+#if REASON_HAS_SOCKETS
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "sys/request_queue.h" // ReasonError codes
+
+namespace reason {
+namespace sys {
+
+namespace {
+
+uint64_t
+nowNs()
+{
+    return uint64_t(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Receive-wait granularity: short enough to notice deadlines. */
+constexpr unsigned kPumpTimeoutMs = 50;
+
+enum QueryState : uint8_t
+{
+    kUnsent = 0,
+    kInflight = 1,
+    kDone = 2
+};
+
+} // namespace
+
+Client::Client(const ClientOptions &options)
+    : options_(options), jitterLcg_(options.seed * 2654435761u + 1)
+{
+    if (options_.pipeline == 0)
+        options_.pipeline = 1;
+}
+
+Client::~Client()
+{
+    disconnect();
+}
+
+void
+Client::disconnect()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    // A poisoned or mid-frame decoder must never survive the
+    // connection it was decoding.
+    decoder_ = wire::FrameDecoder();
+}
+
+bool
+Client::ensureConnected()
+{
+    if (fd_ >= 0)
+        return true;
+    if (versionMismatch_)
+        return false;
+    if (consecutiveFailures_ > 0) {
+        // Capped exponential backoff with deterministic jitter: the
+        // jitter decorrelates clients sharing a seed base without
+        // making runs irreproducible.
+        const unsigned shift =
+            std::min(consecutiveFailures_ - 1, 16u);
+        uint64_t delay_ms =
+            std::min<uint64_t>(options_.backoffCapMs,
+                               uint64_t(options_.backoffBaseMs)
+                                   << shift);
+        jitterLcg_ = jitterLcg_ * 6364136223846793005ull +
+                     1442695040888963407ull;
+        delay_ms += (jitterLcg_ >> 33) %
+                    (uint64_t(options_.backoffBaseMs) + 1);
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delay_ms));
+    }
+
+    const auto fail = [&] {
+        ++consecutiveFailures_;
+        ++stats_.connectFailures;
+        disconnect();
+        return false;
+    };
+
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return fail();
+    netPrepareSocket(fd_);
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options_.port);
+    if (::inet_pton(AF_INET, options_.host.c_str(),
+                    &addr.sin_addr) != 1 ||
+        ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0)
+        return fail();
+    netSetRecvTimeoutMs(fd_, options_.recvTimeoutMs);
+
+    // Synchronous handshake: Hello out, HelloAck back, versions must
+    // match.  A mismatch is authoritative — no amount of reconnecting
+    // fixes it — so it poisons the client permanently.
+    std::vector<uint8_t> hello;
+    wire::appendHello(hello, wire::kProtocolVersion,
+                      options_.clientId);
+    if (!netSendAll(fd_, hello.data(), hello.size()))
+        return fail();
+    std::vector<uint8_t> inbuf(4096);
+    for (;;) {
+        wire::Frame frame;
+        const auto status = decoder_.next(&frame);
+        if (status == wire::FrameDecoder::Status::Ok) {
+            if (frame.type != wire::FrameType::HelloAck)
+                return fail();
+            if (frame.helloVersion != wire::kProtocolVersion) {
+                versionMismatch_ = true;
+                disconnect();
+                return false;
+            }
+            break;
+        }
+        if (status == wire::FrameDecoder::Status::Malformed)
+            return fail();
+        const long n = netRecv(fd_, inbuf.data(), inbuf.size());
+        if (n <= 0)
+            return fail(); // EOF, timeout, or reset during handshake
+        decoder_.feed(inbuf.data(), size_t(n));
+    }
+    ++stats_.connects;
+    return true;
+}
+
+bool
+Client::runBatch(const std::vector<pc::Assignment> &queries,
+                 std::vector<QueryOutcome> *outcomes,
+                 uint64_t idBase)
+{
+    const size_t n = queries.size();
+    outcomes->assign(n, QueryOutcome{});
+
+    std::vector<uint8_t> state(n, kUnsent);
+    // First-send timestamp: end-to-end latency spans retries.
+    std::vector<uint64_t> firstSentNs(n, 0);
+    // Per-query absolute deadline, anchored once at batch start.
+    std::vector<uint64_t> deadline(n, 0);
+    if (options_.deadlineNs != 0) {
+        const uint64_t start = nowNs();
+        for (size_t i = 0; i < n; ++i)
+            deadline[i] = start + options_.deadlineNs;
+    }
+
+    size_t done = 0;
+    size_t inflight = 0;
+    size_t next_send = 0;
+    uint64_t last_progress = nowNs();
+    std::vector<uint8_t> inbuf(1 << 16);
+    std::vector<uint8_t> out;
+
+    const auto finishRemaining = [&](int error) {
+        for (size_t i = 0; i < n; ++i)
+            if (state[i] != kDone) {
+                state[i] = kDone;
+                (*outcomes)[i].error = error;
+                ++done;
+            }
+    };
+    const auto transportError = [&] {
+        ++consecutiveFailures_;
+        ++stats_.transportErrors;
+        disconnect();
+    };
+
+    while (done < n) {
+        // Client-side deadline enforcement covers the whole retry
+        // loop: a query that cannot be answered in time terminates
+        // with the same error code the server-side expiry uses.
+        if (options_.deadlineNs != 0) {
+            const uint64_t now = nowNs();
+            for (size_t i = 0; i < n; ++i) {
+                if (state[i] == kDone || deadline[i] > now)
+                    continue;
+                if (state[i] == kInflight)
+                    --inflight;
+                state[i] = kDone;
+                (*outcomes)[i].error = REASON_ERR_DEADLINE_EXCEEDED;
+                ++done;
+            }
+            if (done == n)
+                break;
+        }
+
+        if (fd_ < 0) {
+            if (versionMismatch_) {
+                finishRemaining(kClientErrVersionMismatch);
+                return false;
+            }
+            if (consecutiveFailures_ > options_.maxRetries) {
+                finishRemaining(kClientErrTransport);
+                return false;
+            }
+            if (!ensureConnected())
+                continue;
+            // Fresh connection: everything unanswered is re-sent
+            // under its original id — the server's duplicate cache
+            // keeps the retry idempotent.
+            for (size_t i = 0; i < n; ++i)
+                if (state[i] == kInflight) {
+                    state[i] = kUnsent;
+                    --inflight;
+                    ++stats_.retriesSent;
+                }
+            next_send = 0;
+            netSetRecvTimeoutMs(fd_, kPumpTimeoutMs);
+            last_progress = nowNs();
+        }
+
+        // Fill the pipeline.
+        bool send_failed = false;
+        while (inflight < options_.pipeline) {
+            while (next_send < n && state[next_send] != kUnsent)
+                ++next_send;
+            if (next_send >= n)
+                break;
+            const size_t q = next_send;
+            wire::SubmitFrame submit;
+            submit.id = idBase + q;
+            submit.mode =
+                options_.budget > 0.0
+                    ? uint32_t(REASON_MODE_APPROX)
+                    : uint32_t(REASON_MODE_PROBABILISTIC);
+            submit.budget = options_.budget;
+            if (deadline[q] != 0) {
+                const uint64_t now = nowNs();
+                // Remaining time at this send — re-anchored per
+                // attempt, so a retry does not get a fresh budget.
+                submit.deadlineNs =
+                    deadline[q] > now ? deadline[q] - now : 1;
+            }
+            submit.numVars = uint32_t(queries[q].size());
+            submit.rows.push_back(queries[q]);
+            out.clear();
+            wire::appendSubmit(out, submit);
+            if (!netSendAll(fd_, out.data(), out.size())) {
+                send_failed = true;
+                break;
+            }
+            state[q] = kInflight;
+            ++inflight;
+            if (firstSentNs[q] == 0)
+                firstSentNs[q] = nowNs();
+        }
+        if (send_failed) {
+            transportError();
+            continue;
+        }
+        if (inflight == 0)
+            continue; // everything left expired client-side
+
+        // Bounded receive; timeouts only re-check deadlines and the
+        // progress bound.
+        const long r = netRecv(fd_, inbuf.data(), inbuf.size());
+        if (r == 0) {
+            transportError(); // orderly EOF with queries in flight
+            continue;
+        }
+        if (r < 0) {
+            if (!netRecvTimedOut()) {
+                transportError();
+                continue;
+            }
+            // No bytes within the pump window: tolerate until the
+            // overall receive bound, then treat the silence as a
+            // transport failure (a wedged peer must not hang us).
+            if (nowNs() - last_progress >
+                uint64_t(options_.recvTimeoutMs) * 1'000'000ull)
+                transportError();
+            continue;
+        }
+        decoder_.feed(inbuf.data(), size_t(r));
+
+        bool violated = false;
+        for (;;) {
+            wire::Frame frame;
+            const auto status = decoder_.next(&frame);
+            if (status == wire::FrameDecoder::Status::NeedMore)
+                break;
+            if (status == wire::FrameDecoder::Status::Malformed) {
+                violated = true;
+                break;
+            }
+            if (frame.type == wire::FrameType::Pong)
+                continue; // stray heartbeat echo
+            if (frame.type != wire::FrameType::Result) {
+                violated = true;
+                break;
+            }
+            const uint64_t id = frame.result.id;
+            if (id < idBase || id - idBase >= n ||
+                state[size_t(id - idBase)] != kInflight) {
+                violated = true; // unknown or duplicate id
+                break;
+            }
+            const size_t q = size_t(id - idBase);
+            QueryOutcome &o = (*outcomes)[q];
+            if (frame.result.error != 0) {
+                // Authoritative server answer — never retried.
+                o.error = frame.result.error;
+            } else if (frame.result.values.size() != 1) {
+                violated = true; // success must carry one row
+                break;
+            } else {
+                o.error = REASON_OK;
+                o.value = frame.result.values[0];
+                o.tier = frame.result.tier;
+                if (frame.result.tier == 1) {
+                    o.boundLo = frame.result.boundLo[0];
+                    o.boundHi = frame.result.boundHi[0];
+                }
+            }
+            state[q] = kDone;
+            ++done;
+            --inflight;
+            consecutiveFailures_ = 0; // progress
+            last_progress = nowNs();
+            o.latencyNs = last_progress - firstSentNs[q];
+        }
+        if (violated)
+            transportError();
+    }
+
+    for (const QueryOutcome &o : *outcomes)
+        if (o.error == kClientErrTransport ||
+            o.error == kClientErrVersionMismatch)
+            return false;
+    return true;
+}
+
+bool
+Client::ping(uint64_t token)
+{
+    // Heartbeats are for idle connections: any non-Pong traffic here
+    // is a protocol violation.
+    if (versionMismatch_ || !ensureConnected())
+        return false;
+    std::vector<uint8_t> out;
+    wire::appendPing(out, token);
+    if (!netSendAll(fd_, out.data(), out.size())) {
+        disconnect();
+        return false;
+    }
+    netSetRecvTimeoutMs(fd_, options_.recvTimeoutMs);
+    std::vector<uint8_t> inbuf(4096);
+    for (;;) {
+        wire::Frame frame;
+        const auto status = decoder_.next(&frame);
+        if (status == wire::FrameDecoder::Status::Ok) {
+            if (frame.type == wire::FrameType::Pong &&
+                frame.pingToken == token)
+                return true;
+            disconnect();
+            return false;
+        }
+        if (status == wire::FrameDecoder::Status::Malformed) {
+            disconnect();
+            return false;
+        }
+        const long r = netRecv(fd_, inbuf.data(), inbuf.size());
+        if (r <= 0) {
+            disconnect();
+            return false;
+        }
+        decoder_.feed(inbuf.data(), size_t(r));
+    }
+}
+
+} // namespace sys
+} // namespace reason
+
+#endif // REASON_HAS_SOCKETS

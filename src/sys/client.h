@@ -1,0 +1,184 @@
+/**
+ * @file
+ * sys::Client — a resilient wire-protocol client for the socket
+ * serving front-end (sys::SocketServer), extracted from the
+ * `reason_cli bench-client` loop so tests, benchmarks, and tools
+ * share one hardened implementation.
+ *
+ * The client pipelines queries over one TCP connection and survives
+ * transport failure:
+ *
+ *  - **Reconnect with capped exponential backoff.**  Any transport
+ *    error (reset, torn frame, EOF, handshake timeout) tears the
+ *    connection down and reconnects, waiting
+ *    min(cap, base * 2^k) + deterministic LCG jitter between
+ *    consecutive failures.  `maxRetries` bounds *consecutive*
+ *    failures without progress; any answered query resets the count.
+ *  - **Idempotent retry.**  Unanswered in-flight queries are re-sent
+ *    on the new connection under the same query id.  The client's
+ *    nonzero clientId (sent in Hello, protocol v3) lets the server
+ *    suppress duplicate execution and replay the cached answer, so a
+ *    retry can never produce a different — or double-executed —
+ *    result.
+ *  - **Per-query deadlines.**  A relative deadline travels in each
+ *    Submit (the server expires queued work) *and* caps the client's
+ *    whole retry loop for that query: when it passes unanswered, the
+ *    outcome is REASON_ERR_DEADLINE_EXCEEDED.  0 disables.
+ *  - **Typed errors, never hangs.**  Every query ends in exactly one
+ *    of: a successful result (bitwise-identical to a fault-free run),
+ *    an authoritative server error (never retried — the server
+ *    answered), or a client-side error (kClientErrTransport /
+ *    kClientErrVersionMismatch).  Receive waits are bounded, so a
+ *    silent peer cannot wedge the loop.
+ *
+ * Single-threaded: runBatch drives send and receive from one thread
+ * with bounded receive waits — no reader thread, no shared state.
+ */
+
+#ifndef REASON_SYS_CLIENT_H
+#define REASON_SYS_CLIENT_H
+
+#include "sys/net.h"
+
+#if REASON_HAS_SOCKETS
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pc/pc.h"
+#include "sys/wire.h"
+
+namespace reason {
+namespace sys {
+
+/**
+ * Client-side error codes, disjoint from the engine's ReasonError
+ * range so an outcome's provenance is unambiguous.
+ */
+enum ClientError : int
+{
+    /** Transport gave out: reconnect budget exhausted mid-query. */
+    kClientErrTransport = -100,
+    /** Server speaks a different protocol version (authoritative —
+     *  reconnecting cannot fix it). */
+    kClientErrVersionMismatch = -101
+};
+
+/** Connection and resilience knobs of a Client. */
+struct ClientOptions
+{
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    /**
+     * Stable client identity for idempotent retry (Hello, v3).
+     * 0 = anonymous: the server will re-execute re-sent ids (still
+     * bit-identical answers — execution is deterministic — but
+     * without duplicate suppression).
+     */
+    uint64_t clientId = 0;
+    /** Max in-flight queries on the connection. */
+    size_t pipeline = 16;
+    /** Consecutive transport failures tolerated without progress. */
+    unsigned maxRetries = 16;
+    /** Exponential backoff: base delay and cap (milliseconds). */
+    unsigned backoffBaseMs = 5;
+    unsigned backoffCapMs = 500;
+    /** Seed of the deterministic backoff jitter. */
+    uint64_t seed = 1;
+    /** Accuracy budget of every query (0 = exact tier). */
+    double budget = 0.0;
+    /**
+     * Per-query relative deadline in nanoseconds; travels on the wire
+     * and caps the client-side retry loop.  0 = none.
+     */
+    uint64_t deadlineNs = 0;
+    /** Handshake / receive-wait bound (milliseconds). */
+    unsigned recvTimeoutMs = 2000;
+};
+
+/** Final state of one query after runBatch. */
+struct QueryOutcome
+{
+    /** REASON_OK, a server-side ReasonError, or a ClientError. */
+    int error = kClientErrTransport;
+    double value = 0.0;
+    /** Approximate tier: certified interval endpoints. */
+    double boundLo = 0.0;
+    double boundHi = 0.0;
+    uint8_t tier = 0;
+    /**
+     * End-to-end latency of a server-answered query: first send to
+     * answer, retries and reconnects included.  0 when never answered.
+     */
+    uint64_t latencyNs = 0;
+};
+
+/** Resilience telemetry accumulated across runBatch calls. */
+struct ClientStats
+{
+    /** Successful (re)connections, the first one included. */
+    uint64_t connects = 0;
+    /** Connection attempts that failed before the handshake held. */
+    uint64_t connectFailures = 0;
+    /** Submits re-sent after a reconnect (idempotent retries). */
+    uint64_t retriesSent = 0;
+    /** Transport errors observed on an established connection. */
+    uint64_t transportErrors = 0;
+};
+
+/**
+ * The resilient client.  Not thread-safe: one Client per thread.
+ * runBatch may be called repeatedly; the connection persists between
+ * calls.
+ */
+class Client
+{
+  public:
+    explicit Client(const ClientOptions &options);
+    ~Client();
+
+    Client(const Client &) = delete;
+    Client &operator=(const Client &) = delete;
+
+    /**
+     * Drive every query to a terminal outcome (see file comment).
+     * `outcomes` is resized to match.  Query ids on the wire are
+     * `idBase + index`, so distinct batches of one client must pass
+     * distinct idBase ranges for duplicate suppression to stay
+     * correct.  Returns true when every outcome is a successful
+     * result or an authoritative server error (i.e. no client-side
+     * transport/version failures).
+     */
+    bool runBatch(const std::vector<pc::Assignment> &queries,
+                  std::vector<QueryOutcome> *outcomes,
+                  uint64_t idBase = 0);
+
+    /**
+     * Heartbeat: send Ping, wait for the matching Pong on a healthy
+     * connection (connecting first if needed).  False on transport
+     * failure or timeout.
+     */
+    bool ping(uint64_t token);
+
+    ClientStats stats() const { return stats_; }
+
+  private:
+    bool ensureConnected();
+    void disconnect();
+
+    ClientOptions options_;
+    int fd_ = -1;
+    wire::FrameDecoder decoder_;
+    uint64_t jitterLcg_ = 0;
+    unsigned consecutiveFailures_ = 0;
+    bool versionMismatch_ = false;
+    ClientStats stats_;
+};
+
+} // namespace sys
+} // namespace reason
+
+#endif // REASON_HAS_SOCKETS
+
+#endif // REASON_SYS_CLIENT_H

@@ -5,6 +5,7 @@
 
 #include "pc/flat_cache.h"
 #include "pc/pc.h"
+#include "sys/fault.h"
 #include "util/logging.h"
 
 namespace reason {
@@ -81,8 +82,24 @@ Session::submit(pc::Assignment row, double accuracyBudget)
 }
 
 RequestHandle
+Session::submit(pc::Assignment row, double accuracyBudget,
+                uint64_t deadlineNs)
+{
+    std::vector<pc::Assignment> rows;
+    rows.push_back(std::move(row));
+    return submitBatch(std::move(rows), accuracyBudget, deadlineNs);
+}
+
+RequestHandle
 Session::submitBatch(std::vector<pc::Assignment> rows,
                      double accuracyBudget)
+{
+    return submitBatch(std::move(rows), accuracyBudget, 0);
+}
+
+RequestHandle
+Session::submitBatch(std::vector<pc::Assignment> rows,
+                     double accuracyBudget, uint64_t deadlineNs)
 {
     auto request = std::make_shared<Request>();
     request->session = state_;
@@ -117,6 +134,11 @@ Session::submitBatch(std::vector<pc::Assignment> rows,
     }
     request->groupKey = state_->lowering.get();
     request->rows = std::move(rows);
+    // Deadlines are relative at the API surface (clients think in
+    // timeouts) and anchored to the steady clock here, so queue hops
+    // never re-anchor them.
+    if (deadlineNs != 0)
+        request->deadlineNs = steadyNowNs() + deadlineNs;
     return engine_->enqueue(request);
 }
 
@@ -265,6 +287,13 @@ ReasonEngine::resume()
     queue_.resume();
 }
 
+bool
+ReasonEngine::drain(uint64_t deadlineNs)
+{
+    queue_.beginDrain();
+    return queue_.drainWait(steadyNowNs() + deadlineNs);
+}
+
 EngineStats
 ReasonEngine::stats() const
 {
@@ -287,6 +316,8 @@ ReasonEngine::stats() const
             double(q.totalLatencyNs) / double(q.executed) * 1e-6;
     }
     s.shedRequests = q.shedRequests;
+    s.expired = q.expired;
+    s.cancelled = q.cancelled;
     s.p50LatencyMs = q.p50LatencyMs;
     s.p99LatencyMs = q.p99LatencyMs;
     s.ewmaInterArrivalUs = q.ewmaInterArrivalUs;
@@ -312,6 +343,11 @@ ReasonEngine::workerLoop(Dispatcher &disp)
                             options_.maxCoalesceWindowUs);
         if (group.empty())
             return; // shutdown
+        // Fault-injection hook: a configured plan may stall this
+        // dispatcher here, between pop and execution — the window in
+        // which queued deadlines keep expiring.  Zero-cost when no
+        // plan is installed (one relaxed atomic load).
+        faultDispatchStall();
         executeGroup(disp, group);
         queue_.complete(group);
     }

@@ -149,6 +149,14 @@ struct EngineStats
     /** Requests completed with REASON_ERR_OVERLOAD. */
     uint64_t shedRequests = 0;
     /**
+     * Requests completed with REASON_ERR_DEADLINE_EXCEEDED (deadline
+     * passed while queued, or drain-deadline expiry).  Never counted
+     * in `executed`, so latency means stay unbiased.
+     */
+    uint64_t expired = 0;
+    /** Requests completed with REASON_ERR_CANCELLED. */
+    uint64_t cancelled = 0;
+    /**
      * Latency percentiles over executed requests, from a fixed-size
      * reservoir sample — the same estimate bench_eval reports.
      */
@@ -174,6 +182,21 @@ class RequestHandle
 
     bool valid() const { return request_ != nullptr; }
     uint64_t id() const { return request_ ? request_->id : 0; }
+
+    /**
+     * Cancel the request if it is still queued, completing it with
+     * REASON_ERR_CANCELLED.  Returns true on success; false when the
+     * request already started executing (it will complete normally —
+     * cancellation never yields a torn result), already finished, or
+     * was rejected at submit.  Valid only while the engine is alive
+     * (the same lifetime contract as poll/wait).
+     */
+    bool cancel()
+    {
+        return request_ != nullptr &&
+               request_->ownerQueue != nullptr &&
+               request_->ownerQueue->cancel(request_);
+    }
 
     /** REASON_OK or the ReasonError the request failed with. */
     int error() const { return checked().error; }
@@ -270,6 +293,20 @@ class Session
                               double accuracyBudget);
 
     /**
+     * Deadline-carrying submissions: `deadlineNs` is *relative* to the
+     * submit call (anchored to the steady clock here; 0 = no
+     * deadline).  A request whose deadline passes while it is still
+     * queued completes with REASON_ERR_DEADLINE_EXCEEDED; once a
+     * dispatcher picks it up it always completes normally, so answered
+     * results stay bit-identical to deadline-less runs.
+     */
+    RequestHandle submit(pc::Assignment row, double accuracyBudget,
+                         uint64_t deadlineNs);
+    RequestHandle submitBatch(std::vector<pc::Assignment> rows,
+                              double accuracyBudget,
+                              uint64_t deadlineNs);
+
+    /**
      * Program sessions: submit a Listing-1 batch (row-major inputs,
      * batch_size rows of the program's input arity).  `mode` must be a
      * ReasonMode value.
@@ -349,6 +386,19 @@ class ReasonEngine
     void pause();
     /** Release a pause() (or a startPaused construction). */
     void resume();
+
+    /**
+     * Graceful drain: close admission (subsequent submissions complete
+     * immediately with REASON_ERR_SHUTTING_DOWN), release any pause,
+     * finish queued work within `deadlineNs` (relative to the call;
+     * 0 = expire everything still queued right away), then expire the
+     * rest with REASON_ERR_DEADLINE_EXCEEDED.  In-flight groups are
+     * always waited out — they complete normally.  Returns true when
+     * every queued request finished without expiry.  The engine stays
+     * alive (handles remain readable; destruction still does the final
+     * shutdown); drain is one-way and idempotent.
+     */
+    bool drain(uint64_t deadlineNs);
 
     EngineStats stats() const;
     const ServeOptions &options() const { return options_; }

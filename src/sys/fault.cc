@@ -1,0 +1,274 @@
+#include "sys/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+namespace reason {
+namespace sys {
+
+namespace {
+
+std::atomic<FaultPlan *> g_plan{nullptr};
+
+/** splitmix64: full-avalanche mix of a 64-bit state. */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Event-class salts keep the per-kind draws independent. */
+constexpr uint64_t kSaltReset = 0x7265736574ull;
+constexpr uint64_t kSaltTorn = 0x746f726eull;
+constexpr uint64_t kSaltShort = 0x73686f7274ull;
+constexpr uint64_t kSaltPartial = 0x70617274ull;
+constexpr uint64_t kSaltDelay = 0x64656c6179ull;
+constexpr uint64_t kSaltStall = 0x7374616c6cull;
+constexpr uint64_t kSaltLen = 0x6c656eull;
+
+void
+sleepUs(unsigned us)
+{
+    if (us > 0)
+        std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+bool
+parseDouble(const std::string &text, double *out)
+{
+    char *end = nullptr;
+    const double v = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseU64(const std::string &text, uint64_t *out)
+{
+    char *end = nullptr;
+    const unsigned long long v =
+        std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+} // namespace
+
+double
+FaultPlan::roll(uint64_t index, uint64_t salt) const
+{
+    const uint64_t h = mix64(mix64(seed_ ^ salt) ^ index);
+    // Top 53 bits → uniform double in [0, 1).
+    return double(h >> 11) * 0x1.0p-53;
+}
+
+FaultAction
+FaultPlan::onRecv(size_t wanted)
+{
+    FaultAction act;
+    const uint64_t n =
+        ioEvents_.fetch_add(1, std::memory_order_relaxed);
+    if (pDelay_ > 0.0 && roll(n, kSaltDelay) < pDelay_) {
+        act.delayUs = delayUs_;
+        delays_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if ((pReset_ > 0.0 && roll(n, kSaltReset) < pReset_) ||
+        (resetNth_ != 0 && (n + 1) % resetNth_ == 0)) {
+        act.reset = true;
+        resets_.fetch_add(1, std::memory_order_relaxed);
+        return act;
+    }
+    if (wanted > 1 && pShort_ > 0.0 &&
+        roll(n, kSaltShort) < pShort_) {
+        // Cap to [1, wanted-1] bytes: the caller's full-read loop must
+        // tolerate arbitrary fragmentation.
+        act.maxBytes =
+            1 + size_t(mix64(mix64(seed_ ^ kSaltLen) ^ n) %
+                       uint64_t(wanted - 1));
+        shortReads_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return act;
+}
+
+FaultAction
+FaultPlan::onSend(size_t wanted)
+{
+    FaultAction act;
+    const uint64_t n =
+        ioEvents_.fetch_add(1, std::memory_order_relaxed);
+    if (pDelay_ > 0.0 && roll(n, kSaltDelay) < pDelay_) {
+        act.delayUs = delayUs_;
+        delays_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if ((pReset_ > 0.0 && roll(n, kSaltReset) < pReset_) ||
+        (resetNth_ != 0 && (n + 1) % resetNth_ == 0)) {
+        act.reset = true;
+        resets_.fetch_add(1, std::memory_order_relaxed);
+        return act;
+    }
+    if (wanted > 1 && pTorn_ > 0.0 && roll(n, kSaltTorn) < pTorn_) {
+        // Torn frame: a strict prefix is delivered, then the
+        // connection dies — the nastiest transport failure a framed
+        // protocol must survive.
+        act.maxBytes =
+            1 + size_t(mix64(mix64(seed_ ^ kSaltLen) ^ n) %
+                       uint64_t(wanted - 1));
+        act.resetAfter = true;
+        tornFrames_.fetch_add(1, std::memory_order_relaxed);
+        return act;
+    }
+    if (wanted > 1 && pPartial_ > 0.0 &&
+        roll(n, kSaltPartial) < pPartial_) {
+        act.maxBytes =
+            1 + size_t(mix64(mix64(seed_ ^ kSaltLen) ^ n) %
+                       uint64_t(wanted - 1));
+        partialWrites_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return act;
+}
+
+void
+FaultPlan::dispatchStall()
+{
+    const uint64_t n =
+        dispatchEvents_.fetch_add(1, std::memory_order_relaxed);
+    if ((pStall_ > 0.0 && roll(n, kSaltStall) < pStall_) ||
+        (stallNth_ != 0 && (n + 1) % stallNth_ == 0)) {
+        stalls_.fetch_add(1, std::memory_order_relaxed);
+        sleepUs(stallUs_);
+    }
+}
+
+FaultStats
+FaultPlan::stats() const
+{
+    FaultStats s;
+    s.resets = resets_.load(std::memory_order_relaxed);
+    s.tornFrames = tornFrames_.load(std::memory_order_relaxed);
+    s.shortReads = shortReads_.load(std::memory_order_relaxed);
+    s.partialWrites = partialWrites_.load(std::memory_order_relaxed);
+    s.delays = delays_.load(std::memory_order_relaxed);
+    s.stalls = stalls_.load(std::memory_order_relaxed);
+    return s;
+}
+
+std::string
+FaultPlan::describe() const
+{
+    std::string out = "seed=" + std::to_string(seed_);
+    const auto prob = [&](const char *key, double p) {
+        if (p > 0.0)
+            out += std::string(",") + key + "=" + std::to_string(p);
+    };
+    prob("reset", pReset_);
+    prob("torn", pTorn_);
+    prob("short", pShort_);
+    prob("partial", pPartial_);
+    prob("delay", pDelay_);
+    prob("stall", pStall_);
+    if (pDelay_ > 0.0)
+        out += ",delay_us=" + std::to_string(delayUs_);
+    if (pStall_ > 0.0 || stallNth_ != 0)
+        out += ",stall_us=" + std::to_string(stallUs_);
+    if (resetNth_ != 0)
+        out += ",reset_nth=" + std::to_string(resetNth_);
+    if (stallNth_ != 0)
+        out += ",stall_nth=" + std::to_string(stallNth_);
+    return out;
+}
+
+bool
+FaultPlan::parse(const std::string &spec, FaultPlan *out,
+                 std::string *error)
+{
+    const auto fail = [&](const std::string &msg) {
+        if (error != nullptr)
+            *error = msg;
+        return false;
+    };
+    size_t at = 0;
+    while (at < spec.size()) {
+        size_t end = spec.find(',', at);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string item = spec.substr(at, end - at);
+        at = end + 1;
+        if (item.empty())
+            continue;
+        const size_t eq = item.find('=');
+        if (eq == std::string::npos)
+            return fail("fault spec item without '=': " + item);
+        const std::string key = item.substr(0, eq);
+        const std::string value = item.substr(eq + 1);
+
+        double *prob = nullptr;
+        if (key == "reset")
+            prob = &out->pReset_;
+        else if (key == "torn")
+            prob = &out->pTorn_;
+        else if (key == "short")
+            prob = &out->pShort_;
+        else if (key == "partial")
+            prob = &out->pPartial_;
+        else if (key == "delay")
+            prob = &out->pDelay_;
+        else if (key == "stall")
+            prob = &out->pStall_;
+        if (prob != nullptr) {
+            double p = 0.0;
+            if (!parseDouble(value, &p) || !(p >= 0.0) || p > 1.0)
+                return fail("fault probability out of [0,1]: " + item);
+            *prob = p;
+            continue;
+        }
+
+        uint64_t n = 0;
+        if (key == "seed") {
+            if (!parseU64(value, &n))
+                return fail("bad fault seed: " + item);
+            out->seed_ = n;
+        } else if (key == "delay_us") {
+            if (!parseU64(value, &n))
+                return fail("bad delay_us: " + item);
+            out->delayUs_ = unsigned(n);
+        } else if (key == "stall_us") {
+            if (!parseU64(value, &n))
+                return fail("bad stall_us: " + item);
+            out->stallUs_ = unsigned(n);
+        } else if (key == "reset_nth") {
+            if (!parseU64(value, &n))
+                return fail("bad reset_nth: " + item);
+            out->resetNth_ = n;
+        } else if (key == "stall_nth") {
+            if (!parseU64(value, &n))
+                return fail("bad stall_nth: " + item);
+            out->stallNth_ = n;
+        } else {
+            return fail("unknown fault spec key: " + key);
+        }
+    }
+    return true;
+}
+
+void
+installFaultPlan(FaultPlan *plan)
+{
+    g_plan.store(plan, std::memory_order_release);
+}
+
+FaultPlan *
+activeFaultPlan()
+{
+    return g_plan.load(std::memory_order_relaxed);
+}
+
+} // namespace sys
+} // namespace reason

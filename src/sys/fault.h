@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Deterministic fault injection for the serving stack.
+ *
+ * A FaultPlan is a seeded schedule of transport and dispatcher faults:
+ * connection resets, torn frames (a prefix is delivered, then the
+ * connection dies), short reads, partial writes, delays, and
+ * dispatcher stalls.  Hooks sit in the socket I/O helpers (sys/net)
+ * and in the dispatcher loop (sys::ReasonEngine); each hook consults
+ * the globally installed plan, which decides per *event index* — an
+ * atomic counter mixed with the seed through splitmix64 — so a given
+ * (spec, seed) pair injects the same schedule on every run regardless
+ * of wall-clock timing.  That determinism is the contract the
+ * fault_recovery gate and tests rely on: reproducing a failure is
+ * re-running the same spec.
+ *
+ * The hooks are compiled in unconditionally but cost one relaxed
+ * atomic load when no plan is installed — production builds pay
+ * nothing for carrying them.
+ *
+ * Plans parse from a compact comma-separated spec (the format of
+ * `reason_cli serve --fault-plan` and the REASON_FAULT_PLAN
+ * environment variable):
+ *
+ *     seed=42,reset=0.01,torn=0.02,short=0.1,partial=0.1,
+ *     delay=0.05,delay_us=500,stall=0.02,stall_us=2000,
+ *     reset_nth=100,stall_nth=50
+ *
+ * Point probabilities (`reset`, `torn`, `short`, `partial`, `delay`,
+ * `stall`) are per-event in [0,1]; `*_nth` triggers fire
+ * deterministically on every n-th event of their class and compose
+ * with the probabilistic ones.
+ */
+
+#ifndef REASON_SYS_FAULT_H
+#define REASON_SYS_FAULT_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace reason {
+namespace sys {
+
+/**
+ * What an I/O hook should do to the operation it guards.  Applied in
+ * field order: sleep `delayUs`, then fail outright if `reset`,
+ * otherwise cap the transfer at `maxBytes` (0 = no cap) and — for
+ * torn-frame sends — kill the connection after the capped prefix went
+ * out (`resetAfter`).
+ */
+struct FaultAction
+{
+    unsigned delayUs = 0;
+    bool reset = false;
+    size_t maxBytes = 0;
+    bool resetAfter = false;
+};
+
+/** Injection counters (snapshot of what actually fired). */
+struct FaultStats
+{
+    uint64_t resets = 0;
+    uint64_t tornFrames = 0;
+    uint64_t shortReads = 0;
+    uint64_t partialWrites = 0;
+    uint64_t delays = 0;
+    uint64_t stalls = 0;
+
+    uint64_t
+    total() const
+    {
+        return resets + tornFrames + shortReads + partialWrites +
+               delays + stalls;
+    }
+};
+
+/**
+ * A seeded, deterministic fault schedule.  Thread-safe: hooks from any
+ * number of connection handlers and dispatchers share the event
+ * counters.  The object itself must outlive its installation.
+ */
+class FaultPlan
+{
+  public:
+    FaultPlan() = default;
+    FaultPlan(const FaultPlan &) = delete;
+    FaultPlan &operator=(const FaultPlan &) = delete;
+
+    /**
+     * Parse a spec string (see file comment) into `out`.  Returns
+     * false and sets `error` on an unknown key, a malformed value, or
+     * a probability outside [0,1].  An empty spec parses to a plan
+     * with no faults.
+     */
+    static bool parse(const std::string &spec, FaultPlan *out,
+                      std::string *error);
+
+    /** True when any trigger is configured. */
+    bool enabled() const
+    {
+        return pReset_ > 0.0 || pTorn_ > 0.0 || pShort_ > 0.0 ||
+               pPartial_ > 0.0 || pDelay_ > 0.0 || pStall_ > 0.0 ||
+               resetNth_ != 0 || stallNth_ != 0;
+    }
+
+    /**
+     * Decide the fate of a socket receive of up to `wanted` bytes
+     * (consumes one I/O event).
+     */
+    FaultAction onRecv(size_t wanted);
+
+    /**
+     * Decide the fate of a socket send of `wanted` bytes (consumes one
+     * I/O event).  Torn frames surface as maxBytes + resetAfter.
+     */
+    FaultAction onSend(size_t wanted);
+
+    /**
+     * Dispatcher hook: sleep `stall_us` when the schedule says so
+     * (consumes one dispatch event).  Stalls delay execution — they
+     * never corrupt it — which is exactly the window where queued
+     * deadlines expire.
+     */
+    void dispatchStall();
+
+    FaultStats stats() const;
+
+    /** Canonical spec of the configured triggers (for logs). */
+    std::string describe() const;
+
+  private:
+    friend class FaultPlanTestPeer;
+
+    /** Uniform [0,1) draw for event `index` of class `salt`. */
+    double roll(uint64_t index, uint64_t salt) const;
+
+    double pReset_ = 0.0;
+    double pTorn_ = 0.0;
+    double pShort_ = 0.0;
+    double pPartial_ = 0.0;
+    double pDelay_ = 0.0;
+    double pStall_ = 0.0;
+    unsigned delayUs_ = 200;
+    unsigned stallUs_ = 2000;
+    /** Fire on every n-th event of the class; 0 = off. */
+    uint64_t resetNth_ = 0;
+    uint64_t stallNth_ = 0;
+    uint64_t seed_ = 1;
+
+    std::atomic<uint64_t> ioEvents_{0};
+    std::atomic<uint64_t> dispatchEvents_{0};
+    std::atomic<uint64_t> resets_{0};
+    std::atomic<uint64_t> tornFrames_{0};
+    std::atomic<uint64_t> shortReads_{0};
+    std::atomic<uint64_t> partialWrites_{0};
+    std::atomic<uint64_t> delays_{0};
+    std::atomic<uint64_t> stalls_{0};
+};
+
+/**
+ * Install `plan` as the process-global fault plan (nullptr uninstalls;
+ * the plan is not owned and must outlive its installation).  Replaces
+ * any previous installation.  Not for concurrent use with in-flight
+ * hooks against a plan being *destroyed* — install before serving
+ * starts, uninstall after it stops.
+ */
+void installFaultPlan(FaultPlan *plan);
+
+/** The installed plan, or nullptr (one relaxed atomic load). */
+FaultPlan *activeFaultPlan();
+
+/** Dispatcher-loop hook (no-op without an installed plan). */
+inline void
+faultDispatchStall()
+{
+    if (FaultPlan *plan = activeFaultPlan())
+        plan->dispatchStall();
+}
+
+} // namespace sys
+} // namespace reason
+
+#endif // REASON_SYS_FAULT_H

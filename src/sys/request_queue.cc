@@ -14,10 +14,15 @@ namespace {
 uint64_t
 nowNs()
 {
-    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
-                        std::chrono::steady_clock::now()
-                            .time_since_epoch())
-                        .count());
+    return steadyNowNs();
+}
+
+/** steadyNowNs value as a steady_clock time_point (for waits). */
+std::chrono::steady_clock::time_point
+steadyTimePoint(uint64_t ns)
+{
+    return std::chrono::steady_clock::time_point(
+        std::chrono::nanoseconds(ns));
 }
 
 /** EWMA smoothing factor for arrival/execution tracking. */
@@ -67,6 +72,10 @@ RequestQueue::failLocked(const std::shared_ptr<Request> &request,
     ++stats_.completed;
     if (error == REASON_ERR_OVERLOAD)
         ++stats_.shedRequests;
+    else if (error == REASON_ERR_DEADLINE_EXCEEDED)
+        ++stats_.expired;
+    else if (error == REASON_ERR_CANCELLED)
+        ++stats_.cancelled;
     doneCv_.notify_all();
 }
 
@@ -134,6 +143,119 @@ RequestQueue::shedOldestLocked()
     return true;
 }
 
+bool
+RequestQueue::removeQueuedLocked(const std::shared_ptr<Request> &request)
+{
+    auto sit = shards_.find(ShardKey{request->groupKey, request->mode});
+    if (sit == shards_.end())
+        return false;
+    Shard &shard = sit->second;
+    for (size_t li = 0; li < shard.lanes.size(); ++li) {
+        Lane &lane = shard.lanes[li];
+        if (lane.session != request->session.get())
+            continue;
+        auto qit = std::find(lane.queue.begin(), lane.queue.end(),
+                             request);
+        if (qit == lane.queue.end())
+            return false;
+        lane.queue.erase(qit);
+        if (lane.queue.empty()) {
+            shard.lanes.erase(shard.lanes.begin() +
+                              std::ptrdiff_t(li));
+            if (shard.cursor > li)
+                --shard.cursor;
+        }
+        --shard.pendingRequests;
+        --totalPending_;
+        eraseShardIfIdleLocked(shards_.find(
+            ShardKey{request->groupKey, request->mode}));
+        return true;
+    }
+    return false;
+}
+
+void
+RequestQueue::noteDeadlineLocked(uint64_t deadlineNs)
+{
+    if (deadlineNs != 0 &&
+        (minDeadlineNs_ == 0 || deadlineNs < minDeadlineNs_)) {
+        minDeadlineNs_ = deadlineNs;
+        // Deadline-aware waits must re-arm their wake-up time.
+        workCv_.notify_all();
+    }
+}
+
+size_t
+RequestQueue::sweepExpiredLocked(uint64_t now)
+{
+    if (minDeadlineNs_ == 0 || now < minDeadlineNs_)
+        return 0;
+    size_t expired = 0;
+    uint64_t min_next = 0;
+    for (auto sit = shards_.begin(); sit != shards_.end();) {
+        Shard &shard = sit->second;
+        for (size_t li = 0; li < shard.lanes.size();) {
+            Lane &lane = shard.lanes[li];
+            for (size_t qi = 0; qi < lane.queue.size();) {
+                const std::shared_ptr<Request> &r = lane.queue[qi];
+                if (r->deadlineNs != 0 && r->deadlineNs <= now) {
+                    std::shared_ptr<Request> victim = r;
+                    lane.queue.erase(lane.queue.begin() +
+                                     std::ptrdiff_t(qi));
+                    --shard.pendingRequests;
+                    --totalPending_;
+                    ++expired;
+                    failLocked(victim, REASON_ERR_DEADLINE_EXCEEDED,
+                               now);
+                    continue;
+                }
+                if (r->deadlineNs != 0 &&
+                    (min_next == 0 || r->deadlineNs < min_next))
+                    min_next = r->deadlineNs;
+                ++qi;
+            }
+            if (lane.queue.empty()) {
+                shard.lanes.erase(shard.lanes.begin() +
+                                  std::ptrdiff_t(li));
+                if (shard.cursor > li)
+                    --shard.cursor;
+            } else {
+                ++li;
+            }
+        }
+        // Idle shard entries left behind by the sweep can be erased
+        // unless a dispatcher holds them (inService) or a stale ready_
+        // entry still references them (popGroup handles gathering
+        // nothing from those).
+        auto cur = sit++;
+        eraseShardIfIdleLocked(cur);
+    }
+    minDeadlineNs_ = min_next;
+    return expired;
+}
+
+void
+RequestQueue::failAllQueuedLocked(int error, uint64_t now)
+{
+    // Fail queued work but keep the shard entries themselves: a
+    // dispatcher lingering inside popGroup holds a reference into the
+    // map across its timed wait, so entries must stay stable here
+    // (the same discipline as shutdown()).
+    for (auto &entry : shards_) {
+        Shard &shard = entry.second;
+        for (Lane &lane : shard.lanes)
+            for (const std::shared_ptr<Request> &r : lane.queue)
+                failLocked(r, error, now);
+        shard.lanes.clear();
+        shard.pendingRequests = 0;
+        shard.inReady = false;
+    }
+    ready_.clear();
+    age_.clear();
+    totalPending_ = 0;
+    minDeadlineNs_ = 0;
+}
+
 void
 RequestQueue::push(const std::shared_ptr<Request> &request)
 {
@@ -141,10 +263,20 @@ RequestQueue::push(const std::shared_ptr<Request> &request)
     std::lock_guard<std::mutex> lock(mutex_);
     const uint64_t now = nowNs();
     request->enqueuedNs = now;
+    request->ownerQueue = this;
     if (shutdown_) {
         failLocked(request, REASON_ERR_SHUTDOWN, now);
         return;
     }
+    if (draining_) {
+        failLocked(request, REASON_ERR_SHUTTING_DOWN, now);
+        return;
+    }
+    // Expire aged work before judging capacity so a burst of dead
+    // requests cannot trigger shedding of live ones (and so expiry
+    // does not depend on a dispatcher being free to sweep).
+    if (minDeadlineNs_ != 0 && now >= minDeadlineNs_)
+        sweepExpiredLocked(now);
     if (options_.capacity > 0 &&
         totalPending_ >= options_.capacity) {
         // Shed before admitting so the pending count never exceeds
@@ -178,6 +310,7 @@ RequestQueue::push(const std::shared_ptr<Request> &request)
     lane->queue.push_back(request);
     ++shard.pendingRequests;
     ++totalPending_;
+    noteDeadlineLocked(request->deadlineNs);
     if (options_.capacity > 0 &&
         options_.policy == QueuePolicy::ShedOldest)
         age_.push_back(request);
@@ -199,11 +332,26 @@ RequestQueue::gatherLocked(Shard &shard,
                            std::vector<std::shared_ptr<Request>> &group,
                            size_t &rowCount, size_t maxRows)
 {
+    const uint64_t now = nowNs();
     while (shard.pendingRequests > 0 && !shard.lanes.empty()) {
         if (shard.cursor >= shard.lanes.size())
             shard.cursor = 0;
         Lane &lane = shard.lanes[shard.cursor];
         std::shared_ptr<Request> head = lane.queue.front();
+        if (head->deadlineNs != 0 && head->deadlineNs <= now) {
+            // Expired while queued: drop at pop time instead of
+            // spending batch slots on an answer nobody is waiting for.
+            // minDeadlineNs_ stays a conservative lower bound; the
+            // next sweep recomputes it exactly.
+            lane.queue.pop_front();
+            --shard.pendingRequests;
+            --totalPending_;
+            failLocked(head, REASON_ERR_DEADLINE_EXCEEDED, now);
+            if (lane.queue.empty())
+                shard.lanes.erase(shard.lanes.begin() +
+                                  std::ptrdiff_t(shard.cursor));
+            continue;
+        }
         // The first request always rides (oversized explicit batches
         // still run); afterwards stop at the row budget.
         if (!group.empty() &&
@@ -258,9 +406,20 @@ RequestQueue::popGroup(size_t maxRows, unsigned lingerUs)
         maxRows = 1;
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        workCv_.wait(lock, [&] {
-            return shutdown_ || (!paused_ && !ready_.empty());
-        });
+        // Deadline-aware wait: with pending deadlines the wait wakes
+        // at the earliest one and sweeps, so expiry happens even when
+        // no new work arrives (and even while paused).
+        while (!(shutdown_ || (!paused_ && !ready_.empty()))) {
+            if (minDeadlineNs_ != 0) {
+                workCv_.wait_until(lock,
+                                   steadyTimePoint(minDeadlineNs_));
+                const uint64_t now = nowNs();
+                if (minDeadlineNs_ != 0 && now >= minDeadlineNs_)
+                    sweepExpiredLocked(now);
+            } else {
+                workCv_.wait(lock);
+            }
+        }
         if (ready_.empty())
             return {}; // shutdown: dispatcher exit signal
 
@@ -326,6 +485,7 @@ RequestQueue::popGroup(size_t maxRows, unsigned lingerUs)
             r->state = RequestState::Running;
             r->startedNs = started;
         }
+        running_ += group.size();
         stats_.batches += 1;
         stats_.batchedRows += rowCount;
         return group;
@@ -354,6 +514,9 @@ RequestQueue::complete(const std::vector<std::shared_ptr<Request>> &group)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     const uint64_t done = nowNs();
+    reasonAssert(running_ >= group.size(),
+                 "completing more than is running");
+    running_ -= group.size();
     for (const auto &r : group) {
         r->state = RequestState::Done;
         r->completedNs = done;
@@ -397,6 +560,55 @@ RequestQueue::waitDone(const Request &request) const
                  [&] { return request.state == RequestState::Done; });
 }
 
+bool
+RequestQueue::cancel(const std::shared_ptr<Request> &request)
+{
+    reasonAssert(request != nullptr, "null request");
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (request->state != RequestState::Queued)
+        return false; // already dispatched (or done) — let it finish
+    if (!removeQueuedLocked(request))
+        return false;
+    failLocked(request, REASON_ERR_CANCELLED, nowNs());
+    return true;
+}
+
+size_t
+RequestQueue::sweepExpired()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sweepExpiredLocked(nowNs());
+}
+
+void
+RequestQueue::beginDrain()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    draining_ = true;
+    // A paused engine must still drain its backlog.
+    paused_ = false;
+    workCv_.notify_all();
+}
+
+bool
+RequestQueue::drainWait(uint64_t deadlineNs)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    while (totalPending_ > 0 || running_ > 0) {
+        const uint64_t now = nowNs();
+        if (now >= deadlineNs)
+            break;
+        doneCv_.wait_until(lock, steadyTimePoint(deadlineNs));
+    }
+    const bool clean = totalPending_ == 0;
+    if (!clean)
+        failAllQueuedLocked(REASON_ERR_DEADLINE_EXCEEDED, nowNs());
+    // In-flight groups always complete normally — wait them out
+    // unbounded (dispatcher execution is finite by construction).
+    doneCv_.wait(lock, [&] { return running_ == 0; });
+    return clean;
+}
+
 void
 RequestQueue::shutdown()
 {
@@ -425,6 +637,7 @@ RequestQueue::shutdown()
     ready_.clear();
     age_.clear();
     totalPending_ = 0;
+    minDeadlineNs_ = 0;
     workCv_.notify_all();
     doneCv_.notify_all();
 }

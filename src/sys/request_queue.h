@@ -41,6 +41,7 @@
 #ifndef REASON_SYS_REQUEST_QUEUE_H
 #define REASON_SYS_REQUEST_QUEUE_H
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -108,7 +109,24 @@ enum ReasonError : int
      * Invalid accuracy budget: NaN, infinite, negative — or, at the
      * wire layer, above the server's configured --max-budget cap.
      */
-    REASON_ERR_BAD_BUDGET = -9
+    REASON_ERR_BAD_BUDGET = -9,
+    /**
+     * The request's deadline passed before a dispatcher picked it up
+     * (expired at pop time or by a lane sweep), or a drain deadline
+     * expired with the request still queued.  A request that began
+     * executing always completes normally — deadlines never interrupt
+     * evaluation, so non-expired results stay bit-identical.
+     */
+    REASON_ERR_DEADLINE_EXCEEDED = -10,
+    /** The client cancelled the request while it was still queued. */
+    REASON_ERR_CANCELLED = -11,
+    /**
+     * The engine is draining (ReasonEngine::drain): admission is
+     * closed, queued work is being finished, new submissions are
+     * refused.  Distinct from REASON_ERR_SHUTDOWN so clients can tell
+     * "retry elsewhere / later" from "the engine died under me".
+     */
+    REASON_ERR_SHUTTING_DOWN = -12
 };
 
 /** What a full bounded queue does with the overflow. */
@@ -150,6 +168,21 @@ enum class RequestState : uint8_t
 };
 
 struct SessionState;
+class RequestQueue;
+
+/**
+ * Steady-clock nanoseconds since the clock epoch — the timebase of
+ * every Request timestamp and deadline (deadlines are absolute values
+ * on this clock, so they survive queue hops without re-anchoring).
+ */
+inline uint64_t
+steadyNowNs()
+{
+    return uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        std::chrono::steady_clock::now()
+                            .time_since_epoch())
+                        .count());
+}
 
 /**
  * One serving request.  Owned jointly by the submitting RequestHandle
@@ -211,11 +244,29 @@ struct Request
     /** REASON_OK or a ReasonError; final once state is Done. */
     int error = REASON_OK;
 
+    /**
+     * Absolute steady-clock deadline (steadyNowNs timebase); 0 = no
+     * deadline.  Enforced while the request is *queued* only: a
+     * dispatcher drops expired requests at pop time and the queue
+     * sweeps aged lanes, completing victims with
+     * REASON_ERR_DEADLINE_EXCEEDED.  Once Running, the request always
+     * completes normally (bit-identity of non-expired results).
+     */
+    uint64_t deadlineNs = 0;
+
     RequestState state = RequestState::Queued;
     /** steady_clock nanoseconds; zero until the stage is reached. */
     uint64_t enqueuedNs = 0;
     uint64_t startedNs = 0;
     uint64_t completedNs = 0;
+
+    /**
+     * The queue this request was pushed into (set under the queue
+     * mutex at push; null for requests rejected at submit).  Enables
+     * RequestHandle::cancel() — valid only while the owning engine is
+     * alive, the same lifetime contract as wait/poll.
+     */
+    RequestQueue *ownerQueue = nullptr;
 
     /** Rows requested (either payload kind). */
     size_t numRows() const
@@ -254,6 +305,15 @@ struct QueueStats
     uint64_t executed = 0;
     /** Requests completed with REASON_ERR_OVERLOAD (both policies). */
     uint64_t shedRequests = 0;
+    /**
+     * Requests completed with REASON_ERR_DEADLINE_EXCEEDED (deadline
+     * passed while queued, or expired by a drain deadline).  Like shed
+     * requests these never count in `executed`, so latency means stay
+     * unbiased under deadline pressure.
+     */
+    uint64_t expired = 0;
+    /** Requests completed with REASON_ERR_CANCELLED (client cancel). */
+    uint64_t cancelled = 0;
 
     /** Latency percentiles over executed requests (reservoir sample). */
     double p50LatencyMs = 0.0;
@@ -328,6 +388,41 @@ class RequestQueue
     void waitDone(const Request &request) const;
 
     /**
+     * Remove a still-queued request, completing it with
+     * REASON_ERR_CANCELLED.  Returns false when the request is already
+     * Running or Done (executing requests always complete normally) or
+     * was never queued here — cancellation never yields a torn result.
+     */
+    bool cancel(const std::shared_ptr<Request> &request);
+
+    /**
+     * Fail every queued request whose deadline has passed with
+     * REASON_ERR_DEADLINE_EXCEEDED (the aged-lane sweep; also run
+     * internally at pop time and from deadline-aware waits).  Returns
+     * the number of requests expired.
+     */
+    size_t sweepExpired();
+
+    /**
+     * Close admission: every subsequent push completes immediately
+     * with REASON_ERR_SHUTTING_DOWN.  Dispatching continues (a pause
+     * is released) so queued work can finish — the first half of a
+     * graceful drain.
+     */
+    void beginDrain();
+
+    /**
+     * Block until all queued and in-flight work has completed, or
+     * until `deadlineNs` (absolute, steadyNowNs timebase).  At the
+     * deadline, still-queued requests are expired with
+     * REASON_ERR_DEADLINE_EXCEEDED; in-flight groups are always waited
+     * out (they complete normally).  Returns true when every queued
+     * request finished without expiry.  Call beginDrain() first or new
+     * work can starve the wait.
+     */
+    bool drainWait(uint64_t deadlineNs);
+
+    /**
      * Stop dispatching: pending requests are completed with
      * REASON_ERR_SHUTDOWN, waiters and dispatchers are woken.
      * A group already popped may still be complete()d normally.
@@ -384,9 +479,17 @@ class RequestQueue
                       size_t &rowCount, size_t maxRows);
     /** Drop the globally oldest queued request (ShedOldest). */
     bool shedOldestLocked();
-    /** Complete a request that never ran (overload/shutdown). */
+    /** Complete a request that never ran (overload/shutdown/expiry). */
     void failLocked(const std::shared_ptr<Request> &request, int error,
                     uint64_t now);
+    /** Remove `request` from its lane; false if not found queued. */
+    bool removeQueuedLocked(const std::shared_ptr<Request> &request);
+    /** Expire queued requests past `now`; recompute minDeadlineNs_. */
+    size_t sweepExpiredLocked(uint64_t now);
+    /** Fail every queued request with `error` (drain expiry). */
+    void failAllQueuedLocked(int error, uint64_t now);
+    /** Track the earliest pending deadline for deadline-aware waits. */
+    void noteDeadlineLocked(uint64_t deadlineNs);
     /** Effective linger window for a pop that gathered rowCount rows. */
     unsigned effectiveLingerLocked(size_t rowCount, size_t maxRows,
                                    unsigned lingerUs);
@@ -409,8 +512,19 @@ class RequestQueue
     std::deque<std::shared_ptr<Request>> age_;
     /** Queued requests across all shards. */
     size_t totalPending_ = 0;
+    /** Requests popped (Running) but not yet complete()d. */
+    size_t running_ = 0;
+    /**
+     * Earliest deadline among queued requests, or 0 when none carry
+     * one.  Maintained as a lower bound (stale removals leave it
+     * conservative); recomputed exactly by every sweep.  Lets
+     * dispatcher waits wake at the next expiry instead of hanging.
+     */
+    uint64_t minDeadlineNs_ = 0;
     bool shutdown_ = false;
     bool paused_ = false;
+    /** Admission closed by beginDrain(). */
+    bool draining_ = false;
 
     QueueStats stats_;
 

@@ -1,0 +1,309 @@
+#include "sys/server.h"
+
+#if REASON_HAS_SOCKETS
+
+#include <algorithm>
+#include <cerrno>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace reason {
+namespace sys {
+
+SocketServer::SocketServer(ReasonEngine &engine,
+                           std::shared_ptr<const pc::FlatCircuit>
+                               lowering,
+                           const ServerOptions &options)
+    : engine_(engine), lowering_(std::move(lowering)),
+      options_(options)
+{
+}
+
+SocketServer::~SocketServer()
+{
+    stop();
+}
+
+bool
+SocketServer::start(std::string *error)
+{
+    const auto fail = [&](const char *msg) {
+        if (error != nullptr)
+            *error = msg;
+        if (listenFd_ >= 0) {
+            ::close(listenFd_);
+            listenFd_ = -1;
+        }
+        return false;
+    };
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return fail("socket() failed");
+    const int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.port);
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        return fail("cannot bind loopback port");
+    if (::listen(listenFd_, 64) != 0)
+        return fail("listen() failed");
+    socklen_t addr_len = sizeof(addr);
+    ::getsockname(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+                  &addr_len);
+    port_ = ntohs(addr.sin_port);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+SocketServer::acceptLoop()
+{
+    while (!stopping_.load(std::memory_order_acquire)) {
+        // Poll with a timeout so stop() is observed promptly even
+        // when no connection ever arrives.
+        pollfd pfd{listenFd_, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 100);
+        if (rc <= 0)
+            continue;
+        const int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        netPrepareSocket(fd);
+        const int one = 1;
+        ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+        if (options_.idleTimeoutMs > 0)
+            netSetRecvTimeoutMs(fd, options_.idleTimeoutMs);
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (stopping_.load(std::memory_order_acquire)) {
+            ::close(fd);
+            break;
+        }
+        ++stats_.connections;
+        activeFds_.push_back(fd);
+        // Handler threads are joinable and tracked — graceful drain
+        // must be able to wait for every in-flight answer.
+        handlers_.emplace_back([this, fd] { handleConnection(fd); });
+    }
+}
+
+void
+SocketServer::handleConnection(int fd)
+{
+    try {
+        Session session = engine_.createSession(lowering_);
+        connectionLoop(fd, session);
+    } catch (const std::exception &) {
+        // One connection must never take the server down: treat any
+        // handler failure (e.g. allocation) as a dropped connection.
+    }
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        activeFds_.erase(std::remove(activeFds_.begin(),
+                                     activeFds_.end(), fd),
+                         activeFds_.end());
+    }
+    ::close(fd);
+}
+
+void
+SocketServer::connectionLoop(int fd, Session &session)
+{
+    wire::FrameDecoder decoder;
+    std::vector<uint8_t> outbuf;
+    std::vector<uint8_t> inbuf(1 << 16);
+    uint64_t client_id = 0;
+    bool open = true;
+    while (open) {
+        const long n = netRecv(fd, inbuf.data(), inbuf.size());
+        if (n == 0)
+            break; // orderly EOF
+        if (n < 0) {
+            if (netRecvTimedOut())
+                break; // idle-connection timeout: drop the peer
+            break;     // transport error / injected reset
+        }
+        decoder.feed(inbuf.data(), size_t(n));
+        for (;;) {
+            wire::Frame frame;
+            const auto status = decoder.next(&frame);
+            if (status == wire::FrameDecoder::Status::NeedMore)
+                break;
+            if (status == wire::FrameDecoder::Status::Malformed) {
+                // Framing is lost (decoder.poisonReason() says which
+                // check failed); the only safe move is to drop.
+                open = false;
+                break;
+            }
+            outbuf.clear();
+            if (frame.type == wire::FrameType::Hello) {
+                // Always ack with our own version; on mismatch close
+                // right after, so the client sees an explicit
+                // version error instead of a mute disconnect.
+                wire::appendHelloAck(outbuf);
+                if (frame.helloVersion != wire::kProtocolVersion) {
+                    netSendAll(fd, outbuf.data(), outbuf.size());
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.versionRejects;
+                    return;
+                }
+                client_id = frame.helloClientId;
+            } else if (frame.type == wire::FrameType::Ping) {
+                wire::appendPong(outbuf, frame.pingToken);
+            } else if (frame.type == wire::FrameType::Submit) {
+                handleSubmit(session, frame.submit, client_id,
+                             outbuf);
+            } else {
+                open = false; // clients never send HelloAck/Result
+                break;
+            }
+            if (!netSendAll(fd, outbuf.data(), outbuf.size())) {
+                open = false;
+                break;
+            }
+        }
+    }
+}
+
+void
+SocketServer::handleSubmit(Session &session,
+                           const wire::SubmitFrame &submit,
+                           uint64_t clientId,
+                           std::vector<uint8_t> &out)
+{
+    if (clientId != 0) {
+        // Idempotent retry: a reconnecting client re-sends ids it
+        // never saw answers for.  Replaying the cached bytes keeps
+        // the answer byte-identical without re-execution.
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto cit = duplicateCaches_.find(clientId);
+        if (cit != duplicateCaches_.end()) {
+            auto rit = cit->second.results.find(submit.id);
+            if (rit != cit->second.results.end()) {
+                ++stats_.duplicatesSuppressed;
+                out.insert(out.end(), rit->second.begin(),
+                           rit->second.end());
+                return;
+            }
+        }
+    }
+
+    wire::ResultFrame result;
+    result.id = submit.id;
+    result.error = wire::validateSubmit(submit);
+    if (result.error == 0 && options_.maxBudget >= 0.0 &&
+        submit.budget > options_.maxBudget)
+        result.error = REASON_ERR_BAD_BUDGET;
+    const bool approx =
+        submit.mode == uint32_t(REASON_MODE_APPROX);
+    if (result.error == 0) {
+        // Rows ride the engine individually so cross-request
+        // coalescing applies; outputs keep submit order.  The wire
+        // deadline is relative — exactly what the submit overload
+        // anchors against the server's steady clock.
+        std::vector<RequestHandle> handles;
+        handles.reserve(submit.rows.size());
+        for (const auto &row : submit.rows)
+            handles.push_back(session.submit(row, submit.budget,
+                                             submit.deadlineNs));
+        result.tier = approx ? 1 : 0;
+        for (RequestHandle &h : handles) {
+            const auto r = session.wait(h);
+            if (r->error != REASON_OK && result.error == 0)
+                result.error = r->error;
+            if (result.error != 0)
+                continue;
+            result.values.push_back(r->outputs[0]);
+            if (!approx)
+                continue;
+            // Approximate tier with budget 0 runs the exact path:
+            // the certified interval degenerates to the point answer.
+            if (r->boundLo.empty()) {
+                result.boundLo.push_back(r->outputs[0]);
+                result.boundHi.push_back(r->outputs[0]);
+            } else {
+                result.boundLo.push_back(r->boundLo[0]);
+                result.boundHi.push_back(r->boundHi[0]);
+            }
+        }
+    }
+    if (result.error != 0) {
+        result.tier = 0;
+        result.values.clear();
+        result.boundLo.clear();
+        result.boundHi.clear();
+    }
+    wire::appendResult(out, result);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.submits;
+    if (clientId != 0 && result.error == 0 &&
+        options_.duplicateCacheCap > 0) {
+        // Only successful answers are cached: an expired or rejected
+        // query must genuinely re-execute when the client retries.
+        DuplicateCache &cache = duplicateCaches_[clientId];
+        if (cache.results.emplace(submit.id, out).second) {
+            cache.order.push_back(submit.id);
+            while (cache.order.size() > options_.duplicateCacheCap) {
+                cache.results.erase(cache.order.front());
+                cache.order.pop_front();
+            }
+        }
+    }
+}
+
+bool
+SocketServer::stop()
+{
+    if (stopped_.exchange(true))
+        return true;
+    stopping_.store(true, std::memory_order_release);
+    // Drain first: admission closes (REASON_ERR_SHUTTING_DOWN),
+    // queued work finishes within the deadline, the rest expires.
+    // In-flight connection handlers are still blocked in wait() and
+    // receive their answers as part of this.
+    const bool clean = engine_.drain(options_.drainDeadlineNs);
+    // Wake handlers blocked in recv: SHUT_RD delivers EOF without
+    // tearing down writes still flushing an answer.
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (int fd : activeFds_)
+            ::shutdown(fd, SHUT_RD);
+    }
+    if (acceptThread_.joinable())
+        acceptThread_.join();
+    // The accept loop has exited, so handlers_ is stable now.
+    std::vector<std::thread> handlers;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        handlers.swap(handlers_);
+    }
+    for (std::thread &t : handlers)
+        if (t.joinable())
+            t.join();
+    if (listenFd_ >= 0) {
+        ::close(listenFd_);
+        listenFd_ = -1;
+    }
+    return clean;
+}
+
+ServerStats
+SocketServer::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+} // namespace sys
+} // namespace reason
+
+#endif // REASON_HAS_SOCKETS

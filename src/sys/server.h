@@ -1,0 +1,176 @@
+/**
+ * @file
+ * sys::SocketServer — the wire-protocol socket front-end of the
+ * serving engine, extracted from the `reason_cli serve --listen` demo
+ * into a reusable, drainable server.
+ *
+ * One server owns a loopback TCP listener and a thread per accepted
+ * connection.  Each connection speaks the sys/wire protocol (v3):
+ *
+ *  - **Handshake.**  The client's Hello carries its protocol version
+ *    and clientId.  The server always answers HelloAck with *its own*
+ *    version; on a mismatch it closes the connection right after the
+ *    ack, so the client can surface an explicit version-mismatch
+ *    error instead of a mute disconnect.
+ *  - **Submits** become per-row engine submissions through the
+ *    connection's private session (the queue's fair scheduler sees
+ *    each connection as one tenant) and one Result frame in request
+ *    order.  The v3 relative deadline is anchored at receipt, so
+ *    queued rows expire under load exactly as in-process deadlines
+ *    do.  Semantic violations answer an error Result; framing
+ *    violations drop the connection.
+ *  - **Ping** frames echo back as Pong — the heartbeat clients use to
+ *    probe a quiet connection.
+ *  - **Idempotent retry.**  For clients with a nonzero clientId the
+ *    server keeps the encoded bytes of recently answered *successful*
+ *    Results per (clientId, queryId).  A reconnecting client that
+ *    re-sends an already-answered id gets the cached bytes back —
+ *    byte-identical, without re-execution — which is what makes
+ *    client retry loops idempotent.  Error results are never cached,
+ *    so a retry after an expiry or overload genuinely re-attempts.
+ *  - **Graceful drain.**  stop() closes admission via
+ *    ReasonEngine::drain (queued work finishes within the configured
+ *    deadline; the rest expires), then shuts the read side of every
+ *    live connection so handlers answer what is in flight and exit,
+ *    and joins every thread.  Wired to SIGINT/SIGTERM by the CLI.
+ *
+ * All socket I/O goes through sys/net — EINTR-safe, SIGPIPE-free, and
+ * fault-injectable (sys/fault), which is how the fault_recovery gate
+ * drives this server through resets, torn frames, and stalls.
+ */
+
+#ifndef REASON_SYS_SERVER_H
+#define REASON_SYS_SERVER_H
+
+#include "sys/net.h"
+
+#if REASON_HAS_SOCKETS
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "pc/flat_pc.h"
+#include "sys/engine.h"
+#include "sys/wire.h"
+
+namespace reason {
+namespace sys {
+
+/** Configuration of a SocketServer. */
+struct ServerOptions
+{
+    /** TCP port on loopback; 0 binds an ephemeral port (see port()). */
+    uint16_t port = 0;
+    /** Largest accuracy budget accepted over the wire; < 0 = uncapped. */
+    double maxBudget = -1.0;
+    /**
+     * Idle-connection timeout in milliseconds (SO_RCVTIMEO): a
+     * connection that stays silent this long is dropped, so stalled
+     * peers cannot pin handler threads forever.  0 disables.
+     */
+    unsigned idleTimeoutMs = 0;
+    /** Drain deadline of stop(), relative nanoseconds (default 5 s). */
+    uint64_t drainDeadlineNs = 5'000'000'000ull;
+    /**
+     * Per-client cap on cached duplicate-suppression results (FIFO
+     * eviction).  Bounds server memory against a client that never
+     * acknowledges by simply sending fresh ids.
+     */
+    size_t duplicateCacheCap = 1024;
+};
+
+/** Monotone counters of a SocketServer (snapshot). */
+struct ServerStats
+{
+    uint64_t connections = 0;
+    /** Hellos answered-and-closed for a protocol version mismatch. */
+    uint64_t versionRejects = 0;
+    /** Submits answered from the duplicate cache without execution. */
+    uint64_t duplicatesSuppressed = 0;
+    /** Submit frames executed (duplicates excluded). */
+    uint64_t submits = 0;
+};
+
+/**
+ * The socket front-end.  Construct, start(), and eventually stop();
+ * the destructor stops too.  The engine and lowering must outlive the
+ * server.  Thread-safe: accept and connection handlers run on
+ * internal threads.
+ */
+class SocketServer
+{
+  public:
+    SocketServer(ReasonEngine &engine,
+                 std::shared_ptr<const pc::FlatCircuit> lowering,
+                 const ServerOptions &options);
+    ~SocketServer();
+
+    SocketServer(const SocketServer &) = delete;
+    SocketServer &operator=(const SocketServer &) = delete;
+
+    /**
+     * Bind the loopback listener and start accepting.  Returns false
+     * (with *error set) when the socket cannot be created or bound.
+     */
+    bool start(std::string *error);
+
+    /** The bound port (after start(); resolves port 0 requests). */
+    uint16_t port() const { return port_; }
+
+    /**
+     * Graceful shutdown: drain the engine (admission closes, queued
+     * work finishes within ServerOptions::drainDeadlineNs, the rest
+     * expires), answer what is in flight on every connection, then
+     * close them and join every thread.  Idempotent.  Returns true
+     * when the drain finished without expiring queued work.
+     */
+    bool stop();
+
+    ServerStats stats() const;
+
+  private:
+    struct DuplicateCache
+    {
+        /** queryId -> encoded successful Result frame bytes. */
+        std::unordered_map<uint64_t, std::vector<uint8_t>> results;
+        /** FIFO of cached ids for bounded eviction. */
+        std::deque<uint64_t> order;
+    };
+
+    void acceptLoop();
+    void handleConnection(int fd);
+    void connectionLoop(int fd, Session &session);
+    /** Execute one Submit into an encoded Result appended to out. */
+    void handleSubmit(Session &session, const wire::SubmitFrame &frame,
+                      uint64_t clientId, std::vector<uint8_t> &out);
+
+    ReasonEngine &engine_;
+    std::shared_ptr<const pc::FlatCircuit> lowering_;
+    ServerOptions options_;
+
+    int listenFd_ = -1;
+    uint16_t port_ = 0;
+    std::atomic<bool> stopping_{false};
+    std::atomic<bool> stopped_{false};
+    std::thread acceptThread_;
+
+    mutable std::mutex mutex_;
+    std::vector<std::thread> handlers_;
+    /** Live connection fds (for SHUT_RD at stop). */
+    std::vector<int> activeFds_;
+    std::unordered_map<uint64_t, DuplicateCache> duplicateCaches_;
+    ServerStats stats_;
+};
+
+} // namespace sys
+} // namespace reason
+
+#endif // REASON_HAS_SOCKETS
+
+#endif // REASON_SYS_SERVER_H

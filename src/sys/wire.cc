@@ -113,10 +113,15 @@ struct Reader
 } // namespace
 
 void
-appendHello(std::vector<uint8_t> &out, uint32_t version)
+appendHello(std::vector<uint8_t> &out, uint32_t version,
+            uint64_t clientId)
 {
     const size_t at = beginFrame(out, FrameType::Hello);
     putU32(out, version);
+    // The clientId field exists only from v3 on; encoding it under the
+    // old version would produce a frame no v2 peer accepts.
+    if (version >= 3)
+        putU64(out, clientId);
     patchLength(out, at);
 }
 
@@ -137,6 +142,7 @@ appendSubmit(std::vector<uint8_t> &out, const SubmitFrame &frame)
     // Raw double bits: NaN payloads and -0.0 must survive the round
     // trip bit-exactly so the server validates what the client sent.
     putU64(out, std::bit_cast<uint64_t>(frame.budget));
+    putU64(out, frame.deadlineNs);
     putU32(out, uint32_t(frame.rows.size()));
     putU32(out, frame.numVars);
     for (const auto &row : frame.rows)
@@ -160,6 +166,22 @@ appendResult(std::vector<uint8_t> &out, const ResultFrame &frame)
             putU64(out, std::bit_cast<uint64_t>(frame.boundLo[i]));
             putU64(out, std::bit_cast<uint64_t>(frame.boundHi[i]));
         }
+    patchLength(out, at);
+}
+
+void
+appendPing(std::vector<uint8_t> &out, uint64_t token)
+{
+    const size_t at = beginFrame(out, FrameType::Ping);
+    putU64(out, token);
+    patchLength(out, at);
+}
+
+void
+appendPong(std::vector<uint8_t> &out, uint64_t token)
+{
+    const size_t at = beginFrame(out, FrameType::Pong);
+    putU64(out, token);
     patchLength(out, at);
 }
 
@@ -204,6 +226,7 @@ FrameDecoder::next(Frame *out)
     const uint32_t length = getU32(base);
     if (length < 1 || length > kMaxFrameBytes) {
         poisoned_ = true;
+        poisonReason_ = "length";
         return Status::Malformed;
     }
     if (avail < 4 + size_t(length))
@@ -212,11 +235,48 @@ FrameDecoder::next(Frame *out)
     const uint8_t type = base[4];
     Reader r{base + 5, size_t(length) - 1};
     bool ok = false;
+    // Which check failed, for poisonReason(): failed fixed-field reads
+    // are truncation; size inconsistencies against declared counts are
+    // shape violations.
+    const char *reason = "truncation";
     switch (type) {
-      case uint8_t(FrameType::Hello):
+      case uint8_t(FrameType::Hello): {
+        out->type = FrameType::Hello;
+        out->helloClientId = 0;
+        ok = r.u32(&out->helloVersion);
+        if (ok && out->helloVersion >= 3) {
+            // v3 adds the clientId.  Versions beyond ours may append
+            // further fields — tolerate trailing bytes there, so the
+            // server can still decode the version and answer the
+            // mismatch instead of dropping the connection opaquely.
+            ok = r.u64(&out->helloClientId);
+            if (ok && out->helloVersion == 3 && r.left != 0) {
+                ok = false;
+                reason = "shape";
+            }
+        } else if (ok && r.left != 0) {
+            ok = false;
+            reason = "shape";
+        }
+        break;
+      }
       case uint8_t(FrameType::HelloAck): {
+        out->type = FrameType::HelloAck;
+        ok = r.u32(&out->helloVersion);
+        if (ok && r.left != 0) {
+            ok = false;
+            reason = "shape";
+        }
+        break;
+      }
+      case uint8_t(FrameType::Ping):
+      case uint8_t(FrameType::Pong): {
         out->type = FrameType(type);
-        ok = r.u32(&out->helloVersion) && r.left == 0;
+        ok = r.u64(&out->pingToken);
+        if (ok && r.left != 0) {
+            ok = false;
+            reason = "shape";
+        }
         break;
       }
       case uint8_t(FrameType::Submit): {
@@ -225,13 +285,14 @@ FrameDecoder::next(Frame *out)
         s.rows.clear();
         uint32_t num_rows = 0;
         uint64_t budget_bits = 0;
-        // mode and budget are decoded structurally, never validated
-        // here: unknown modes and garbage budgets are *semantic*
-        // errors the server answers with an error Result
+        // mode, budget, and deadline are decoded structurally, never
+        // validated here: unknown modes and garbage budgets are
+        // *semantic* errors the server answers with an error Result
         // (validateSubmit), so one bad request cannot poison the
         // connection's framing.
         ok = r.u64(&s.id) && r.u32(&s.mode) && r.u64(&budget_bits) &&
-             r.u32(&num_rows) && r.u32(&s.numVars);
+             r.u64(&s.deadlineNs) && r.u32(&num_rows) &&
+             r.u32(&s.numVars);
         s.budget = std::bit_cast<double>(budget_bits);
         // Validate the declared shape by dividing the remaining
         // payload, never by multiplying it out: the product form can
@@ -246,6 +307,8 @@ FrameDecoder::next(Frame *out)
                      ? num_rows == 0 && r.left == 0
                      : r.left % row_bytes == 0 &&
                            size_t(num_rows) == r.left / row_bytes;
+            if (!ok)
+                reason = "shape";
         }
         if (ok) {
             s.rows.resize(num_rows);
@@ -273,8 +336,15 @@ FrameDecoder::next(Frame *out)
         // then (lo, hi) pairs when the approximate tier appended
         // bounds.  num_rows is bounded by kMaxFrameBytes / 8, so the
         // widest multiplier (24) cannot overflow size_t.
-        ok = ok && res.tier <= 1 &&
-             r.left == size_t(num_rows) * (res.tier == 1 ? 24 : 8);
+        if (ok && res.tier > 1) {
+            ok = false;
+            reason = "tier";
+        }
+        if (ok &&
+            r.left != size_t(num_rows) * (res.tier == 1 ? 24 : 8)) {
+            ok = false;
+            reason = "shape";
+        }
         if (ok) {
             res.values.resize(num_rows);
             for (auto &v : res.values) {
@@ -298,10 +368,12 @@ FrameDecoder::next(Frame *out)
         break;
       }
       default:
-        break; // unknown type
+        reason = "type"; // unknown frame type
+        break;
     }
     if (!ok) {
         poisoned_ = true;
+        poisonReason_ = reason;
         return Status::Malformed;
     }
     pos_ += 4 + size_t(length);

@@ -10,10 +10,17 @@
  * `length` counts the type byte plus the payload, so an empty frame
  * has length 1.  Frame types:
  *
- *     Hello    = 1  client -> server   u32 protocolVersion
+ *     Hello    = 1  client -> server   u32 protocolVersion,
+ *                                      u64 clientId (v3+; versions
+ *                                      beyond v3 may append fields —
+ *                                      the decoder tolerates trailing
+ *                                      bytes there so the server can
+ *                                      still answer the mismatch)
  *     HelloAck = 2  server -> client   u32 protocolVersion
  *     Submit   = 3  client -> server   u64 id, u32 mode,
  *                                      u64 budget (double bits),
+ *                                      u64 deadlineNs (v3: relative
+ *                                      nanoseconds, 0 = none),
  *                                      u32 numRows, u32 numVars,
  *                                      numRows*numVars u32 values
  *                                      (row-major; kMissing allowed)
@@ -23,14 +30,29 @@
  *                                      patterns (log-likelihoods);
  *                                      tier 1 appends numRows
  *                                      (lo, hi) u64 pairs (bounds)
+ *     Ping     = 5  either direction   u64 token
+ *     Pong     = 6  either direction   u64 token (echoed)
+ *
+ * **Version negotiation (v3).**  The client opens with Hello carrying
+ * its version; the server always answers HelloAck carrying *its own*
+ * version.  On a mismatch the server closes the connection after the
+ * ack, and the client surfaces an explicit version-mismatch error
+ * (rather than a generic transport failure).  The Hello clientId is a
+ * stable client-chosen identity used for idempotent retry: a server
+ * suppresses duplicate execution when a reconnecting client re-sends
+ * a query id it has already answered (0 = anonymous, no suppression).
  *
  * Submit carries the reasoning mode and accuracy budget of the
- * approximate tier (protocol v2).  The decoder accepts *any* mode and
- * budget bits — those are semantic properties, validated server-side
- * by validateSubmit(), which maps violations to REASON_ERR_BAD_MODE /
- * REASON_ERR_BAD_BUDGET result frames instead of poisoning the
- * stream.  Result's tier byte is 0 (exact) or 1 (approximate, bounds
- * appended); any other tier is a framing violation.
+ * approximate tier, and (v3) a *relative* deadline in nanoseconds —
+ * relative because client and server steady clocks share no epoch;
+ * the server anchors it on receipt.  The decoder accepts *any* mode,
+ * budget bits, and deadline — those are semantic properties, validated
+ * server-side by validateSubmit(), which maps violations to
+ * REASON_ERR_BAD_MODE / REASON_ERR_BAD_BUDGET result frames instead
+ * of poisoning the stream.  Result's tier byte is 0 (exact) or 1
+ * (approximate, bounds appended); any other tier is a framing
+ * violation.  Ping/Pong carry an opaque token so heartbeats can be
+ * matched to their echo across pipelined traffic.
  *
  * Result values and bounds travel as raw IEEE-754 bit patterns, never
  * text: the serving contract is *bitwise* identity with in-process
@@ -43,7 +65,10 @@
  * reports (rather than crashes on) truncated, oversized, unknown, or
  * inconsistent frames — the server drops the connection, the fuzz
  * tests feed it garbage.  A decoder that has reported Malformed is
- * poisoned: framing is lost, so no further frames are yielded.
+ * poisoned: framing is lost, so no further frames are yielded —
+ * and poisonReason() names the check that failed (length / type /
+ * truncation / shape / tier) so retry logic and the fuzz tests can
+ * assert the precise failure class.
  *
  * Encoding and decoding use explicit byte packing, so the format is
  * identical on every host (endianness-independent).
@@ -54,15 +79,17 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace reason {
 namespace sys {
 namespace wire {
 
-/** Protocol version exchanged in Hello/HelloAck (v2: Submit carries
- *  mode + budget, Result carries tier + optional bounds). */
-inline constexpr uint32_t kProtocolVersion = 2;
+/** Protocol version exchanged in Hello/HelloAck (v3: Hello carries a
+ *  clientId for idempotent retry, Submit carries a relative deadline,
+ *  Ping/Pong heartbeats exist). */
+inline constexpr uint32_t kProtocolVersion = 3;
 
 /**
  * Upper bound on `length` (16 MiB): a framing-error guard, so a
@@ -77,6 +104,8 @@ enum class FrameType : uint8_t
     HelloAck = 2,
     Submit = 3,
     Result = 4,
+    Ping = 5,
+    Pong = 6,
 };
 
 /** Submit payload: a batch of assignment rows under one request id. */
@@ -95,6 +124,12 @@ struct SubmitFrame
      * the round trip bit-exactly for validation at the server.
      */
     double budget = 0.0;
+    /**
+     * Relative deadline in nanoseconds (0 = none).  Relative because
+     * client and server steady clocks share no epoch; the server
+     * anchors it against its own clock on receipt.
+     */
+    uint64_t deadlineNs = 0;
     uint32_t numVars = 0;
     /** numRows rows of numVars values each (pc::kMissing allowed). */
     std::vector<std::vector<uint32_t>> rows;
@@ -120,17 +155,26 @@ struct Frame
 {
     FrameType type = FrameType::Hello;
     uint32_t helloVersion = 0; ///< Hello and HelloAck
+    uint64_t helloClientId = 0; ///< Hello, protocol v3+ (0 = anonymous)
+    uint64_t pingToken = 0;    ///< Ping and Pong
     SubmitFrame submit;        ///< Submit
     ResultFrame result;        ///< Result
 };
 
-/** Append an encoded Hello / HelloAck / Submit / Result to `out`. */
+/**
+ * Append an encoded frame to `out`.  appendHello encodes the clientId
+ * field only for versions >= 3 (the v2 layout had none), so the fuzz
+ * and compatibility tests can produce both layouts.
+ */
 void appendHello(std::vector<uint8_t> &out,
-                 uint32_t version = kProtocolVersion);
+                 uint32_t version = kProtocolVersion,
+                 uint64_t clientId = 0);
 void appendHelloAck(std::vector<uint8_t> &out,
                     uint32_t version = kProtocolVersion);
 void appendSubmit(std::vector<uint8_t> &out, const SubmitFrame &frame);
 void appendResult(std::vector<uint8_t> &out, const ResultFrame &frame);
+void appendPing(std::vector<uint8_t> &out, uint64_t token);
+void appendPong(std::vector<uint8_t> &out, uint64_t token);
 
 /**
  * Incremental decoder over an arbitrary byte stream.  feed() appends
@@ -157,10 +201,24 @@ class FrameDecoder
         return poisoned_;
     }
 
+    /**
+     * Which check poisoned the decoder, as a short stable token:
+     * "length" (length prefix out of [1, kMaxFrameBytes]), "type"
+     * (unknown frame type), "truncation" (payload ended inside a
+     * fixed header field), "shape" (payload size inconsistent with
+     * the declared row/field counts), or "tier" (Result tier byte
+     * not 0/1).  Empty while the decoder is healthy.
+     */
+    const std::string &poisonReason() const
+    {
+        return poisonReason_;
+    }
+
   private:
     std::vector<uint8_t> buf_;
     size_t pos_ = 0; ///< consumed prefix of buf_
     bool poisoned_ = false;
+    std::string poisonReason_;
 };
 
 /**

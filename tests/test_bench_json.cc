@@ -378,6 +378,41 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
             EXPECT_EQ(field(obj, "formulas")->number(), 200.0);
             EXPECT_GT(field(obj, "compile_ms")->number(), 0.0);
             EXPECT_GT(field(obj, "formulas_per_s")->number(), 0.0);
+        } else if (engine->text == "fault_recovery") {
+            for (const char *key :
+                 {"clients", "control_ms", "fault_ms",
+                  "control_retries", "reconnects", "retries",
+                  "transport_errors", "duplicates_suppressed",
+                  "faults_injected", "unanswered", "wrong_answers",
+                  "control_mismatches", "shed", "expired",
+                  "cancelled", "accounting_ok", "drain_clean"}) {
+                const JsonValue *v = field(obj, key);
+                ASSERT_NE(v, nullptr)
+                    << "fault_recovery lacks " << key;
+                EXPECT_FALSE(v->isString);
+            }
+            // The reliability contract is absolute: faults really
+            // fired, yet every query terminated with the bit-exact
+            // answer, the queue accounting balanced, and the drain
+            // was clean — and the fault-free control pass needed no
+            // retries at all.
+            EXPECT_GT(field(obj, "faults_injected")->number(), 0.0)
+                << "fault pass injected no faults";
+            EXPECT_EQ(field(obj, "unanswered")->number(), 0.0)
+                << "fault_recovery left queries unanswered";
+            EXPECT_EQ(field(obj, "wrong_answers")->number(), 0.0)
+                << "fault_recovery reports wrong answers";
+            EXPECT_EQ(field(obj, "control_mismatches")->number(), 0.0)
+                << "fault-free control pass was not bit-exact";
+            EXPECT_EQ(field(obj, "control_retries")->number(), 0.0)
+                << "fault-free control pass needed retries";
+            EXPECT_EQ(field(obj, "accounting_ok")->number(), 1.0)
+                << "engine accounting did not balance";
+            EXPECT_EQ(field(obj, "drain_clean")->number(), 1.0)
+                << "graceful drain expired queued work";
+            EXPECT_GT(field(obj, "clients")->number(), 0.0);
+            EXPECT_GT(field(obj, "control_ms")->number(), 0.0);
+            EXPECT_GT(field(obj, "fault_ms")->number(), 0.0);
         } else if (is_mt) {
             for (const char *key : {"threads", "flat_ms", "mt_ms",
                                     "speedup_vs_flat",
@@ -416,7 +451,7 @@ TEST(BenchJsonSchema, EveryEmittedLineParsesAndMatchesSchema)
          {"circuit_loglik", "circuit_loglik_mt", "derivatives_mt",
           "em_fit", "kernel_logsumexp", "hmm_leaf_batch", "serving",
           "serving_mt", "approx_tier", "compile_flat", "dram_model",
-          "dag_eval"}) {
+          "fault_recovery", "dag_eval"}) {
         EXPECT_EQ(engines[engine], 1)
             << "engine " << engine << " missing or duplicated";
     }
@@ -450,6 +485,9 @@ TEST(BenchJsonSchema, SingleThreadRunSkipsMtVariantsAndExitsZero)
     // The DRAM timing model is single-threaded by construction and
     // must emit (and gate) regardless of the --threads knob.
     EXPECT_EQ(engines["dram_model"], 1);
+    // The fault-recovery gate spawns its own server and client
+    // threads, so it too runs in every --threads configuration.
+    EXPECT_EQ(engines["fault_recovery"], 1);
     EXPECT_EQ(engines["circuit_loglik_mt"], 0);
     EXPECT_EQ(engines["derivatives_mt"], 0);
     EXPECT_EQ(engines["em_fit"], 0);

@@ -469,6 +469,7 @@ TEST(WireProtocol, RoundTripsEveryFrameTypeBitExact)
 
     wire::SubmitFrame submit;
     submit.id = 0x0123456789abcdefull;
+    submit.deadlineNs = 0xfedcba9876543210ull;
     submit.numVars = 3;
     submit.rows = {{0u, 1u, 0xffffffffu}, {2u, 0u, 1u}};
 
@@ -482,10 +483,13 @@ TEST(WireProtocol, RoundTripsEveryFrameTypeBitExact)
                      -123.456789};
 
     std::vector<uint8_t> bytes;
-    wire::appendHello(bytes);
+    wire::appendHello(bytes, wire::kProtocolVersion,
+                      0xc11e471d00000007ull);
     wire::appendHelloAck(bytes);
     wire::appendSubmit(bytes, submit);
     wire::appendResult(bytes, result);
+    wire::appendPing(bytes, 0xdeadbeefcafef00dull);
+    wire::appendPong(bytes, 0xdeadbeefcafef00dull);
 
     // Feed in 3-byte chunks so every frame crosses feed() boundaries.
     wire::FrameDecoder decoder;
@@ -498,17 +502,24 @@ TEST(WireProtocol, RoundTripsEveryFrameTypeBitExact)
             frames.push_back(f);
     }
     ASSERT_FALSE(decoder.poisoned());
-    ASSERT_EQ(frames.size(), 4u);
+    ASSERT_EQ(frames.size(), 6u);
 
     EXPECT_EQ(frames[0].type, wire::FrameType::Hello);
     EXPECT_EQ(frames[0].helloVersion, wire::kProtocolVersion);
+    EXPECT_EQ(frames[0].helloClientId, 0xc11e471d00000007ull);
     EXPECT_EQ(frames[1].type, wire::FrameType::HelloAck);
     EXPECT_EQ(frames[1].helloVersion, wire::kProtocolVersion);
 
     EXPECT_EQ(frames[2].type, wire::FrameType::Submit);
     EXPECT_EQ(frames[2].submit.id, submit.id);
+    EXPECT_EQ(frames[2].submit.deadlineNs, submit.deadlineNs);
     EXPECT_EQ(frames[2].submit.numVars, submit.numVars);
     EXPECT_EQ(frames[2].submit.rows, submit.rows);
+
+    EXPECT_EQ(frames[4].type, wire::FrameType::Ping);
+    EXPECT_EQ(frames[4].pingToken, 0xdeadbeefcafef00dull);
+    EXPECT_EQ(frames[5].type, wire::FrameType::Pong);
+    EXPECT_EQ(frames[5].pingToken, 0xdeadbeefcafef00dull);
 
     EXPECT_EQ(frames[3].type, wire::FrameType::Result);
     EXPECT_EQ(frames[3].result.id, result.id);
@@ -568,16 +579,17 @@ TEST(WireProtocol, MalformedFramesPoisonInsteadOfCrashing)
         bytes[0] -= 1;    // keep the length prefix consistent
         EXPECT_EQ(decode_all(bytes), Status::Malformed);
     }
-    // Shape attacks: a Submit header with no row payload (v2 body is
-    // type + id(8) + mode(4) + budget(8) + numRows(4) + numVars(4)
-    // = 29 bytes) must never turn its declared shape into a huge
-    // allocation.
+    // Shape attacks: a Submit header with no row payload (v3 body is
+    // type + id(8) + mode(4) + budget(8) + deadlineNs(8) +
+    // numRows(4) + numVars(4) = 37 bytes) must never turn its
+    // declared shape into a huge allocation.
     auto shape_frame = [](uint32_t num_rows, uint32_t num_vars) {
         std::vector<uint8_t> bytes = {
-            29, 0, 0, 0, uint8_t(wire::FrameType::Submit)};
+            37, 0, 0, 0, uint8_t(wire::FrameType::Submit)};
         bytes.insert(bytes.end(), 8, 0);  // id
         bytes.insert(bytes.end(), 4, 0);  // mode
         bytes.insert(bytes.end(), 8, 0);  // budget bits
+        bytes.insert(bytes.end(), 8, 0);  // deadlineNs
         for (int i = 0; i < 4; ++i)
             bytes.push_back(uint8_t(num_rows >> (8 * i)));
         for (int i = 0; i < 4; ++i)
@@ -603,19 +615,22 @@ TEST(WireProtocol, MalformedFramesPoisonInsteadOfCrashing)
         EXPECT_EQ(f.submit.numVars, 4u);
         EXPECT_TRUE(f.submit.rows.empty());
     }
-    // Submit frames cut at each v2 field boundary (after id, mid
-    // mode, after mode, mid budget, after budget, mid numRows) are
-    // framing violations, not misparses of the shorter v1 layout.
+    // Submit frames cut at each v3 field boundary (after id, mid
+    // mode, after mode, mid budget, after budget, mid deadline,
+    // after deadline, mid numRows, after numRows, mid numVars) are
+    // framing violations, not misparses of the shorter v2 layout.
     {
         std::vector<uint8_t> full;
         wire::SubmitFrame submit;
         submit.id = 9;
         submit.mode = 3;
         submit.budget = 0.25;
+        submit.deadlineNs = 123456789;
         submit.numVars = 2;
         submit.rows = {{1u, 0u}};
         wire::appendSubmit(full, submit);
-        for (size_t body : {8u, 10u, 12u, 16u, 20u, 22u}) {
+        for (size_t body :
+             {8u, 10u, 12u, 16u, 20u, 24u, 28u, 30u, 32u, 34u}) {
             std::vector<uint8_t> cut(full.begin() + 4,
                                      full.begin() + 5 + long(body));
             std::vector<uint8_t> bytes = {uint8_t(body + 1), 0, 0, 0};
@@ -657,6 +672,80 @@ TEST(WireProtocol, MalformedFramesPoisonInsteadOfCrashing)
         wire::appendHello(bytes);
         bytes.resize(bytes.size() - 2);
         EXPECT_EQ(decode_all(bytes), Status::NeedMore);
+    }
+    // Heartbeats are framed like everything else: a Ping cut inside
+    // its token is truncation, and trailing bytes are a shape
+    // violation, not silently ignored padding.
+    {
+        std::vector<uint8_t> ping;
+        wire::appendPing(ping, 0x1122334455667788ull);
+        std::vector<uint8_t> cut(ping.begin(), ping.end() - 3);
+        cut[0] -= 3; // keep the length prefix consistent
+        EXPECT_EQ(decode_all(cut), Status::Malformed);
+        std::vector<uint8_t> padded = ping;
+        padded.push_back(0);
+        padded[0] += 1;
+        EXPECT_EQ(decode_all(padded), Status::Malformed);
+    }
+    // Version negotiation never poisons framing.  A v2 Hello (no
+    // clientId field) still decodes, so the server can answer the
+    // mismatch explicitly; a future-version Hello with trailing
+    // fields we do not know decodes too; but a v3 Hello with
+    // trailing bytes is a shape violation of a layout we *do* know.
+    {
+        std::vector<uint8_t> v2;
+        wire::appendHello(v2, 2);
+        wire::FrameDecoder decoder;
+        decoder.feed(v2.data(), v2.size());
+        wire::Frame f;
+        ASSERT_EQ(decoder.next(&f), Status::Ok);
+        EXPECT_EQ(f.type, wire::FrameType::Hello);
+        EXPECT_EQ(f.helloVersion, 2u);
+        EXPECT_EQ(f.helloClientId, 0u);
+
+        std::vector<uint8_t> v4;
+        wire::appendHello(v4, 4, 77);
+        v4.push_back(0xab); // hypothetical v4-only trailing field
+        v4[0] += 1;
+        wire::FrameDecoder decoder4;
+        decoder4.feed(v4.data(), v4.size());
+        ASSERT_EQ(decoder4.next(&f), Status::Ok);
+        EXPECT_EQ(f.helloVersion, 4u);
+        EXPECT_EQ(f.helloClientId, 77u);
+
+        std::vector<uint8_t> v3;
+        wire::appendHello(v3, 3, 77);
+        v3.push_back(0xab);
+        v3[0] += 1;
+        EXPECT_EQ(decode_all(v3), Status::Malformed);
+    }
+    // The poison reason names the precise failure class, so the
+    // server's diagnostics (and retry policy) can tell a framing bug
+    // from a shape attack.
+    {
+        auto reason_of = [](const std::vector<uint8_t> &bytes) {
+            wire::FrameDecoder decoder;
+            decoder.feed(bytes.data(), bytes.size());
+            wire::Frame f;
+            while (decoder.next(&f) == Status::Ok) {
+            }
+            return decoder.poisonReason();
+        };
+        EXPECT_EQ(reason_of({0, 0, 0, 0, 1}), "length");
+        EXPECT_EQ(reason_of({1, 0, 0, 0, 99}), "type");
+        EXPECT_EQ(reason_of({3, 0, 0, 0, 1, 0, 0}), "truncation");
+        EXPECT_EQ(reason_of(shape_frame(0xffffffffu, 0)), "shape");
+        std::vector<uint8_t> bad_tier;
+        wire::ResultFrame result;
+        result.id = 5;
+        result.values = {-1.5};
+        wire::appendResult(bad_tier, result);
+        bad_tier[4 + 1 + 8 + 4] = 2;
+        EXPECT_EQ(reason_of(bad_tier), "tier");
+        // A healthy decoder reports no reason at all.
+        std::vector<uint8_t> good;
+        wire::appendHello(good);
+        EXPECT_EQ(reason_of(good), "");
     }
     // Once poisoned, the decoder stays poisoned even after good data.
     {

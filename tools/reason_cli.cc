@@ -46,25 +46,36 @@
  *         [--window-us N] [--serve-threads N] [--dispatchers N]
  *         [--capacity N] [--policy reject|shed] [--auto-window]
  *         [--pin] [--seed N] [--listen PORT] [--max-budget X]
+ *         [--fault-plan SPEC] [--idle-timeout-ms N] [--drain-ms N]
  *       Serve likelihood queries against a stored circuit through the
  *       async batch-serving engine (sys::ReasonEngine): N client
  *       threads submit sampled queries through their own sessions, the
  *       engine coalesces them into batched SoA evaluations, and the
  *       run reports throughput, latency percentiles, batch occupancy,
  *       and shed counts.  With --listen the command instead serves the
- *       length-prefixed binary wire protocol (sys/wire.h) on a
- *       loopback TCP socket, one engine session per connection, until
- *       killed.
+ *       length-prefixed binary wire protocol (sys/wire.h, v3) on a
+ *       loopback TCP socket through sys::SocketServer — one engine
+ *       session per connection, idempotent-retry duplicate
+ *       suppression, Ping/Pong heartbeats — until SIGINT/SIGTERM
+ *       triggers a graceful drain (--drain-ms deadline; exit 0 iff
+ *       clean).  --fault-plan (or the REASON_FAULT_PLAN environment
+ *       variable) installs a deterministic fault-injection schedule
+ *       (sys/fault.h) for resilience testing.
  *
  *   bench-client <file.rpc> --port N [--host H] [--requests N]
  *         [--clients N] [--pipeline N] [--seed N] [--budget X]
- *       Load generator for `serve --listen`: N client threads stream
- *       sampled queries over the wire protocol with a bounded
- *       pipeline, then verify every returned log-likelihood bit for
- *       bit against an in-process one-at-a-time run of the same
- *       queries (checksums printed; nonzero exit on any mismatch).
- *       With --budget the queries ride the approximate tier and the
- *       returned error bounds are bit-verified too.
+ *         [--retries N] [--deadline-ms N] [--client-id N]
+ *       Load generator for `serve --listen`, built on the resilient
+ *       sys::Client: N client threads stream sampled queries over the
+ *       wire protocol with a bounded pipeline, reconnecting with
+ *       capped exponential backoff and re-sending unanswered queries
+ *       idempotently (--retries bounds consecutive failures;
+ *       --deadline-ms attaches per-query deadlines), then verify
+ *       every returned log-likelihood bit for bit against an
+ *       in-process one-at-a-time run of the same queries (checksums
+ *       printed; nonzero exit on any mismatch).  With --budget the
+ *       queries ride the approximate tier and the returned error
+ *       bounds are bit-verified too.
  *
  * Every subcommand accepts --help and parses its flags through one
  * shared option table, so flag handling and help output stay
@@ -88,15 +99,10 @@
 #include <thread>
 #include <vector>
 
-#if defined(__unix__) || defined(__APPLE__)
-#define REASON_HAS_SOCKETS 1
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <sys/socket.h>
-#include <unistd.h>
-#else
-#define REASON_HAS_SOCKETS 0
+#include "sys/net.h" // defines REASON_HAS_SOCKETS
+
+#if REASON_HAS_SOCKETS
+#include <csignal>
 #endif
 
 #include "arch/accelerator.h"
@@ -117,7 +123,13 @@
 #include "pc/learn.h"
 #include "pc/queries.h"
 #include "sys/engine.h"
+#include "sys/fault.h"
 #include "sys/wire.h"
+
+#if REASON_HAS_SOCKETS
+#include "sys/client.h"
+#include "sys/server.h"
+#endif
 #include "util/logging.h"
 #include "util/parallel.h"
 #include "util/rng.h"
@@ -155,9 +167,11 @@ usage()
         "      [--max-batch N] [--window-us N] [--serve-threads N]\n"
         "      [--dispatchers N] [--capacity N] [--policy reject|shed]\n"
         "      [--auto-window] [--pin] [--seed N] [--listen PORT]\n"
-        "      [--max-budget X]\n"
+        "      [--max-budget X] [--fault-plan SPEC]\n"
+        "      [--idle-timeout-ms N] [--drain-ms N]\n"
         "  bench-client <file.rpc> --port N [--host H] [--requests N]\n"
         "      [--clients N] [--pipeline N] [--seed N] [--budget X]\n"
+        "      [--retries N] [--deadline-ms N] [--client-id N]\n"
         "  version          build, SIMD backend, and CPU features\n"
         "  <command> --help describes the command's options.\n"
         "--threads N sets the worker count of the flat evaluation\n"
@@ -801,374 +815,89 @@ parseQueuePolicy(const std::string &text, sys::QueuePolicy *out)
 
 #if REASON_HAS_SOCKETS
 
-bool
-sendAll(int fd, const uint8_t *data, size_t n)
+/** SIGINT/SIGTERM flag observed by the serve loop (graceful drain). */
+volatile std::sig_atomic_t g_stop_signal = 0;
+
+void
+handleStopSignal(int)
 {
-    while (n > 0) {
-        const ssize_t sent = ::send(fd, data, n, 0);
-        if (sent <= 0)
-            return false;
-        data += size_t(sent);
-        n -= size_t(sent);
-    }
-    return true;
+    g_stop_signal = 1;
 }
 
 /**
- * One wire-protocol connection: Hello -> HelloAck, then every Submit
- * frame becomes per-row engine submissions through this connection's
- * private session (so the queue's fair scheduler sees each connection
- * as one tenant) and one Result frame in request order.  Any framing
- * violation or unexpected frame type drops the connection.
- *
- * Semantic violations — an unknown mode, a NaN/negative budget, or a
- * budget above the server's --max-budget cap — are *not* framing
- * errors: they answer with an error Result (REASON_ERR_BAD_MODE /
- * REASON_ERR_BAD_BUDGET) and the connection stays usable, so one bad
- * request cannot poison a pipelined stream.  maxBudget < 0 means
- * uncapped.
- */
-void
-serveConnectionLoop(sys::ReasonEngine &engine,
-                    const pc::Circuit &circuit, double maxBudget,
-                    int fd)
-{
-    sys::Session session = engine.createSession(circuit);
-    wire::FrameDecoder decoder;
-    std::vector<uint8_t> outbuf;
-    std::vector<uint8_t> inbuf(1 << 16);
-    bool open = true;
-    while (open) {
-        const ssize_t n =
-            ::recv(fd, inbuf.data(), inbuf.size(), 0);
-        if (n <= 0)
-            break;
-        decoder.feed(inbuf.data(), size_t(n));
-        for (;;) {
-            wire::Frame frame;
-            const auto status = decoder.next(&frame);
-            if (status == wire::FrameDecoder::Status::NeedMore)
-                break;
-            if (status == wire::FrameDecoder::Status::Malformed) {
-                open = false;
-                break;
-            }
-            outbuf.clear();
-            if (frame.type == wire::FrameType::Hello) {
-                wire::appendHelloAck(outbuf);
-            } else if (frame.type == wire::FrameType::Submit) {
-                wire::ResultFrame result;
-                result.id = frame.submit.id;
-                result.error = wire::validateSubmit(frame.submit);
-                if (result.error == 0 && maxBudget >= 0.0 &&
-                    frame.submit.budget > maxBudget)
-                    result.error = sys::REASON_ERR_BAD_BUDGET;
-                const bool approx =
-                    frame.submit.mode ==
-                    uint32_t(sys::REASON_MODE_APPROX);
-                if (result.error == 0) {
-                    // Rows ride the engine individually so
-                    // cross-request coalescing applies; outputs keep
-                    // submit order.
-                    std::vector<sys::RequestHandle> handles;
-                    handles.reserve(frame.submit.rows.size());
-                    for (auto &row : frame.submit.rows)
-                        handles.push_back(session.submit(
-                            std::move(row), frame.submit.budget));
-                    result.tier = approx ? 1 : 0;
-                    for (sys::RequestHandle &h : handles) {
-                        const auto r = session.wait(h);
-                        if (r->error != sys::REASON_OK &&
-                            result.error == 0)
-                            result.error = r->error;
-                        if (result.error != 0)
-                            continue;
-                        result.values.push_back(r->outputs[0]);
-                        if (!approx)
-                            continue;
-                        // Approximate tier with budget 0 runs the
-                        // exact path: the certified interval
-                        // degenerates to the point answer.
-                        if (r->boundLo.empty()) {
-                            result.boundLo.push_back(r->outputs[0]);
-                            result.boundHi.push_back(r->outputs[0]);
-                        } else {
-                            result.boundLo.push_back(r->boundLo[0]);
-                            result.boundHi.push_back(r->boundHi[0]);
-                        }
-                    }
-                }
-                if (result.error != 0) {
-                    result.tier = 0;
-                    result.values.clear();
-                    result.boundLo.clear();
-                    result.boundHi.clear();
-                }
-                wire::appendResult(outbuf, result);
-            } else {
-                open = false; // clients never send HelloAck/Result
-                break;
-            }
-            if (!sendAll(fd, outbuf.data(), outbuf.size())) {
-                open = false;
-                break;
-            }
-        }
-    }
-}
-
-void
-serveConnection(sys::ReasonEngine &engine, const pc::Circuit &circuit,
-                double maxBudget, int fd)
-{
-    try {
-        serveConnectionLoop(engine, circuit, maxBudget, fd);
-    } catch (const std::exception &) {
-        // One connection must never take the server down: treat any
-        // handler failure (e.g. allocation) as a dropped connection.
-    }
-    ::close(fd);
-}
-
-/**
- * `serve --listen`: accept wire-protocol connections on loopback TCP
- * until the process is killed.  Prints the bound address (port 0
- * resolves to an ephemeral port) before accepting, so scripts can
- * wait for readiness.
+ * `serve --listen`: run the reusable socket front-end
+ * (sys::SocketServer) on loopback TCP.  Prints the bound address
+ * (port 0 resolves to an ephemeral port) before accepting, so scripts
+ * can wait for readiness.  SIGINT/SIGTERM trigger a graceful drain:
+ * admission closes, queued work finishes within --drain-ms, the rest
+ * expires, every in-flight answer is flushed, and the exit code says
+ * whether the drain was clean.
  */
 int
 runServeSocket(const pc::Circuit &circuit,
                const sys::ServeOptions &serve, double maxBudget,
-               uint16_t port)
+               uint16_t port, unsigned idleTimeoutMs,
+               uint64_t drainDeadlineNs)
 {
     sys::ReasonEngine engine(serve);
-
-    const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd < 0)
-        fatal("socket() failed");
-    const int one = 1;
-    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one,
-                 sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(port);
-    if (::bind(listen_fd, reinterpret_cast<sockaddr *>(&addr),
-               sizeof(addr)) != 0)
-        fatal("cannot bind 127.0.0.1:%u", unsigned(port));
-    if (::listen(listen_fd, 64) != 0)
-        fatal("listen() failed");
-    socklen_t addr_len = sizeof(addr);
-    ::getsockname(listen_fd, reinterpret_cast<sockaddr *>(&addr),
-                  &addr_len);
+    sys::ServerOptions options;
+    options.port = port;
+    options.maxBudget = maxBudget;
+    options.idleTimeoutMs = idleTimeoutMs;
+    options.drainDeadlineNs = drainDeadlineNs;
+    sys::SocketServer server(engine, pc::cachedLowering(circuit),
+                             options);
+    std::string error;
+    if (!server.start(&error))
+        fatal("cannot serve on 127.0.0.1:%u: %s", unsigned(port),
+              error.c_str());
     std::printf("listening on 127.0.0.1:%u\n",
-                unsigned(ntohs(addr.sin_port)));
+                unsigned(server.port()));
     std::fflush(stdout);
 
-    for (;;) {
-        const int fd = ::accept(listen_fd, nullptr, nullptr);
-        if (fd < 0)
-            continue;
-        // Connections are independent and the server runs until
-        // killed, so handler threads are detached by design.
-        std::thread(
-            [&engine, &circuit, maxBudget, fd] {
-                serveConnection(engine, circuit, maxBudget, fd);
-            })
-            .detach();
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = handleStopSignal;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGINT, &sa, nullptr);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    while (g_stop_signal == 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+    const bool clean = server.stop();
+    const sys::ServerStats st = server.stats();
+    const sys::EngineStats es = engine.stats();
+    std::printf("drain: %s (%llu connections, %llu submits, %llu "
+                "duplicates suppressed, %llu version rejects, %llu "
+                "expired)\n",
+                clean ? "clean" : "queued work expired",
+                (unsigned long long)st.connections,
+                (unsigned long long)st.submits,
+                (unsigned long long)st.duplicatesSuppressed,
+                (unsigned long long)st.versionRejects,
+                (unsigned long long)es.expired);
+    if (sys::FaultPlan *plan = sys::activeFaultPlan()) {
+        const sys::FaultStats fs = plan->stats();
+        std::printf("faults injected: %llu resets, %llu torn frames, "
+                    "%llu short reads, %llu partial writes, %llu "
+                    "delays, %llu stalls\n",
+                    (unsigned long long)fs.resets,
+                    (unsigned long long)fs.tornFrames,
+                    (unsigned long long)fs.shortReads,
+                    (unsigned long long)fs.partialWrites,
+                    (unsigned long long)fs.delays,
+                    (unsigned long long)fs.stalls);
     }
+    return clean ? 0 : 1;
 }
 
-/** One bench-client connection worker; returns false on socket/protocol failure. */
+/** Aggregated outcome of one bench-client worker (one connection). */
 struct BenchClientResult
 {
-    std::vector<uint64_t> latenciesNs;
-    uint64_t overloads = 0;
-    uint64_t otherErrors = 0;
-    bool ok = true;
+    std::vector<sys::QueryOutcome> outcomes;
+    sys::ClientStats stats;
+    bool ok = false;
 };
-
-BenchClientResult
-runBenchClientWorker(const std::string &host, uint16_t port,
-                     const std::vector<pc::Assignment> &queries,
-                     const std::vector<size_t> &slice, size_t pipeline,
-                     double budget, std::vector<double> &values,
-                     std::vector<double> &boundsLo,
-                     std::vector<double> &boundsHi,
-                     std::vector<uint8_t> &got)
-{
-    // budget > 0 requests the approximate tier: results must come
-    // back tier 1 with per-row bounds, anything else is a protocol
-    // error.  budget 0 keeps the exact tier (tier-0 results).
-    const bool approx = budget > 0.0;
-    BenchClientResult res;
-    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) {
-        res.ok = false;
-        return res;
-    }
-    const int one = 1;
-    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
-        ::connect(fd, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        ::close(fd);
-        res.ok = false;
-        return res;
-    }
-
-    // Handshake, synchronous: one Hello out, one HelloAck back.
-    std::vector<uint8_t> buf;
-    wire::appendHello(buf);
-    wire::FrameDecoder decoder;
-    bool acked = false;
-    if (sendAll(fd, buf.data(), buf.size())) {
-        std::vector<uint8_t> inbuf(4096);
-        while (!acked) {
-            const ssize_t n =
-                ::recv(fd, inbuf.data(), inbuf.size(), 0);
-            if (n <= 0)
-                break;
-            decoder.feed(inbuf.data(), size_t(n));
-            wire::Frame frame;
-            const auto status = decoder.next(&frame);
-            if (status == wire::FrameDecoder::Status::NeedMore)
-                continue;
-            acked = status == wire::FrameDecoder::Status::Ok &&
-                    frame.type == wire::FrameType::HelloAck &&
-                    frame.helloVersion == wire::kProtocolVersion;
-            break;
-        }
-    }
-    if (!acked) {
-        ::close(fd);
-        res.ok = false;
-        return res;
-    }
-
-    // Pipelined submit/receive: the reader drains Results (freeing
-    // pipeline slots) while the sender streams Submits, so neither
-    // side can wedge on a full socket buffer.
-    std::mutex m;
-    std::condition_variable cv;
-    size_t inflight = 0;
-    bool failed = false;
-    std::vector<std::chrono::steady_clock::time_point> sent_at(
-        queries.size());
-    // Per-query lifecycle (guarded by m): 0 = unsent, 1 = in flight,
-    // 2 = result received.  Result ids are server-echoed, so anything
-    // that is not a currently in-flight query of this worker is a
-    // protocol violation, never an index.
-    std::vector<uint8_t> query_state(queries.size(), 0);
-    std::thread reader([&] {
-        std::vector<uint8_t> inbuf(1 << 16);
-        size_t received = 0;
-        while (received < slice.size()) {
-            const ssize_t n =
-                ::recv(fd, inbuf.data(), inbuf.size(), 0);
-            if (n <= 0)
-                break;
-            decoder.feed(inbuf.data(), size_t(n));
-            for (;;) {
-                wire::Frame frame;
-                const auto status = decoder.next(&frame);
-                if (status == wire::FrameDecoder::Status::NeedMore)
-                    break;
-                if (status !=
-                        wire::FrameDecoder::Status::Ok ||
-                    frame.type != wire::FrameType::Result) {
-                    received = slice.size(); // abort
-                    std::lock_guard<std::mutex> lock(m);
-                    failed = true;
-                    break;
-                }
-                const uint64_t id = frame.result.id;
-                const auto now = std::chrono::steady_clock::now();
-                std::chrono::steady_clock::time_point sent;
-                bool id_ok;
-                {
-                    std::lock_guard<std::mutex> lock(m);
-                    id_ok = id < queries.size() &&
-                            query_state[size_t(id)] == 1;
-                    if (id_ok) {
-                        query_state[size_t(id)] = 2;
-                        sent = sent_at[size_t(id)];
-                    } else {
-                        failed = true; // unknown or duplicate id
-                    }
-                }
-                if (!id_ok) {
-                    received = slice.size(); // abort
-                    break;
-                }
-                const size_t q = size_t(id);
-                res.latenciesNs.push_back(uint64_t(
-                    std::chrono::duration_cast<
-                        std::chrono::nanoseconds>(now - sent)
-                        .count()));
-                if (frame.result.error == sys::REASON_ERR_OVERLOAD) {
-                    ++res.overloads;
-                } else if (frame.result.error != 0 ||
-                           frame.result.values.size() != 1 ||
-                           frame.result.tier != (approx ? 1 : 0)) {
-                    ++res.otherErrors;
-                } else {
-                    values[q] = frame.result.values[0];
-                    if (approx) {
-                        boundsLo[q] = frame.result.boundLo[0];
-                        boundsHi[q] = frame.result.boundHi[0];
-                    }
-                    got[q] = 1;
-                }
-                ++received;
-                {
-                    std::lock_guard<std::mutex> lock(m);
-                    --inflight;
-                }
-                cv.notify_one();
-            }
-        }
-        std::lock_guard<std::mutex> lock(m);
-        if (received < slice.size())
-            failed = true;
-        cv.notify_all();
-    });
-
-    std::vector<uint8_t> out;
-    for (size_t q : slice) {
-        {
-            std::unique_lock<std::mutex> lock(m);
-            cv.wait(lock,
-                    [&] { return inflight < pipeline || failed; });
-            if (failed)
-                break;
-            ++inflight;
-            sent_at[q] = std::chrono::steady_clock::now();
-            query_state[q] = 1;
-        }
-        wire::SubmitFrame submit;
-        submit.id = q;
-        submit.mode = approx ? uint32_t(sys::REASON_MODE_APPROX)
-                             : uint32_t(sys::REASON_MODE_PROBABILISTIC);
-        submit.budget = budget;
-        submit.numVars = uint32_t(queries[q].size());
-        submit.rows.push_back(queries[q]);
-        out.clear();
-        wire::appendSubmit(out, submit);
-        if (!sendAll(fd, out.data(), out.size())) {
-            std::lock_guard<std::mutex> lock(m);
-            failed = true;
-            break;
-        }
-    }
-    reader.join();
-    ::close(fd);
-    res.ok = !failed;
-    return res;
-}
 
 #endif // REASON_HAS_SOCKETS
 
@@ -1181,6 +910,9 @@ cmdBenchClient(const std::vector<std::string> &args)
     uint64_t clients = 2;
     uint64_t pipeline = 64;
     uint64_t seed = 1;
+    uint64_t retries = 16;
+    uint64_t deadline_ms = 0;
+    uint64_t client_id = 1;
     double budget = 0.0;
     const std::vector<CliOption> options = {
         countOpt("--port", 1, 65535, &port,
@@ -1197,6 +929,15 @@ cmdBenchClient(const std::vector<std::string> &args)
                  "max in-flight requests per connection"),
         countOpt("--seed", 0, ~uint64_t(0), &seed,
                  "query sampling RNG seed"),
+        countOpt("--retries", 0, 1u << 20, &retries,
+                 "consecutive reconnect attempts before giving up"),
+        countOpt("--deadline-ms", 0, 1u << 30, &deadline_ms,
+                 "per-query deadline, on the wire and client-side "
+                 "(0 = none)"),
+        countOpt("--client-id", 0, ~uint64_t(0), &client_id,
+                 "client identity base for idempotent retry (worker c "
+                 "uses id+c; 0 = anonymous, no duplicate "
+                 "suppression)"),
     };
     switch (parseSubcommand("bench-client", "<file.rpc>", args,
                             options)) {
@@ -1237,10 +978,24 @@ cmdBenchClient(const std::vector<std::string> &args)
     std::vector<std::thread> workers;
     for (uint64_t c = 0; c < clients; ++c)
         workers.emplace_back([&, c] {
-            results[c] = runBenchClientWorker(
-                host, uint16_t(port), queries, slices[c],
-                size_t(pipeline), budget, values, bounds_lo,
-                bounds_hi, got);
+            sys::ClientOptions copt;
+            copt.host = host;
+            copt.port = uint16_t(port);
+            copt.clientId =
+                client_id == 0 ? 0 : client_id + c;
+            copt.pipeline = size_t(pipeline);
+            copt.maxRetries = unsigned(retries);
+            copt.seed = seed ^ (0x9e3779b97f4a7c15ull * (c + 1));
+            copt.budget = budget;
+            copt.deadlineNs = deadline_ms * 1'000'000ull;
+            sys::Client client(copt);
+            std::vector<pc::Assignment> mine;
+            mine.reserve(slices[c].size());
+            for (size_t q : slices[c])
+                mine.push_back(queries[q]);
+            results[c].ok =
+                client.runBatch(mine, &results[c].outcomes);
+            results[c].stats = client.stats();
         });
     for (std::thread &w : workers)
         w.join();
@@ -1251,14 +1006,44 @@ cmdBenchClient(const std::vector<std::string> &args)
 
     bool transport_ok = true;
     uint64_t overloads = 0;
+    uint64_t deadline_errors = 0;
     uint64_t other_errors = 0;
+    sys::ClientStats rstats;
     std::vector<uint64_t> all_lat;
-    for (const BenchClientResult &r : results) {
+    for (uint64_t c = 0; c < clients; ++c) {
+        const BenchClientResult &r = results[c];
         transport_ok = transport_ok && r.ok;
-        overloads += r.overloads;
-        other_errors += r.otherErrors;
-        all_lat.insert(all_lat.end(), r.latenciesNs.begin(),
-                       r.latenciesNs.end());
+        rstats.connects += r.stats.connects;
+        rstats.connectFailures += r.stats.connectFailures;
+        rstats.retriesSent += r.stats.retriesSent;
+        rstats.transportErrors += r.stats.transportErrors;
+        for (size_t i = 0; i < r.outcomes.size(); ++i) {
+            const sys::QueryOutcome &o = r.outcomes[i];
+            const size_t q = slices[c][i];
+            if (o.error == sys::REASON_OK) {
+                if (o.tier != (approx ? 1 : 0)) {
+                    ++other_errors; // wrong tier is a protocol bug
+                    continue;
+                }
+                values[q] = o.value;
+                if (approx) {
+                    bounds_lo[q] = o.boundLo;
+                    bounds_hi[q] = o.boundHi;
+                }
+                got[q] = 1;
+                all_lat.push_back(o.latencyNs);
+            } else if (o.error == sys::REASON_ERR_OVERLOAD) {
+                ++overloads;
+            } else if (o.error ==
+                       sys::REASON_ERR_DEADLINE_EXCEEDED) {
+                ++deadline_errors;
+            } else if (o.error != sys::kClientErrTransport &&
+                       o.error != sys::kClientErrVersionMismatch) {
+                ++other_errors;
+            }
+            // Client-side transport/version outcomes are already
+            // reflected in transport_ok via runBatch's return.
+        }
     }
     std::sort(all_lat.begin(), all_lat.end());
     auto percentile = [&](double p) {
@@ -1302,15 +1087,23 @@ cmdBenchClient(const std::vector<std::string> &args)
             ++mismatches;
     }
 
+    const size_t completed =
+        answered + size_t(overloads) + size_t(deadline_errors);
     std::printf("completed %zu/%zu in %.3f ms: %.1f req/s\n",
-                answered + size_t(overloads), queries.size(), wall_ms,
-                double(answered + size_t(overloads)) /
-                    (wall_ms * 1e-3));
+                completed, queries.size(), wall_ms,
+                double(completed) / (wall_ms * 1e-3));
     std::printf("latency: p50 %.3f ms, p99 %.3f ms\n",
                 percentile(0.50), percentile(0.99));
-    std::printf("errors: %llu overload, %llu other\n",
+    std::printf("errors: %llu overload, %llu deadline, %llu other\n",
                 (unsigned long long)overloads,
+                (unsigned long long)deadline_errors,
                 (unsigned long long)other_errors);
+    std::printf("resilience: %llu connects, %llu connect failures, "
+                "%llu retries, %llu transport errors\n",
+                (unsigned long long)rstats.connects,
+                (unsigned long long)rstats.connectFailures,
+                (unsigned long long)rstats.retriesSent,
+                (unsigned long long)rstats.transportErrors);
     std::printf("bitwise: %llu mismatches over %zu answered "
                 "(checksum remote %016llx local %016llx)\n",
                 (unsigned long long)mismatches, answered,
@@ -1341,6 +1134,9 @@ cmdServe(const std::vector<std::string> &args)
     uint64_t listen_port = 0;
     bool listen_set = false;
     uint64_t seed = 1;
+    uint64_t idle_timeout_ms = 0;
+    uint64_t drain_ms = 5000;
+    std::string fault_spec;
     // Sentinel -1 = uncapped; parseBudget only ever writes
     // non-negative finite values, so any explicit --max-budget caps.
     double max_budget = -1.0;
@@ -1373,6 +1169,14 @@ cmdServe(const std::vector<std::string> &args)
                 "(default: uncapped)"),
         countOpt("--seed", 0, ~uint64_t(0), &seed,
                  "query sampling RNG seed"),
+        textOpt("--fault-plan", &fault_spec,
+                "deterministic fault-injection spec, e.g. "
+                "seed=7,reset=0.01,torn=0.02,short=0.1 (also read "
+                "from REASON_FAULT_PLAN)"),
+        countOpt("--idle-timeout-ms", 0, 1u << 30, &idle_timeout_ms,
+                 "drop connections silent this long (0 = never)"),
+        countOpt("--drain-ms", 0, 1u << 30, &drain_ms,
+                 "graceful-drain deadline on SIGINT/SIGTERM"),
     };
     switch (parseSubcommand("serve", "<file.rpc>", args, options)) {
       case ParseStatus::Help: return 0;
@@ -1403,10 +1207,32 @@ cmdServe(const std::vector<std::string> &args)
     serve.autoLingerWindow = auto_window;
     serve.pinThreads = pin_threads;
 
+    // A fault plan makes the serving stack misbehave on purpose;
+    // static because the installation is process-global and must
+    // outlive every connection handler.
+    static sys::FaultPlan fault_plan;
+    if (fault_spec.empty()) {
+        if (const char *env = std::getenv("REASON_FAULT_PLAN"))
+            fault_spec = env;
+    }
+    if (!fault_spec.empty()) {
+        std::string fault_error;
+        if (!sys::FaultPlan::parse(fault_spec, &fault_plan,
+                                   &fault_error))
+            fatal("serve: bad --fault-plan: %s", fault_error.c_str());
+        if (fault_plan.enabled()) {
+            sys::installFaultPlan(&fault_plan);
+            std::printf("fault plan: %s\n",
+                        fault_plan.describe().c_str());
+        }
+    }
+
     if (listen_set) {
 #if REASON_HAS_SOCKETS
         return runServeSocket(circuit, serve, max_budget,
-                              uint16_t(listen_port));
+                              uint16_t(listen_port),
+                              unsigned(idle_timeout_ms),
+                              drain_ms * 1'000'000ull);
 #else
         fatal("serve --listen requires POSIX sockets (unavailable on "
               "this platform)");
